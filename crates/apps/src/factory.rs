@@ -1,0 +1,270 @@
+//! Factory automation (§4.4).
+//!
+//! Three LBRM properties the paper calls out map directly onto this
+//! module:
+//!
+//! * **Audit logging for free** — "factory automation typically requires
+//!   that all transactions and tasks are logged for accurate
+//!   record-keeping. LBRM already provides this logging as part of the
+//!   lost packet recovery mechanism": [`audit_log`] reads the complete
+//!   reading history straight out of a logging server.
+//! * **Simple sensors** — a [`Sensor`] is just payload encoding over a
+//!   `Sender`; buffering and retransmission burden sit with the loggers.
+//! * **Mobile monitors** — a [`MonitorStation`] fed by a receiver with
+//!   `RecoverAll` reliability recovers everything it missed while
+//!   disconnected, without disturbing the flow to anyone else.
+
+use std::collections::BTreeMap;
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use lbrm_core::logger::Logger;
+use lbrm_core::machine::{Actions, Delivery};
+use lbrm_core::sender::Sender;
+use lbrm_core::time::Time;
+use lbrm_wire::Seq;
+
+/// One sensor reading.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Reading {
+    /// Which sensor.
+    pub sensor_id: u32,
+    /// Measured value, fixed-point ×1000.
+    pub value_milli: i64,
+    /// Sensor-local timestamp (ms since its epoch).
+    pub at_ms: u64,
+}
+
+/// Encodes a reading payload.
+pub fn encode_reading(r: &Reading) -> Bytes {
+    let mut b = BytesMut::with_capacity(20);
+    b.put_u32(r.sensor_id);
+    b.put_i64(r.value_milli);
+    b.put_u64(r.at_ms);
+    b.freeze()
+}
+
+/// Decodes a reading payload.
+pub fn decode_reading(mut payload: &[u8]) -> Option<Reading> {
+    if payload.remaining() < 20 {
+        return None;
+    }
+    Some(Reading {
+        sensor_id: payload.get_u32(),
+        value_milli: payload.get_i64(),
+        at_ms: payload.get_u64(),
+    })
+}
+
+/// A data sensor: minimal state, publishes readings through a sender.
+#[derive(Debug)]
+pub struct Sensor {
+    /// This sensor's id.
+    pub id: u32,
+}
+
+impl Sensor {
+    /// Creates a sensor.
+    pub fn new(id: u32) -> Self {
+        Sensor { id }
+    }
+
+    /// Publishes one measurement.
+    pub fn report(
+        &self,
+        sender: &mut Sender,
+        now: Time,
+        value_milli: i64,
+        out: &mut Actions,
+    ) {
+        let reading =
+            Reading { sensor_id: self.id, value_milli, at_ms: now.nanos() / 1_000_000 };
+        sender.send(now, encode_reading(&reading), out);
+    }
+}
+
+/// A monitoring station: latest value per sensor plus a full local
+/// history keyed by stream sequence (gap-free once recovery completes).
+#[derive(Debug, Default)]
+pub struct MonitorStation {
+    latest: BTreeMap<u32, Reading>,
+    history: BTreeMap<u32, (Seq, Reading)>,
+    /// Readings that arrived via recovery (e.g. after reconnecting).
+    pub recovered_readings: u64,
+}
+
+impl MonitorStation {
+    /// Creates an empty station.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Latest reading from `sensor`.
+    pub fn latest(&self, sensor: u32) -> Option<&Reading> {
+        self.latest.get(&sensor)
+    }
+
+    /// Number of history entries held.
+    pub fn history_len(&self) -> usize {
+        self.history.len()
+    }
+
+    /// `true` if the local history has no sequence gaps.
+    pub fn history_complete(&self) -> bool {
+        let mut prev: Option<u32> = None;
+        for (seq, _) in self.history.values() {
+            if let Some(p) = prev {
+                if seq.raw() != p + 1 {
+                    return false;
+                }
+            }
+            prev = Some(seq.raw());
+        }
+        true
+    }
+
+    /// Applies one delivery.
+    pub fn on_delivery(&mut self, d: &Delivery) {
+        let Some(r) = decode_reading(&d.payload) else { return };
+        if d.recovered {
+            self.recovered_readings += 1;
+        }
+        self.history.insert(d.seq.raw(), (d.seq, r));
+        match self.latest.get(&r.sensor_id) {
+            Some(held) if held.at_ms > r.at_ms => {}
+            _ => {
+                self.latest.insert(r.sensor_id, r);
+            }
+        }
+    }
+}
+
+/// Reads the complete reading history out of a logging server — the
+/// paper's "record-keeping" for free. Undecodable payloads (foreign
+/// traffic) are skipped.
+pub fn audit_log(logger: &Logger) -> Vec<(Seq, Reading)> {
+    logger
+        .store()
+        .iter()
+        .filter_map(|(seq, payload)| decode_reading(payload).map(|r| (seq, r)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lbrm_core::logger::LoggerConfig;
+    use lbrm_core::machine::{Action, Machine};
+    use lbrm_core::sender::SenderConfig;
+    use lbrm_wire::{EpochId, GroupId, HostId, Packet, SourceId};
+
+    const GROUP: GroupId = GroupId(4);
+    const SRC: SourceId = SourceId(7);
+
+    fn sender() -> Sender {
+        Sender::new(SenderConfig::new(GROUP, SRC, HostId(1), HostId(2)))
+    }
+
+    fn extract(out: &Actions, recovered: bool) -> Vec<Delivery> {
+        out.iter()
+            .filter_map(|a| match a {
+                Action::Multicast { packet: Packet::Data { payload, seq, .. }, .. } => {
+                    Some(Delivery { seq: *seq, payload: payload.clone(), recovered })
+                }
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn codec_roundtrip() {
+        let r = Reading { sensor_id: 7, value_milli: -12_345, at_ms: 99 };
+        assert_eq!(decode_reading(&encode_reading(&r)), Some(r));
+        assert_eq!(decode_reading(b"short"), None);
+    }
+
+    #[test]
+    fn station_tracks_latest_and_history() {
+        let mut s = sender();
+        let mut station = MonitorStation::new();
+        let sensor = Sensor::new(7);
+        let mut out = Actions::new();
+        sensor.report(&mut s, Time::from_secs(1), 100, &mut out);
+        sensor.report(&mut s, Time::from_secs(2), 250, &mut out);
+        for d in extract(&out, false) {
+            station.on_delivery(&d);
+        }
+        assert_eq!(station.latest(7).unwrap().value_milli, 250);
+        assert_eq!(station.history_len(), 2);
+        assert!(station.history_complete());
+    }
+
+    #[test]
+    fn reconnecting_monitor_backfills_history() {
+        let mut s = sender();
+        let sensor = Sensor::new(1);
+        let mut out1 = Actions::new();
+        sensor.report(&mut s, Time::from_secs(1), 10, &mut out1);
+        let mut out2 = Actions::new();
+        sensor.report(&mut s, Time::from_secs(2), 20, &mut out2);
+        let mut out3 = Actions::new();
+        sensor.report(&mut s, Time::from_secs(3), 30, &mut out3);
+
+        let mut station = MonitorStation::new();
+        // Connected for #1, disconnected for #2, reconnects at #3, then
+        // recovers #2 from a logger.
+        for d in extract(&out1, false) {
+            station.on_delivery(&d);
+        }
+        for d in extract(&out3, false) {
+            station.on_delivery(&d);
+        }
+        assert!(!station.history_complete());
+        for d in extract(&out2, true) {
+            station.on_delivery(&d);
+        }
+        assert!(station.history_complete());
+        assert_eq!(station.recovered_readings, 1);
+        // Latest reflects newest timestamp even though #2 arrived last.
+        assert_eq!(station.latest(1).unwrap().value_milli, 30);
+    }
+
+    #[test]
+    fn audit_log_reads_logger_store() {
+        let mut s = sender();
+        let sensor = Sensor::new(3);
+        let mut out = Actions::new();
+        sensor.report(&mut s, Time::from_secs(1), 1, &mut out);
+        sensor.report(&mut s, Time::from_secs(2), 2, &mut out);
+        // Feed the multicast stream into a logging server.
+        let mut logger =
+            Logger::new(LoggerConfig::primary(GROUP, SRC, HostId(2), HostId(1)));
+        let mut log_out = Actions::new();
+        for a in &out {
+            if let Action::Multicast { packet, .. } = a {
+                logger.on_packet(Time::from_secs(2), HostId(1), packet.clone(), &mut log_out);
+            }
+        }
+        let audit = audit_log(&logger);
+        assert_eq!(audit.len(), 2);
+        assert_eq!(audit[0].1.value_milli, 1);
+        assert_eq!(audit[1].1.value_milli, 2);
+        assert_eq!(audit[0].0, Seq(1));
+    }
+
+    #[test]
+    fn foreign_payloads_skipped_in_audit() {
+        let mut logger =
+            Logger::new(LoggerConfig::primary(GROUP, SRC, HostId(2), HostId(1)));
+        let mut out = Actions::new();
+        let pkt = Packet::Data {
+            group: GROUP,
+            source: SRC,
+            seq: Seq(1),
+            epoch: EpochId(0),
+            payload: Bytes::from_static(b"not a reading"),
+        };
+        logger.on_packet(Time::ZERO, HostId(1), pkt, &mut out);
+        assert!(audit_log(&logger).is_empty());
+    }
+}

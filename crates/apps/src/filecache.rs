@@ -1,0 +1,255 @@
+//! Fault-tolerant distributed file caching without leases (§4.2).
+//!
+//! Instead of per-file leases, each client subscribes to one LBRM
+//! channel per file server and reliably receives invalidation
+//! notifications. Failure semantics mirror a lease timeout: when the
+//! client detects loss of its connection to the server — the absence of
+//! heartbeats, surfaced as
+//! [`Notice::FreshnessLost`](lbrm_core::machine::Notice::FreshnessLost)
+//! — it invalidates its whole cache; heartbeat resumption re-enables
+//! caching.
+
+use std::collections::HashMap;
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use lbrm_core::machine::{Actions, Delivery, Notice};
+use lbrm_core::sender::Sender;
+use lbrm_core::time::Time;
+
+/// A file-server invalidation message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FileInvalidation {
+    /// The invalidated path.
+    pub path: String,
+    /// The server's new version of the file.
+    pub version: u64,
+}
+
+/// Encodes a [`FileInvalidation`] payload.
+pub fn encode_invalidation(inv: &FileInvalidation) -> Bytes {
+    let mut b = BytesMut::with_capacity(2 + inv.path.len() + 8);
+    b.put_u16(inv.path.len() as u16);
+    b.put_slice(inv.path.as_bytes());
+    b.put_u64(inv.version);
+    b.freeze()
+}
+
+/// Decodes a [`FileInvalidation`] payload.
+pub fn decode_invalidation(mut payload: &[u8]) -> Option<FileInvalidation> {
+    if payload.remaining() < 2 {
+        return None;
+    }
+    let len = payload.get_u16() as usize;
+    if payload.remaining() < len + 8 {
+        return None;
+    }
+    let path = String::from_utf8(payload[..len].to_vec()).ok()?;
+    payload.advance(len);
+    let version = payload.get_u64();
+    Some(FileInvalidation { path, version })
+}
+
+/// Server side: version table plus invalidation publishing.
+#[derive(Debug, Default)]
+pub struct FileServer {
+    versions: HashMap<String, u64>,
+}
+
+impl FileServer {
+    /// Creates an empty server.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A client read: returns the current (version, implicit content
+    /// handle) for the path.
+    pub fn read(&self, path: &str) -> u64 {
+        self.versions.get(path).copied().unwrap_or(0)
+    }
+
+    /// A write: bumps the version and multicasts the invalidation.
+    pub fn write(&mut self, sender: &mut Sender, now: Time, path: &str, out: &mut Actions) -> u64 {
+        let v = self.versions.entry(path.to_owned()).or_insert(0);
+        *v += 1;
+        let version = *v;
+        sender.send(
+            now,
+            encode_invalidation(&FileInvalidation { path: path.to_owned(), version }),
+            out,
+        );
+        version
+    }
+}
+
+/// One cached file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CachedFile {
+    /// Version held.
+    pub version: u64,
+}
+
+/// Client side: the cache, driven by receiver deliveries and notices.
+#[derive(Debug, Default)]
+pub struct CachingClient {
+    cache: HashMap<String, CachedFile>,
+    /// Caching disabled because the server channel went quiet (the
+    /// lease-timeout analogue).
+    degraded: bool,
+    /// Cache-wide invalidations due to channel loss.
+    pub full_invalidations: u64,
+    /// Per-file invalidations applied.
+    pub file_invalidations: u64,
+}
+
+impl CachingClient {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// `true` while the channel is degraded and reads must go to the
+    /// server.
+    pub fn is_degraded(&self) -> bool {
+        self.degraded
+    }
+
+    /// Caches `path` at `version` after a server read.
+    pub fn fill(&mut self, path: &str, version: u64) {
+        if !self.degraded {
+            self.cache.insert(path.to_owned(), CachedFile { version });
+        }
+    }
+
+    /// A cache lookup; `None` means a server round trip is required.
+    pub fn lookup(&self, path: &str) -> Option<CachedFile> {
+        if self.degraded {
+            None
+        } else {
+            self.cache.get(path).copied()
+        }
+    }
+
+    /// Applies a delivery from the invalidation channel.
+    pub fn on_delivery(&mut self, d: &Delivery) {
+        if let Some(inv) = decode_invalidation(&d.payload) {
+            self.file_invalidations += 1;
+            self.cache.remove(&inv.path);
+        }
+    }
+
+    /// Applies a receiver notice; [`Notice::FreshnessLost`] clears the
+    /// whole cache, like a lease expiring.
+    pub fn on_notice(&mut self, n: &Notice) {
+        match n {
+            Notice::FreshnessLost => {
+                self.degraded = true;
+                self.full_invalidations += 1;
+                self.cache.clear();
+            }
+            Notice::FreshnessRestored => {
+                self.degraded = false;
+            }
+            _ => {}
+        }
+    }
+
+    /// Number of files currently cached.
+    pub fn len(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// `true` when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.cache.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lbrm_core::machine::Action;
+    use lbrm_core::sender::SenderConfig;
+    use lbrm_wire::{GroupId, HostId, Packet, Seq, SourceId};
+
+    fn sender() -> Sender {
+        Sender::new(SenderConfig::new(GroupId(2), SourceId(9), HostId(1), HostId(2)))
+    }
+
+    fn as_delivery(out: &Actions) -> Delivery {
+        out.iter()
+            .find_map(|a| match a {
+                Action::Multicast { packet: Packet::Data { payload, seq, .. }, .. } => {
+                    Some(Delivery { seq: *seq, payload: payload.clone(), recovered: false })
+                }
+                _ => None,
+            })
+            .expect("multicast data")
+    }
+
+    #[test]
+    fn codec_roundtrip() {
+        let inv = FileInvalidation { path: "/etc/passwd".into(), version: 42 };
+        assert_eq!(decode_invalidation(&encode_invalidation(&inv)), Some(inv));
+        assert_eq!(decode_invalidation(b""), None);
+        assert_eq!(decode_invalidation(&[0, 20, b'x']), None);
+    }
+
+    #[test]
+    fn write_invalidates_readers() {
+        let mut server = FileServer::new();
+        let mut s = sender();
+        let mut client = CachingClient::new();
+        client.fill("/data/a", server.read("/data/a"));
+        assert!(client.lookup("/data/a").is_some());
+
+        let mut out = Actions::new();
+        let v = server.write(&mut s, Time::ZERO, "/data/a", &mut out);
+        assert_eq!(v, 1);
+        client.on_delivery(&as_delivery(&out));
+        assert!(client.lookup("/data/a").is_none(), "cache entry must be gone");
+        assert_eq!(client.file_invalidations, 1);
+        // Unrelated entries survive.
+        client.fill("/data/b", 0);
+        let mut out = Actions::new();
+        server.write(&mut s, Time::from_secs(1), "/data/a", &mut out);
+        client.on_delivery(&as_delivery(&out));
+        assert!(client.lookup("/data/b").is_some());
+    }
+
+    #[test]
+    fn channel_loss_acts_like_lease_timeout() {
+        let mut client = CachingClient::new();
+        client.fill("/a", 1);
+        client.fill("/b", 1);
+        assert_eq!(client.len(), 2);
+        client.on_notice(&Notice::FreshnessLost);
+        assert!(client.is_degraded());
+        assert!(client.is_empty());
+        assert_eq!(client.full_invalidations, 1);
+        // While degraded, no caching and no hits.
+        client.fill("/a", 2);
+        assert_eq!(client.lookup("/a"), None);
+        // Heartbeats resume: caching allowed again.
+        client.on_notice(&Notice::FreshnessRestored);
+        client.fill("/a", 2);
+        assert_eq!(client.lookup("/a"), Some(CachedFile { version: 2 }));
+    }
+
+    #[test]
+    fn seq_numbering_advances_per_write() {
+        let mut server = FileServer::new();
+        let mut s = sender();
+        let mut out = Actions::new();
+        server.write(&mut s, Time::ZERO, "/x", &mut out);
+        server.write(&mut s, Time::ZERO, "/y", &mut out);
+        let seqs: Vec<Seq> = out
+            .iter()
+            .filter_map(|a| match a {
+                Action::Multicast { packet: Packet::Data { seq, .. }, .. } => Some(*seq),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(seqs, vec![Seq(1), Seq(2)]);
+    }
+}

@@ -1,0 +1,318 @@
+//! WWW page invalidation (§4.3, Appendix A).
+//!
+//! Every HTML document carries a `<!MULTICAST.a.b.c.d.>` tag on its
+//! first line associating it with an invalidation group. The HTTP server
+//! reliably multicasts an `UPDATE` message whenever a local document
+//! changes; each browser holding the page in its cache marks it invalid
+//! and highlights the RELOAD button. The "simple extension" of §4.3 —
+//! automatic dissemination of the updated document — piggybacks the new
+//! body after the message line.
+//!
+//! Message payloads are the *verbatim Appendix-A text protocol*
+//! (`TRANS:17.0:UPDATE:<url>`), carried inside LBRM data packets; a
+//! retransmission served from a log arrives with its `RETRANS` tag via
+//! the `recovered` delivery flag.
+
+use std::collections::HashMap;
+
+use bytes::Bytes;
+
+use lbrm_core::machine::{Actions, Delivery, Notice};
+use lbrm_core::sender::Sender;
+use lbrm_core::time::Time;
+use lbrm_wire::text::{parse_message, TextMessage};
+use lbrm_wire::Seq;
+
+/// Renders the payload for an update of `url`, optionally carrying the
+/// new document body (the §4.3 auto-dissemination extension).
+pub fn update_payload(seq: Seq, url: &str, body: Option<&str>) -> Bytes {
+    let line = TextMessage::Update { seq, url: url.to_owned(), retrans: false }.to_string();
+    match body {
+        Some(b) => Bytes::from(format!("{line}\n{b}")),
+        None => Bytes::from(line),
+    }
+}
+
+/// A parsed invalidation delivery.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Invalidation {
+    /// Update sequence number.
+    pub seq: Seq,
+    /// The invalidated document.
+    pub url: String,
+    /// New document body, when auto-dissemination is on.
+    pub body: Option<String>,
+    /// `true` when this arrived via recovery.
+    pub recovered: bool,
+}
+
+/// Parses a delivery payload produced by [`update_payload`].
+///
+/// # Errors
+///
+/// Returns the underlying text-protocol error for malformed payloads.
+pub fn parse_invalidation(d: &Delivery) -> Result<Invalidation, lbrm_wire::text::TextError> {
+    let text = String::from_utf8_lossy(&d.payload);
+    let (line, body) = match text.split_once('\n') {
+        Some((l, b)) => (l, Some(b.to_owned())),
+        None => (text.as_ref(), None),
+    };
+    match parse_message(line)? {
+        TextMessage::Update { seq, url, .. } => {
+            Ok(Invalidation { seq, url, body, recovered: d.recovered })
+        }
+        TextMessage::Heartbeat { .. } => Err(lbrm_wire::text::TextError::BadOperation),
+    }
+}
+
+/// Server side: tracks document versions and publishes updates through
+/// an LBRM [`Sender`].
+pub struct DocServer {
+    versions: HashMap<String, u64>,
+}
+
+impl DocServer {
+    /// Creates a server with no published documents.
+    pub fn new() -> Self {
+        DocServer { versions: HashMap::new() }
+    }
+
+    /// Current version of `url` (0 = never updated).
+    pub fn version(&self, url: &str) -> u64 {
+        self.versions.get(url).copied().unwrap_or(0)
+    }
+
+    /// Publishes that `url` changed, optionally disseminating the new
+    /// body; returns the update's sequence number.
+    pub fn publish_update(
+        &mut self,
+        sender: &mut Sender,
+        now: Time,
+        url: &str,
+        body: Option<&str>,
+        out: &mut Actions,
+    ) -> Seq {
+        let seq = sender.next_seq();
+        *self.versions.entry(url.to_owned()).or_insert(0) += 1;
+        sender.send(now, update_payload(seq, url, body), out);
+        seq
+    }
+}
+
+impl Default for DocServer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// State of one cached page.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CachedPage {
+    /// The cached body.
+    pub body: String,
+    /// Set when an invalidation arrived: the RELOAD button is
+    /// highlighted (Appendix A).
+    pub reload_highlighted: bool,
+}
+
+/// Client side: a browser cache consuming receiver deliveries.
+#[derive(Debug, Default)]
+pub struct BrowserCache {
+    pages: HashMap<String, CachedPage>,
+    /// Invalidation messages applied.
+    pub invalidations: u64,
+    /// Pages auto-refreshed from a piggybacked body.
+    pub auto_refreshed: u64,
+    /// Set while the invalidation channel's freshness is lost; cached
+    /// pages may be stale without the client knowing.
+    pub channel_degraded: bool,
+}
+
+impl BrowserCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Stores a freshly fetched page.
+    pub fn store(&mut self, url: &str, body: &str) {
+        self.pages.insert(
+            url.to_owned(),
+            CachedPage { body: body.to_owned(), reload_highlighted: false },
+        );
+    }
+
+    /// Looks up a cached page.
+    pub fn get(&self, url: &str) -> Option<&CachedPage> {
+        self.pages.get(url)
+    }
+
+    /// `true` if the page is cached and not flagged for reload.
+    pub fn is_valid(&self, url: &str) -> bool {
+        self.pages.get(url).is_some_and(|p| !p.reload_highlighted)
+    }
+
+    /// The user clicked RELOAD and refetched the page.
+    pub fn reload(&mut self, url: &str, body: &str) {
+        self.store(url, body);
+    }
+
+    /// Applies one receiver delivery.
+    ///
+    /// # Errors
+    ///
+    /// Malformed payloads are reported (and otherwise ignored).
+    pub fn on_delivery(&mut self, d: &Delivery) -> Result<(), lbrm_wire::text::TextError> {
+        let inv = parse_invalidation(d)?;
+        self.invalidations += 1;
+        if let Some(page) = self.pages.get_mut(&inv.url) {
+            match inv.body {
+                Some(body) => {
+                    // Auto-dissemination: refresh in place.
+                    page.body = body;
+                    page.reload_highlighted = false;
+                    self.auto_refreshed += 1;
+                }
+                None => page.reload_highlighted = true,
+            }
+        }
+        Ok(())
+    }
+
+    /// Applies a receiver notice (freshness tracking).
+    pub fn on_notice(&mut self, n: &Notice) {
+        match n {
+            Notice::FreshnessLost => self.channel_degraded = true,
+            Notice::FreshnessRestored => self.channel_degraded = false,
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lbrm_core::machine::{sent_packets, Action};
+    use lbrm_core::sender::SenderConfig;
+    use lbrm_wire::{GroupId, HostId, Packet, SourceId};
+
+    fn sender() -> Sender {
+        Sender::new(SenderConfig::new(GroupId(1), SourceId(1), HostId(1), HostId(2)))
+    }
+
+    fn delivery(payload: Bytes, recovered: bool) -> Delivery {
+        Delivery { seq: Seq(1), payload, recovered }
+    }
+
+    #[test]
+    fn payload_roundtrip_plain() {
+        let p = update_payload(Seq(17), "http://www-DSG.Stanford.EDU/groupMembers.html", None);
+        let inv = parse_invalidation(&delivery(p, false)).unwrap();
+        assert_eq!(inv.seq, Seq(17));
+        assert_eq!(inv.url, "http://www-DSG.Stanford.EDU/groupMembers.html");
+        assert_eq!(inv.body, None);
+    }
+
+    #[test]
+    fn payload_roundtrip_with_body() {
+        let p = update_payload(Seq(3), "http://a/x.html", Some("<h1>new</h1>"));
+        let inv = parse_invalidation(&delivery(p, true)).unwrap();
+        assert_eq!(inv.body.as_deref(), Some("<h1>new</h1>"));
+        assert!(inv.recovered);
+    }
+
+    #[test]
+    fn server_publishes_through_sender() {
+        let mut server = DocServer::new();
+        let mut s = sender();
+        let mut out = Actions::new();
+        let seq = server.publish_update(&mut s, Time::ZERO, "http://a/x.html", None, &mut out);
+        assert_eq!(seq, Seq(1));
+        assert_eq!(server.version("http://a/x.html"), 1);
+        match sent_packets(&out)[..] {
+            [Packet::Data { payload, .. }] => {
+                assert!(payload.starts_with(b"TRANS:1.0:UPDATE:"));
+            }
+            ref other => panic!("{other:?}"),
+        }
+        // Versions advance per URL independently.
+        server.publish_update(&mut s, Time::ZERO, "http://a/x.html", None, &mut out);
+        server.publish_update(&mut s, Time::ZERO, "http://a/y.html", None, &mut out);
+        assert_eq!(server.version("http://a/x.html"), 2);
+        assert_eq!(server.version("http://a/y.html"), 1);
+    }
+
+    #[test]
+    fn cache_highlights_reload() {
+        let mut cache = BrowserCache::new();
+        cache.store("http://a/x.html", "<old>");
+        assert!(cache.is_valid("http://a/x.html"));
+        let p = update_payload(Seq(1), "http://a/x.html", None);
+        cache.on_delivery(&delivery(p, false)).unwrap();
+        assert!(!cache.is_valid("http://a/x.html"));
+        assert!(cache.get("http://a/x.html").unwrap().reload_highlighted);
+        // The user reloads.
+        cache.reload("http://a/x.html", "<new>");
+        assert!(cache.is_valid("http://a/x.html"));
+        assert_eq!(cache.get("http://a/x.html").unwrap().body, "<new>");
+    }
+
+    #[test]
+    fn cache_auto_refreshes_with_body() {
+        let mut cache = BrowserCache::new();
+        cache.store("http://a/x.html", "<old>");
+        let p = update_payload(Seq(1), "http://a/x.html", Some("<new>"));
+        cache.on_delivery(&delivery(p, false)).unwrap();
+        assert!(cache.is_valid("http://a/x.html"));
+        assert_eq!(cache.get("http://a/x.html").unwrap().body, "<new>");
+        assert_eq!(cache.auto_refreshed, 1);
+    }
+
+    #[test]
+    fn uncached_pages_ignore_invalidations() {
+        let mut cache = BrowserCache::new();
+        let p = update_payload(Seq(1), "http://a/other.html", None);
+        cache.on_delivery(&delivery(p, false)).unwrap();
+        assert_eq!(cache.invalidations, 1);
+        assert!(cache.get("http://a/other.html").is_none());
+    }
+
+    #[test]
+    fn channel_degradation_tracked() {
+        let mut cache = BrowserCache::new();
+        cache.on_notice(&Notice::FreshnessLost);
+        assert!(cache.channel_degraded);
+        cache.on_notice(&Notice::FreshnessRestored);
+        assert!(!cache.channel_degraded);
+    }
+
+    #[test]
+    fn malformed_payload_reported() {
+        let mut cache = BrowserCache::new();
+        let bad = delivery(Bytes::from_static(b"GARBAGE"), false);
+        assert!(cache.on_delivery(&bad).is_err());
+        assert_eq!(cache.invalidations, 0);
+    }
+
+    #[test]
+    fn end_to_end_sender_to_cache() {
+        // Server → (extract multicast payload) → cache, the full app path.
+        let mut server = DocServer::new();
+        let mut s = sender();
+        let mut cache = BrowserCache::new();
+        cache.store("http://a/x.html", "<v1>");
+        let mut out = Actions::new();
+        server.publish_update(&mut s, Time::ZERO, "http://a/x.html", Some("<v2>"), &mut out);
+        let payload = out
+            .iter()
+            .find_map(|a| match a {
+                Action::Multicast { packet: Packet::Data { payload, seq, .. }, .. } => {
+                    Some(Delivery { seq: *seq, payload: payload.clone(), recovered: false })
+                }
+                _ => None,
+            })
+            .unwrap();
+        cache.on_delivery(&payload).unwrap();
+        assert_eq!(cache.get("http://a/x.html").unwrap().body, "<v2>");
+    }
+}

@@ -1,0 +1,212 @@
+//! Stock-quote and traffic-report dissemination (§4.1).
+//!
+//! Clients cache data from a server; whenever the server updates, caches
+//! must be reliably refreshed. Quotes are last-value-wins: a recovered
+//! (retransmitted) quote must never overwrite a newer one that arrived
+//! in the meantime, so each quote carries the server's publication
+//! counter and the board keeps the max.
+
+use std::collections::HashMap;
+use std::time::Duration;
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use lbrm_core::machine::{Actions, Delivery};
+use lbrm_core::receiver::Receiver;
+use lbrm_core::sender::Sender;
+use lbrm_core::time::Time;
+
+/// One quote.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Quote {
+    /// Ticker symbol.
+    pub symbol: String,
+    /// Price in cents (exact).
+    pub price_cents: u64,
+    /// Server-side publication counter (monotone per symbol).
+    pub revision: u64,
+}
+
+/// Encodes a quote payload.
+pub fn encode_quote(q: &Quote) -> Bytes {
+    let mut b = BytesMut::with_capacity(2 + q.symbol.len() + 16);
+    b.put_u16(q.symbol.len() as u16);
+    b.put_slice(q.symbol.as_bytes());
+    b.put_u64(q.price_cents);
+    b.put_u64(q.revision);
+    b.freeze()
+}
+
+/// Decodes a quote payload.
+pub fn decode_quote(mut payload: &[u8]) -> Option<Quote> {
+    if payload.remaining() < 2 {
+        return None;
+    }
+    let len = payload.get_u16() as usize;
+    if payload.remaining() < len + 16 {
+        return None;
+    }
+    let symbol = String::from_utf8(payload[..len].to_vec()).ok()?;
+    payload.advance(len);
+    let price_cents = payload.get_u64();
+    let revision = payload.get_u64();
+    Some(Quote { symbol, price_cents, revision })
+}
+
+/// Publisher: a quote feed over an LBRM sender.
+#[derive(Debug, Default)]
+pub struct QuoteFeed {
+    revisions: HashMap<String, u64>,
+}
+
+impl QuoteFeed {
+    /// Creates an empty feed.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Publishes a new price for `symbol`.
+    pub fn publish(
+        &mut self,
+        sender: &mut Sender,
+        now: Time,
+        symbol: &str,
+        price_cents: u64,
+        out: &mut Actions,
+    ) -> Quote {
+        let rev = self.revisions.entry(symbol.to_owned()).or_insert(0);
+        *rev += 1;
+        let quote = Quote { symbol: symbol.to_owned(), price_cents, revision: *rev };
+        sender.send(now, encode_quote(&quote), out);
+        quote
+    }
+}
+
+/// Subscriber: the broker's terminal — latest quote per symbol.
+#[derive(Debug, Default)]
+pub struct QuoteBoard {
+    latest: HashMap<String, Quote>,
+    /// Quotes applied (newer revision than held).
+    pub applied: u64,
+    /// Stale quotes discarded (recovered but already superseded).
+    pub superseded: u64,
+}
+
+impl QuoteBoard {
+    /// Creates an empty board.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Latest quote for `symbol`.
+    pub fn quote(&self, symbol: &str) -> Option<&Quote> {
+        self.latest.get(symbol)
+    }
+
+    /// Applies a delivery; last-revision-wins.
+    pub fn on_delivery(&mut self, d: &Delivery) {
+        let Some(q) = decode_quote(&d.payload) else { return };
+        match self.latest.get(&q.symbol) {
+            Some(held) if held.revision >= q.revision => self.superseded += 1,
+            _ => {
+                self.applied += 1;
+                self.latest.insert(q.symbol.clone(), q);
+            }
+        }
+    }
+
+    /// How stale this board may be, given the receiver's channel state —
+    /// the §1 "freshness" the application actually observes.
+    pub fn staleness(&self, receiver: &Receiver, now: Time) -> Option<Duration> {
+        receiver.staleness(now)
+    }
+
+    /// Number of symbols held.
+    pub fn len(&self) -> usize {
+        self.latest.len()
+    }
+
+    /// `true` when no quotes are held.
+    pub fn is_empty(&self) -> bool {
+        self.latest.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lbrm_core::machine::Action;
+    use lbrm_core::sender::SenderConfig;
+    use lbrm_wire::{GroupId, HostId, Packet, Seq, SourceId};
+
+    fn sender() -> Sender {
+        Sender::new(SenderConfig::new(GroupId(3), SourceId(5), HostId(1), HostId(2)))
+    }
+
+    fn deliveries_of(out: &Actions, recovered: bool) -> Vec<Delivery> {
+        out.iter()
+            .filter_map(|a| match a {
+                Action::Multicast { packet: Packet::Data { payload, seq, .. }, .. } => {
+                    Some(Delivery { seq: *seq, payload: payload.clone(), recovered })
+                }
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn codec_roundtrip() {
+        let q = Quote { symbol: "ACME".into(), price_cents: 123_456, revision: 9 };
+        assert_eq!(decode_quote(&encode_quote(&q)), Some(q));
+        assert_eq!(decode_quote(b"\x00"), None);
+    }
+
+    #[test]
+    fn board_tracks_latest() {
+        let mut feed = QuoteFeed::new();
+        let mut s = sender();
+        let mut board = QuoteBoard::new();
+        let mut out = Actions::new();
+        feed.publish(&mut s, Time::ZERO, "ACME", 100, &mut out);
+        feed.publish(&mut s, Time::ZERO, "ACME", 105, &mut out);
+        feed.publish(&mut s, Time::ZERO, "XYZ", 50, &mut out);
+        for d in deliveries_of(&out, false) {
+            board.on_delivery(&d);
+        }
+        assert_eq!(board.quote("ACME").unwrap().price_cents, 105);
+        assert_eq!(board.quote("XYZ").unwrap().price_cents, 50);
+        assert_eq!(board.len(), 2);
+        assert_eq!(board.applied, 3);
+    }
+
+    #[test]
+    fn recovered_stale_quote_never_regresses() {
+        let mut feed = QuoteFeed::new();
+        let mut s = sender();
+        let mut board = QuoteBoard::new();
+        let mut out1 = Actions::new();
+        feed.publish(&mut s, Time::ZERO, "ACME", 100, &mut out1);
+        let mut out2 = Actions::new();
+        feed.publish(&mut s, Time::ZERO, "ACME", 110, &mut out2);
+        // The newer quote arrives first; the older is recovered later.
+        for d in deliveries_of(&out2, false) {
+            board.on_delivery(&d);
+        }
+        for d in deliveries_of(&out1, true) {
+            board.on_delivery(&d);
+        }
+        assert_eq!(board.quote("ACME").unwrap().price_cents, 110);
+        assert_eq!(board.superseded, 1);
+    }
+
+    #[test]
+    fn quotes_carry_lbrm_sequence_numbers() {
+        let mut feed = QuoteFeed::new();
+        let mut s = sender();
+        let mut out = Actions::new();
+        feed.publish(&mut s, Time::ZERO, "A", 1, &mut out);
+        feed.publish(&mut s, Time::ZERO, "B", 2, &mut out);
+        let seqs: Vec<Seq> = deliveries_of(&out, false).iter().map(|d| d.seq).collect();
+        assert_eq!(seqs, vec![Seq(1), Seq(2)]);
+    }
+}

@@ -1,0 +1,226 @@
+//! Dynamic terrain for Distributed Interactive Simulation (§1).
+//!
+//! The paper's motivating example: terrain entities (bridges, trees,
+//! buildings) are static for minutes at a time, yet when the bridge is
+//! destroyed every tank in visual range must see it within a fraction of
+//! a second — the ¼-second MaxIT freshness requirement. One LBRM group
+//! carries one terrain entity's state transitions; simulators hold a
+//! [`TerrainView`] that applies updates and knows when its view can no
+//! longer be trusted.
+
+use std::collections::BTreeMap;
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use lbrm_core::machine::{Actions, Delivery, Notice};
+use lbrm_core::sender::Sender;
+use lbrm_core::time::Time;
+
+/// The state of a terrain entity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EntityState {
+    /// Fully functional.
+    Intact,
+    /// Degraded but usable.
+    Damaged,
+    /// Unusable — a tank must not try to drive over this bridge.
+    Destroyed,
+}
+
+impl EntityState {
+    fn tag(self) -> u8 {
+        match self {
+            EntityState::Intact => 0,
+            EntityState::Damaged => 1,
+            EntityState::Destroyed => 2,
+        }
+    }
+
+    fn from_tag(t: u8) -> Option<EntityState> {
+        match t {
+            0 => Some(EntityState::Intact),
+            1 => Some(EntityState::Damaged),
+            2 => Some(EntityState::Destroyed),
+            _ => None,
+        }
+    }
+}
+
+/// One terrain state transition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TerrainUpdate {
+    /// Entity identifier (within the exercise database).
+    pub entity_id: u64,
+    /// New state.
+    pub state: EntityState,
+}
+
+/// Encodes a terrain update payload.
+pub fn encode_update(u: &TerrainUpdate) -> Bytes {
+    let mut b = BytesMut::with_capacity(9);
+    b.put_u64(u.entity_id);
+    b.put_u8(u.state.tag());
+    b.freeze()
+}
+
+/// Decodes a terrain update payload.
+pub fn decode_update(mut payload: &[u8]) -> Option<TerrainUpdate> {
+    if payload.remaining() < 9 {
+        return None;
+    }
+    let entity_id = payload.get_u64();
+    let state = EntityState::from_tag(payload.get_u8())?;
+    Some(TerrainUpdate { entity_id, state })
+}
+
+/// Publisher side: a terrain entity (or the exercise's terrain manager)
+/// announcing state transitions.
+#[derive(Debug)]
+pub struct TerrainEntity {
+    /// Entity id.
+    pub id: u64,
+    state: EntityState,
+}
+
+impl TerrainEntity {
+    /// Creates an intact entity.
+    pub fn new(id: u64) -> Self {
+        TerrainEntity { id, state: EntityState::Intact }
+    }
+
+    /// Current state.
+    pub fn state(&self) -> EntityState {
+        self.state
+    }
+
+    /// Transitions the entity and multicasts the update.
+    pub fn transition(
+        &mut self,
+        sender: &mut Sender,
+        now: Time,
+        state: EntityState,
+        out: &mut Actions,
+    ) {
+        self.state = state;
+        sender.send(now, encode_update(&TerrainUpdate { entity_id: self.id, state }), out);
+    }
+}
+
+/// A simulator's view of terrain state.
+#[derive(Debug, Default)]
+pub struct TerrainView {
+    entities: BTreeMap<u64, EntityState>,
+    /// `true` while the channel's freshness guarantee is broken; the
+    /// view may be stale and movement decisions should be conservative.
+    pub suspect: bool,
+    /// Updates applied.
+    pub updates: u64,
+}
+
+impl TerrainView {
+    /// Creates an empty view.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers an entity as initially intact (from the exercise
+    /// database load).
+    pub fn load(&mut self, entity_id: u64) {
+        self.entities.entry(entity_id).or_insert(EntityState::Intact);
+    }
+
+    /// The believed state of an entity.
+    pub fn state(&self, entity_id: u64) -> Option<EntityState> {
+        self.entities.get(&entity_id).copied()
+    }
+
+    /// Would a tank cross this bridge? Only if the view is trustworthy
+    /// *and* the bridge is intact — the paper's stale-bridge hazard.
+    pub fn passable(&self, entity_id: u64) -> bool {
+        !self.suspect && self.state(entity_id) == Some(EntityState::Intact)
+    }
+
+    /// Applies a delivery.
+    pub fn on_delivery(&mut self, d: &Delivery) {
+        if let Some(u) = decode_update(&d.payload) {
+            self.updates += 1;
+            self.entities.insert(u.entity_id, u.state);
+        }
+    }
+
+    /// Applies a receiver notice.
+    pub fn on_notice(&mut self, n: &Notice) {
+        match n {
+            Notice::FreshnessLost => self.suspect = true,
+            Notice::FreshnessRestored => self.suspect = false,
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lbrm_core::machine::Action;
+    use lbrm_core::sender::SenderConfig;
+    use lbrm_wire::{GroupId, HostId, Packet, SourceId};
+
+    fn sender() -> Sender {
+        Sender::new(SenderConfig::new(GroupId(8), SourceId(8), HostId(1), HostId(2)))
+    }
+
+    fn extract(out: &Actions) -> Vec<Delivery> {
+        out.iter()
+            .filter_map(|a| match a {
+                Action::Multicast { packet: Packet::Data { payload, seq, .. }, .. } => {
+                    Some(Delivery { seq: *seq, payload: payload.clone(), recovered: false })
+                }
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn codec_roundtrip() {
+        for state in [EntityState::Intact, EntityState::Damaged, EntityState::Destroyed] {
+            let u = TerrainUpdate { entity_id: 42, state };
+            assert_eq!(decode_update(&encode_update(&u)), Some(u));
+        }
+        assert_eq!(decode_update(&[0; 8]), None);
+        assert_eq!(decode_update(&[0, 0, 0, 0, 0, 0, 0, 42, 9]), None); // bad tag
+    }
+
+    #[test]
+    fn bridge_destruction_reaches_view() {
+        let mut s = sender();
+        let mut bridge = TerrainEntity::new(42);
+        let mut view = TerrainView::new();
+        view.load(42);
+        assert!(view.passable(42));
+
+        let mut out = Actions::new();
+        bridge.transition(&mut s, Time::from_secs(60), EntityState::Destroyed, &mut out);
+        for d in extract(&out) {
+            view.on_delivery(&d);
+        }
+        assert_eq!(view.state(42), Some(EntityState::Destroyed));
+        assert!(!view.passable(42), "the tank must not drive onto the bridge");
+    }
+
+    #[test]
+    fn suspect_view_is_conservative() {
+        let mut view = TerrainView::new();
+        view.load(1);
+        assert!(view.passable(1));
+        view.on_notice(&Notice::FreshnessLost);
+        assert!(!view.passable(1), "a stale view must not be trusted");
+        view.on_notice(&Notice::FreshnessRestored);
+        assert!(view.passable(1));
+    }
+
+    #[test]
+    fn unknown_entities_are_not_passable() {
+        let view = TerrainView::new();
+        assert!(!view.passable(99));
+    }
+}

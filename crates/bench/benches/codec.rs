@@ -1,0 +1,74 @@
+//! Wire codec microbenchmarks: encode/decode of the hot packet types.
+
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use lbrm_wire::packet::SeqRange;
+use lbrm_wire::{decode, encode, EpochId, GroupId, HostId, Packet, Seq, SourceId};
+
+fn packets() -> Vec<(&'static str, Packet)> {
+    vec![
+        (
+            "data_128B",
+            Packet::Data {
+                group: GroupId(1),
+                source: SourceId(2),
+                seq: Seq(1000),
+                epoch: EpochId(3),
+                payload: Bytes::from(vec![0x42u8; 128]),
+            },
+        ),
+        (
+            "data_1400B",
+            Packet::Data {
+                group: GroupId(1),
+                source: SourceId(2),
+                seq: Seq(1000),
+                epoch: EpochId(3),
+                payload: Bytes::from(vec![0x42u8; 1400]),
+            },
+        ),
+        (
+            "heartbeat",
+            Packet::Heartbeat {
+                group: GroupId(1),
+                source: SourceId(2),
+                seq: Seq(1000),
+                epoch: EpochId(3),
+                hb_index: 4,
+                payload: Bytes::new(),
+            },
+        ),
+        (
+            "nack_4ranges",
+            Packet::Nack {
+                group: GroupId(1),
+                source: SourceId(2),
+                requester: HostId(9),
+                ranges: vec![
+                    SeqRange { first: Seq(10), last: Seq(12) },
+                    SeqRange::single(Seq(20)),
+                    SeqRange { first: Seq(30), last: Seq(39) },
+                    SeqRange::single(Seq(50)),
+                ],
+            },
+        ),
+    ]
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("codec");
+    for (name, pkt) in packets() {
+        let wire = encode(&pkt).unwrap();
+        group.throughput(Throughput::Bytes(wire.len() as u64));
+        group.bench_function(format!("encode_{name}"), |b| {
+            b.iter(|| encode(std::hint::black_box(&pkt)).unwrap())
+        });
+        group.bench_function(format!("decode_{name}"), |b| {
+            b.iter(|| decode(std::hint::black_box(&wire)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_codec);
+criterion_main!(benches);

@@ -1,0 +1,195 @@
+//! Protocol-machine microbenchmarks: the per-packet costs of the gap
+//! tracker, heartbeat scheduler, receiver data path, and statistical-ack
+//! bookkeeping, plus raw simulator event throughput.
+
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use lbrm_core::gaps::GapTracker;
+use lbrm_core::heartbeat::{HeartbeatConfig, VariableHeartbeat};
+use lbrm_core::machine::{Actions, Machine};
+use lbrm_core::receiver::{Receiver, ReceiverConfig};
+use lbrm_core::statack::{StatAck, StatAckConfig, StatAckOutput};
+use lbrm_core::time::Time;
+use lbrm_wire::{EpochId, GroupId, HostId, Packet, Seq, SourceId};
+
+fn bench_gap_tracker(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gap_tracker");
+    group.throughput(Throughput::Elements(256));
+    group.bench_function("observe_in_order_256", |b| {
+        b.iter_batched_ref(
+            GapTracker::new,
+            |t| {
+                for i in 1..=256u32 {
+                    t.observe(Seq(i));
+                }
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    group.throughput(Throughput::Elements(128));
+    group.bench_function("observe_gappy_128_plus_ranges", |b| {
+        b.iter_batched_ref(
+            GapTracker::new,
+            |t| {
+                for i in 1..=128u32 {
+                    t.observe(Seq(i * 3)); // every third packet
+                }
+                t.missing_ranges(64)
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    group.finish();
+}
+
+fn bench_heartbeat(c: &mut Criterion) {
+    c.bench_function("heartbeat_schedule_cycle", |b| {
+        let mut hb = VariableHeartbeat::new(HeartbeatConfig::default());
+        let mut now = Time::ZERO;
+        b.iter(|| {
+            hb.on_data_sent(now);
+            for _ in 0..8 {
+                now = hb.next_heartbeat_at().unwrap();
+                hb.on_heartbeat_sent(now);
+            }
+            now
+        });
+    });
+}
+
+fn bench_receiver_path(c: &mut Criterion) {
+    let mut group = c.benchmark_group("receiver");
+    group.throughput(Throughput::Elements(64));
+    group.bench_function("on_data_in_order_64", |b| {
+        b.iter_batched_ref(
+            || {
+                Receiver::new(ReceiverConfig::new(
+                    GroupId(1),
+                    SourceId(1),
+                    HostId(1),
+                    HostId(2),
+                    vec![HostId(3)],
+                ))
+            },
+            |r| {
+                let mut out = Actions::new();
+                for i in 1..=64u32 {
+                    let pkt = Packet::Data {
+                        group: GroupId(1),
+                        source: SourceId(1),
+                        seq: Seq(i),
+                        epoch: EpochId(0),
+                        payload: Bytes::from_static(b"terrain update"),
+                    };
+                    r.on_packet(Time::from_millis(u64::from(i)), HostId(2), pkt, &mut out);
+                    out.clear();
+                }
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    group.finish();
+}
+
+fn bench_statack(c: &mut Criterion) {
+    c.bench_function("statack_16_acks_per_packet", |b| {
+        // One epoch with 16 ackers; process a packet's worth of ACKs.
+        let mut sa = StatAck::new(
+            StatAckConfig { k: 16, nsl_initial: 16.0, ..StatAckConfig::default() },
+            Time::ZERO,
+        );
+        let mut out = Vec::new();
+        sa.poll(Time::ZERO, &mut out);
+        let epoch = out
+            .iter()
+            .find_map(|o| match o {
+                StatAckOutput::StartSelection { epoch, .. } => Some(*epoch),
+                _ => None,
+            })
+            .unwrap();
+        for h in 0..16u64 {
+            sa.on_volunteer(HostId(h), epoch);
+        }
+        let switch = sa.next_deadline().unwrap();
+        out.clear();
+        sa.poll(switch, &mut out);
+        let mut seq = 0u32;
+        b.iter(|| {
+            seq += 1;
+            sa.on_data_sent(switch, Seq(seq));
+            let mut out = Vec::new();
+            for h in 0..16u64 {
+                sa.on_ack(switch, HostId(h), epoch, Seq(seq), &mut out);
+            }
+            out
+        });
+    });
+}
+
+fn bench_sim_events(c: &mut Criterion) {
+    use lbrm_sim::time::SimTime;
+    use lbrm_sim::topology::{SiteParams, TopologyBuilder};
+    use lbrm_sim::world::{Actor, Ctx, World};
+
+    /// Ping-pong actor: answers every packet, generating a steady event
+    /// stream that measures raw simulator dispatch cost.
+    struct Pong {
+        peer: HostId,
+        budget: u32,
+    }
+    impl Actor for Pong {
+        fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+            if self.budget > 0 {
+                let pkt = Packet::Heartbeat {
+                    group: GroupId(1),
+                    source: SourceId(1),
+                    seq: Seq(1),
+                    epoch: EpochId(0),
+                    hb_index: 1,
+                    payload: Bytes::new(),
+                };
+                ctx.send_unicast(self.peer, pkt);
+            }
+        }
+        fn on_packet(&mut self, ctx: &mut Ctx<'_>, from: HostId, packet: Packet) {
+            if self.budget > 0 {
+                self.budget -= 1;
+                ctx.send_unicast(from, packet);
+            }
+        }
+    }
+
+    let mut group = c.benchmark_group("sim");
+    group.throughput(Throughput::Elements(10_000));
+    group.bench_function("event_dispatch_10k", |b| {
+        b.iter_batched(
+            || {
+                let mut tb = TopologyBuilder::new();
+                let s0 = tb.site(SiteParams::default());
+                let s1 = tb.site(SiteParams::default());
+                let a = tb.host(s0);
+                let z = tb.host(s1);
+                let mut w = World::new(tb.build(), 1);
+                w.add_actor(a, Pong { peer: z, budget: 5_000 });
+                w.add_actor(z, Pong { peer: a, budget: 5_000 });
+                w
+            },
+            |mut w| {
+                w.run_until(SimTime::from_secs(100_000));
+                w
+            },
+            BatchSize::LargeInput,
+        );
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_gap_tracker,
+    bench_heartbeat,
+    bench_receiver_path,
+    bench_statack,
+    bench_sim_events
+);
+criterion_main!(benches);

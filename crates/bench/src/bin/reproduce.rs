@@ -1,0 +1,31 @@
+//! Runs every experiment, regenerating all tables and figures of the
+//! paper's evaluation in one go (used to fill EXPERIMENTS.md).
+
+use lbrm_bench::experiments as e;
+
+type Experiment = fn() -> String;
+
+fn main() {
+    let sections: Vec<(&str, Experiment)> = vec![
+        ("Figure 4", e::fig4_heartbeat_overhead::run),
+        ("Figure 5", e::fig5_overhead_ratio::run),
+        ("Table 1", e::table1_backoff::run),
+        ("Table 2", e::table2_estimation::run),
+        ("Table 3", e::table3_breakdown::run),
+        ("Figure 7 / §2.2.2 NACK reduction", e::fig7_nack_reduction::run),
+        ("§2.2.2 recovery latency", e::exp_recovery_latency::run),
+        ("§2.1.1 burst detection bound", e::exp_burst_detection::run),
+        ("§2.3 statistical acknowledgement", e::exp_statistical_ack::run),
+        ("§2.3.3 group-size churn", e::exp_group_churn::run),
+        ("§6 wb comparison", e::exp_wb_comparison::run),
+        ("§7 hierarchy ablation", e::exp_hierarchy::run),
+        ("§2.2.1 re-multicast ablation", e::exp_remulticast::run),
+        ("§2.1.2 DIS scenario", e::exp_dis_scenario::run),
+    ];
+    for (name, run) in sections {
+        println!("{}", "=".repeat(72));
+        println!("== {name}");
+        println!("{}", "=".repeat(72));
+        println!("{}", run());
+    }
+}

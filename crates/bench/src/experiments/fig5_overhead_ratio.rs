@@ -1,0 +1,51 @@
+//! **Figure 5** — Overhead(Fixed)/Overhead(Variable) vs inter-data
+//! interval. The paper marks `dt = 120 s` (a terrain entity updating
+//! every two minutes): ratio ≈ 53.4.
+
+use lbrm_core::heartbeat::{analysis, HeartbeatConfig};
+
+use crate::report::Table;
+
+/// Runs the experiment.
+pub fn run() -> String {
+    let cfg = HeartbeatConfig::default();
+    let mut out = String::new();
+    out.push_str("Figure 5: Overhead(Fixed)/Overhead(Variable) vs dt\n");
+    out.push_str("(h_min = 0.25 s, h_max = 32 s, backoff = 2)\n\n");
+    let mut t = Table::new(&["dt (s)", "ratio"]);
+    for dt in [0.5, 1.0, 2.0, 5.0, 10.0, 30.0, 60.0, 120.0, 300.0, 600.0, 1000.0] {
+        let r = analysis::overhead_ratio(dt, &cfg);
+        t.row(&[format!("{dt}"), format!("{r:.1}")]);
+    }
+    out.push_str(&t.render());
+    let marked = analysis::overhead_ratio(120.0, &cfg);
+    out.push_str(&format!(
+        "\nMarked point (DIS terrain, dt = 120 s): ratio = {marked:.1}  (paper: 53.4)\n"
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn marked_point_matches_paper() {
+        let r = analysis::overhead_ratio(120.0, &HeartbeatConfig::default());
+        assert!((r - 53.4).abs() < 1.0, "ratio {r}");
+    }
+
+    #[test]
+    fn ratio_grows_with_dt() {
+        let cfg = HeartbeatConfig::default();
+        let r10 = analysis::overhead_ratio(10.0, &cfg);
+        let r120 = analysis::overhead_ratio(120.0, &cfg);
+        let r1000 = analysis::overhead_ratio(1000.0, &cfg);
+        assert!(r10 < r120 && r120 < r1000);
+    }
+
+    #[test]
+    fn report_renders() {
+        assert!(run().contains("53."));
+    }
+}

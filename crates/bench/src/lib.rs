@@ -1,0 +1,14 @@
+//! Experiment harness regenerating every table and figure in the LBRM
+//! paper's evaluation.
+//!
+//! Each experiment lives in [`experiments`] as a `run()` function
+//! returning a formatted report; the binaries in `src/bin/` are thin
+//! wrappers, and `src/bin/reproduce.rs` runs everything. Criterion
+//! microbenchmarks (Table 3's measurement analogues) live in `benches/`.
+
+#![forbid(unsafe_code)]
+
+pub mod experiments;
+pub mod report;
+
+pub use report::{mean, percentile, Table};

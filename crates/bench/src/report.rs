@@ -1,0 +1,129 @@
+//! Small reporting utilities: aligned tables and summary statistics.
+
+use std::fmt::Write as _;
+use std::time::Duration;
+
+/// A plain-text aligned table.
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new(header: &[&str]) -> Self {
+        Table { header: header.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+    }
+
+    /// Appends a row (must match the header arity).
+    pub fn row(&mut self, cells: &[String]) -> &mut Self {
+        assert_eq!(cells.len(), self.header.len(), "row arity mismatch");
+        self.rows.push(cells.to_vec());
+        self
+    }
+
+    /// Renders with aligned columns.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths = vec![0usize; cols];
+        for (i, h) in self.header.iter().enumerate() {
+            widths[i] = h.len();
+        }
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| {
+            let mut line = String::new();
+            for (i, c) in cells.iter().enumerate() {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                let _ = write!(line, "{:>width$}", c, width = widths[i]);
+            }
+            line
+        };
+        out.push_str(&fmt_row(&self.header, &widths));
+        out.push('\n');
+        let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Arithmetic mean of durations (zero when empty).
+pub fn mean(values: &[Duration]) -> Duration {
+    if values.is_empty() {
+        return Duration::ZERO;
+    }
+    let total: Duration = values.iter().sum();
+    total / values.len() as u32
+}
+
+/// The p-th percentile (0–100) by nearest-rank (zero when empty).
+pub fn percentile(values: &[Duration], p: f64) -> Duration {
+    if values.is_empty() {
+        return Duration::ZERO;
+    }
+    let mut v = values.to_vec();
+    v.sort();
+    let rank = ((p / 100.0) * (v.len() as f64 - 1.0)).round() as usize;
+    v[rank.min(v.len() - 1)]
+}
+
+/// Formats a duration in adaptive units.
+pub fn fmt_dur(d: Duration) -> String {
+    let s = d.as_secs_f64();
+    if s >= 1.0 {
+        format!("{s:.3} s")
+    } else if s >= 1e-3 {
+        format!("{:.2} ms", s * 1e3)
+    } else {
+        format!("{:.1} µs", s * 1e6)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new(&["a", "value"]);
+        t.row(&["1".into(), "10".into()]);
+        t.row(&["22".into(), "5".into()]);
+        let r = t.render();
+        let lines: Vec<&str> = r.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("value"));
+        assert!(lines[2].ends_with("10"));
+    }
+
+    #[test]
+    fn stats() {
+        let v = vec![
+            Duration::from_millis(10),
+            Duration::from_millis(20),
+            Duration::from_millis(30),
+        ];
+        assert_eq!(mean(&v), Duration::from_millis(20));
+        assert_eq!(percentile(&v, 0.0), Duration::from_millis(10));
+        assert_eq!(percentile(&v, 100.0), Duration::from_millis(30));
+        assert_eq!(percentile(&v, 50.0), Duration::from_millis(20));
+        assert_eq!(mean(&[]), Duration::ZERO);
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(fmt_dur(Duration::from_secs(2)), "2.000 s");
+        assert_eq!(fmt_dur(Duration::from_millis(5)), "5.00 ms");
+        assert_eq!(fmt_dur(Duration::from_micros(7)), "7.0 µs");
+    }
+}

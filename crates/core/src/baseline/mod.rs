@@ -1,0 +1,15 @@
+//! Baseline protocols the paper compares LBRM against.
+//!
+//! * [`srm`] — the *wb* lightweight-sessions recovery style (§6):
+//!   unorganized, fully multicast NACK/repair with randomized suppression
+//!   timers. Fault tolerant, but every loss costs the whole group
+//!   multicast traffic and ~3×RTT-to-source recovery latency, and a
+//!   single lossy receiver becomes a "crying baby" for everyone.
+//! * The **fixed heartbeat** baseline of §2.1.2 is not a separate
+//!   machine: configure [`crate::sender::SenderConfig::scheme`] with
+//!   [`crate::sender::HeartbeatScheme::Fixed`].
+//! * The **centralized logging** baseline (no secondary loggers, Figure
+//!   7a) is a deployment shape: point every receiver's recovery targets
+//!   directly at the primary logger.
+
+pub mod srm;

@@ -1,0 +1,269 @@
+//! Group-size (secondary-logger count) estimation — §2.3.3 and Table 2.
+//!
+//! Two cooperating pieces:
+//!
+//! * [`BolotProbe`] — the start-of-transmission estimator, after Bolot,
+//!   Turletti & Wakeman: probe rounds with increasing response
+//!   probability until enough ACKs arrive for a confident estimate; the
+//!   final probability may be repeated to shrink the estimate's standard
+//!   deviation by `1/√n` (Table 2).
+//! * [`NslEstimator`] — the steady-state tracker: every Acker Selection
+//!   round doubles as a probe, and the estimate follows
+//!   `N'_sl = (1-α)·N_sl + α·k'/p_ack` (the paper's Jacobson-style EWMA,
+//!   α = 1/8 by default).
+
+/// Standard deviation of a single-probe estimate `N̂ = k'/p` when `n`
+/// loggers respond independently with probability `p` (Table 2, row 1):
+/// `σ₁ = √(N(1-p)/p)`.
+pub fn single_probe_stddev(n: f64, p: f64) -> f64 {
+    assert!(p > 0.0 && p <= 1.0, "probability must be in (0,1]");
+    (n * (1.0 - p) / p).sqrt()
+}
+
+/// Standard deviation after averaging `probes` independent probes
+/// (Table 2): `σ₁/√probes`.
+pub fn multi_probe_stddev(n: f64, p: f64, probes: u32) -> f64 {
+    assert!(probes >= 1);
+    single_probe_stddev(n, p) / f64::from(probes).sqrt()
+}
+
+/// Outcome of feeding one probe round to [`BolotProbe`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ProbeStatus {
+    /// Too few responses at the current probability — the prober has
+    /// escalated; re-probe at [`BolotProbe::current_p`].
+    Escalated,
+    /// Enough responses, but more rounds at this probability are wanted
+    /// to tighten the estimate.
+    NeedMoreRounds,
+    /// Probing finished with this estimate of the logger count.
+    Done(f64),
+}
+
+/// Configuration for [`BolotProbe`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BolotConfig {
+    /// Initial response probability (small, to avoid implosion on huge
+    /// groups).
+    pub initial_p: f64,
+    /// Multiplier applied to `p` when a round yields too few responses.
+    pub escalation: f64,
+    /// Minimum responses per round for the round to count.
+    pub min_responses: u64,
+    /// Rounds to average at the final probability (Table 2's "probe
+    /// count" — 1 keeps σ₁, 4 halves it).
+    pub rounds_to_average: usize,
+}
+
+impl Default for BolotConfig {
+    fn default() -> Self {
+        BolotConfig { initial_p: 0.01, escalation: 4.0, min_responses: 10, rounds_to_average: 3 }
+    }
+}
+
+/// Initial group-size probing per Bolot et al., with the paper's
+/// repeated-final-probe extension.
+#[derive(Debug, Clone)]
+pub struct BolotProbe {
+    config: BolotConfig,
+    p: f64,
+    samples: Vec<u64>,
+}
+
+impl BolotProbe {
+    /// Starts a probe sequence.
+    ///
+    /// # Panics
+    ///
+    /// On nonsensical configuration.
+    pub fn new(config: BolotConfig) -> Self {
+        assert!(config.initial_p > 0.0 && config.initial_p <= 1.0);
+        assert!(config.escalation > 1.0);
+        assert!(config.rounds_to_average >= 1);
+        BolotProbe { p: config.initial_p, config, samples: Vec::new() }
+    }
+
+    /// The probability to advertise in the next probe round.
+    pub fn current_p(&self) -> f64 {
+        self.p
+    }
+
+    /// Feeds the response count of one probe round.
+    pub fn record_round(&mut self, responses: u64) -> ProbeStatus {
+        if responses < self.config.min_responses && self.p < 1.0 {
+            // Not confident; escalate and start sampling afresh.
+            self.p = (self.p * self.config.escalation).min(1.0);
+            self.samples.clear();
+            return ProbeStatus::Escalated;
+        }
+        self.samples.push(responses);
+        if self.samples.len() < self.config.rounds_to_average {
+            return ProbeStatus::NeedMoreRounds;
+        }
+        let mean = self.samples.iter().sum::<u64>() as f64 / self.samples.len() as f64;
+        ProbeStatus::Done((mean / self.p).max(1.0))
+    }
+}
+
+/// Steady-state `N_sl` tracker (§2.3.3).
+///
+/// ```
+/// use lbrm_core::estimate::NslEstimator;
+///
+/// let mut est = NslEstimator::new(100.0, 0.125);
+/// // 30 volunteers answered an Acker Selection at p_ack = 0.1:
+/// // evidence of ~300 loggers, blended in with gain 1/8.
+/// est.update(30, 0.1);
+/// assert!((est.estimate() - 125.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone)]
+pub struct NslEstimator {
+    nsl: f64,
+    alpha: f64,
+}
+
+impl NslEstimator {
+    /// Starts from an initial estimate (from [`BolotProbe`] or prior
+    /// knowledge), with smoothing gain `alpha` (paper suggests 1/8).
+    ///
+    /// # Panics
+    ///
+    /// If `alpha` is outside `(0, 1]` or the initial estimate is not
+    /// positive.
+    pub fn new(initial: f64, alpha: f64) -> Self {
+        assert!(initial >= 1.0, "initial estimate must be >= 1");
+        assert!(alpha > 0.0 && alpha <= 1.0);
+        NslEstimator { nsl: initial, alpha }
+    }
+
+    /// Current estimate.
+    pub fn estimate(&self) -> f64 {
+        self.nsl
+    }
+
+    /// The acknowledgement probability to advertise for a target of `k`
+    /// ACKs per packet: `p_ack = k / N_sl`, clamped to `(0, 1]`.
+    pub fn p_ack_for(&self, k: usize) -> f64 {
+        (k as f64 / self.nsl).clamp(f64::MIN_POSITIVE, 1.0)
+    }
+
+    /// Feeds one observation: `k_prime` responses arrived to an Acker
+    /// Selection Packet advertising `p_ack`.
+    pub fn update(&mut self, k_prime: usize, p_ack: f64) {
+        assert!(p_ack > 0.0 && p_ack <= 1.0);
+        let sample = k_prime as f64 / p_ack;
+        self.nsl = ((1.0 - self.alpha) * self.nsl + self.alpha * sample).max(1.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn table2_stddev_ratios() {
+        // Table 2: σ_n = σ₁/√n, i.e. 1.000, 0.707, 0.577, 0.500, 0.447.
+        let n = 500.0;
+        let p = 0.04;
+        let s1 = single_probe_stddev(n, p);
+        let expect = [1.0, 0.707, 0.577, 0.5, 0.447];
+        for (i, e) in expect.iter().enumerate() {
+            let ratio = multi_probe_stddev(n, p, (i + 1) as u32) / s1;
+            assert!((ratio - e).abs() < 0.001, "probe {} ratio {}", i + 1, ratio);
+        }
+    }
+
+    #[test]
+    fn single_probe_formula() {
+        // σ₁ = sqrt(N(1-p)/p).
+        let s = single_probe_stddev(500.0, 0.04);
+        assert!((s - (500.0f64 * 0.96 / 0.04).sqrt()).abs() < 1e-9);
+    }
+
+    /// Simulates `n` loggers responding with probability `p`.
+    fn respond(n: u64, p: f64, rng: &mut SmallRng) -> u64 {
+        (0..n).filter(|_| rng.random_bool(p)).count() as u64
+    }
+
+    #[test]
+    fn bolot_probe_converges_on_large_group() {
+        let n = 5_000u64;
+        let mut rng = SmallRng::seed_from_u64(11);
+        let mut probe = BolotProbe::new(BolotConfig::default());
+        let estimate = loop {
+            let r = respond(n, probe.current_p(), &mut rng);
+            match probe.record_round(r) {
+                ProbeStatus::Done(e) => break e,
+                ProbeStatus::Escalated | ProbeStatus::NeedMoreRounds => {}
+            }
+        };
+        let err = (estimate - n as f64).abs() / n as f64;
+        assert!(err < 0.25, "estimate {estimate} vs true {n}");
+    }
+
+    #[test]
+    fn bolot_probe_escalates_from_tiny_p() {
+        let mut probe = BolotProbe::new(BolotConfig::default());
+        let p0 = probe.current_p();
+        assert_eq!(probe.record_round(2), ProbeStatus::Escalated);
+        assert!(probe.current_p() > p0);
+    }
+
+    #[test]
+    fn bolot_probe_small_group_reaches_p_one() {
+        // A 5-member group can never return min_responses=10; p escalates
+        // to 1.0 and the estimate is then exact.
+        let n = 5u64;
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut probe = BolotProbe::new(BolotConfig::default());
+        let estimate = loop {
+            let r = respond(n, probe.current_p(), &mut rng);
+            if let ProbeStatus::Done(e) = probe.record_round(r) { break e }
+        };
+        assert!((estimate - 5.0).abs() < 1e-9, "estimate {estimate}");
+    }
+
+    #[test]
+    fn ewma_tracks_churn() {
+        // Start believing 100 loggers; the true population is 400. After
+        // enough selection rounds the estimate must approach 400.
+        let mut est = NslEstimator::new(100.0, 0.125);
+        let mut rng = SmallRng::seed_from_u64(7);
+        let k = 15usize;
+        for _ in 0..200 {
+            let p = est.p_ack_for(k);
+            let k_prime = respond(400, p, &mut rng) as usize;
+            est.update(k_prime, p);
+        }
+        let e = est.estimate();
+        assert!((e - 400.0).abs() < 60.0, "estimate {e}");
+    }
+
+    #[test]
+    fn ewma_is_stable_at_truth() {
+        // §2.3.3: statistical variation in k' causes minimal variation in
+        // N_sl once converged.
+        let mut est = NslEstimator::new(500.0, 0.125);
+        let mut rng = SmallRng::seed_from_u64(9);
+        let mut min = f64::MAX;
+        let mut max = f64::MIN;
+        for _ in 0..500 {
+            let p = est.p_ack_for(20);
+            let k_prime = respond(500, p, &mut rng) as usize;
+            est.update(k_prime, p);
+            min = min.min(est.estimate());
+            max = max.max(est.estimate());
+        }
+        assert!(min > 350.0 && max < 700.0, "wandered to [{min}, {max}]");
+    }
+
+    #[test]
+    fn p_ack_clamps() {
+        let est = NslEstimator::new(4.0, 0.5);
+        assert_eq!(est.p_ack_for(20), 1.0);
+        let est = NslEstimator::new(1e9, 0.5);
+        assert!(est.p_ack_for(5) > 0.0);
+    }
+}

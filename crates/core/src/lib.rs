@@ -1,0 +1,44 @@
+//! Log-Based Receiver-Reliable Multicast (LBRM) — the protocol.
+//!
+//! This crate implements the SIGCOMM '95 LBRM design (Holbrook, Singhal &
+//! Cheriton) as a family of *sans-IO* state machines:
+//!
+//! * [`sender::Sender`] — the multicast source: sequencing, the variable
+//!   heartbeat of §2.1, reliable handoff to the primary logging server,
+//!   statistical acknowledgement (§2.3), primary failover (§2.2.3).
+//! * [`logger::Logger`] — a logging server, usable as primary, replica,
+//!   or per-site secondary (§2.2): logs the stream, serves NACKs, fetches
+//!   misses from its parent, replicates, answers discovery, volunteers as
+//!   Designated Acker.
+//! * [`receiver::Receiver`] — gap- and heartbeat-based loss detection,
+//!   MaxIT freshness tracking, recovery through the logging hierarchy.
+//! * [`discovery::DiscoveryClient`] — expanding-ring scoped multicast
+//!   search for a nearby logging service (§2.2.1).
+//! * [`baseline`] — comparison protocols: the *wb*/SRM-style unorganized
+//!   recovery of §6 and the fixed-heartbeat scheme of §2.1.2.
+//! * [`retrans_channel`] — the §7 "separate retransmission channel"
+//!   future-work extension.
+//!
+//! Machines implement [`machine::Machine`] and are driven identically by
+//! the deterministic simulator (`lbrm-sim`, for the paper's experiments)
+//! and the tokio/UDP endpoints (`lbrm-net`, for deployment).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod baseline;
+pub mod discovery;
+pub mod estimate;
+pub mod gaps;
+pub mod heartbeat;
+pub mod logger;
+pub mod logstore;
+pub mod machine;
+pub mod receiver;
+pub mod retrans_channel;
+pub mod sender;
+pub mod statack;
+pub mod time;
+
+pub use machine::{Action, Actions, Delivery, LossSignal, Machine, Notice};
+pub use time::Time;

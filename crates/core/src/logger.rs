@@ -1,0 +1,1170 @@
+//! The logging server (§2.2): primary, replica, or per-site secondary.
+//!
+//! One machine covers all three roles — the paper notes the
+//! implementation is "reusable across different components of the system
+//! because of the recursive nature of the distributed logging
+//! architecture":
+//!
+//! * A **primary** logs everything the source multicasts (plus unicast
+//!   handoffs), acknowledges it to the source with the dual
+//!   primary/replica sequence numbers of §2.2.3, replicates the log to
+//!   replicas, and serves retransmission requests. Packets it missed it
+//!   fetches from the source itself.
+//! * A **replica** mirrors the primary via the replication stream and can
+//!   be promoted on primary failure.
+//! * A **secondary** serves one site: it logs the multicast stream,
+//!   recovers its own misses from its parent (normally the primary) so at
+//!   most one NACK per site crosses the tail circuit, answers receivers'
+//!   NACKs, re-multicasts site-scoped repairs when many receivers lost
+//!   the same packet, answers discovery queries, and volunteers as a
+//!   Designated Acker (§2.3).
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::time::Duration;
+
+use bytes::Bytes;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use lbrm_wire::packet::SeqRange;
+use lbrm_wire::{EpochId, GroupId, HostId, Packet, Seq, SourceId, TtlScope};
+
+use crate::gaps::{GapTracker, SeqUnwrapper};
+use crate::logstore::{LogStore, Retention};
+use crate::machine::{Action, Actions, Machine, Notice};
+use crate::time::{earliest, Time};
+
+/// The role a logger currently plays.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LoggerRole {
+    /// The source's primary logging server.
+    Primary,
+    /// A replica of the primary log (promotion candidate).
+    Replica,
+    /// A site-level secondary logging server.
+    Secondary,
+}
+
+/// Logger configuration.
+#[derive(Debug, Clone)]
+pub struct LoggerConfig {
+    /// Group served.
+    pub group: GroupId,
+    /// Source served.
+    pub source: SourceId,
+    /// Host this logger runs on.
+    pub host: HostId,
+    /// Initial role.
+    pub role: LoggerRole,
+    /// Hierarchy level advertised in discovery replies (0 = primary).
+    pub level: u8,
+    /// Where to fetch missing packets: the primary for secondaries, the
+    /// source host for the primary.
+    pub parent: HostId,
+    /// The source's host (failover queries, acker unicasts).
+    pub source_host: HostId,
+    /// Log retention policy.
+    pub retention: Retention,
+    /// Replicas to mirror to (primary role only).
+    pub replicas: Vec<HostId>,
+    /// Replication retransmit interval.
+    pub repl_retry: Duration,
+    /// Delay between detecting a miss and NACKing the parent — gives the
+    /// source's statistical-ack re-multicast a chance to repair first
+    /// (§2.3.2 suggests `t_wait − h_min`).
+    pub nack_delay: Duration,
+    /// Retry interval for unanswered parent fetches.
+    pub fetch_retry: Duration,
+    /// Fetch attempts before concluding the parent is gone and asking
+    /// the source to locate the current primary.
+    pub fetch_attempts_max: u32,
+    /// Total fetch attempts for one packet before abandoning it as
+    /// unrecoverable.
+    pub fetch_abandon_attempts: u32,
+    /// Distinct requesters for one packet within
+    /// [`remulticast_window`](Self::remulticast_window) that trigger a
+    /// site-scoped multicast repair instead of unicasts.
+    pub remulticast_threshold: usize,
+    /// Window for the re-multicast decision.
+    pub remulticast_window: Duration,
+    /// Use the §2.2.1 site-scoped re-multicast repair shortcut. Enable
+    /// only when this logger's clientele is site-local (a site
+    /// secondary serving its LAN's receivers); mid-hierarchy loggers
+    /// whose requesters are child loggers at *other* sites must serve by
+    /// unicast.
+    pub site_remulticast: bool,
+    /// Volunteer as Designated Acker when selection packets arrive
+    /// (secondaries).
+    pub volunteer: bool,
+    /// Answer discovery queries.
+    pub answer_discovery: bool,
+    /// Determinism seed for the volunteer coin.
+    pub seed: u64,
+}
+
+impl LoggerConfig {
+    /// A primary logger on `host` for `group`/`source`, fetching misses
+    /// from the source at `source_host`.
+    pub fn primary(group: GroupId, source: SourceId, host: HostId, source_host: HostId) -> Self {
+        LoggerConfig {
+            group,
+            source,
+            host,
+            role: LoggerRole::Primary,
+            level: 0,
+            parent: source_host,
+            source_host,
+            retention: Retention::All,
+            replicas: Vec::new(),
+            repl_retry: Duration::from_millis(500),
+            nack_delay: Duration::from_millis(20),
+            fetch_retry: Duration::from_millis(500),
+            fetch_attempts_max: 5,
+            fetch_abandon_attempts: 24,
+            remulticast_threshold: 3,
+            remulticast_window: Duration::from_millis(500),
+            site_remulticast: false,
+            volunteer: false,
+            answer_discovery: true,
+            seed: host.raw(),
+        }
+    }
+
+    /// A site secondary on `host`, fetching from `primary`.
+    pub fn secondary(
+        group: GroupId,
+        source: SourceId,
+        host: HostId,
+        primary: HostId,
+        source_host: HostId,
+    ) -> Self {
+        LoggerConfig {
+            role: LoggerRole::Secondary,
+            level: 1,
+            parent: primary,
+            volunteer: true,
+            site_remulticast: true,
+            nack_delay: Duration::from_millis(100),
+            ..LoggerConfig::primary(group, source, host, source_host)
+        }
+    }
+
+    /// A replica of `primary`.
+    pub fn replica(
+        group: GroupId,
+        source: SourceId,
+        host: HostId,
+        primary: HostId,
+        source_host: HostId,
+    ) -> Self {
+        LoggerConfig {
+            role: LoggerRole::Replica,
+            level: 0,
+            parent: primary,
+            ..LoggerConfig::primary(group, source, host, source_host)
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct PendingFetch {
+    seq: Seq,
+    requesters: BTreeSet<HostId>,
+    next_fetch_at: Time,
+    attempts: u32,
+    total_attempts: u32,
+}
+
+#[derive(Debug, Clone)]
+struct RepairWindow {
+    requesters: BTreeSet<HostId>,
+    opened: Time,
+    /// When a site-scoped multicast repair was sent within this window.
+    multicast_at: Option<Time>,
+}
+
+/// The logging-server state machine.
+pub struct Logger {
+    config: LoggerConfig,
+    role: LoggerRole,
+    parent: HostId,
+    store: LogStore,
+    gaps: GapTracker,
+    unwrapper: SeqUnwrapper,
+    rng: SmallRng,
+    /// Misses awaiting recovery from the parent, keyed by unwrapped index.
+    pending: BTreeMap<u64, PendingFetch>,
+    /// Recent repair requests per packet (re-multicast decision).
+    repairs: BTreeMap<u64, RepairWindow>,
+    /// Epochs this logger volunteered for (most recent last).
+    volunteered: VecDeque<EpochId>,
+    /// Primary role: per-replica contiguous-acked end index.
+    repl_acked: BTreeMap<HostId, u64>,
+    /// Primary role: next replication retry.
+    repl_next_at: Option<Time>,
+    /// Last LogAck values sent, to avoid repeats.
+    last_logack: Option<(u64, u64)>,
+    /// Periodic retention sweep.
+    next_prune_at: Time,
+}
+
+impl Logger {
+    /// Creates a logger.
+    pub fn new(config: LoggerConfig) -> Self {
+        Logger {
+            role: config.role,
+            parent: config.parent,
+            store: LogStore::new(config.retention),
+            gaps: GapTracker::new(),
+            unwrapper: SeqUnwrapper::new(),
+            rng: SmallRng::seed_from_u64(config.seed),
+            pending: BTreeMap::new(),
+            repairs: BTreeMap::new(),
+            volunteered: VecDeque::new(),
+            repl_acked: BTreeMap::new(),
+            repl_next_at: None,
+            last_logack: None,
+            next_prune_at: Time::ZERO + Duration::from_secs(1),
+            config,
+        }
+    }
+
+    /// Current role (changes on promotion).
+    pub fn role(&self) -> LoggerRole {
+        self.role
+    }
+
+    /// The parent currently used for recovery.
+    pub fn parent(&self) -> HostId {
+        self.parent
+    }
+
+    /// Number of packets currently held in the log.
+    pub fn log_len(&self) -> usize {
+        self.store.len()
+    }
+
+    /// `true` if the log holds `seq`.
+    pub fn has(&self, seq: Seq) -> bool {
+        self.store.has(seq)
+    }
+
+    /// Highest contiguously logged sequence.
+    pub fn contiguous_high(&self) -> Option<Seq> {
+        self.store.contiguous_high()
+    }
+
+    /// Read access to the packet log — e.g. for the §4.4 factory
+    /// record-keeping ("LBRM already provides this logging as part of
+    /// the lost packet recovery mechanism").
+    pub fn store(&self) -> &LogStore {
+        &self.store
+    }
+
+    /// Serves one retransmission request for `seq` from `requester`,
+    /// applying the §2.2.1 re-multicast heuristic.
+    ///
+    /// The site-scoped multicast only reaches requesters *inside* the
+    /// logger's site, which is the normal clientele of a site secondary.
+    /// Any request arriving after the multicast went out is therefore
+    /// evidence the requester did not receive it (a remote child logger,
+    /// or a local member that lost the repair too) and is answered by
+    /// unicast — the shortcut degrades safely instead of starving anyone.
+    fn serve(&mut self, now: Time, seq: Seq, requester: HostId, out: &mut Actions) {
+        let Some(payload) = self.store.get(seq) else { return };
+        let idx = self.unwrapper.peek(seq);
+        let window = self.repairs.entry(idx).or_insert(RepairWindow {
+            requesters: BTreeSet::new(),
+            opened: now,
+            multicast_at: None,
+        });
+        if now.since(window.opened) > self.config.remulticast_window {
+            window.requesters.clear();
+            window.opened = now;
+            window.multicast_at = None;
+        }
+        window.requesters.insert(requester);
+        let packet = Packet::Retrans {
+            group: self.config.group,
+            source: self.config.source,
+            seq,
+            payload,
+        };
+        if let Some(at) = window.multicast_at {
+            if now > at {
+                // This request postdates the multicast repair: the
+                // requester evidently did not get it.
+                out.push(Action::Unicast { to: requester, packet });
+            }
+            return;
+        }
+        if window.requesters.len() >= self.config.remulticast_threshold
+            && self.role == LoggerRole::Secondary
+            && self.config.site_remulticast
+        {
+            window.multicast_at = Some(now);
+            let requesters = window.requesters.len();
+            out.push(Action::Multicast { scope: TtlScope::Site, packet });
+            out.push(Action::Notice(Notice::SiteRemulticast { seq, requesters }));
+        } else {
+            out.push(Action::Unicast { to: requester, packet });
+        }
+    }
+
+    /// Registers `seq` as missing; `requester` (if any) is served once it
+    /// arrives. Self-detected misses wait `nack_delay` before the first
+    /// fetch; child-driven misses fetch immediately (the child already
+    /// waited its own delay).
+    fn want(&mut self, now: Time, seq: Seq, requester: Option<HostId>) {
+        if self.store.has(seq) {
+            return;
+        }
+        let idx = self.unwrapper.unwrap(seq);
+        let delay = if requester.is_some() { Duration::ZERO } else { self.config.nack_delay };
+        let entry = self.pending.entry(idx).or_insert(PendingFetch {
+            seq,
+            requesters: BTreeSet::new(),
+            next_fetch_at: now + delay,
+            attempts: 0,
+            total_attempts: 0,
+        });
+        if let Some(r) = requester {
+            entry.requesters.insert(r);
+            // Pull the fetch forward only if none has gone out yet — a
+            // child's request must not duplicate an in-flight fetch.
+            if entry.attempts == 0 {
+                entry.next_fetch_at = entry.next_fetch_at.min(now);
+            }
+        }
+    }
+
+    /// Ingests a packet payload into the log; serves pending requesters;
+    /// returns `true` if it was new.
+    fn ingest(&mut self, now: Time, seq: Seq, payload: Bytes, out: &mut Actions) -> bool {
+        let fresh = self.store.insert(now, seq, payload);
+        self.gaps.observe(seq);
+        let idx = self.unwrapper.peek(seq);
+        if let Some(pending) = self.pending.remove(&idx) {
+            for r in pending.requesters {
+                self.serve(now, seq, r, out);
+            }
+        }
+        if fresh {
+            // Note newly visible gaps for self-recovery.
+            for range in self.gaps.missing_ranges(64) {
+                for missing in range.iter().take(256) {
+                    self.want(now, missing, None);
+                }
+            }
+            if self.role == LoggerRole::Primary {
+                self.replicate(now, out);
+                self.maybe_logack(out);
+            }
+        }
+        fresh
+    }
+
+    /// Primary: pushes un-acked contiguous log to replicas.
+    fn replicate(&mut self, now: Time, out: &mut Actions) {
+        if self.role != LoggerRole::Primary || self.config.replicas.is_empty() {
+            return;
+        }
+        let Some(high) = self.store.contiguous_high() else { return };
+        let high_idx = self.unwrapper.peek(high);
+        let replicas: Vec<HostId> =
+            self.config.replicas.iter().copied().filter(|&r| r != self.config.host).collect();
+        for r in replicas {
+            let acked_end = *self.repl_acked.entry(r).or_insert(0);
+            let start = acked_end.max(self.unwrapper.peek(self.store.oldest().unwrap_or(high)));
+            for idx in start..=high_idx {
+                let seq = SeqUnwrapper::rewrap(idx);
+                if let Some(payload) = self.store.get(seq) {
+                    out.push(Action::Unicast {
+                        to: r,
+                        packet: Packet::ReplUpdate {
+                            group: self.config.group,
+                            source: self.config.source,
+                            seq,
+                            payload,
+                        },
+                    });
+                }
+            }
+        }
+        self.repl_next_at = Some(now + self.config.repl_retry);
+    }
+
+    /// Primary: highest contiguous index replicated anywhere.
+    fn best_replica_end(&self) -> u64 {
+        self.repl_acked.values().copied().max().unwrap_or(0)
+    }
+
+    /// Primary: sends `LogAck` to the source when state advanced.
+    fn maybe_logack(&mut self, out: &mut Actions) {
+        if self.role != LoggerRole::Primary {
+            return;
+        }
+        let Some(high) = self.store.contiguous_high() else { return };
+        let high_idx = self.unwrapper.peek(high);
+        let replica_end = if self.config.replicas.is_empty() {
+            // No replication configured: the primary's own log is the
+            // strongest guarantee available.
+            high_idx + 1
+        } else {
+            self.best_replica_end()
+        };
+        let state = (high_idx, replica_end);
+        if self.last_logack == Some(state) {
+            return;
+        }
+        self.last_logack = Some(state);
+        let replica_seq =
+            if replica_end == 0 { Seq::ZERO } else { SeqUnwrapper::rewrap(replica_end - 1) };
+        out.push(Action::Unicast {
+            to: self.config.source_host,
+            packet: Packet::LogAck {
+                group: self.config.group,
+                source: self.config.source,
+                primary_seq: high,
+                replica_seq,
+            },
+        });
+    }
+
+    fn promote(&mut self, now: Time, out: &mut Actions) {
+        if self.role == LoggerRole::Primary {
+            return;
+        }
+        self.role = LoggerRole::Primary;
+        self.level_is_primary();
+        self.parent = self.config.source_host;
+        out.push(Action::Notice(Notice::Promoted { new_primary: self.config.host }));
+        self.replicate(now, out);
+        self.last_logack = None;
+        self.maybe_logack(out);
+    }
+
+    fn level_is_primary(&mut self) {
+        self.config.level = 0;
+    }
+
+    fn level(&self) -> u8 {
+        self.config.level
+    }
+}
+
+impl Machine for Logger {
+    fn on_packet(&mut self, now: Time, from: HostId, packet: Packet, out: &mut Actions) {
+        let (group, source) = (self.config.group, self.config.source);
+        match packet {
+            Packet::Data { group: g, source: s, seq, epoch, payload }
+                if g == group && s == source =>
+            {
+                self.ingest(now, seq, payload, out);
+                // Designated Acker duty (§2.3.1): ACK data of volunteered
+                // epochs, including source re-multicasts.
+                if self.volunteered.contains(&epoch) {
+                    out.push(Action::Unicast {
+                        to: self.config.source_host,
+                        packet: Packet::PacketAck {
+                            group,
+                            source,
+                            epoch,
+                            seq,
+                            logger: self.config.host,
+                        },
+                    });
+                }
+            }
+            Packet::Retrans { group: g, source: s, seq, payload }
+                if g == group && s == source =>
+            {
+                self.ingest(now, seq, payload, out);
+            }
+            Packet::Heartbeat { group: g, source: s, seq, payload, .. }
+                if g == group && s == source =>
+            {
+                if !payload.is_empty() {
+                    // §7 extension: heartbeat repeats the last payload.
+                    self.ingest(now, seq, payload, out);
+                } else {
+                    let newly = self.gaps.observe_announced(seq);
+                    if newly > 0 {
+                        for range in self.gaps.missing_ranges(64) {
+                            for missing in range.iter().take(256) {
+                                self.want(now, missing, None);
+                            }
+                        }
+                    }
+                }
+            }
+            Packet::Nack { group: g, source: s, requester, ranges }
+                if g == group && s == source =>
+            {
+                for range in ranges {
+                    for seq in range.iter().take(512) {
+                        if self.store.has(seq) {
+                            self.serve(now, seq, requester, out);
+                        } else {
+                            self.want(now, seq, Some(requester));
+                        }
+                    }
+                }
+            }
+            Packet::ReplUpdate { group: g, source: s, seq, payload }
+                if g == group && s == source =>
+            {
+                self.ingest(now, seq, payload, out);
+                if let Some(high) = self.store.contiguous_high() {
+                    out.push(Action::Unicast {
+                        to: from,
+                        packet: Packet::ReplAck { group, source, seq: high },
+                    });
+                }
+            }
+            Packet::ReplAck { group: g, source: s, seq } if g == group && s == source
+                && self.role == LoggerRole::Primary => {
+                    let end = self.unwrapper.peek(seq) + 1;
+                    let e = self.repl_acked.entry(from).or_insert(0);
+                    if end > *e {
+                        *e = end;
+                        self.maybe_logack(out);
+                    }
+                }
+            Packet::AckerSelect { group: g, source: s, epoch, p_ack }
+                if g == group && s == source
+                && self.config.volunteer
+                    && self.role == LoggerRole::Secondary
+                    && p_ack > 0.0
+                    && self.rng.random_bool(p_ack.min(1.0))
+                => {
+                    self.volunteered.push_back(epoch);
+                    while self.volunteered.len() > 2 {
+                        self.volunteered.pop_front();
+                    }
+                    out.push(Action::Unicast {
+                        to: self.config.source_host,
+                        packet: Packet::AckerVolunteer {
+                            group,
+                            source,
+                            epoch,
+                            logger: self.config.host,
+                        },
+                    });
+                }
+            Packet::DiscoveryQuery { group: g, nonce, requester } if g == group
+                && self.config.answer_discovery => {
+                    out.push(Action::Unicast {
+                        to: requester,
+                        packet: Packet::DiscoveryReply {
+                            group,
+                            nonce,
+                            logger: self.config.host,
+                            level: self.level(),
+                        },
+                    });
+                }
+            Packet::LocatePrimary { group: g, source: s, requester }
+                if g == group && s == source
+                && self.role == LoggerRole::Replica && from == self.config.source_host => {
+                    // Failover state query from the source (§2.2.3):
+                    // report our log state, reusing LogAck.
+                    let high = self.store.contiguous_high().unwrap_or(Seq::ZERO);
+                    out.push(Action::Unicast {
+                        to: requester,
+                        packet: Packet::LogAck {
+                            group,
+                            source,
+                            primary_seq: high,
+                            replica_seq: high,
+                        },
+                    });
+                }
+            Packet::PrimaryIs { group: g, source: s, primary } if g == group && s == source => {
+                if primary == self.config.host {
+                    self.promote(now, out);
+                } else if self.role != LoggerRole::Primary {
+                    // Refresh the cached primary pointer; retry pending
+                    // fetches there immediately.
+                    self.parent = primary;
+                    for p in self.pending.values_mut() {
+                        p.attempts = 0;
+                        p.next_fetch_at = now;
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn poll(&mut self, now: Time, out: &mut Actions) {
+        // Parent fetches.
+        let due: Vec<u64> = self
+            .pending
+            .iter()
+            .filter(|(_, p)| now >= p.next_fetch_at)
+            .map(|(&i, _)| i)
+            .collect();
+        if !due.is_empty() {
+            let mut ranges: Vec<SeqRange> = Vec::new();
+            let mut escalate = false;
+            for idx in due {
+                let p = self.pending.get_mut(&idx).expect("due fetch");
+                if p.total_attempts >= self.config.fetch_abandon_attempts {
+                    // Unrecoverable (pre-origin, or aged out of every
+                    // upstream log): stop asking.
+                    self.pending.remove(&idx);
+                    continue;
+                }
+                p.attempts += 1;
+                p.total_attempts += 1;
+                p.next_fetch_at = now + self.config.fetch_retry;
+                if p.attempts > self.config.fetch_attempts_max {
+                    // Periodically re-escalate while still retrying.
+                    escalate = true;
+                    p.attempts = 0;
+                }
+                match ranges.last_mut() {
+                    Some(last) if last.last.next() == p.seq => last.last = p.seq,
+                    _ => ranges.push(SeqRange::single(p.seq)),
+                }
+            }
+            if !ranges.is_empty() {
+                out.push(Action::Unicast {
+                    to: self.parent,
+                    packet: Packet::Nack {
+                        group: self.config.group,
+                        source: self.config.source,
+                        requester: self.config.host,
+                        ranges,
+                    },
+                });
+            }
+            if escalate && self.role == LoggerRole::Secondary {
+                // The parent looks dead: ask the source who is primary
+                // now; a PrimaryIs answer redirects pending fetches.
+                out.push(Action::Notice(Notice::PrimaryUnresponsive { primary: self.parent }));
+                out.push(Action::Unicast {
+                    to: self.config.source_host,
+                    packet: Packet::LocatePrimary {
+                        group: self.config.group,
+                        source: self.config.source,
+                        requester: self.config.host,
+                    },
+                });
+            }
+        }
+        // Replication retries.
+        if let Some(at) = self.repl_next_at {
+            if now >= at {
+                let behind = self
+                    .repl_acked
+                    .values()
+                    .any(|&end| end < self.store.contiguous_high().map_or(0, |h| self.unwrapper.peek(h) + 1))
+                    || self.repl_acked.len()
+                        < self.config.replicas.iter().filter(|&&r| r != self.config.host).count();
+                if behind {
+                    self.replicate(now, out);
+                } else {
+                    self.repl_next_at = None;
+                }
+            }
+        }
+        // Retention sweep.
+        if now >= self.next_prune_at {
+            self.store.prune(now);
+            self.next_prune_at = now + Duration::from_secs(1);
+            // Drop stale repair windows.
+            let window = self.config.remulticast_window;
+            self.repairs.retain(|_, w| now.since(w.opened) <= window);
+        }
+    }
+
+    fn next_deadline(&self) -> Option<Time> {
+        let mut d = self.pending.values().map(|p| p.next_fetch_at).min();
+        d = earliest(d, self.repl_next_at);
+        if !self.store.is_empty() {
+            d = earliest(d, Some(self.next_prune_at));
+        }
+        d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::notices;
+
+    const GROUP: GroupId = GroupId(1);
+    const SRC: SourceId = SourceId(10);
+    const SRC_HOST: HostId = HostId(100);
+    const PRIMARY: HostId = HostId(200);
+    const SECONDARY: HostId = HostId(300);
+    const RX: HostId = HostId(400);
+
+    fn data(seq: u32, payload: &'static str) -> Packet {
+        Packet::Data {
+            group: GROUP,
+            source: SRC,
+            seq: Seq(seq),
+            epoch: EpochId(0),
+            payload: Bytes::from_static(payload.as_bytes()),
+        }
+    }
+
+    fn nack(requester: HostId, seq: u32) -> Packet {
+        Packet::Nack {
+            group: GROUP,
+            source: SRC,
+            requester,
+            ranges: vec![SeqRange::single(Seq(seq))],
+        }
+    }
+
+    fn secondary() -> Logger {
+        Logger::new(LoggerConfig::secondary(GROUP, SRC, SECONDARY, PRIMARY, SRC_HOST))
+    }
+
+    fn primary() -> Logger {
+        Logger::new(LoggerConfig::primary(GROUP, SRC, PRIMARY, SRC_HOST))
+    }
+
+    #[test]
+    fn logs_and_serves_from_store() {
+        let mut l = secondary();
+        let mut out = Actions::new();
+        l.on_packet(Time::ZERO, SRC_HOST, data(1, "one"), &mut out);
+        assert!(l.has(Seq(1)));
+        out.clear();
+        l.on_packet(Time::from_millis(5), RX, nack(RX, 1), &mut out);
+        assert!(matches!(
+            &out[..],
+            [Action::Unicast { to, packet: Packet::Retrans { seq, .. } }]
+                if *to == RX && *seq == Seq(1)
+        ));
+    }
+
+    #[test]
+    fn miss_fetched_from_parent_and_requester_served_on_arrival() {
+        let mut l = secondary();
+        let mut out = Actions::new();
+        l.on_packet(Time::ZERO, SRC_HOST, data(1, "one"), &mut out);
+        // Receiver asks for #2, which we don't have.
+        out.clear();
+        l.on_packet(Time::from_millis(10), RX, nack(RX, 2), &mut out);
+        assert!(out.is_empty(), "nothing sent until poll");
+        // Child-driven fetch goes out immediately on poll.
+        let d = l.next_deadline().unwrap();
+        assert!(d <= Time::from_millis(10));
+        l.poll(d, &mut out);
+        assert!(matches!(
+            &out[..],
+            [Action::Unicast { to, packet: Packet::Nack { requester, .. } }]
+                if *to == PRIMARY && *requester == SECONDARY
+        ));
+        // Parent's retransmission arrives: log it and serve the receiver.
+        out.clear();
+        let retrans = Packet::Retrans {
+            group: GROUP,
+            source: SRC,
+            seq: Seq(2),
+            payload: Bytes::from_static(b"two"),
+        };
+        l.on_packet(Time::from_millis(50), PRIMARY, retrans, &mut out);
+        assert!(l.has(Seq(2)));
+        assert!(matches!(
+            &out[..],
+            [Action::Unicast { to, packet: Packet::Retrans { seq, .. } }]
+                if *to == RX && *seq == Seq(2)
+        ));
+    }
+
+    #[test]
+    fn one_upstream_nack_for_many_local_requesters() {
+        // §2.2.2: 20 receivers at a site lose a packet; exactly one NACK
+        // crosses to the primary.
+        let mut l = secondary();
+        let mut out = Actions::new();
+        l.on_packet(Time::ZERO, SRC_HOST, data(1, "one"), &mut out);
+        out.clear();
+        for i in 0..20 {
+            l.on_packet(Time::from_millis(10), HostId(500 + i), nack(HostId(500 + i), 2), &mut out);
+        }
+        let d = l.next_deadline().unwrap();
+        l.poll(d, &mut out);
+        let upstream: Vec<_> = out
+            .iter()
+            .filter(|a| matches!(a, Action::Unicast { to, packet: Packet::Nack { .. } } if *to == PRIMARY))
+            .collect();
+        assert_eq!(upstream.len(), 1);
+        // Re-polling before the retry interval sends nothing more.
+        out.clear();
+        l.poll(d + Duration::from_millis(1), &mut out);
+        assert!(out
+            .iter()
+            .all(|a| !matches!(a, Action::Unicast { packet: Packet::Nack { .. }, .. })));
+    }
+
+    #[test]
+    fn gap_self_recovery_after_nack_delay() {
+        let mut l = secondary();
+        let mut out = Actions::new();
+        l.on_packet(Time::ZERO, SRC_HOST, data(1, "a"), &mut out);
+        l.on_packet(Time::from_millis(1), SRC_HOST, data(3, "c"), &mut out);
+        // Gap at #2: fetch scheduled after nack_delay, not immediately.
+        let d = l.next_deadline().unwrap();
+        assert!(d >= Time::from_millis(1) + l.config.nack_delay);
+        out.clear();
+        l.poll(d, &mut out);
+        assert!(out.iter().any(|a| matches!(
+            a,
+            Action::Unicast { to, packet: Packet::Nack { .. } } if *to == PRIMARY
+        )));
+    }
+
+    #[test]
+    fn heartbeat_reveals_tail_loss() {
+        let mut l = secondary();
+        let mut out = Actions::new();
+        l.on_packet(Time::ZERO, SRC_HOST, data(1, "a"), &mut out);
+        let hb = Packet::Heartbeat {
+            group: GROUP,
+            source: SRC,
+            seq: Seq(3),
+            epoch: EpochId(0),
+            hb_index: 1,
+            payload: Bytes::new(),
+        };
+        l.on_packet(Time::from_millis(250), SRC_HOST, hb, &mut out);
+        let d = l.next_deadline().unwrap();
+        out.clear();
+        l.poll(d, &mut out);
+        let nacked: Vec<u32> = out
+            .iter()
+            .filter_map(|a| match a {
+                Action::Unicast { packet: Packet::Nack { ranges, .. }, .. } => {
+                    Some(ranges.iter().flat_map(|r| r.iter()).map(|s| s.raw()).collect::<Vec<_>>())
+                }
+                _ => None,
+            })
+            .flatten()
+            .collect();
+        assert_eq!(nacked, vec![2, 3]);
+    }
+
+    #[test]
+    fn remulticast_after_threshold_requesters() {
+        let mut l = secondary();
+        let mut out = Actions::new();
+        l.on_packet(Time::ZERO, SRC_HOST, data(1, "a"), &mut out);
+        out.clear();
+        // Three distinct receivers ask (threshold = 3): first two get
+        // unicasts, the third triggers a site-scoped multicast.
+        l.on_packet(Time::from_millis(1), HostId(501), nack(HostId(501), 1), &mut out);
+        l.on_packet(Time::from_millis(2), HostId(502), nack(HostId(502), 1), &mut out);
+        let unicasts = out
+            .iter()
+            .filter(|a| matches!(a, Action::Unicast { packet: Packet::Retrans { .. }, .. }))
+            .count();
+        assert_eq!(unicasts, 2);
+        out.clear();
+        l.on_packet(Time::from_millis(3), HostId(503), nack(HostId(503), 1), &mut out);
+        assert!(matches!(
+            &out[..],
+            [
+                Action::Multicast { scope: TtlScope::Site, packet: Packet::Retrans { .. } },
+                Action::Notice(Notice::SiteRemulticast { requesters: 3, .. })
+            ]
+        ));
+        // A fourth request *after* the multicast is evidence the
+        // requester missed it: served by unicast, never starved.
+        out.clear();
+        l.on_packet(Time::from_millis(4), HostId(504), nack(HostId(504), 1), &mut out);
+        assert!(matches!(
+            &out[..],
+            [Action::Unicast { to, packet: Packet::Retrans { .. } }] if *to == HostId(504)
+        ));
+        // A request at the very instant of the multicast is covered by it.
+        out.clear();
+        l.on_packet(Time::from_millis(3), HostId(505), nack(HostId(505), 1), &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn mid_hierarchy_logger_never_site_remulticasts() {
+        // A regional logger's requesters are remote child loggers; the
+        // site shortcut must stay off (config default for non-site
+        // roles) and everyone gets a unicast.
+        let mut cfg = LoggerConfig::secondary(GROUP, SRC, SECONDARY, PRIMARY, SRC_HOST);
+        cfg.site_remulticast = false;
+        let mut l = Logger::new(cfg);
+        let mut out = Actions::new();
+        l.on_packet(Time::ZERO, SRC_HOST, data(1, "a"), &mut out);
+        out.clear();
+        for i in 0..5u64 {
+            l.on_packet(Time::from_millis(i), HostId(600 + i), nack(HostId(600 + i), 1), &mut out);
+        }
+        let unicasts = out
+            .iter()
+            .filter(|a| matches!(a, Action::Unicast { packet: Packet::Retrans { .. }, .. }))
+            .count();
+        assert_eq!(unicasts, 5);
+        assert!(!out.iter().any(|a| matches!(a, Action::Multicast { .. })));
+    }
+
+    #[test]
+    fn primary_acks_source_with_dual_seqs() {
+        let mut cfg = LoggerConfig::primary(GROUP, SRC, PRIMARY, SRC_HOST);
+        cfg.replicas = vec![HostId(301)];
+        let mut l = Logger::new(cfg);
+        let mut out = Actions::new();
+        l.on_packet(Time::ZERO, SRC_HOST, data(1, "a"), &mut out);
+        // LogAck with primary_seq=1, replica_seq=0, plus a ReplUpdate.
+        let logack = out.iter().find_map(|a| match a {
+            Action::Unicast { to, packet: Packet::LogAck { primary_seq, replica_seq, .. } }
+                if *to == SRC_HOST =>
+            {
+                Some((*primary_seq, *replica_seq))
+            }
+            _ => None,
+        });
+        assert_eq!(logack, Some((Seq(1), Seq::ZERO)));
+        assert!(out.iter().any(|a| matches!(
+            a,
+            Action::Unicast { to, packet: Packet::ReplUpdate { seq, .. } }
+                if *to == HostId(301) && *seq == Seq(1)
+        )));
+        // Replica acks: LogAck advances replica_seq.
+        out.clear();
+        let repl_ack = Packet::ReplAck { group: GROUP, source: SRC, seq: Seq(1) };
+        l.on_packet(Time::from_millis(5), HostId(301), repl_ack, &mut out);
+        let logack = out.iter().find_map(|a| match a {
+            Action::Unicast { packet: Packet::LogAck { primary_seq, replica_seq, .. }, .. } => {
+                Some((*primary_seq, *replica_seq))
+            }
+            _ => None,
+        });
+        assert_eq!(logack, Some((Seq(1), Seq(1))));
+    }
+
+    #[test]
+    fn primary_without_replicas_reports_own_log() {
+        let mut l = primary();
+        let mut out = Actions::new();
+        l.on_packet(Time::ZERO, SRC_HOST, data(1, "a"), &mut out);
+        let logack = out.iter().find_map(|a| match a {
+            Action::Unicast { packet: Packet::LogAck { primary_seq, replica_seq, .. }, .. } => {
+                Some((*primary_seq, *replica_seq))
+            }
+            _ => None,
+        });
+        assert_eq!(logack, Some((Seq(1), Seq(1))));
+    }
+
+    #[test]
+    fn replica_mirrors_and_acks() {
+        let mut l = Logger::new(LoggerConfig::replica(GROUP, SRC, HostId(301), PRIMARY, SRC_HOST));
+        let mut out = Actions::new();
+        let upd = Packet::ReplUpdate {
+            group: GROUP,
+            source: SRC,
+            seq: Seq(1),
+            payload: Bytes::from_static(b"a"),
+        };
+        l.on_packet(Time::ZERO, PRIMARY, upd, &mut out);
+        assert!(l.has(Seq(1)));
+        assert!(matches!(
+            &out[..],
+            [Action::Unicast { to, packet: Packet::ReplAck { seq, .. } }]
+                if *to == PRIMARY && *seq == Seq(1)
+        ));
+    }
+
+    #[test]
+    fn replica_reports_state_to_source_during_failover() {
+        let mut l = Logger::new(LoggerConfig::replica(GROUP, SRC, HostId(301), PRIMARY, SRC_HOST));
+        let mut out = Actions::new();
+        for i in 1..=4 {
+            let upd = Packet::ReplUpdate {
+                group: GROUP,
+                source: SRC,
+                seq: Seq(i),
+                payload: Bytes::from_static(b"x"),
+            };
+            l.on_packet(Time::ZERO, PRIMARY, upd, &mut out);
+        }
+        out.clear();
+        let query = Packet::LocatePrimary { group: GROUP, source: SRC, requester: SRC_HOST };
+        l.on_packet(Time::from_secs(1), SRC_HOST, query, &mut out);
+        assert!(matches!(
+            &out[..],
+            [Action::Unicast { to, packet: Packet::LogAck { primary_seq, .. } }]
+                if *to == SRC_HOST && *primary_seq == Seq(4)
+        ));
+    }
+
+    #[test]
+    fn replica_promotes_on_primary_is() {
+        let mut cfg = LoggerConfig::replica(GROUP, SRC, HostId(301), PRIMARY, SRC_HOST);
+        cfg.replicas = vec![HostId(302)];
+        let mut l = Logger::new(cfg);
+        let mut out = Actions::new();
+        let upd = Packet::ReplUpdate {
+            group: GROUP,
+            source: SRC,
+            seq: Seq(1),
+            payload: Bytes::from_static(b"a"),
+        };
+        l.on_packet(Time::ZERO, PRIMARY, upd, &mut out);
+        out.clear();
+        let promote = Packet::PrimaryIs { group: GROUP, source: SRC, primary: HostId(301) };
+        l.on_packet(Time::from_secs(1), SRC_HOST, promote, &mut out);
+        assert_eq!(l.role(), LoggerRole::Primary);
+        assert!(notices(&out)
+            .iter()
+            .any(|n| matches!(n, Notice::Promoted { new_primary } if *new_primary == HostId(301))));
+        // As primary it now LogAcks the source and replicates onward.
+        assert!(out
+            .iter()
+            .any(|a| matches!(a, Action::Unicast { packet: Packet::LogAck { .. }, .. })));
+        assert!(out.iter().any(|a| matches!(
+            a,
+            Action::Unicast { to, packet: Packet::ReplUpdate { .. } } if *to == HostId(302)
+        )));
+    }
+
+    #[test]
+    fn secondary_redirects_to_new_primary() {
+        let mut l = secondary();
+        let mut out = Actions::new();
+        // Miss #1 via a child NACK; parent (old primary) never answers.
+        l.on_packet(Time::ZERO, RX, nack(RX, 1), &mut out);
+        let d = l.next_deadline().unwrap();
+        l.poll(d, &mut out);
+        out.clear();
+        let new_primary = HostId(999);
+        let pi = Packet::PrimaryIs { group: GROUP, source: SRC, primary: new_primary };
+        l.on_packet(d + Duration::from_millis(1), SRC_HOST, pi, &mut out);
+        assert_eq!(l.parent(), new_primary);
+        // The pending fetch retries against the new parent immediately.
+        let d2 = l.next_deadline().unwrap();
+        out.clear();
+        l.poll(d2, &mut out);
+        assert!(out.iter().any(|a| matches!(
+            a,
+            Action::Unicast { to, packet: Packet::Nack { .. } } if *to == new_primary
+        )));
+    }
+
+    #[test]
+    fn escalates_to_source_after_fetch_attempts() {
+        let mut l = secondary();
+        let mut out = Actions::new();
+        l.on_packet(Time::ZERO, RX, nack(RX, 1), &mut out);
+        let mut escalated = false;
+        for _ in 0..20 {
+            let Some(d) = l.next_deadline() else { break };
+            out.clear();
+            l.poll(d, &mut out);
+            if out.iter().any(|a| matches!(
+                a,
+                Action::Unicast { to, packet: Packet::LocatePrimary { .. } } if *to == SRC_HOST
+            )) {
+                escalated = true;
+                break;
+            }
+        }
+        assert!(escalated, "secondary never escalated to the source");
+    }
+
+    #[test]
+    fn volunteers_with_probability_one() {
+        let mut l = secondary();
+        let mut out = Actions::new();
+        let sel = Packet::AckerSelect { group: GROUP, source: SRC, epoch: EpochId(1), p_ack: 1.0 };
+        l.on_packet(Time::ZERO, SRC_HOST, sel, &mut out);
+        assert!(matches!(
+            &out[..],
+            [Action::Unicast { to, packet: Packet::AckerVolunteer { epoch, .. } }]
+                if *to == SRC_HOST && *epoch == EpochId(1)
+        ));
+        // Data in that epoch gets acked.
+        out.clear();
+        let d = Packet::Data {
+            group: GROUP,
+            source: SRC,
+            seq: Seq(1),
+            epoch: EpochId(1),
+            payload: Bytes::from_static(b"x"),
+        };
+        l.on_packet(Time::from_millis(1), SRC_HOST, d, &mut out);
+        assert!(out.iter().any(|a| matches!(
+            a,
+            Action::Unicast { to, packet: Packet::PacketAck { seq, .. } }
+                if *to == SRC_HOST && *seq == Seq(1)
+        )));
+        // Data in an unvolunteered epoch is not acked.
+        out.clear();
+        let d = Packet::Data {
+            group: GROUP,
+            source: SRC,
+            seq: Seq(2),
+            epoch: EpochId(9),
+            payload: Bytes::from_static(b"y"),
+        };
+        l.on_packet(Time::from_millis(2), SRC_HOST, d, &mut out);
+        assert!(!out
+            .iter()
+            .any(|a| matches!(a, Action::Unicast { packet: Packet::PacketAck { .. }, .. })));
+    }
+
+    #[test]
+    fn never_volunteers_at_probability_zero() {
+        let mut l = secondary();
+        let mut out = Actions::new();
+        let sel = Packet::AckerSelect { group: GROUP, source: SRC, epoch: EpochId(1), p_ack: 0.0 };
+        l.on_packet(Time::ZERO, SRC_HOST, sel, &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn answers_discovery() {
+        let mut l = secondary();
+        let mut out = Actions::new();
+        let q = Packet::DiscoveryQuery { group: GROUP, nonce: 42, requester: RX };
+        l.on_packet(Time::ZERO, RX, q, &mut out);
+        assert!(matches!(
+            &out[..],
+            [Action::Unicast { to, packet: Packet::DiscoveryReply { nonce: 42, logger, level: 1, .. } }]
+                if *to == RX && *logger == SECONDARY
+        ));
+    }
+
+    #[test]
+    fn ignores_other_groups() {
+        let mut l = secondary();
+        let mut out = Actions::new();
+        let other = Packet::Data {
+            group: GroupId(99),
+            source: SRC,
+            seq: Seq(1),
+            epoch: EpochId(0),
+            payload: Bytes::from_static(b"x"),
+        };
+        l.on_packet(Time::ZERO, SRC_HOST, other, &mut out);
+        assert!(out.is_empty());
+        assert_eq!(l.log_len(), 0);
+    }
+
+    #[test]
+    fn retention_pruning_applies_on_poll() {
+        let mut cfg = LoggerConfig::secondary(GROUP, SRC, SECONDARY, PRIMARY, SRC_HOST);
+        cfg.retention = Retention::Lifetime(Duration::from_secs(5));
+        let mut l = Logger::new(cfg);
+        let mut out = Actions::new();
+        l.on_packet(Time::ZERO, SRC_HOST, data(1, "a"), &mut out);
+        assert_eq!(l.log_len(), 1);
+        l.poll(Time::from_secs(10), &mut out);
+        assert_eq!(l.log_len(), 0);
+    }
+}

@@ -1,0 +1,317 @@
+//! The packet log held by a logging server.
+//!
+//! "The length of time that the logging server must store a packet is
+//! application-specific" (§2): some applications keep packets only for
+//! their useful lifetime, others log everything. [`Retention`] captures
+//! those policies; [`LogStore`] is the store itself, indexed by unwrapped
+//! sequence number so wraparound is a non-event.
+
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+use bytes::Bytes;
+
+use lbrm_wire::Seq;
+
+use crate::gaps::SeqUnwrapper;
+use crate::time::Time;
+
+/// How long logged packets are kept.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Retention {
+    /// Keep everything (the paper's strong-persistence applications; a
+    /// disk spill would hang off this policy in a deployment).
+    All,
+    /// Keep at most the newest `n` packets.
+    Count(usize),
+    /// Keep packets for their useful lifetime.
+    Lifetime(Duration),
+}
+
+/// One logged packet.
+#[derive(Debug, Clone)]
+struct Entry {
+    seq: Seq,
+    payload: Bytes,
+    logged_at: Time,
+}
+
+/// A set of `u64` indexes stored as coalesced half-open runs
+/// `[start, end)`. Memory is proportional to the number of *gaps*, not
+/// packets, so "ever logged" bookkeeping stays small for long streams.
+#[derive(Debug, Clone, Default)]
+struct IntervalSet {
+    runs: BTreeMap<u64, u64>,
+}
+
+impl IntervalSet {
+    fn contains(&self, idx: u64) -> bool {
+        self.runs.range(..=idx).next_back().is_some_and(|(_, &end)| idx < end)
+    }
+
+    /// Inserts one index, coalescing with neighbors. Returns `true` if new.
+    fn insert(&mut self, idx: u64) -> bool {
+        if self.contains(idx) {
+            return false;
+        }
+        // Merge with a preceding run ending exactly at idx.
+        let prev = self
+            .runs
+            .range(..=idx)
+            .next_back()
+            .filter(|(_, &end)| end == idx)
+            .map(|(&s, _)| s);
+        // Merge with a following run starting exactly at idx + 1.
+        let next = self.runs.get(&(idx + 1)).copied();
+        match (prev, next) {
+            (Some(p), Some(n)) => {
+                self.runs.remove(&(idx + 1));
+                self.runs.insert(p, n);
+            }
+            (Some(p), None) => {
+                self.runs.insert(p, idx + 1);
+            }
+            (None, Some(n)) => {
+                self.runs.remove(&(idx + 1));
+                self.runs.insert(idx, n);
+            }
+            (None, None) => {
+                self.runs.insert(idx, idx + 1);
+            }
+        }
+        true
+    }
+
+    /// The first (lowest) run, if any.
+    fn first_run(&self) -> Option<(u64, u64)> {
+        self.runs.first_key_value().map(|(&s, &e)| (s, e))
+    }
+}
+
+/// An in-memory packet log with retention and contiguity tracking.
+#[derive(Debug, Clone)]
+pub struct LogStore {
+    retention: Retention,
+    unwrapper: SeqUnwrapper,
+    entries: BTreeMap<u64, Entry>,
+    /// Every index ever logged (survives pruning), as coalesced runs:
+    /// contiguity claims are made from this, so pruning can never fake
+    /// contiguity across a never-logged gap.
+    logged: IntervalSet,
+}
+
+impl LogStore {
+    /// Creates an empty store with the given retention policy.
+    pub fn new(retention: Retention) -> Self {
+        LogStore {
+            retention,
+            unwrapper: SeqUnwrapper::new(),
+            entries: BTreeMap::new(),
+            logged: IntervalSet::default(),
+        }
+    }
+
+    /// Number of packets currently held.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when no packets are held.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Inserts a packet; returns `true` if it was new. Duplicate inserts
+    /// keep the original timestamp and payload.
+    pub fn insert(&mut self, now: Time, seq: Seq, payload: Bytes) -> bool {
+        let idx = self.unwrapper.unwrap(seq);
+        let fresh = self.logged.insert(idx);
+        if fresh {
+            self.entries.insert(idx, Entry { seq, payload, logged_at: now });
+            self.prune(now);
+        }
+        fresh
+    }
+
+    /// Fetches a packet's payload if present.
+    pub fn get(&self, seq: Seq) -> Option<Bytes> {
+        let idx = self.unwrapper.peek(seq);
+        self.entries.get(&idx).map(|e| e.payload.clone())
+    }
+
+    /// `true` if the packet is currently held.
+    pub fn has(&self, seq: Seq) -> bool {
+        self.get(seq).is_some()
+    }
+
+    /// Highest sequence such that every packet from the lowest-ever
+    /// logged one through it has been logged (the cumulative-ack value a
+    /// primary reports in `LogAck`). `None` until anything is logged.
+    ///
+    /// Late out-of-order arrivals *below* the previous lowest sequence
+    /// can lower this value; consumers treat `LogAck` release points as
+    /// monotone (the sender keeps the max it has seen).
+    pub fn contiguous_high(&self) -> Option<Seq> {
+        self.logged.first_run().map(|(_, end)| SeqUnwrapper::rewrap(end - 1))
+    }
+
+    /// Sequences in `[first, last]` that are *not* held (what a logger
+    /// still needs to fetch from its parent).
+    pub fn missing_in(&self, first: Seq, last: Seq) -> Vec<Seq> {
+        let lo = self.unwrapper.peek(first);
+        let hi = self.unwrapper.peek(last);
+        if hi < lo {
+            return Vec::new();
+        }
+        (lo..=hi)
+            .filter(|i| !self.entries.contains_key(i))
+            .map(SeqUnwrapper::rewrap)
+            .collect()
+    }
+
+    /// Applies the retention policy at time `now`.
+    pub fn prune(&mut self, now: Time) {
+        match self.retention {
+            Retention::All => {}
+            Retention::Count(n) => {
+                while self.entries.len() > n {
+                    self.entries.pop_first();
+                }
+            }
+            Retention::Lifetime(ttl) => {
+                let keys: Vec<u64> = self
+                    .entries
+                    .iter()
+                    .take_while(|(_, e)| now.since(e.logged_at) > ttl)
+                    .map(|(&k, _)| k)
+                    .collect();
+                for k in keys {
+                    self.entries.remove(&k);
+                }
+            }
+        }
+    }
+
+    /// Iterates held packets in sequence order.
+    pub fn iter(&self) -> impl Iterator<Item = (Seq, &Bytes)> {
+        self.entries.values().map(|e| (e.seq, &e.payload))
+    }
+
+    /// The oldest held sequence, if any.
+    pub fn oldest(&self) -> Option<Seq> {
+        self.entries.first_key_value().map(|(_, e)| e.seq)
+    }
+
+    /// The newest held sequence, if any.
+    pub fn newest(&self) -> Option<Seq> {
+        self.entries.last_key_value().map(|(_, e)| e.seq)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn b(s: &'static str) -> Bytes {
+        Bytes::from_static(s.as_bytes())
+    }
+
+    #[test]
+    fn insert_get_roundtrip() {
+        let mut log = LogStore::new(Retention::All);
+        assert!(log.insert(Time::ZERO, Seq(1), b("one")));
+        assert!(log.insert(Time::ZERO, Seq(2), b("two")));
+        assert!(!log.insert(Time::ZERO, Seq(1), b("dup")));
+        assert_eq!(log.get(Seq(1)), Some(b("one"))); // original kept
+        assert_eq!(log.get(Seq(3)), None);
+        assert_eq!(log.len(), 2);
+        assert!(!log.is_empty());
+    }
+
+    #[test]
+    fn contiguity_tracks_gaps() {
+        let mut log = LogStore::new(Retention::All);
+        assert_eq!(log.contiguous_high(), None);
+        log.insert(Time::ZERO, Seq(1), b("a"));
+        assert_eq!(log.contiguous_high(), Some(Seq(1)));
+        log.insert(Time::ZERO, Seq(3), b("c"));
+        assert_eq!(log.contiguous_high(), Some(Seq(1))); // 2 missing
+        log.insert(Time::ZERO, Seq(2), b("b"));
+        assert_eq!(log.contiguous_high(), Some(Seq(3)));
+    }
+
+    #[test]
+    fn missing_in_reports_holes() {
+        let mut log = LogStore::new(Retention::All);
+        log.insert(Time::ZERO, Seq(1), b("a"));
+        log.insert(Time::ZERO, Seq(4), b("d"));
+        assert_eq!(log.missing_in(Seq(1), Seq(4)), vec![Seq(2), Seq(3)]);
+        assert_eq!(log.missing_in(Seq(4), Seq(1)), Vec::<Seq>::new());
+        assert_eq!(log.missing_in(Seq(1), Seq(1)), Vec::<Seq>::new());
+    }
+
+    #[test]
+    fn count_retention_evicts_oldest() {
+        let mut log = LogStore::new(Retention::Count(3));
+        for i in 1..=5 {
+            log.insert(Time::ZERO, Seq(i), b("x"));
+        }
+        assert_eq!(log.len(), 3);
+        assert_eq!(log.oldest(), Some(Seq(3)));
+        assert_eq!(log.newest(), Some(Seq(5)));
+        assert!(!log.has(Seq(1)));
+        assert!(log.has(Seq(5)));
+        // Contiguity is not broken by pruning: everything through 5 was
+        // once logged.
+        assert_eq!(log.contiguous_high(), Some(Seq(5)));
+    }
+
+    #[test]
+    fn lifetime_retention_expires() {
+        let mut log = LogStore::new(Retention::Lifetime(Duration::from_secs(10)));
+        log.insert(Time::ZERO, Seq(1), b("a"));
+        log.insert(Time::from_secs(8), Seq(2), b("b"));
+        log.prune(Time::from_secs(11));
+        assert!(!log.has(Seq(1)));
+        assert!(log.has(Seq(2)));
+        log.prune(Time::from_secs(19));
+        assert!(log.is_empty());
+    }
+
+    #[test]
+    fn iter_in_order_across_wrap() {
+        let mut log = LogStore::new(Retention::All);
+        log.insert(Time::ZERO, Seq(u32::MAX), b("a"));
+        log.insert(Time::ZERO, Seq(0), b("b"));
+        log.insert(Time::ZERO, Seq(1), b("c"));
+        let seqs: Vec<Seq> = log.iter().map(|(s, _)| s).collect();
+        assert_eq!(seqs, vec![Seq(u32::MAX), Seq(0), Seq(1)]);
+        assert_eq!(log.contiguous_high(), Some(Seq(1)));
+    }
+
+    #[test]
+    fn pruning_never_fakes_contiguity_over_a_gap() {
+        // Seq 2 is never logged; even after pruning hides the hole, the
+        // store must not claim contiguity past 1 — a primary reporting
+        // otherwise would let the source discard an unlogged packet.
+        let mut log = LogStore::new(Retention::Count(2));
+        log.insert(Time::ZERO, Seq(1), b("a"));
+        log.insert(Time::ZERO, Seq(3), b("c"));
+        log.insert(Time::ZERO, Seq(4), b("d"));
+        log.insert(Time::ZERO, Seq(5), b("e"));
+        assert_eq!(log.contiguous_high(), Some(Seq(1)));
+        // Late arrival of 2 (e.g. recovered from the source) repairs it.
+        log.insert(Time::ZERO, Seq(2), b("b"));
+        assert_eq!(log.contiguous_high(), Some(Seq(5)));
+    }
+
+    #[test]
+    fn out_of_order_inserts() {
+        let mut log = LogStore::new(Retention::All);
+        log.insert(Time::ZERO, Seq(5), b("e"));
+        log.insert(Time::ZERO, Seq(7), b("g"));
+        log.insert(Time::ZERO, Seq(6), b("f"));
+        assert_eq!(log.contiguous_high(), Some(Seq(7)));
+        assert_eq!(log.missing_in(Seq(5), Seq(7)), Vec::<Seq>::new());
+    }
+}

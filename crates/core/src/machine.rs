@@ -1,0 +1,214 @@
+//! The sans-IO machine interface.
+//!
+//! Every LBRM protocol entity (sender, receiver, logging server,
+//! discovery client, SRM baseline member) implements [`Machine`]: a pure
+//! state machine that consumes packets and clock readings and emits
+//! [`Action`]s. Drivers are trivial:
+//!
+//! * feed arriving packets to [`Machine::on_packet`],
+//! * call [`Machine::poll`] whenever [`Machine::next_deadline`] passes,
+//! * execute the emitted actions (send, deliver, log).
+//!
+//! Machines never block, never sleep and never touch sockets, so the
+//! same code runs under `lbrm-sim` (virtual time, experiments) and
+//! `lbrm-net` (tokio + UDP, deployment), and unit tests drive them
+//! directly with hand-crafted packet sequences.
+
+use bytes::Bytes;
+
+use lbrm_wire::{EpochId, HostId, Packet, Seq, TtlScope};
+
+use crate::time::Time;
+
+/// A packet delivered to the receiving application.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Delivery {
+    /// Data sequence number.
+    pub seq: Seq,
+    /// Application payload.
+    pub payload: Bytes,
+    /// `true` when the packet arrived via recovery (retransmission)
+    /// rather than the original multicast.
+    pub recovered: bool,
+}
+
+/// How a receiver noticed a loss.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LossSignal {
+    /// A gap appeared in the data sequence numbers.
+    SeqGap,
+    /// A heartbeat repeated a sequence number ahead of what we hold.
+    Heartbeat,
+    /// Nothing arrived for MaxIT.
+    IdleTimeout,
+}
+
+/// Protocol events surfaced to the embedding application or harness.
+///
+/// Notices are informational: drivers may ignore them, log them, or (as
+/// the experiment harness does) turn them into measurements.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Notice {
+    /// A receiver detected loss of `[first, last]`.
+    LossDetected {
+        /// First missing sequence.
+        first: Seq,
+        /// Last missing sequence (inclusive).
+        last: Seq,
+        /// Which mechanism noticed.
+        signal: LossSignal,
+    },
+    /// A receiver recovered sequence `seq`, `after` the loss was detected.
+    Recovered {
+        /// The recovered sequence number.
+        seq: Seq,
+        /// Time from loss detection to recovery.
+        after: std::time::Duration,
+    },
+    /// Nothing has been received for MaxIT: state freshness is no longer
+    /// guaranteed (§2). The application may e.g. invalidate caches.
+    FreshnessLost,
+    /// Traffic resumed after [`Notice::FreshnessLost`].
+    FreshnessRestored,
+    /// The sender's buffer was released up to `up_to` (inclusive) after a
+    /// primary-logger acknowledgement.
+    BufferReleased {
+        /// Highest released sequence.
+        up_to: Seq,
+    },
+    /// The sender re-multicast `seq` because Designated-Acker coverage
+    /// indicated widespread loss (§2.3.2).
+    StatAckRemulticast {
+        /// The re-multicast sequence.
+        seq: Seq,
+        /// How many expected ACKs were missing at `t_wait`.
+        missing_acks: usize,
+    },
+    /// A new statistical-ack epoch took effect.
+    EpochStarted {
+        /// The epoch id.
+        epoch: EpochId,
+        /// Number of Designated Ackers that volunteered.
+        ackers: usize,
+        /// The sender's current estimate of the secondary-logger count.
+        nsl_estimate: f64,
+    },
+    /// The sender (or a recovering party) concluded the primary logger is
+    /// unresponsive.
+    PrimaryUnresponsive {
+        /// The unresponsive host.
+        primary: HostId,
+    },
+    /// A replica was promoted to primary (§2.2.3).
+    Promoted {
+        /// The newly promoted primary.
+        new_primary: HostId,
+    },
+    /// Discovery located a logging server.
+    LoggerDiscovered {
+        /// The logger host.
+        logger: HostId,
+        /// Its hierarchy level (0 = primary).
+        level: u8,
+        /// Scope at which it answered.
+        scope: TtlScope,
+    },
+    /// Discovery exhausted all scopes without finding a logger.
+    DiscoveryFailed,
+    /// A logging server chose to re-multicast a repair to its site
+    /// instead of unicasting (§2.2.1).
+    SiteRemulticast {
+        /// The repaired sequence.
+        seq: Seq,
+        /// Number of distinct requesters that triggered the decision.
+        requesters: usize,
+    },
+    /// Statistical-ack coverage has been incomplete for several
+    /// consecutive packets: the sender-side §5 congestion signal. The
+    /// application should consider reducing its send rate.
+    CongestionSuspected {
+        /// Consecutive incompletely-acked packets.
+        streak: u32,
+    },
+}
+
+/// An effect requested by a machine.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Action {
+    /// Send `packet` to one host.
+    Unicast {
+        /// Destination.
+        to: HostId,
+        /// The packet.
+        packet: Packet,
+    },
+    /// Multicast `packet` to its group at `scope`.
+    Multicast {
+        /// TTL scope.
+        scope: TtlScope,
+        /// The packet.
+        packet: Packet,
+    },
+    /// Hand a data packet to the application (receiver side).
+    Deliver(Delivery),
+    /// Surface a protocol notice.
+    Notice(Notice),
+    /// Subscribe this host to a multicast group (used by the §7
+    /// retransmission-channel extension and by fast resubscription).
+    Join(lbrm_wire::GroupId),
+    /// Unsubscribe from a multicast group.
+    Leave(lbrm_wire::GroupId),
+}
+
+/// Accumulator for actions emitted during one machine call.
+pub type Actions = Vec<Action>;
+
+/// A sans-IO protocol state machine.
+pub trait Machine {
+    /// Called once before any other entry point.
+    fn on_start(&mut self, _now: Time, _out: &mut Actions) {}
+
+    /// A packet addressed to this machine arrived (unicast or multicast).
+    fn on_packet(&mut self, now: Time, from: HostId, packet: Packet, out: &mut Actions);
+
+    /// Clock callback: run any work due at or before `now`. Spurious
+    /// calls (before any deadline) must be harmless.
+    fn poll(&mut self, now: Time, out: &mut Actions);
+
+    /// The next instant at which [`Machine::poll`] should run, if any.
+    fn next_deadline(&self) -> Option<Time>;
+}
+
+/// Test/driver helper: extracts all packets a machine tried to send,
+/// with their addressing.
+pub fn sent_packets(actions: &[Action]) -> Vec<&Packet> {
+    actions
+        .iter()
+        .filter_map(|a| match a {
+            Action::Unicast { packet, .. } | Action::Multicast { packet, .. } => Some(packet),
+            _ => None,
+        })
+        .collect()
+}
+
+/// Test/driver helper: extracts deliveries.
+pub fn deliveries(actions: &[Action]) -> Vec<&Delivery> {
+    actions
+        .iter()
+        .filter_map(|a| match a {
+            Action::Deliver(d) => Some(d),
+            _ => None,
+        })
+        .collect()
+}
+
+/// Test/driver helper: extracts notices.
+pub fn notices(actions: &[Action]) -> Vec<&Notice> {
+    actions
+        .iter()
+        .filter_map(|a| match a {
+            Action::Notice(n) => Some(n),
+            _ => None,
+        })
+        .collect()
+}

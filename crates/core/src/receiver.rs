@@ -1,0 +1,927 @@
+//! The LBRM receiver.
+//!
+//! A receiver detects loss three ways (§2): a gap in data sequence
+//! numbers, a heartbeat repeating a sequence number it has not seen, and
+//! MaxIT idle expiry. Being *receiver-reliable*, it decides for itself
+//! what to recover — everything, nothing but the latest state, or a
+//! recent window — and pulls retransmissions from its recovery targets in
+//! order: the site's secondary logging server first, then the primary
+//! (§2.2.1's "next-higher-level" fallback), re-resolving the primary via
+//! the source when the hierarchy goes quiet (§2.2.3).
+
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+use lbrm_wire::packet::SeqRange;
+use lbrm_wire::{GroupId, HostId, Packet, Seq, SourceId};
+
+use crate::gaps::{GapTracker, Observation, SeqUnwrapper};
+use crate::heartbeat::HeartbeatConfig;
+use crate::machine::{Action, Actions, Delivery, LossSignal, Machine, Notice};
+use crate::time::{earliest, Time};
+
+/// What a receiver recovers (receiver-reliability, §2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReliabilityMode {
+    /// Recover every lost packet.
+    RecoverAll,
+    /// Never recover; only the newest data matters (pure freshness).
+    LatestOnly,
+    /// Recover only the newest `n` sequence numbers; older losses are
+    /// abandoned.
+    Window(u32),
+}
+
+/// Receiver configuration.
+#[derive(Debug, Clone)]
+pub struct ReceiverConfig {
+    /// Group subscribed to.
+    pub group: GroupId,
+    /// Source listened to.
+    pub source: SourceId,
+    /// This receiver's host.
+    pub host: HostId,
+    /// Maximum Idle Time: the freshness bound the source promised.
+    pub maxit: Duration,
+    /// Recovery policy.
+    pub mode: ReliabilityMode,
+    /// Wait before the first NACK — lets reordered packets arrive and
+    /// avoids NACK implosion at the logger (§2.3.2, Appendix A).
+    pub nack_delay: Duration,
+    /// Retry interval for unanswered NACKs.
+    pub nack_retry: Duration,
+    /// NACK attempts per recovery target before moving to the next.
+    pub attempts_per_target: u32,
+    /// Total NACK attempts for one packet before abandoning it as
+    /// unrecoverable (e.g. backfill past the stream origin, or a packet
+    /// older than every log's retention).
+    pub max_recovery_attempts: u32,
+    /// Recovery targets in preference order (site secondary first, then
+    /// the primary). Updated in place when a `PrimaryIs` announces a
+    /// promotion.
+    pub recovery_targets: Vec<HostId>,
+    /// The source's host, consulted to re-locate the primary when every
+    /// target is unresponsive.
+    pub source_host: HostId,
+    /// The sender's heartbeat parameters, used to *adapt* the idle
+    /// alarm: each heartbeat announces (via its index) how long until the
+    /// next one, so the receiver expects silence of up to that interval
+    /// without declaring the channel dead. Without this, a variable-
+    /// heartbeat source idling toward `h_max` would false-alarm a
+    /// `maxit`-based timer constantly.
+    pub heartbeat: HeartbeatConfig,
+    /// Multiplier on the expected inter-packet interval before the idle
+    /// alarm fires (covers one lost heartbeat plus jitter).
+    pub idle_slack: f64,
+    /// Late-joiner backfill: on the first packet observed, also recover
+    /// up to this many immediately preceding sequence numbers from the
+    /// log — the §4.4 mobile-reconnect / audit-history pattern. `0`
+    /// starts from the join point (the default).
+    pub backfill: u32,
+}
+
+impl ReceiverConfig {
+    /// A receiver on `host` recovering from `targets` (nearest first).
+    pub fn new(
+        group: GroupId,
+        source: SourceId,
+        host: HostId,
+        source_host: HostId,
+        targets: Vec<HostId>,
+    ) -> Self {
+        ReceiverConfig {
+            group,
+            source,
+            host,
+            maxit: Duration::from_millis(250),
+            mode: ReliabilityMode::RecoverAll,
+            nack_delay: Duration::from_millis(30),
+            nack_retry: Duration::from_millis(400),
+            attempts_per_target: 3,
+            max_recovery_attempts: 12,
+            recovery_targets: targets,
+            source_host,
+            heartbeat: HeartbeatConfig::default(),
+            idle_slack: 2.0,
+            backfill: 0,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Recovery {
+    seq: Seq,
+    detected_at: Time,
+    next_nack_at: Time,
+    attempts: u32,
+    total_attempts: u32,
+    target_idx: usize,
+}
+
+/// Running statistics, exposed for experiments and applications.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReceiverStats {
+    /// Packets delivered from the original multicast.
+    pub delivered: u64,
+    /// Packets delivered via recovery.
+    pub recovered: u64,
+    /// Loss-detection events.
+    pub losses_detected: u64,
+    /// Losses abandoned by policy.
+    pub abandoned: u64,
+    /// Duplicates discarded.
+    pub duplicates: u64,
+}
+
+/// The receiver state machine.
+pub struct Receiver {
+    config: ReceiverConfig,
+    gaps: GapTracker,
+    unwrapper: SeqUnwrapper,
+    pending: BTreeMap<u64, Recovery>,
+    last_source_packet_at: Option<Time>,
+    /// Expected interval until the sender's next transmission, learned
+    /// from heartbeat indices.
+    expected_interval: Duration,
+    fresh: bool,
+    stats: ReceiverStats,
+}
+
+impl Receiver {
+    /// Creates a receiver.
+    pub fn new(config: ReceiverConfig) -> Self {
+        Receiver {
+            expected_interval: config.heartbeat.h_min,
+            config,
+            gaps: GapTracker::new(),
+            unwrapper: SeqUnwrapper::new(),
+            pending: BTreeMap::new(),
+            last_source_packet_at: None,
+            fresh: false,
+            stats: ReceiverStats::default(),
+        }
+    }
+
+    /// The window of silence the receiver currently tolerates before
+    /// declaring the channel idle-dead.
+    fn idle_window(&self) -> Duration {
+        let expected = Duration::from_secs_f64(
+            self.expected_interval.as_secs_f64() * self.config.idle_slack,
+        );
+        expected.max(self.config.maxit)
+    }
+
+    /// Updates the expected next-packet interval from a heartbeat index
+    /// (`None` = a data packet, which resets the sender's schedule to
+    /// `h_min`).
+    fn learn_interval(&mut self, hb_index: Option<u32>) {
+        let hb = &self.config.heartbeat;
+        let interval = match hb_index {
+            None => hb.h_min,
+            Some(k) => {
+                let scaled = hb.h_min.as_secs_f64() * hb.backoff.powi(k as i32);
+                Duration::from_secs_f64(scaled.min(hb.h_max.as_secs_f64()))
+            }
+        };
+        self.expected_interval = interval;
+    }
+
+    /// Running statistics.
+    pub fn stats(&self) -> ReceiverStats {
+        self.stats
+    }
+
+    /// Time since the last source packet (data or heartbeat), if any —
+    /// the receiver's bound on how stale its state can be.
+    pub fn staleness(&self, now: Time) -> Option<Duration> {
+        self.last_source_packet_at.map(|t| now.since(t))
+    }
+
+    /// `true` while the MaxIT freshness guarantee holds.
+    pub fn is_fresh(&self, now: Time) -> bool {
+        self.staleness(now).is_some_and(|s| s <= self.config.maxit)
+    }
+
+    /// Number of losses currently being recovered.
+    pub fn outstanding_recoveries(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Replaces the recovery target list (e.g. after discovery found a
+    /// closer logger).
+    pub fn set_recovery_targets(&mut self, targets: Vec<HostId>) {
+        self.config.recovery_targets = targets;
+        for r in self.pending.values_mut() {
+            r.target_idx = 0;
+        }
+    }
+
+    fn touch_source(&mut self, now: Time, out: &mut Actions) {
+        if self.last_source_packet_at.is_some() && !self.fresh {
+            out.push(Action::Notice(Notice::FreshnessRestored));
+        }
+        self.fresh = true;
+        self.last_source_packet_at = Some(now);
+    }
+
+    /// Applies the reliability mode to newly detected losses `[first,
+    /// last]` and schedules recovery.
+    fn on_loss(&mut self, now: Time, first: Seq, last: Seq, signal: LossSignal, out: &mut Actions) {
+        self.stats.losses_detected += 1;
+        out.push(Action::Notice(Notice::LossDetected { first, last, signal }));
+        match self.config.mode {
+            ReliabilityMode::LatestOnly => {
+                let give_up_count = last.distance_from(first) as u64 + 1;
+                self.stats.abandoned += give_up_count;
+                self.gaps.give_up_before(last.next());
+                return;
+            }
+            ReliabilityMode::Window(n) => {
+                if let Some(high) = self.gaps.highest() {
+                    let floor_idx = self.unwrapper.peek(high).saturating_sub(u64::from(n) - 1);
+                    let floor = SeqUnwrapper::rewrap(floor_idx);
+                    let before = self.gaps.missing_count();
+                    self.gaps.give_up_before(floor);
+                    self.stats.abandoned +=
+                        (before - self.gaps.missing_count()) as u64;
+                    self.pending.retain(|&idx, _| idx >= floor_idx);
+                }
+            }
+            ReliabilityMode::RecoverAll => {}
+        }
+        for seq in first.iter_to(last) {
+            if !self.gaps.is_missing(seq) {
+                continue;
+            }
+            let idx = self.unwrapper.unwrap(seq);
+            self.pending.entry(idx).or_insert(Recovery {
+                seq,
+                detected_at: now,
+                next_nack_at: now + self.config.nack_delay,
+                attempts: 0,
+                total_attempts: 0,
+                target_idx: 0,
+            });
+        }
+    }
+
+    fn cancel_recovery(&mut self, seq: Seq) -> Option<Recovery> {
+        let idx = self.unwrapper.peek(seq);
+        self.pending.remove(&idx)
+    }
+
+    /// On first contact with the stream, extend recovery below the join
+    /// point by the configured backfill window (§4 late-join history).
+    fn maybe_backfill(&mut self, now: Time, out: &mut Actions) {
+        if self.config.backfill == 0 {
+            return;
+        }
+        if let Some((first, last)) = self.gaps.backfill(self.config.backfill) {
+            self.on_loss(now, first, last, LossSignal::SeqGap, out);
+        }
+    }
+
+    fn deliver(
+        &mut self,
+        seq: Seq,
+        payload: bytes::Bytes,
+        recovered: bool,
+        out: &mut Actions,
+    ) {
+        if recovered {
+            self.stats.recovered += 1;
+        } else {
+            self.stats.delivered += 1;
+        }
+        out.push(Action::Deliver(Delivery { seq, payload, recovered }));
+    }
+}
+
+impl Machine for Receiver {
+    fn on_packet(&mut self, now: Time, _from: HostId, packet: Packet, out: &mut Actions) {
+        let (group, source) = (self.config.group, self.config.source);
+        match packet {
+            Packet::Data { group: g, source: s, seq, payload, .. }
+                if g == group && s == source =>
+            {
+                self.touch_source(now, out);
+                self.learn_interval(None);
+                let first_contact = !self.gaps.started();
+                match self.gaps.observe(seq) {
+                    Observation::First | Observation::InOrder => {
+                        self.deliver(seq, payload, false, out);
+                    }
+                    Observation::Ahead { gap } => {
+                        // Deliver the new packet immediately (freshness
+                        // beats ordering, §1), then chase the gap.
+                        self.deliver(seq, payload, false, out);
+                        let last = seq.prev();
+                        let first = SeqUnwrapper::rewrap(
+                            self.unwrapper.peek(last) - (gap - 1),
+                        );
+                        self.on_loss(now, first, last, LossSignal::SeqGap, out);
+                    }
+                    Observation::Filled => {
+                        // A late original filled the gap on its own.
+                        if let Some(rec) = self.cancel_recovery(seq) {
+                            out.push(Action::Notice(Notice::Recovered {
+                                seq,
+                                after: now.since(rec.detected_at),
+                            }));
+                        }
+                        self.deliver(seq, payload, false, out);
+                    }
+                    Observation::BeforeStart => {
+                        // A reordered packet from before our first
+                        // observation: valid data, deliver it.
+                        self.deliver(seq, payload, false, out);
+                    }
+                    Observation::Duplicate => {
+                        self.stats.duplicates += 1;
+                    }
+                }
+                if first_contact {
+                    self.maybe_backfill(now, out);
+                }
+            }
+            Packet::Heartbeat { group: g, source: s, seq, payload, hb_index, .. }
+                if g == group && s == source =>
+            {
+                let first_contact = !self.gaps.started();
+                self.touch_source(now, out);
+                self.learn_interval(Some(hb_index));
+                if !payload.is_empty() && self.gaps.is_missing(seq) {
+                    // §7 extension: the heartbeat carries the payload.
+                    self.gaps.observe(seq);
+                    if let Some(rec) = self.cancel_recovery(seq) {
+                        out.push(Action::Notice(Notice::Recovered {
+                            seq,
+                            after: now.since(rec.detected_at),
+                        }));
+                    }
+                    self.deliver(seq, payload, true, out);
+                    return;
+                }
+                let before_high = self.gaps.highest();
+                let newly = self.gaps.observe_announced(seq);
+                if newly > 0 {
+                    let first = match before_high {
+                        Some(h) => h.next(),
+                        None => seq,
+                    };
+                    // §7 heartbeats may carry the newest payload; an empty
+                    // one just announces it.
+                    if !payload.is_empty() {
+                        self.gaps.observe(seq);
+                        self.deliver(seq, payload, true, out);
+                        if seq != first {
+                            self.on_loss(now, first, seq.prev(), LossSignal::Heartbeat, out);
+                        }
+                    } else {
+                        self.on_loss(now, first, seq, LossSignal::Heartbeat, out);
+                    }
+                }
+                if first_contact {
+                    self.maybe_backfill(now, out);
+                }
+            }
+            Packet::Retrans { group: g, source: s, seq, payload }
+                if g == group && s == source =>
+            {
+                match self.gaps.observe(seq) {
+                    Observation::Filled => {
+                        if let Some(rec) = self.cancel_recovery(seq) {
+                            out.push(Action::Notice(Notice::Recovered {
+                                seq,
+                                after: now.since(rec.detected_at),
+                            }));
+                        }
+                        self.deliver(seq, payload, true, out);
+                    }
+                    Observation::First | Observation::InOrder => {
+                        self.deliver(seq, payload, true, out);
+                    }
+                    Observation::Ahead { gap } => {
+                        self.deliver(seq, payload, true, out);
+                        let last = seq.prev();
+                        let first =
+                            SeqUnwrapper::rewrap(self.unwrapper.peek(last) - (gap - 1));
+                        self.on_loss(now, first, last, LossSignal::SeqGap, out);
+                    }
+                    Observation::BeforeStart => {
+                        self.deliver(seq, payload, true, out);
+                    }
+                    Observation::Duplicate => {
+                        self.stats.duplicates += 1;
+                    }
+                }
+            }
+            Packet::PrimaryIs { group: g, source: s, primary } if g == group && s == source => {
+                // The primary's address is a cached value (§2.2.3):
+                // replace the last-resort target.
+                if let Some(last) = self.config.recovery_targets.last_mut() {
+                    *last = primary;
+                } else {
+                    self.config.recovery_targets.push(primary);
+                }
+                for r in self.pending.values_mut() {
+                    if r.target_idx + 1 >= self.config.recovery_targets.len() {
+                        r.attempts = 0;
+                        r.next_nack_at = now;
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn poll(&mut self, now: Time, out: &mut Actions) {
+        // Idle expiry: expected traffic stopped arriving.
+        if self.fresh {
+            if let Some(last) = self.last_source_packet_at {
+                if now.since(last) > self.idle_window() {
+                    self.fresh = false;
+                    out.push(Action::Notice(Notice::FreshnessLost));
+                    out.push(Action::Notice(Notice::LossDetected {
+                        first: self.gaps.highest().map_or(Seq::ZERO, |h| h.next()),
+                        last: self.gaps.highest().map_or(Seq::ZERO, |h| h.next()),
+                        signal: LossSignal::IdleTimeout,
+                    }));
+                }
+            }
+        }
+        // Recovery NACKs, batched per target.
+        if self.config.recovery_targets.is_empty() {
+            return;
+        }
+        let mut per_target: BTreeMap<HostId, Vec<SeqRange>> = BTreeMap::new();
+        let mut exhausted = false;
+        let due: Vec<u64> = self
+            .pending
+            .iter()
+            .filter(|(_, r)| now >= r.next_nack_at)
+            .map(|(&i, _)| i)
+            .collect();
+        for idx in due {
+            let targets = self.config.recovery_targets.clone();
+            let r = self.pending.get_mut(&idx).expect("due recovery");
+            if r.total_attempts >= self.config.max_recovery_attempts {
+                // Nobody can supply this packet (pre-origin backfill, or
+                // retention expired everywhere): stop asking.
+                let seq = r.seq;
+                self.pending.remove(&idx);
+                self.gaps.abandon(seq);
+                self.stats.abandoned += 1;
+                continue;
+            }
+            if r.attempts >= self.config.attempts_per_target {
+                if r.target_idx + 1 < targets.len() {
+                    r.target_idx += 1;
+                    r.attempts = 0;
+                } else {
+                    // All targets exhausted: keep hammering the last one
+                    // but ask the source where the primary went.
+                    exhausted = true;
+                    r.attempts = 0;
+                }
+            }
+            r.attempts += 1;
+            r.total_attempts += 1;
+            r.next_nack_at = now + self.config.nack_retry;
+            let target = targets[r.target_idx.min(targets.len() - 1)];
+            let ranges = per_target.entry(target).or_default();
+            match ranges.last_mut() {
+                Some(last) if last.last.next() == r.seq => last.last = r.seq,
+                _ => ranges.push(SeqRange::single(r.seq)),
+            }
+        }
+        for (target, ranges) in per_target {
+            out.push(Action::Unicast {
+                to: target,
+                packet: Packet::Nack {
+                    group: self.config.group,
+                    source: self.config.source,
+                    requester: self.config.host,
+                    ranges,
+                },
+            });
+        }
+        if exhausted {
+            let primary = *self.config.recovery_targets.last().expect("nonempty targets");
+            out.push(Action::Notice(Notice::PrimaryUnresponsive { primary }));
+            out.push(Action::Unicast {
+                to: self.config.source_host,
+                packet: Packet::LocatePrimary {
+                    group: self.config.group,
+                    source: self.config.source,
+                    requester: self.config.host,
+                },
+            });
+        }
+    }
+
+    fn next_deadline(&self) -> Option<Time> {
+        let mut d = self
+            .last_source_packet_at
+            .filter(|_| self.fresh)
+            .map(|t| t + self.idle_window() + Duration::from_nanos(1));
+        for r in self.pending.values() {
+            d = earliest(d, Some(r.next_nack_at));
+        }
+        d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::{deliveries, notices};
+    use bytes::Bytes;
+    use lbrm_wire::EpochId;
+
+    const GROUP: GroupId = GroupId(1);
+    const SRC: SourceId = SourceId(10);
+    const SRC_HOST: HostId = HostId(100);
+    const ME: HostId = HostId(400);
+    const SECONDARY: HostId = HostId(300);
+    const PRIMARY: HostId = HostId(200);
+
+    fn rx() -> Receiver {
+        Receiver::new(ReceiverConfig::new(GROUP, SRC, ME, SRC_HOST, vec![SECONDARY, PRIMARY]))
+    }
+
+    fn data(seq: u32) -> Packet {
+        Packet::Data {
+            group: GROUP,
+            source: SRC,
+            seq: Seq(seq),
+            epoch: EpochId(0),
+            payload: Bytes::from_static(b"payload"),
+        }
+    }
+
+    fn heartbeat(seq: u32) -> Packet {
+        Packet::Heartbeat {
+            group: GROUP,
+            source: SRC,
+            seq: Seq(seq),
+            epoch: EpochId(0),
+            hb_index: 1,
+            payload: Bytes::new(),
+        }
+    }
+
+    fn retrans(seq: u32) -> Packet {
+        Packet::Retrans {
+            group: GROUP,
+            source: SRC,
+            seq: Seq(seq),
+            payload: Bytes::from_static(b"payload"),
+        }
+    }
+
+    #[test]
+    fn in_order_delivery() {
+        let mut r = rx();
+        let mut out = Actions::new();
+        r.on_packet(Time::ZERO, SRC_HOST, data(1), &mut out);
+        r.on_packet(Time::from_millis(1), SRC_HOST, data(2), &mut out);
+        assert_eq!(deliveries(&out).len(), 2);
+        assert_eq!(r.stats().delivered, 2);
+        assert_eq!(r.outstanding_recoveries(), 0);
+    }
+
+    #[test]
+    fn gap_detection_delivers_latest_and_nacks_secondary() {
+        let mut r = rx();
+        let mut out = Actions::new();
+        r.on_packet(Time::ZERO, SRC_HOST, data(1), &mut out);
+        out.clear();
+        r.on_packet(Time::from_millis(10), SRC_HOST, data(4), &mut out);
+        // Latest data delivered immediately despite the gap.
+        assert_eq!(deliveries(&out).len(), 1);
+        assert!(notices(&out).iter().any(|n| matches!(
+            n,
+            Notice::LossDetected { first, last, signal: LossSignal::SeqGap }
+                if *first == Seq(2) && *last == Seq(3)
+        )));
+        // NACK after the reorder delay, to the secondary first.
+        let d = r.next_deadline().unwrap();
+        assert_eq!(d, Time::from_millis(10) + r.config.nack_delay);
+        out.clear();
+        r.poll(d, &mut out);
+        match &out[..] {
+            [Action::Unicast { to, packet: Packet::Nack { ranges, requester, .. } }] => {
+                assert_eq!(*to, SECONDARY);
+                assert_eq!(*requester, ME);
+                assert_eq!(ranges, &vec![SeqRange { first: Seq(2), last: Seq(3) }]);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn retrans_fills_gap_and_reports_recovery_latency() {
+        let mut r = rx();
+        let mut out = Actions::new();
+        r.on_packet(Time::ZERO, SRC_HOST, data(1), &mut out);
+        r.on_packet(Time::from_millis(10), SRC_HOST, data(3), &mut out);
+        out.clear();
+        r.on_packet(Time::from_millis(60), SECONDARY, retrans(2), &mut out);
+        let ds = deliveries(&out);
+        assert_eq!(ds.len(), 1);
+        assert!(ds[0].recovered);
+        assert!(notices(&out).iter().any(|n| matches!(
+            n,
+            Notice::Recovered { seq, after } if *seq == Seq(2) && *after == Duration::from_millis(50)
+        )));
+        assert_eq!(r.outstanding_recoveries(), 0);
+        assert_eq!(r.stats().recovered, 1);
+    }
+
+    #[test]
+    fn late_original_cancels_recovery() {
+        let mut r = rx();
+        let mut out = Actions::new();
+        r.on_packet(Time::ZERO, SRC_HOST, data(1), &mut out);
+        r.on_packet(Time::from_millis(5), SRC_HOST, data(3), &mut out);
+        assert_eq!(r.outstanding_recoveries(), 1);
+        out.clear();
+        // The "lost" packet was merely reordered.
+        r.on_packet(Time::from_millis(8), SRC_HOST, data(2), &mut out);
+        assert_eq!(r.outstanding_recoveries(), 0);
+        assert_eq!(deliveries(&out).len(), 1);
+        assert!(!deliveries(&out)[0].recovered);
+        // No NACK goes out later.
+        out.clear();
+        r.poll(Time::from_secs(1), &mut out);
+        assert!(!out.iter().any(|a| matches!(a, Action::Unicast { .. })));
+    }
+
+    #[test]
+    fn heartbeat_reveals_loss_of_newest() {
+        let mut r = rx();
+        let mut out = Actions::new();
+        r.on_packet(Time::ZERO, SRC_HOST, data(1), &mut out);
+        out.clear();
+        r.on_packet(Time::from_millis(250), SRC_HOST, heartbeat(2), &mut out);
+        assert!(notices(&out).iter().any(|n| matches!(
+            n,
+            Notice::LossDetected { first, last, signal: LossSignal::Heartbeat }
+                if *first == Seq(2) && *last == Seq(2)
+        )));
+        assert_eq!(r.outstanding_recoveries(), 1);
+    }
+
+    #[test]
+    fn duplicates_counted_not_delivered() {
+        let mut r = rx();
+        let mut out = Actions::new();
+        r.on_packet(Time::ZERO, SRC_HOST, data(1), &mut out);
+        out.clear();
+        r.on_packet(Time::from_millis(1), SRC_HOST, data(1), &mut out);
+        assert!(deliveries(&out).is_empty());
+        assert_eq!(r.stats().duplicates, 1);
+    }
+
+    #[test]
+    fn freshness_lifecycle() {
+        let mut r = rx();
+        let mut out = Actions::new();
+        r.on_packet(Time::ZERO, SRC_HOST, data(1), &mut out);
+        assert!(r.is_fresh(Time::from_millis(100)));
+        assert!(!r.is_fresh(Time::from_millis(251)));
+        // Poll past MaxIT: freshness lost.
+        let d = r.next_deadline().unwrap();
+        out.clear();
+        r.poll(d, &mut out);
+        assert!(notices(&out).iter().any(|n| matches!(n, Notice::FreshnessLost)));
+        assert!(notices(&out).iter().any(|n| matches!(
+            n,
+            Notice::LossDetected { signal: LossSignal::IdleTimeout, .. }
+        )));
+        // A heartbeat restores freshness.
+        out.clear();
+        r.on_packet(d + Duration::from_millis(10), SRC_HOST, heartbeat(1), &mut out);
+        assert!(notices(&out).iter().any(|n| matches!(n, Notice::FreshnessRestored)));
+        assert!(r.is_fresh(d + Duration::from_millis(10)));
+    }
+
+    #[test]
+    fn escalates_to_primary_then_locates() {
+        let mut r = rx();
+        let mut out = Actions::new();
+        r.on_packet(Time::ZERO, SRC_HOST, data(1), &mut out);
+        r.on_packet(Time::from_millis(1), SRC_HOST, data(3), &mut out);
+        let mut saw_secondary = false;
+        let mut saw_primary = false;
+        let mut saw_locate = false;
+        for _ in 0..30 {
+            let Some(d) = r.next_deadline() else { break };
+            out.clear();
+            r.poll(d, &mut out);
+            for a in &out {
+                match a {
+                    Action::Unicast { to, packet: Packet::Nack { .. } } if *to == SECONDARY => {
+                        saw_secondary = true;
+                    }
+                    Action::Unicast { to, packet: Packet::Nack { .. } } if *to == PRIMARY => {
+                        saw_primary = true;
+                    }
+                    Action::Unicast { to, packet: Packet::LocatePrimary { .. } }
+                        if *to == SRC_HOST =>
+                    {
+                        saw_locate = true;
+                    }
+                    _ => {}
+                }
+            }
+            if saw_locate {
+                break;
+            }
+        }
+        assert!(saw_secondary && saw_primary && saw_locate);
+    }
+
+    #[test]
+    fn primary_is_redirects_last_target() {
+        let mut r = rx();
+        let mut out = Actions::new();
+        let new_primary = HostId(999);
+        r.on_packet(
+            Time::ZERO,
+            SRC_HOST,
+            Packet::PrimaryIs { group: GROUP, source: SRC, primary: new_primary },
+            &mut out,
+        );
+        assert_eq!(r.config.recovery_targets, vec![SECONDARY, new_primary]);
+    }
+
+    #[test]
+    fn latest_only_mode_abandons_losses() {
+        let mut cfg = ReceiverConfig::new(GROUP, SRC, ME, SRC_HOST, vec![SECONDARY]);
+        cfg.mode = ReliabilityMode::LatestOnly;
+        let mut r = Receiver::new(cfg);
+        let mut out = Actions::new();
+        r.on_packet(Time::ZERO, SRC_HOST, data(1), &mut out);
+        r.on_packet(Time::from_millis(1), SRC_HOST, data(5), &mut out);
+        assert_eq!(r.outstanding_recoveries(), 0);
+        assert_eq!(r.stats().abandoned, 3);
+        // No NACKs ever.
+        out.clear();
+        r.poll(Time::from_secs(10), &mut out);
+        assert!(!out.iter().any(|a| matches!(a, Action::Unicast { .. })));
+    }
+
+    #[test]
+    fn window_mode_recovers_only_recent() {
+        let mut cfg = ReceiverConfig::new(GROUP, SRC, ME, SRC_HOST, vec![SECONDARY]);
+        cfg.mode = ReliabilityMode::Window(3);
+        let mut r = Receiver::new(cfg);
+        let mut out = Actions::new();
+        r.on_packet(Time::ZERO, SRC_HOST, data(1), &mut out);
+        // Jump to 10: missing 2..=9, but the window keeps only 8, 9
+        // (window of 3 ending at 10).
+        r.on_packet(Time::from_millis(1), SRC_HOST, data(10), &mut out);
+        assert_eq!(r.outstanding_recoveries(), 2);
+        let d = r.next_deadline().unwrap();
+        out.clear();
+        r.poll(d, &mut out);
+        match &out[..] {
+            [Action::Unicast { packet: Packet::Nack { ranges, .. }, .. }] => {
+                assert_eq!(ranges, &vec![SeqRange { first: Seq(8), last: Seq(9) }]);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn heartbeat_with_payload_recovers_directly() {
+        let mut r = rx();
+        let mut out = Actions::new();
+        r.on_packet(Time::ZERO, SRC_HOST, data(1), &mut out);
+        out.clear();
+        // Heartbeat carrying the payload of lost #2 (§7 extension).
+        let hb = Packet::Heartbeat {
+            group: GROUP,
+            source: SRC,
+            seq: Seq(2),
+            epoch: EpochId(0),
+            hb_index: 1,
+            payload: Bytes::from_static(b"repeat"),
+        };
+        r.on_packet(Time::from_millis(250), SRC_HOST, hb, &mut out);
+        let ds = deliveries(&out);
+        assert_eq!(ds.len(), 1);
+        assert!(ds[0].recovered);
+        assert_eq!(ds[0].payload.as_ref(), b"repeat");
+        assert_eq!(r.outstanding_recoveries(), 0);
+    }
+
+    #[test]
+    fn idle_window_adapts_to_heartbeat_backoff() {
+        // After seeing heartbeat #5 the receiver knows the next one is
+        // 0.25 * 2^5 = 8 s away, and must not false-alarm before then.
+        let mut r = rx();
+        let mut out = Actions::new();
+        r.on_packet(Time::ZERO, SRC_HOST, data(1), &mut out);
+        let hb5 = Packet::Heartbeat {
+            group: GROUP,
+            source: SRC,
+            seq: Seq(1),
+            epoch: EpochId(0),
+            hb_index: 5,
+            payload: Bytes::new(),
+        };
+        let at = Time::from_millis(15_750);
+        r.on_packet(at, SRC_HOST, hb5, &mut out);
+        out.clear();
+        // 10 s later, inside the 16 s adaptive window: no alarm.
+        r.poll(at + Duration::from_secs(10), &mut out);
+        assert!(!notices(&out).iter().any(|n| matches!(n, Notice::FreshnessLost)));
+        // 17 s later, past the window: alarm.
+        r.poll(at + Duration::from_secs(17), &mut out);
+        assert!(notices(&out).iter().any(|n| matches!(n, Notice::FreshnessLost)));
+        // A data packet resets the expectation to h_min (window 0.5 s).
+        out.clear();
+        let t2 = at + Duration::from_secs(18);
+        r.on_packet(t2, SRC_HOST, data(2), &mut out);
+        r.poll(t2 + Duration::from_millis(600), &mut out);
+        assert!(notices(&out).iter().any(|n| matches!(n, Notice::FreshnessLost)));
+    }
+
+    #[test]
+    fn backfill_recovers_history_on_join() {
+        // A late joiner whose first packet is #20 pulls the previous 5
+        // from the log.
+        let mut cfg = ReceiverConfig::new(GROUP, SRC, ME, SRC_HOST, vec![SECONDARY]);
+        cfg.backfill = 5;
+        let mut r = Receiver::new(cfg);
+        let mut out = Actions::new();
+        r.on_packet(Time::ZERO, SRC_HOST, data(20), &mut out);
+        assert_eq!(deliveries(&out).len(), 1);
+        assert!(notices(&out).iter().any(|n| matches!(
+            n,
+            Notice::LossDetected { first, last, .. } if *first == Seq(15) && *last == Seq(19)
+        )));
+        assert_eq!(r.outstanding_recoveries(), 5);
+        // The NACK asks for exactly 15..=19.
+        let d = r.next_deadline().unwrap();
+        out.clear();
+        r.poll(d, &mut out);
+        match &out[..] {
+            [Action::Unicast { packet: Packet::Nack { ranges, .. }, .. }] => {
+                assert_eq!(ranges, &vec![SeqRange { first: Seq(15), last: Seq(19) }]);
+            }
+            other => panic!("{other:?}"),
+        }
+        // Retransmissions fill history; the receiver ends whole.
+        for s in 15..=19u32 {
+            r.on_packet(Time::from_millis(100), SECONDARY, retrans(s), &mut out);
+        }
+        assert_eq!(r.outstanding_recoveries(), 0);
+        assert_eq!(r.stats().recovered, 5);
+    }
+
+    #[test]
+    fn unrecoverable_packets_are_abandoned_after_max_attempts() {
+        // Nobody ever answers: after max_recovery_attempts total NACKs
+        // the receiver writes the packet off instead of asking forever.
+        let mut cfg = ReceiverConfig::new(GROUP, SRC, ME, SRC_HOST, vec![SECONDARY]);
+        cfg.max_recovery_attempts = 4;
+        let mut r = Receiver::new(cfg);
+        let mut out = Actions::new();
+        r.on_packet(Time::ZERO, SRC_HOST, data(1), &mut out);
+        r.on_packet(Time::from_millis(1), SRC_HOST, data(3), &mut out);
+        assert_eq!(r.outstanding_recoveries(), 1);
+        let mut nacks = 0;
+        for _ in 0..40 {
+            let Some(d) = r.next_deadline() else { break };
+            out.clear();
+            r.poll(d, &mut out);
+            nacks += out
+                .iter()
+                .filter(|a| matches!(a, Action::Unicast { packet: Packet::Nack { .. }, .. }))
+                .count();
+            if r.outstanding_recoveries() == 0 {
+                break;
+            }
+        }
+        assert_eq!(nacks, 4, "exactly max_recovery_attempts NACKs");
+        assert_eq!(r.outstanding_recoveries(), 0);
+        assert_eq!(r.stats().abandoned, 1);
+        // The abandoned packet no longer counts as missing.
+        let mut out2 = Actions::new();
+        r.poll(Time::from_secs(100), &mut out2);
+        assert!(!out2.iter().any(|a| matches!(a, Action::Unicast { .. })));
+    }
+
+    #[test]
+    fn staleness_reports_time_since_source() {
+        let mut r = rx();
+        let mut out = Actions::new();
+        assert_eq!(r.staleness(Time::from_secs(5)), None);
+        r.on_packet(Time::from_secs(5), SRC_HOST, data(1), &mut out);
+        assert_eq!(r.staleness(Time::from_secs(7)), Some(Duration::from_secs(2)));
+    }
+}

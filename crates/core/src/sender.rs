@@ -1,0 +1,905 @@
+//! The LBRM multicast source.
+//!
+//! The sender multicasts application data with sequence numbers, keeps
+//! the variable-heartbeat promise of §2 ("a packet at least once every
+//! MaxIT"), reliably hands every packet to the primary logging server —
+//! retaining it in a local buffer until the primary's `LogAck` covers it
+//! (§2.2) — and runs the statistical acknowledgement engine of §2.3 to
+//! decide between immediate multicast retransmission and unicast
+//! recovery. It also drives primary-logger failover (§2.2.3): when the
+//! primary stops acknowledging, the source polls the replicas for their
+//! log state, promotes the most up-to-date one, and brings it current
+//! from its own buffer.
+
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+use bytes::Bytes;
+
+use lbrm_wire::{EpochId, GroupId, HostId, Packet, Seq, SourceId, TtlScope};
+
+use crate::gaps::SeqUnwrapper;
+use crate::heartbeat::{FixedHeartbeat, HeartbeatConfig, VariableHeartbeat};
+use crate::machine::{Action, Actions, Machine, Notice};
+use crate::statack::{StatAck, StatAckConfig, StatAckOutput};
+use crate::time::{earliest, Time};
+
+/// Which heartbeat schedule the sender runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HeartbeatScheme {
+    /// The paper's variable (exponential-backoff) scheme.
+    Variable,
+    /// The fixed-rate baseline (period = `h_min`), for comparison
+    /// experiments.
+    Fixed,
+}
+
+/// Sender configuration.
+#[derive(Debug, Clone)]
+pub struct SenderConfig {
+    /// Multicast group to publish on.
+    pub group: GroupId,
+    /// This stream's source id.
+    pub source: SourceId,
+    /// The host this sender runs on.
+    pub host: HostId,
+    /// Heartbeat parameters.
+    pub heartbeat: HeartbeatConfig,
+    /// Variable (LBRM) or fixed (baseline) heartbeat.
+    pub scheme: HeartbeatScheme,
+    /// §7 extension: repeat the previous data payload inside heartbeats
+    /// when it is at most this many bytes (`0` disables).
+    pub repeat_payload_up_to: usize,
+    /// The primary logging server.
+    pub primary: HostId,
+    /// Release buffered data only when a *replica* has it (§2.2.3). When
+    /// `false`, the primary's own ack suffices.
+    pub require_replica_ack: bool,
+    /// Retransmit un-logged packets to the primary at this interval.
+    pub handoff_retry: Duration,
+    /// Handoff attempts without progress before the primary is declared
+    /// unresponsive and failover starts.
+    pub handoff_attempts_before_failover: u32,
+    /// Known replicas of the primary log (failover candidates).
+    pub replicas: Vec<HostId>,
+    /// How long to wait for replica state reports during failover.
+    pub failover_wait: Duration,
+    /// Statistical acknowledgement; `None` disables (§3 notes the
+    /// original implementation also ran without it).
+    pub statack: Option<StatAckConfig>,
+}
+
+impl SenderConfig {
+    /// A conventional configuration for `group`/`source` publishing from
+    /// `host` with logging at `primary`.
+    pub fn new(group: GroupId, source: SourceId, host: HostId, primary: HostId) -> Self {
+        SenderConfig {
+            group,
+            source,
+            host,
+            heartbeat: HeartbeatConfig::default(),
+            scheme: HeartbeatScheme::Variable,
+            repeat_payload_up_to: 0,
+            primary,
+            require_replica_ack: false,
+            handoff_retry: Duration::from_millis(500),
+            handoff_attempts_before_failover: 4,
+            replicas: Vec::new(),
+            failover_wait: Duration::from_millis(500),
+            statack: None,
+        }
+    }
+}
+
+enum Schedule {
+    Variable(VariableHeartbeat),
+    Fixed(FixedHeartbeat),
+}
+
+impl Schedule {
+    fn on_data_sent(&mut self, now: Time) {
+        match self {
+            Schedule::Variable(h) => h.on_data_sent(now),
+            Schedule::Fixed(h) => h.on_data_sent(now),
+        }
+    }
+
+    fn next_at(&self) -> Option<Time> {
+        match self {
+            Schedule::Variable(h) => h.next_heartbeat_at(),
+            Schedule::Fixed(h) => h.next_heartbeat_at(),
+        }
+    }
+
+    fn due(&self, now: Time) -> bool {
+        match self {
+            Schedule::Variable(h) => h.due(now),
+            Schedule::Fixed(h) => h.due(now),
+        }
+    }
+
+    fn on_heartbeat_sent(&mut self, now: Time) -> u32 {
+        match self {
+            Schedule::Variable(h) => h.on_heartbeat_sent(now),
+            Schedule::Fixed(h) => h.on_heartbeat_sent(now),
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Buffered {
+    seq: Seq,
+    epoch: EpochId,
+    payload: Bytes,
+}
+
+enum PrimaryHealth {
+    Healthy,
+    /// Collecting replica log-state reports since `since`.
+    Probing { since: Time, reports: BTreeMap<HostId, u64> },
+}
+
+/// The sender state machine. Applications publish via
+/// [`send`](Sender::send); everything else runs through the [`Machine`]
+/// interface.
+pub struct Sender {
+    config: SenderConfig,
+    schedule: Schedule,
+    statack: Option<StatAck>,
+    unwrapper: SeqUnwrapper,
+    next_seq: Seq,
+    last_seq: Option<Seq>,
+    last_payload: Bytes,
+    /// Retained packets, keyed by unwrapped index. An entry is dropped
+    /// only once the log acknowledgement covers it *and* statistical-ack
+    /// bookkeeping has settled (a re-multicast decision may need the
+    /// payload after the primary already logged it).
+    buffer: BTreeMap<u64, Buffered>,
+    /// Unwrapped index below which the log (per policy) holds everything.
+    released_below: u64,
+    /// Indexes still awaiting a statistical-ack verdict.
+    unsettled: std::collections::BTreeSet<u64>,
+    current_primary: HostId,
+    health: PrimaryHealth,
+    next_handoff_at: Option<Time>,
+    handoff_attempts: u32,
+    started: bool,
+}
+
+impl Sender {
+    /// Creates a sender.
+    pub fn new(config: SenderConfig) -> Self {
+        let schedule = match config.scheme {
+            HeartbeatScheme::Variable => {
+                Schedule::Variable(VariableHeartbeat::new(config.heartbeat))
+            }
+            HeartbeatScheme::Fixed => Schedule::Fixed(FixedHeartbeat::new(config.heartbeat.h_min)),
+        };
+        Sender {
+            schedule,
+            statack: None,
+            unwrapper: SeqUnwrapper::new(),
+            next_seq: Seq::FIRST,
+            last_seq: None,
+            last_payload: Bytes::new(),
+            buffer: BTreeMap::new(),
+            released_below: 0,
+            unsettled: std::collections::BTreeSet::new(),
+            current_primary: config.primary,
+            health: PrimaryHealth::Healthy,
+            next_handoff_at: None,
+            handoff_attempts: 0,
+            started: false,
+            config,
+        }
+    }
+
+    /// The sequence number the next data packet will carry.
+    pub fn next_seq(&self) -> Seq {
+        self.next_seq
+    }
+
+    /// Sequence of the most recent data packet, if any.
+    pub fn last_seq(&self) -> Option<Seq> {
+        self.last_seq
+    }
+
+    /// Packets currently retained awaiting log acknowledgement.
+    pub fn buffered(&self) -> usize {
+        self.buffer.len()
+    }
+
+    /// The logging server currently believed primary.
+    pub fn primary(&self) -> HostId {
+        self.current_primary
+    }
+
+    /// Current epoch stamped on outgoing data.
+    pub fn current_epoch(&self) -> EpochId {
+        self.statack.as_ref().map_or(EpochId::INITIAL, |s| s.current_epoch())
+    }
+
+    /// Publishes one application payload at `now`.
+    pub fn send(&mut self, now: Time, payload: Bytes, out: &mut Actions) {
+        let seq = self.next_seq;
+        self.next_seq = seq.next();
+        self.last_seq = Some(seq);
+        self.last_payload = payload.clone();
+        let epoch = self.current_epoch();
+        let idx = self.unwrapper.unwrap(seq);
+        if self.buffer.is_empty() {
+            // (Re)base the release floor on the first outstanding packet.
+            self.released_below = idx;
+        }
+        self.buffer.insert(idx, Buffered { seq, epoch, payload: payload.clone() });
+        self.schedule.on_data_sent(now);
+        if let Some(sa) = &mut self.statack {
+            sa.on_data_sent(now, seq);
+            self.unsettled.insert(idx);
+        }
+        if self.current_primary != self.config.host && self.next_handoff_at.is_none() {
+            self.next_handoff_at = Some(now + self.config.handoff_retry);
+        }
+        out.push(Action::Multicast {
+            scope: TtlScope::Global,
+            packet: Packet::Data {
+                group: self.config.group,
+                source: self.config.source,
+                seq,
+                epoch,
+                payload,
+            },
+        });
+    }
+
+    fn data_packet(&self, b: &Buffered) -> Packet {
+        Packet::Data {
+            group: self.config.group,
+            source: self.config.source,
+            seq: b.seq,
+            epoch: b.epoch,
+            payload: b.payload.clone(),
+        }
+    }
+
+    fn release_through(&mut self, seq: Seq, out: &mut Actions) {
+        let end = self.unwrapper.peek(seq) + 1;
+        if end <= self.released_below {
+            return;
+        }
+        self.released_below = end;
+        self.prune_buffer(Some(seq), out);
+    }
+
+    /// Drops buffer entries that are both log-released and statack-
+    /// settled.
+    fn prune_buffer(&mut self, released_seq: Option<Seq>, out: &mut Actions) {
+        let end = self.released_below;
+        let unsettled = &self.unsettled;
+        let before = self.buffer.len();
+        self.buffer.retain(|&idx, _| idx >= end || unsettled.contains(&idx));
+        if self.buffer.len() != before {
+            if let Some(seq) = released_seq {
+                out.push(Action::Notice(Notice::BufferReleased { up_to: seq }));
+            }
+        }
+        // Handoff only chases log acknowledgement; statack holds (below
+        // the release floor) don't keep it alive.
+        if !self.buffer.keys().any(|&idx| idx >= end) {
+            self.next_handoff_at = None;
+            self.handoff_attempts = 0;
+        }
+    }
+
+    fn drain_statack(&mut self, events: Vec<StatAckOutput>, out: &mut Actions) {
+        for ev in events {
+            match ev {
+                StatAckOutput::StartSelection { epoch, p_ack } => {
+                    out.push(Action::Multicast {
+                        scope: TtlScope::Global,
+                        packet: Packet::AckerSelect {
+                            group: self.config.group,
+                            source: self.config.source,
+                            epoch,
+                            p_ack,
+                        },
+                    });
+                }
+                StatAckOutput::EpochActive { epoch, ackers, nsl } => {
+                    out.push(Action::Notice(Notice::EpochStarted {
+                        epoch,
+                        ackers,
+                        nsl_estimate: nsl,
+                    }));
+                }
+                StatAckOutput::Remulticast { seq, missing } => {
+                    let idx = self.unwrapper.peek(seq);
+                    if let Some(b) = self.buffer.get(&idx) {
+                        let packet = self.data_packet(b);
+                        out.push(Action::Multicast { scope: TtlScope::Global, packet });
+                        out.push(Action::Notice(Notice::StatAckRemulticast {
+                            seq,
+                            missing_acks: missing,
+                        }));
+                    }
+                }
+                StatAckOutput::Settled { seq, .. } => {
+                    let idx = self.unwrapper.peek(seq);
+                    self.unsettled.remove(&idx);
+                    self.prune_buffer(None, out);
+                }
+                StatAckOutput::CongestionSuspected { streak } => {
+                    out.push(Action::Notice(Notice::CongestionSuspected { streak }));
+                }
+            }
+        }
+    }
+
+    fn begin_failover(&mut self, now: Time, out: &mut Actions) {
+        out.push(Action::Notice(Notice::PrimaryUnresponsive { primary: self.current_primary }));
+        if self.config.replicas.is_empty() {
+            // Nothing to fail over to; keep retrying the primary.
+            self.handoff_attempts = 0;
+            return;
+        }
+        self.health = PrimaryHealth::Probing { since: now, reports: BTreeMap::new() };
+        for &r in &self.config.replicas {
+            if r != self.current_primary {
+                out.push(Action::Unicast {
+                    to: r,
+                    packet: Packet::LocatePrimary {
+                        group: self.config.group,
+                        source: self.config.source,
+                        requester: self.config.host,
+                    },
+                });
+            }
+        }
+    }
+
+    fn finish_failover(&mut self, now: Time, out: &mut Actions) {
+        let PrimaryHealth::Probing { reports, .. } = &self.health else { return };
+        // Promote the most up-to-date replica (§2.2.3).
+        let Some((&best, &best_end)) =
+            reports.iter().max_by_key(|(host, end)| (**end, std::cmp::Reverse(host.raw())))
+        else {
+            // No replica answered; go back to retrying the old primary.
+            self.health = PrimaryHealth::Healthy;
+            self.handoff_attempts = 0;
+            self.next_handoff_at = Some(now + self.config.handoff_retry);
+            return;
+        };
+        self.current_primary = best;
+        self.health = PrimaryHealth::Healthy;
+        self.handoff_attempts = 0;
+        // Tell the replica it is now primary, and the group where to find
+        // it (receivers treat the primary address as a cached value).
+        let promote = Packet::PrimaryIs {
+            group: self.config.group,
+            source: self.config.source,
+            primary: best,
+        };
+        out.push(Action::Unicast { to: best, packet: promote.clone() });
+        out.push(Action::Multicast { scope: TtlScope::Global, packet: promote });
+        // Bring it current from our buffer: everything beyond its log end.
+        for (&idx, b) in &self.buffer {
+            if idx > best_end || best_end == u64::MAX {
+                out.push(Action::Unicast { to: best, packet: self.data_packet(b) });
+            }
+        }
+        self.next_handoff_at = Some(now + self.config.handoff_retry);
+        out.push(Action::Notice(Notice::Promoted { new_primary: best }));
+    }
+}
+
+impl Machine for Sender {
+    fn on_start(&mut self, now: Time, out: &mut Actions) {
+        if self.started {
+            return;
+        }
+        self.started = true;
+        if let Some(cfg) = self.config.statack.clone() {
+            let mut sa = StatAck::new(cfg, now);
+            let mut events = Vec::new();
+            sa.poll(now, &mut events);
+            self.statack = Some(sa);
+            self.drain_statack(events, out);
+        }
+    }
+
+    fn on_packet(&mut self, now: Time, from: HostId, packet: Packet, out: &mut Actions) {
+        match packet {
+            Packet::LogAck { group, source, primary_seq, replica_seq }
+                if group == self.config.group && source == self.config.source =>
+            {
+                if from == self.current_primary {
+                    self.handoff_attempts = 0;
+                    let release = if self.config.require_replica_ack {
+                        replica_seq
+                    } else {
+                        primary_seq
+                    };
+                    self.release_through(release, out);
+                    if !self.buffer.is_empty() && self.next_handoff_at.is_none() {
+                        self.next_handoff_at = Some(now + self.config.handoff_retry);
+                    }
+                } else if let PrimaryHealth::Probing { reports, .. } = &mut self.health {
+                    // A replica reporting its log state during failover.
+                    let end = self.unwrapper.peek(primary_seq);
+                    reports.insert(from, end);
+                    if reports.len() >= self.config.replicas.len() {
+                        self.finish_failover(now, out);
+                    }
+                }
+            }
+            Packet::Nack { group, source, requester, ranges }
+                if group == self.config.group && source == self.config.source =>
+            {
+                // Serve retransmissions from the retained buffer (the
+                // primary recovering packets it never saw, or receivers in
+                // a logger-less deployment).
+                for range in ranges {
+                    for seq in range.iter().take(256) {
+                        let idx = self.unwrapper.peek(seq);
+                        if let Some(b) = self.buffer.get(&idx) {
+                            out.push(Action::Unicast {
+                                to: requester,
+                                packet: Packet::Retrans {
+                                    group: self.config.group,
+                                    source: self.config.source,
+                                    seq: b.seq,
+                                    payload: b.payload.clone(),
+                                },
+                            });
+                        }
+                    }
+                }
+            }
+            Packet::AckerVolunteer { group, source, epoch, logger }
+                if group == self.config.group && source == self.config.source =>
+            {
+                if let Some(sa) = &mut self.statack {
+                    sa.on_volunteer(logger, epoch);
+                }
+            }
+            Packet::PacketAck { group, source, epoch, seq, logger }
+                if group == self.config.group && source == self.config.source =>
+            {
+                if let Some(sa) = &mut self.statack {
+                    let mut events = Vec::new();
+                    sa.on_ack(now, logger, epoch, seq, &mut events);
+                    self.drain_statack(events, out);
+                }
+            }
+            Packet::LocatePrimary { group, source, requester }
+                if group == self.config.group && source == self.config.source =>
+            {
+                out.push(Action::Unicast {
+                    to: requester,
+                    packet: Packet::PrimaryIs {
+                        group: self.config.group,
+                        source: self.config.source,
+                        primary: self.current_primary,
+                    },
+                });
+            }
+            _ => {}
+        }
+    }
+
+    fn poll(&mut self, now: Time, out: &mut Actions) {
+        // Heartbeats.
+        while self.schedule.due(now) {
+            if let Some(seq) = self.last_seq {
+                let hb_index = self.schedule.on_heartbeat_sent(now);
+                let payload = if self.config.repeat_payload_up_to > 0
+                    && self.last_payload.len() <= self.config.repeat_payload_up_to
+                {
+                    self.last_payload.clone()
+                } else {
+                    Bytes::new()
+                };
+                out.push(Action::Multicast {
+                    scope: TtlScope::Global,
+                    packet: Packet::Heartbeat {
+                        group: self.config.group,
+                        source: self.config.source,
+                        seq,
+                        epoch: self.current_epoch(),
+                        hb_index,
+                        payload,
+                    },
+                });
+            } else {
+                break;
+            }
+        }
+        // Statistical acknowledgement.
+        if let Some(sa) = &mut self.statack {
+            let mut events = Vec::new();
+            sa.poll(now, &mut events);
+            self.drain_statack(events, out);
+        }
+        // Reliable handoff to the primary logger.
+        if matches!(self.health, PrimaryHealth::Healthy) {
+            if let Some(at) = self.next_handoff_at {
+                if now >= at {
+                    let unlogged: Vec<u64> = self
+                        .buffer
+                        .keys()
+                        .copied()
+                        .filter(|&idx| idx >= self.released_below)
+                        .take(64)
+                        .collect();
+                    if unlogged.is_empty() {
+                        self.next_handoff_at = None;
+                    } else {
+                        self.handoff_attempts += 1;
+                        if self.handoff_attempts > self.config.handoff_attempts_before_failover {
+                            self.next_handoff_at = Some(now + self.config.failover_wait);
+                            self.begin_failover(now, out);
+                        } else {
+                            for idx in unlogged {
+                                let b = &self.buffer[&idx];
+                                out.push(Action::Unicast {
+                                    to: self.current_primary,
+                                    packet: self.data_packet(b),
+                                });
+                            }
+                            self.next_handoff_at = Some(now + self.config.handoff_retry);
+                        }
+                    }
+                }
+            }
+        } else if let PrimaryHealth::Probing { since, .. } = &self.health {
+            if now.since(*since) >= self.config.failover_wait {
+                self.finish_failover(now, out);
+            }
+        }
+    }
+
+    fn next_deadline(&self) -> Option<Time> {
+        let mut d = self.schedule.next_at().filter(|_| self.last_seq.is_some());
+        if let Some(sa) = &self.statack {
+            d = earliest(d, sa.next_deadline());
+        }
+        d = earliest(d, self.next_handoff_at);
+        if let PrimaryHealth::Probing { since, .. } = &self.health {
+            d = earliest(d, Some(*since + self.config.failover_wait));
+        }
+        d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::{notices, sent_packets};
+
+    const GROUP: GroupId = GroupId(1);
+    const SRC: SourceId = SourceId(10);
+    const HOST: HostId = HostId(100);
+    const PRIMARY: HostId = HostId(200);
+
+    fn sender() -> Sender {
+        Sender::new(SenderConfig::new(GROUP, SRC, HOST, PRIMARY))
+    }
+
+    fn log_ack(seq: u32) -> Packet {
+        Packet::LogAck { group: GROUP, source: SRC, primary_seq: Seq(seq), replica_seq: Seq(seq) }
+    }
+
+    #[test]
+    fn send_multicasts_data_with_increasing_seq() {
+        let mut s = sender();
+        let mut out = Actions::new();
+        s.on_start(Time::ZERO, &mut out);
+        s.send(Time::ZERO, Bytes::from_static(b"a"), &mut out);
+        s.send(Time::ZERO, Bytes::from_static(b"b"), &mut out);
+        let pkts = sent_packets(&out);
+        let seqs: Vec<u32> = pkts
+            .iter()
+            .filter_map(|p| match p {
+                Packet::Data { seq, .. } => Some(seq.raw()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(seqs, vec![1, 2]);
+        assert_eq!(s.buffered(), 2);
+    }
+
+    #[test]
+    fn heartbeats_follow_variable_schedule_and_repeat_last_seq() {
+        let mut s = sender();
+        let mut out = Actions::new();
+        s.on_start(Time::ZERO, &mut out);
+        s.send(Time::ZERO, Bytes::from_static(b"a"), &mut out);
+        out.clear();
+        // First heartbeat due at h_min = 250 ms.
+        assert!(s.next_deadline().unwrap() <= Time::from_millis(250));
+        s.poll(Time::from_millis(250), &mut out);
+        match &sent_packets(&out)[..] {
+            [Packet::Heartbeat { seq, hb_index: 1, .. }] => assert_eq!(*seq, Seq(1)),
+            other => panic!("expected one heartbeat, got {other:?}"),
+        }
+        out.clear();
+        // (A handoff retry may interleave at 500 ms+; filter heartbeats.)
+        s.poll(Time::from_millis(750), &mut out);
+        let hbs: Vec<u32> = sent_packets(&out)
+            .iter()
+            .filter_map(|p| match p {
+                Packet::Heartbeat { hb_index, .. } => Some(*hb_index),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(hbs, vec![2]);
+    }
+
+    #[test]
+    fn no_heartbeats_before_first_data() {
+        let mut s = sender();
+        let mut out = Actions::new();
+        s.on_start(Time::ZERO, &mut out);
+        assert_eq!(s.next_deadline(), None);
+        s.poll(Time::from_secs(100), &mut out);
+        assert!(sent_packets(&out).is_empty());
+    }
+
+    #[test]
+    fn log_ack_releases_buffer() {
+        let mut s = sender();
+        let mut out = Actions::new();
+        s.on_start(Time::ZERO, &mut out);
+        for _ in 0..3 {
+            s.send(Time::ZERO, Bytes::from_static(b"x"), &mut out);
+        }
+        out.clear();
+        s.on_packet(Time::from_millis(10), PRIMARY, log_ack(2), &mut out);
+        assert_eq!(s.buffered(), 1);
+        assert!(notices(&out)
+            .iter()
+            .any(|n| matches!(n, Notice::BufferReleased { up_to } if *up_to == Seq(2))));
+        s.on_packet(Time::from_millis(20), PRIMARY, log_ack(3), &mut out);
+        assert_eq!(s.buffered(), 0);
+    }
+
+    #[test]
+    fn replica_ack_requirement_holds_buffer() {
+        let mut cfg = SenderConfig::new(GROUP, SRC, HOST, PRIMARY);
+        cfg.require_replica_ack = true;
+        let mut s = Sender::new(cfg);
+        let mut out = Actions::new();
+        s.on_start(Time::ZERO, &mut out);
+        s.send(Time::ZERO, Bytes::from_static(b"x"), &mut out);
+        out.clear();
+        // Primary has it but no replica does: buffer must be retained.
+        let ack = Packet::LogAck {
+            group: GROUP,
+            source: SRC,
+            primary_seq: Seq(1),
+            replica_seq: Seq(0),
+        };
+        s.on_packet(Time::from_millis(5), PRIMARY, ack, &mut out);
+        assert_eq!(s.buffered(), 1);
+        s.on_packet(Time::from_millis(9), PRIMARY, log_ack(1), &mut out);
+        assert_eq!(s.buffered(), 0);
+    }
+
+    #[test]
+    fn handoff_retries_unacked_data_to_primary() {
+        let mut s = sender();
+        let mut out = Actions::new();
+        s.on_start(Time::ZERO, &mut out);
+        s.send(Time::ZERO, Bytes::from_static(b"x"), &mut out);
+        out.clear();
+        let retry_at = Time::ZERO + s.config.handoff_retry;
+        s.poll(retry_at, &mut out);
+        let unicast_data = out.iter().any(|a| {
+            matches!(a, Action::Unicast { to, packet: Packet::Data { seq, .. } }
+                if *to == PRIMARY && *seq == Seq(1))
+        });
+        assert!(unicast_data, "expected handoff retransmission, got {out:?}");
+    }
+
+    #[test]
+    fn nack_served_from_buffer() {
+        let mut s = sender();
+        let mut out = Actions::new();
+        s.on_start(Time::ZERO, &mut out);
+        s.send(Time::ZERO, Bytes::from_static(b"hello"), &mut out);
+        out.clear();
+        let nack = Packet::Nack {
+            group: GROUP,
+            source: SRC,
+            requester: PRIMARY,
+            ranges: vec![lbrm_wire::packet::SeqRange::single(Seq(1))],
+        };
+        s.on_packet(Time::from_millis(5), PRIMARY, nack, &mut out);
+        match &out[..] {
+            [Action::Unicast { to, packet: Packet::Retrans { seq, payload, .. } }] => {
+                assert_eq!(*to, PRIMARY);
+                assert_eq!(*seq, Seq(1));
+                assert_eq!(payload.as_ref(), b"hello");
+            }
+            other => panic!("expected retransmission, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn locate_primary_answered() {
+        let mut s = sender();
+        let mut out = Actions::new();
+        s.on_start(Time::ZERO, &mut out);
+        let asker = HostId(77);
+        s.on_packet(
+            Time::ZERO,
+            asker,
+            Packet::LocatePrimary { group: GROUP, source: SRC, requester: asker },
+            &mut out,
+        );
+        assert!(matches!(
+            &out[..],
+            [Action::Unicast { to, packet: Packet::PrimaryIs { primary, .. } }]
+                if *to == asker && *primary == PRIMARY
+        ));
+    }
+
+    #[test]
+    fn failover_promotes_most_up_to_date_replica() {
+        let replica_a = HostId(301);
+        let replica_b = HostId(302);
+        let mut cfg = SenderConfig::new(GROUP, SRC, HOST, PRIMARY);
+        cfg.replicas = vec![replica_a, replica_b];
+        let mut s = Sender::new(cfg);
+        let mut out = Actions::new();
+        s.on_start(Time::ZERO, &mut out);
+        let mut now = Time::ZERO;
+        for _ in 0..3 {
+            s.send(now, Bytes::from_static(b"x"), &mut out);
+        }
+        out.clear();
+        // Primary never acks: drive handoff retries (interleaved with
+        // heartbeats) past the threshold.
+        for _ in 0..60 {
+            now = s.next_deadline().unwrap();
+            s.poll(now, &mut out);
+            if notices(&out).iter().any(|n| matches!(n, Notice::PrimaryUnresponsive { .. })) {
+                break;
+            }
+        }
+        assert!(notices(&out)
+            .iter()
+            .any(|n| matches!(n, Notice::PrimaryUnresponsive { primary } if *primary == PRIMARY)));
+        // Both replicas report their log state (reusing LogAck): B is
+        // more up to date.
+        let report_a = Packet::LogAck {
+            group: GROUP,
+            source: SRC,
+            primary_seq: Seq(1),
+            replica_seq: Seq(1),
+        };
+        let report_b = Packet::LogAck {
+            group: GROUP,
+            source: SRC,
+            primary_seq: Seq(2),
+            replica_seq: Seq(2),
+        };
+        out.clear();
+        s.on_packet(now, replica_a, report_a, &mut out);
+        s.on_packet(now, replica_b, report_b, &mut out);
+        assert_eq!(s.primary(), replica_b);
+        assert!(notices(&out)
+            .iter()
+            .any(|n| matches!(n, Notice::Promoted { new_primary } if *new_primary == replica_b)));
+        // The new primary is told, the group is told, and the missing
+        // packet (#3) is brought current from the buffer.
+        let promoted_unicast = out.iter().any(|a| {
+            matches!(a, Action::Unicast { to, packet: Packet::PrimaryIs { primary, .. } }
+                if *to == replica_b && *primary == replica_b)
+        });
+        assert!(promoted_unicast);
+        let refill = out.iter().any(|a| {
+            matches!(a, Action::Unicast { to, packet: Packet::Data { seq, .. } }
+                if *to == replica_b && *seq == Seq(3))
+        });
+        assert!(refill, "expected buffer refill of #3: {out:?}");
+    }
+
+    #[test]
+    fn statack_selection_emitted_on_start() {
+        let mut cfg = SenderConfig::new(GROUP, SRC, HOST, PRIMARY);
+        cfg.statack = Some(StatAckConfig::default());
+        let mut s = Sender::new(cfg);
+        let mut out = Actions::new();
+        s.on_start(Time::ZERO, &mut out);
+        assert!(matches!(
+            sent_packets(&out)[..],
+            [Packet::AckerSelect { .. }]
+        ));
+    }
+
+    #[test]
+    fn statack_remulticast_resends_data() {
+        let mut cfg = SenderConfig::new(GROUP, SRC, HOST, PRIMARY);
+        cfg.statack = Some(StatAckConfig { nsl_initial: 300.0, k: 3, ..StatAckConfig::default() });
+        let mut s = Sender::new(cfg);
+        let mut out = Actions::new();
+        s.on_start(Time::ZERO, &mut out);
+        let epoch = match sent_packets(&out)[..] {
+            [Packet::AckerSelect { epoch, .. }] => *epoch,
+            _ => panic!(),
+        };
+        for h in [1, 2, 3] {
+            s.on_packet(
+                Time::ZERO,
+                HostId(h),
+                Packet::AckerVolunteer { group: GROUP, source: SRC, epoch, logger: HostId(h) },
+                &mut out,
+            );
+        }
+        // Activate the epoch.
+        let mut now = s.next_deadline().unwrap();
+        out.clear();
+        s.poll(now, &mut out);
+        assert_eq!(s.current_epoch(), epoch);
+        s.send(now, Bytes::from_static(b"q"), &mut out);
+        // No acks arrive; at t_wait the sender re-multicasts #1.
+        out.clear();
+        now = s.next_deadline().unwrap();
+        s.poll(now, &mut out);
+        let re = out.iter().any(|a| {
+            matches!(a, Action::Multicast { packet: Packet::Data { seq, .. }, .. } if *seq == Seq(1))
+        });
+        assert!(re, "expected re-multicast: {out:?}");
+        assert!(notices(&out)
+            .iter()
+            .any(|n| matches!(n, Notice::StatAckRemulticast { seq, missing_acks: 3 } if *seq == Seq(1))));
+    }
+
+    #[test]
+    fn repeat_payload_in_heartbeat_when_small() {
+        let mut cfg = SenderConfig::new(GROUP, SRC, HOST, PRIMARY);
+        cfg.repeat_payload_up_to = 16;
+        let mut s = Sender::new(cfg);
+        let mut out = Actions::new();
+        s.on_start(Time::ZERO, &mut out);
+        s.send(Time::ZERO, Bytes::from_static(b"tiny"), &mut out);
+        out.clear();
+        s.poll(Time::from_millis(250), &mut out);
+        let hb_payload = |out: &Actions| {
+            sent_packets(out)
+                .iter()
+                .find_map(|p| match p {
+                    Packet::Heartbeat { payload, .. } => Some(payload.clone()),
+                    _ => None,
+                })
+                .expect("heartbeat sent")
+        };
+        assert_eq!(hb_payload(&out).as_ref(), b"tiny");
+        // A large payload is not repeated.
+        s.send(Time::from_secs(1), Bytes::from(vec![0u8; 64]), &mut out);
+        out.clear();
+        s.poll(Time::from_millis(1250), &mut out);
+        assert!(hb_payload(&out).is_empty());
+    }
+
+    #[test]
+    fn fixed_scheme_heartbeats_at_constant_rate() {
+        let mut cfg = SenderConfig::new(GROUP, SRC, HOST, PRIMARY);
+        cfg.scheme = HeartbeatScheme::Fixed;
+        let mut s = Sender::new(cfg);
+        let mut out = Actions::new();
+        s.on_start(Time::ZERO, &mut out);
+        s.send(Time::ZERO, Bytes::from_static(b"x"), &mut out);
+        out.clear();
+        // Ten polls, 250 ms apart: ten heartbeats.
+        for i in 1..=10u64 {
+            s.poll(Time::from_millis(250 * i), &mut out);
+        }
+        let hbs = sent_packets(&out)
+            .iter()
+            .filter(|p| matches!(p, Packet::Heartbeat { .. }))
+            .count();
+        assert_eq!(hbs, 10);
+    }
+}

@@ -1,0 +1,177 @@
+//! Property tests for the protocol's core data structures and schedules.
+
+use std::collections::BTreeSet;
+use std::time::Duration;
+
+use bytes::Bytes;
+use lbrm_core::gaps::GapTracker;
+use lbrm_core::heartbeat::{analysis, HeartbeatConfig, VariableHeartbeat};
+use lbrm_core::logstore::{LogStore, Retention};
+use lbrm_core::time::Time;
+use lbrm_wire::Seq;
+use proptest::prelude::*;
+
+/// Model-based test: the gap tracker against a naive reference set.
+fn reference_missing(observed: &[u32]) -> BTreeSet<u32> {
+    let Some(&first) = observed.first() else { return BTreeSet::new() };
+    let max = *observed.iter().max().unwrap();
+    let have: BTreeSet<u32> = observed.iter().copied().collect();
+    (first..=max).filter(|s| !have.contains(s)).collect()
+}
+
+proptest! {
+    /// Arbitrary observation orders (no wraparound, ±2000 window) agree
+    /// with a reference set model.
+    #[test]
+    fn gap_tracker_matches_reference(
+        base in 1000u32..2_000_000,
+        offsets in proptest::collection::vec(0u32..2000, 1..80),
+    ) {
+        let seqs: Vec<u32> = offsets.iter().map(|o| base + o).collect();
+        let mut tracker = GapTracker::new();
+        for &s in &seqs {
+            tracker.observe(Seq(s));
+        }
+        // The tracker's floor starts at the first observation; the
+        // reference must too. Everything before the first observed seq is
+        // out of scope.
+        let first = seqs[0];
+        let missing_ref: BTreeSet<u32> =
+            reference_missing(&seqs).into_iter().filter(|&s| s > first).collect();
+        let mut missing_got = BTreeSet::new();
+        for r in tracker.missing_ranges(usize::MAX >> 1) {
+            for s in r.iter() {
+                missing_got.insert(s.raw());
+            }
+        }
+        prop_assert_eq!(missing_got, missing_ref);
+        // Highest matches.
+        prop_assert_eq!(tracker.highest().map(|s| s.raw()), seqs.iter().copied().max());
+    }
+
+    /// Ranges returned are ascending, disjoint, and non-adjacent.
+    #[test]
+    fn gap_ranges_are_canonical(
+        offsets in proptest::collection::vec(0u32..500, 1..60),
+    ) {
+        let mut tracker = GapTracker::new();
+        for &o in &offsets {
+            tracker.observe(Seq(10_000 + o));
+        }
+        let ranges = tracker.missing_ranges(usize::MAX >> 1);
+        for w in ranges.windows(2) {
+            prop_assert!(w[0].last.raw() + 1 < w[1].first.raw());
+        }
+        for r in &ranges {
+            prop_assert!(!r.is_empty());
+        }
+    }
+
+    /// Filling every reported gap leaves the tracker complete.
+    #[test]
+    fn filling_all_gaps_completes(
+        offsets in proptest::collection::vec(0u32..300, 1..40),
+    ) {
+        let mut tracker = GapTracker::new();
+        for &o in &offsets {
+            tracker.observe(Seq(500 + o));
+        }
+        let ranges = tracker.missing_ranges(usize::MAX >> 1);
+        for r in ranges {
+            for s in r.iter() {
+                tracker.observe(s);
+            }
+        }
+        prop_assert_eq!(tracker.missing_count(), 0);
+    }
+
+    /// The variable heartbeat schedule: deadlines strictly increase,
+    /// intervals are monotonically non-decreasing and within
+    /// [h_min, h_max].
+    #[test]
+    fn heartbeat_schedule_invariants(
+        h_min_ms in 10u64..1000,
+        factor in 1u32..200,
+        backoff in 1.1f64..8.0,
+        steps in 1usize..40,
+    ) {
+        let h_min = Duration::from_millis(h_min_ms);
+        let h_max = h_min * factor;
+        let cfg = HeartbeatConfig { h_min, h_max, backoff };
+        let mut hb = VariableHeartbeat::new(cfg);
+        hb.on_data_sent(Time::ZERO);
+        let mut prev_fire = Time::ZERO;
+        let mut prev_interval = Duration::ZERO;
+        for i in 0..steps {
+            let fire = hb.next_heartbeat_at().unwrap();
+            prop_assert!(fire > prev_fire);
+            let interval = fire - prev_fire;
+            prop_assert!(interval >= prev_interval || i == 0);
+            // Tolerance for f64 rounding of the backoff arithmetic.
+            let tol = Duration::from_nanos(10);
+            prop_assert!(interval + tol >= h_min, "interval {interval:?} < h_min {h_min:?}");
+            prop_assert!(interval <= h_max + tol, "interval {interval:?} > h_max {h_max:?}");
+            prop_assert_eq!(hb.on_heartbeat_sent(fire), (i + 1) as u32);
+            prev_interval = interval;
+            prev_fire = fire;
+        }
+    }
+
+    /// The variable scheme never sends more heartbeats than the fixed
+    /// scheme for any interval and parameters (§2.1.2).
+    #[test]
+    fn variable_overhead_never_exceeds_fixed(
+        dt in 0.01f64..5000.0,
+        backoff in 1.0f64..6.0,
+    ) {
+        let cfg = HeartbeatConfig {
+            h_min: Duration::from_millis(250),
+            h_max: Duration::from_secs(32),
+            backoff,
+        };
+        let v = analysis::variable_heartbeats_per_interval(dt, &cfg);
+        let f = analysis::fixed_heartbeats_per_interval(dt, 0.25);
+        prop_assert!(v <= f, "dt={dt} backoff={backoff}: {v} > {f}");
+    }
+
+    /// Log store: `contiguous_high` never claims a sequence that was not
+    /// inserted, under any insertion order and Count retention.
+    #[test]
+    fn logstore_contiguity_is_sound(
+        offsets in proptest::collection::vec(0u32..120, 1..60),
+        keep in 1usize..20,
+    ) {
+        let mut log = LogStore::new(Retention::Count(keep));
+        let mut inserted = BTreeSet::new();
+        let base = 100u32;
+        for &o in &offsets {
+            log.insert(Time::ZERO, Seq(base + o), Bytes::from_static(b"x"));
+            inserted.insert(base + o);
+        }
+        if let Some(high) = log.contiguous_high() {
+            let first = *inserted.iter().next().unwrap();
+            for s in first..=high.raw() {
+                prop_assert!(inserted.contains(&s),
+                    "contiguous_high {high} covers never-inserted {s}");
+            }
+        }
+        prop_assert!(log.len() <= keep);
+    }
+
+    /// Whatever the store still holds is returned verbatim.
+    #[test]
+    fn logstore_get_returns_inserted_payload(
+        seqs in proptest::collection::btree_set(0u32..200, 1..50),
+    ) {
+        let mut log = LogStore::new(Retention::All);
+        for &s in &seqs {
+            log.insert(Time::ZERO, Seq(1000 + s), Bytes::from(format!("p{s}")));
+        }
+        for &s in &seqs {
+            prop_assert_eq!(
+                log.get(Seq(1000 + s)),
+                Some(Bytes::from(format!("p{s}")))
+            );
+        }
+    }
+}

@@ -1,0 +1,116 @@
+//! Transport addressing.
+//!
+//! The wire protocol identifies hosts by [`HostId`]. For the UDP
+//! transport an IPv4 socket address packs losslessly into the 64-bit id
+//! (`ip << 16 | port`), so unicast replies need no out-of-band registry —
+//! a requester's id *is* its return address. Multicast groups map to
+//! addresses in the administratively scoped `239.195.0.0/16` block (and
+//! may be overridden per group).
+
+use std::collections::HashMap;
+use std::net::{Ipv4Addr, SocketAddrV4};
+
+use lbrm_wire::{GroupId, HostId};
+
+/// Packs an IPv4 socket address into a [`HostId`].
+pub fn host_of(addr: SocketAddrV4) -> HostId {
+    let ip = u32::from(*addr.ip());
+    HostId((u64::from(ip) << 16) | u64::from(addr.port()))
+}
+
+/// Unpacks a [`HostId`] produced by [`host_of`].
+pub fn addr_of(host: HostId) -> SocketAddrV4 {
+    let ip = Ipv4Addr::from((host.raw() >> 16) as u32);
+    let port = (host.raw() & 0xFFFF) as u16;
+    SocketAddrV4::new(ip, port)
+}
+
+/// Maps [`GroupId`]s to multicast socket addresses.
+#[derive(Debug, Clone)]
+pub struct GroupMap {
+    port: u16,
+    overrides: HashMap<GroupId, SocketAddrV4>,
+}
+
+impl GroupMap {
+    /// Default data port for LBRM groups.
+    pub const DEFAULT_PORT: u16 = 48_195;
+
+    /// A map assigning every group a `239.195.x.y:port` address derived
+    /// from its id.
+    pub fn new(port: u16) -> Self {
+        GroupMap { port, overrides: HashMap::new() }
+    }
+
+    /// Overrides the address of one group.
+    pub fn set(&mut self, group: GroupId, addr: SocketAddrV4) {
+        self.overrides.insert(group, addr);
+    }
+
+    /// The multicast socket address of `group`.
+    pub fn addr(&self, group: GroupId) -> SocketAddrV4 {
+        if let Some(a) = self.overrides.get(&group) {
+            return *a;
+        }
+        let raw = group.raw();
+        let ip = Ipv4Addr::new(239, 195, (raw >> 8) as u8, raw as u8);
+        SocketAddrV4::new(ip, self.port)
+    }
+
+    /// The port groups listen on.
+    pub fn port(&self) -> u16 {
+        self.port
+    }
+}
+
+impl Default for GroupMap {
+    fn default() -> Self {
+        GroupMap::new(Self::DEFAULT_PORT)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn host_addr_roundtrip() {
+        let addrs = [
+            SocketAddrV4::new(Ipv4Addr::new(127, 0, 0, 1), 5000),
+            SocketAddrV4::new(Ipv4Addr::new(10, 1, 2, 3), 65_535),
+            SocketAddrV4::new(Ipv4Addr::new(255, 255, 255, 255), 1),
+            SocketAddrV4::new(Ipv4Addr::new(0, 0, 0, 0), 0),
+        ];
+        for a in addrs {
+            assert_eq!(addr_of(host_of(a)), a);
+        }
+    }
+
+    #[test]
+    fn distinct_addresses_distinct_hosts() {
+        let a = host_of(SocketAddrV4::new(Ipv4Addr::new(10, 0, 0, 1), 9));
+        let b = host_of(SocketAddrV4::new(Ipv4Addr::new(10, 0, 0, 1), 10));
+        let c = host_of(SocketAddrV4::new(Ipv4Addr::new(10, 0, 0, 2), 9));
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn group_map_derives_multicast_addresses() {
+        let m = GroupMap::default();
+        let a = m.addr(GroupId(1));
+        assert!(a.ip().is_multicast());
+        assert_eq!(*a.ip(), Ipv4Addr::new(239, 195, 0, 1));
+        assert_eq!(a.port(), GroupMap::DEFAULT_PORT);
+        assert_eq!(*m.addr(GroupId(0x1234)).ip(), Ipv4Addr::new(239, 195, 0x12, 0x34));
+    }
+
+    #[test]
+    fn group_map_overrides() {
+        let mut m = GroupMap::new(7000);
+        let custom = SocketAddrV4::new(Ipv4Addr::new(234, 12, 29, 72), 8000);
+        m.set(GroupId(5), custom);
+        assert_eq!(m.addr(GroupId(5)), custom);
+        assert_eq!(m.addr(GroupId(6)).port(), 7000);
+    }
+}

@@ -1,0 +1,286 @@
+//! The endpoint driver: one protocol machine + one transport + tokio.
+//!
+//! The driver loop mirrors what the simulator does deterministically:
+//! feed arriving packets to the machine, call `poll` when its deadline
+//! passes, execute the emitted actions. Applications interact through an
+//! [`EndpointHandle`]: closures posted with
+//! [`call`](EndpointHandle::call) run against the machine inside the
+//! loop (e.g. `Sender::send`), and deliveries / notices stream back as
+//! [`EndpointEvent`]s.
+
+use std::io;
+use std::time::Duration;
+
+use tokio::sync::mpsc;
+use tokio::time::Instant;
+
+use lbrm_core::machine::{Action, Actions, Delivery, Machine, Notice};
+use lbrm_core::time::Time;
+use lbrm_wire::GroupId;
+
+use crate::Transport;
+
+/// An application-visible protocol event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EndpointEvent {
+    /// A data packet reached the application.
+    Delivery(Delivery),
+    /// A protocol notice (loss detected, freshness lost, promotion, ...).
+    Notice(Notice),
+}
+
+type Command<M> = Box<dyn FnOnce(&mut M, Time, &mut Actions) + Send>;
+
+/// The application's handle to a running [`Endpoint`].
+pub struct EndpointHandle<M> {
+    cmd_tx: mpsc::Sender<Command<M>>,
+    events: mpsc::Receiver<EndpointEvent>,
+}
+
+impl<M: Machine> EndpointHandle<M> {
+    /// Runs `f` against the machine inside the endpoint loop.
+    ///
+    /// # Errors
+    ///
+    /// When the endpoint has shut down.
+    pub async fn call(
+        &self,
+        f: impl FnOnce(&mut M, Time, &mut Actions) + Send + 'static,
+    ) -> io::Result<()> {
+        self.cmd_tx
+            .send(Box::new(f))
+            .await
+            .map_err(|_| io::Error::new(io::ErrorKind::BrokenPipe, "endpoint closed"))
+    }
+
+    /// Receives the next event, or `None` after shutdown.
+    pub async fn event(&mut self) -> Option<EndpointEvent> {
+        self.events.recv().await
+    }
+
+    /// Receives the next event within `timeout`.
+    pub async fn event_timeout(&mut self, timeout: Duration) -> Option<EndpointEvent> {
+        tokio::time::timeout(timeout, self.events.recv()).await.ok().flatten()
+    }
+}
+
+/// A protocol machine bound to a transport, ready to run.
+pub struct Endpoint<M: Machine, T: Transport> {
+    machine: M,
+    transport: T,
+    groups: Vec<GroupId>,
+    cmd_rx: mpsc::Receiver<Command<M>>,
+    event_tx: mpsc::Sender<EndpointEvent>,
+}
+
+impl<M: Machine + Send + 'static, T: Transport> Endpoint<M, T> {
+    /// Pairs a machine with a transport; `groups` are joined at startup.
+    pub fn new(machine: M, transport: T, groups: Vec<GroupId>) -> (Self, EndpointHandle<M>) {
+        let (cmd_tx, cmd_rx) = mpsc::channel(256);
+        let (event_tx, events) = mpsc::channel(1024);
+        (
+            Endpoint { machine, transport, groups, cmd_rx, event_tx },
+            EndpointHandle { cmd_tx, events },
+        )
+    }
+
+    /// Runs the endpoint until the handle is dropped or the transport
+    /// fails.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport I/O errors.
+    pub async fn run(mut self) -> io::Result<()> {
+        let origin = Instant::now();
+        let now_fn = |origin: Instant| {
+            Time::from_nanos(Instant::now().duration_since(origin).as_nanos() as u64)
+        };
+        for g in &self.groups {
+            self.transport.join(*g)?;
+        }
+        let mut out = Actions::new();
+        self.machine.on_start(now_fn(origin), &mut out);
+        self.execute(&mut out).await?;
+
+        loop {
+            let deadline = self
+                .machine
+                .next_deadline()
+                .map(|t| origin + Duration::from_nanos(t.nanos()))
+                .unwrap_or_else(|| Instant::now() + Duration::from_secs(3600));
+            tokio::select! {
+                biased;
+                cmd = self.cmd_rx.recv() => {
+                    let Some(cmd) = cmd else { return Ok(()) }; // handle dropped
+                    let now = now_fn(origin);
+                    cmd(&mut self.machine, now, &mut out);
+                    self.machine.poll(now, &mut out);
+                    self.execute(&mut out).await?;
+                }
+                recv = self.transport.recv() => {
+                    let (from, packet) = recv?;
+                    self.machine.on_packet(now_fn(origin), from, packet, &mut out);
+                    self.execute(&mut out).await?;
+                }
+                _ = tokio::time::sleep_until(deadline) => {
+                    self.machine.poll(now_fn(origin), &mut out);
+                    self.execute(&mut out).await?;
+                }
+            }
+        }
+    }
+
+    async fn execute(&mut self, out: &mut Actions) -> io::Result<()> {
+        for action in out.drain(..) {
+            match action {
+                Action::Unicast { to, packet } => {
+                    self.transport.send_unicast(to, &packet).await?;
+                }
+                Action::Multicast { scope, packet } => {
+                    self.transport.send_multicast(scope, &packet).await?;
+                }
+                Action::Deliver(d) => {
+                    // A slow or absent consumer must not wedge the
+                    // protocol; drop events if the channel is full.
+                    let _ = self.event_tx.try_send(EndpointEvent::Delivery(d));
+                }
+                Action::Notice(n) => {
+                    let _ = self.event_tx.try_send(EndpointEvent::Notice(n));
+                }
+                Action::Join(g) => self.transport.join(g)?,
+                Action::Leave(g) => self.transport.leave(g)?,
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hub::Hub;
+    use bytes::Bytes;
+    use lbrm_core::logger::{Logger, LoggerConfig};
+    use lbrm_core::receiver::{Receiver, ReceiverConfig};
+    use lbrm_core::sender::{Sender, SenderConfig};
+    use lbrm_wire::{HostId, Seq, SourceId};
+
+    const GROUP: GroupId = GroupId(1);
+    const SRC: SourceId = SourceId(1);
+    const SRC_HOST: HostId = HostId(1);
+    const LOG_HOST: HostId = HostId(2);
+    const RX_HOST: HostId = HostId(3);
+
+    struct Net {
+        hub: Hub,
+        sender: EndpointHandle<Sender>,
+        _logger: EndpointHandle<Logger>,
+        receiver: EndpointHandle<Receiver>,
+        tasks: Vec<tokio::task::JoinHandle<io::Result<()>>>,
+    }
+
+    async fn spawn_net() -> Net {
+        let hub = Hub::new();
+        let mut tasks = Vec::new();
+
+        let (ep, sender) = Endpoint::new(
+            Sender::new(SenderConfig::new(GROUP, SRC, SRC_HOST, LOG_HOST)),
+            hub.attach(SRC_HOST),
+            vec![],
+        );
+        tasks.push(tokio::spawn(ep.run()));
+
+        let (ep, logger) = Endpoint::new(
+            Logger::new(LoggerConfig::primary(GROUP, SRC, LOG_HOST, SRC_HOST)),
+            hub.attach(LOG_HOST),
+            vec![GROUP],
+        );
+        tasks.push(tokio::spawn(ep.run()));
+
+        let (ep, receiver) = Endpoint::new(
+            Receiver::new(ReceiverConfig::new(GROUP, SRC, RX_HOST, SRC_HOST, vec![LOG_HOST])),
+            hub.attach(RX_HOST),
+            vec![GROUP],
+        );
+        tasks.push(tokio::spawn(ep.run()));
+
+        let net = Net { hub, sender, _logger: logger, receiver, tasks };
+        // Wait until the logger and receiver endpoints have joined the
+        // group, so the first multicast reaches them.
+        while net.hub.group_size(GROUP) < 2 {
+            tokio::time::sleep(Duration::from_millis(1)).await;
+        }
+        net
+    }
+
+    async fn publish(net: &Net, payload: &'static str) {
+        net.sender
+            .call(move |s: &mut Sender, now, out| s.send(now, Bytes::from_static(payload.as_bytes()), out))
+            .await
+            .unwrap();
+    }
+
+    async fn next_delivery(net: &mut Net) -> Option<Delivery> {
+        loop {
+            match net.receiver.event_timeout(Duration::from_secs(5)).await? {
+                EndpointEvent::Delivery(d) => return Some(d),
+                EndpointEvent::Notice(_) => continue,
+            }
+        }
+    }
+
+    #[tokio::test]
+    async fn publish_and_deliver_over_hub() {
+        let mut net = spawn_net().await;
+        publish(&net, "hello multicast").await;
+        let d = next_delivery(&mut net).await.expect("delivery");
+        assert_eq!(d.seq, Seq(1));
+        assert_eq!(d.payload.as_ref(), b"hello multicast");
+        assert!(!d.recovered);
+        for t in &net.tasks {
+            t.abort();
+        }
+    }
+
+    #[tokio::test]
+    async fn recovery_through_logger_after_partition() {
+        let mut net = spawn_net().await;
+        publish(&net, "one").await;
+        assert_eq!(next_delivery(&mut net).await.unwrap().seq, Seq(1));
+
+        // Partition the receiver while #2 goes out; the logger still
+        // hears it.
+        net.hub.set_partitioned(RX_HOST, true);
+        publish(&net, "two").await;
+        tokio::time::sleep(Duration::from_millis(50)).await;
+        net.hub.set_partitioned(RX_HOST, false);
+
+        // #3 reveals the gap; the receiver recovers #2 from the logger.
+        publish(&net, "three").await;
+        let mut got = Vec::new();
+        while got.len() < 2 {
+            let d = next_delivery(&mut net).await.expect("delivery");
+            got.push((d.seq.raw(), d.recovered));
+        }
+        got.sort();
+        assert_eq!(got[0], (2, true), "{got:?}");
+        assert_eq!(got[1], (3, false));
+        for t in &net.tasks {
+            t.abort();
+        }
+    }
+
+    #[tokio::test]
+    async fn handle_drop_shuts_endpoint_down() {
+        let hub = Hub::new();
+        let (ep, handle) = Endpoint::new(
+            Receiver::new(ReceiverConfig::new(GROUP, SRC, RX_HOST, SRC_HOST, vec![LOG_HOST])),
+            hub.attach(RX_HOST),
+            vec![GROUP],
+        );
+        let task = tokio::spawn(ep.run());
+        drop(handle);
+        let result = tokio::time::timeout(Duration::from_secs(1), task).await;
+        assert!(matches!(result, Ok(Ok(Ok(())))), "endpoint must exit cleanly");
+    }
+}

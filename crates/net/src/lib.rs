@@ -1,0 +1,65 @@
+//! Async transports for LBRM: run the sans-IO protocol machines over
+//! real sockets under tokio.
+//!
+//! * [`addr`] — the transport addressing scheme: IPv4 socket addresses
+//!   pack losslessly into [`lbrm_wire::HostId`]s, and multicast groups
+//!   map onto administratively-scoped `239.195.0.0/16` addresses.
+//! * [`hub`] — an in-process loopback transport (every endpoint in one
+//!   process, zero configuration): ideal for tests, demos, and CI where
+//!   multicast routing is unavailable.
+//! * [`udp`] — the real thing: UDP multicast with TTL-scoped sends,
+//!   matching the paper's deployment model.
+//! * [`endpoint`] — the driver that owns a machine and a transport,
+//!   translating packets, timers and application commands.
+//!
+//! The same [`lbrm_core::Machine`] values run unchanged under the
+//! deterministic simulator (`lbrm-sim`) and these transports.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod addr;
+pub mod endpoint;
+pub mod hub;
+pub mod udp;
+
+pub use addr::{addr_of, host_of, GroupMap};
+pub use endpoint::{Endpoint, EndpointEvent, EndpointHandle};
+pub use hub::{Hub, HubTransport};
+pub use udp::UdpTransport;
+
+use std::io;
+
+use lbrm_wire::{GroupId, HostId, Packet, TtlScope};
+
+/// A packet transport: how an endpoint reaches the world.
+///
+/// Implementations: [`UdpTransport`] (real UDP multicast) and
+/// [`HubTransport`] (in-process).
+pub trait Transport: Send + 'static {
+    /// The local host identity packets will carry.
+    fn local_host(&self) -> HostId;
+
+    /// Sends one packet to one host.
+    fn send_unicast(
+        &mut self,
+        to: HostId,
+        packet: &Packet,
+    ) -> impl std::future::Future<Output = io::Result<()>> + Send;
+
+    /// Multicasts one packet to its group at the given scope.
+    fn send_multicast(
+        &mut self,
+        scope: TtlScope,
+        packet: &Packet,
+    ) -> impl std::future::Future<Output = io::Result<()>> + Send;
+
+    /// Receives the next packet addressed to this endpoint.
+    fn recv(&mut self) -> impl std::future::Future<Output = io::Result<(HostId, Packet)>> + Send;
+
+    /// Joins a multicast group.
+    fn join(&mut self, group: GroupId) -> io::Result<()>;
+
+    /// Leaves a multicast group.
+    fn leave(&mut self, group: GroupId) -> io::Result<()>;
+}

@@ -1,0 +1,163 @@
+//! Real UDP multicast transport.
+//!
+//! One ephemeral unicast socket is the endpoint's identity (its address
+//! packs into the [`HostId`] carried in packets), and each joined group
+//! gets a receive socket bound to the group port. A reader task per
+//! socket decodes datagrams into a single channel; corrupt datagrams are
+//! dropped at the wire layer, and self-echoed multicast (loopback is
+//! left enabled so several endpoints can share one machine) is filtered
+//! by source address. Multicast sends set the IP TTL from the
+//! [`TtlScope`], so site-scoped repairs really do stay site-local
+//! (§2.2.1).
+
+use std::io;
+use std::net::{Ipv4Addr, SocketAddr, SocketAddrV4};
+use std::sync::Arc;
+
+use tokio::net::UdpSocket;
+use tokio::sync::mpsc;
+use tokio::task::JoinHandle;
+
+use lbrm_wire::{decode, encode, GroupId, HostId, Packet, TtlScope, MAX_PACKET_SIZE};
+
+use crate::addr::{addr_of, host_of, GroupMap};
+use crate::Transport;
+
+/// A UDP transport.
+pub struct UdpTransport {
+    unicast: Arc<UdpSocket>,
+    host: HostId,
+    groups: GroupMap,
+    interface: Ipv4Addr,
+    rx: mpsc::Receiver<(HostId, Packet)>,
+    tx: mpsc::Sender<(HostId, Packet)>,
+    members: Vec<(GroupId, Arc<UdpSocket>, JoinHandle<()>)>,
+    unicast_reader: JoinHandle<()>,
+}
+
+impl UdpTransport {
+    /// Binds a transport on `interface` (use `127.0.0.1` for single-host
+    /// loopback testing, a LAN address or `0.0.0.0` for deployment).
+    pub async fn bind(interface: Ipv4Addr, groups: GroupMap) -> io::Result<Self> {
+        let unicast = Arc::new(UdpSocket::bind(SocketAddrV4::new(interface, 0)).await?);
+        let local = match unicast.local_addr()? {
+            SocketAddr::V4(a) => a,
+            SocketAddr::V6(_) => {
+                return Err(io::Error::new(io::ErrorKind::Unsupported, "IPv6 bind"))
+            }
+        };
+        let advertised = SocketAddrV4::new(interface, local.port());
+        let host = host_of(advertised);
+        let (tx, rx) = mpsc::channel(1024);
+        let unicast_reader = tokio::spawn(read_loop(unicast.clone(), tx.clone(), host));
+        Ok(UdpTransport {
+            unicast,
+            host,
+            groups,
+            interface,
+            rx,
+            tx,
+            members: Vec::new(),
+            unicast_reader,
+        })
+    }
+
+    /// The local unicast address peers reply to.
+    pub fn local_addr(&self) -> SocketAddrV4 {
+        addr_of(self.host)
+    }
+}
+
+/// Decodes datagrams from `sock` into `tx`, dropping corrupt or
+/// self-originated ones.
+async fn read_loop(sock: Arc<UdpSocket>, tx: mpsc::Sender<(HostId, Packet)>, me: HostId) {
+    let mut buf = vec![0u8; MAX_PACKET_SIZE];
+    loop {
+        let Ok((n, from)) = sock.recv_from(&mut buf).await else { return };
+        let SocketAddr::V4(from) = from else { continue };
+        let from = host_of(from);
+        if from == me {
+            continue; // multicast loopback echo of our own send
+        }
+        if let Ok(packet) = decode(&buf[..n]) {
+            if tx.send((from, packet)).await.is_err() {
+                return;
+            }
+        }
+    }
+}
+
+impl Drop for UdpTransport {
+    fn drop(&mut self) {
+        self.unicast_reader.abort();
+        for (_, _, h) in &self.members {
+            h.abort();
+        }
+    }
+}
+
+impl Transport for UdpTransport {
+    fn local_host(&self) -> HostId {
+        self.host
+    }
+
+    async fn send_unicast(&mut self, to: HostId, packet: &Packet) -> io::Result<()> {
+        let bytes = encode(packet).map_err(io::Error::other)?;
+        self.unicast.send_to(&bytes, SocketAddr::V4(addr_of(to))).await?;
+        Ok(())
+    }
+
+    async fn send_multicast(&mut self, scope: TtlScope, packet: &Packet) -> io::Result<()> {
+        let bytes = encode(packet).map_err(io::Error::other)?;
+        let dst = self.groups.addr(packet.group());
+        self.unicast.set_multicast_ttl_v4(u32::from(scope.ttl()))?;
+        self.unicast.set_multicast_loop_v4(true)?;
+        self.unicast.send_to(&bytes, SocketAddr::V4(dst)).await?;
+        Ok(())
+    }
+
+    async fn recv(&mut self) -> io::Result<(HostId, Packet)> {
+        self.rx
+            .recv()
+            .await
+            .ok_or_else(|| io::Error::new(io::ErrorKind::BrokenPipe, "transport closed"))
+    }
+
+    fn join(&mut self, group: GroupId) -> io::Result<()> {
+        if self.members.iter().any(|(g, _, _)| *g == group) {
+            return Ok(());
+        }
+        let addr = self.groups.addr(group);
+        let std_sock = bind_reuse(SocketAddrV4::new(Ipv4Addr::UNSPECIFIED, addr.port()))?;
+        std_sock.set_nonblocking(true)?;
+        let sock = UdpSocket::from_std(std_sock)?;
+        sock.join_multicast_v4(*addr.ip(), self.interface)?;
+        let sock = Arc::new(sock);
+        let handle = tokio::spawn(read_loop(sock.clone(), self.tx.clone(), self.host));
+        self.members.push((group, sock, handle));
+        Ok(())
+    }
+
+    fn leave(&mut self, group: GroupId) -> io::Result<()> {
+        if let Some(pos) = self.members.iter().position(|(g, _, _)| *g == group) {
+            let (_, sock, handle) = self.members.remove(pos);
+            handle.abort();
+            let addr = self.groups.addr(group);
+            sock.leave_multicast_v4(*addr.ip(), self.interface)?;
+        }
+        Ok(())
+    }
+}
+
+/// Binds a UDP socket with `SO_REUSEADDR` (and `SO_REUSEPORT` where
+/// available) so several endpoints on one machine can all listen on the
+/// group port — required for single-host multicast testing.
+fn bind_reuse(addr: SocketAddrV4) -> io::Result<std::net::UdpSocket> {
+    use socket2::{Domain, Protocol, Socket, Type};
+    let sock = Socket::new(Domain::IPV4, Type::DGRAM, Some(Protocol::UDP))?;
+    sock.set_reuse_address(true)?;
+    #[cfg(all(unix, not(target_os = "solaris"), not(target_os = "illumos")))]
+    sock.set_reuse_port(true)?;
+    sock.bind(&SocketAddr::V4(addr).into())?;
+    Ok(sock.into())
+}

@@ -1,0 +1,219 @@
+//! Per-segment packet loss models.
+//!
+//! Three models cover the paper's evaluation needs:
+//!
+//! * [`LossModel::Bernoulli`] — independent loss with probability `p`,
+//!   for background lossiness.
+//! * [`LossModel::Gilbert`] — a two-state Markov chain (good/bad) stepped
+//!   per traversal, producing bursty correlated loss.
+//! * [`LossModel::Outages`] — deterministic windows during which *every*
+//!   traversal is dropped: the §2.1.1 "burst congestion of duration
+//!   t_burst" model, and the Figure-1 scenario where a congested tail
+//!   circuit blacks out a whole site.
+//!
+//! A [`LossState`] pairs a model with its mutable chain state; every
+//! network segment owns one, fed from the world's deterministic RNG.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+use crate::time::SimTime;
+
+/// A loss model for one network segment.
+#[derive(Debug, Clone, Default)]
+pub enum LossModel {
+    /// Never drops.
+    #[default]
+    None,
+    /// Independent drop with probability `p` per traversal.
+    Bernoulli {
+        /// Drop probability in `[0, 1]`.
+        p: f64,
+    },
+    /// Two-state Gilbert–Elliott chain stepped once per traversal.
+    Gilbert {
+        /// P(good → bad) per traversal.
+        p_enter_bad: f64,
+        /// P(bad → good) per traversal.
+        p_exit_bad: f64,
+        /// Drop probability while in the good state.
+        loss_good: f64,
+        /// Drop probability while in the bad state.
+        loss_bad: f64,
+    },
+    /// Deterministic outage windows `[start, end)`; all traversals inside
+    /// a window are dropped. Windows must be sorted and disjoint.
+    Outages {
+        /// The outage windows.
+        windows: Vec<(SimTime, SimTime)>,
+    },
+}
+
+impl LossModel {
+    /// Convenience constructor for an independent loss rate; `p = 0`
+    /// collapses to [`LossModel::None`].
+    pub fn rate(p: f64) -> LossModel {
+        assert!((0.0..=1.0).contains(&p), "loss probability must be in [0,1]");
+        if p == 0.0 {
+            LossModel::None
+        } else {
+            LossModel::Bernoulli { p }
+        }
+    }
+
+    /// A single outage window `[start, start + len)`.
+    pub fn outage(start: SimTime, len: std::time::Duration) -> LossModel {
+        LossModel::Outages { windows: vec![(start, start + len)] }
+    }
+}
+
+/// A loss model plus its mutable state.
+#[derive(Debug, Clone)]
+pub struct LossState {
+    model: LossModel,
+    /// Gilbert chain state: `true` while in the bad state.
+    in_bad: bool,
+    /// Counts of traversals dropped by this segment.
+    pub dropped: u64,
+    /// Counts of traversals passed by this segment.
+    pub passed: u64,
+}
+
+impl LossState {
+    /// Wraps a model with fresh state.
+    pub fn new(model: LossModel) -> LossState {
+        LossState { model, in_bad: false, dropped: 0, passed: 0 }
+    }
+
+    /// Evaluates one traversal at time `now`; `true` means *dropped*.
+    pub fn drops(&mut self, now: SimTime, rng: &mut SmallRng) -> bool {
+        let dropped = match &self.model {
+            LossModel::None => false,
+            LossModel::Bernoulli { p } => rng.random_bool(*p),
+            LossModel::Gilbert { p_enter_bad, p_exit_bad, loss_good, loss_bad } => {
+                // Step the chain, then sample loss in the resulting state.
+                if self.in_bad {
+                    if rng.random_bool(*p_exit_bad) {
+                        self.in_bad = false;
+                    }
+                } else if rng.random_bool(*p_enter_bad) {
+                    self.in_bad = true;
+                }
+                let p = if self.in_bad { *loss_bad } else { *loss_good };
+                p > 0.0 && rng.random_bool(p)
+            }
+            LossModel::Outages { windows } => {
+                windows.iter().any(|&(start, end)| now >= start && now < end)
+            }
+        };
+        if dropped {
+            self.dropped += 1;
+        } else {
+            self.passed += 1;
+        }
+        dropped
+    }
+
+    /// Observed drop fraction so far.
+    pub fn drop_fraction(&self) -> f64 {
+        let total = self.dropped + self.passed;
+        if total == 0 {
+            0.0
+        } else {
+            self.dropped as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use std::time::Duration;
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(7)
+    }
+
+    #[test]
+    fn none_never_drops() {
+        let mut s = LossState::new(LossModel::None);
+        let mut r = rng();
+        for _ in 0..1000 {
+            assert!(!s.drops(SimTime::ZERO, &mut r));
+        }
+        assert_eq!(s.dropped, 0);
+        assert_eq!(s.passed, 1000);
+    }
+
+    #[test]
+    fn bernoulli_matches_rate() {
+        let mut s = LossState::new(LossModel::rate(0.2));
+        let mut r = rng();
+        for _ in 0..20_000 {
+            s.drops(SimTime::ZERO, &mut r);
+        }
+        let f = s.drop_fraction();
+        assert!((f - 0.2).abs() < 0.02, "observed {f}");
+    }
+
+    #[test]
+    fn rate_zero_is_none() {
+        assert!(matches!(LossModel::rate(0.0), LossModel::None));
+    }
+
+    #[test]
+    #[should_panic(expected = "loss probability")]
+    fn rate_rejects_out_of_range() {
+        let _ = LossModel::rate(1.5);
+    }
+
+    #[test]
+    fn outage_windows_are_exact() {
+        let start = SimTime::from_secs(10);
+        let mut s = LossState::new(LossModel::outage(start, Duration::from_secs(2)));
+        let mut r = rng();
+        assert!(!s.drops(SimTime::from_secs(9), &mut r));
+        assert!(s.drops(SimTime::from_secs(10), &mut r));
+        assert!(s.drops(SimTime::from_millis(11_999), &mut r));
+        assert!(!s.drops(SimTime::from_secs(12), &mut r)); // end is exclusive
+    }
+
+    #[test]
+    fn gilbert_produces_bursts() {
+        // Long bad-state sojourns: consecutive drops should cluster far
+        // beyond what an equal-rate Bernoulli model would produce.
+        let mut s = LossState::new(LossModel::Gilbert {
+            p_enter_bad: 0.01,
+            p_exit_bad: 0.2,
+            loss_good: 0.0,
+            loss_bad: 1.0,
+        });
+        let mut r = rng();
+        let outcomes: Vec<bool> = (0..50_000).map(|_| s.drops(SimTime::ZERO, &mut r)).collect();
+        let drops = outcomes.iter().filter(|&&d| d).count();
+        assert!(drops > 0);
+        // Count runs of consecutive drops; mean run length should be near
+        // 1 / p_exit_bad = 5, clearly above 1.
+        let mut runs = 0usize;
+        let mut in_run = false;
+        for &d in &outcomes {
+            if d && !in_run {
+                runs += 1;
+            }
+            in_run = d;
+        }
+        let mean_run = drops as f64 / runs as f64;
+        assert!(mean_run > 2.5, "mean burst length {mean_run}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = || {
+            let mut s = LossState::new(LossModel::rate(0.3));
+            let mut r = SmallRng::seed_from_u64(42);
+            (0..256).map(|_| s.drops(SimTime::ZERO, &mut r)).collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,154 @@
+//! Traffic accounting.
+//!
+//! The paper's evaluation counts packets crossing particular *classes* of
+//! network segment: the LAN, a site's tail circuit (in either direction),
+//! and the WAN backbone. [`NetStats`] records carried and dropped
+//! traversals per segment class and per packet kind (`"data"`,
+//! `"heartbeat"`, `"nack"`, ...), plus per-site tail-circuit detail for
+//! the Figure-7 NACK-reduction experiment.
+
+use std::collections::HashMap;
+
+use lbrm_wire::SiteId;
+
+/// The four classes of network segment in the Figure-1 topology.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SegmentClass {
+    /// A site's local network.
+    Lan,
+    /// A site's tail circuit, outbound (site → backbone).
+    TailOut,
+    /// A site's tail circuit, inbound (backbone → site).
+    TailIn,
+    /// The wide-area backbone.
+    Wan,
+}
+
+/// Carried/dropped counters for one key.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Counter {
+    /// Traversals that crossed the segment.
+    pub carried: u64,
+    /// Bytes carried.
+    pub bytes: u64,
+    /// Traversals dropped by the segment's loss model.
+    pub dropped: u64,
+}
+
+/// Aggregated network statistics for a simulation run.
+#[derive(Debug, Clone, Default)]
+pub struct NetStats {
+    by_class: HashMap<(SegmentClass, &'static str), Counter>,
+    by_site_tail: HashMap<(SiteId, SegmentClass, &'static str), Counter>,
+}
+
+impl NetStats {
+    /// Records a traversal of `class` by a packet of `kind`.
+    pub fn record(
+        &mut self,
+        class: SegmentClass,
+        site: Option<SiteId>,
+        kind: &'static str,
+        bytes: usize,
+        dropped: bool,
+    ) {
+        let c = self.by_class.entry((class, kind)).or_default();
+        if dropped {
+            c.dropped += 1;
+        } else {
+            c.carried += 1;
+            c.bytes += bytes as u64;
+        }
+        if let Some(site) = site {
+            let c = self.by_site_tail.entry((site, class, kind)).or_default();
+            if dropped {
+                c.dropped += 1;
+            } else {
+                c.carried += 1;
+                c.bytes += bytes as u64;
+            }
+        }
+    }
+
+    /// Counter for a segment class and packet kind.
+    pub fn class_kind(&self, class: SegmentClass, kind: &str) -> Counter {
+        self.by_class
+            .iter()
+            .filter(|((c, k), _)| *c == class && *k == kind)
+            .map(|(_, v)| *v)
+            .fold(Counter::default(), add)
+    }
+
+    /// Total counter for a segment class across all packet kinds.
+    pub fn class_total(&self, class: SegmentClass) -> Counter {
+        self.by_class
+            .iter()
+            .filter(|((c, _), _)| *c == class)
+            .map(|(_, v)| *v)
+            .fold(Counter::default(), add)
+    }
+
+    /// Counter for one site's tail circuit in one direction and kind.
+    pub fn site_tail(&self, site: SiteId, class: SegmentClass, kind: &str) -> Counter {
+        self.by_site_tail
+            .iter()
+            .filter(|((s, c, k), _)| *s == site && *c == class && *k == kind)
+            .map(|(_, v)| *v)
+            .fold(Counter::default(), add)
+    }
+
+    /// All packet kinds seen on a class, with counters (sorted by kind for
+    /// deterministic reporting).
+    pub fn kinds_on(&self, class: SegmentClass) -> Vec<(&'static str, Counter)> {
+        let mut v: Vec<_> = self
+            .by_class
+            .iter()
+            .filter(|((c, _), _)| *c == class)
+            .map(|((_, k), ctr)| (*k, *ctr))
+            .collect();
+        v.sort_by_key(|(k, _)| *k);
+        v
+    }
+}
+
+fn add(a: Counter, b: Counter) -> Counter {
+    Counter { carried: a.carried + b.carried, bytes: a.bytes + b.bytes, dropped: a.dropped + b.dropped }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_query() {
+        let mut s = NetStats::default();
+        s.record(SegmentClass::Wan, None, "nack", 40, false);
+        s.record(SegmentClass::Wan, None, "nack", 40, false);
+        s.record(SegmentClass::Wan, None, "nack", 40, true);
+        s.record(SegmentClass::Wan, None, "data", 100, false);
+        s.record(SegmentClass::TailIn, Some(SiteId(3)), "data", 100, true);
+
+        let n = s.class_kind(SegmentClass::Wan, "nack");
+        assert_eq!(n.carried, 2);
+        assert_eq!(n.dropped, 1);
+        assert_eq!(n.bytes, 80);
+
+        let t = s.class_total(SegmentClass::Wan);
+        assert_eq!(t.carried, 3);
+
+        let tail = s.site_tail(SiteId(3), SegmentClass::TailIn, "data");
+        assert_eq!(tail.dropped, 1);
+        assert_eq!(tail.carried, 0);
+
+        assert_eq!(s.site_tail(SiteId(9), SegmentClass::TailIn, "data"), Counter::default());
+    }
+
+    #[test]
+    fn kinds_listing_sorted() {
+        let mut s = NetStats::default();
+        s.record(SegmentClass::Lan, Some(SiteId(0)), "nack", 1, false);
+        s.record(SegmentClass::Lan, Some(SiteId(0)), "data", 1, false);
+        let kinds = s.kinds_on(SegmentClass::Lan);
+        assert_eq!(kinds.iter().map(|(k, _)| *k).collect::<Vec<_>>(), vec!["data", "nack"]);
+    }
+}

@@ -1,0 +1,684 @@
+//! Sites, hosts, and the Figure-1 tail-circuit topology.
+//!
+//! The model follows the paper's WAN picture: every host sits on a site
+//! LAN; each site connects to the backbone through a *tail circuit* with
+//! its own propagation delay, optional bandwidth (FIFO queueing), and
+//! independent inbound/outbound loss; the backbone adds a per-site WAN
+//! distance. A packet between two sites therefore crosses
+//! `LAN → tail-out → WAN → tail-in → LAN`, and each crossing is evaluated
+//! against that segment's loss model *once per physical copy* — so a drop
+//! on a site's inbound tail circuit loses the packet for the whole site,
+//! exactly the correlated-loss pattern distributed logging exploits.
+
+use std::collections::HashMap;
+use std::time::Duration;
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+use lbrm_wire::{HostId, SiteId, TtlScope};
+
+use crate::loss::{LossModel, LossState};
+use crate::stats::{NetStats, SegmentClass};
+use crate::time::SimTime;
+
+/// Configuration for one site.
+#[derive(Debug, Clone)]
+pub struct SiteParams {
+    /// One-way delay across the site LAN.
+    pub lan_delay: Duration,
+    /// One-way propagation delay of the tail circuit.
+    pub tail_delay: Duration,
+    /// One-way delay from this site's tail circuit to the backbone core;
+    /// the WAN delay between two sites is the sum of their `wan_delay`s.
+    pub wan_delay: Duration,
+    /// Administrative region, used by [`TtlScope::Region`] multicast.
+    pub region: u32,
+    /// Tail-circuit bandwidth in bits/s (`None` = unconstrained). Applies
+    /// independently to each direction.
+    pub tail_bandwidth_bps: Option<u64>,
+    /// Random extra delay, uniform in `[0, jitter]`, applied per
+    /// delivered copy. Nonzero jitter reorders packets — the condition
+    /// the receivers' NACK delay exists to tolerate.
+    pub jitter: Duration,
+    /// Loss on the LAN (evaluated per receiving host).
+    pub lan_loss: LossModel,
+    /// Loss on the inbound tail circuit (evaluated once per site copy).
+    pub tail_in_loss: LossModel,
+    /// Loss on the outbound tail circuit (evaluated once per send).
+    pub tail_out_loss: LossModel,
+}
+
+impl Default for SiteParams {
+    fn default() -> Self {
+        SiteParams {
+            lan_delay: Duration::from_micros(500),
+            tail_delay: Duration::from_millis(2),
+            wan_delay: Duration::from_millis(20),
+            region: 0,
+            tail_bandwidth_bps: None,
+            jitter: Duration::ZERO,
+            lan_loss: LossModel::None,
+            tail_in_loss: LossModel::None,
+            tail_out_loss: LossModel::None,
+        }
+    }
+}
+
+impl SiteParams {
+    /// A nearby site: small WAN distance (a few ms RTT to peers), as in
+    /// the paper's "secondary logging server a few miles away".
+    pub fn nearby() -> SiteParams {
+        SiteParams { wan_delay: Duration::from_millis(1), ..SiteParams::default() }
+    }
+
+    /// A distant site: ~40 ms one-way to the core, giving the paper's
+    /// "primary logging server 1,500 miles away … 80 ms RTT".
+    pub fn distant() -> SiteParams {
+        SiteParams { wan_delay: Duration::from_millis(19), ..SiteParams::default() }
+    }
+}
+
+struct Site {
+    params: SiteParams,
+    lan_loss: LossState,
+    tail_in_loss: LossState,
+    tail_out_loss: LossState,
+    tail_in_busy_until: SimTime,
+    tail_out_busy_until: SimTime,
+}
+
+/// Where to deliver a surviving copy, and when.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Delivery {
+    /// Receiving host.
+    pub to: HostId,
+    /// Arrival time.
+    pub at: SimTime,
+}
+
+/// Builds a [`Topology`].
+#[derive(Default)]
+pub struct TopologyBuilder {
+    sites: Vec<SiteParams>,
+    hosts: Vec<SiteId>,
+    wan_loss: LossModel,
+}
+
+impl TopologyBuilder {
+    /// New empty builder.
+    pub fn new() -> Self {
+        TopologyBuilder { sites: Vec::new(), hosts: Vec::new(), wan_loss: LossModel::None }
+    }
+
+    /// Adds a site, returning its id.
+    pub fn site(&mut self, params: SiteParams) -> SiteId {
+        self.sites.push(params);
+        SiteId(self.sites.len() as u32 - 1)
+    }
+
+    /// Adds a host to `site`, returning its id.
+    ///
+    /// # Panics
+    ///
+    /// If `site` was not created by this builder.
+    pub fn host(&mut self, site: SiteId) -> HostId {
+        assert!((site.raw() as usize) < self.sites.len(), "unknown site {site}");
+        self.hosts.push(site);
+        HostId(self.hosts.len() as u64 - 1)
+    }
+
+    /// Adds `n` hosts to `site`.
+    pub fn hosts(&mut self, site: SiteId, n: usize) -> Vec<HostId> {
+        (0..n).map(|_| self.host(site)).collect()
+    }
+
+    /// Sets the backbone loss model (evaluated once per destination-site
+    /// branch of a multicast, or once per unicast).
+    pub fn wan_loss(&mut self, model: LossModel) -> &mut Self {
+        self.wan_loss = model;
+        self
+    }
+
+    /// Finalizes the topology.
+    pub fn build(self) -> Topology {
+        Topology {
+            sites: self
+                .sites
+                .into_iter()
+                .map(|params| Site {
+                    lan_loss: LossState::new(params.lan_loss.clone()),
+                    tail_in_loss: LossState::new(params.tail_in_loss.clone()),
+                    tail_out_loss: LossState::new(params.tail_out_loss.clone()),
+                    tail_in_busy_until: SimTime::ZERO,
+                    tail_out_busy_until: SimTime::ZERO,
+                    params,
+                })
+                .collect(),
+            hosts: self.hosts,
+            wan_loss: LossState::new(self.wan_loss),
+        }
+    }
+}
+
+/// The built network: sites, hosts, loss state, and queueing state.
+pub struct Topology {
+    sites: Vec<Site>,
+    hosts: Vec<SiteId>,
+    wan_loss: LossState,
+}
+
+impl Topology {
+    /// The site a host belongs to.
+    ///
+    /// # Panics
+    ///
+    /// If the host does not exist.
+    pub fn site_of(&self, host: HostId) -> SiteId {
+        self.hosts[host.raw() as usize]
+    }
+
+    /// The region of a site.
+    pub fn region_of(&self, site: SiteId) -> u32 {
+        self.sites[site.raw() as usize].params.region
+    }
+
+    /// Number of hosts.
+    pub fn host_count(&self) -> usize {
+        self.hosts.len()
+    }
+
+    /// Number of sites.
+    pub fn site_count(&self) -> usize {
+        self.sites.len()
+    }
+
+    /// One-way unicast latency between two hosts, ignoring loss and
+    /// queueing — useful for computing expected RTTs in experiments.
+    pub fn base_latency(&self, from: HostId, to: HostId) -> Duration {
+        let fs = self.site_of(from);
+        let ts = self.site_of(to);
+        if from == to {
+            return Duration::from_micros(10);
+        }
+        let f = &self.sites[fs.raw() as usize].params;
+        if fs == ts {
+            return f.lan_delay;
+        }
+        let t = &self.sites[ts.raw() as usize].params;
+        f.lan_delay + f.tail_delay + f.wan_delay + t.wan_delay + t.tail_delay + t.lan_delay
+    }
+
+    /// `true` iff `to` is within `scope` of `from`.
+    pub fn in_scope(&self, from: HostId, to: HostId, scope: TtlScope) -> bool {
+        match scope {
+            TtlScope::Site => self.site_of(from) == self.site_of(to),
+            TtlScope::Region => {
+                self.region_of(self.site_of(from)) == self.region_of(self.site_of(to))
+            }
+            TtlScope::Global => true,
+        }
+    }
+
+    /// Per-copy random extra delay at the destination site.
+    fn jitter_of(site: &Site, rng: &mut SmallRng) -> Duration {
+        let j = site.params.jitter;
+        if j.is_zero() {
+            Duration::ZERO
+        } else {
+            Duration::from_nanos(rng.random_range(0..=j.as_nanos() as u64))
+        }
+    }
+
+    fn serialize_on_tail(
+        site: &mut Site,
+        outbound: bool,
+        now: SimTime,
+        bytes: usize,
+    ) -> Duration {
+        let Some(bw) = site.params.tail_bandwidth_bps else {
+            return Duration::ZERO;
+        };
+        let tx = Duration::from_secs_f64(bytes as f64 * 8.0 / bw as f64);
+        let busy = if outbound { &mut site.tail_out_busy_until } else { &mut site.tail_in_busy_until };
+        let start = (*busy).max(now);
+        let finish = start + tx;
+        *busy = finish;
+        finish - now
+    }
+
+    /// Sends one unicast copy, returning the delivery if it survives all
+    /// segments. Records stats per crossing.
+    #[allow(clippy::too_many_arguments)]
+    pub fn unicast(
+        &mut self,
+        now: SimTime,
+        from: HostId,
+        to: HostId,
+        kind: &'static str,
+        bytes: usize,
+        rng: &mut SmallRng,
+        stats: &mut NetStats,
+    ) -> Option<Delivery> {
+        if from == to {
+            return Some(Delivery { to, at: now + Duration::from_micros(10) });
+        }
+        let fs = self.site_of(from);
+        let ts = self.site_of(to);
+        let mut at = now;
+
+        if fs == ts {
+            let site = &mut self.sites[fs.raw() as usize];
+            at += site.params.lan_delay;
+            let dropped = site.lan_loss.drops(now, rng);
+            stats.record(SegmentClass::Lan, Some(fs), kind, bytes, dropped);
+            if dropped {
+                return None;
+            }
+            at += Self::jitter_of(site, rng);
+            return Some(Delivery { to, at });
+        }
+
+        // LAN out (sender side).
+        {
+            let site = &mut self.sites[fs.raw() as usize];
+            at += site.params.lan_delay;
+            let dropped = site.lan_loss.drops(now, rng);
+            stats.record(SegmentClass::Lan, Some(fs), kind, bytes, dropped);
+            if dropped {
+                return None;
+            }
+        }
+        // Tail out.
+        {
+            let site = &mut self.sites[fs.raw() as usize];
+            at += site.params.tail_delay + Self::serialize_on_tail(site, true, now, bytes);
+            let dropped = site.tail_out_loss.drops(now, rng);
+            stats.record(SegmentClass::TailOut, Some(fs), kind, bytes, dropped);
+            if dropped {
+                return None;
+            }
+        }
+        // WAN.
+        {
+            at += self.sites[fs.raw() as usize].params.wan_delay
+                + self.sites[ts.raw() as usize].params.wan_delay;
+            let dropped = self.wan_loss.drops(now, rng);
+            stats.record(SegmentClass::Wan, None, kind, bytes, dropped);
+            if dropped {
+                return None;
+            }
+        }
+        // Tail in.
+        {
+            let site = &mut self.sites[ts.raw() as usize];
+            at += site.params.tail_delay + Self::serialize_on_tail(site, false, now, bytes);
+            let dropped = site.tail_in_loss.drops(now, rng);
+            stats.record(SegmentClass::TailIn, Some(ts), kind, bytes, dropped);
+            if dropped {
+                return None;
+            }
+        }
+        // LAN in (receiver side).
+        {
+            let site = &mut self.sites[ts.raw() as usize];
+            at += site.params.lan_delay;
+            let dropped = site.lan_loss.drops(now, rng);
+            stats.record(SegmentClass::Lan, Some(ts), kind, bytes, dropped);
+            if dropped {
+                return None;
+            }
+            at += Self::jitter_of(site, rng);
+        }
+        Some(Delivery { to, at })
+    }
+
+    /// Sends one multicast copy to `members` (the sender is excluded by
+    /// the caller), honoring `scope`. Loss is evaluated **per physical
+    /// copy**: once on the sender's tail-out, once per destination-site
+    /// branch (WAN + tail-in), and per member on each LAN — so tail-circuit
+    /// loss is correlated across a site, as in the paper.
+    #[allow(clippy::too_many_arguments)]
+    pub fn multicast(
+        &mut self,
+        now: SimTime,
+        from: HostId,
+        members: &[HostId],
+        scope: TtlScope,
+        kind: &'static str,
+        bytes: usize,
+        rng: &mut SmallRng,
+        stats: &mut NetStats,
+    ) -> Vec<Delivery> {
+        let fs = self.site_of(from);
+        let mut out = Vec::new();
+
+        // Partition members by site, respecting scope.
+        let mut by_site: HashMap<SiteId, Vec<HostId>> = HashMap::new();
+        for &m in members {
+            if m != from && self.in_scope(from, m, scope) {
+                by_site.entry(self.site_of(m)).or_default().push(m);
+            }
+        }
+        if by_site.is_empty() {
+            return out;
+        }
+        // Deterministic site order.
+        let mut site_ids: Vec<SiteId> = by_site.keys().copied().collect();
+        site_ids.sort();
+
+        // Local (same-site) members: one LAN broadcast, per-member loss.
+        if let Some(local) = by_site.get(&fs) {
+            for &m in local {
+                let site = &mut self.sites[fs.raw() as usize];
+                let dropped = site.lan_loss.drops(now, rng);
+                stats.record(SegmentClass::Lan, Some(fs), kind, bytes, dropped);
+                if !dropped {
+                    let at = now + site.params.lan_delay + Self::jitter_of(site, rng);
+                    out.push(Delivery { to: m, at });
+                }
+            }
+        }
+
+        let remote_sites: Vec<SiteId> = site_ids.iter().copied().filter(|&s| s != fs).collect();
+        if remote_sites.is_empty() {
+            return out;
+        }
+
+        // One copy crosses the sender's LAN and tail circuit; a drop here
+        // loses the packet for every remote site.
+        let (mut base_at, survived) = {
+            let site = &mut self.sites[fs.raw() as usize];
+            let mut at = now + site.params.lan_delay;
+            let lan_dropped = site.lan_loss.drops(now, rng);
+            stats.record(SegmentClass::Lan, Some(fs), kind, bytes, lan_dropped);
+            if lan_dropped {
+                (at, false)
+            } else {
+                at += site.params.tail_delay + Self::serialize_on_tail(site, true, now, bytes);
+                let tail_dropped = site.tail_out_loss.drops(now, rng);
+                stats.record(SegmentClass::TailOut, Some(fs), kind, bytes, tail_dropped);
+                (at, !tail_dropped)
+            }
+        };
+        if !survived {
+            return out;
+        }
+
+        // One copy enters the backbone.
+        stats.record(SegmentClass::Wan, None, kind, bytes, false);
+        base_at += self.sites[fs.raw() as usize].params.wan_delay;
+
+        for ts in remote_sites {
+            // Per-branch WAN loss (loss "high in the distribution tree"
+            // would be modelled by tail-out above; per-branch loss models
+            // independent backbone branches).
+            if self.wan_loss.drops(now, rng) {
+                stats.record(SegmentClass::Wan, None, kind, 0, true);
+                continue;
+            }
+            let mut at = base_at + self.sites[ts.raw() as usize].params.wan_delay;
+            // One copy crosses the destination tail circuit: correlated
+            // loss for the whole site.
+            {
+                let site = &mut self.sites[ts.raw() as usize];
+                at += site.params.tail_delay + Self::serialize_on_tail(site, false, now, bytes);
+                let dropped = site.tail_in_loss.drops(now, rng);
+                stats.record(SegmentClass::TailIn, Some(ts), kind, bytes, dropped);
+                if dropped {
+                    continue;
+                }
+            }
+            for &m in &by_site[&ts] {
+                let site = &mut self.sites[ts.raw() as usize];
+                let dropped = site.lan_loss.drops(now, rng);
+                stats.record(SegmentClass::Lan, Some(ts), kind, bytes, dropped);
+                if !dropped {
+                    let at = at + site.params.lan_delay + Self::jitter_of(site, rng);
+                    out.push(Delivery { to: m, at });
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn two_site_topo() -> (Topology, HostId, HostId, HostId) {
+        let mut b = TopologyBuilder::new();
+        let s0 = b.site(SiteParams::default());
+        let s1 = b.site(SiteParams::default());
+        let a = b.host(s0);
+        let a2 = b.host(s0);
+        let c = b.host(s1);
+        (b.build(), a, a2, c)
+    }
+
+    #[test]
+    fn base_latency_components() {
+        let (t, a, a2, c) = two_site_topo();
+        // Same site: one LAN delay.
+        assert_eq!(t.base_latency(a, a2), Duration::from_micros(500));
+        // Cross-site: lan + tail + wan*2 + tail + lan.
+        let expect = Duration::from_micros(500)
+            + Duration::from_millis(2)
+            + Duration::from_millis(40)
+            + Duration::from_millis(2)
+            + Duration::from_micros(500);
+        assert_eq!(t.base_latency(a, c), expect);
+        // Symmetric.
+        assert_eq!(t.base_latency(c, a), expect);
+    }
+
+    #[test]
+    fn unicast_lossless_delivers_on_time() {
+        let (mut t, a, _, c) = two_site_topo();
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut stats = NetStats::default();
+        let d = t.unicast(SimTime::ZERO, a, c, "data", 100, &mut rng, &mut stats).unwrap();
+        assert_eq!(d.to, c);
+        assert_eq!(d.at.since(SimTime::ZERO), t.base_latency(a, c));
+        assert_eq!(stats.class_kind(SegmentClass::Wan, "data").carried, 1);
+        assert_eq!(stats.class_kind(SegmentClass::TailOut, "data").carried, 1);
+        assert_eq!(stats.class_kind(SegmentClass::TailIn, "data").carried, 1);
+    }
+
+    #[test]
+    fn tail_in_outage_drops_whole_site() {
+        // A multicast during the destination site's inbound outage must be
+        // lost by every member of that site but none of the local site.
+        let mut b = TopologyBuilder::new();
+        let s0 = b.site(SiteParams::default());
+        let s1 = b.site(SiteParams {
+            tail_in_loss: LossModel::outage(SimTime::ZERO, Duration::from_secs(100)),
+            ..SiteParams::default()
+        });
+        let sender = b.host(s0);
+        let local = b.hosts(s0, 3);
+        let remote = b.hosts(s1, 5);
+        let mut t = b.build();
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut stats = NetStats::default();
+
+        let members: Vec<HostId> =
+            local.iter().chain(remote.iter()).copied().collect();
+        let deliveries = t.multicast(
+            SimTime::ZERO,
+            sender,
+            &members,
+            TtlScope::Global,
+            "data",
+            64,
+            &mut rng,
+            &mut stats,
+        );
+        let delivered: Vec<HostId> = deliveries.iter().map(|d| d.to).collect();
+        for m in &local {
+            assert!(delivered.contains(m), "local member must receive");
+        }
+        for m in &remote {
+            assert!(!delivered.contains(m), "remote member must lose");
+        }
+        // Exactly one correlated drop on the tail circuit.
+        assert_eq!(stats.site_tail(SiteId(1), SegmentClass::TailIn, "data").dropped, 1);
+    }
+
+    #[test]
+    fn multicast_counts_one_wan_copy() {
+        let mut b = TopologyBuilder::new();
+        let s0 = b.site(SiteParams::default());
+        let sender = b.host(s0);
+        let mut members = Vec::new();
+        let mut sites = Vec::new();
+        for _ in 0..10 {
+            let s = b.site(SiteParams::default());
+            sites.push(s);
+            members.extend(b.hosts(s, 4));
+        }
+        let mut t = b.build();
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut stats = NetStats::default();
+        let deliveries = t.multicast(
+            SimTime::ZERO,
+            sender,
+            &members,
+            TtlScope::Global,
+            "data",
+            64,
+            &mut rng,
+            &mut stats,
+        );
+        assert_eq!(deliveries.len(), 40);
+        // Multicast economy: 1 tail-out copy, 1 WAN copy, 10 tail-in copies.
+        assert_eq!(stats.class_kind(SegmentClass::TailOut, "data").carried, 1);
+        assert_eq!(stats.class_kind(SegmentClass::Wan, "data").carried, 1);
+        assert_eq!(stats.class_kind(SegmentClass::TailIn, "data").carried, 10);
+    }
+
+    #[test]
+    fn site_scope_confines_multicast() {
+        let mut b = TopologyBuilder::new();
+        let s0 = b.site(SiteParams::default());
+        let s1 = b.site(SiteParams::default());
+        let sender = b.host(s0);
+        let local = b.host(s0);
+        let remote = b.host(s1);
+        let mut t = b.build();
+        let mut rng = SmallRng::seed_from_u64(4);
+        let mut stats = NetStats::default();
+        let deliveries = t.multicast(
+            SimTime::ZERO,
+            sender,
+            &[local, remote],
+            TtlScope::Site,
+            "retrans",
+            64,
+            &mut rng,
+            &mut stats,
+        );
+        assert_eq!(deliveries.len(), 1);
+        assert_eq!(deliveries[0].to, local);
+        // Nothing crossed the tail or WAN.
+        assert_eq!(stats.class_total(SegmentClass::TailOut).carried, 0);
+        assert_eq!(stats.class_total(SegmentClass::Wan).carried, 0);
+    }
+
+    #[test]
+    fn region_scope() {
+        let mut b = TopologyBuilder::new();
+        let s0 = b.site(SiteParams { region: 1, ..SiteParams::default() });
+        let s1 = b.site(SiteParams { region: 1, ..SiteParams::default() });
+        let s2 = b.site(SiteParams { region: 2, ..SiteParams::default() });
+        let sender = b.host(s0);
+        let same_region = b.host(s1);
+        let other_region = b.host(s2);
+        let mut t = b.build();
+        let mut rng = SmallRng::seed_from_u64(5);
+        let mut stats = NetStats::default();
+        let deliveries = t.multicast(
+            SimTime::ZERO,
+            sender,
+            &[same_region, other_region],
+            TtlScope::Region,
+            "discovery-query",
+            32,
+            &mut rng,
+            &mut stats,
+        );
+        assert_eq!(deliveries.len(), 1);
+        assert_eq!(deliveries[0].to, same_region);
+    }
+
+    #[test]
+    fn bandwidth_queueing_serializes() {
+        // Two back-to-back unicasts over a slow tail circuit: the second
+        // must queue behind the first.
+        let mut b = TopologyBuilder::new();
+        let s0 = b.site(SiteParams {
+            tail_bandwidth_bps: Some(8_000), // 1 byte/ms
+            ..SiteParams::default()
+        });
+        let s1 = b.site(SiteParams::default());
+        let a = b.host(s0);
+        let c = b.host(s1);
+        let mut t = b.build();
+        let mut rng = SmallRng::seed_from_u64(6);
+        let mut stats = NetStats::default();
+        let d1 = t.unicast(SimTime::ZERO, a, c, "data", 1000, &mut rng, &mut stats).unwrap();
+        let d2 = t.unicast(SimTime::ZERO, a, c, "data", 1000, &mut rng, &mut stats).unwrap();
+        // 1000 bytes at 1 byte/ms = 1 s serialization each.
+        let gap = d2.at - d1.at;
+        assert_eq!(gap, Duration::from_secs(1));
+    }
+
+    #[test]
+    fn self_send_is_cheap() {
+        let (mut t, a, _, _) = two_site_topo();
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut stats = NetStats::default();
+        let d = t.unicast(SimTime::ZERO, a, a, "nack", 10, &mut rng, &mut stats).unwrap();
+        assert!(d.at.since(SimTime::ZERO) < Duration::from_millis(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown site")]
+    fn builder_rejects_unknown_site() {
+        let mut b = TopologyBuilder::new();
+        b.host(SiteId(3));
+    }
+
+    #[test]
+    fn jitter_varies_and_can_reorder_deliveries() {
+        let mut b = TopologyBuilder::new();
+        let s0 = b.site(SiteParams::default());
+        let s1 = b.site(SiteParams {
+            jitter: Duration::from_millis(20),
+            ..SiteParams::default()
+        });
+        let a = b.host(s0);
+        let c = b.host(s1);
+        let mut t = b.build();
+        let mut rng = SmallRng::seed_from_u64(9);
+        let mut stats = NetStats::default();
+        let base = t.base_latency(a, c);
+        let mut arrivals = Vec::new();
+        for i in 0..50u64 {
+            let sent = SimTime::from_millis(i);
+            let d = t.unicast(sent, a, c, "data", 64, &mut rng, &mut stats).unwrap();
+            let extra = d.at.since(sent).saturating_sub(base);
+            assert!(extra <= Duration::from_millis(20), "jitter bound violated: {extra:?}");
+            arrivals.push(d.at);
+        }
+        // Jitter actually varies...
+        let distinct: std::collections::BTreeSet<_> =
+            arrivals.iter().map(|t| t.nanos() % 1_000_000_000).collect();
+        assert!(distinct.len() > 10);
+        // ...and with 1 ms spacing vs 20 ms jitter, reordering occurs.
+        let reordered = arrivals.windows(2).any(|w| w[1] < w[0]);
+        assert!(reordered, "expected at least one inversion");
+    }
+}

@@ -1,0 +1,547 @@
+//! The simulation driver: actors, timers, multicast groups, and the
+//! deterministic event loop.
+//!
+//! An [`Actor`] is a protocol endpoint (sender, receiver, logging server,
+//! application). Actors react to packets and timers through a [`Ctx`]
+//! that can send unicast/multicast, arm timers, join groups, and draw
+//! deterministic randomness. The world also supports failure injection:
+//! a [`crashed`](World::crash) host silently discards everything until
+//! [`revived`](World::revive) — used by the primary-logger failover
+//! tests.
+
+use std::any::Any;
+use std::cmp::Reverse;
+use std::collections::{BTreeSet, BinaryHeap, HashMap, HashSet};
+use std::time::Duration;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use lbrm_wire::{encode, GroupId, HostId, Packet, TtlScope};
+
+use crate::stats::NetStats;
+use crate::time::SimTime;
+use crate::topology::Topology;
+
+/// A protocol endpoint living on one simulated host.
+///
+/// `Actor: Any` enables post-run inspection via
+/// [`World::actor`] / [`World::actor_mut`] downcasts.
+pub trait Actor: Any {
+    /// Called once when the simulation starts (in host-insertion order).
+    fn on_start(&mut self, _ctx: &mut Ctx<'_>) {}
+
+    /// A packet arrived.
+    fn on_packet(&mut self, ctx: &mut Ctx<'_>, from: HostId, packet: Packet);
+
+    /// A timer armed via [`Ctx::set_timer_at`] fired.
+    fn on_timer(&mut self, _ctx: &mut Ctx<'_>, _token: u64) {}
+}
+
+enum Ev {
+    Packet { from: HostId, to: HostId, packet: Packet },
+    Timer { host: HostId, token: u64 },
+}
+
+struct Scheduled {
+    at: SimTime,
+    tiebreak: u64,
+    ev: Ev,
+}
+
+impl PartialEq for Scheduled {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.tiebreak == other.tiebreak
+    }
+}
+impl Eq for Scheduled {}
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.tiebreak).cmp(&(other.at, other.tiebreak))
+    }
+}
+
+/// The world an actor sees while handling an event.
+pub struct Ctx<'a> {
+    host: HostId,
+    now: SimTime,
+    topo: &'a mut Topology,
+    queue: &'a mut BinaryHeap<Reverse<Scheduled>>,
+    tiebreak: &'a mut u64,
+    groups: &'a mut HashMap<GroupId, BTreeSet<HostId>>,
+    rng: &'a mut SmallRng,
+    net_rng: &'a mut SmallRng,
+    stats: &'a mut NetStats,
+}
+
+impl Ctx<'_> {
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The host this actor lives on.
+    pub fn host(&self) -> HostId {
+        self.host
+    }
+
+    /// Deterministic per-host randomness.
+    pub fn rng(&mut self) -> &mut SmallRng {
+        self.rng
+    }
+
+    /// Base (loss-free, queue-free) one-way latency to `to` — what a
+    /// protocol would learn from out-of-band RTT measurement.
+    pub fn base_latency(&self, to: HostId) -> Duration {
+        self.topo.base_latency(self.host, to)
+    }
+
+    fn push(&mut self, at: SimTime, ev: Ev) {
+        *self.tiebreak += 1;
+        self.queue.push(Reverse(Scheduled { at, tiebreak: *self.tiebreak, ev }));
+    }
+
+    /// Sends `packet` to a single host.
+    pub fn send_unicast(&mut self, to: HostId, packet: Packet) {
+        let bytes = encode(&packet).expect("encodable packet").len();
+        let kind = packet.kind();
+        if let Some(d) =
+            self.topo.unicast(self.now, self.host, to, kind, bytes, self.net_rng, self.stats)
+        {
+            self.push(d.at, Ev::Packet { from: self.host, to: d.to, packet });
+        }
+    }
+
+    /// Multicasts `packet` to the members of its group (sender excluded)
+    /// within `scope`.
+    pub fn send_multicast(&mut self, scope: TtlScope, packet: Packet) {
+        let bytes = encode(&packet).expect("encodable packet").len();
+        let kind = packet.kind();
+        let members: Vec<HostId> = self
+            .groups
+            .get(&packet.group())
+            .map(|m| m.iter().copied().collect())
+            .unwrap_or_default();
+        let deliveries = self.topo.multicast(
+            self.now, self.host, &members, scope, kind, bytes, self.net_rng, self.stats,
+        );
+        for d in deliveries {
+            self.push(d.at, Ev::Packet { from: self.host, to: d.to, packet: packet.clone() });
+        }
+    }
+
+    /// Arms a timer to fire at `at` (clamped to now).
+    pub fn set_timer_at(&mut self, at: SimTime, token: u64) {
+        let host = self.host;
+        self.push(at.max(self.now), Ev::Timer { host, token });
+    }
+
+    /// Arms a timer to fire after `d`.
+    pub fn set_timer_in(&mut self, d: Duration, token: u64) {
+        let at = self.now + d;
+        self.set_timer_at(at, token);
+    }
+
+    /// Joins the calling host to `group`.
+    pub fn join(&mut self, group: GroupId) {
+        self.groups.entry(group).or_default().insert(self.host);
+    }
+
+    /// Removes the calling host from `group`.
+    pub fn leave(&mut self, group: GroupId) {
+        if let Some(m) = self.groups.get_mut(&group) {
+            m.remove(&self.host);
+        }
+    }
+}
+
+/// The simulation: topology + actors + event queue.
+pub struct World {
+    topo: Topology,
+    actors: HashMap<HostId, Box<dyn Actor>>,
+    order: Vec<HostId>,
+    groups: HashMap<GroupId, BTreeSet<HostId>>,
+    queue: BinaryHeap<Reverse<Scheduled>>,
+    now: SimTime,
+    tiebreak: u64,
+    rngs: HashMap<HostId, SmallRng>,
+    net_rng: SmallRng,
+    stats: NetStats,
+    crashed: HashSet<HostId>,
+    started: bool,
+    seed: u64,
+}
+
+impl World {
+    /// Creates a world over `topo`, fully determined by `seed`.
+    pub fn new(topo: Topology, seed: u64) -> World {
+        World {
+            topo,
+            actors: HashMap::new(),
+            order: Vec::new(),
+            groups: HashMap::new(),
+            queue: BinaryHeap::new(),
+            now: SimTime::ZERO,
+            tiebreak: 0,
+            rngs: HashMap::new(),
+            net_rng: SmallRng::seed_from_u64(seed ^ 0x6e65_7477_6f72_6b00),
+            stats: NetStats::default(),
+            crashed: HashSet::new(),
+            started: false,
+            seed,
+        }
+    }
+
+    /// Installs an actor on `host`. Replaces any existing actor.
+    pub fn add_actor(&mut self, host: HostId, actor: impl Actor) {
+        if self.actors.insert(host, Box::new(actor)).is_none() {
+            self.order.push(host);
+        }
+        self.rngs.entry(host).or_insert_with(|| {
+            // Distinct, deterministic stream per host.
+            SmallRng::seed_from_u64(self.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(host.raw()))
+        });
+    }
+
+    /// Joins `host` to `group` from outside the actor (setup convenience).
+    pub fn join(&mut self, host: HostId, group: GroupId) {
+        self.groups.entry(group).or_default().insert(host);
+    }
+
+    /// Arms a timer for `host` from outside the actor — used by harness
+    /// code that schedules application work after the world has started.
+    pub fn schedule_timer(&mut self, host: HostId, at: SimTime, token: u64) {
+        self.tiebreak += 1;
+        self.queue.push(Reverse(Scheduled {
+            at: at.max(self.now),
+            tiebreak: self.tiebreak,
+            ev: Ev::Timer { host, token },
+        }));
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Network statistics so far.
+    pub fn stats(&self) -> &NetStats {
+        &self.stats
+    }
+
+    /// Immutable access to the topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// Marks a host as crashed: it receives no packets or timers and its
+    /// pending timers are suppressed while down.
+    pub fn crash(&mut self, host: HostId) {
+        self.crashed.insert(host);
+    }
+
+    /// Revives a crashed host. Packets and timers scheduled while it was
+    /// down are gone; new ones are delivered normally.
+    pub fn revive(&mut self, host: HostId) {
+        self.crashed.remove(&host);
+    }
+
+    /// `true` if the host is currently crashed.
+    pub fn is_crashed(&self, host: HostId) -> bool {
+        self.crashed.contains(&host)
+    }
+
+    /// Downcasts the actor on `host`.
+    ///
+    /// # Panics
+    ///
+    /// If the host has no actor of type `T`.
+    pub fn actor<T: Actor>(&self, host: HostId) -> &T {
+        let a: &dyn Any = self.actors.get(&host).expect("no actor on host").as_ref();
+        a.downcast_ref::<T>().expect("actor type mismatch")
+    }
+
+    /// Mutable downcast of the actor on `host`.
+    ///
+    /// # Panics
+    ///
+    /// If the host has no actor of type `T`.
+    pub fn actor_mut<T: Actor>(&mut self, host: HostId) -> &mut T {
+        let a: &mut dyn Any = self.actors.get_mut(&host).expect("no actor on host").as_mut();
+        a.downcast_mut::<T>().expect("actor type mismatch")
+    }
+
+    fn dispatch(&mut self, host: HostId, f: impl FnOnce(&mut dyn Actor, &mut Ctx<'_>)) {
+        if self.crashed.contains(&host) {
+            return;
+        }
+        let Some(mut actor) = self.actors.remove(&host) else { return };
+        let rng = self.rngs.get_mut(&host).expect("host rng");
+        let mut ctx = Ctx {
+            host,
+            now: self.now,
+            topo: &mut self.topo,
+            queue: &mut self.queue,
+            tiebreak: &mut self.tiebreak,
+            groups: &mut self.groups,
+            rng,
+            net_rng: &mut self.net_rng,
+            stats: &mut self.stats,
+        };
+        f(actor.as_mut(), &mut ctx);
+        self.actors.insert(host, actor);
+    }
+
+    fn start_if_needed(&mut self) {
+        if self.started {
+            return;
+        }
+        self.started = true;
+        let hosts = self.order.clone();
+        for host in hosts {
+            self.dispatch(host, |a, ctx| a.on_start(ctx));
+        }
+    }
+
+    /// Runs one event; returns `false` when the queue is empty.
+    pub fn step(&mut self) -> bool {
+        self.start_if_needed();
+        let Some(Reverse(sch)) = self.queue.pop() else { return false };
+        debug_assert!(sch.at >= self.now, "time must be monotonic");
+        self.now = sch.at.max(self.now);
+        match sch.ev {
+            Ev::Packet { from, to, packet } => {
+                self.dispatch(to, |a, ctx| a.on_packet(ctx, from, packet));
+            }
+            Ev::Timer { host, token } => {
+                self.dispatch(host, |a, ctx| a.on_timer(ctx, token));
+            }
+        }
+        true
+    }
+
+    /// Runs until virtual time reaches `until` or the queue drains.
+    /// Events at exactly `until` are processed.
+    pub fn run_until(&mut self, until: SimTime) {
+        self.start_if_needed();
+        loop {
+            match self.queue.peek() {
+                Some(Reverse(s)) if s.at <= until => {
+                    self.step();
+                }
+                _ => break,
+            }
+        }
+        self.now = self.now.max(until);
+    }
+
+    /// Runs for `d` of virtual time.
+    pub fn run_for(&mut self, d: Duration) {
+        let until = self.now + d;
+        self.run_until(until);
+    }
+
+    /// Runs until the event queue is empty or `limit` is hit.
+    pub fn run_until_idle(&mut self, limit: SimTime) {
+        self.start_if_needed();
+        while let Some(Reverse(s)) = self.queue.peek() {
+            if s.at > limit {
+                break;
+            }
+            self.step();
+        }
+    }
+
+    /// A fresh RNG derived from the world seed and `salt` — for scenario
+    /// setup code that wants determinism without threading seeds around.
+    pub fn derived_rng(&mut self, salt: u64) -> SmallRng {
+        SmallRng::seed_from_u64(self.seed ^ salt ^ self.net_rng.random::<u64>())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::{SiteParams, TopologyBuilder};
+    use bytes::Bytes;
+    use lbrm_wire::{EpochId, Seq, SourceId};
+
+    const GROUP: GroupId = GroupId(7);
+
+    fn data(seq: u32) -> Packet {
+        Packet::Data {
+            group: GROUP,
+            source: SourceId(1),
+            seq: Seq(seq),
+            epoch: EpochId(0),
+            payload: Bytes::from_static(b"x"),
+        }
+    }
+
+    /// Emits one data packet per second, three times.
+    struct Beacon {
+        sent: u32,
+    }
+
+    impl Actor for Beacon {
+        fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+            ctx.join(GROUP);
+            ctx.set_timer_in(Duration::from_secs(1), 0);
+        }
+
+        fn on_packet(&mut self, _ctx: &mut Ctx<'_>, _from: HostId, _p: Packet) {}
+
+        fn on_timer(&mut self, ctx: &mut Ctx<'_>, _token: u64) {
+            self.sent += 1;
+            ctx.send_multicast(TtlScope::Global, data(self.sent));
+            if self.sent < 3 {
+                ctx.set_timer_in(Duration::from_secs(1), 0);
+            }
+        }
+    }
+
+    /// Records every received packet with its arrival time.
+    #[derive(Default)]
+    struct Sink {
+        got: Vec<(SimTime, u32)>,
+    }
+
+    impl Actor for Sink {
+        fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+            ctx.join(GROUP);
+        }
+
+        fn on_packet(&mut self, ctx: &mut Ctx<'_>, _from: HostId, p: Packet) {
+            if let Packet::Data { seq, .. } = p {
+                self.got.push((ctx.now(), seq.raw()));
+            }
+        }
+    }
+
+    fn build() -> (World, HostId, HostId) {
+        let mut b = TopologyBuilder::new();
+        let s0 = b.site(SiteParams::default());
+        let s1 = b.site(SiteParams::default());
+        let tx = b.host(s0);
+        let rx = b.host(s1);
+        let mut w = World::new(b.build(), 99);
+        w.add_actor(tx, Beacon { sent: 0 });
+        w.add_actor(rx, Sink::default());
+        (w, tx, rx)
+    }
+
+    #[test]
+    fn multicast_beacon_reaches_sink() {
+        let (mut w, tx, rx) = build();
+        w.run_until(SimTime::from_secs(10));
+        assert_eq!(w.actor::<Beacon>(tx).sent, 3);
+        let sink = w.actor::<Sink>(rx);
+        assert_eq!(sink.got.len(), 3);
+        assert_eq!(sink.got.iter().map(|(_, s)| *s).collect::<Vec<_>>(), vec![1, 2, 3]);
+        // Arrivals are 1 s apart, offset by path latency.
+        let lat = w.topology().base_latency(tx, rx);
+        assert_eq!(sink.got[0].0, SimTime::from_secs(1) + lat);
+        assert_eq!(sink.got[1].0, SimTime::from_secs(2) + lat);
+    }
+
+    #[test]
+    fn crash_suppresses_delivery_and_timers() {
+        let (mut w, _tx, rx) = build();
+        w.crash(rx);
+        w.run_until(SimTime::from_secs(10));
+        assert!(w.actor::<Sink>(rx).got.is_empty());
+        w.revive(rx);
+        assert!(!w.is_crashed(rx));
+    }
+
+    #[test]
+    fn crash_mid_run_loses_only_later_packets() {
+        let (mut w, _tx, rx) = build();
+        w.run_until(SimTime::from_millis(1500)); // first beacon delivered
+        w.crash(rx);
+        w.run_until(SimTime::from_millis(2500)); // second suppressed
+        w.revive(rx);
+        w.run_until(SimTime::from_secs(10)); // third delivered
+        let got: Vec<u32> = w.actor::<Sink>(rx).got.iter().map(|(_, s)| *s).collect();
+        assert_eq!(got, vec![1, 3]);
+    }
+
+    #[test]
+    fn deterministic_replay() {
+        let run = || {
+            let (mut w, _tx, rx) = build();
+            w.run_until(SimTime::from_secs(10));
+            w.actor::<Sink>(rx).got.clone()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn run_until_is_inclusive_and_advances_clock() {
+        let (mut w, _, _) = build();
+        w.run_until(SimTime::from_secs(5));
+        assert_eq!(w.now(), SimTime::from_secs(5));
+    }
+
+    #[test]
+    fn stats_account_multicast() {
+        let (mut w, _, _) = build();
+        w.run_until(SimTime::from_secs(10));
+        let wan = w.stats().class_kind(crate::stats::SegmentClass::Wan, "data");
+        assert_eq!(wan.carried, 3);
+    }
+
+    #[test]
+    fn timer_tokens_roundtrip() {
+        struct T {
+            fired: Vec<u64>,
+        }
+        impl Actor for T {
+            fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+                ctx.set_timer_in(Duration::from_secs(2), 22);
+                ctx.set_timer_in(Duration::from_secs(1), 11);
+            }
+            fn on_packet(&mut self, _: &mut Ctx<'_>, _: HostId, _: Packet) {}
+            fn on_timer(&mut self, _ctx: &mut Ctx<'_>, token: u64) {
+                self.fired.push(token);
+            }
+        }
+        let mut b = TopologyBuilder::new();
+        let s = b.site(SiteParams::default());
+        let h = b.host(s);
+        let mut w = World::new(b.build(), 1);
+        w.add_actor(h, T { fired: vec![] });
+        w.run_until(SimTime::from_secs(5));
+        assert_eq!(w.actor::<T>(h).fired, vec![11, 22]);
+    }
+
+    #[test]
+    fn leave_stops_delivery() {
+        struct Leaver {
+            got: u32,
+        }
+        impl Actor for Leaver {
+            fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+                ctx.join(GROUP);
+            }
+            fn on_packet(&mut self, ctx: &mut Ctx<'_>, _: HostId, _: Packet) {
+                self.got += 1;
+                ctx.leave(GROUP);
+            }
+        }
+        let mut b = TopologyBuilder::new();
+        let s0 = b.site(SiteParams::default());
+        let tx = b.host(s0);
+        let rx = b.host(s0);
+        let mut w = World::new(b.build(), 5);
+        w.add_actor(tx, Beacon { sent: 0 });
+        w.add_actor(rx, Leaver { got: 0 });
+        w.run_until(SimTime::from_secs(10));
+        assert_eq!(w.actor::<Leaver>(rx).got, 1);
+    }
+}

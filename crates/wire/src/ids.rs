@@ -1,0 +1,130 @@
+//! Strongly typed protocol identifiers.
+//!
+//! LBRM groups are *fine-grained*: each multicast group carries a single
+//! data source (e.g. one DIS terrain entity), so a `(GroupId, SourceId)`
+//! pair names one logical stream. Hosts are identified by a transport-
+//! independent [`HostId`]; the transports (`lbrm-sim`, `lbrm-net`) map
+//! host ids to simulator node handles or UDP socket addresses.
+
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident($inner:ty)) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+        pub struct $name(pub $inner);
+
+        impl $name {
+            /// Returns the raw integer value.
+            #[inline]
+            pub const fn raw(self) -> $inner {
+                self.0
+            }
+        }
+
+        impl From<$inner> for $name {
+            #[inline]
+            fn from(v: $inner) -> Self {
+                Self(v)
+            }
+        }
+    };
+}
+
+id_type! {
+    /// A multicast group. In the UDP transport this maps to a multicast
+    /// address + port; in the simulator it is an abstract channel.
+    GroupId(u32)
+}
+
+id_type! {
+    /// A data source within a group. LBRM groups normally contain exactly
+    /// one source, but the id keeps streams distinct when a transport
+    /// multiplexes several groups onto one socket.
+    SourceId(u64)
+}
+
+id_type! {
+    /// A host — sender, receiver, or logging server. Transport-independent.
+    HostId(u64)
+}
+
+id_type! {
+    /// A site: a topologically localized part of the network (hosts behind
+    /// one tail circuit, a LAN, or a single host). Secondary loggers serve
+    /// one site.
+    SiteId(u32)
+}
+
+id_type! {
+    /// A statistical-acknowledgement epoch (§2.3.1). The source bumps the
+    /// epoch whenever it re-selects Designated Ackers.
+    EpochId(u32)
+}
+
+impl fmt::Display for GroupId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "g{}", self.0)
+    }
+}
+
+impl fmt::Display for SourceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "src{}", self.0)
+    }
+}
+
+impl fmt::Display for HostId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "h{}", self.0)
+    }
+}
+
+impl fmt::Display for SiteId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "site{}", self.0)
+    }
+}
+
+impl fmt::Display for EpochId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+impl EpochId {
+    /// The epoch that precedes the first Acker Selection.
+    pub const INITIAL: EpochId = EpochId(0);
+
+    /// Returns the next epoch id (wrapping).
+    #[inline]
+    pub fn next(self) -> EpochId {
+        EpochId(self.0.wrapping_add(1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(GroupId(7).to_string(), "g7");
+        assert_eq!(SourceId(3).to_string(), "src3");
+        assert_eq!(HostId(12).to_string(), "h12");
+        assert_eq!(SiteId(4).to_string(), "site4");
+        assert_eq!(EpochId(9).to_string(), "e9");
+    }
+
+    #[test]
+    fn epoch_next_wraps() {
+        assert_eq!(EpochId(u32::MAX).next(), EpochId(0));
+        assert_eq!(EpochId::INITIAL.next(), EpochId(1));
+    }
+
+    #[test]
+    fn raw_roundtrip() {
+        assert_eq!(HostId::from(42).raw(), 42);
+        assert_eq!(GroupId::from(1).raw(), 1);
+    }
+}

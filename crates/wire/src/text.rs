@@ -1,0 +1,267 @@
+//! The HTML document invalidation text protocol (Appendix A).
+//!
+//! Each HTML file associates itself with a multicast address through a
+//! comment on its first line:
+//!
+//! ```text
+//! <!MULTICAST.234.12.29.72.>
+//! ```
+//!
+//! The HTTP server multicasts human-readable invalidation messages:
+//!
+//! ```text
+//! TRANS:17.0:UPDATE:http://www-DSG.Stanford.EDU/groupMembers.html
+//! TRANS:17.12:HEARTBEAT
+//! RETRANS:17.0:UPDATE:http://www-DSG.Stanford.EDU/groupMembers.html
+//! ```
+//!
+//! `TRANS:<seq>.<hb>` identifies the `<hb>`-th heartbeat after update
+//! sequence `<seq>` (`hb = 0` is the original transmission). A
+//! retransmission from the logging process carries the `RETRANS` tag
+//! instead of `TRANS`. The parser accepts optional whitespace after each
+//! separator, as in the paper's examples.
+
+use std::fmt;
+use std::net::Ipv4Addr;
+
+use crate::seq::Seq;
+
+/// A message of the Appendix-A invalidation protocol.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TextMessage {
+    /// A document update announcement: caches holding `url` are invalid.
+    Update {
+        /// Update sequence number.
+        seq: Seq,
+        /// The invalidated document.
+        url: String,
+        /// `true` when this is a `RETRANS` from the logging process.
+        retrans: bool,
+    },
+    /// A keep-alive repeating the last update sequence number.
+    Heartbeat {
+        /// Last update sequence number.
+        seq: Seq,
+        /// Heartbeat index since that update (1-based).
+        hb_index: u32,
+    },
+}
+
+impl TextMessage {
+    /// The update sequence number the message refers to.
+    pub fn seq(&self) -> Seq {
+        match self {
+            TextMessage::Update { seq, .. } | TextMessage::Heartbeat { seq, .. } => *seq,
+        }
+    }
+}
+
+impl fmt::Display for TextMessage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TextMessage::Update { seq, url, retrans } => {
+                let tag = if *retrans { "RETRANS" } else { "TRANS" };
+                write!(f, "{tag}:{}.0:UPDATE:{url}", seq.raw())
+            }
+            TextMessage::Heartbeat { seq, hb_index } => {
+                write!(f, "TRANS:{}.{hb_index}:HEARTBEAT", seq.raw())
+            }
+        }
+    }
+}
+
+/// Errors produced while parsing the text protocol.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TextError {
+    /// The leading tag was neither `TRANS` nor `RETRANS`.
+    BadTag,
+    /// The `<seq>.<hb>` pair was malformed.
+    BadSequence,
+    /// The operation was neither `UPDATE` nor `HEARTBEAT`.
+    BadOperation,
+    /// An `UPDATE` without a URL, or a heartbeat claiming `hb = 0`.
+    Malformed,
+    /// The `<!MULTICAST...>` tag was absent or malformed.
+    BadMulticastTag,
+}
+
+impl fmt::Display for TextError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TextError::BadTag => write!(f, "expected TRANS or RETRANS"),
+            TextError::BadSequence => write!(f, "malformed <seq>.<hb> field"),
+            TextError::BadOperation => write!(f, "expected UPDATE or HEARTBEAT"),
+            TextError::Malformed => write!(f, "malformed message"),
+            TextError::BadMulticastTag => write!(f, "missing or malformed <!MULTICAST...> tag"),
+        }
+    }
+}
+
+impl std::error::Error for TextError {}
+
+/// Parses one invalidation-protocol message.
+///
+/// ```
+/// use lbrm_wire::text::{parse_message, TextMessage};
+/// use lbrm_wire::Seq;
+///
+/// // Verbatim from Appendix A:
+/// let m = parse_message("TRANS: 17.12: HEARTBEAT").unwrap();
+/// assert_eq!(m, TextMessage::Heartbeat { seq: Seq(17), hb_index: 12 });
+/// ```
+///
+/// # Errors
+///
+/// A [`TextError`] describing the first malformed field.
+pub fn parse_message(line: &str) -> Result<TextMessage, TextError> {
+    let line = line.trim_end_matches(['\r', '\n']);
+    let mut parts = line.splitn(3, ':');
+    let tag = parts.next().ok_or(TextError::BadTag)?.trim();
+    let retrans = match tag {
+        "TRANS" => false,
+        "RETRANS" => true,
+        _ => return Err(TextError::BadTag),
+    };
+
+    let seq_field = parts.next().ok_or(TextError::BadSequence)?.trim();
+    let (seq_str, hb_str) = seq_field.split_once('.').ok_or(TextError::BadSequence)?;
+    let seq: u32 = seq_str.trim().parse().map_err(|_| TextError::BadSequence)?;
+    let hb: u32 = hb_str.trim().parse().map_err(|_| TextError::BadSequence)?;
+
+    let rest = parts.next().ok_or(TextError::BadOperation)?.trim_start();
+    if let Some(url) = rest.strip_prefix("UPDATE:") {
+        let url = url.trim();
+        if url.is_empty() {
+            return Err(TextError::Malformed);
+        }
+        if hb != 0 {
+            // An UPDATE is by definition the original transmission.
+            return Err(TextError::Malformed);
+        }
+        Ok(TextMessage::Update { seq: Seq(seq), url: url.to_owned(), retrans })
+    } else if rest.trim() == "HEARTBEAT" {
+        if hb == 0 {
+            return Err(TextError::Malformed);
+        }
+        if retrans {
+            // Heartbeats are never retransmitted.
+            return Err(TextError::BadTag);
+        }
+        Ok(TextMessage::Heartbeat { seq: Seq(seq), hb_index: hb })
+    } else {
+        Err(TextError::BadOperation)
+    }
+}
+
+/// Extracts the invalidation multicast address from the first line of an
+/// HTML document, per Appendix A: `<!MULTICAST.234.12.29.72.>`.
+///
+/// # Errors
+///
+/// [`TextError::BadMulticastTag`] when the tag is absent or the dotted
+/// quad is not a valid multicast address.
+pub fn parse_multicast_tag(html: &str) -> Result<Ipv4Addr, TextError> {
+    let first = html.lines().next().ok_or(TextError::BadMulticastTag)?;
+    let start = first.find("<!MULTICAST.").ok_or(TextError::BadMulticastTag)?;
+    let rest = &first[start + "<!MULTICAST.".len()..];
+    let end = rest.find(".>").ok_or(TextError::BadMulticastTag)?;
+    let addr: Ipv4Addr = rest[..end].parse().map_err(|_| TextError::BadMulticastTag)?;
+    if !addr.is_multicast() {
+        return Err(TextError::BadMulticastTag);
+    }
+    Ok(addr)
+}
+
+/// Renders the first-line association tag for `addr`.
+pub fn multicast_tag(addr: Ipv4Addr) -> String {
+    format!("<!MULTICAST.{addr}.>")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_paper_examples() {
+        // Both examples are verbatim from Appendix A (the paper's second
+        // example includes whitespace after the separators).
+        let m = parse_message("TRANS:17.0:UPDATE: http://www-DSG.Stanford.EDU/groupMembers.html")
+            .unwrap();
+        assert_eq!(
+            m,
+            TextMessage::Update {
+                seq: Seq(17),
+                url: "http://www-DSG.Stanford.EDU/groupMembers.html".into(),
+                retrans: false,
+            }
+        );
+
+        let m = parse_message("TRANS: 17.12: HEARTBEAT").unwrap();
+        assert_eq!(m, TextMessage::Heartbeat { seq: Seq(17), hb_index: 12 });
+    }
+
+    #[test]
+    fn retrans_tag() {
+        let m = parse_message("RETRANS:17.0:UPDATE:http://example.org/x.html").unwrap();
+        assert!(matches!(m, TextMessage::Update { retrans: true, .. }));
+    }
+
+    #[test]
+    fn display_roundtrip() {
+        let msgs = [
+            TextMessage::Update { seq: Seq(5), url: "http://a/b.html".into(), retrans: false },
+            TextMessage::Update { seq: Seq(5), url: "http://a/b.html".into(), retrans: true },
+            TextMessage::Heartbeat { seq: Seq(5), hb_index: 3 },
+        ];
+        for m in msgs {
+            assert_eq!(parse_message(&m.to_string()).unwrap(), m);
+        }
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert_eq!(parse_message("NOPE:1.0:HEARTBEAT"), Err(TextError::BadTag));
+        assert_eq!(parse_message("TRANS:xy.0:HEARTBEAT"), Err(TextError::BadSequence));
+        assert_eq!(parse_message("TRANS:1:HEARTBEAT"), Err(TextError::BadSequence));
+        assert_eq!(parse_message("TRANS:1.0:FROB:x"), Err(TextError::BadOperation));
+        assert_eq!(parse_message("TRANS:1.0:UPDATE:"), Err(TextError::Malformed));
+        // hb must be 0 for updates, nonzero for heartbeats
+        assert_eq!(parse_message("TRANS:1.2:UPDATE:http://x/"), Err(TextError::Malformed));
+        assert_eq!(parse_message("TRANS:1.0:HEARTBEAT"), Err(TextError::Malformed));
+        // heartbeats are never retransmitted
+        assert_eq!(parse_message("RETRANS:1.2:HEARTBEAT"), Err(TextError::BadTag));
+    }
+
+    #[test]
+    fn multicast_tag_roundtrip() {
+        let addr: Ipv4Addr = "234.12.29.72".parse().unwrap();
+        let html = format!("{}\n<html>...</html>", multicast_tag(addr));
+        assert_eq!(parse_multicast_tag(&html).unwrap(), addr);
+    }
+
+    #[test]
+    fn multicast_tag_paper_example() {
+        let html = "<!MULTICAST.234.12.29.72.>\n<h1>hello</h1>";
+        assert_eq!(parse_multicast_tag(html).unwrap(), Ipv4Addr::new(234, 12, 29, 72));
+    }
+
+    #[test]
+    fn multicast_tag_rejects_non_multicast_and_garbage() {
+        assert_eq!(
+            parse_multicast_tag("<!MULTICAST.10.0.0.1.>\n"),
+            Err(TextError::BadMulticastTag)
+        );
+        assert_eq!(parse_multicast_tag("<html>"), Err(TextError::BadMulticastTag));
+        assert_eq!(parse_multicast_tag(""), Err(TextError::BadMulticastTag));
+        assert_eq!(
+            parse_multicast_tag("<!MULTICAST.not.an.addr.>\n"),
+            Err(TextError::BadMulticastTag)
+        );
+    }
+
+    #[test]
+    fn crlf_tolerated() {
+        let m = parse_message("TRANS:3.1:HEARTBEAT\r\n").unwrap();
+        assert_eq!(m, TextMessage::Heartbeat { seq: Seq(3), hb_index: 1 });
+    }
+}

@@ -1,0 +1,98 @@
+//! LBRM over real UDP multicast on the loopback interface.
+//!
+//! Three processes-worth of endpoints in one binary: a sender, a primary
+//! logging server, and a receiver, each with its own sockets, exchanging
+//! genuine multicast datagrams on `239.195.0.1`. Environments without
+//! multicast support print a note and exit cleanly.
+//!
+//! ```sh
+//! cargo run --example udp_multicast
+//! ```
+
+use std::net::Ipv4Addr;
+use std::time::Duration;
+
+use bytes::Bytes;
+use lbrm::core::logger::{Logger, LoggerConfig};
+use lbrm::core::receiver::{Receiver, ReceiverConfig};
+use lbrm::core::sender::{Sender, SenderConfig};
+use lbrm::net::{Endpoint, EndpointEvent, GroupMap, Transport, UdpTransport};
+use lbrm::wire::{GroupId, SourceId};
+
+const GROUP: GroupId = GroupId(1);
+const SRC: SourceId = SourceId(1);
+
+#[tokio::main(flavor = "current_thread")]
+async fn main() {
+    let port = 49_195;
+    let bind = |_: &str| UdpTransport::bind(Ipv4Addr::LOCALHOST, GroupMap::new(port));
+
+    let tx_t = match bind("sender").await {
+        Ok(t) => t,
+        Err(e) => return println!("UDP unavailable here ({e}); try `cargo run --example quickstart`"),
+    };
+    let mut log_t = bind("logger").await.expect("bind logger");
+    let mut rx_t = bind("receiver").await.expect("bind receiver");
+    if let Err(e) = log_t.join(GROUP).and_then(|()| rx_t.join(GROUP)) {
+        return println!("multicast join failed ({e}); try `cargo run --example quickstart`");
+    }
+
+    let src_host = tx_t.local_host();
+    let log_host = log_t.local_host();
+    println!("sender   at {}", tx_t.local_addr());
+    println!("logger   at {}", log_t.local_addr());
+    println!("receiver at {}", rx_t.local_addr());
+    println!("group    at 239.195.0.1:{port}\n");
+
+    let (ep, sender) =
+        Endpoint::new(Sender::new(SenderConfig::new(GROUP, SRC, src_host, log_host)), tx_t, vec![]);
+    tokio::spawn(ep.run());
+    let (ep, _logger) = Endpoint::new(
+        Logger::new(LoggerConfig::primary(GROUP, SRC, log_host, src_host)),
+        log_t,
+        vec![],
+    );
+    tokio::spawn(ep.run());
+    let rx_host = rx_t.local_host();
+    let (ep, mut receiver) = Endpoint::new(
+        Receiver::new(ReceiverConfig::new(GROUP, SRC, rx_host, src_host, vec![log_host])),
+        rx_t,
+        vec![],
+    );
+    tokio::spawn(ep.run());
+
+    tokio::time::sleep(Duration::from_millis(100)).await;
+    for (i, text) in ["the bridge stands", "the bridge is DESTROYED", "rubble cleared"]
+        .iter()
+        .enumerate()
+    {
+        let payload = Bytes::from(text.to_string());
+        sender
+            .call(move |s: &mut Sender, now, out| s.send(now, payload.clone(), out))
+            .await
+            .expect("sender endpoint");
+        println!("published #{}: {text}", i + 1);
+        tokio::time::sleep(Duration::from_millis(300)).await;
+    }
+
+    let mut got = 0;
+    while got < 3 {
+        match receiver.event_timeout(Duration::from_secs(5)).await {
+            Some(EndpointEvent::Delivery(d)) => {
+                got += 1;
+                println!(
+                    "received  #{} ({}): {}",
+                    d.seq.raw(),
+                    if d.recovered { "recovered" } else { "multicast" },
+                    String::from_utf8_lossy(&d.payload)
+                );
+            }
+            Some(EndpointEvent::Notice(n)) => println!("notice: {n:?}"),
+            None => {
+                println!("(no more events — multicast routing may be restricted here)");
+                break;
+            }
+        }
+    }
+    println!("\ndone: real UDP multicast with LBRM sequencing, heartbeats and logging.");
+}

@@ -1,0 +1,116 @@
+//! WWW page invalidation (§4.3, Appendix A), end to end in the
+//! simulator.
+//!
+//! An HTTP server associates its documents with a multicast group via
+//! the `<!MULTICAST...>` first-line tag. Two browsers cache a page; the
+//! server edits it twice. The first update is a plain invalidation
+//! (RELOAD lights up); the second carries the new body (the §4.3
+//! auto-dissemination extension) so caches refresh in place. One
+//! browser misses an update and recovers it from the logging process —
+//! arriving with the `RETRANS` semantics of Appendix A.
+//!
+//! ```sh
+//! cargo run --example web_invalidation
+//! ```
+
+use std::net::Ipv4Addr;
+use std::time::Duration;
+
+use lbrm::apps::invalidation::{update_payload, BrowserCache, DocServer};
+use lbrm::core::logger::{Logger, LoggerConfig};
+use lbrm::core::receiver::{Receiver, ReceiverConfig};
+use lbrm::core::sender::{Sender, SenderConfig};
+use lbrm::harness::MachineActor;
+use lbrm::sim::loss::LossModel;
+use lbrm::sim::time::SimTime;
+use lbrm::sim::topology::{SiteParams, TopologyBuilder};
+use lbrm::sim::world::World;
+use lbrm::wire::text::multicast_tag;
+use lbrm::wire::{GroupId, SourceId};
+
+const URL: &str = "http://www-DSG.Stanford.EDU/groupMembers.html";
+
+fn main() {
+    let group = GroupId(1);
+    let source = SourceId(1);
+
+    println!("HTML document invalidation (Appendix A)\n");
+    println!("document head: {}", multicast_tag(Ipv4Addr::new(234, 12, 29, 72)));
+    println!("document url:  {URL}\n");
+
+    let mut b = TopologyBuilder::new();
+    let server_site = b.site(SiteParams::distant());
+    let server_host = b.host(server_site);
+    let log_host = b.host(server_site);
+    let site = b.site(SiteParams::distant());
+    let browser1 = b.host(site);
+    // Browser 2 sits behind a flaky link that eats the first update.
+    let flaky = b.site(SiteParams {
+        tail_in_loss: LossModel::outage(SimTime::from_millis(9_900), Duration::from_millis(300)),
+        ..SiteParams::distant()
+    });
+    let browser2 = b.host(flaky);
+    let mut world = World::new(b.build(), 72);
+
+    world.add_actor(
+        log_host,
+        MachineActor::new(
+            Logger::new(LoggerConfig::primary(group, source, log_host, server_host)),
+            vec![group],
+        ),
+    );
+    for browser in [browser1, browser2] {
+        world.add_actor(
+            browser,
+            MachineActor::new(
+                Receiver::new(ReceiverConfig::new(group, source, browser, server_host, vec![log_host])),
+                vec![group],
+            ),
+        );
+    }
+
+    // The HTTP server: two edits to the same document.
+    let mut sender = MachineActor::new(
+        Sender::new(SenderConfig::new(group, source, server_host, log_host)),
+        vec![],
+    );
+    sender.schedule(SimTime::from_secs(10), |s: &mut Sender, now, out| {
+        let mut server = DocServer::new();
+        server.publish_update(s, now, URL, None, out);
+    });
+    sender.schedule(SimTime::from_secs(20), |s: &mut Sender, now, out| {
+        s.send(now, update_payload(s.next_seq(), URL, Some("<h1>members: 42</h1>")), out);
+    });
+    world.add_actor(server_host, sender);
+
+    world.run_until(SimTime::from_secs(40));
+
+    for (name, browser) in [("browser-1", browser1), ("browser-2 (flaky link)", browser2)] {
+        let a = world.actor::<MachineActor<Receiver>>(browser);
+        let mut cache = BrowserCache::new();
+        cache.store(URL, "<h1>members: 41</h1>");
+        println!("{name}:");
+        for (at, d) in &a.deliveries {
+            let wire_line = String::from_utf8_lossy(&d.payload);
+            let line = wire_line.lines().next().unwrap_or("");
+            let shown = if d.recovered { line.replacen("TRANS", "RETRANS", 1) } else { line.to_owned() };
+            cache.on_delivery(d).expect("valid invalidation");
+            let state = if cache.is_valid(URL) {
+                "cache fresh".to_owned()
+            } else {
+                "RELOAD highlighted".to_owned()
+            };
+            println!("  {at}  {shown}  → {state}");
+        }
+        println!(
+            "  final body: {:?}  (invalidations: {}, auto-refreshed: {})\n",
+            cache.get(URL).map(|p| p.body.clone()).unwrap_or_default(),
+            cache.invalidations,
+            cache.auto_refreshed
+        );
+    }
+    println!(
+        "browser-2 missed update #1, learned of it from the heartbeat, and\n\
+         pulled the retransmission from the server's logging process."
+    );
+}

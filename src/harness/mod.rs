@@ -1,0 +1,8 @@
+//! Simulation harness: runs the sans-IO protocol machines inside the
+//! deterministic simulator and provides ready-made experiment scenarios.
+
+pub mod adapter;
+pub mod scenario;
+
+pub use adapter::{call_at, MachineActor};
+pub use scenario::{DisScenario, DisScenarioConfig, SrmScenario, SrmScenarioConfig};

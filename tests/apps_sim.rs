@@ -1,0 +1,212 @@
+//! The §4 applications running over the full protocol stack in the
+//! simulator.
+
+use std::time::Duration;
+
+use bytes::Bytes;
+use lbrm::apps::factory::{audit_log, MonitorStation, Sensor};
+use lbrm::apps::filecache::{CachingClient, FileServer};
+use lbrm::core::logger::{Logger, LoggerConfig};
+use lbrm::core::receiver::{Receiver, ReceiverConfig};
+use lbrm::core::sender::{Sender, SenderConfig};
+use lbrm::harness::MachineActor;
+use lbrm::sim::time::SimTime;
+use lbrm::sim::topology::{SiteParams, TopologyBuilder};
+use lbrm::sim::world::World;
+use lbrm::wire::{GroupId, HostId, SourceId};
+
+const GROUP: GroupId = GroupId(1);
+const SRC: SourceId = SourceId(1);
+
+struct Rig {
+    world: World,
+    src_host: HostId,
+    log_host: HostId,
+    clients: Vec<HostId>,
+}
+
+/// One source site + `n` single-receiver client sites.
+fn rig(n: usize, seed: u64) -> Rig {
+    let mut b = TopologyBuilder::new();
+    let hq = b.site(SiteParams::distant());
+    let src_host = b.host(hq);
+    let log_host = b.host(hq);
+    let mut clients = Vec::new();
+    for _ in 0..n {
+        let site = b.site(SiteParams::distant());
+        clients.push(b.host(site));
+    }
+    let mut world = World::new(b.build(), seed);
+    world.add_actor(
+        log_host,
+        MachineActor::new(
+            Logger::new(LoggerConfig::primary(GROUP, SRC, log_host, src_host)),
+            vec![GROUP],
+        ),
+    );
+    for &c in &clients {
+        world.add_actor(
+            c,
+            MachineActor::new(
+                Receiver::new(ReceiverConfig::new(GROUP, SRC, c, src_host, vec![log_host])),
+                vec![GROUP],
+            ),
+        );
+    }
+    world.add_actor(
+        src_host,
+        MachineActor::new(Sender::new(SenderConfig::new(GROUP, SRC, src_host, log_host)), vec![]),
+    );
+    Rig { world, src_host, log_host, clients }
+}
+
+#[test]
+fn filecache_invalidation_and_lease_style_timeout() {
+    let mut r = rig(1, 31);
+    let client_host = r.clients[0];
+
+    // The server writes /etc/motd twice; between the writes the source
+    // host dies entirely (heartbeats stop → clients invalidate, like a
+    // lease expiring).
+    {
+        let sender = r.world.actor_mut::<MachineActor<Sender>>(r.src_host);
+        sender.schedule(SimTime::from_secs(1), |s: &mut Sender, now, out| {
+            let mut server = FileServer::new();
+            server.write(s, now, "/etc/motd", out);
+        });
+    }
+    r.world.run_until(SimTime::from_secs(2));
+
+    let mut cache = CachingClient::new();
+    let replay = |world: &World, cache: &mut CachingClient| {
+        let a = world.actor::<MachineActor<Receiver>>(client_host);
+        let mut c = CachingClient::new();
+        // Merge-style replay: deliveries and notices in time order.
+        let mut events: Vec<(SimTime, bool, usize)> = Vec::new();
+        for (i, (at, _)) in a.deliveries.iter().enumerate() {
+            events.push((*at, true, i));
+        }
+        for (i, (at, _)) in a.notices.iter().enumerate() {
+            events.push((*at, false, i));
+        }
+        events.sort();
+        for (_, is_delivery, i) in events {
+            if is_delivery {
+                c.on_delivery(&a.deliveries[i].1);
+            } else {
+                c.on_notice(&a.notices[i].1);
+            }
+        }
+        *cache = c;
+    };
+
+    replay(&r.world, &mut cache);
+    assert_eq!(cache.file_invalidations, 1);
+    assert!(!cache.is_degraded());
+
+    // Source dies: within the adaptive idle window the client must mark
+    // its cache suspect.
+    r.world.crash(r.src_host);
+    r.world.run_until(SimTime::from_secs(10));
+    replay(&r.world, &mut cache);
+    assert!(cache.is_degraded(), "heartbeat silence must degrade the cache");
+
+    // Source returns; freshness restores and caching resumes.
+    r.world.revive(r.src_host);
+    lbrm::harness::call_at(
+        &mut r.world,
+        r.src_host,
+        SimTime::from_secs(11),
+        |s: &mut Sender, now, out| {
+            let mut server = FileServer::new();
+            server.write(s, now, "/etc/motd", out);
+        },
+    );
+    r.world.run_until(SimTime::from_secs(20));
+    replay(&r.world, &mut cache);
+    assert!(!cache.is_degraded(), "heartbeats resumed");
+}
+
+#[test]
+fn factory_sensor_audit_and_mobile_monitor() {
+    let mut r = rig(2, 37);
+    let fixed_monitor = r.clients[0];
+    let mobile_monitor = r.clients[1];
+
+    // The sensor reports every 2 s for 10 readings.
+    {
+        let sender = r.world.actor_mut::<MachineActor<Sender>>(r.src_host);
+        for i in 0..10u64 {
+            sender.schedule(
+                SimTime::from_secs(1 + 2 * i),
+                move |s: &mut Sender, now, out| {
+                    Sensor::new(7).report(s, now, 100 + i as i64, out);
+                },
+            );
+        }
+    }
+
+    // The mobile monitor is off the floor (disconnected) during readings
+    // #3–#5.
+    r.world.run_until(SimTime::from_millis(4_500));
+    r.world.crash(mobile_monitor);
+    r.world.run_until(SimTime::from_millis(10_500));
+    r.world.revive(mobile_monitor);
+    r.world.run_until(SimTime::from_secs(40));
+
+    // The fixed monitor heard everything live.
+    let fixed = {
+        let a = r.world.actor::<MachineActor<Receiver>>(fixed_monitor);
+        let mut m = MonitorStation::new();
+        for (_, d) in &a.deliveries {
+            m.on_delivery(d);
+        }
+        m
+    };
+    assert_eq!(fixed.history_len(), 10);
+    assert!(fixed.history_complete());
+    assert_eq!(fixed.recovered_readings, 0);
+
+    // The mobile monitor backfilled what it missed, "without interfering
+    // with the other receivers or affecting the on-going data flow".
+    let mobile = {
+        let a = r.world.actor::<MachineActor<Receiver>>(mobile_monitor);
+        let mut m = MonitorStation::new();
+        for (_, d) in &a.deliveries {
+            m.on_delivery(d);
+        }
+        m
+    };
+    assert_eq!(mobile.history_len(), 10, "mobile monitor must backfill");
+    assert!(mobile.history_complete());
+    assert!(mobile.recovered_readings >= 3);
+    assert_eq!(mobile.latest(7).unwrap().value_milli, 109);
+
+    // The logging server doubles as the factory's audit log.
+    let audit = {
+        let l = r.world.actor::<MachineActor<Logger>>(r.log_host);
+        audit_log(l.machine())
+    };
+    assert_eq!(audit.len(), 10);
+    let values: Vec<i64> = audit.iter().map(|(_, rd)| rd.value_milli).collect();
+    assert_eq!(values, (100..110).collect::<Vec<i64>>());
+}
+
+#[test]
+fn sensor_keeps_no_state_but_buffer_drains() {
+    // §4.4: "imposes minimal buffering and computation requirements on
+    // those sources" — after the primary acks, the sensor retains
+    // nothing.
+    let mut r = rig(1, 41);
+    {
+        let sender = r.world.actor_mut::<MachineActor<Sender>>(r.src_host);
+        sender.schedule(SimTime::from_secs(1), |s: &mut Sender, now, out| {
+            Sensor::new(1).report(s, now, 5, out);
+        });
+    }
+    r.world.run_until(SimTime::from_secs(5));
+    let sender = r.world.actor::<MachineActor<Sender>>(r.src_host);
+    assert_eq!(sender.machine().buffered(), 0);
+    let _ = Duration::ZERO;
+    let _ = Bytes::new();
+}

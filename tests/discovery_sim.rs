@@ -1,0 +1,113 @@
+//! Logger discovery (§2.2.1): expanding-ring scoped multicast search.
+
+use lbrm::harness::MachineActor;
+use lbrm::sim::time::SimTime;
+use lbrm::sim::topology::{SiteParams, TopologyBuilder};
+use lbrm::sim::world::World;
+use lbrm_core::discovery::{DiscoveryClient, DiscoveryConfig};
+use lbrm_core::logger::{Logger, LoggerConfig};
+use lbrm_core::machine::Notice;
+use lbrm_wire::{GroupId, SourceId, TtlScope};
+
+const GROUP: GroupId = GroupId(1);
+const SRC: SourceId = SourceId(1);
+
+#[test]
+fn finds_site_local_logger_at_site_scope() {
+    let mut b = TopologyBuilder::new();
+    let hq = b.site(SiteParams::distant());
+    let src_host = b.host(hq);
+    let primary = b.host(hq);
+    let site = b.site(SiteParams::distant());
+    let secondary = b.host(site);
+    let client_host = b.host(site);
+    let mut world = World::new(b.build(), 3);
+
+    world.add_actor(
+        primary,
+        MachineActor::new(
+            Logger::new(LoggerConfig::primary(GROUP, SRC, primary, src_host)),
+            vec![GROUP],
+        ),
+    );
+    world.add_actor(
+        secondary,
+        MachineActor::new(
+            Logger::new(LoggerConfig::secondary(GROUP, SRC, secondary, primary, src_host)),
+            vec![GROUP],
+        ),
+    );
+    world.add_actor(
+        client_host,
+        MachineActor::new(
+            DiscoveryClient::new(DiscoveryConfig::new(GROUP, client_host)),
+            vec![GROUP],
+        ),
+    );
+    world.run_until(SimTime::from_secs(5));
+
+    let client = world.actor::<MachineActor<DiscoveryClient>>(client_host);
+    let (logger, level, scope) = client.machine().result().expect("discovery must succeed");
+    assert_eq!(logger, secondary, "nearest logger is the site secondary");
+    assert_eq!(level, 1);
+    assert_eq!(scope, TtlScope::Site, "found without leaving the site");
+    assert!(client
+        .notices
+        .iter()
+        .any(|(_, n)| matches!(n, Notice::LoggerDiscovered { .. })));
+}
+
+#[test]
+fn widens_to_global_when_site_is_bare() {
+    // No secondary at the client's site: the search must escalate past
+    // Site and Region scope and find the primary globally.
+    let mut b = TopologyBuilder::new();
+    let hq = b.site(SiteParams { region: 1, ..SiteParams::distant() });
+    let src_host = b.host(hq);
+    let primary = b.host(hq);
+    let site = b.site(SiteParams { region: 2, ..SiteParams::distant() });
+    let client_host = b.host(site);
+    let mut world = World::new(b.build(), 4);
+
+    world.add_actor(
+        primary,
+        MachineActor::new(
+            Logger::new(LoggerConfig::primary(GROUP, SRC, primary, src_host)),
+            vec![GROUP],
+        ),
+    );
+    world.add_actor(
+        client_host,
+        MachineActor::new(
+            DiscoveryClient::new(DiscoveryConfig::new(GROUP, client_host)),
+            vec![GROUP],
+        ),
+    );
+    world.run_until(SimTime::from_secs(10));
+
+    let client = world.actor::<MachineActor<DiscoveryClient>>(client_host);
+    let (logger, level, scope) = client.machine().result().expect("discovery must succeed");
+    assert_eq!(logger, primary);
+    assert_eq!(level, 0);
+    assert_eq!(scope, TtlScope::Global);
+}
+
+#[test]
+fn reports_failure_when_no_logger_exists() {
+    let mut b = TopologyBuilder::new();
+    let site = b.site(SiteParams::distant());
+    let client_host = b.host(site);
+    let mut world = World::new(b.build(), 5);
+    world.add_actor(
+        client_host,
+        MachineActor::new(
+            DiscoveryClient::new(DiscoveryConfig::new(GROUP, client_host)),
+            vec![GROUP],
+        ),
+    );
+    world.run_until(SimTime::from_secs(10));
+    let client = world.actor::<MachineActor<DiscoveryClient>>(client_host);
+    assert!(client.machine().finished());
+    assert!(client.machine().result().is_none());
+    assert!(client.notices.iter().any(|(_, n)| matches!(n, Notice::DiscoveryFailed)));
+}

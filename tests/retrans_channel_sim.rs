@@ -1,0 +1,172 @@
+//! The §7 retransmission-channel extension, end to end: the sender
+//! repeats every packet on a second multicast group with heartbeat-style
+//! backoff; a receiver that detects loss *joins the channel* instead of
+//! NACKing, recovers, and leaves.
+
+use std::time::Duration;
+
+use bytes::Bytes;
+use lbrm::harness::MachineActor;
+use lbrm::sim::loss::LossModel;
+use lbrm::sim::time::SimTime;
+use lbrm::sim::topology::{SiteParams, TopologyBuilder};
+use lbrm::sim::world::World;
+use lbrm_core::machine::{Action, Actions, Machine, Notice};
+use lbrm_core::receiver::{Receiver, ReceiverConfig};
+use lbrm_core::retrans_channel::{RetransChannelConfig, RetransChannelSender, RetransSubscriber};
+use lbrm_core::sender::{Sender, SenderConfig};
+use lbrm_core::time::Time;
+use lbrm_wire::{GroupId, HostId, Packet, SourceId};
+
+const DATA_GROUP: GroupId = GroupId(1);
+const RETRANS_GROUP: GroupId = GroupId(2);
+const SRC: SourceId = SourceId(1);
+
+/// Sender plus the retransmission-channel shadow, as one machine.
+struct ChannelSender {
+    sender: Sender,
+    channel: RetransChannelSender,
+}
+
+impl ChannelSender {
+    fn send(&mut self, now: Time, payload: Bytes, out: &mut Actions) {
+        let seq = self.sender.next_seq();
+        self.sender.send(now, payload.clone(), out);
+        self.channel.on_data_sent(now, seq, payload);
+    }
+}
+
+impl Machine for ChannelSender {
+    fn on_start(&mut self, now: Time, out: &mut Actions) {
+        self.sender.on_start(now, out);
+    }
+    fn on_packet(&mut self, now: Time, from: HostId, packet: Packet, out: &mut Actions) {
+        self.sender.on_packet(now, from, packet, out);
+    }
+    fn poll(&mut self, now: Time, out: &mut Actions) {
+        self.sender.poll(now, out);
+        self.channel.poll(now, out);
+    }
+    fn next_deadline(&self) -> Option<Time> {
+        lbrm_core::time::earliest(self.sender.next_deadline(), self.channel.next_deadline())
+    }
+}
+
+/// Receiver that subscribes to the retransmission channel on loss
+/// instead of NACKing anyone.
+struct ChannelReceiver {
+    receiver: Receiver,
+    subscriber: RetransSubscriber,
+}
+
+impl Machine for ChannelReceiver {
+    fn on_packet(&mut self, now: Time, from: HostId, packet: Packet, out: &mut Actions) {
+        // Retransmission-channel packets carry the retrans group id;
+        // rewrite to the data group for the inner receiver.
+        let packet = match packet {
+            Packet::Retrans { group, source, seq, payload } if group == RETRANS_GROUP => {
+                Packet::Retrans { group: DATA_GROUP, source, seq, payload }
+            }
+            p => p,
+        };
+        let mut inner = Actions::new();
+        self.receiver.on_packet(now, from, packet, &mut inner);
+        for a in inner {
+            if let Action::Notice(n) = &a {
+                self.subscriber.on_notice(n, out);
+            }
+            out.push(a);
+        }
+    }
+    fn poll(&mut self, now: Time, out: &mut Actions) {
+        let mut inner = Actions::new();
+        self.receiver.poll(now, &mut inner);
+        for a in inner {
+            match &a {
+                Action::Notice(n) => {
+                    self.subscriber.on_notice(n, out);
+                    out.push(a);
+                }
+                // Suppress NACKs entirely: recovery is channel-driven.
+                Action::Unicast { packet: Packet::Nack { .. }, .. } => {}
+                _ => out.push(a),
+            }
+        }
+    }
+    fn next_deadline(&self) -> Option<Time> {
+        self.receiver.next_deadline()
+    }
+}
+
+#[test]
+fn loss_recovered_by_subscribing_to_retrans_channel() {
+    let mut b = TopologyBuilder::new();
+    let hq = b.site(SiteParams::distant());
+    let src_host = b.host(hq);
+    let log_host = b.host(hq);
+    // The receiver's site drops the second packet.
+    let site = b.site(SiteParams {
+        tail_in_loss: LossModel::outage(SimTime::from_millis(4_950), Duration::from_millis(200)),
+        ..SiteParams::distant()
+    });
+    let rx_host = b.host(site);
+    let mut world = World::new(b.build(), 8);
+
+    world.add_actor(
+        log_host,
+        MachineActor::new(
+            lbrm_core::logger::Logger::new(lbrm_core::logger::LoggerConfig::primary(
+                DATA_GROUP, SRC, log_host, src_host,
+            )),
+            vec![DATA_GROUP],
+        ),
+    );
+
+    let mut cfg = ReceiverConfig::new(DATA_GROUP, SRC, rx_host, src_host, vec![log_host]);
+    cfg.nack_delay = Duration::from_millis(10);
+    world.add_actor(
+        rx_host,
+        MachineActor::new(
+            ChannelReceiver {
+                receiver: Receiver::new(cfg),
+                subscriber: RetransSubscriber::new(RETRANS_GROUP),
+            },
+            vec![DATA_GROUP],
+        ),
+    );
+
+    let mut actor = MachineActor::new(
+        ChannelSender {
+            sender: Sender::new(SenderConfig::new(DATA_GROUP, SRC, src_host, log_host)),
+            channel: RetransChannelSender::new(RetransChannelConfig::new(RETRANS_GROUP, SRC)),
+        },
+        vec![],
+    );
+    for (i, at) in [1u64, 5, 9].iter().enumerate() {
+        let payload = Bytes::from(format!("u{i}"));
+        actor.schedule(SimTime::from_secs(*at), move |s: &mut ChannelSender, now, out| {
+            s.send(now, payload.clone(), out);
+        });
+    }
+    world.add_actor(src_host, actor);
+
+    world.run_until(SimTime::from_secs(30));
+
+    let rx = world.actor::<MachineActor<ChannelReceiver>>(rx_host);
+    let mut seqs: Vec<(u32, bool)> =
+        rx.deliveries.iter().map(|(_, d)| (d.seq.raw(), d.recovered)).collect();
+    seqs.sort();
+    assert_eq!(seqs, vec![(1, false), (2, true), (3, false)], "{seqs:?}");
+    // Recovery came from the channel, not a NACK: zero NACKs anywhere.
+    assert_eq!(
+        world.stats().class_kind(lbrm::sim::SegmentClass::Wan, "nack").carried,
+        0,
+        "channel recovery must not NACK"
+    );
+    // The subscriber joined and then left the channel.
+    assert!(!rx.machine().subscriber.joined(), "subscriber must leave after recovery");
+    assert!(rx
+        .notices
+        .iter()
+        .any(|(_, n)| matches!(n, Notice::Recovered { .. })));
+}
