@@ -70,15 +70,12 @@ impl Sensor {
     }
 
     /// Publishes one measurement.
-    pub fn report(
-        &self,
-        sender: &mut Sender,
-        now: Time,
-        value_milli: i64,
-        out: &mut Actions,
-    ) {
-        let reading =
-            Reading { sensor_id: self.id, value_milli, at_ms: now.nanos() / 1_000_000 };
+    pub fn report(&self, sender: &mut Sender, now: Time, value_milli: i64, out: &mut Actions) {
+        let reading = Reading {
+            sensor_id: self.id,
+            value_milli,
+            at_ms: now.nanos() / 1_000_000,
+        };
         sender.send(now, encode_reading(&reading), out);
     }
 }
@@ -125,7 +122,9 @@ impl MonitorStation {
 
     /// Applies one delivery.
     pub fn on_delivery(&mut self, d: &Delivery) {
-        let Some(r) = decode_reading(&d.payload) else { return };
+        let Some(r) = decode_reading(&d.payload) else {
+            return;
+        };
         if d.recovered {
             self.recovered_readings += 1;
         }
@@ -168,9 +167,14 @@ mod tests {
     fn extract(out: &Actions, recovered: bool) -> Vec<Delivery> {
         out.iter()
             .filter_map(|a| match a {
-                Action::Multicast { packet: Packet::Data { payload, seq, .. }, .. } => {
-                    Some(Delivery { seq: *seq, payload: payload.clone(), recovered })
-                }
+                Action::Multicast {
+                    packet: Packet::Data { payload, seq, .. },
+                    ..
+                } => Some(Delivery {
+                    seq: *seq,
+                    payload: payload.clone(),
+                    recovered,
+                }),
                 _ => None,
             })
             .collect()
@@ -178,7 +182,11 @@ mod tests {
 
     #[test]
     fn codec_roundtrip() {
-        let r = Reading { sensor_id: 7, value_milli: -12_345, at_ms: 99 };
+        let r = Reading {
+            sensor_id: 7,
+            value_milli: -12_345,
+            at_ms: 99,
+        };
         assert_eq!(decode_reading(&encode_reading(&r)), Some(r));
         assert_eq!(decode_reading(b"short"), None);
     }
@@ -237,8 +245,7 @@ mod tests {
         sensor.report(&mut s, Time::from_secs(1), 1, &mut out);
         sensor.report(&mut s, Time::from_secs(2), 2, &mut out);
         // Feed the multicast stream into a logging server.
-        let mut logger =
-            Logger::new(LoggerConfig::primary(GROUP, SRC, HostId(2), HostId(1)));
+        let mut logger = Logger::new(LoggerConfig::primary(GROUP, SRC, HostId(2), HostId(1)));
         let mut log_out = Actions::new();
         for a in &out {
             if let Action::Multicast { packet, .. } = a {
@@ -254,8 +261,7 @@ mod tests {
 
     #[test]
     fn foreign_payloads_skipped_in_audit() {
-        let mut logger =
-            Logger::new(LoggerConfig::primary(GROUP, SRC, HostId(2), HostId(1)));
+        let mut logger = Logger::new(LoggerConfig::primary(GROUP, SRC, HostId(2), HostId(1)));
         let mut out = Actions::new();
         let pkt = Packet::Data {
             group: GROUP,

@@ -75,7 +75,10 @@ impl FileServer {
         let version = *v;
         sender.send(
             now,
-            encode_invalidation(&FileInvalidation { path: path.to_owned(), version }),
+            encode_invalidation(&FileInvalidation {
+                path: path.to_owned(),
+                version,
+            }),
             out,
         );
         version
@@ -173,15 +176,25 @@ mod tests {
     use lbrm_wire::{GroupId, HostId, Packet, Seq, SourceId};
 
     fn sender() -> Sender {
-        Sender::new(SenderConfig::new(GroupId(2), SourceId(9), HostId(1), HostId(2)))
+        Sender::new(SenderConfig::new(
+            GroupId(2),
+            SourceId(9),
+            HostId(1),
+            HostId(2),
+        ))
     }
 
     fn as_delivery(out: &Actions) -> Delivery {
         out.iter()
             .find_map(|a| match a {
-                Action::Multicast { packet: Packet::Data { payload, seq, .. }, .. } => {
-                    Some(Delivery { seq: *seq, payload: payload.clone(), recovered: false })
-                }
+                Action::Multicast {
+                    packet: Packet::Data { payload, seq, .. },
+                    ..
+                } => Some(Delivery {
+                    seq: *seq,
+                    payload: payload.clone(),
+                    recovered: false,
+                }),
                 _ => None,
             })
             .expect("multicast data")
@@ -189,7 +202,10 @@ mod tests {
 
     #[test]
     fn codec_roundtrip() {
-        let inv = FileInvalidation { path: "/etc/passwd".into(), version: 42 };
+        let inv = FileInvalidation {
+            path: "/etc/passwd".into(),
+            version: 42,
+        };
         assert_eq!(decode_invalidation(&encode_invalidation(&inv)), Some(inv));
         assert_eq!(decode_invalidation(b""), None);
         assert_eq!(decode_invalidation(&[0, 20, b'x']), None);
@@ -207,7 +223,10 @@ mod tests {
         let v = server.write(&mut s, Time::ZERO, "/data/a", &mut out);
         assert_eq!(v, 1);
         client.on_delivery(&as_delivery(&out));
-        assert!(client.lookup("/data/a").is_none(), "cache entry must be gone");
+        assert!(
+            client.lookup("/data/a").is_none(),
+            "cache entry must be gone"
+        );
         assert_eq!(client.file_invalidations, 1);
         // Unrelated entries survive.
         client.fill("/data/b", 0);
@@ -246,7 +265,10 @@ mod tests {
         let seqs: Vec<Seq> = out
             .iter()
             .filter_map(|a| match a {
-                Action::Multicast { packet: Packet::Data { seq, .. }, .. } => Some(*seq),
+                Action::Multicast {
+                    packet: Packet::Data { seq, .. },
+                    ..
+                } => Some(*seq),
                 _ => None,
             })
             .collect();

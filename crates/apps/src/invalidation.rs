@@ -26,7 +26,12 @@ use lbrm_wire::Seq;
 /// Renders the payload for an update of `url`, optionally carrying the
 /// new document body (the §4.3 auto-dissemination extension).
 pub fn update_payload(seq: Seq, url: &str, body: Option<&str>) -> Bytes {
-    let line = TextMessage::Update { seq, url: url.to_owned(), retrans: false }.to_string();
+    let line = TextMessage::Update {
+        seq,
+        url: url.to_owned(),
+        retrans: false,
+    }
+    .to_string();
     match body {
         Some(b) => Bytes::from(format!("{line}\n{b}")),
         None => Bytes::from(line),
@@ -58,9 +63,12 @@ pub fn parse_invalidation(d: &Delivery) -> Result<Invalidation, lbrm_wire::text:
         None => (text.as_ref(), None),
     };
     match parse_message(line)? {
-        TextMessage::Update { seq, url, .. } => {
-            Ok(Invalidation { seq, url, body, recovered: d.recovered })
-        }
+        TextMessage::Update { seq, url, .. } => Ok(Invalidation {
+            seq,
+            url,
+            body,
+            recovered: d.recovered,
+        }),
         TextMessage::Heartbeat { .. } => Err(lbrm_wire::text::TextError::BadOperation),
     }
 }
@@ -74,7 +82,9 @@ pub struct DocServer {
 impl DocServer {
     /// Creates a server with no published documents.
     pub fn new() -> Self {
-        DocServer { versions: HashMap::new() }
+        DocServer {
+            versions: HashMap::new(),
+        }
     }
 
     /// Current version of `url` (0 = never updated).
@@ -138,7 +148,10 @@ impl BrowserCache {
     pub fn store(&mut self, url: &str, body: &str) {
         self.pages.insert(
             url.to_owned(),
-            CachedPage { body: body.to_owned(), reload_highlighted: false },
+            CachedPage {
+                body: body.to_owned(),
+                reload_highlighted: false,
+            },
         );
     }
 
@@ -197,16 +210,29 @@ mod tests {
     use lbrm_wire::{GroupId, HostId, Packet, SourceId};
 
     fn sender() -> Sender {
-        Sender::new(SenderConfig::new(GroupId(1), SourceId(1), HostId(1), HostId(2)))
+        Sender::new(SenderConfig::new(
+            GroupId(1),
+            SourceId(1),
+            HostId(1),
+            HostId(2),
+        ))
     }
 
     fn delivery(payload: Bytes, recovered: bool) -> Delivery {
-        Delivery { seq: Seq(1), payload, recovered }
+        Delivery {
+            seq: Seq(1),
+            payload,
+            recovered,
+        }
     }
 
     #[test]
     fn payload_roundtrip_plain() {
-        let p = update_payload(Seq(17), "http://www-DSG.Stanford.EDU/groupMembers.html", None);
+        let p = update_payload(
+            Seq(17),
+            "http://www-DSG.Stanford.EDU/groupMembers.html",
+            None,
+        );
         let inv = parse_invalidation(&delivery(p, false)).unwrap();
         assert_eq!(inv.seq, Seq(17));
         assert_eq!(inv.url, "http://www-DSG.Stanford.EDU/groupMembers.html");
@@ -302,13 +328,24 @@ mod tests {
         let mut cache = BrowserCache::new();
         cache.store("http://a/x.html", "<v1>");
         let mut out = Actions::new();
-        server.publish_update(&mut s, Time::ZERO, "http://a/x.html", Some("<v2>"), &mut out);
+        server.publish_update(
+            &mut s,
+            Time::ZERO,
+            "http://a/x.html",
+            Some("<v2>"),
+            &mut out,
+        );
         let payload = out
             .iter()
             .find_map(|a| match a {
-                Action::Multicast { packet: Packet::Data { payload, seq, .. }, .. } => {
-                    Some(Delivery { seq: *seq, payload: payload.clone(), recovered: false })
-                }
+                Action::Multicast {
+                    packet: Packet::Data { payload, seq, .. },
+                    ..
+                } => Some(Delivery {
+                    seq: *seq,
+                    payload: payload.clone(),
+                    recovered: false,
+                }),
                 _ => None,
             })
             .unwrap();

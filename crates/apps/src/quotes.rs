@@ -50,7 +50,11 @@ pub fn decode_quote(mut payload: &[u8]) -> Option<Quote> {
     payload.advance(len);
     let price_cents = payload.get_u64();
     let revision = payload.get_u64();
-    Some(Quote { symbol, price_cents, revision })
+    Some(Quote {
+        symbol,
+        price_cents,
+        revision,
+    })
 }
 
 /// Publisher: a quote feed over an LBRM sender.
@@ -76,7 +80,11 @@ impl QuoteFeed {
     ) -> Quote {
         let rev = self.revisions.entry(symbol.to_owned()).or_insert(0);
         *rev += 1;
-        let quote = Quote { symbol: symbol.to_owned(), price_cents, revision: *rev };
+        let quote = Quote {
+            symbol: symbol.to_owned(),
+            price_cents,
+            revision: *rev,
+        };
         sender.send(now, encode_quote(&quote), out);
         quote
     }
@@ -105,7 +113,9 @@ impl QuoteBoard {
 
     /// Applies a delivery; last-revision-wins.
     pub fn on_delivery(&mut self, d: &Delivery) {
-        let Some(q) = decode_quote(&d.payload) else { return };
+        let Some(q) = decode_quote(&d.payload) else {
+            return;
+        };
         match self.latest.get(&q.symbol) {
             Some(held) if held.revision >= q.revision => self.superseded += 1,
             _ => {
@@ -140,15 +150,25 @@ mod tests {
     use lbrm_wire::{GroupId, HostId, Packet, Seq, SourceId};
 
     fn sender() -> Sender {
-        Sender::new(SenderConfig::new(GroupId(3), SourceId(5), HostId(1), HostId(2)))
+        Sender::new(SenderConfig::new(
+            GroupId(3),
+            SourceId(5),
+            HostId(1),
+            HostId(2),
+        ))
     }
 
     fn deliveries_of(out: &Actions, recovered: bool) -> Vec<Delivery> {
         out.iter()
             .filter_map(|a| match a {
-                Action::Multicast { packet: Packet::Data { payload, seq, .. }, .. } => {
-                    Some(Delivery { seq: *seq, payload: payload.clone(), recovered })
-                }
+                Action::Multicast {
+                    packet: Packet::Data { payload, seq, .. },
+                    ..
+                } => Some(Delivery {
+                    seq: *seq,
+                    payload: payload.clone(),
+                    recovered,
+                }),
                 _ => None,
             })
             .collect()
@@ -156,7 +176,11 @@ mod tests {
 
     #[test]
     fn codec_roundtrip() {
-        let q = Quote { symbol: "ACME".into(), price_cents: 123_456, revision: 9 };
+        let q = Quote {
+            symbol: "ACME".into(),
+            price_cents: 123_456,
+            revision: 9,
+        };
         assert_eq!(decode_quote(&encode_quote(&q)), Some(q));
         assert_eq!(decode_quote(b"\x00"), None);
     }

@@ -85,7 +85,10 @@ pub struct TerrainEntity {
 impl TerrainEntity {
     /// Creates an intact entity.
     pub fn new(id: u64) -> Self {
-        TerrainEntity { id, state: EntityState::Intact }
+        TerrainEntity {
+            id,
+            state: EntityState::Intact,
+        }
     }
 
     /// Current state.
@@ -102,7 +105,14 @@ impl TerrainEntity {
         out: &mut Actions,
     ) {
         self.state = state;
-        sender.send(now, encode_update(&TerrainUpdate { entity_id: self.id, state }), out);
+        sender.send(
+            now,
+            encode_update(&TerrainUpdate {
+                entity_id: self.id,
+                state,
+            }),
+            out,
+        );
     }
 }
 
@@ -126,7 +136,9 @@ impl TerrainView {
     /// Registers an entity as initially intact (from the exercise
     /// database load).
     pub fn load(&mut self, entity_id: u64) {
-        self.entities.entry(entity_id).or_insert(EntityState::Intact);
+        self.entities
+            .entry(entity_id)
+            .or_insert(EntityState::Intact);
     }
 
     /// The believed state of an entity.
@@ -166,15 +178,25 @@ mod tests {
     use lbrm_wire::{GroupId, HostId, Packet, SourceId};
 
     fn sender() -> Sender {
-        Sender::new(SenderConfig::new(GroupId(8), SourceId(8), HostId(1), HostId(2)))
+        Sender::new(SenderConfig::new(
+            GroupId(8),
+            SourceId(8),
+            HostId(1),
+            HostId(2),
+        ))
     }
 
     fn extract(out: &Actions) -> Vec<Delivery> {
         out.iter()
             .filter_map(|a| match a {
-                Action::Multicast { packet: Packet::Data { payload, seq, .. }, .. } => {
-                    Some(Delivery { seq: *seq, payload: payload.clone(), recovered: false })
-                }
+                Action::Multicast {
+                    packet: Packet::Data { payload, seq, .. },
+                    ..
+                } => Some(Delivery {
+                    seq: *seq,
+                    payload: payload.clone(),
+                    recovered: false,
+                }),
                 _ => None,
             })
             .collect()
@@ -182,8 +204,15 @@ mod tests {
 
     #[test]
     fn codec_roundtrip() {
-        for state in [EntityState::Intact, EntityState::Damaged, EntityState::Destroyed] {
-            let u = TerrainUpdate { entity_id: 42, state };
+        for state in [
+            EntityState::Intact,
+            EntityState::Damaged,
+            EntityState::Destroyed,
+        ] {
+            let u = TerrainUpdate {
+                entity_id: 42,
+                state,
+            };
             assert_eq!(decode_update(&encode_update(&u)), Some(u));
         }
         assert_eq!(decode_update(&[0; 8]), None);
@@ -199,12 +228,20 @@ mod tests {
         assert!(view.passable(42));
 
         let mut out = Actions::new();
-        bridge.transition(&mut s, Time::from_secs(60), EntityState::Destroyed, &mut out);
+        bridge.transition(
+            &mut s,
+            Time::from_secs(60),
+            EntityState::Destroyed,
+            &mut out,
+        );
         for d in extract(&out) {
             view.on_delivery(&d);
         }
         assert_eq!(view.state(42), Some(EntityState::Destroyed));
-        assert!(!view.passable(42), "the tank must not drive onto the bridge");
+        assert!(
+            !view.passable(42),
+            "the tank must not drive onto the bridge"
+        );
     }
 
     #[test]

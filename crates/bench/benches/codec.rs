@@ -1,7 +1,7 @@
 //! Wire codec microbenchmarks: encode/decode of the hot packet types.
 
 use bytes::Bytes;
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use lbrm_bench::microbench::{bench_function, Bencher};
 use lbrm_wire::packet::SeqRange;
 use lbrm_wire::{decode, encode, EpochId, GroupId, HostId, Packet, Seq, SourceId};
 
@@ -45,9 +45,15 @@ fn packets() -> Vec<(&'static str, Packet)> {
                 source: SourceId(2),
                 requester: HostId(9),
                 ranges: vec![
-                    SeqRange { first: Seq(10), last: Seq(12) },
+                    SeqRange {
+                        first: Seq(10),
+                        last: Seq(12),
+                    },
                     SeqRange::single(Seq(20)),
-                    SeqRange { first: Seq(30), last: Seq(39) },
+                    SeqRange {
+                        first: Seq(30),
+                        last: Seq(39),
+                    },
                     SeqRange::single(Seq(50)),
                 ],
             },
@@ -55,20 +61,15 @@ fn packets() -> Vec<(&'static str, Packet)> {
     ]
 }
 
-fn bench_codec(c: &mut Criterion) {
-    let mut group = c.benchmark_group("codec");
+fn main() {
+    println!("== codec ==");
     for (name, pkt) in packets() {
         let wire = encode(&pkt).unwrap();
-        group.throughput(Throughput::Bytes(wire.len() as u64));
-        group.bench_function(format!("encode_{name}"), |b| {
+        bench_function(&format!("codec/encode_{name}"), |b: &mut Bencher| {
             b.iter(|| encode(std::hint::black_box(&pkt)).unwrap())
         });
-        group.bench_function(format!("decode_{name}"), |b| {
+        bench_function(&format!("codec/decode_{name}"), |b: &mut Bencher| {
             b.iter(|| decode(std::hint::black_box(&wire)).unwrap())
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_codec);
-criterion_main!(benches);

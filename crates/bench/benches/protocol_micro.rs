@@ -1,49 +1,46 @@
 //! Protocol-machine microbenchmarks: the per-packet costs of the gap
 //! tracker, heartbeat scheduler, receiver data path, and statistical-ack
-//! bookkeeping, plus raw simulator event throughput.
+//! bookkeeping, plus raw simulator event throughput and the overhead of
+//! the trace layer on the receiver hot path (disabled tracer vs an
+//! attached no-op sink vs a counting sink).
+
+use std::sync::Arc;
 
 use bytes::Bytes;
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use lbrm_bench::microbench::{bench_function, bench_function_throughput, Bencher};
 use lbrm_core::gaps::GapTracker;
 use lbrm_core::heartbeat::{HeartbeatConfig, VariableHeartbeat};
 use lbrm_core::machine::{Actions, Machine};
 use lbrm_core::receiver::{Receiver, ReceiverConfig};
 use lbrm_core::statack::{StatAck, StatAckConfig, StatAckOutput};
 use lbrm_core::time::Time;
+use lbrm_core::trace::{CountingSink, NoopSink, Tracer};
 use lbrm_wire::{EpochId, GroupId, HostId, Packet, Seq, SourceId};
 
-fn bench_gap_tracker(c: &mut Criterion) {
-    let mut group = c.benchmark_group("gap_tracker");
-    group.throughput(Throughput::Elements(256));
-    group.bench_function("observe_in_order_256", |b| {
-        b.iter_batched_ref(
-            GapTracker::new,
-            |t| {
+fn bench_gap_tracker() {
+    bench_function_throughput(
+        "gap_tracker/observe_in_order_256",
+        256,
+        |b: &mut Bencher| {
+            b.iter_batched_ref(GapTracker::new, |t| {
                 for i in 1..=256u32 {
                     t.observe(Seq(i));
                 }
-            },
-            BatchSize::SmallInput,
-        );
+            });
+        },
+    );
+    bench_function_throughput("gap_tracker/observe_gappy_128_plus_ranges", 128, |b| {
+        b.iter_batched_ref(GapTracker::new, |t| {
+            for i in 1..=128u32 {
+                t.observe(Seq(i * 3)); // every third packet
+            }
+            t.missing_ranges(64)
+        });
     });
-    group.throughput(Throughput::Elements(128));
-    group.bench_function("observe_gappy_128_plus_ranges", |b| {
-        b.iter_batched_ref(
-            GapTracker::new,
-            |t| {
-                for i in 1..=128u32 {
-                    t.observe(Seq(i * 3)); // every third packet
-                }
-                t.missing_ranges(64)
-            },
-            BatchSize::SmallInput,
-        );
-    });
-    group.finish();
 }
 
-fn bench_heartbeat(c: &mut Criterion) {
-    c.bench_function("heartbeat_schedule_cycle", |b| {
+fn bench_heartbeat() {
+    bench_function("heartbeat_schedule_cycle", |b| {
         let mut hb = VariableHeartbeat::new(HeartbeatConfig::default());
         let mut now = Time::ZERO;
         b.iter(|| {
@@ -57,45 +54,74 @@ fn bench_heartbeat(c: &mut Criterion) {
     });
 }
 
-fn bench_receiver_path(c: &mut Criterion) {
-    let mut group = c.benchmark_group("receiver");
-    group.throughput(Throughput::Elements(64));
-    group.bench_function("on_data_in_order_64", |b| {
-        b.iter_batched_ref(
-            || {
-                Receiver::new(ReceiverConfig::new(
-                    GroupId(1),
-                    SourceId(1),
-                    HostId(1),
-                    HostId(2),
-                    vec![HostId(3)],
-                ))
-            },
-            |r| {
-                let mut out = Actions::new();
-                for i in 1..=64u32 {
-                    let pkt = Packet::Data {
-                        group: GroupId(1),
-                        source: SourceId(1),
-                        seq: Seq(i),
-                        epoch: EpochId(0),
-                        payload: Bytes::from_static(b"terrain update"),
-                    };
-                    r.on_packet(Time::from_millis(u64::from(i)), HostId(2), pkt, &mut out);
-                    out.clear();
-                }
-            },
-            BatchSize::SmallInput,
-        );
-    });
-    group.finish();
+fn fresh_receiver() -> Receiver {
+    Receiver::new(ReceiverConfig::new(
+        GroupId(1),
+        SourceId(1),
+        HostId(1),
+        HostId(2),
+        vec![HostId(3)],
+    ))
 }
 
-fn bench_statack(c: &mut Criterion) {
-    c.bench_function("statack_16_acks_per_packet", |b| {
+fn drive_receiver(r: &mut Receiver) {
+    let mut out = Actions::new();
+    for i in 1..=64u32 {
+        let pkt = Packet::Data {
+            group: GroupId(1),
+            source: SourceId(1),
+            seq: Seq(i),
+            epoch: EpochId(0),
+            payload: Bytes::from_static(b"terrain update"),
+        };
+        r.on_packet(Time::from_millis(u64::from(i)), HostId(2), pkt, &mut out);
+        out.clear();
+    }
+}
+
+fn bench_receiver_path() {
+    // The trace-layer overhead comparison the design promises: a
+    // disabled tracer must cost nothing measurable on the hot path, and
+    // an attached no-op sink only the dynamic dispatch.
+    let disabled = bench_function_throughput("receiver/on_data_64/tracer_disabled", 64, |b| {
+        b.iter_batched_ref(fresh_receiver, drive_receiver);
+    });
+    let noop = bench_function_throughput("receiver/on_data_64/noop_sink", 64, |b| {
+        b.iter_batched_ref(
+            || {
+                let mut r = fresh_receiver();
+                r.set_tracer(Tracer::to(Arc::new(NoopSink)));
+                r
+            },
+            drive_receiver,
+        );
+    });
+    let counting = bench_function_throughput("receiver/on_data_64/counting_sink", 64, |b| {
+        b.iter_batched_ref(
+            || {
+                let mut r = fresh_receiver();
+                r.set_tracer(Tracer::to(Arc::new(CountingSink::default())));
+                r
+            },
+            drive_receiver,
+        );
+    });
+    println!(
+        "  trace overhead vs disabled: noop {:+.1}%, counting {:+.1}%",
+        100.0 * (noop.ns_per_iter - disabled.ns_per_iter) / disabled.ns_per_iter,
+        100.0 * (counting.ns_per_iter - disabled.ns_per_iter) / disabled.ns_per_iter,
+    );
+}
+
+fn bench_statack() {
+    bench_function("statack_16_acks_per_packet", |b| {
         // One epoch with 16 ackers; process a packet's worth of ACKs.
         let mut sa = StatAck::new(
-            StatAckConfig { k: 16, nsl_initial: 16.0, ..StatAckConfig::default() },
+            StatAckConfig {
+                k: 16,
+                nsl_initial: 16.0,
+                ..StatAckConfig::default()
+            },
             Time::ZERO,
         );
         let mut out = Vec::new();
@@ -126,7 +152,7 @@ fn bench_statack(c: &mut Criterion) {
     });
 }
 
-fn bench_sim_events(c: &mut Criterion) {
+fn bench_sim_events() {
     use lbrm_sim::time::SimTime;
     use lbrm_sim::topology::{SiteParams, TopologyBuilder};
     use lbrm_sim::world::{Actor, Ctx, World};
@@ -159,10 +185,8 @@ fn bench_sim_events(c: &mut Criterion) {
         }
     }
 
-    let mut group = c.benchmark_group("sim");
-    group.throughput(Throughput::Elements(10_000));
-    group.bench_function("event_dispatch_10k", |b| {
-        b.iter_batched(
+    bench_function_throughput("sim/event_dispatch_10k", 10_000, |b| {
+        b.iter_batched_ref(
             || {
                 let mut tb = TopologyBuilder::new();
                 let s0 = tb.site(SiteParams::default());
@@ -170,26 +194,33 @@ fn bench_sim_events(c: &mut Criterion) {
                 let a = tb.host(s0);
                 let z = tb.host(s1);
                 let mut w = World::new(tb.build(), 1);
-                w.add_actor(a, Pong { peer: z, budget: 5_000 });
-                w.add_actor(z, Pong { peer: a, budget: 5_000 });
+                w.add_actor(
+                    a,
+                    Pong {
+                        peer: z,
+                        budget: 5_000,
+                    },
+                );
+                w.add_actor(
+                    z,
+                    Pong {
+                        peer: a,
+                        budget: 5_000,
+                    },
+                );
                 w
             },
-            |mut w| {
+            |w| {
                 w.run_until(SimTime::from_secs(100_000));
-                w
             },
-            BatchSize::LargeInput,
         );
     });
-    group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_gap_tracker,
-    bench_heartbeat,
-    bench_receiver_path,
-    bench_statack,
-    bench_sim_events
-);
-criterion_main!(benches);
+fn main() {
+    bench_gap_tracker();
+    bench_heartbeat();
+    bench_receiver_path();
+    bench_statack();
+    bench_sim_events();
+}

@@ -1,17 +1,15 @@
-//! Criterion analogue of Table 3: the secondary logging server's request
-//! service path (NACK decode → log lookup → retransmission encode) and
-//! its saturation throughput.
+//! Microbenchmark analogue of Table 3: the secondary logging server's
+//! request service path (NACK decode → log lookup → retransmission
+//! encode) and its saturation throughput.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
 use lbrm_bench::experiments::table3_breakdown::{loaded_logger, serve_once};
+use lbrm_bench::microbench::{bench_function_throughput, Bencher};
 use lbrm_core::machine::Actions;
 use lbrm_wire::packet::SeqRange;
 use lbrm_wire::{encode, GroupId, HostId, Packet, Seq, SourceId};
 
-fn bench_serve(c: &mut Criterion) {
-    let mut group = c.benchmark_group("table3_logger");
-    group.throughput(Throughput::Elements(1));
-
+fn main() {
+    println!("== table3_logger ==");
     for payload in [128usize, 1024] {
         let wire_nack = encode(&Packet::Nack {
             group: GroupId(1),
@@ -20,13 +18,16 @@ fn bench_serve(c: &mut Criterion) {
             ranges: vec![SeqRange::single(Seq(500))],
         })
         .unwrap();
-        group.bench_function(format!("serve_request_{payload}B"), |b| {
-            b.iter_batched_ref(
-                || (loaded_logger(1024, payload), Actions::new()),
-                |(logger, out)| serve_once(logger, &wire_nack, out),
-                BatchSize::SmallInput,
-            );
-        });
+        bench_function_throughput(
+            &format!("table3_logger/serve_request_{payload}B"),
+            1,
+            |b: &mut Bencher| {
+                b.iter_batched_ref(
+                    || (loaded_logger(1024, payload), Actions::new()),
+                    |(logger, out)| serve_once(logger, &wire_nack, out),
+                );
+            },
+        );
     }
 
     // Sustained service rate with a rotating request mix (the §3
@@ -43,18 +44,18 @@ fn bench_serve(c: &mut Criterion) {
             .to_vec()
         })
         .collect();
-    group.bench_function("serve_request_sustained_128B", |b| {
-        let mut logger = loaded_logger(512, 128);
-        let mut out = Actions::new();
-        let mut i = 0usize;
-        b.iter(|| {
-            let bytes = serve_once(&mut logger, &nacks[i % nacks.len()], &mut out);
-            i += 1;
-            bytes
-        });
-    });
-    group.finish();
+    bench_function_throughput(
+        "table3_logger/serve_request_sustained_128B",
+        1,
+        |b: &mut Bencher| {
+            let mut logger = loaded_logger(512, 128);
+            let mut out = Actions::new();
+            let mut i = 0usize;
+            b.iter(|| {
+                let bytes = serve_once(&mut logger, &nacks[i % nacks.len()], &mut out);
+                i += 1;
+                bytes
+            });
+        },
+    );
 }
-
-criterion_group!(benches, bench_serve);
-criterion_main!(benches);

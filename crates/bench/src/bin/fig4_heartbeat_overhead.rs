@@ -1,4 +1,7 @@
 //! Regenerates one evaluation result; see `lbrm_bench::experiments`.
 fn main() {
-    print!("{}", lbrm_bench::experiments::fig4_heartbeat_overhead::run());
+    print!(
+        "{}",
+        lbrm_bench::experiments::fig4_heartbeat_overhead::run()
+    );
 }

@@ -23,11 +23,16 @@ use crate::report::{fmt_dur, Table};
 /// delay for context.
 pub fn detection_delay(t_burst: Duration, seed: u64) -> (Duration, Duration) {
     let send_at = SimTime::from_secs(10);
-    let outage = LossModel::Outages { windows: vec![(send_at, send_at + t_burst)] };
+    let outage = LossModel::Outages {
+        windows: vec![(send_at, send_at + t_burst)],
+    };
     let mut sc = DisScenario::build(DisScenarioConfig {
         sites: 1,
         receivers_per_site: 1,
-        site_params: SiteParams { tail_in_loss: outage, ..SiteParams::distant() },
+        site_params: SiteParams {
+            tail_in_loss: outage,
+            ..SiteParams::distant()
+        },
         site_params_for: None::<Arc<dyn Fn(usize) -> SiteParams>>,
         seed,
         ..DisScenarioConfig::default()
@@ -37,22 +42,26 @@ pub fn detection_delay(t_burst: Duration, seed: u64) -> (Duration, Duration) {
     // expected-heartbeat window tight, so the idle alarm is meaningful.
     sc.send_at(SimTime::from_millis(9_500), "baseline-2");
     sc.send_at(send_at, "lost-at-burst-start");
-    sc.world.run_until(SimTime::from_secs(10) + t_burst * 4 + Duration::from_secs(40));
+    sc.world
+        .run_until(SimTime::from_secs(10) + t_burst * 4 + Duration::from_secs(40));
 
     let rx_host = sc.receivers[0][0];
     let rx = sc.world.actor::<MachineActor<Receiver>>(rx_host);
     let would_arrive = SimTime::from_nanos(
-        send_at.nanos() + sc.world.topology().base_latency(sc.src_host, rx_host).as_nanos() as u64,
+        send_at.nanos()
+            + sc.world
+                .topology()
+                .base_latency(sc.src_host, rx_host)
+                .as_nanos() as u64,
     );
     let detected_at = rx
         .notices
         .iter()
         .find_map(|(at, n)| match n {
-            Notice::LossDetected { signal: LossSignal::Heartbeat | LossSignal::SeqGap, .. }
-                if *at > SimTime::from_secs(9) =>
-            {
-                Some(*at)
-            }
+            Notice::LossDetected {
+                signal: LossSignal::Heartbeat | LossSignal::SeqGap,
+                ..
+            } if *at > SimTime::from_secs(9) => Some(*at),
             _ => None,
         })
         .expect("loss must eventually be detected");
@@ -62,7 +71,9 @@ pub fn detection_delay(t_burst: Duration, seed: u64) -> (Duration, Duration) {
     });
     (
         detected_at.since(would_arrive),
-        freshness_lost_at.map(|t| t.since(would_arrive)).unwrap_or_default(),
+        freshness_lost_at
+            .map(|t| t.since(would_arrive))
+            .unwrap_or_default(),
     )
 }
 

@@ -52,7 +52,10 @@ pub fn sampled_rate(n: u64, secs: u64, scheme: HeartbeatScheme, seed: u64) -> f6
         world.join(sink, group);
     }
     world.run_until(SimTime::from_secs(secs));
-    let heartbeats = world.stats().class_kind(SegmentClass::Lan, "heartbeat").carried as f64;
+    let heartbeats = world
+        .stats()
+        .class_kind(SegmentClass::Lan, "heartbeat")
+        .carried as f64;
     heartbeats / n as f64 / (secs as f64 - 1.0)
 }
 

@@ -67,8 +67,7 @@ mod tests {
         let samples = trajectory(15, 3);
         // End of each regime: estimate within 30% of truth.
         for target_round in [80u32, 160, 240] {
-            let (_, truth, est) =
-                *samples.iter().find(|(r, _, _)| *r == target_round).unwrap();
+            let (_, truth, est) = *samples.iter().find(|(r, _, _)| *r == target_round).unwrap();
             let rel = (est - truth as f64).abs() / truth as f64;
             assert!(rel < 0.3, "round {target_round}: est {est} vs {truth}");
         }

@@ -18,14 +18,23 @@ use crate::report::Table;
 
 /// NACKs reaching the primary's site, and completeness, for a hierarchy
 /// of `levels` (1 = centralized, 2 = site secondaries, 3 = + regionals).
-pub fn run_level(sites: usize, receivers: usize, fanout: usize, levels: u8, seed: u64) -> (u64, f64) {
+pub fn run_level(
+    sites: usize,
+    receivers: usize,
+    fanout: usize,
+    levels: u8,
+    seed: u64,
+) -> (u64, f64) {
     let outage = LossModel::outage(SimTime::from_secs(5), Duration::from_millis(100));
     let mut sc = DisScenario::build(DisScenarioConfig {
         sites,
         receivers_per_site: receivers,
         secondary_loggers: levels >= 2,
         regional_fanout: (levels >= 3).then_some(fanout),
-        site_params: SiteParams { tail_in_loss: outage, ..SiteParams::distant() },
+        site_params: SiteParams {
+            tail_in_loss: outage,
+            ..SiteParams::distant()
+        },
         site_params_for: None::<Arc<dyn Fn(usize) -> SiteParams>>,
         seed,
         ..DisScenarioConfig::default()
@@ -35,7 +44,11 @@ pub fn run_level(sites: usize, receivers: usize, fanout: usize, levels: u8, seed
     sc.send_at(SimTime::from_secs(9), "three");
     sc.world.run_until(SimTime::from_secs(40));
     let source_site = sc.world.topology().site_of(sc.primary);
-    let nacks = sc.world.stats().site_tail(source_site, SegmentClass::TailIn, "nack").carried;
+    let nacks = sc
+        .world
+        .stats()
+        .site_tail(source_site, SegmentClass::TailIn, "nack")
+        .carried;
     (nacks, sc.completeness(&[1, 2, 3]))
 }
 
@@ -49,11 +62,17 @@ pub fn run() -> String {
          on every site's tail circuit)\n\n"
     ));
     let mut t = Table::new(&["hierarchy", "NACKs at primary", "complete"]);
-    for (levels, label) in
-        [(1u8, "1-level (centralized)"), (2, "2-level (paper)"), (3, "3-level (+regional)")]
-    {
+    for (levels, label) in [
+        (1u8, "1-level (centralized)"),
+        (2, "2-level (paper)"),
+        (3, "3-level (+regional)"),
+    ] {
         let (nacks, completeness) = run_level(sites, receivers, fanout, levels, 29);
-        t.row(&[label.into(), format!("{nacks}"), format!("{completeness:.3}")]);
+        t.row(&[
+            label.into(),
+            format!("{nacks}"),
+            format!("{completeness:.3}"),
+        ]);
     }
     out.push_str(&t.render());
     out.push_str(&format!(

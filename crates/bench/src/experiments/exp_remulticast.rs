@@ -7,7 +7,8 @@
 //! of `n` site receivers missing a packet, unicast repair costs `m` LAN
 //! transmissions; a site-scoped re-multicast costs one. This ablation
 //! sweeps the number of victims against the decision threshold and
-//! counts LAN repair traffic.
+//! counts repair decisions via the secondary's trace registry
+//! (`retrans_served_unicast` / `retrans_served_multicast`).
 
 use std::time::Duration;
 
@@ -45,11 +46,10 @@ pub fn run_once(victims: usize, seed: u64) -> (u64, u64) {
     sc.world.run_until(SimTime::from_secs(30));
     assert_eq!(sc.completeness(&[1, 2, 3]), 1.0);
 
-    use lbrm::harness::MachineActor;
-    use lbrm_core::logger::Logger;
-    let sec = sc.world.actor::<MachineActor<Logger>>(sc.secondaries[0]);
-    let unicasts = sec.sent_unicast.get("retrans").copied().unwrap_or(0);
-    let multicasts = sec.sent_multicast.get("retrans").copied().unwrap_or(0);
+    // The lone secondary is the only machine feeding this registry, so
+    // its serve decisions are exactly the retrans_served_* counters.
+    let unicasts = sc.secondary_metrics.counter("retrans_served_unicast");
+    let multicasts = sc.secondary_metrics.counter("retrans_served_multicast");
     let _ = SegmentClass::Lan;
     (unicasts + multicasts, multicasts)
 }

@@ -78,7 +78,11 @@ pub fn run_variant(sites: usize, statack: bool, seed: u64) -> StatAckOutcome {
         })
         .unwrap_or(0);
     StatAckOutcome {
-        wan_nacks: sc.world.stats().class_kind(SegmentClass::Wan, "nack").carried,
+        wan_nacks: sc
+            .world
+            .stats()
+            .class_kind(SegmentClass::Wan, "nack")
+            .carried,
         remulticasts,
         ackers,
         completeness: sc.completeness(&[1, 2, 3]),

@@ -13,9 +13,7 @@
 
 use std::time::Duration;
 
-use lbrm::harness::{
-    DisScenario, DisScenarioConfig, MachineActor, SrmScenario, SrmScenarioConfig,
-};
+use lbrm::harness::{DisScenario, DisScenarioConfig, MachineActor, SrmScenario, SrmScenarioConfig};
 use lbrm_sim::stats::SegmentClass;
 use lbrm_sim::time::SimTime;
 use lbrm_sim::topology::SiteParams;
@@ -139,7 +137,9 @@ pub fn run_srm(sites: usize, receivers: usize, seed: u64) -> BabyOutcome {
         }
     });
     let lat: Vec<Duration> = {
-        let a = sc.world.actor::<MachineActor<lbrm_core::baseline::srm::SrmMember>>(baby);
+        let a = sc
+            .world
+            .actor::<MachineActor<lbrm_core::baseline::srm::SrmMember>>(baby);
         a.notices
             .iter()
             .filter_map(|(_, n)| match n {

@@ -47,7 +47,10 @@ pub fn simulated_rate(dt: f64, cfg: HeartbeatConfig, fixed: bool) -> f64 {
     world.join(rx, GroupId(1));
     world.join(log, GroupId(1));
     world.run_until(SimTime::from_secs_f64(1.0 + n_intervals as f64 * dt));
-    let heartbeats = world.stats().class_kind(SegmentClass::Lan, "heartbeat").carried as f64;
+    let heartbeats = world
+        .stats()
+        .class_kind(SegmentClass::Lan, "heartbeat")
+        .carried as f64;
     // Each multicast reaches two LAN members → two LAN crossings per send.
     heartbeats / 2.0 / (n_intervals as f64 * dt)
 }
@@ -64,7 +67,9 @@ pub fn run() -> String {
         "variable (pkt/s)",
         "sim variable (pkt/s)",
     ]);
-    let dts = [0.1, 0.25, 0.5, 1.0, 2.0, 5.0, 10.0, 30.0, 60.0, 120.0, 300.0, 1000.0];
+    let dts = [
+        0.1, 0.25, 0.5, 1.0, 2.0, 5.0, 10.0, 30.0, 60.0, 120.0, 300.0, 1000.0,
+    ];
     for dt in dts {
         let fixed = analysis::fixed_rate(dt, 0.25);
         let variable = analysis::variable_rate(dt, &cfg);
@@ -112,5 +117,4 @@ mod tests {
         assert!(r.contains("Figure 4"));
         assert!(r.contains("120"));
     }
-
 }

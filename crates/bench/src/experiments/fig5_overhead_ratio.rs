@@ -13,7 +13,9 @@ pub fn run() -> String {
     out.push_str("Figure 5: Overhead(Fixed)/Overhead(Variable) vs dt\n");
     out.push_str("(h_min = 0.25 s, h_max = 32 s, backoff = 2)\n\n");
     let mut t = Table::new(&["dt (s)", "ratio"]);
-    for dt in [0.5, 1.0, 2.0, 5.0, 10.0, 30.0, 60.0, 120.0, 300.0, 600.0, 1000.0] {
+    for dt in [
+        0.5, 1.0, 2.0, 5.0, 10.0, 30.0, 60.0, 120.0, 300.0, 600.0, 1000.0,
+    ] {
         let r = analysis::overhead_ratio(dt, &cfg);
         t.row(&[format!("{dt}"), format!("{r:.1}")]);
     }

@@ -12,12 +12,21 @@ use lbrm_core::heartbeat::{analysis, HeartbeatConfig};
 use crate::report::Table;
 
 /// Paper values for reference output.
-pub const PAPER: [(f64, f64); 6] =
-    [(1.5, 34.4), (2.0, 53.3), (2.5, 65.8), (3.0, 74.8), (3.5, 81.7), (4.0, 87.3)];
+pub const PAPER: [(f64, f64); 6] = [
+    (1.5, 34.4),
+    (2.0, 53.3),
+    (2.5, 65.8),
+    (3.0, 74.8),
+    (3.5, 81.7),
+    (4.0, 87.3),
+];
 
 /// The Poisson-averaged ratio at mean interval `dt` for `backoff`.
 pub fn poisson_ratio(dt: f64, backoff: f64) -> f64 {
-    let cfg = HeartbeatConfig { backoff, ..HeartbeatConfig::default() };
+    let cfg = HeartbeatConfig {
+        backoff,
+        ..HeartbeatConfig::default()
+    };
     analysis::fixed_heartbeats_poisson(dt, 0.25) / analysis::variable_heartbeats_poisson(dt, &cfg)
 }
 
@@ -25,10 +34,12 @@ pub fn poisson_ratio(dt: f64, backoff: f64) -> f64 {
 pub fn run() -> String {
     let mut out = String::new();
     out.push_str("Table 1: overhead ratio at dt = 120 s vs backoff parameter\n\n");
-    let mut t =
-        Table::new(&["backoff", "deterministic", "poisson-averaged", "paper"]);
+    let mut t = Table::new(&["backoff", "deterministic", "poisson-averaged", "paper"]);
     for (backoff, paper) in PAPER {
-        let cfg = HeartbeatConfig { backoff, ..HeartbeatConfig::default() };
+        let cfg = HeartbeatConfig {
+            backoff,
+            ..HeartbeatConfig::default()
+        };
         let det = analysis::overhead_ratio(120.0, &cfg);
         let poi = poisson_ratio(120.0, backoff);
         t.row(&[
@@ -64,7 +75,10 @@ mod tests {
     fn backoff_2_matches_paper_closely() {
         let det = analysis::overhead_ratio(
             120.0,
-            &HeartbeatConfig { backoff: 2.0, ..HeartbeatConfig::default() },
+            &HeartbeatConfig {
+                backoff: 2.0,
+                ..HeartbeatConfig::default()
+            },
         );
         assert!((det - 53.3).abs() < 0.5, "{det}");
     }

@@ -134,9 +134,7 @@ pub fn run() -> String {
          loss detection (the 250 ms heartbeat) and the network dominate\n\
          recovery latency, so logger load is not the bottleneck.\n"
     ));
-    out.push_str(
-        "\n(100 nearly simultaneous requests for one packet are processed in\n",
-    );
+    out.push_str("\n(100 nearly simultaneous requests for one packet are processed in\n");
     let (per100, _) = measure_service(100, 1024, 128);
     out.push_str(&format!(
         " {:.3} ms — the paper's figure was 63 ms.)\n",

@@ -3,12 +3,14 @@
 //!
 //! Each experiment lives in [`experiments`] as a `run()` function
 //! returning a formatted report; the binaries in `src/bin/` are thin
-//! wrappers, and `src/bin/reproduce.rs` runs everything. Criterion
-//! microbenchmarks (Table 3's measurement analogues) live in `benches/`.
+//! wrappers, and `src/bin/reproduce.rs` runs everything.
+//! Microbenchmarks (Table 3's measurement analogues) live in `benches/`
+//! and run on the self-contained [`microbench`] harness.
 
 #![forbid(unsafe_code)]
 
 pub mod experiments;
+pub mod microbench;
 pub mod report;
 
 pub use report::{mean, percentile, Table};

@@ -1,0 +1,226 @@
+//! A minimal, dependency-free micro-benchmark harness.
+//!
+//! The crates.io `criterion` harness is unavailable offline, so the
+//! `benches/` targets (which set `harness = false`) drive this instead:
+//! warm-up, automatic iteration-count calibration, several timed
+//! samples, and a median-of-samples report. The API mirrors the subset
+//! of criterion the benches used (`iter`, `iter_batched_ref`) so the
+//! bench bodies read the same.
+//!
+//! Output format (one line per benchmark):
+//!
+//! ```text
+//! codec/encode_data_128B          142.3 ns/iter    (7.03 M iter/s)
+//! ```
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Target wall-clock time for one timed sample.
+const SAMPLE_TARGET: Duration = Duration::from_millis(40);
+/// Number of timed samples; the median is reported.
+const SAMPLES: usize = 7;
+/// Warm-up time before calibration.
+const WARMUP: Duration = Duration::from_millis(30);
+
+/// One benchmark's measured result.
+#[derive(Debug, Clone, Copy)]
+pub struct Measurement {
+    /// Median nanoseconds per iteration.
+    pub ns_per_iter: f64,
+}
+
+impl Measurement {
+    /// Iterations per second implied by the median.
+    pub fn iters_per_sec(&self) -> f64 {
+        if self.ns_per_iter > 0.0 {
+            1e9 / self.ns_per_iter
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+/// Passed to the benchmark closure; call [`iter`](Bencher::iter) or
+/// [`iter_batched_ref`](Bencher::iter_batched_ref) exactly once.
+pub struct Bencher {
+    result: Option<Measurement>,
+}
+
+impl Bencher {
+    /// Times `routine` in a tight loop.
+    pub fn iter<R>(&mut self, mut routine: impl FnMut() -> R) {
+        // Warm up.
+        let start = Instant::now();
+        while start.elapsed() < WARMUP {
+            black_box(routine());
+        }
+        // Calibrate: how many iterations fill one sample?
+        let mut n: u64 = 1;
+        loop {
+            let t = Instant::now();
+            for _ in 0..n {
+                black_box(routine());
+            }
+            let dt = t.elapsed();
+            if dt >= SAMPLE_TARGET / 4 || n >= (1 << 30) {
+                let scale = SAMPLE_TARGET.as_secs_f64() / dt.as_secs_f64().max(1e-9);
+                n = ((n as f64 * scale).ceil() as u64).max(1);
+                break;
+            }
+            n *= 8;
+        }
+        // Timed samples.
+        let mut samples = Vec::with_capacity(SAMPLES);
+        for _ in 0..SAMPLES {
+            let t = Instant::now();
+            for _ in 0..n {
+                black_box(routine());
+            }
+            samples.push(t.elapsed().as_secs_f64() * 1e9 / n as f64);
+        }
+        samples.sort_by(|a, b| a.total_cmp(b));
+        self.result = Some(Measurement {
+            ns_per_iter: samples[samples.len() / 2],
+        });
+    }
+
+    /// Times `routine` against fresh state from `setup` each iteration;
+    /// setup time is excluded from the measurement.
+    pub fn iter_batched_ref<S, R>(
+        &mut self,
+        mut setup: impl FnMut() -> S,
+        mut routine: impl FnMut(&mut S) -> R,
+    ) {
+        // Warm up.
+        let start = Instant::now();
+        while start.elapsed() < WARMUP {
+            let mut s = setup();
+            black_box(routine(&mut s));
+        }
+        // Calibrate iterations per sample using routine-only time.
+        let mut n: u64 = 1;
+        loop {
+            let mut states: Vec<S> = (0..n).map(|_| setup()).collect();
+            let t = Instant::now();
+            for s in states.iter_mut() {
+                black_box(routine(s));
+            }
+            let dt = t.elapsed();
+            if dt >= SAMPLE_TARGET / 4 || n >= (1 << 22) {
+                let scale = SAMPLE_TARGET.as_secs_f64() / dt.as_secs_f64().max(1e-9);
+                n = ((n as f64 * scale).ceil() as u64).clamp(1, 1 << 22);
+                break;
+            }
+            n *= 8;
+        }
+        let mut samples = Vec::with_capacity(SAMPLES);
+        for _ in 0..SAMPLES {
+            let mut states: Vec<S> = (0..n).map(|_| setup()).collect();
+            let t = Instant::now();
+            for s in states.iter_mut() {
+                black_box(routine(s));
+            }
+            samples.push(t.elapsed().as_secs_f64() * 1e9 / n as f64);
+        }
+        samples.sort_by(|a, b| a.total_cmp(b));
+        self.result = Some(Measurement {
+            ns_per_iter: samples[samples.len() / 2],
+        });
+    }
+}
+
+/// Runs one named benchmark and prints its result line.
+pub fn bench_function(name: &str, f: impl FnOnce(&mut Bencher)) -> Measurement {
+    let mut b = Bencher { result: None };
+    f(&mut b);
+    let m = b.result.unwrap_or(Measurement {
+        ns_per_iter: f64::NAN,
+    });
+    print_line(name, m, None);
+    m
+}
+
+/// Runs one named benchmark with a throughput annotation (elements per
+/// iteration) and prints its result line.
+pub fn bench_function_throughput(
+    name: &str,
+    elements: u64,
+    f: impl FnOnce(&mut Bencher),
+) -> Measurement {
+    let mut b = Bencher { result: None };
+    f(&mut b);
+    let m = b.result.unwrap_or(Measurement {
+        ns_per_iter: f64::NAN,
+    });
+    print_line(name, m, Some(elements));
+    m
+}
+
+fn print_line(name: &str, m: Measurement, elements: Option<u64>) {
+    let rate = match elements {
+        Some(e) => m.iters_per_sec() * e as f64,
+        None => m.iters_per_sec(),
+    };
+    let unit = if elements.is_some() {
+        "elem/s"
+    } else {
+        "iter/s"
+    };
+    println!(
+        "{name:<44} {:>12} ns/iter  ({} {unit})",
+        format_sig(m.ns_per_iter),
+        format_rate(rate)
+    );
+}
+
+fn format_sig(v: f64) -> String {
+    if v >= 100.0 {
+        format!("{v:.0}")
+    } else if v >= 1.0 {
+        format!("{v:.2}")
+    } else {
+        format!("{v:.4}")
+    }
+}
+
+fn format_rate(v: f64) -> String {
+    if v >= 1e9 {
+        format!("{:.2} G", v / 1e9)
+    } else if v >= 1e6 {
+        format!("{:.2} M", v / 1e6)
+    } else if v >= 1e3 {
+        format!("{:.2} k", v / 1e3)
+    } else {
+        format!("{v:.1}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_something_positive() {
+        let m = bench_function("selftest_noop_loop", |b| {
+            let mut x = 0u64;
+            b.iter(|| {
+                x = x.wrapping_add(1);
+                x
+            })
+        });
+        assert!(m.ns_per_iter.is_finite());
+        assert!(m.ns_per_iter >= 0.0);
+    }
+
+    #[test]
+    fn batched_excludes_setup() {
+        let m = bench_function("selftest_batched", |b| {
+            b.iter_batched_ref(
+                || vec![0u8; 16],
+                |v| v.iter().map(|&b| b as u64).sum::<u64>(),
+            )
+        });
+        assert!(m.ns_per_iter.is_finite());
+    }
+}

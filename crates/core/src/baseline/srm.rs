@@ -77,7 +77,10 @@ impl SrmConfig {
     }
 
     fn delay_of(&self, host: HostId) -> Duration {
-        self.delay_to.get(&host).copied().unwrap_or(self.default_delay)
+        self.delay_to
+            .get(&host)
+            .copied()
+            .unwrap_or(self.default_delay)
     }
 }
 
@@ -175,7 +178,11 @@ impl SrmMember {
     fn jitter(&mut self, base: f64, spread: f64, d: Duration) -> Duration {
         let lo = base * d.as_secs_f64();
         let hi = (base + spread) * d.as_secs_f64();
-        Duration::from_secs_f64(if hi > lo { self.rng.random_range(lo..hi) } else { lo })
+        Duration::from_secs_f64(if hi > lo {
+            self.rng.random_range(lo..hi)
+        } else {
+            lo
+        })
     }
 
     fn schedule_request(&mut self, now: Time, seq: Seq) {
@@ -187,12 +194,28 @@ impl SrmMember {
         let wait = self.jitter(self.config.c1, self.config.c2, d);
         self.requests.insert(
             idx,
-            RequestTimer { seq, fire_at: now + wait, interval: wait, detected_at: now },
+            RequestTimer {
+                seq,
+                fire_at: now + wait,
+                interval: wait,
+                detected_at: now,
+            },
         );
     }
 
-    fn note_missing(&mut self, now: Time, first: Seq, last: Seq, signal: LossSignal, out: &mut Actions) {
-        out.push(Action::Notice(Notice::LossDetected { first, last, signal }));
+    fn note_missing(
+        &mut self,
+        now: Time,
+        first: Seq,
+        last: Seq,
+        signal: LossSignal,
+        out: &mut Actions,
+    ) {
+        out.push(Action::Notice(Notice::LossDetected {
+            first,
+            last,
+            signal,
+        }));
         for seq in first.iter_to(last) {
             if self.gaps.is_missing(seq) {
                 self.schedule_request(now, seq);
@@ -234,7 +257,11 @@ impl SrmMember {
         } else {
             self.stats.delivered += 1;
         }
-        out.push(Action::Deliver(Delivery { seq, payload, recovered }));
+        out.push(Action::Deliver(Delivery {
+            seq,
+            payload,
+            recovered,
+        }));
     }
 }
 
@@ -246,12 +273,20 @@ impl Machine for SrmMember {
     fn on_packet(&mut self, now: Time, _from: HostId, packet: Packet, out: &mut Actions) {
         let (group, source) = (self.config.group, self.config.source);
         match packet {
-            Packet::Data { group: g, source: s, seq, payload, .. }
-                if g == group && s == source =>
-            {
+            Packet::Data {
+                group: g,
+                source: s,
+                seq,
+                payload,
+                ..
+            } if g == group && s == source => {
                 self.absorb(now, seq, payload, false, out);
             }
-            Packet::SrmSession { group: g, member, last_seq } if g == group => {
+            Packet::SrmSession {
+                group: g,
+                member,
+                last_seq,
+            } if g == group => {
                 if member == self.config.host {
                     return;
                 }
@@ -262,9 +297,12 @@ impl Machine for SrmMember {
                     self.note_missing(now, first, last_seq, LossSignal::Heartbeat, out);
                 }
             }
-            Packet::SrmNack { group: g, source: s, requester, ranges }
-                if g == group && s == source =>
-            {
+            Packet::SrmNack {
+                group: g,
+                source: s,
+                requester,
+                ranges,
+            } if g == group && s == source => {
                 for range in ranges {
                     for seq in range.iter().take(256) {
                         let idx = self.unwrapper.unwrap(seq);
@@ -283,14 +321,24 @@ impl Machine for SrmMember {
                         {
                             let d = self.config.delay_of(requester);
                             let wait = self.jitter(self.config.d1, self.config.d2, d);
-                            self.repairs.insert(idx, RepairTimer { seq, fire_at: now + wait });
+                            self.repairs.insert(
+                                idx,
+                                RepairTimer {
+                                    seq,
+                                    fire_at: now + wait,
+                                },
+                            );
                         }
                     }
                 }
             }
-            Packet::SrmRepair { group: g, source: s, seq, payload, responder }
-                if g == group && s == source =>
-            {
+            Packet::SrmRepair {
+                group: g,
+                source: s,
+                seq,
+                payload,
+                responder,
+            } if g == group && s == source => {
                 let idx = self.unwrapper.unwrap(seq);
                 // Repair suppression: someone answered; stand down.
                 self.repairs.remove(&idx);
@@ -437,7 +485,10 @@ mod tests {
         m.poll(fire, &mut out);
         assert!(out.iter().any(|a| matches!(
             a,
-            Action::Multicast { packet: Packet::SrmNack { .. }, .. }
+            Action::Multicast {
+                packet: Packet::SrmNack { .. },
+                ..
+            }
         )));
         assert_eq!(m.stats().nacks_sent, 1);
     }
@@ -521,7 +572,10 @@ mod tests {
         m.poll(fire, &mut out);
         assert!(!out.iter().any(|a| matches!(
             a,
-            Action::Multicast { packet: Packet::SrmRepair { .. }, .. }
+            Action::Multicast {
+                packet: Packet::SrmRepair { .. },
+                ..
+            }
         )));
     }
 
@@ -559,7 +613,11 @@ mod tests {
         m.on_packet(Time::ZERO, SRC_HOST, data(1), &mut out);
         out.clear();
         // A session message from a member that saw #3.
-        let session = Packet::SrmSession { group: GROUP, member: HostId(7), last_seq: Seq(3) };
+        let session = Packet::SrmSession {
+            group: GROUP,
+            member: HostId(7),
+            last_seq: Seq(3),
+        };
         m.on_packet(Time::from_millis(300), HostId(7), session, &mut out);
         assert!(notices(&out).iter().any(|n| matches!(
             n,
@@ -595,7 +653,11 @@ mod tests {
         m.on_start(Time::ZERO, &mut out);
         m.on_packet(Time::ZERO, SRC_HOST, data(1), &mut out);
         out.clear();
-        let own = Packet::SrmSession { group: GROUP, member: HostId(2), last_seq: Seq(5) };
+        let own = Packet::SrmSession {
+            group: GROUP,
+            member: HostId(2),
+            last_seq: Seq(5),
+        };
         m.on_packet(Time::from_millis(1), HostId(2), own, &mut out);
         assert!(out.is_empty());
         assert_eq!(m.requests.len(), 0);

@@ -54,7 +54,11 @@ impl DiscoveryConfig {
 enum Phase {
     Idle,
     /// Searching at `scope`, attempt number `attempt`, until `deadline`.
-    Searching { scope: TtlScope, attempt: u32, deadline: Time },
+    Searching {
+        scope: TtlScope,
+        attempt: u32,
+        deadline: Time,
+    },
     Done,
     Failed,
 }
@@ -101,8 +105,11 @@ impl DiscoveryClient {
     fn query(&mut self, now: Time, scope: TtlScope, attempt: u32, out: &mut Actions) {
         self.nonce = self.rng.random();
         self.replies.clear();
-        self.phase =
-            Phase::Searching { scope, attempt, deadline: now + self.config.scope_wait };
+        self.phase = Phase::Searching {
+            scope,
+            attempt,
+            deadline: now + self.config.scope_wait,
+        };
         out.push(Action::Multicast {
             scope,
             packet: Packet::DiscoveryQuery {
@@ -114,7 +121,9 @@ impl DiscoveryClient {
     }
 
     fn conclude_window(&mut self, now: Time, out: &mut Actions) {
-        let Phase::Searching { scope, attempt, .. } = self.phase else { return };
+        let Phase::Searching { scope, attempt, .. } = self.phase else {
+            return;
+        };
         if !self.replies.is_empty() {
             // Nearest = first to answer; but prefer a secondary over a
             // primary that happened to answer marginally earlier, so
@@ -128,7 +137,11 @@ impl DiscoveryClient {
             }
             self.result = Some((logger, level, scope));
             self.phase = Phase::Done;
-            out.push(Action::Notice(Notice::LoggerDiscovered { logger, level, scope }));
+            out.push(Action::Notice(Notice::LoggerDiscovered {
+                logger,
+                level,
+                scope,
+            }));
             return;
         }
         if attempt + 1 < self.config.attempts_per_scope {
@@ -154,7 +167,13 @@ impl Machine for DiscoveryClient {
 
     fn on_packet(&mut self, _now: Time, _from: HostId, packet: Packet, out: &mut Actions) {
         let _ = out;
-        if let Packet::DiscoveryReply { group, nonce, logger, level } = packet {
+        if let Packet::DiscoveryReply {
+            group,
+            nonce,
+            logger,
+            level,
+        } = packet
+        {
             if group == self.config.group
                 && nonce == self.nonce
                 && matches!(self.phase, Phase::Searching { .. })
@@ -199,7 +218,12 @@ mod tests {
     const ME: HostId = HostId(1);
 
     fn reply(client: &DiscoveryClient, logger: u64, level: u8) -> Packet {
-        Packet::DiscoveryReply { group: GROUP, nonce: client.nonce, logger: HostId(logger), level }
+        Packet::DiscoveryReply {
+            group: GROUP,
+            nonce: client.nonce,
+            logger: HostId(logger),
+            level,
+        }
     }
 
     fn client() -> DiscoveryClient {
@@ -213,7 +237,10 @@ mod tests {
         c.on_start(Time::ZERO, &mut out);
         assert!(matches!(
             &out[..],
-            [Action::Multicast { scope: TtlScope::Site, packet: Packet::DiscoveryQuery { .. } }]
+            [Action::Multicast {
+                scope: TtlScope::Site,
+                packet: Packet::DiscoveryQuery { .. }
+            }]
         ));
         let r = reply(&c, 50, 1);
         c.on_packet(Time::from_millis(5), HostId(50), r, &mut out);
@@ -256,7 +283,9 @@ mod tests {
             ]
         );
         assert!(c.finished());
-        assert!(notices(&out).iter().any(|n| matches!(n, Notice::DiscoveryFailed)));
+        assert!(notices(&out)
+            .iter()
+            .any(|n| matches!(n, Notice::DiscoveryFailed)));
     }
 
     #[test]
@@ -289,7 +318,13 @@ mod tests {
         c.poll(c.next_deadline().unwrap(), &mut out);
         // Window concluded with no valid replies → second site attempt.
         assert!(c.result().is_none());
-        assert!(matches!(&out[..], [Action::Multicast { scope: TtlScope::Site, .. }]));
+        assert!(matches!(
+            &out[..],
+            [Action::Multicast {
+                scope: TtlScope::Site,
+                ..
+            }]
+        ));
     }
 
     #[test]
@@ -309,6 +344,12 @@ mod tests {
         let retry = c.next_deadline().unwrap();
         out.clear();
         c.poll(retry, &mut out);
-        assert!(matches!(&out[..], [Action::Multicast { scope: TtlScope::Site, .. }]));
+        assert!(matches!(
+            &out[..],
+            [Action::Multicast {
+                scope: TtlScope::Site,
+                ..
+            }]
+        ));
     }
 }

@@ -57,7 +57,12 @@ pub struct BolotConfig {
 
 impl Default for BolotConfig {
     fn default() -> Self {
-        BolotConfig { initial_p: 0.01, escalation: 4.0, min_responses: 10, rounds_to_average: 3 }
+        BolotConfig {
+            initial_p: 0.01,
+            escalation: 4.0,
+            min_responses: 10,
+            rounds_to_average: 3,
+        }
     }
 }
 
@@ -80,7 +85,11 @@ impl BolotProbe {
         assert!(config.initial_p > 0.0 && config.initial_p <= 1.0);
         assert!(config.escalation > 1.0);
         assert!(config.rounds_to_average >= 1);
-        BolotProbe { p: config.initial_p, config, samples: Vec::new() }
+        BolotProbe {
+            p: config.initial_p,
+            config,
+            samples: Vec::new(),
+        }
     }
 
     /// The probability to advertise in the next probe round.
@@ -133,7 +142,10 @@ impl NslEstimator {
     pub fn new(initial: f64, alpha: f64) -> Self {
         assert!(initial >= 1.0, "initial estimate must be >= 1");
         assert!(alpha > 0.0 && alpha <= 1.0);
-        NslEstimator { nsl: initial, alpha }
+        NslEstimator {
+            nsl: initial,
+            alpha,
+        }
     }
 
     /// Current estimate.
@@ -141,10 +153,19 @@ impl NslEstimator {
         self.nsl
     }
 
+    /// Floor for [`p_ack_for`](Self::p_ack_for). `f64::MIN_POSITIVE` is a
+    /// denormal: serialized on the wire and parsed back at a receiver it
+    /// can round to exactly zero, in which case no logger ever volunteers
+    /// and the estimator starves. `1e-6` is far below any useful `p_ack`
+    /// (it targets groups of `k × 10⁶` loggers) yet survives any
+    /// round-trip through a finite-precision encoding.
+    pub const P_ACK_FLOOR: f64 = 1e-6;
+
     /// The acknowledgement probability to advertise for a target of `k`
-    /// ACKs per packet: `p_ack = k / N_sl`, clamped to `(0, 1]`.
+    /// ACKs per packet: `p_ack = k / N_sl`, clamped to
+    /// `[`[`P_ACK_FLOOR`](Self::P_ACK_FLOOR)`, 1]`.
     pub fn p_ack_for(&self, k: usize) -> f64 {
-        (k as f64 / self.nsl).clamp(f64::MIN_POSITIVE, 1.0)
+        (k as f64 / self.nsl).clamp(Self::P_ACK_FLOOR, 1.0)
     }
 
     /// Feeds one observation: `k_prime` responses arrived to an Acker
@@ -220,7 +241,9 @@ mod tests {
         let mut probe = BolotProbe::new(BolotConfig::default());
         let estimate = loop {
             let r = respond(n, probe.current_p(), &mut rng);
-            if let ProbeStatus::Done(e) = probe.record_round(r) { break e }
+            if let ProbeStatus::Done(e) = probe.record_round(r) {
+                break e;
+            }
         };
         assert!((estimate - 5.0).abs() < 1e-9, "estimate {estimate}");
     }
@@ -265,5 +288,20 @@ mod tests {
         assert_eq!(est.p_ack_for(20), 1.0);
         let est = NslEstimator::new(1e9, 0.5);
         assert!(est.p_ack_for(5) > 0.0);
+    }
+
+    #[test]
+    fn p_ack_floor_is_normal_not_denormal() {
+        // Regression: the floor used to be `f64::MIN_POSITIVE`, a
+        // denormal that can round to zero through wire encodings; a
+        // zero p_ack means no volunteers ever, starving the estimator.
+        let est = NslEstimator::new(1e12, 0.125);
+        let p = est.p_ack_for(1);
+        assert_eq!(p, NslEstimator::P_ACK_FLOOR);
+        assert!(p.is_normal(), "p_ack floor must be a normal f64");
+        assert!(p >= 1e-6);
+        // A lossy round-trip through a short decimal encoding survives.
+        let via_wire: f64 = format!("{p:.9}").parse().unwrap();
+        assert!(via_wire > 0.0);
     }
 }

@@ -55,8 +55,9 @@ impl SeqUnwrapper {
                 best = cand;
             }
         }
-        if let Some(cand) =
-            (cycle + 1).checked_mul(1 << 32).and_then(|s| s.checked_add(raw))
+        if let Some(cand) = (cycle + 1)
+            .checked_mul(1 << 32)
+            .and_then(|s| s.checked_add(raw))
         {
             if cand.abs_diff(h) < best_dist {
                 best = cand;
@@ -307,7 +308,10 @@ impl GapTracker {
         self.start_floor = lo;
         self.floor = self.floor.min(lo);
         self.advance_floor();
-        Some((SeqUnwrapper::rewrap(lo), SeqUnwrapper::rewrap(old_start - 1)))
+        Some((
+            SeqUnwrapper::rewrap(lo),
+            SeqUnwrapper::rewrap(old_start - 1),
+        ))
     }
 
     /// Abandons one missing sequence (recovery gave up on it). Returns
@@ -338,7 +342,10 @@ mod tests {
     use super::*;
 
     fn ranges(t: &GapTracker) -> Vec<(u32, u32)> {
-        t.missing_ranges(64).iter().map(|r| (r.first.raw(), r.last.raw())).collect()
+        t.missing_ranges(64)
+            .iter()
+            .map(|r| (r.first.raw(), r.last.raw()))
+            .collect()
     }
 
     #[test]

@@ -8,6 +8,13 @@
 //! an idle source converges to one heartbeat per `h_max` — the best of
 //! both worlds the paper quantifies as a ~50× bandwidth saving for DIS
 //! terrain.
+//!
+//! The schedule itself is pure arithmetic and emits nothing; each
+//! heartbeat the [`crate::sender::Sender`] actually transmits is
+//! observable as a [`crate::trace::ProtocolEvent::HeartbeatSent`] event
+//! (with its `hb_index`), so heartbeat-overhead experiments can count
+//! them through a [`crate::trace::TraceSink`] instead of sniffing
+//! packets.
 
 use std::time::Duration;
 
@@ -83,7 +90,12 @@ impl VariableHeartbeat {
     /// packet.
     pub fn new(config: HeartbeatConfig) -> Self {
         config.validate();
-        VariableHeartbeat { h: config.h_min, config, next_at: None, hb_index: 0 }
+        VariableHeartbeat {
+            h: config.h_min,
+            config,
+            next_at: None,
+            hb_index: 0,
+        }
     }
 
     /// The configured parameters.
@@ -143,7 +155,11 @@ impl FixedHeartbeat {
     /// If `h` is zero.
     pub fn new(h: Duration) -> Self {
         assert!(h > Duration::ZERO, "heartbeat period must be positive");
-        FixedHeartbeat { h, next_at: None, hb_index: 0 }
+        FixedHeartbeat {
+            h,
+            next_at: None,
+            hb_index: 0,
+        }
     }
 
     /// Notes a data transmission.
@@ -312,7 +328,10 @@ mod tests {
         let now = Time::from_secs(100);
         hb.on_data_sent(now);
         assert_eq!(hb.current_interval(), Duration::from_millis(250));
-        assert_eq!(hb.next_heartbeat_at(), Some(now + Duration::from_millis(250)));
+        assert_eq!(
+            hb.next_heartbeat_at(),
+            Some(now + Duration::from_millis(250))
+        );
     }
 
     #[test]
@@ -412,7 +431,10 @@ mod tests {
             let c = HeartbeatConfig { backoff, ..cfg() };
             let ratio =
                 fixed_heartbeats_poisson(120.0, 0.25) / variable_heartbeats_poisson(120.0, &c);
-            assert!(ratio > prev, "backoff {backoff}: ratio {ratio} not > {prev}");
+            assert!(
+                ratio > prev,
+                "backoff {backoff}: ratio {ratio} not > {prev}"
+            );
             prev = ratio;
         }
         // Backoff 2 lands in the paper's ballpark (53.3).

@@ -21,7 +21,12 @@
 //!
 //! Machines implement [`machine::Machine`] and are driven identically by
 //! the deterministic simulator (`lbrm-sim`, for the paper's experiments)
-//! and the tokio/UDP endpoints (`lbrm-net`, for deployment).
+//! and the threaded UDP endpoints (`lbrm-net`, for deployment).
+//!
+//! Every machine can additionally report protocol events (heartbeats,
+//! NACKs, repairs, re-multicasts, settlements, failover) through the
+//! [`trace`] layer — attach a [`trace::TraceSink`] with
+//! `set_tracer`; the default disabled tracer costs one branch.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -40,5 +45,8 @@ pub mod sender;
 pub mod statack;
 pub mod time;
 
+pub use lbrm_trace as trace;
+
 pub use machine::{Action, Actions, Delivery, LossSignal, Machine, Notice};
 pub use time::Time;
+pub use trace::Tracer;

@@ -33,6 +33,7 @@ use crate::gaps::{GapTracker, SeqUnwrapper};
 use crate::logstore::{LogStore, Retention};
 use crate::machine::{Action, Actions, Machine, Notice};
 use crate::time::{earliest, Time};
+use crate::trace::{ProtocolEvent, Tracer};
 
 /// The role a logger currently plays.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -206,6 +207,7 @@ pub struct Logger {
     last_logack: Option<(u64, u64)>,
     /// Periodic retention sweep.
     next_prune_at: Time,
+    tracer: Tracer,
 }
 
 impl Logger {
@@ -225,8 +227,14 @@ impl Logger {
             repl_next_at: None,
             last_logack: None,
             next_prune_at: Time::ZERO + Duration::from_secs(1),
+            tracer: Tracer::disabled(),
             config,
         }
+    }
+
+    /// Attaches a protocol-event tracer (see [`crate::trace`]).
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 
     /// Current role (changes on promotion).
@@ -271,7 +279,9 @@ impl Logger {
     /// or a local member that lost the repair too) and is answered by
     /// unicast — the shortcut degrades safely instead of starving anyone.
     fn serve(&mut self, now: Time, seq: Seq, requester: HostId, out: &mut Actions) {
-        let Some(payload) = self.store.get(seq) else { return };
+        let Some(payload) = self.store.get(seq) else {
+            return;
+        };
         let idx = self.unwrapper.peek(seq);
         let window = self.repairs.entry(idx).or_insert(RepairWindow {
             requesters: BTreeSet::new(),
@@ -294,7 +304,15 @@ impl Logger {
             if now > at {
                 // This request postdates the multicast repair: the
                 // requester evidently did not get it.
-                out.push(Action::Unicast { to: requester, packet });
+                self.tracer
+                    .emit(now.nanos(), || ProtocolEvent::RetransServed {
+                        seq,
+                        multicast: false,
+                    });
+                out.push(Action::Unicast {
+                    to: requester,
+                    packet,
+                });
             }
             return;
         }
@@ -304,10 +322,26 @@ impl Logger {
         {
             window.multicast_at = Some(now);
             let requesters = window.requesters.len();
-            out.push(Action::Multicast { scope: TtlScope::Site, packet });
+            self.tracer
+                .emit(now.nanos(), || ProtocolEvent::RetransServed {
+                    seq,
+                    multicast: true,
+                });
+            out.push(Action::Multicast {
+                scope: TtlScope::Site,
+                packet,
+            });
             out.push(Action::Notice(Notice::SiteRemulticast { seq, requesters }));
         } else {
-            out.push(Action::Unicast { to: requester, packet });
+            self.tracer
+                .emit(now.nanos(), || ProtocolEvent::RetransServed {
+                    seq,
+                    multicast: false,
+                });
+            out.push(Action::Unicast {
+                to: requester,
+                packet,
+            });
         }
     }
 
@@ -320,7 +354,11 @@ impl Logger {
             return;
         }
         let idx = self.unwrapper.unwrap(seq);
-        let delay = if requester.is_some() { Duration::ZERO } else { self.config.nack_delay };
+        let delay = if requester.is_some() {
+            Duration::ZERO
+        } else {
+            self.config.nack_delay
+        };
         let entry = self.pending.entry(idx).or_insert(PendingFetch {
             seq,
             requesters: BTreeSet::new(),
@@ -342,6 +380,10 @@ impl Logger {
     /// returns `true` if it was new.
     fn ingest(&mut self, now: Time, seq: Seq, payload: Bytes, out: &mut Actions) -> bool {
         let fresh = self.store.insert(now, seq, payload);
+        if fresh {
+            self.tracer
+                .emit(now.nanos(), || ProtocolEvent::PacketLogged { seq });
+        }
         self.gaps.observe(seq);
         let idx = self.unwrapper.peek(seq);
         if let Some(pending) = self.pending.remove(&idx) {
@@ -369,10 +411,17 @@ impl Logger {
         if self.role != LoggerRole::Primary || self.config.replicas.is_empty() {
             return;
         }
-        let Some(high) = self.store.contiguous_high() else { return };
+        let Some(high) = self.store.contiguous_high() else {
+            return;
+        };
         let high_idx = self.unwrapper.peek(high);
-        let replicas: Vec<HostId> =
-            self.config.replicas.iter().copied().filter(|&r| r != self.config.host).collect();
+        let replicas: Vec<HostId> = self
+            .config
+            .replicas
+            .iter()
+            .copied()
+            .filter(|&r| r != self.config.host)
+            .collect();
         for r in replicas {
             let acked_end = *self.repl_acked.entry(r).or_insert(0);
             let start = acked_end.max(self.unwrapper.peek(self.store.oldest().unwrap_or(high)));
@@ -404,7 +453,9 @@ impl Logger {
         if self.role != LoggerRole::Primary {
             return;
         }
-        let Some(high) = self.store.contiguous_high() else { return };
+        let Some(high) = self.store.contiguous_high() else {
+            return;
+        };
         let high_idx = self.unwrapper.peek(high);
         let replica_end = if self.config.replicas.is_empty() {
             // No replication configured: the primary's own log is the
@@ -418,8 +469,11 @@ impl Logger {
             return;
         }
         self.last_logack = Some(state);
-        let replica_seq =
-            if replica_end == 0 { Seq::ZERO } else { SeqUnwrapper::rewrap(replica_end - 1) };
+        let replica_seq = if replica_end == 0 {
+            Seq::ZERO
+        } else {
+            SeqUnwrapper::rewrap(replica_end - 1)
+        };
         out.push(Action::Unicast {
             to: self.config.source_host,
             packet: Packet::LogAck {
@@ -438,7 +492,14 @@ impl Logger {
         self.role = LoggerRole::Primary;
         self.level_is_primary();
         self.parent = self.config.source_host;
-        out.push(Action::Notice(Notice::Promoted { new_primary: self.config.host }));
+        let host = self.config.host;
+        self.tracer
+            .emit(now.nanos(), || ProtocolEvent::FailoverPromoted {
+                new_primary: host,
+            });
+        out.push(Action::Notice(Notice::Promoted {
+            new_primary: self.config.host,
+        }));
         self.replicate(now, out);
         self.last_logack = None;
         self.maybe_logack(out);
@@ -454,12 +515,20 @@ impl Logger {
 }
 
 impl Machine for Logger {
+    fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
+    }
+
     fn on_packet(&mut self, now: Time, from: HostId, packet: Packet, out: &mut Actions) {
         let (group, source) = (self.config.group, self.config.source);
         match packet {
-            Packet::Data { group: g, source: s, seq, epoch, payload }
-                if g == group && s == source =>
-            {
+            Packet::Data {
+                group: g,
+                source: s,
+                seq,
+                epoch,
+                payload,
+            } if g == group && s == source => {
                 self.ingest(now, seq, payload, out);
                 // Designated Acker duty (§2.3.1): ACK data of volunteered
                 // epochs, including source re-multicasts.
@@ -476,14 +545,21 @@ impl Machine for Logger {
                     });
                 }
             }
-            Packet::Retrans { group: g, source: s, seq, payload }
-                if g == group && s == source =>
-            {
+            Packet::Retrans {
+                group: g,
+                source: s,
+                seq,
+                payload,
+            } if g == group && s == source => {
                 self.ingest(now, seq, payload, out);
             }
-            Packet::Heartbeat { group: g, source: s, seq, payload, .. }
-                if g == group && s == source =>
-            {
+            Packet::Heartbeat {
+                group: g,
+                source: s,
+                seq,
+                payload,
+                ..
+            } if g == group && s == source => {
                 if !payload.is_empty() {
                     // §7 extension: heartbeat repeats the last payload.
                     self.ingest(now, seq, payload, out);
@@ -498,9 +574,20 @@ impl Machine for Logger {
                     }
                 }
             }
-            Packet::Nack { group: g, source: s, requester, ranges }
-                if g == group && s == source =>
-            {
+            Packet::Nack {
+                group: g,
+                source: s,
+                requester,
+                ranges,
+            } if g == group && s == source => {
+                self.tracer
+                    .emit(now.nanos(), || ProtocolEvent::NackReceived {
+                        from: requester,
+                        packets: ranges
+                            .iter()
+                            .map(|r| r.len().min(u64::from(u32::MAX)) as u32)
+                            .sum(),
+                    });
                 for range in ranges {
                     for seq in range.iter().take(512) {
                         if self.store.has(seq) {
@@ -511,76 +598,106 @@ impl Machine for Logger {
                     }
                 }
             }
-            Packet::ReplUpdate { group: g, source: s, seq, payload }
-                if g == group && s == source =>
-            {
+            Packet::ReplUpdate {
+                group: g,
+                source: s,
+                seq,
+                payload,
+            } if g == group && s == source => {
                 self.ingest(now, seq, payload, out);
                 if let Some(high) = self.store.contiguous_high() {
                     out.push(Action::Unicast {
                         to: from,
-                        packet: Packet::ReplAck { group, source, seq: high },
+                        packet: Packet::ReplAck {
+                            group,
+                            source,
+                            seq: high,
+                        },
                     });
                 }
             }
-            Packet::ReplAck { group: g, source: s, seq } if g == group && s == source
-                && self.role == LoggerRole::Primary => {
-                    let end = self.unwrapper.peek(seq) + 1;
-                    let e = self.repl_acked.entry(from).or_insert(0);
-                    if end > *e {
-                        *e = end;
-                        self.maybe_logack(out);
-                    }
+            Packet::ReplAck {
+                group: g,
+                source: s,
+                seq,
+            } if g == group && s == source && self.role == LoggerRole::Primary => {
+                let end = self.unwrapper.peek(seq) + 1;
+                let e = self.repl_acked.entry(from).or_insert(0);
+                if end > *e {
+                    *e = end;
+                    self.maybe_logack(out);
                 }
-            Packet::AckerSelect { group: g, source: s, epoch, p_ack }
-                if g == group && s == source
+            }
+            Packet::AckerSelect {
+                group: g,
+                source: s,
+                epoch,
+                p_ack,
+            } if g == group
+                && s == source
                 && self.config.volunteer
-                    && self.role == LoggerRole::Secondary
-                    && p_ack > 0.0
-                    && self.rng.random_bool(p_ack.min(1.0))
-                => {
-                    self.volunteered.push_back(epoch);
-                    while self.volunteered.len() > 2 {
-                        self.volunteered.pop_front();
-                    }
-                    out.push(Action::Unicast {
-                        to: self.config.source_host,
-                        packet: Packet::AckerVolunteer {
-                            group,
-                            source,
-                            epoch,
-                            logger: self.config.host,
-                        },
-                    });
+                && self.role == LoggerRole::Secondary
+                && p_ack > 0.0
+                && self.rng.random_bool(p_ack.min(1.0)) =>
+            {
+                self.tracer
+                    .emit(now.nanos(), || ProtocolEvent::AckerVolunteered { epoch });
+                self.volunteered.push_back(epoch);
+                while self.volunteered.len() > 2 {
+                    self.volunteered.pop_front();
                 }
-            Packet::DiscoveryQuery { group: g, nonce, requester } if g == group
-                && self.config.answer_discovery => {
-                    out.push(Action::Unicast {
-                        to: requester,
-                        packet: Packet::DiscoveryReply {
-                            group,
-                            nonce,
-                            logger: self.config.host,
-                            level: self.level(),
-                        },
-                    });
-                }
-            Packet::LocatePrimary { group: g, source: s, requester }
-                if g == group && s == source
-                && self.role == LoggerRole::Replica && from == self.config.source_host => {
-                    // Failover state query from the source (§2.2.3):
-                    // report our log state, reusing LogAck.
-                    let high = self.store.contiguous_high().unwrap_or(Seq::ZERO);
-                    out.push(Action::Unicast {
-                        to: requester,
-                        packet: Packet::LogAck {
-                            group,
-                            source,
-                            primary_seq: high,
-                            replica_seq: high,
-                        },
-                    });
-                }
-            Packet::PrimaryIs { group: g, source: s, primary } if g == group && s == source => {
+                out.push(Action::Unicast {
+                    to: self.config.source_host,
+                    packet: Packet::AckerVolunteer {
+                        group,
+                        source,
+                        epoch,
+                        logger: self.config.host,
+                    },
+                });
+            }
+            Packet::DiscoveryQuery {
+                group: g,
+                nonce,
+                requester,
+            } if g == group && self.config.answer_discovery => {
+                out.push(Action::Unicast {
+                    to: requester,
+                    packet: Packet::DiscoveryReply {
+                        group,
+                        nonce,
+                        logger: self.config.host,
+                        level: self.level(),
+                    },
+                });
+            }
+            Packet::LocatePrimary {
+                group: g,
+                source: s,
+                requester,
+            } if g == group
+                && s == source
+                && self.role == LoggerRole::Replica
+                && from == self.config.source_host =>
+            {
+                // Failover state query from the source (§2.2.3):
+                // report our log state, reusing LogAck.
+                let high = self.store.contiguous_high().unwrap_or(Seq::ZERO);
+                out.push(Action::Unicast {
+                    to: requester,
+                    packet: Packet::LogAck {
+                        group,
+                        source,
+                        primary_seq: high,
+                        replica_seq: high,
+                    },
+                });
+            }
+            Packet::PrimaryIs {
+                group: g,
+                source: s,
+                primary,
+            } if g == group && s == source => {
                 if primary == self.config.host {
                     self.promote(now, out);
                 } else if self.role != LoggerRole::Primary {
@@ -630,6 +747,14 @@ impl Machine for Logger {
                 }
             }
             if !ranges.is_empty() {
+                let target = self.parent;
+                self.tracer.emit(now.nanos(), || ProtocolEvent::NackSent {
+                    target,
+                    packets: ranges
+                        .iter()
+                        .map(|r| r.len().min(u64::from(u32::MAX)) as u32)
+                        .sum(),
+                });
                 out.push(Action::Unicast {
                     to: self.parent,
                     packet: Packet::Nack {
@@ -643,7 +768,14 @@ impl Machine for Logger {
             if escalate && self.role == LoggerRole::Secondary {
                 // The parent looks dead: ask the source who is primary
                 // now; a PrimaryIs answer redirects pending fetches.
-                out.push(Action::Notice(Notice::PrimaryUnresponsive { primary: self.parent }));
+                let primary = self.parent;
+                self.tracer
+                    .emit(now.nanos(), || ProtocolEvent::PrimaryUnresponsive {
+                        primary,
+                    });
+                out.push(Action::Notice(Notice::PrimaryUnresponsive {
+                    primary: self.parent,
+                }));
                 out.push(Action::Unicast {
                     to: self.config.source_host,
                     packet: Packet::LocatePrimary {
@@ -657,12 +789,18 @@ impl Machine for Logger {
         // Replication retries.
         if let Some(at) = self.repl_next_at {
             if now >= at {
-                let behind = self
-                    .repl_acked
-                    .values()
-                    .any(|&end| end < self.store.contiguous_high().map_or(0, |h| self.unwrapper.peek(h) + 1))
-                    || self.repl_acked.len()
-                        < self.config.replicas.iter().filter(|&&r| r != self.config.host).count();
+                let behind = self.repl_acked.values().any(|&end| {
+                    end < self
+                        .store
+                        .contiguous_high()
+                        .map_or(0, |h| self.unwrapper.peek(h) + 1)
+                }) || self.repl_acked.len()
+                    < self
+                        .config
+                        .replicas
+                        .iter()
+                        .filter(|&&r| r != self.config.host)
+                        .count();
                 if behind {
                     self.replicate(now, out);
                 } else {
@@ -722,7 +860,9 @@ mod tests {
     }
 
     fn secondary() -> Logger {
-        Logger::new(LoggerConfig::secondary(GROUP, SRC, SECONDARY, PRIMARY, SRC_HOST))
+        Logger::new(LoggerConfig::secondary(
+            GROUP, SRC, SECONDARY, PRIMARY, SRC_HOST,
+        ))
     }
 
     fn primary() -> Logger {
@@ -788,7 +928,12 @@ mod tests {
         l.on_packet(Time::ZERO, SRC_HOST, data(1, "one"), &mut out);
         out.clear();
         for i in 0..20 {
-            l.on_packet(Time::from_millis(10), HostId(500 + i), nack(HostId(500 + i), 2), &mut out);
+            l.on_packet(
+                Time::from_millis(10),
+                HostId(500 + i),
+                nack(HostId(500 + i), 2),
+                &mut out,
+            );
         }
         let d = l.next_deadline().unwrap();
         l.poll(d, &mut out);
@@ -800,9 +945,13 @@ mod tests {
         // Re-polling before the retry interval sends nothing more.
         out.clear();
         l.poll(d + Duration::from_millis(1), &mut out);
-        assert!(out
-            .iter()
-            .all(|a| !matches!(a, Action::Unicast { packet: Packet::Nack { .. }, .. })));
+        assert!(out.iter().all(|a| !matches!(
+            a,
+            Action::Unicast {
+                packet: Packet::Nack { .. },
+                ..
+            }
+        )));
     }
 
     #[test]
@@ -842,9 +991,16 @@ mod tests {
         let nacked: Vec<u32> = out
             .iter()
             .filter_map(|a| match a {
-                Action::Unicast { packet: Packet::Nack { ranges, .. }, .. } => {
-                    Some(ranges.iter().flat_map(|r| r.iter()).map(|s| s.raw()).collect::<Vec<_>>())
-                }
+                Action::Unicast {
+                    packet: Packet::Nack { ranges, .. },
+                    ..
+                } => Some(
+                    ranges
+                        .iter()
+                        .flat_map(|r| r.iter())
+                        .map(|s| s.raw())
+                        .collect::<Vec<_>>(),
+                ),
                 _ => None,
             })
             .flatten()
@@ -860,33 +1016,69 @@ mod tests {
         out.clear();
         // Three distinct receivers ask (threshold = 3): first two get
         // unicasts, the third triggers a site-scoped multicast.
-        l.on_packet(Time::from_millis(1), HostId(501), nack(HostId(501), 1), &mut out);
-        l.on_packet(Time::from_millis(2), HostId(502), nack(HostId(502), 1), &mut out);
+        l.on_packet(
+            Time::from_millis(1),
+            HostId(501),
+            nack(HostId(501), 1),
+            &mut out,
+        );
+        l.on_packet(
+            Time::from_millis(2),
+            HostId(502),
+            nack(HostId(502), 1),
+            &mut out,
+        );
         let unicasts = out
             .iter()
-            .filter(|a| matches!(a, Action::Unicast { packet: Packet::Retrans { .. }, .. }))
+            .filter(|a| {
+                matches!(
+                    a,
+                    Action::Unicast {
+                        packet: Packet::Retrans { .. },
+                        ..
+                    }
+                )
+            })
             .count();
         assert_eq!(unicasts, 2);
         out.clear();
-        l.on_packet(Time::from_millis(3), HostId(503), nack(HostId(503), 1), &mut out);
+        l.on_packet(
+            Time::from_millis(3),
+            HostId(503),
+            nack(HostId(503), 1),
+            &mut out,
+        );
         assert!(matches!(
             &out[..],
             [
-                Action::Multicast { scope: TtlScope::Site, packet: Packet::Retrans { .. } },
+                Action::Multicast {
+                    scope: TtlScope::Site,
+                    packet: Packet::Retrans { .. }
+                },
                 Action::Notice(Notice::SiteRemulticast { requesters: 3, .. })
             ]
         ));
         // A fourth request *after* the multicast is evidence the
         // requester missed it: served by unicast, never starved.
         out.clear();
-        l.on_packet(Time::from_millis(4), HostId(504), nack(HostId(504), 1), &mut out);
+        l.on_packet(
+            Time::from_millis(4),
+            HostId(504),
+            nack(HostId(504), 1),
+            &mut out,
+        );
         assert!(matches!(
             &out[..],
             [Action::Unicast { to, packet: Packet::Retrans { .. } }] if *to == HostId(504)
         ));
         // A request at the very instant of the multicast is covered by it.
         out.clear();
-        l.on_packet(Time::from_millis(3), HostId(505), nack(HostId(505), 1), &mut out);
+        l.on_packet(
+            Time::from_millis(3),
+            HostId(505),
+            nack(HostId(505), 1),
+            &mut out,
+        );
         assert!(out.is_empty());
     }
 
@@ -902,11 +1094,24 @@ mod tests {
         l.on_packet(Time::ZERO, SRC_HOST, data(1, "a"), &mut out);
         out.clear();
         for i in 0..5u64 {
-            l.on_packet(Time::from_millis(i), HostId(600 + i), nack(HostId(600 + i), 1), &mut out);
+            l.on_packet(
+                Time::from_millis(i),
+                HostId(600 + i),
+                nack(HostId(600 + i), 1),
+                &mut out,
+            );
         }
         let unicasts = out
             .iter()
-            .filter(|a| matches!(a, Action::Unicast { packet: Packet::Retrans { .. }, .. }))
+            .filter(|a| {
+                matches!(
+                    a,
+                    Action::Unicast {
+                        packet: Packet::Retrans { .. },
+                        ..
+                    }
+                )
+            })
             .count();
         assert_eq!(unicasts, 5);
         assert!(!out.iter().any(|a| matches!(a, Action::Multicast { .. })));
@@ -921,11 +1126,15 @@ mod tests {
         l.on_packet(Time::ZERO, SRC_HOST, data(1, "a"), &mut out);
         // LogAck with primary_seq=1, replica_seq=0, plus a ReplUpdate.
         let logack = out.iter().find_map(|a| match a {
-            Action::Unicast { to, packet: Packet::LogAck { primary_seq, replica_seq, .. } }
-                if *to == SRC_HOST =>
-            {
-                Some((*primary_seq, *replica_seq))
-            }
+            Action::Unicast {
+                to,
+                packet:
+                    Packet::LogAck {
+                        primary_seq,
+                        replica_seq,
+                        ..
+                    },
+            } if *to == SRC_HOST => Some((*primary_seq, *replica_seq)),
             _ => None,
         });
         assert_eq!(logack, Some((Seq(1), Seq::ZERO)));
@@ -936,12 +1145,22 @@ mod tests {
         )));
         // Replica acks: LogAck advances replica_seq.
         out.clear();
-        let repl_ack = Packet::ReplAck { group: GROUP, source: SRC, seq: Seq(1) };
+        let repl_ack = Packet::ReplAck {
+            group: GROUP,
+            source: SRC,
+            seq: Seq(1),
+        };
         l.on_packet(Time::from_millis(5), HostId(301), repl_ack, &mut out);
         let logack = out.iter().find_map(|a| match a {
-            Action::Unicast { packet: Packet::LogAck { primary_seq, replica_seq, .. }, .. } => {
-                Some((*primary_seq, *replica_seq))
-            }
+            Action::Unicast {
+                packet:
+                    Packet::LogAck {
+                        primary_seq,
+                        replica_seq,
+                        ..
+                    },
+                ..
+            } => Some((*primary_seq, *replica_seq)),
             _ => None,
         });
         assert_eq!(logack, Some((Seq(1), Seq(1))));
@@ -953,9 +1172,15 @@ mod tests {
         let mut out = Actions::new();
         l.on_packet(Time::ZERO, SRC_HOST, data(1, "a"), &mut out);
         let logack = out.iter().find_map(|a| match a {
-            Action::Unicast { packet: Packet::LogAck { primary_seq, replica_seq, .. }, .. } => {
-                Some((*primary_seq, *replica_seq))
-            }
+            Action::Unicast {
+                packet:
+                    Packet::LogAck {
+                        primary_seq,
+                        replica_seq,
+                        ..
+                    },
+                ..
+            } => Some((*primary_seq, *replica_seq)),
             _ => None,
         });
         assert_eq!(logack, Some((Seq(1), Seq(1))));
@@ -963,7 +1188,13 @@ mod tests {
 
     #[test]
     fn replica_mirrors_and_acks() {
-        let mut l = Logger::new(LoggerConfig::replica(GROUP, SRC, HostId(301), PRIMARY, SRC_HOST));
+        let mut l = Logger::new(LoggerConfig::replica(
+            GROUP,
+            SRC,
+            HostId(301),
+            PRIMARY,
+            SRC_HOST,
+        ));
         let mut out = Actions::new();
         let upd = Packet::ReplUpdate {
             group: GROUP,
@@ -982,7 +1213,13 @@ mod tests {
 
     #[test]
     fn replica_reports_state_to_source_during_failover() {
-        let mut l = Logger::new(LoggerConfig::replica(GROUP, SRC, HostId(301), PRIMARY, SRC_HOST));
+        let mut l = Logger::new(LoggerConfig::replica(
+            GROUP,
+            SRC,
+            HostId(301),
+            PRIMARY,
+            SRC_HOST,
+        ));
         let mut out = Actions::new();
         for i in 1..=4 {
             let upd = Packet::ReplUpdate {
@@ -994,7 +1231,11 @@ mod tests {
             l.on_packet(Time::ZERO, PRIMARY, upd, &mut out);
         }
         out.clear();
-        let query = Packet::LocatePrimary { group: GROUP, source: SRC, requester: SRC_HOST };
+        let query = Packet::LocatePrimary {
+            group: GROUP,
+            source: SRC,
+            requester: SRC_HOST,
+        };
         l.on_packet(Time::from_secs(1), SRC_HOST, query, &mut out);
         assert!(matches!(
             &out[..],
@@ -1017,16 +1258,24 @@ mod tests {
         };
         l.on_packet(Time::ZERO, PRIMARY, upd, &mut out);
         out.clear();
-        let promote = Packet::PrimaryIs { group: GROUP, source: SRC, primary: HostId(301) };
+        let promote = Packet::PrimaryIs {
+            group: GROUP,
+            source: SRC,
+            primary: HostId(301),
+        };
         l.on_packet(Time::from_secs(1), SRC_HOST, promote, &mut out);
         assert_eq!(l.role(), LoggerRole::Primary);
         assert!(notices(&out)
             .iter()
             .any(|n| matches!(n, Notice::Promoted { new_primary } if *new_primary == HostId(301))));
         // As primary it now LogAcks the source and replicates onward.
-        assert!(out
-            .iter()
-            .any(|a| matches!(a, Action::Unicast { packet: Packet::LogAck { .. }, .. })));
+        assert!(out.iter().any(|a| matches!(
+            a,
+            Action::Unicast {
+                packet: Packet::LogAck { .. },
+                ..
+            }
+        )));
         assert!(out.iter().any(|a| matches!(
             a,
             Action::Unicast { to, packet: Packet::ReplUpdate { .. } } if *to == HostId(302)
@@ -1043,7 +1292,11 @@ mod tests {
         l.poll(d, &mut out);
         out.clear();
         let new_primary = HostId(999);
-        let pi = Packet::PrimaryIs { group: GROUP, source: SRC, primary: new_primary };
+        let pi = Packet::PrimaryIs {
+            group: GROUP,
+            source: SRC,
+            primary: new_primary,
+        };
         l.on_packet(d + Duration::from_millis(1), SRC_HOST, pi, &mut out);
         assert_eq!(l.parent(), new_primary);
         // The pending fetch retries against the new parent immediately.
@@ -1066,10 +1319,12 @@ mod tests {
             let Some(d) = l.next_deadline() else { break };
             out.clear();
             l.poll(d, &mut out);
-            if out.iter().any(|a| matches!(
-                a,
-                Action::Unicast { to, packet: Packet::LocatePrimary { .. } } if *to == SRC_HOST
-            )) {
+            if out.iter().any(|a| {
+                matches!(
+                    a,
+                    Action::Unicast { to, packet: Packet::LocatePrimary { .. } } if *to == SRC_HOST
+                )
+            }) {
                 escalated = true;
                 break;
             }
@@ -1081,7 +1336,12 @@ mod tests {
     fn volunteers_with_probability_one() {
         let mut l = secondary();
         let mut out = Actions::new();
-        let sel = Packet::AckerSelect { group: GROUP, source: SRC, epoch: EpochId(1), p_ack: 1.0 };
+        let sel = Packet::AckerSelect {
+            group: GROUP,
+            source: SRC,
+            epoch: EpochId(1),
+            p_ack: 1.0,
+        };
         l.on_packet(Time::ZERO, SRC_HOST, sel, &mut out);
         assert!(matches!(
             &out[..],
@@ -1113,16 +1373,25 @@ mod tests {
             payload: Bytes::from_static(b"y"),
         };
         l.on_packet(Time::from_millis(2), SRC_HOST, d, &mut out);
-        assert!(!out
-            .iter()
-            .any(|a| matches!(a, Action::Unicast { packet: Packet::PacketAck { .. }, .. })));
+        assert!(!out.iter().any(|a| matches!(
+            a,
+            Action::Unicast {
+                packet: Packet::PacketAck { .. },
+                ..
+            }
+        )));
     }
 
     #[test]
     fn never_volunteers_at_probability_zero() {
         let mut l = secondary();
         let mut out = Actions::new();
-        let sel = Packet::AckerSelect { group: GROUP, source: SRC, epoch: EpochId(1), p_ack: 0.0 };
+        let sel = Packet::AckerSelect {
+            group: GROUP,
+            source: SRC,
+            epoch: EpochId(1),
+            p_ack: 0.0,
+        };
         l.on_packet(Time::ZERO, SRC_HOST, sel, &mut out);
         assert!(out.is_empty());
     }
@@ -1131,7 +1400,11 @@ mod tests {
     fn answers_discovery() {
         let mut l = secondary();
         let mut out = Actions::new();
-        let q = Packet::DiscoveryQuery { group: GROUP, nonce: 42, requester: RX };
+        let q = Packet::DiscoveryQuery {
+            group: GROUP,
+            nonce: 42,
+            requester: RX,
+        };
         l.on_packet(Time::ZERO, RX, q, &mut out);
         assert!(matches!(
             &out[..],

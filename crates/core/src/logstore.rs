@@ -46,7 +46,10 @@ struct IntervalSet {
 
 impl IntervalSet {
     fn contains(&self, idx: u64) -> bool {
-        self.runs.range(..=idx).next_back().is_some_and(|(_, &end)| idx < end)
+        self.runs
+            .range(..=idx)
+            .next_back()
+            .is_some_and(|(_, &end)| idx < end)
     }
 
     /// Inserts one index, coalescing with neighbors. Returns `true` if new.
@@ -127,7 +130,14 @@ impl LogStore {
         let idx = self.unwrapper.unwrap(seq);
         let fresh = self.logged.insert(idx);
         if fresh {
-            self.entries.insert(idx, Entry { seq, payload, logged_at: now });
+            self.entries.insert(
+                idx,
+                Entry {
+                    seq,
+                    payload,
+                    logged_at: now,
+                },
+            );
             self.prune(now);
         }
         fresh
@@ -152,7 +162,9 @@ impl LogStore {
     /// can lower this value; consumers treat `LogAck` release points as
     /// monotone (the sender keeps the max it has seen).
     pub fn contiguous_high(&self) -> Option<Seq> {
-        self.logged.first_run().map(|(_, end)| SeqUnwrapper::rewrap(end - 1))
+        self.logged
+            .first_run()
+            .map(|(_, end)| SeqUnwrapper::rewrap(end - 1))
     }
 
     /// Sequences in `[first, last]` that are *not* held (what a logger

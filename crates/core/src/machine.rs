@@ -168,6 +168,12 @@ pub trait Machine {
     /// Called once before any other entry point.
     fn on_start(&mut self, _now: Time, _out: &mut Actions) {}
 
+    /// Attaches a protocol-event tracer (see [`crate::trace`]). Machines
+    /// that emit [`crate::trace::ProtocolEvent`]s override this; the
+    /// default drops the tracer, so drivers may install one on any
+    /// machine unconditionally.
+    fn set_tracer(&mut self, _tracer: crate::trace::Tracer) {}
+
     /// A packet addressed to this machine arrived (unicast or multicast).
     fn on_packet(&mut self, now: Time, from: HostId, packet: Packet, out: &mut Actions);
 

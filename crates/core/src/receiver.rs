@@ -19,6 +19,7 @@ use crate::gaps::{GapTracker, Observation, SeqUnwrapper};
 use crate::heartbeat::HeartbeatConfig;
 use crate::machine::{Action, Actions, Delivery, LossSignal, Machine, Notice};
 use crate::time::{earliest, Time};
+use crate::trace::{ProtocolEvent, Tracer};
 
 /// What a receiver recovers (receiver-reliability, §2).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -145,6 +146,7 @@ pub struct Receiver {
     expected_interval: Duration,
     fresh: bool,
     stats: ReceiverStats,
+    tracer: Tracer,
 }
 
 impl Receiver {
@@ -159,15 +161,20 @@ impl Receiver {
             last_source_packet_at: None,
             fresh: false,
             stats: ReceiverStats::default(),
+            tracer: Tracer::disabled(),
         }
+    }
+
+    /// Attaches a protocol-event tracer (see [`crate::trace`]).
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 
     /// The window of silence the receiver currently tolerates before
     /// declaring the channel idle-dead.
     fn idle_window(&self) -> Duration {
-        let expected = Duration::from_secs_f64(
-            self.expected_interval.as_secs_f64() * self.config.idle_slack,
-        );
+        let expected =
+            Duration::from_secs_f64(self.expected_interval.as_secs_f64() * self.config.idle_slack);
         expected.max(self.config.maxit)
     }
 
@@ -219,6 +226,8 @@ impl Receiver {
     fn touch_source(&mut self, now: Time, out: &mut Actions) {
         if self.last_source_packet_at.is_some() && !self.fresh {
             out.push(Action::Notice(Notice::FreshnessRestored));
+            self.tracer
+                .emit(now.nanos(), || ProtocolEvent::FreshnessRestored);
         }
         self.fresh = true;
         self.last_source_packet_at = Some(now);
@@ -228,7 +237,13 @@ impl Receiver {
     /// last]` and schedules recovery.
     fn on_loss(&mut self, now: Time, first: Seq, last: Seq, signal: LossSignal, out: &mut Actions) {
         self.stats.losses_detected += 1;
-        out.push(Action::Notice(Notice::LossDetected { first, last, signal }));
+        out.push(Action::Notice(Notice::LossDetected {
+            first,
+            last,
+            signal,
+        }));
+        self.tracer
+            .emit(now.nanos(), || ProtocolEvent::GapDetected { first, last });
         match self.config.mode {
             ReliabilityMode::LatestOnly => {
                 let give_up_count = last.distance_from(first) as u64 + 1;
@@ -242,8 +257,7 @@ impl Receiver {
                     let floor = SeqUnwrapper::rewrap(floor_idx);
                     let before = self.gaps.missing_count();
                     self.gaps.give_up_before(floor);
-                    self.stats.abandoned +=
-                        (before - self.gaps.missing_count()) as u64;
+                    self.stats.abandoned += (before - self.gaps.missing_count()) as u64;
                     self.pending.retain(|&idx, _| idx >= floor_idx);
                 }
             }
@@ -265,9 +279,17 @@ impl Receiver {
         }
     }
 
-    fn cancel_recovery(&mut self, seq: Seq) -> Option<Recovery> {
+    fn cancel_recovery(&mut self, now: Time, seq: Seq) -> Option<Recovery> {
         let idx = self.unwrapper.peek(seq);
-        self.pending.remove(&idx)
+        let rec = self.pending.remove(&idx);
+        if let Some(rec) = &rec {
+            let latency = now.since(rec.detected_at);
+            self.tracer.emit(now.nanos(), || ProtocolEvent::Recovered {
+                seq,
+                latency_nanos: latency.as_nanos() as u64,
+            });
+        }
+        rec
     }
 
     /// On first contact with the stream, extend recovery below the join
@@ -281,29 +303,35 @@ impl Receiver {
         }
     }
 
-    fn deliver(
-        &mut self,
-        seq: Seq,
-        payload: bytes::Bytes,
-        recovered: bool,
-        out: &mut Actions,
-    ) {
+    fn deliver(&mut self, seq: Seq, payload: bytes::Bytes, recovered: bool, out: &mut Actions) {
         if recovered {
             self.stats.recovered += 1;
         } else {
             self.stats.delivered += 1;
         }
-        out.push(Action::Deliver(Delivery { seq, payload, recovered }));
+        out.push(Action::Deliver(Delivery {
+            seq,
+            payload,
+            recovered,
+        }));
     }
 }
 
 impl Machine for Receiver {
+    fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
+    }
+
     fn on_packet(&mut self, now: Time, _from: HostId, packet: Packet, out: &mut Actions) {
         let (group, source) = (self.config.group, self.config.source);
         match packet {
-            Packet::Data { group: g, source: s, seq, payload, .. }
-                if g == group && s == source =>
-            {
+            Packet::Data {
+                group: g,
+                source: s,
+                seq,
+                payload,
+                ..
+            } if g == group && s == source => {
                 self.touch_source(now, out);
                 self.learn_interval(None);
                 let first_contact = !self.gaps.started();
@@ -316,14 +344,12 @@ impl Machine for Receiver {
                         // beats ordering, §1), then chase the gap.
                         self.deliver(seq, payload, false, out);
                         let last = seq.prev();
-                        let first = SeqUnwrapper::rewrap(
-                            self.unwrapper.peek(last) - (gap - 1),
-                        );
+                        let first = SeqUnwrapper::rewrap(self.unwrapper.peek(last) - (gap - 1));
                         self.on_loss(now, first, last, LossSignal::SeqGap, out);
                     }
                     Observation::Filled => {
                         // A late original filled the gap on its own.
-                        if let Some(rec) = self.cancel_recovery(seq) {
+                        if let Some(rec) = self.cancel_recovery(now, seq) {
                             out.push(Action::Notice(Notice::Recovered {
                                 seq,
                                 after: now.since(rec.detected_at),
@@ -344,16 +370,21 @@ impl Machine for Receiver {
                     self.maybe_backfill(now, out);
                 }
             }
-            Packet::Heartbeat { group: g, source: s, seq, payload, hb_index, .. }
-                if g == group && s == source =>
-            {
+            Packet::Heartbeat {
+                group: g,
+                source: s,
+                seq,
+                payload,
+                hb_index,
+                ..
+            } if g == group && s == source => {
                 let first_contact = !self.gaps.started();
                 self.touch_source(now, out);
                 self.learn_interval(Some(hb_index));
                 if !payload.is_empty() && self.gaps.is_missing(seq) {
                     // §7 extension: the heartbeat carries the payload.
                     self.gaps.observe(seq);
-                    if let Some(rec) = self.cancel_recovery(seq) {
+                    if let Some(rec) = self.cancel_recovery(now, seq) {
                         out.push(Action::Notice(Notice::Recovered {
                             seq,
                             after: now.since(rec.detected_at),
@@ -385,38 +416,42 @@ impl Machine for Receiver {
                     self.maybe_backfill(now, out);
                 }
             }
-            Packet::Retrans { group: g, source: s, seq, payload }
-                if g == group && s == source =>
-            {
-                match self.gaps.observe(seq) {
-                    Observation::Filled => {
-                        if let Some(rec) = self.cancel_recovery(seq) {
-                            out.push(Action::Notice(Notice::Recovered {
-                                seq,
-                                after: now.since(rec.detected_at),
-                            }));
-                        }
-                        self.deliver(seq, payload, true, out);
+            Packet::Retrans {
+                group: g,
+                source: s,
+                seq,
+                payload,
+            } if g == group && s == source => match self.gaps.observe(seq) {
+                Observation::Filled => {
+                    if let Some(rec) = self.cancel_recovery(now, seq) {
+                        out.push(Action::Notice(Notice::Recovered {
+                            seq,
+                            after: now.since(rec.detected_at),
+                        }));
                     }
-                    Observation::First | Observation::InOrder => {
-                        self.deliver(seq, payload, true, out);
-                    }
-                    Observation::Ahead { gap } => {
-                        self.deliver(seq, payload, true, out);
-                        let last = seq.prev();
-                        let first =
-                            SeqUnwrapper::rewrap(self.unwrapper.peek(last) - (gap - 1));
-                        self.on_loss(now, first, last, LossSignal::SeqGap, out);
-                    }
-                    Observation::BeforeStart => {
-                        self.deliver(seq, payload, true, out);
-                    }
-                    Observation::Duplicate => {
-                        self.stats.duplicates += 1;
-                    }
+                    self.deliver(seq, payload, true, out);
                 }
-            }
-            Packet::PrimaryIs { group: g, source: s, primary } if g == group && s == source => {
+                Observation::First | Observation::InOrder => {
+                    self.deliver(seq, payload, true, out);
+                }
+                Observation::Ahead { gap } => {
+                    self.deliver(seq, payload, true, out);
+                    let last = seq.prev();
+                    let first = SeqUnwrapper::rewrap(self.unwrapper.peek(last) - (gap - 1));
+                    self.on_loss(now, first, last, LossSignal::SeqGap, out);
+                }
+                Observation::BeforeStart => {
+                    self.deliver(seq, payload, true, out);
+                }
+                Observation::Duplicate => {
+                    self.stats.duplicates += 1;
+                }
+            },
+            Packet::PrimaryIs {
+                group: g,
+                source: s,
+                primary,
+            } if g == group && s == source => {
                 // The primary's address is a cached value (§2.2.3):
                 // replace the last-resort target.
                 if let Some(last) = self.config.recovery_targets.last_mut() {
@@ -442,6 +477,8 @@ impl Machine for Receiver {
                 if now.since(last) > self.idle_window() {
                     self.fresh = false;
                     out.push(Action::Notice(Notice::FreshnessLost));
+                    self.tracer
+                        .emit(now.nanos(), || ProtocolEvent::FreshnessLost);
                     out.push(Action::Notice(Notice::LossDetected {
                         first: self.gaps.highest().map_or(Seq::ZERO, |h| h.next()),
                         last: self.gaps.highest().map_or(Seq::ZERO, |h| h.next()),
@@ -472,6 +509,8 @@ impl Machine for Receiver {
                 self.pending.remove(&idx);
                 self.gaps.abandon(seq);
                 self.stats.abandoned += 1;
+                self.tracer
+                    .emit(now.nanos(), || ProtocolEvent::RecoveryAbandoned { seq });
                 continue;
             }
             if r.attempts >= self.config.attempts_per_target {
@@ -496,6 +535,13 @@ impl Machine for Receiver {
             }
         }
         for (target, ranges) in per_target {
+            self.tracer.emit(now.nanos(), || ProtocolEvent::NackSent {
+                target,
+                packets: ranges
+                    .iter()
+                    .map(|r| r.len().min(u64::from(u32::MAX)) as u32)
+                    .sum(),
+            });
             out.push(Action::Unicast {
                 to: target,
                 packet: Packet::Nack {
@@ -507,8 +553,16 @@ impl Machine for Receiver {
             });
         }
         if exhausted {
-            let primary = *self.config.recovery_targets.last().expect("nonempty targets");
+            let primary = *self
+                .config
+                .recovery_targets
+                .last()
+                .expect("nonempty targets");
             out.push(Action::Notice(Notice::PrimaryUnresponsive { primary }));
+            self.tracer
+                .emit(now.nanos(), || ProtocolEvent::PrimaryUnresponsive {
+                    primary,
+                });
             out.push(Action::Unicast {
                 to: self.config.source_host,
                 packet: Packet::LocatePrimary {
@@ -547,7 +601,13 @@ mod tests {
     const PRIMARY: HostId = HostId(200);
 
     fn rx() -> Receiver {
-        Receiver::new(ReceiverConfig::new(GROUP, SRC, ME, SRC_HOST, vec![SECONDARY, PRIMARY]))
+        Receiver::new(ReceiverConfig::new(
+            GROUP,
+            SRC,
+            ME,
+            SRC_HOST,
+            vec![SECONDARY, PRIMARY],
+        ))
     }
 
     fn data(seq: u32) -> Packet {
@@ -611,10 +671,21 @@ mod tests {
         out.clear();
         r.poll(d, &mut out);
         match &out[..] {
-            [Action::Unicast { to, packet: Packet::Nack { ranges, requester, .. } }] => {
+            [Action::Unicast {
+                to,
+                packet: Packet::Nack {
+                    ranges, requester, ..
+                },
+            }] => {
                 assert_eq!(*to, SECONDARY);
                 assert_eq!(*requester, ME);
-                assert_eq!(ranges, &vec![SeqRange { first: Seq(2), last: Seq(3) }]);
+                assert_eq!(
+                    ranges,
+                    &vec![SeqRange {
+                        first: Seq(2),
+                        last: Seq(3)
+                    }]
+                );
             }
             other => panic!("{other:?}"),
         }
@@ -695,15 +766,27 @@ mod tests {
         let d = r.next_deadline().unwrap();
         out.clear();
         r.poll(d, &mut out);
-        assert!(notices(&out).iter().any(|n| matches!(n, Notice::FreshnessLost)));
+        assert!(notices(&out)
+            .iter()
+            .any(|n| matches!(n, Notice::FreshnessLost)));
         assert!(notices(&out).iter().any(|n| matches!(
             n,
-            Notice::LossDetected { signal: LossSignal::IdleTimeout, .. }
+            Notice::LossDetected {
+                signal: LossSignal::IdleTimeout,
+                ..
+            }
         )));
         // A heartbeat restores freshness.
         out.clear();
-        r.on_packet(d + Duration::from_millis(10), SRC_HOST, heartbeat(1), &mut out);
-        assert!(notices(&out).iter().any(|n| matches!(n, Notice::FreshnessRestored)));
+        r.on_packet(
+            d + Duration::from_millis(10),
+            SRC_HOST,
+            heartbeat(1),
+            &mut out,
+        );
+        assert!(notices(&out)
+            .iter()
+            .any(|n| matches!(n, Notice::FreshnessRestored)));
         assert!(r.is_fresh(d + Duration::from_millis(10)));
     }
 
@@ -722,15 +805,22 @@ mod tests {
             r.poll(d, &mut out);
             for a in &out {
                 match a {
-                    Action::Unicast { to, packet: Packet::Nack { .. } } if *to == SECONDARY => {
+                    Action::Unicast {
+                        to,
+                        packet: Packet::Nack { .. },
+                    } if *to == SECONDARY => {
                         saw_secondary = true;
                     }
-                    Action::Unicast { to, packet: Packet::Nack { .. } } if *to == PRIMARY => {
+                    Action::Unicast {
+                        to,
+                        packet: Packet::Nack { .. },
+                    } if *to == PRIMARY => {
                         saw_primary = true;
                     }
-                    Action::Unicast { to, packet: Packet::LocatePrimary { .. } }
-                        if *to == SRC_HOST =>
-                    {
+                    Action::Unicast {
+                        to,
+                        packet: Packet::LocatePrimary { .. },
+                    } if *to == SRC_HOST => {
                         saw_locate = true;
                     }
                     _ => {}
@@ -751,7 +841,11 @@ mod tests {
         r.on_packet(
             Time::ZERO,
             SRC_HOST,
-            Packet::PrimaryIs { group: GROUP, source: SRC, primary: new_primary },
+            Packet::PrimaryIs {
+                group: GROUP,
+                source: SRC,
+                primary: new_primary,
+            },
             &mut out,
         );
         assert_eq!(r.config.recovery_targets, vec![SECONDARY, new_primary]);
@@ -788,8 +882,17 @@ mod tests {
         out.clear();
         r.poll(d, &mut out);
         match &out[..] {
-            [Action::Unicast { packet: Packet::Nack { ranges, .. }, .. }] => {
-                assert_eq!(ranges, &vec![SeqRange { first: Seq(8), last: Seq(9) }]);
+            [Action::Unicast {
+                packet: Packet::Nack { ranges, .. },
+                ..
+            }] => {
+                assert_eq!(
+                    ranges,
+                    &vec![SeqRange {
+                        first: Seq(8),
+                        last: Seq(9)
+                    }]
+                );
             }
             other => panic!("{other:?}"),
         }
@@ -838,16 +941,22 @@ mod tests {
         out.clear();
         // 10 s later, inside the 16 s adaptive window: no alarm.
         r.poll(at + Duration::from_secs(10), &mut out);
-        assert!(!notices(&out).iter().any(|n| matches!(n, Notice::FreshnessLost)));
+        assert!(!notices(&out)
+            .iter()
+            .any(|n| matches!(n, Notice::FreshnessLost)));
         // 17 s later, past the window: alarm.
         r.poll(at + Duration::from_secs(17), &mut out);
-        assert!(notices(&out).iter().any(|n| matches!(n, Notice::FreshnessLost)));
+        assert!(notices(&out)
+            .iter()
+            .any(|n| matches!(n, Notice::FreshnessLost)));
         // A data packet resets the expectation to h_min (window 0.5 s).
         out.clear();
         let t2 = at + Duration::from_secs(18);
         r.on_packet(t2, SRC_HOST, data(2), &mut out);
         r.poll(t2 + Duration::from_millis(600), &mut out);
-        assert!(notices(&out).iter().any(|n| matches!(n, Notice::FreshnessLost)));
+        assert!(notices(&out)
+            .iter()
+            .any(|n| matches!(n, Notice::FreshnessLost)));
     }
 
     #[test]
@@ -870,8 +979,17 @@ mod tests {
         out.clear();
         r.poll(d, &mut out);
         match &out[..] {
-            [Action::Unicast { packet: Packet::Nack { ranges, .. }, .. }] => {
-                assert_eq!(ranges, &vec![SeqRange { first: Seq(15), last: Seq(19) }]);
+            [Action::Unicast {
+                packet: Packet::Nack { ranges, .. },
+                ..
+            }] => {
+                assert_eq!(
+                    ranges,
+                    &vec![SeqRange {
+                        first: Seq(15),
+                        last: Seq(19)
+                    }]
+                );
             }
             other => panic!("{other:?}"),
         }
@@ -901,7 +1019,15 @@ mod tests {
             r.poll(d, &mut out);
             nacks += out
                 .iter()
-                .filter(|a| matches!(a, Action::Unicast { packet: Packet::Nack { .. }, .. }))
+                .filter(|a| {
+                    matches!(
+                        a,
+                        Action::Unicast {
+                            packet: Packet::Nack { .. },
+                            ..
+                        }
+                    )
+                })
                 .count();
             if r.outstanding_recoveries() == 0 {
                 break;
@@ -922,6 +1048,9 @@ mod tests {
         let mut out = Actions::new();
         assert_eq!(r.staleness(Time::from_secs(5)), None);
         r.on_packet(Time::from_secs(5), SRC_HOST, data(1), &mut out);
-        assert_eq!(r.staleness(Time::from_secs(7)), Some(Duration::from_secs(2)));
+        assert_eq!(
+            r.staleness(Time::from_secs(7)),
+            Some(Duration::from_secs(2))
+        );
     }
 }

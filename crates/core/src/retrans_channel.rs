@@ -74,7 +74,11 @@ impl RetransChannelSender {
     /// Creates the sender half.
     pub fn new(config: RetransChannelConfig) -> Self {
         assert!(config.backoff >= 1.0);
-        RetransChannelSender { config, schedule: BTreeMap::new(), counter: 0 }
+        RetransChannelSender {
+            config,
+            schedule: BTreeMap::new(),
+            counter: 0,
+        }
     }
 
     /// Registers a freshly sent data packet for repetition.
@@ -149,7 +153,11 @@ pub struct RetransSubscriber {
 impl RetransSubscriber {
     /// Creates the policy for `channel`.
     pub fn new(channel: GroupId) -> Self {
-        RetransSubscriber { channel, outstanding: 0, joined: false }
+        RetransSubscriber {
+            channel,
+            outstanding: 0,
+            joined: false,
+        }
     }
 
     /// `true` while subscribed.
@@ -197,7 +205,11 @@ mod tests {
             out.clear();
             s.poll(d, &mut out);
             for a in &out {
-                if let Action::Multicast { packet: Packet::Retrans { seq, group, .. }, .. } = a {
+                if let Action::Multicast {
+                    packet: Packet::Retrans { seq, group, .. },
+                    ..
+                } = a
+                {
                     assert_eq!(*seq, Seq(1));
                     assert_eq!(*group, CHANNEL);
                     times.push(d.as_secs_f64());
@@ -242,19 +254,29 @@ mod tests {
         let mut sub = RetransSubscriber::new(CHANNEL);
         let mut out = Actions::new();
         sub.on_notice(
-            &Notice::LossDetected { first: Seq(2), last: Seq(3), signal: LossSignal::SeqGap },
+            &Notice::LossDetected {
+                first: Seq(2),
+                last: Seq(3),
+                signal: LossSignal::SeqGap,
+            },
             &mut out,
         );
         assert_eq!(out, vec![Action::Join(CHANNEL)]);
         assert!(sub.joined());
         out.clear();
         sub.on_notice(
-            &Notice::Recovered { seq: Seq(2), after: Duration::from_millis(1) },
+            &Notice::Recovered {
+                seq: Seq(2),
+                after: Duration::from_millis(1),
+            },
             &mut out,
         );
         assert!(out.is_empty());
         sub.on_notice(
-            &Notice::Recovered { seq: Seq(3), after: Duration::from_millis(2) },
+            &Notice::Recovered {
+                seq: Seq(3),
+                after: Duration::from_millis(2),
+            },
             &mut out,
         );
         assert_eq!(out, vec![Action::Leave(CHANNEL)]);

@@ -23,6 +23,7 @@ use crate::heartbeat::{FixedHeartbeat, HeartbeatConfig, VariableHeartbeat};
 use crate::machine::{Action, Actions, Machine, Notice};
 use crate::statack::{StatAck, StatAckConfig, StatAckOutput};
 use crate::time::{earliest, Time};
+use crate::trace::{ProtocolEvent, Tracer};
 
 /// Which heartbeat schedule the sender runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -136,7 +137,10 @@ struct Buffered {
 enum PrimaryHealth {
     Healthy,
     /// Collecting replica log-state reports since `since`.
-    Probing { since: Time, reports: BTreeMap<HostId, u64> },
+    Probing {
+        since: Time,
+        reports: BTreeMap<HostId, u64>,
+    },
 }
 
 /// The sender state machine. Applications publish via
@@ -164,6 +168,7 @@ pub struct Sender {
     next_handoff_at: Option<Time>,
     handoff_attempts: u32,
     started: bool,
+    tracer: Tracer,
 }
 
 impl Sender {
@@ -190,6 +195,7 @@ impl Sender {
             next_handoff_at: None,
             handoff_attempts: 0,
             started: false,
+            tracer: Tracer::disabled(),
             config,
         }
     }
@@ -216,7 +222,14 @@ impl Sender {
 
     /// Current epoch stamped on outgoing data.
     pub fn current_epoch(&self) -> EpochId {
-        self.statack.as_ref().map_or(EpochId::INITIAL, |s| s.current_epoch())
+        self.statack
+            .as_ref()
+            .map_or(EpochId::INITIAL, |s| s.current_epoch())
+    }
+
+    /// Attaches a protocol-event tracer (see [`crate::trace`]).
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 
     /// Publishes one application payload at `now`.
@@ -231,7 +244,14 @@ impl Sender {
             // (Re)base the release floor on the first outstanding packet.
             self.released_below = idx;
         }
-        self.buffer.insert(idx, Buffered { seq, epoch, payload: payload.clone() });
+        self.buffer.insert(
+            idx,
+            Buffered {
+                seq,
+                epoch,
+                payload: payload.clone(),
+            },
+        );
         self.schedule.on_data_sent(now);
         if let Some(sa) = &mut self.statack {
             sa.on_data_sent(now, seq);
@@ -250,6 +270,8 @@ impl Sender {
                 payload,
             },
         });
+        self.tracer
+            .emit(now.nanos(), || ProtocolEvent::DataSent { seq, epoch });
     }
 
     fn data_packet(&self, b: &Buffered) -> Packet {
@@ -262,25 +284,28 @@ impl Sender {
         }
     }
 
-    fn release_through(&mut self, seq: Seq, out: &mut Actions) {
+    fn release_through(&mut self, now: Time, seq: Seq, out: &mut Actions) {
         let end = self.unwrapper.peek(seq) + 1;
         if end <= self.released_below {
             return;
         }
         self.released_below = end;
-        self.prune_buffer(Some(seq), out);
+        self.prune_buffer(now, Some(seq), out);
     }
 
     /// Drops buffer entries that are both log-released and statack-
     /// settled.
-    fn prune_buffer(&mut self, released_seq: Option<Seq>, out: &mut Actions) {
+    fn prune_buffer(&mut self, now: Time, released_seq: Option<Seq>, out: &mut Actions) {
         let end = self.released_below;
         let unsettled = &self.unsettled;
         let before = self.buffer.len();
-        self.buffer.retain(|&idx, _| idx >= end || unsettled.contains(&idx));
+        self.buffer
+            .retain(|&idx, _| idx >= end || unsettled.contains(&idx));
         if self.buffer.len() != before {
             if let Some(seq) = released_seq {
                 out.push(Action::Notice(Notice::BufferReleased { up_to: seq }));
+                self.tracer
+                    .emit(now.nanos(), || ProtocolEvent::BufferReleased { up_to: seq });
             }
         }
         // Handoff only chases log acknowledgement; statack holds (below
@@ -291,7 +316,7 @@ impl Sender {
         }
     }
 
-    fn drain_statack(&mut self, events: Vec<StatAckOutput>, out: &mut Actions) {
+    fn drain_statack(&mut self, now: Time, events: Vec<StatAckOutput>, out: &mut Actions) {
         for ev in events {
             match ev {
                 StatAckOutput::StartSelection { epoch, p_ack } => {
@@ -304,6 +329,11 @@ impl Sender {
                             p_ack,
                         },
                     });
+                    self.tracer
+                        .emit(now.nanos(), || ProtocolEvent::AckerSelected {
+                            epoch,
+                            p_ack,
+                        });
                 }
                 StatAckOutput::EpochActive { epoch, ackers, nsl } => {
                     out.push(Action::Notice(Notice::EpochStarted {
@@ -311,38 +341,76 @@ impl Sender {
                         ackers,
                         nsl_estimate: nsl,
                     }));
+                    self.tracer
+                        .emit(now.nanos(), || ProtocolEvent::EpochActive {
+                            epoch,
+                            ackers: ackers as u32,
+                        });
                 }
                 StatAckOutput::Remulticast { seq, missing } => {
                     let idx = self.unwrapper.peek(seq);
                     if let Some(b) = self.buffer.get(&idx) {
                         let packet = self.data_packet(b);
-                        out.push(Action::Multicast { scope: TtlScope::Global, packet });
+                        out.push(Action::Multicast {
+                            scope: TtlScope::Global,
+                            packet,
+                        });
                         out.push(Action::Notice(Notice::StatAckRemulticast {
                             seq,
                             missing_acks: missing,
                         }));
+                        self.tracer
+                            .emit(now.nanos(), || ProtocolEvent::Remulticast {
+                                seq,
+                                missing: missing as u32,
+                            });
                     }
                 }
-                StatAckOutput::Settled { seq, .. } => {
+                StatAckOutput::Settled { seq, complete } => {
                     let idx = self.unwrapper.peek(seq);
                     self.unsettled.remove(&idx);
-                    self.prune_buffer(None, out);
+                    self.prune_buffer(now, None, out);
+                    self.tracer
+                        .emit(now.nanos(), || ProtocolEvent::Settled { seq, complete });
+                    if complete {
+                        if let Some(sa) = &self.statack {
+                            let t_wait = sa.t_wait();
+                            self.tracer
+                                .emit(now.nanos(), || ProtocolEvent::TWaitUpdated {
+                                    t_wait_nanos: t_wait.as_nanos() as u64,
+                                });
+                        }
+                    }
                 }
                 StatAckOutput::CongestionSuspected { streak } => {
                     out.push(Action::Notice(Notice::CongestionSuspected { streak }));
+                    self.tracer
+                        .emit(now.nanos(), || ProtocolEvent::CongestionSuspected {
+                            streak,
+                        });
                 }
             }
         }
     }
 
     fn begin_failover(&mut self, now: Time, out: &mut Actions) {
-        out.push(Action::Notice(Notice::PrimaryUnresponsive { primary: self.current_primary }));
+        out.push(Action::Notice(Notice::PrimaryUnresponsive {
+            primary: self.current_primary,
+        }));
+        let primary = self.current_primary;
+        self.tracer
+            .emit(now.nanos(), || ProtocolEvent::PrimaryUnresponsive {
+                primary,
+            });
         if self.config.replicas.is_empty() {
             // Nothing to fail over to; keep retrying the primary.
             self.handoff_attempts = 0;
             return;
         }
-        self.health = PrimaryHealth::Probing { since: now, reports: BTreeMap::new() };
+        self.health = PrimaryHealth::Probing {
+            since: now,
+            reports: BTreeMap::new(),
+        };
         for &r in &self.config.replicas {
             if r != self.current_primary {
                 out.push(Action::Unicast {
@@ -358,10 +426,13 @@ impl Sender {
     }
 
     fn finish_failover(&mut self, now: Time, out: &mut Actions) {
-        let PrimaryHealth::Probing { reports, .. } = &self.health else { return };
+        let PrimaryHealth::Probing { reports, .. } = &self.health else {
+            return;
+        };
         // Promote the most up-to-date replica (§2.2.3).
-        let Some((&best, &best_end)) =
-            reports.iter().max_by_key(|(host, end)| (**end, std::cmp::Reverse(host.raw())))
+        let Some((&best, &best_end)) = reports
+            .iter()
+            .max_by_key(|(host, end)| (**end, std::cmp::Reverse(host.raw())))
         else {
             // No replica answered; go back to retrying the old primary.
             self.health = PrimaryHealth::Healthy;
@@ -379,20 +450,37 @@ impl Sender {
             source: self.config.source,
             primary: best,
         };
-        out.push(Action::Unicast { to: best, packet: promote.clone() });
-        out.push(Action::Multicast { scope: TtlScope::Global, packet: promote });
+        out.push(Action::Unicast {
+            to: best,
+            packet: promote.clone(),
+        });
+        out.push(Action::Multicast {
+            scope: TtlScope::Global,
+            packet: promote,
+        });
         // Bring it current from our buffer: everything beyond its log end.
         for (&idx, b) in &self.buffer {
             if idx > best_end || best_end == u64::MAX {
-                out.push(Action::Unicast { to: best, packet: self.data_packet(b) });
+                out.push(Action::Unicast {
+                    to: best,
+                    packet: self.data_packet(b),
+                });
             }
         }
         self.next_handoff_at = Some(now + self.config.handoff_retry);
         out.push(Action::Notice(Notice::Promoted { new_primary: best }));
+        self.tracer
+            .emit(now.nanos(), || ProtocolEvent::FailoverPromoted {
+                new_primary: best,
+            });
     }
 }
 
 impl Machine for Sender {
+    fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
+    }
+
     fn on_start(&mut self, now: Time, out: &mut Actions) {
         if self.started {
             return;
@@ -403,15 +491,18 @@ impl Machine for Sender {
             let mut events = Vec::new();
             sa.poll(now, &mut events);
             self.statack = Some(sa);
-            self.drain_statack(events, out);
+            self.drain_statack(now, events, out);
         }
     }
 
     fn on_packet(&mut self, now: Time, from: HostId, packet: Packet, out: &mut Actions) {
         match packet {
-            Packet::LogAck { group, source, primary_seq, replica_seq }
-                if group == self.config.group && source == self.config.source =>
-            {
+            Packet::LogAck {
+                group,
+                source,
+                primary_seq,
+                replica_seq,
+            } if group == self.config.group && source == self.config.source => {
                 if from == self.current_primary {
                     self.handoff_attempts = 0;
                     let release = if self.config.require_replica_ack {
@@ -419,7 +510,7 @@ impl Machine for Sender {
                     } else {
                         primary_seq
                     };
-                    self.release_through(release, out);
+                    self.release_through(now, release, out);
                     if !self.buffer.is_empty() && self.next_handoff_at.is_none() {
                         self.next_handoff_at = Some(now + self.config.handoff_retry);
                     }
@@ -432,12 +523,24 @@ impl Machine for Sender {
                     }
                 }
             }
-            Packet::Nack { group, source, requester, ranges }
-                if group == self.config.group && source == self.config.source =>
-            {
+            Packet::Nack {
+                group,
+                source,
+                requester,
+                ranges,
+            } if group == self.config.group && source == self.config.source => {
                 // Serve retransmissions from the retained buffer (the
                 // primary recovering packets it never saw, or receivers in
                 // a logger-less deployment).
+                let packets: u32 = ranges
+                    .iter()
+                    .map(|r| r.len().min(u64::from(u32::MAX)) as u32)
+                    .sum();
+                self.tracer
+                    .emit(now.nanos(), || ProtocolEvent::NackReceived {
+                        from: requester,
+                        packets,
+                    });
                 for range in ranges {
                     for seq in range.iter().take(256) {
                         let idx = self.unwrapper.peek(seq);
@@ -451,29 +554,43 @@ impl Machine for Sender {
                                     payload: b.payload.clone(),
                                 },
                             });
+                            self.tracer
+                                .emit(now.nanos(), || ProtocolEvent::RetransServed {
+                                    seq: b.seq,
+                                    multicast: false,
+                                });
                         }
                     }
                 }
             }
-            Packet::AckerVolunteer { group, source, epoch, logger }
-                if group == self.config.group && source == self.config.source =>
-            {
+            Packet::AckerVolunteer {
+                group,
+                source,
+                epoch,
+                logger,
+            } if group == self.config.group && source == self.config.source => {
                 if let Some(sa) = &mut self.statack {
                     sa.on_volunteer(logger, epoch);
                 }
             }
-            Packet::PacketAck { group, source, epoch, seq, logger }
-                if group == self.config.group && source == self.config.source =>
-            {
+            Packet::PacketAck {
+                group,
+                source,
+                epoch,
+                seq,
+                logger,
+            } if group == self.config.group && source == self.config.source => {
                 if let Some(sa) = &mut self.statack {
                     let mut events = Vec::new();
                     sa.on_ack(now, logger, epoch, seq, &mut events);
-                    self.drain_statack(events, out);
+                    self.drain_statack(now, events, out);
                 }
             }
-            Packet::LocatePrimary { group, source, requester }
-                if group == self.config.group && source == self.config.source =>
-            {
+            Packet::LocatePrimary {
+                group,
+                source,
+                requester,
+            } if group == self.config.group && source == self.config.source => {
                 out.push(Action::Unicast {
                     to: requester,
                     packet: Packet::PrimaryIs {
@@ -510,6 +627,11 @@ impl Machine for Sender {
                         payload,
                     },
                 });
+                self.tracer
+                    .emit(now.nanos(), || ProtocolEvent::HeartbeatSent {
+                        seq,
+                        hb_index,
+                    });
             } else {
                 break;
             }
@@ -518,7 +640,7 @@ impl Machine for Sender {
         if let Some(sa) = &mut self.statack {
             let mut events = Vec::new();
             sa.poll(now, &mut events);
-            self.drain_statack(events, out);
+            self.drain_statack(now, events, out);
         }
         // Reliable handoff to the primary logger.
         if matches!(self.health, PrimaryHealth::Healthy) {
@@ -586,7 +708,12 @@ mod tests {
     }
 
     fn log_ack(seq: u32) -> Packet {
-        Packet::LogAck { group: GROUP, source: SRC, primary_seq: Seq(seq), replica_seq: Seq(seq) }
+        Packet::LogAck {
+            group: GROUP,
+            source: SRC,
+            primary_seq: Seq(seq),
+            replica_seq: Seq(seq),
+        }
     }
 
     #[test]
@@ -619,7 +746,9 @@ mod tests {
         assert!(s.next_deadline().unwrap() <= Time::from_millis(250));
         s.poll(Time::from_millis(250), &mut out);
         match &sent_packets(&out)[..] {
-            [Packet::Heartbeat { seq, hb_index: 1, .. }] => assert_eq!(*seq, Seq(1)),
+            [Packet::Heartbeat {
+                seq, hb_index: 1, ..
+            }] => assert_eq!(*seq, Seq(1)),
             other => panic!("expected one heartbeat, got {other:?}"),
         }
         out.clear();
@@ -716,7 +845,10 @@ mod tests {
         };
         s.on_packet(Time::from_millis(5), PRIMARY, nack, &mut out);
         match &out[..] {
-            [Action::Unicast { to, packet: Packet::Retrans { seq, payload, .. } }] => {
+            [Action::Unicast {
+                to,
+                packet: Packet::Retrans { seq, payload, .. },
+            }] => {
                 assert_eq!(*to, PRIMARY);
                 assert_eq!(*seq, Seq(1));
                 assert_eq!(payload.as_ref(), b"hello");
@@ -734,7 +866,11 @@ mod tests {
         s.on_packet(
             Time::ZERO,
             asker,
-            Packet::LocatePrimary { group: GROUP, source: SRC, requester: asker },
+            Packet::LocatePrimary {
+                group: GROUP,
+                source: SRC,
+                requester: asker,
+            },
             &mut out,
         );
         assert!(matches!(
@@ -763,7 +899,10 @@ mod tests {
         for _ in 0..60 {
             now = s.next_deadline().unwrap();
             s.poll(now, &mut out);
-            if notices(&out).iter().any(|n| matches!(n, Notice::PrimaryUnresponsive { .. })) {
+            if notices(&out)
+                .iter()
+                .any(|n| matches!(n, Notice::PrimaryUnresponsive { .. }))
+            {
                 break;
             }
         }
@@ -821,7 +960,11 @@ mod tests {
     #[test]
     fn statack_remulticast_resends_data() {
         let mut cfg = SenderConfig::new(GROUP, SRC, HOST, PRIMARY);
-        cfg.statack = Some(StatAckConfig { nsl_initial: 300.0, k: 3, ..StatAckConfig::default() });
+        cfg.statack = Some(StatAckConfig {
+            nsl_initial: 300.0,
+            k: 3,
+            ..StatAckConfig::default()
+        });
         let mut s = Sender::new(cfg);
         let mut out = Actions::new();
         s.on_start(Time::ZERO, &mut out);
@@ -833,7 +976,12 @@ mod tests {
             s.on_packet(
                 Time::ZERO,
                 HostId(h),
-                Packet::AckerVolunteer { group: GROUP, source: SRC, epoch, logger: HostId(h) },
+                Packet::AckerVolunteer {
+                    group: GROUP,
+                    source: SRC,
+                    epoch,
+                    logger: HostId(h),
+                },
                 &mut out,
             );
         }
@@ -851,9 +999,9 @@ mod tests {
             matches!(a, Action::Multicast { packet: Packet::Data { seq, .. }, .. } if *seq == Seq(1))
         });
         assert!(re, "expected re-multicast: {out:?}");
-        assert!(notices(&out)
-            .iter()
-            .any(|n| matches!(n, Notice::StatAckRemulticast { seq, missing_acks: 3 } if *seq == Seq(1))));
+        assert!(notices(&out).iter().any(
+            |n| matches!(n, Notice::StatAckRemulticast { seq, missing_acks: 3 } if *seq == Seq(1))
+        ));
     }
 
     #[test]

@@ -252,13 +252,27 @@ impl StatAck {
     }
 
     /// Records a per-packet ACK.
-    pub fn on_ack(&mut self, now: Time, host: HostId, epoch: EpochId, seq: Seq, out: &mut Vec<StatAckOutput>) {
+    pub fn on_ack(
+        &mut self,
+        now: Time,
+        host: HostId,
+        epoch: EpochId,
+        seq: Seq,
+        out: &mut Vec<StatAckOutput>,
+    ) {
         if self.blacklist.contains(&host) {
             return;
         }
-        let legitimate =
-            self.epoch_ackers.get(&epoch).is_some_and(|s| s.contains(&host));
-        if !legitimate {
+        // Only the two most recent epochs' acker sets are retained. An ACK
+        // for an epoch we no longer track is a *stale* ACK from a slow but
+        // legitimate Designated Acker (its epoch aged out while the ACK was
+        // in flight), not evidence of a faulty host — drop it without
+        // feeding the hotlist. §2.3.3's hotlist is only for hosts acking an
+        // epoch they verifiably were not selected for.
+        let Some(selected) = self.epoch_ackers.get(&epoch) else {
+            return;
+        };
+        if !selected.contains(&host) {
             let n = self.bogus_acks.entry(host).or_insert(0);
             *n += 1;
             if *n >= self.config.hotlist_threshold {
@@ -267,22 +281,33 @@ impl StatAck {
             return;
         }
         let idx = self.unwrapper.peek(seq);
-        let Some(track) = self.outstanding.get_mut(&idx) else { return };
+        let Some(track) = self.outstanding.get_mut(&idx) else {
+            return;
+        };
         if track.epoch != epoch {
             return;
         }
         track.acked_by.insert(host);
         if track.acked_by.len() >= track.expected {
             // Last expected ACK: feed the t_wait estimator (§2.3.2).
-            let rtt = now.since(track.sent_at);
-            let a = self.config.t_wait_alpha;
-            self.t_wait = Duration::from_secs_f64(
-                a * rtt.as_secs_f64() + (1.0 - a) * self.t_wait.as_secs_f64(),
-            );
+            // Karn's rule: once a packet has been re-multicast, `now -
+            // sent_at` is ambiguous (the ACK may answer either copy) and
+            // always spans at least one extra t_wait window, so retried
+            // packets contribute no sample.
+            if track.remulticasts == 0 {
+                let rtt = now.since(track.sent_at);
+                let a = self.config.t_wait_alpha;
+                self.t_wait = Duration::from_secs_f64(
+                    a * rtt.as_secs_f64() + (1.0 - a) * self.t_wait.as_secs_f64(),
+                );
+            }
             let seq = track.seq;
             self.outstanding.remove(&idx);
             self.incomplete_streak = 0;
-            out.push(StatAckOutput::Settled { seq, complete: true });
+            out.push(StatAckOutput::Settled {
+                seq,
+                complete: true,
+            });
         }
     }
 
@@ -314,15 +339,11 @@ impl StatAck {
                     // count is a Bolot probe sample.
                     match probe.record_round(volunteers.len() as u64) {
                         ProbeStatus::Done(estimate) => {
-                            self.nsl = NslEstimator::new(
-                                estimate.max(1.0),
-                                self.config.nsl_alpha,
-                            );
+                            self.nsl = NslEstimator::new(estimate.max(1.0), self.config.nsl_alpha);
                             self.probe = None;
                         }
                         ProbeStatus::Escalated | ProbeStatus::NeedMoreRounds => {
-                            self.next_selection_at =
-                                self.next_selection_at.min(now + quick_retry);
+                            self.next_selection_at = self.next_selection_at.min(now + quick_retry);
                         }
                     }
                 } else if volunteers.is_empty() {
@@ -339,7 +360,8 @@ impl StatAck {
                 self.epoch_ackers.insert(epoch, volunteers.clone());
                 // Keep only the two most recent epochs' acker sets.
                 let keep_prev = EpochId(epoch.raw().wrapping_sub(1));
-                self.epoch_ackers.retain(|e, _| *e == epoch || *e == keep_prev);
+                self.epoch_ackers
+                    .retain(|e, _| *e == epoch || *e == keep_prev);
                 self.pending = None;
                 out.push(StatAckOutput::EpochActive {
                     epoch,
@@ -355,9 +377,8 @@ impl StatAck {
                 Some(probe) => probe.current_p(),
                 None => self.nsl.p_ack_for(self.config.k),
             };
-            let wait = Duration::from_secs_f64(
-                self.t_wait.as_secs_f64() * self.config.select_wait_factor,
-            );
+            let wait =
+                Duration::from_secs_f64(self.t_wait.as_secs_f64() * self.config.select_wait_factor);
             self.pending = Some((epoch, p, BTreeSet::new(), now + wait));
             self.next_selection_at = now + self.config.epoch_interval;
             out.push(StatAckOutput::StartSelection { epoch, p_ack: p });
@@ -365,7 +386,9 @@ impl StatAck {
         // Per-packet deadlines.
         let idxs: Vec<u64> = self.outstanding.keys().copied().collect();
         for idx in idxs {
-            let Some(track) = self.outstanding.get_mut(&idx) else { continue };
+            let Some(track) = self.outstanding.get_mut(&idx) else {
+                continue;
+            };
             if !track.decided && now >= track.decide_at {
                 track.decided = true;
                 let missing = track.expected.saturating_sub(track.acked_by.len());
@@ -380,11 +403,16 @@ impl StatAck {
                         track.decided = false;
                         track.decide_at = now + self.t_wait;
                         track.closes_at = now + 2 * self.t_wait;
-                        out.push(StatAckOutput::Remulticast { seq: track.seq, missing });
+                        out.push(StatAckOutput::Remulticast {
+                            seq: track.seq,
+                            missing,
+                        });
                     }
                 }
             }
-            let Some(track) = self.outstanding.get(&idx) else { continue };
+            let Some(track) = self.outstanding.get(&idx) else {
+                continue;
+            };
             if now >= track.closes_at {
                 let complete = track.acked_by.len() >= track.expected;
                 let seq = track.seq;
@@ -419,7 +447,11 @@ mod tests {
 
     fn engine(k: usize, nsl: f64) -> StatAck {
         StatAck::new(
-            StatAckConfig { k, nsl_initial: nsl, ..StatAckConfig::default() },
+            StatAckConfig {
+                k,
+                nsl_initial: nsl,
+                ..StatAckConfig::default()
+            },
             T0,
         )
     }
@@ -442,8 +474,10 @@ mod tests {
         let mut out = Vec::new();
         e.poll(now, &mut out);
         assert!(
-            out.iter().any(|o| matches!(o, StatAckOutput::EpochActive { epoch: ep, ackers, .. }
-                if *ep == epoch && *ackers == volunteers.len())),
+            out.iter().any(
+                |o| matches!(o, StatAckOutput::EpochActive { epoch: ep, ackers, .. }
+                if *ep == epoch && *ackers == volunteers.len())
+            ),
             "no EpochActive in {out:?}"
         );
         (epoch, now)
@@ -470,7 +504,13 @@ mod tests {
         e.on_ack(ack_at, HostId(1), epoch, Seq(33), &mut out);
         assert!(out.is_empty());
         e.on_ack(ack_at, HostId(2), epoch, Seq(33), &mut out);
-        assert_eq!(out, vec![StatAckOutput::Settled { seq: Seq(33), complete: true }]);
+        assert_eq!(
+            out,
+            vec![StatAckOutput::Settled {
+                seq: Seq(33),
+                complete: true
+            }]
+        );
         // t_wait moved toward the 50 ms sample.
         assert!(e.t_wait() < t_wait_before);
     }
@@ -484,21 +524,47 @@ mod tests {
         let (epoch, now) = activate_epoch(&mut e, &ackers, T0);
         e.on_data_sent(now, Seq(33));
         let mut out = Vec::new();
-        e.on_ack(now + Duration::from_millis(10), HostId(1), epoch, Seq(33), &mut out);
-        e.on_ack(now + Duration::from_millis(12), HostId(2), epoch, Seq(33), &mut out);
+        e.on_ack(
+            now + Duration::from_millis(10),
+            HostId(1),
+            epoch,
+            Seq(33),
+            &mut out,
+        );
+        e.on_ack(
+            now + Duration::from_millis(12),
+            HostId(2),
+            epoch,
+            Seq(33),
+            &mut out,
+        );
         assert!(out.is_empty());
         // t_wait passes with one ACK missing.
         let deadline = e.next_deadline().unwrap();
         e.poll(deadline, &mut out);
         assert!(
-            out.iter().any(|o| matches!(o, StatAckOutput::Remulticast { seq, missing: 1 }
-                if *seq == Seq(33))),
+            out.iter().any(
+                |o| matches!(o, StatAckOutput::Remulticast { seq, missing: 1 }
+                if *seq == Seq(33))
+            ),
             "no remulticast in {out:?}"
         );
         // After the re-multicast the third ACK arrives and settles it.
         out.clear();
-        e.on_ack(deadline + Duration::from_millis(5), HostId(3), epoch, Seq(33), &mut out);
-        assert_eq!(out, vec![StatAckOutput::Settled { seq: Seq(33), complete: true }]);
+        e.on_ack(
+            deadline + Duration::from_millis(5),
+            HostId(3),
+            epoch,
+            Seq(33),
+            &mut out,
+        );
+        assert_eq!(
+            out,
+            vec![StatAckOutput::Settled {
+                seq: Seq(33),
+                complete: true
+            }]
+        );
     }
 
     #[test]
@@ -517,22 +583,41 @@ mod tests {
         let (epoch, now) = activate_epoch(&mut e, &ackers, T0);
         e.on_data_sent(now, Seq(1));
         let mut out = Vec::new();
-        e.on_ack(now + Duration::from_millis(10), HostId(1), epoch, Seq(1), &mut out);
-        e.on_ack(now + Duration::from_millis(10), HostId(2), epoch, Seq(1), &mut out);
+        e.on_ack(
+            now + Duration::from_millis(10),
+            HostId(1),
+            epoch,
+            Seq(1),
+            &mut out,
+        );
+        e.on_ack(
+            now + Duration::from_millis(10),
+            HostId(2),
+            epoch,
+            Seq(1),
+            &mut out,
+        );
         // Deadline passes; 1 missing ack × (3/3 sites-per-acker) = 1 < 2.
         while let Some(d) = e.next_deadline() {
             if d > Time::from_secs(3600) {
                 break;
             }
             e.poll(d, &mut out);
-            if out.iter().any(|o| matches!(o, StatAckOutput::Settled { .. })) {
+            if out
+                .iter()
+                .any(|o| matches!(o, StatAckOutput::Settled { .. }))
+            {
                 break;
             }
         }
-        assert!(!out.iter().any(|o| matches!(o, StatAckOutput::Remulticast { .. })), "{out:?}");
-        assert!(out
-            .iter()
-            .any(|o| matches!(o, StatAckOutput::Settled { seq, complete: false } if *seq == Seq(1))));
+        assert!(
+            !out.iter()
+                .any(|o| matches!(o, StatAckOutput::Remulticast { .. })),
+            "{out:?}"
+        );
+        assert!(out.iter().any(
+            |o| matches!(o, StatAckOutput::Settled { seq, complete: false } if *seq == Seq(1))
+        ));
     }
 
     #[test]
@@ -550,13 +635,21 @@ mod tests {
             }
             out.clear();
             e.poll(d, &mut out);
-            remulticasts +=
-                out.iter().filter(|o| matches!(o, StatAckOutput::Remulticast { .. })).count();
-            if out.iter().any(|o| matches!(o, StatAckOutput::Settled { .. })) {
+            remulticasts += out
+                .iter()
+                .filter(|o| matches!(o, StatAckOutput::Remulticast { .. }))
+                .count();
+            if out
+                .iter()
+                .any(|o| matches!(o, StatAckOutput::Settled { .. }))
+            {
                 break;
             }
         }
-        assert_eq!(remulticasts, StatAckConfig::default().max_remulticasts as usize);
+        assert_eq!(
+            remulticasts,
+            StatAckConfig::default().max_remulticasts as usize
+        );
     }
 
     #[test]
@@ -621,7 +714,9 @@ mod tests {
         e.on_data_sent(T0, Seq(1));
         let mut out = Vec::new();
         e.poll(T0 + Duration::from_secs(10), &mut out);
-        assert!(!out.iter().any(|o| matches!(o, StatAckOutput::Remulticast { .. })));
+        assert!(!out
+            .iter()
+            .any(|o| matches!(o, StatAckOutput::Remulticast { .. })));
     }
 
     #[test]
@@ -684,7 +779,10 @@ mod tests {
                 let Some(d) = e.next_deadline() else { break };
                 e.poll(d, &mut out);
                 now = d;
-                if out.iter().any(|o| matches!(o, StatAckOutput::Settled { .. })) {
+                if out
+                    .iter()
+                    .any(|o| matches!(o, StatAckOutput::Settled { .. }))
+                {
                     break;
                 }
             }
@@ -709,6 +807,149 @@ mod tests {
             .iter()
             .any(|o| matches!(o, StatAckOutput::Settled { complete: true, .. })));
         assert_eq!(e.incomplete_streak, 0);
+    }
+
+    /// Drives the engine from `now` through one full selection cycle
+    /// (StartSelection → volunteers → EpochActive) and returns the new
+    /// epoch and the activation time.
+    fn advance_epoch(e: &mut StatAck, volunteers: &[HostId], now: Time) -> (EpochId, Time) {
+        let mut out = Vec::new();
+        e.poll(now, &mut out);
+        let epoch = out
+            .iter()
+            .find_map(|o| match o {
+                StatAckOutput::StartSelection { epoch, .. } => Some(*epoch),
+                _ => None,
+            })
+            .unwrap_or_else(|| panic!("no StartSelection in {out:?}"));
+        for &v in volunteers {
+            e.on_volunteer(v, epoch);
+        }
+        for _ in 0..20 {
+            let d = e.next_deadline().unwrap();
+            out.clear();
+            e.poll(d, &mut out);
+            if out
+                .iter()
+                .any(|o| matches!(o, StatAckOutput::EpochActive { epoch: ep, .. } if *ep == epoch))
+            {
+                return (epoch, d);
+            }
+        }
+        panic!("epoch {epoch:?} never activated");
+    }
+
+    #[test]
+    fn stale_epoch_acks_are_ignored_not_hostile() {
+        // Regression: an ACK for an epoch evicted from `epoch_ackers`
+        // (older than current + previous) used to count toward the
+        // §2.3.3 hotlist and could permanently blacklist a legitimate,
+        // merely slow Designated Acker.
+        let interval = StatAckConfig::default().epoch_interval;
+        let mut e = engine(2, 20.0);
+        let slow = HostId(1);
+        let (old_epoch, now) = activate_epoch(&mut e, &[slow, HostId(2)], T0);
+        // Two more epochs activate, evicting `old_epoch`'s acker set.
+        let (_, now) = advance_epoch(&mut e, &[HostId(3)], now + interval);
+        let (_, now) = advance_epoch(&mut e, &[HostId(4)], now + interval);
+        // The slow acker's very late ACKs for the evicted epoch arrive.
+        let mut out = Vec::new();
+        for i in 0..StatAckConfig::default().hotlist_threshold + 2 {
+            e.on_ack(now, slow, old_epoch, Seq(i), &mut out);
+        }
+        assert!(
+            !e.blacklist().contains(&slow),
+            "stale ACKs must not blacklist a legitimate acker"
+        );
+        // The host can still volunteer and ACK in a later epoch.
+        let (new_epoch, now) = advance_epoch(&mut e, &[slow], now + interval);
+        e.on_data_sent(now, Seq(70));
+        out.clear();
+        e.on_ack(
+            now + Duration::from_millis(10),
+            slow,
+            new_epoch,
+            Seq(70),
+            &mut out,
+        );
+        assert_eq!(
+            out,
+            vec![StatAckOutput::Settled {
+                seq: Seq(70),
+                complete: true
+            }]
+        );
+    }
+
+    #[test]
+    fn remulticast_acks_skip_t_wait_sample_karn() {
+        // Regression (Karn's rule): after a re-multicast the completing
+        // ACK spans at least one extra t_wait window and may answer
+        // either copy, so it must not feed the t_wait EWMA.
+        let mut e = engine(3, 300.0);
+        let ackers = [HostId(1), HostId(2), HostId(3)];
+        let (epoch, now) = activate_epoch(&mut e, &ackers, T0);
+        e.on_data_sent(now, Seq(33));
+        let mut out = Vec::new();
+        e.on_ack(
+            now + Duration::from_millis(10),
+            HostId(1),
+            epoch,
+            Seq(33),
+            &mut out,
+        );
+        e.on_ack(
+            now + Duration::from_millis(12),
+            HostId(2),
+            epoch,
+            Seq(33),
+            &mut out,
+        );
+        let deadline = e.next_deadline().unwrap();
+        e.poll(deadline, &mut out);
+        assert!(
+            out.iter()
+                .any(|o| matches!(o, StatAckOutput::Remulticast { .. })),
+            "{out:?}"
+        );
+        let t_wait_before = e.t_wait();
+        out.clear();
+        e.on_ack(
+            deadline + Duration::from_millis(5),
+            HostId(3),
+            epoch,
+            Seq(33),
+            &mut out,
+        );
+        assert_eq!(
+            out,
+            vec![StatAckOutput::Settled {
+                seq: Seq(33),
+                complete: true
+            }]
+        );
+        assert_eq!(
+            e.t_wait(),
+            t_wait_before,
+            "retried packet fed the t_wait EWMA"
+        );
+        // An un-retried packet still updates the estimator.
+        let fresh_now = deadline + Duration::from_millis(20);
+        e.on_data_sent(fresh_now, Seq(34));
+        out.clear();
+        for &h in &ackers {
+            e.on_ack(
+                fresh_now + Duration::from_millis(40),
+                h,
+                epoch,
+                Seq(34),
+                &mut out,
+            );
+        }
+        assert!(out
+            .iter()
+            .any(|o| matches!(o, StatAckOutput::Settled { complete: true, .. })));
+        assert_ne!(e.t_wait(), t_wait_before);
     }
 
     #[test]
@@ -737,8 +978,8 @@ mod tests {
         out.clear();
         e.on_ack(switch, HostId(1), old_epoch, Seq(7), &mut out);
         e.on_ack(switch, HostId(2), old_epoch, Seq(7), &mut out);
-        assert!(out
-            .iter()
-            .any(|o| matches!(o, StatAckOutput::Settled { seq, complete: true } if *seq == Seq(7))));
+        assert!(out.iter().any(
+            |o| matches!(o, StatAckOutput::Settled { seq, complete: true } if *seq == Seq(7))
+        ));
     }
 }

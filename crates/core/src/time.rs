@@ -60,7 +60,10 @@ impl Add<Duration> for Time {
 
     #[inline]
     fn add(self, d: Duration) -> Time {
-        Time(self.0.saturating_add(d.as_nanos().min(u128::from(u64::MAX)) as u64))
+        Time(
+            self.0
+                .saturating_add(d.as_nanos().min(u128::from(u64::MAX)) as u64),
+        )
     }
 }
 
@@ -114,6 +117,6 @@ mod tests {
         assert_eq!(earliest(a, b), b);
         assert_eq!(earliest(a, None), a);
         assert_eq!(earliest(None, b), b);
-        assert_eq!(earliest::<>(None, None), None);
+        assert_eq!(earliest(None, None), None);
     }
 }

@@ -1,4 +1,9 @@
-//! Property tests for the protocol's core data structures and schedules.
+//! Randomized property tests for the protocol's core data structures
+//! and schedules.
+//!
+//! The crates.io `proptest` harness is unavailable offline, so these
+//! run as seeded randomized loops (deterministic per seed — a failure
+//! reproduces by rerunning the test).
 
 use std::collections::BTreeSet;
 use std::time::Duration;
@@ -9,24 +14,40 @@ use lbrm_core::heartbeat::{analysis, HeartbeatConfig, VariableHeartbeat};
 use lbrm_core::logstore::{LogStore, Retention};
 use lbrm_core::time::Time;
 use lbrm_wire::Seq;
-use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+const CASES: usize = 256;
+
+fn rng(seed: u64) -> SmallRng {
+    SmallRng::seed_from_u64(seed)
+}
+
+fn vec_of(r: &mut SmallRng, hi: u32, min_len: usize, max_len: usize) -> Vec<u32> {
+    let len = r.random_range(min_len as u64..max_len as u64) as usize;
+    (0..len)
+        .map(|_| r.random_range(0u64..u64::from(hi)) as u32)
+        .collect()
+}
 
 /// Model-based test: the gap tracker against a naive reference set.
 fn reference_missing(observed: &[u32]) -> BTreeSet<u32> {
-    let Some(&first) = observed.first() else { return BTreeSet::new() };
+    let Some(&first) = observed.first() else {
+        return BTreeSet::new();
+    };
     let max = *observed.iter().max().unwrap();
     let have: BTreeSet<u32> = observed.iter().copied().collect();
     (first..=max).filter(|s| !have.contains(s)).collect()
 }
 
-proptest! {
-    /// Arbitrary observation orders (no wraparound, ±2000 window) agree
-    /// with a reference set model.
-    #[test]
-    fn gap_tracker_matches_reference(
-        base in 1000u32..2_000_000,
-        offsets in proptest::collection::vec(0u32..2000, 1..80),
-    ) {
+/// Arbitrary observation orders (no wraparound, ±2000 window) agree
+/// with a reference set model.
+#[test]
+fn gap_tracker_matches_reference() {
+    let mut r = rng(0x6A9);
+    for _ in 0..CASES {
+        let base = r.random_range(1000u64..2_000_000) as u32;
+        let offsets = vec_of(&mut r, 2000, 1, 80);
         let seqs: Vec<u32> = offsets.iter().map(|o| base + o).collect();
         let mut tracker = GapTracker::new();
         for &s in &seqs {
@@ -36,94 +57,116 @@ proptest! {
         // reference must too. Everything before the first observed seq is
         // out of scope.
         let first = seqs[0];
-        let missing_ref: BTreeSet<u32> =
-            reference_missing(&seqs).into_iter().filter(|&s| s > first).collect();
+        let missing_ref: BTreeSet<u32> = reference_missing(&seqs)
+            .into_iter()
+            .filter(|&s| s > first)
+            .collect();
         let mut missing_got = BTreeSet::new();
-        for r in tracker.missing_ranges(usize::MAX >> 1) {
-            for s in r.iter() {
+        for rr in tracker.missing_ranges(usize::MAX >> 1) {
+            for s in rr.iter() {
                 missing_got.insert(s.raw());
             }
         }
-        prop_assert_eq!(missing_got, missing_ref);
+        assert_eq!(missing_got, missing_ref);
         // Highest matches.
-        prop_assert_eq!(tracker.highest().map(|s| s.raw()), seqs.iter().copied().max());
+        assert_eq!(
+            tracker.highest().map(|s| s.raw()),
+            seqs.iter().copied().max()
+        );
     }
+}
 
-    /// Ranges returned are ascending, disjoint, and non-adjacent.
-    #[test]
-    fn gap_ranges_are_canonical(
-        offsets in proptest::collection::vec(0u32..500, 1..60),
-    ) {
+/// Ranges returned are ascending, disjoint, and non-adjacent.
+#[test]
+fn gap_ranges_are_canonical() {
+    let mut r = rng(0xCA40);
+    for _ in 0..CASES {
+        let offsets = vec_of(&mut r, 500, 1, 60);
         let mut tracker = GapTracker::new();
         for &o in &offsets {
             tracker.observe(Seq(10_000 + o));
         }
         let ranges = tracker.missing_ranges(usize::MAX >> 1);
         for w in ranges.windows(2) {
-            prop_assert!(w[0].last.raw() + 1 < w[1].first.raw());
+            assert!(w[0].last.raw() + 1 < w[1].first.raw());
         }
-        for r in &ranges {
-            prop_assert!(!r.is_empty());
+        for rr in &ranges {
+            assert!(!rr.is_empty());
         }
     }
+}
 
-    /// Filling every reported gap leaves the tracker complete.
-    #[test]
-    fn filling_all_gaps_completes(
-        offsets in proptest::collection::vec(0u32..300, 1..40),
-    ) {
+/// Filling every reported gap leaves the tracker complete.
+#[test]
+fn filling_all_gaps_completes() {
+    let mut r = rng(0xF111);
+    for _ in 0..CASES {
+        let offsets = vec_of(&mut r, 300, 1, 40);
         let mut tracker = GapTracker::new();
         for &o in &offsets {
             tracker.observe(Seq(500 + o));
         }
         let ranges = tracker.missing_ranges(usize::MAX >> 1);
-        for r in ranges {
-            for s in r.iter() {
+        for rr in ranges {
+            for s in rr.iter() {
                 tracker.observe(s);
             }
         }
-        prop_assert_eq!(tracker.missing_count(), 0);
+        assert_eq!(tracker.missing_count(), 0);
     }
+}
 
-    /// The variable heartbeat schedule: deadlines strictly increase,
-    /// intervals are monotonically non-decreasing and within
-    /// [h_min, h_max].
-    #[test]
-    fn heartbeat_schedule_invariants(
-        h_min_ms in 10u64..1000,
-        factor in 1u32..200,
-        backoff in 1.1f64..8.0,
-        steps in 1usize..40,
-    ) {
-        let h_min = Duration::from_millis(h_min_ms);
+/// The variable heartbeat schedule: deadlines strictly increase,
+/// intervals are monotonically non-decreasing and within
+/// [h_min, h_max].
+#[test]
+fn heartbeat_schedule_invariants() {
+    let mut r = rng(0x48EA);
+    for _ in 0..CASES {
+        let h_min = Duration::from_millis(r.random_range(10u64..1000));
+        let factor = r.random_range(1u64..200) as u32;
+        let backoff = r.random_range(1.1f64..8.0);
+        let steps = r.random_range(1u64..40) as usize;
         let h_max = h_min * factor;
-        let cfg = HeartbeatConfig { h_min, h_max, backoff };
+        let cfg = HeartbeatConfig {
+            h_min,
+            h_max,
+            backoff,
+        };
         let mut hb = VariableHeartbeat::new(cfg);
         hb.on_data_sent(Time::ZERO);
         let mut prev_fire = Time::ZERO;
         let mut prev_interval = Duration::ZERO;
         for i in 0..steps {
             let fire = hb.next_heartbeat_at().unwrap();
-            prop_assert!(fire > prev_fire);
+            assert!(fire > prev_fire);
             let interval = fire - prev_fire;
-            prop_assert!(interval >= prev_interval || i == 0);
+            assert!(interval >= prev_interval || i == 0);
             // Tolerance for f64 rounding of the backoff arithmetic.
             let tol = Duration::from_nanos(10);
-            prop_assert!(interval + tol >= h_min, "interval {interval:?} < h_min {h_min:?}");
-            prop_assert!(interval <= h_max + tol, "interval {interval:?} > h_max {h_max:?}");
-            prop_assert_eq!(hb.on_heartbeat_sent(fire), (i + 1) as u32);
+            assert!(
+                interval + tol >= h_min,
+                "interval {interval:?} < h_min {h_min:?}"
+            );
+            assert!(
+                interval <= h_max + tol,
+                "interval {interval:?} > h_max {h_max:?}"
+            );
+            assert_eq!(hb.on_heartbeat_sent(fire), (i + 1) as u32);
             prev_interval = interval;
             prev_fire = fire;
         }
     }
+}
 
-    /// The variable scheme never sends more heartbeats than the fixed
-    /// scheme for any interval and parameters (§2.1.2).
-    #[test]
-    fn variable_overhead_never_exceeds_fixed(
-        dt in 0.01f64..5000.0,
-        backoff in 1.0f64..6.0,
-    ) {
+/// The variable scheme never sends more heartbeats than the fixed
+/// scheme for any interval and parameters (§2.1.2).
+#[test]
+fn variable_overhead_never_exceeds_fixed() {
+    let mut r = rng(0x0F48);
+    for _ in 0..CASES {
+        let dt = r.random_range(0.01f64..5000.0);
+        let backoff = r.random_range(1.0f64..6.0);
         let cfg = HeartbeatConfig {
             h_min: Duration::from_millis(250),
             h_max: Duration::from_secs(32),
@@ -131,16 +174,18 @@ proptest! {
         };
         let v = analysis::variable_heartbeats_per_interval(dt, &cfg);
         let f = analysis::fixed_heartbeats_per_interval(dt, 0.25);
-        prop_assert!(v <= f, "dt={dt} backoff={backoff}: {v} > {f}");
+        assert!(v <= f, "dt={dt} backoff={backoff}: {v} > {f}");
     }
+}
 
-    /// Log store: `contiguous_high` never claims a sequence that was not
-    /// inserted, under any insertion order and Count retention.
-    #[test]
-    fn logstore_contiguity_is_sound(
-        offsets in proptest::collection::vec(0u32..120, 1..60),
-        keep in 1usize..20,
-    ) {
+/// Log store: `contiguous_high` never claims a sequence that was not
+/// inserted, under any insertion order and Count retention.
+#[test]
+fn logstore_contiguity_is_sound() {
+    let mut r = rng(0x106);
+    for _ in 0..CASES {
+        let offsets = vec_of(&mut r, 120, 1, 60);
+        let keep = r.random_range(1u64..20) as usize;
         let mut log = LogStore::new(Retention::Count(keep));
         let mut inserted = BTreeSet::new();
         let base = 100u32;
@@ -151,27 +196,28 @@ proptest! {
         if let Some(high) = log.contiguous_high() {
             let first = *inserted.iter().next().unwrap();
             for s in first..=high.raw() {
-                prop_assert!(inserted.contains(&s),
-                    "contiguous_high {high} covers never-inserted {s}");
+                assert!(
+                    inserted.contains(&s),
+                    "contiguous_high {high} covers never-inserted {s}"
+                );
             }
         }
-        prop_assert!(log.len() <= keep);
+        assert!(log.len() <= keep);
     }
+}
 
-    /// Whatever the store still holds is returned verbatim.
-    #[test]
-    fn logstore_get_returns_inserted_payload(
-        seqs in proptest::collection::btree_set(0u32..200, 1..50),
-    ) {
+/// Whatever the store still holds is returned verbatim.
+#[test]
+fn logstore_get_returns_inserted_payload() {
+    let mut r = rng(0x9E7);
+    for _ in 0..CASES {
+        let seqs: BTreeSet<u32> = vec_of(&mut r, 200, 1, 50).into_iter().collect();
         let mut log = LogStore::new(Retention::All);
         for &s in &seqs {
             log.insert(Time::ZERO, Seq(1000 + s), Bytes::from(format!("p{s}")));
         }
         for &s in &seqs {
-            prop_assert_eq!(
-                log.get(Seq(1000 + s)),
-                Some(Bytes::from(format!("p{s}")))
-            );
+            assert_eq!(log.get(Seq(1000 + s)), Some(Bytes::from(format!("p{s}"))));
         }
     }
 }

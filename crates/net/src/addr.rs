@@ -39,7 +39,10 @@ impl GroupMap {
     /// A map assigning every group a `239.195.x.y:port` address derived
     /// from its id.
     pub fn new(port: u16) -> Self {
-        GroupMap { port, overrides: HashMap::new() }
+        GroupMap {
+            port,
+            overrides: HashMap::new(),
+        }
     }
 
     /// Overrides the address of one group.
@@ -102,7 +105,10 @@ mod tests {
         assert!(a.ip().is_multicast());
         assert_eq!(*a.ip(), Ipv4Addr::new(239, 195, 0, 1));
         assert_eq!(a.port(), GroupMap::DEFAULT_PORT);
-        assert_eq!(*m.addr(GroupId(0x1234)).ip(), Ipv4Addr::new(239, 195, 0x12, 0x34));
+        assert_eq!(
+            *m.addr(GroupId(0x1234)).ip(),
+            Ipv4Addr::new(239, 195, 0x12, 0x34)
+        );
     }
 
     #[test]

@@ -1,4 +1,4 @@
-//! The endpoint driver: one protocol machine + one transport + tokio.
+//! The endpoint driver: one protocol machine + one transport + a thread.
 //!
 //! The driver loop mirrors what the simulator does deterministically:
 //! feed arriving packets to the machine, call `poll` when its deadline
@@ -6,13 +6,11 @@
 //! [`EndpointHandle`]: closures posted with
 //! [`call`](EndpointHandle::call) run against the machine inside the
 //! loop (e.g. `Sender::send`), and deliveries / notices stream back as
-//! [`EndpointEvent`]s.
+//! [`EndpointEvent`]s. Dropping the handle shuts the endpoint down.
 
 use std::io;
-use std::time::Duration;
-
-use tokio::sync::mpsc;
-use tokio::time::Instant;
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
 
 use lbrm_core::machine::{Action, Actions, Delivery, Machine, Notice};
 use lbrm_core::time::Time;
@@ -31,6 +29,10 @@ pub enum EndpointEvent {
 
 type Command<M> = Box<dyn FnOnce(&mut M, Time, &mut Actions) + Send>;
 
+/// Upper bound on one receive wait, so posted commands are picked up
+/// promptly even while the machine has no imminent deadline.
+const MAX_WAIT: Duration = Duration::from_millis(10);
+
 /// The application's handle to a running [`Endpoint`].
 pub struct EndpointHandle<M> {
     cmd_tx: mpsc::Sender<Command<M>>,
@@ -43,24 +45,24 @@ impl<M: Machine> EndpointHandle<M> {
     /// # Errors
     ///
     /// When the endpoint has shut down.
-    pub async fn call(
+    pub fn call(
         &self,
         f: impl FnOnce(&mut M, Time, &mut Actions) + Send + 'static,
     ) -> io::Result<()> {
         self.cmd_tx
             .send(Box::new(f))
-            .await
             .map_err(|_| io::Error::new(io::ErrorKind::BrokenPipe, "endpoint closed"))
     }
 
-    /// Receives the next event, or `None` after shutdown.
-    pub async fn event(&mut self) -> Option<EndpointEvent> {
-        self.events.recv().await
+    /// Receives the next event, blocking; `None` after shutdown.
+    pub fn event(&mut self) -> Option<EndpointEvent> {
+        self.events.recv().ok()
     }
 
-    /// Receives the next event within `timeout`.
-    pub async fn event_timeout(&mut self, timeout: Duration) -> Option<EndpointEvent> {
-        tokio::time::timeout(timeout, self.events.recv()).await.ok().flatten()
+    /// Receives the next event within `timeout`; `None` on timeout or
+    /// shutdown.
+    pub fn event_timeout(&mut self, timeout: Duration) -> Option<EndpointEvent> {
+        self.events.recv_timeout(timeout).ok()
     }
 }
 
@@ -70,18 +72,30 @@ pub struct Endpoint<M: Machine, T: Transport> {
     transport: T,
     groups: Vec<GroupId>,
     cmd_rx: mpsc::Receiver<Command<M>>,
-    event_tx: mpsc::Sender<EndpointEvent>,
+    event_tx: mpsc::SyncSender<EndpointEvent>,
 }
 
 impl<M: Machine + Send + 'static, T: Transport> Endpoint<M, T> {
     /// Pairs a machine with a transport; `groups` are joined at startup.
     pub fn new(machine: M, transport: T, groups: Vec<GroupId>) -> (Self, EndpointHandle<M>) {
-        let (cmd_tx, cmd_rx) = mpsc::channel(256);
-        let (event_tx, events) = mpsc::channel(1024);
+        let (cmd_tx, cmd_rx) = mpsc::channel();
+        let (event_tx, events) = mpsc::sync_channel(1024);
         (
-            Endpoint { machine, transport, groups, cmd_rx, event_tx },
+            Endpoint {
+                machine,
+                transport,
+                groups,
+                cmd_rx,
+                event_tx,
+            },
             EndpointHandle { cmd_tx, events },
         )
+    }
+
+    /// Runs the endpoint on a new thread; join the handle for the exit
+    /// status.
+    pub fn spawn(self) -> std::thread::JoinHandle<io::Result<()>> {
+        std::thread::spawn(move || self.run())
     }
 
     /// Runs the endpoint until the handle is dropped or the transport
@@ -90,7 +104,7 @@ impl<M: Machine + Send + 'static, T: Transport> Endpoint<M, T> {
     /// # Errors
     ///
     /// Propagates transport I/O errors.
-    pub async fn run(mut self) -> io::Result<()> {
+    pub fn run(mut self) -> io::Result<()> {
         let origin = Instant::now();
         let now_fn = |origin: Instant| {
             Time::from_nanos(Instant::now().duration_since(origin).as_nanos() as u64)
@@ -100,44 +114,55 @@ impl<M: Machine + Send + 'static, T: Transport> Endpoint<M, T> {
         }
         let mut out = Actions::new();
         self.machine.on_start(now_fn(origin), &mut out);
-        self.execute(&mut out).await?;
+        self.execute(&mut out)?;
 
         loop {
-            let deadline = self
-                .machine
-                .next_deadline()
-                .map(|t| origin + Duration::from_nanos(t.nanos()))
-                .unwrap_or_else(|| Instant::now() + Duration::from_secs(3600));
-            tokio::select! {
-                biased;
-                cmd = self.cmd_rx.recv() => {
-                    let Some(cmd) = cmd else { return Ok(()) }; // handle dropped
-                    let now = now_fn(origin);
-                    cmd(&mut self.machine, now, &mut out);
-                    self.machine.poll(now, &mut out);
-                    self.execute(&mut out).await?;
-                }
-                recv = self.transport.recv() => {
-                    let (from, packet) = recv?;
-                    self.machine.on_packet(now_fn(origin), from, packet, &mut out);
-                    self.execute(&mut out).await?;
-                }
-                _ = tokio::time::sleep_until(deadline) => {
-                    self.machine.poll(now_fn(origin), &mut out);
-                    self.execute(&mut out).await?;
+            // Drain pending application commands; a disconnected channel
+            // means the handle is gone and the endpoint should exit.
+            loop {
+                match self.cmd_rx.try_recv() {
+                    Ok(cmd) => {
+                        let now = now_fn(origin);
+                        cmd(&mut self.machine, now, &mut out);
+                        self.machine.poll(now, &mut out);
+                        self.execute(&mut out)?;
+                    }
+                    Err(mpsc::TryRecvError::Empty) => break,
+                    Err(mpsc::TryRecvError::Disconnected) => return Ok(()),
                 }
             }
+
+            let wait = match self.machine.next_deadline() {
+                Some(t) => {
+                    let now = now_fn(origin);
+                    if t.nanos() <= now.nanos() {
+                        Duration::ZERO
+                    } else {
+                        Duration::from_nanos(t.nanos() - now.nanos()).min(MAX_WAIT)
+                    }
+                }
+                None => MAX_WAIT,
+            };
+            if wait > Duration::ZERO {
+                if let Some((from, packet)) = self.transport.recv_timeout(wait)? {
+                    self.machine
+                        .on_packet(now_fn(origin), from, packet, &mut out);
+                    self.execute(&mut out)?;
+                }
+            }
+            self.machine.poll(now_fn(origin), &mut out);
+            self.execute(&mut out)?;
         }
     }
 
-    async fn execute(&mut self, out: &mut Actions) -> io::Result<()> {
+    fn execute(&mut self, out: &mut Actions) -> io::Result<()> {
         for action in out.drain(..) {
             match action {
                 Action::Unicast { to, packet } => {
-                    self.transport.send_unicast(to, &packet).await?;
+                    self.transport.send_unicast(to, &packet)?;
                 }
                 Action::Multicast { scope, packet } => {
-                    self.transport.send_multicast(scope, &packet).await?;
+                    self.transport.send_multicast(scope, &packet)?;
                 }
                 Action::Deliver(d) => {
                     // A slow or absent consumer must not wedge the
@@ -176,111 +201,131 @@ mod tests {
         sender: EndpointHandle<Sender>,
         _logger: EndpointHandle<Logger>,
         receiver: EndpointHandle<Receiver>,
-        tasks: Vec<tokio::task::JoinHandle<io::Result<()>>>,
     }
 
-    async fn spawn_net() -> Net {
+    fn spawn_net() -> Net {
         let hub = Hub::new();
-        let mut tasks = Vec::new();
 
         let (ep, sender) = Endpoint::new(
             Sender::new(SenderConfig::new(GROUP, SRC, SRC_HOST, LOG_HOST)),
             hub.attach(SRC_HOST),
             vec![],
         );
-        tasks.push(tokio::spawn(ep.run()));
+        ep.spawn();
 
         let (ep, logger) = Endpoint::new(
             Logger::new(LoggerConfig::primary(GROUP, SRC, LOG_HOST, SRC_HOST)),
             hub.attach(LOG_HOST),
             vec![GROUP],
         );
-        tasks.push(tokio::spawn(ep.run()));
+        ep.spawn();
 
         let (ep, receiver) = Endpoint::new(
-            Receiver::new(ReceiverConfig::new(GROUP, SRC, RX_HOST, SRC_HOST, vec![LOG_HOST])),
+            Receiver::new(ReceiverConfig::new(
+                GROUP,
+                SRC,
+                RX_HOST,
+                SRC_HOST,
+                vec![LOG_HOST],
+            )),
             hub.attach(RX_HOST),
             vec![GROUP],
         );
-        tasks.push(tokio::spawn(ep.run()));
+        ep.spawn();
 
-        let net = Net { hub, sender, _logger: logger, receiver, tasks };
+        let net = Net {
+            hub,
+            sender,
+            _logger: logger,
+            receiver,
+        };
         // Wait until the logger and receiver endpoints have joined the
         // group, so the first multicast reaches them.
         while net.hub.group_size(GROUP) < 2 {
-            tokio::time::sleep(Duration::from_millis(1)).await;
+            std::thread::sleep(Duration::from_millis(1));
         }
         net
     }
 
-    async fn publish(net: &Net, payload: &'static str) {
+    fn publish(net: &Net, payload: &'static str) {
         net.sender
-            .call(move |s: &mut Sender, now, out| s.send(now, Bytes::from_static(payload.as_bytes()), out))
-            .await
+            .call(move |s: &mut Sender, now, out| {
+                s.send(now, Bytes::from_static(payload.as_bytes()), out)
+            })
             .unwrap();
     }
 
-    async fn next_delivery(net: &mut Net) -> Option<Delivery> {
+    fn next_delivery(net: &mut Net) -> Option<Delivery> {
         loop {
-            match net.receiver.event_timeout(Duration::from_secs(5)).await? {
+            match net.receiver.event_timeout(Duration::from_secs(5))? {
                 EndpointEvent::Delivery(d) => return Some(d),
                 EndpointEvent::Notice(_) => continue,
             }
         }
     }
 
-    #[tokio::test]
-    async fn publish_and_deliver_over_hub() {
-        let mut net = spawn_net().await;
-        publish(&net, "hello multicast").await;
-        let d = next_delivery(&mut net).await.expect("delivery");
+    #[test]
+    fn publish_and_deliver_over_hub() {
+        let mut net = spawn_net();
+        publish(&net, "hello multicast");
+        let d = next_delivery(&mut net).expect("delivery");
         assert_eq!(d.seq, Seq(1));
         assert_eq!(d.payload.as_ref(), b"hello multicast");
         assert!(!d.recovered);
-        for t in &net.tasks {
-            t.abort();
-        }
     }
 
-    #[tokio::test]
-    async fn recovery_through_logger_after_partition() {
-        let mut net = spawn_net().await;
-        publish(&net, "one").await;
-        assert_eq!(next_delivery(&mut net).await.unwrap().seq, Seq(1));
+    #[test]
+    fn recovery_through_logger_after_partition() {
+        let mut net = spawn_net();
+        publish(&net, "one");
+        assert_eq!(next_delivery(&mut net).unwrap().seq, Seq(1));
 
         // Partition the receiver while #2 goes out; the logger still
         // hears it.
         net.hub.set_partitioned(RX_HOST, true);
-        publish(&net, "two").await;
-        tokio::time::sleep(Duration::from_millis(50)).await;
+        publish(&net, "two");
+        std::thread::sleep(Duration::from_millis(50));
         net.hub.set_partitioned(RX_HOST, false);
 
         // #3 reveals the gap; the receiver recovers #2 from the logger.
-        publish(&net, "three").await;
+        publish(&net, "three");
         let mut got = Vec::new();
         while got.len() < 2 {
-            let d = next_delivery(&mut net).await.expect("delivery");
+            let d = next_delivery(&mut net).expect("delivery");
             got.push((d.seq.raw(), d.recovered));
         }
         got.sort();
         assert_eq!(got[0], (2, true), "{got:?}");
         assert_eq!(got[1], (3, false));
-        for t in &net.tasks {
-            t.abort();
-        }
     }
 
-    #[tokio::test]
-    async fn handle_drop_shuts_endpoint_down() {
+    #[test]
+    fn handle_drop_shuts_endpoint_down() {
         let hub = Hub::new();
         let (ep, handle) = Endpoint::new(
-            Receiver::new(ReceiverConfig::new(GROUP, SRC, RX_HOST, SRC_HOST, vec![LOG_HOST])),
+            Receiver::new(ReceiverConfig::new(
+                GROUP,
+                SRC,
+                RX_HOST,
+                SRC_HOST,
+                vec![LOG_HOST],
+            )),
             hub.attach(RX_HOST),
             vec![GROUP],
         );
-        let task = tokio::spawn(ep.run());
+        let task = ep.spawn();
         drop(handle);
-        let result = tokio::time::timeout(Duration::from_secs(1), task).await;
-        assert!(matches!(result, Ok(Ok(Ok(())))), "endpoint must exit cleanly");
+        let deadline = Instant::now() + Duration::from_secs(2);
+        while !task.is_finished() {
+            assert!(
+                Instant::now() < deadline,
+                "endpoint must exit after handle drop"
+            );
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert!(
+            matches!(task.join(), Ok(Ok(()))),
+            "endpoint must exit cleanly"
+        );
     }
 }

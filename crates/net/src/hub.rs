@@ -5,14 +5,13 @@
 //! to the target's queue; multicast fans out to the group members
 //! (excluding the sender, like IP multicast with loopback off). No
 //! network configuration, no permissions — the reliable way to exercise
-//! real tokio endpoints in tests and demos.
+//! real endpoints in tests and demos.
 
 use std::collections::{BTreeSet, HashMap};
 use std::io;
-use std::sync::Arc;
-
-use parking_lot::Mutex;
-use tokio::sync::mpsc;
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
 
 use lbrm_wire::{GroupId, HostId, Packet, TtlScope};
 
@@ -20,7 +19,7 @@ use crate::Transport;
 
 #[derive(Default)]
 struct HubState {
-    endpoints: HashMap<HostId, mpsc::UnboundedSender<(HostId, Packet)>>,
+    endpoints: HashMap<HostId, mpsc::Sender<(HostId, Packet)>>,
     groups: HashMap<GroupId, BTreeSet<HostId>>,
     /// Failure injection: partitioned hosts receive nothing.
     partitioned: BTreeSet<HostId>,
@@ -38,31 +37,39 @@ impl Hub {
         Hub::default()
     }
 
+    fn lock(&self) -> std::sync::MutexGuard<'_, HubState> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
     /// Attaches an endpoint with identity `host`.
     ///
     /// # Panics
     ///
     /// If `host` is already attached.
     pub fn attach(&self, host: HostId) -> HubTransport {
-        let (tx, rx) = mpsc::unbounded_channel();
-        let mut st = self.state.lock();
+        let (tx, rx) = mpsc::channel();
+        let mut st = self.lock();
         assert!(
             st.endpoints.insert(host, tx).is_none(),
             "host {host} attached twice"
         );
-        HubTransport { hub: self.clone(), host, rx }
+        HubTransport {
+            hub: self.clone(),
+            host,
+            rx,
+        }
     }
 
     /// Current member count of `group`.
     pub fn group_size(&self, group: GroupId) -> usize {
-        self.state.lock().groups.get(&group).map_or(0, |g| g.len())
+        self.lock().groups.get(&group).map_or(0, |g| g.len())
     }
 
     /// Failure injection: while partitioned, `host` receives nothing
     /// (its own sends still go out, like an asymmetric link failure; use
     /// two calls for a full partition).
     pub fn set_partitioned(&self, host: HostId, partitioned: bool) {
-        let mut st = self.state.lock();
+        let mut st = self.lock();
         if partitioned {
             st.partitioned.insert(host);
         } else {
@@ -71,7 +78,7 @@ impl Hub {
     }
 
     fn deliver(&self, from: HostId, to: HostId, packet: &Packet) {
-        let st = self.state.lock();
+        let st = self.lock();
         if st.partitioned.contains(&to) {
             return;
         }
@@ -84,7 +91,7 @@ impl Hub {
 
     fn multicast(&self, from: HostId, packet: &Packet) {
         let members: Vec<HostId> = {
-            let st = self.state.lock();
+            let st = self.lock();
             st.groups
                 .get(&packet.group())
                 .map(|g| g.iter().copied().filter(|&m| m != from).collect())
@@ -100,12 +107,12 @@ impl Hub {
 pub struct HubTransport {
     hub: Hub,
     host: HostId,
-    rx: mpsc::UnboundedReceiver<(HostId, Packet)>,
+    rx: mpsc::Receiver<(HostId, Packet)>,
 }
 
 impl Drop for HubTransport {
     fn drop(&mut self) {
-        let mut st = self.hub.state.lock();
+        let mut st = self.hub.lock();
         st.endpoints.remove(&self.host);
         for g in st.groups.values_mut() {
             g.remove(&self.host);
@@ -118,31 +125,39 @@ impl Transport for HubTransport {
         self.host
     }
 
-    async fn send_unicast(&mut self, to: HostId, packet: &Packet) -> io::Result<()> {
+    fn send_unicast(&mut self, to: HostId, packet: &Packet) -> io::Result<()> {
         self.hub.deliver(self.host, to, packet);
         Ok(())
     }
 
-    async fn send_multicast(&mut self, _scope: TtlScope, packet: &Packet) -> io::Result<()> {
+    fn send_multicast(&mut self, _scope: TtlScope, packet: &Packet) -> io::Result<()> {
         // The hub is one site; every scope reaches everyone.
         self.hub.multicast(self.host, packet);
         Ok(())
     }
 
-    async fn recv(&mut self) -> io::Result<(HostId, Packet)> {
-        self.rx
-            .recv()
-            .await
-            .ok_or_else(|| io::Error::new(io::ErrorKind::BrokenPipe, "hub closed"))
+    fn recv_timeout(&mut self, timeout: Duration) -> io::Result<Option<(HostId, Packet)>> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(v) => Ok(Some(v)),
+            Err(mpsc::RecvTimeoutError::Timeout) => Ok(None),
+            Err(mpsc::RecvTimeoutError::Disconnected) => {
+                Err(io::Error::new(io::ErrorKind::BrokenPipe, "hub closed"))
+            }
+        }
     }
 
     fn join(&mut self, group: GroupId) -> io::Result<()> {
-        self.hub.state.lock().groups.entry(group).or_default().insert(self.host);
+        self.hub
+            .lock()
+            .groups
+            .entry(group)
+            .or_default()
+            .insert(self.host);
         Ok(())
     }
 
     fn leave(&mut self, group: GroupId) -> io::Result<()> {
-        if let Some(g) = self.hub.state.lock().groups.get_mut(&group) {
+        if let Some(g) = self.hub.lock().groups.get_mut(&group) {
             g.remove(&self.host);
         }
         Ok(())
@@ -155,6 +170,8 @@ mod tests {
     use bytes::Bytes;
     use lbrm_wire::{EpochId, Seq, SourceId};
 
+    const WAIT: Duration = Duration::from_secs(1);
+
     fn data(seq: u32) -> Packet {
         Packet::Data {
             group: GroupId(1),
@@ -165,19 +182,19 @@ mod tests {
         }
     }
 
-    #[tokio::test]
-    async fn unicast_delivery() {
+    #[test]
+    fn unicast_delivery() {
         let hub = Hub::new();
         let mut a = hub.attach(HostId(1));
         let mut b = hub.attach(HostId(2));
-        a.send_unicast(HostId(2), &data(1)).await.unwrap();
-        let (from, p) = b.recv().await.unwrap();
+        a.send_unicast(HostId(2), &data(1)).unwrap();
+        let (from, p) = b.recv_timeout(WAIT).unwrap().unwrap();
         assert_eq!(from, HostId(1));
         assert_eq!(p, data(1));
     }
 
-    #[tokio::test]
-    async fn multicast_fans_out_excluding_sender() {
+    #[test]
+    fn multicast_fans_out_excluding_sender() {
         let hub = Hub::new();
         let mut a = hub.attach(HostId(1));
         let mut b = hub.attach(HostId(2));
@@ -186,32 +203,32 @@ mod tests {
         b.join(GroupId(1)).unwrap();
         c.join(GroupId(1)).unwrap();
         assert_eq!(hub.group_size(GroupId(1)), 3);
-        a.send_multicast(TtlScope::Global, &data(7)).await.unwrap();
-        assert_eq!(b.recv().await.unwrap().1, data(7));
-        assert_eq!(c.recv().await.unwrap().1, data(7));
+        a.send_multicast(TtlScope::Global, &data(7)).unwrap();
+        assert_eq!(b.recv_timeout(WAIT).unwrap().unwrap().1, data(7));
+        assert_eq!(c.recv_timeout(WAIT).unwrap().unwrap().1, data(7));
         // The sender itself receives nothing (checked by b/c being the
         // only queued packets).
-        a.send_unicast(HostId(1), &data(8)).await.unwrap();
-        let (_, p) = a.recv().await.unwrap();
+        a.send_unicast(HostId(1), &data(8)).unwrap();
+        let (_, p) = a.recv_timeout(WAIT).unwrap().unwrap();
         assert_eq!(p, data(8));
     }
 
-    #[tokio::test]
-    async fn leave_stops_multicast() {
+    #[test]
+    fn leave_stops_multicast() {
         let hub = Hub::new();
         let mut a = hub.attach(HostId(1));
         let mut b = hub.attach(HostId(2));
         b.join(GroupId(1)).unwrap();
         b.leave(GroupId(1)).unwrap();
-        a.send_multicast(TtlScope::Global, &data(1)).await.unwrap();
-        a.send_unicast(HostId(2), &data(2)).await.unwrap();
+        a.send_multicast(TtlScope::Global, &data(1)).unwrap();
+        a.send_unicast(HostId(2), &data(2)).unwrap();
         // Only the unicast arrives.
-        let (_, p) = b.recv().await.unwrap();
+        let (_, p) = b.recv_timeout(WAIT).unwrap().unwrap();
         assert_eq!(p, data(2));
     }
 
-    #[tokio::test]
-    async fn detach_cleans_up() {
+    #[test]
+    fn detach_cleans_up() {
         let hub = Hub::new();
         let a = hub.attach(HostId(1));
         {

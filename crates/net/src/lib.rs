@@ -1,5 +1,5 @@
-//! Async transports for LBRM: run the sans-IO protocol machines over
-//! real sockets under tokio.
+//! Transports for LBRM: run the sans-IO protocol machines over real
+//! sockets, driven by plain threads (no async runtime required).
 //!
 //! * [`addr`] — the transport addressing scheme: IPv4 socket addresses
 //!   pack losslessly into [`lbrm_wire::HostId`]s, and multicast groups
@@ -29,33 +29,29 @@ pub use hub::{Hub, HubTransport};
 pub use udp::UdpTransport;
 
 use std::io;
+use std::time::Duration;
 
 use lbrm_wire::{GroupId, HostId, Packet, TtlScope};
 
 /// A packet transport: how an endpoint reaches the world.
 ///
 /// Implementations: [`UdpTransport`] (real UDP multicast) and
-/// [`HubTransport`] (in-process).
+/// [`HubTransport`] (in-process). All calls are synchronous; the
+/// endpoint driver multiplexes receives against protocol timers by
+/// bounding each [`recv_timeout`](Transport::recv_timeout) wait.
 pub trait Transport: Send + 'static {
     /// The local host identity packets will carry.
     fn local_host(&self) -> HostId;
 
     /// Sends one packet to one host.
-    fn send_unicast(
-        &mut self,
-        to: HostId,
-        packet: &Packet,
-    ) -> impl std::future::Future<Output = io::Result<()>> + Send;
+    fn send_unicast(&mut self, to: HostId, packet: &Packet) -> io::Result<()>;
 
     /// Multicasts one packet to its group at the given scope.
-    fn send_multicast(
-        &mut self,
-        scope: TtlScope,
-        packet: &Packet,
-    ) -> impl std::future::Future<Output = io::Result<()>> + Send;
+    fn send_multicast(&mut self, scope: TtlScope, packet: &Packet) -> io::Result<()>;
 
-    /// Receives the next packet addressed to this endpoint.
-    fn recv(&mut self) -> impl std::future::Future<Output = io::Result<(HostId, Packet)>> + Send;
+    /// Waits up to `timeout` for the next packet addressed to this
+    /// endpoint; `Ok(None)` on timeout.
+    fn recv_timeout(&mut self, timeout: Duration) -> io::Result<Option<(HostId, Packet)>>;
 
     /// Joins a multicast group.
     fn join(&mut self, group: GroupId) -> io::Result<()>;

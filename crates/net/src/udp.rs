@@ -1,27 +1,194 @@
-//! Real UDP multicast transport.
+//! Real UDP multicast transport (threads + `std::net`).
 //!
 //! One ephemeral unicast socket is the endpoint's identity (its address
 //! packs into the [`HostId`] carried in packets), and each joined group
-//! gets a receive socket bound to the group port. A reader task per
-//! socket decodes datagrams into a single channel; corrupt datagrams are
-//! dropped at the wire layer, and self-echoed multicast (loopback is
-//! left enabled so several endpoints can share one machine) is filtered
-//! by source address. Multicast sends set the IP TTL from the
-//! [`TtlScope`], so site-scoped repairs really do stay site-local
+//! is served by a per-port receive socket bound to the group port. A
+//! reader thread per socket decodes datagrams into a channel; corrupt
+//! datagrams are dropped at the wire layer, and self-echoed multicast
+//! (loopback is left enabled so several endpoints can share one machine)
+//! is filtered by source address. Multicast sends set the IP TTL from
+//! the [`TtlScope`], so site-scoped repairs really do stay site-local
 //! (§2.2.1).
+//!
+//! Because plain `std::net` cannot set `SO_REUSEPORT` before binding,
+//! endpoints in the *same process* share one OS socket per group port
+//! through a process-local registry that fans received datagrams out to
+//! every subscribed transport. Separate processes on one machine still
+//! need one port per process; distinct machines are unaffected.
 
+use std::collections::HashMap;
 use std::io;
-use std::net::{Ipv4Addr, SocketAddr, SocketAddrV4};
-use std::sync::Arc;
-
-use tokio::net::UdpSocket;
-use tokio::sync::mpsc;
-use tokio::task::JoinHandle;
+use std::net::{Ipv4Addr, SocketAddr, SocketAddrV4, UdpSocket};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Duration;
 
 use lbrm_wire::{decode, encode, GroupId, HostId, Packet, TtlScope, MAX_PACKET_SIZE};
 
 use crate::addr::{addr_of, host_of, GroupMap};
 use crate::Transport;
+
+/// How often reader threads wake to check for shutdown.
+const READ_TICK: Duration = Duration::from_millis(50);
+
+type PacketTx = mpsc::Sender<(HostId, Packet)>;
+
+/// One subscriber of a shared group-port socket: the transport's local
+/// identity (for self-echo filtering) and its delivery channel.
+struct Subscriber {
+    me: HostId,
+    tx: PacketTx,
+}
+
+/// A shared receive socket for one group port, fanned out to every
+/// in-process transport that joined a group on that port.
+struct PortSocket {
+    sock: Arc<UdpSocket>,
+    subscribers: Arc<Mutex<Vec<Subscriber>>>,
+    /// (group ip, interface) join reference counts.
+    joins: HashMap<(Ipv4Addr, Ipv4Addr), usize>,
+    stop: Arc<AtomicBool>,
+}
+
+fn registry() -> &'static Mutex<HashMap<u16, PortSocket>> {
+    static REGISTRY: OnceLock<Mutex<HashMap<u16, PortSocket>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Subscribes `(me, tx)` to the shared socket for `port`, creating the
+/// socket and its reader thread on first use, and records a membership
+/// join of `group_ip` on `interface`.
+fn port_join(
+    port: u16,
+    group_ip: Ipv4Addr,
+    interface: Ipv4Addr,
+    me: HostId,
+    tx: PacketTx,
+) -> io::Result<()> {
+    let mut reg = lock(registry());
+    let entry = match reg.entry(port) {
+        std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
+        std::collections::hash_map::Entry::Vacant(v) => {
+            let sock = UdpSocket::bind(SocketAddrV4::new(Ipv4Addr::UNSPECIFIED, port))?;
+            sock.set_read_timeout(Some(READ_TICK))?;
+            let sock = Arc::new(sock);
+            let subscribers: Arc<Mutex<Vec<Subscriber>>> = Arc::new(Mutex::new(Vec::new()));
+            let stop = Arc::new(AtomicBool::new(false));
+            {
+                let sock = Arc::clone(&sock);
+                let subscribers = Arc::clone(&subscribers);
+                let stop = Arc::clone(&stop);
+                std::thread::spawn(move || fanout_loop(&sock, &subscribers, &stop));
+            }
+            v.insert(PortSocket {
+                sock,
+                subscribers,
+                joins: HashMap::new(),
+                stop,
+            })
+        }
+    };
+    let count = entry.joins.entry((group_ip, interface)).or_insert(0);
+    if *count == 0 {
+        entry.sock.join_multicast_v4(&group_ip, &interface)?;
+    }
+    *count += 1;
+    lock(&entry.subscribers).push(Subscriber { me, tx });
+    Ok(())
+}
+
+/// Reverses one [`port_join`]: drops the subscription and leaves the
+/// group when its refcount hits zero; tears the socket down when the
+/// last subscriber is gone.
+fn port_leave(port: u16, group_ip: Ipv4Addr, interface: Ipv4Addr, me: HostId) -> io::Result<()> {
+    let mut reg = lock(registry());
+    let Some(entry) = reg.get_mut(&port) else {
+        return Ok(());
+    };
+    {
+        let mut subs = lock(&entry.subscribers);
+        if let Some(pos) = subs.iter().position(|s| s.me == me) {
+            subs.remove(pos);
+        }
+    }
+    if let Some(count) = entry.joins.get_mut(&(group_ip, interface)) {
+        *count = count.saturating_sub(1);
+        if *count == 0 {
+            entry.joins.remove(&(group_ip, interface));
+            let _ = entry.sock.leave_multicast_v4(&group_ip, &interface);
+        }
+    }
+    if lock(&entry.subscribers).is_empty() {
+        entry.stop.store(true, Ordering::Relaxed);
+        reg.remove(&port);
+    }
+    Ok(())
+}
+
+/// Decodes datagrams from the shared socket and fans them out to every
+/// subscriber except the one that sent them.
+fn fanout_loop(sock: &UdpSocket, subscribers: &Mutex<Vec<Subscriber>>, stop: &AtomicBool) {
+    let mut buf = vec![0u8; MAX_PACKET_SIZE];
+    while !stop.load(Ordering::Relaxed) {
+        let (n, from) = match sock.recv_from(&mut buf) {
+            Ok(v) => v,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                continue;
+            }
+            Err(_) => return,
+        };
+        let SocketAddr::V4(from) = from else { continue };
+        let from = host_of(from);
+        let Ok(packet) = decode(&buf[..n]) else {
+            continue;
+        };
+        let subs = lock(subscribers);
+        for s in subs.iter() {
+            if s.me != from {
+                let _ = s.tx.send((from, packet.clone()));
+            }
+        }
+    }
+}
+
+/// Reads unicast datagrams addressed to one endpoint.
+fn unicast_loop(sock: &UdpSocket, tx: &PacketTx, me: HostId, stop: &AtomicBool) {
+    let mut buf = vec![0u8; MAX_PACKET_SIZE];
+    while !stop.load(Ordering::Relaxed) {
+        let (n, from) = match sock.recv_from(&mut buf) {
+            Ok(v) => v,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                continue;
+            }
+            Err(_) => return,
+        };
+        let SocketAddr::V4(from) = from else { continue };
+        let from = host_of(from);
+        if from == me {
+            continue; // multicast loopback echo of our own send
+        }
+        if let Ok(packet) = decode(&buf[..n]) {
+            if tx.send((from, packet)).is_err() {
+                return;
+            }
+        }
+    }
+}
 
 /// A UDP transport.
 pub struct UdpTransport {
@@ -30,16 +197,22 @@ pub struct UdpTransport {
     groups: GroupMap,
     interface: Ipv4Addr,
     rx: mpsc::Receiver<(HostId, Packet)>,
-    tx: mpsc::Sender<(HostId, Packet)>,
-    members: Vec<(GroupId, Arc<UdpSocket>, JoinHandle<()>)>,
-    unicast_reader: JoinHandle<()>,
+    tx: PacketTx,
+    members: Vec<GroupId>,
+    stop: Arc<AtomicBool>,
 }
 
 impl UdpTransport {
     /// Binds a transport on `interface` (use `127.0.0.1` for single-host
     /// loopback testing, a LAN address or `0.0.0.0` for deployment).
-    pub async fn bind(interface: Ipv4Addr, groups: GroupMap) -> io::Result<Self> {
-        let unicast = Arc::new(UdpSocket::bind(SocketAddrV4::new(interface, 0)).await?);
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket bind/configuration failures.
+    pub fn bind(interface: Ipv4Addr, groups: GroupMap) -> io::Result<Self> {
+        let unicast = UdpSocket::bind(SocketAddrV4::new(interface, 0))?;
+        unicast.set_read_timeout(Some(READ_TICK))?;
+        let unicast = Arc::new(unicast);
         let local = match unicast.local_addr()? {
             SocketAddr::V4(a) => a,
             SocketAddr::V6(_) => {
@@ -48,8 +221,14 @@ impl UdpTransport {
         };
         let advertised = SocketAddrV4::new(interface, local.port());
         let host = host_of(advertised);
-        let (tx, rx) = mpsc::channel(1024);
-        let unicast_reader = tokio::spawn(read_loop(unicast.clone(), tx.clone(), host));
+        let (tx, rx) = mpsc::channel();
+        let stop = Arc::new(AtomicBool::new(false));
+        {
+            let sock = Arc::clone(&unicast);
+            let tx = tx.clone();
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || unicast_loop(&sock, &tx, host, &stop));
+        }
         Ok(UdpTransport {
             unicast,
             host,
@@ -58,7 +237,7 @@ impl UdpTransport {
             rx,
             tx,
             members: Vec::new(),
-            unicast_reader,
+            stop,
         })
     }
 
@@ -68,30 +247,12 @@ impl UdpTransport {
     }
 }
 
-/// Decodes datagrams from `sock` into `tx`, dropping corrupt or
-/// self-originated ones.
-async fn read_loop(sock: Arc<UdpSocket>, tx: mpsc::Sender<(HostId, Packet)>, me: HostId) {
-    let mut buf = vec![0u8; MAX_PACKET_SIZE];
-    loop {
-        let Ok((n, from)) = sock.recv_from(&mut buf).await else { return };
-        let SocketAddr::V4(from) = from else { continue };
-        let from = host_of(from);
-        if from == me {
-            continue; // multicast loopback echo of our own send
-        }
-        if let Ok(packet) = decode(&buf[..n]) {
-            if tx.send((from, packet)).await.is_err() {
-                return;
-            }
-        }
-    }
-}
-
 impl Drop for UdpTransport {
     fn drop(&mut self) {
-        self.unicast_reader.abort();
-        for (_, _, h) in &self.members {
-            h.abort();
+        self.stop.store(true, Ordering::Relaxed);
+        for group in std::mem::take(&mut self.members) {
+            let addr = self.groups.addr(group);
+            let _ = port_leave(addr.port(), *addr.ip(), self.interface, self.host);
         }
     }
 }
@@ -101,63 +262,54 @@ impl Transport for UdpTransport {
         self.host
     }
 
-    async fn send_unicast(&mut self, to: HostId, packet: &Packet) -> io::Result<()> {
+    fn send_unicast(&mut self, to: HostId, packet: &Packet) -> io::Result<()> {
         let bytes = encode(packet).map_err(io::Error::other)?;
-        self.unicast.send_to(&bytes, SocketAddr::V4(addr_of(to))).await?;
+        self.unicast.send_to(&bytes, SocketAddr::V4(addr_of(to)))?;
         Ok(())
     }
 
-    async fn send_multicast(&mut self, scope: TtlScope, packet: &Packet) -> io::Result<()> {
+    fn send_multicast(&mut self, scope: TtlScope, packet: &Packet) -> io::Result<()> {
         let bytes = encode(packet).map_err(io::Error::other)?;
         let dst = self.groups.addr(packet.group());
         self.unicast.set_multicast_ttl_v4(u32::from(scope.ttl()))?;
         self.unicast.set_multicast_loop_v4(true)?;
-        self.unicast.send_to(&bytes, SocketAddr::V4(dst)).await?;
+        self.unicast.send_to(&bytes, SocketAddr::V4(dst))?;
         Ok(())
     }
 
-    async fn recv(&mut self) -> io::Result<(HostId, Packet)> {
-        self.rx
-            .recv()
-            .await
-            .ok_or_else(|| io::Error::new(io::ErrorKind::BrokenPipe, "transport closed"))
+    fn recv_timeout(&mut self, timeout: Duration) -> io::Result<Option<(HostId, Packet)>> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(v) => Ok(Some(v)),
+            Err(mpsc::RecvTimeoutError::Timeout) => Ok(None),
+            Err(mpsc::RecvTimeoutError::Disconnected) => Err(io::Error::new(
+                io::ErrorKind::BrokenPipe,
+                "transport closed",
+            )),
+        }
     }
 
     fn join(&mut self, group: GroupId) -> io::Result<()> {
-        if self.members.iter().any(|(g, _, _)| *g == group) {
+        if self.members.contains(&group) {
             return Ok(());
         }
         let addr = self.groups.addr(group);
-        let std_sock = bind_reuse(SocketAddrV4::new(Ipv4Addr::UNSPECIFIED, addr.port()))?;
-        std_sock.set_nonblocking(true)?;
-        let sock = UdpSocket::from_std(std_sock)?;
-        sock.join_multicast_v4(*addr.ip(), self.interface)?;
-        let sock = Arc::new(sock);
-        let handle = tokio::spawn(read_loop(sock.clone(), self.tx.clone(), self.host));
-        self.members.push((group, sock, handle));
+        port_join(
+            addr.port(),
+            *addr.ip(),
+            self.interface,
+            self.host,
+            self.tx.clone(),
+        )?;
+        self.members.push(group);
         Ok(())
     }
 
     fn leave(&mut self, group: GroupId) -> io::Result<()> {
-        if let Some(pos) = self.members.iter().position(|(g, _, _)| *g == group) {
-            let (_, sock, handle) = self.members.remove(pos);
-            handle.abort();
+        if let Some(pos) = self.members.iter().position(|g| *g == group) {
+            self.members.remove(pos);
             let addr = self.groups.addr(group);
-            sock.leave_multicast_v4(*addr.ip(), self.interface)?;
+            port_leave(addr.port(), *addr.ip(), self.interface, self.host)?;
         }
         Ok(())
     }
-}
-
-/// Binds a UDP socket with `SO_REUSEADDR` (and `SO_REUSEPORT` where
-/// available) so several endpoints on one machine can all listen on the
-/// group port — required for single-host multicast testing.
-fn bind_reuse(addr: SocketAddrV4) -> io::Result<std::net::UdpSocket> {
-    use socket2::{Domain, Protocol, Socket, Type};
-    let sock = Socket::new(Domain::IPV4, Type::DGRAM, Some(Protocol::UDP))?;
-    sock.set_reuse_address(true)?;
-    #[cfg(all(unix, not(target_os = "solaris"), not(target_os = "illumos")))]
-    sock.set_reuse_port(true)?;
-    sock.bind(&SocketAddr::V4(addr).into())?;
-    Ok(sock.into())
 }

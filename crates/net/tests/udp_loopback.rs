@@ -18,12 +18,9 @@ use lbrm_wire::{GroupId, Seq, SourceId};
 const GROUP: GroupId = GroupId(7);
 const SRC: SourceId = SourceId(1);
 
-async fn try_bind(port: u16) -> Option<UdpTransport> {
-    let mut map = GroupMap::new(port);
-    // Keep the derived group address but a test-specific port to avoid
-    // clashing with concurrent test runs.
-    let _ = &mut map;
-    match UdpTransport::bind(Ipv4Addr::LOCALHOST, map).await {
+fn try_bind(port: u16) -> Option<UdpTransport> {
+    let map = GroupMap::new(port);
+    match UdpTransport::bind(Ipv4Addr::LOCALHOST, map) {
         Ok(t) => Some(t),
         Err(e) => {
             eprintln!("skipping UDP loopback test: bind failed: {e}");
@@ -32,12 +29,16 @@ async fn try_bind(port: u16) -> Option<UdpTransport> {
     }
 }
 
-#[tokio::test]
-async fn udp_multicast_end_to_end() {
+#[test]
+fn udp_multicast_end_to_end() {
     let port = 49_431;
-    let Some(tx_t) = try_bind(port).await else { return };
-    let Some(mut log_t) = try_bind(port).await else { return };
-    let Some(mut rx_t) = try_bind(port).await else { return };
+    let Some(tx_t) = try_bind(port) else { return };
+    let Some(mut log_t) = try_bind(port) else {
+        return;
+    };
+    let Some(mut rx_t) = try_bind(port) else {
+        return;
+    };
 
     // Probe that multicast join actually works here.
     if let Err(e) = log_t.join(GROUP) {
@@ -52,37 +53,45 @@ async fn udp_multicast_end_to_end() {
     let src_host = tx_t.local_host();
     let log_host = log_t.local_host();
 
-    let (ep, sender) =
-        Endpoint::new(Sender::new(SenderConfig::new(GROUP, SRC, src_host, log_host)), tx_t, vec![]);
-    let t1 = tokio::spawn(ep.run());
+    let (ep, sender) = Endpoint::new(
+        Sender::new(SenderConfig::new(GROUP, SRC, src_host, log_host)),
+        tx_t,
+        vec![],
+    );
+    ep.spawn();
 
     let (ep, _logger) = Endpoint::new(
         Logger::new(LoggerConfig::primary(GROUP, SRC, log_host, src_host)),
         log_t,
         vec![],
     );
-    let t2 = tokio::spawn(ep.run());
+    ep.spawn();
 
     let rx_host = rx_t.local_host();
     let (ep, mut receiver) = Endpoint::new(
-        Receiver::new(ReceiverConfig::new(GROUP, SRC, rx_host, src_host, vec![log_host])),
+        Receiver::new(ReceiverConfig::new(
+            GROUP,
+            SRC,
+            rx_host,
+            src_host,
+            vec![log_host],
+        )),
         rx_t,
         vec![],
     );
-    let t3 = tokio::spawn(ep.run());
+    ep.spawn();
 
-    // Give the reader tasks a moment, then publish.
-    tokio::time::sleep(Duration::from_millis(100)).await;
+    // Give the reader threads a moment, then publish.
+    std::thread::sleep(Duration::from_millis(100));
     sender
         .call(|s: &mut Sender, now, out| s.send(now, Bytes::from_static(b"over real udp"), out))
-        .await
         .unwrap();
 
     // The receiver should deliver — via the original multicast or, if
     // the first datagram raced the subscription, via logger recovery.
     let mut delivered = None;
     for _ in 0..64 {
-        match receiver.event_timeout(Duration::from_secs(5)).await {
+        match receiver.event_timeout(Duration::from_secs(5)) {
             Some(EndpointEvent::Delivery(d)) => {
                 delivered = Some(d);
                 break;
@@ -94,17 +103,12 @@ async fn udp_multicast_end_to_end() {
     let d = match delivered {
         Some(d) => d,
         None => {
-            eprintln!("skipping UDP loopback assertion: no delivery (multicast routing unavailable)");
-            t1.abort();
-            t2.abort();
-            t3.abort();
+            eprintln!(
+                "skipping UDP loopback assertion: no delivery (multicast routing unavailable)"
+            );
             return;
         }
     };
     assert_eq!(d.seq, Seq(1));
     assert_eq!(d.payload.as_ref(), b"over real udp");
-
-    t1.abort();
-    t2.abort();
-    t3.abort();
 }

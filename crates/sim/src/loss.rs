@@ -53,7 +53,10 @@ impl LossModel {
     /// Convenience constructor for an independent loss rate; `p = 0`
     /// collapses to [`LossModel::None`].
     pub fn rate(p: f64) -> LossModel {
-        assert!((0.0..=1.0).contains(&p), "loss probability must be in [0,1]");
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "loss probability must be in [0,1]"
+        );
         if p == 0.0 {
             LossModel::None
         } else {
@@ -63,7 +66,9 @@ impl LossModel {
 
     /// A single outage window `[start, start + len)`.
     pub fn outage(start: SimTime, len: std::time::Duration) -> LossModel {
-        LossModel::Outages { windows: vec![(start, start + len)] }
+        LossModel::Outages {
+            windows: vec![(start, start + len)],
+        }
     }
 }
 
@@ -82,7 +87,12 @@ pub struct LossState {
 impl LossState {
     /// Wraps a model with fresh state.
     pub fn new(model: LossModel) -> LossState {
-        LossState { model, in_bad: false, dropped: 0, passed: 0 }
+        LossState {
+            model,
+            in_bad: false,
+            dropped: 0,
+            passed: 0,
+        }
     }
 
     /// Evaluates one traversal at time `now`; `true` means *dropped*.
@@ -90,7 +100,12 @@ impl LossState {
         let dropped = match &self.model {
             LossModel::None => false,
             LossModel::Bernoulli { p } => rng.random_bool(*p),
-            LossModel::Gilbert { p_enter_bad, p_exit_bad, loss_good, loss_bad } => {
+            LossModel::Gilbert {
+                p_enter_bad,
+                p_exit_bad,
+                loss_good,
+                loss_bad,
+            } => {
                 // Step the chain, then sample loss in the resulting state.
                 if self.in_bad {
                     if rng.random_bool(*p_exit_bad) {
@@ -102,9 +117,9 @@ impl LossState {
                 let p = if self.in_bad { *loss_bad } else { *loss_good };
                 p > 0.0 && rng.random_bool(p)
             }
-            LossModel::Outages { windows } => {
-                windows.iter().any(|&(start, end)| now >= start && now < end)
-            }
+            LossModel::Outages { windows } => windows
+                .iter()
+                .any(|&(start, end)| now >= start && now < end),
         };
         if dropped {
             self.dropped += 1;
@@ -190,7 +205,9 @@ mod tests {
             loss_bad: 1.0,
         });
         let mut r = rng();
-        let outcomes: Vec<bool> = (0..50_000).map(|_| s.drops(SimTime::ZERO, &mut r)).collect();
+        let outcomes: Vec<bool> = (0..50_000)
+            .map(|_| s.drops(SimTime::ZERO, &mut r))
+            .collect();
         let drops = outcomes.iter().filter(|&&d| d).count();
         assert!(drops > 0);
         // Count runs of consecutive drops; mean run length should be near
@@ -212,7 +229,9 @@ mod tests {
         let run = || {
             let mut s = LossState::new(LossModel::rate(0.3));
             let mut r = SmallRng::seed_from_u64(42);
-            (0..256).map(|_| s.drops(SimTime::ZERO, &mut r)).collect::<Vec<_>>()
+            (0..256)
+                .map(|_| s.drops(SimTime::ZERO, &mut r))
+                .collect::<Vec<_>>()
         };
         assert_eq!(run(), run());
     }

@@ -112,7 +112,11 @@ impl NetStats {
 }
 
 fn add(a: Counter, b: Counter) -> Counter {
-    Counter { carried: a.carried + b.carried, bytes: a.bytes + b.bytes, dropped: a.dropped + b.dropped }
+    Counter {
+        carried: a.carried + b.carried,
+        bytes: a.bytes + b.bytes,
+        dropped: a.dropped + b.dropped,
+    }
 }
 
 #[cfg(test)]
@@ -140,7 +144,10 @@ mod tests {
         assert_eq!(tail.dropped, 1);
         assert_eq!(tail.carried, 0);
 
-        assert_eq!(s.site_tail(SiteId(9), SegmentClass::TailIn, "data"), Counter::default());
+        assert_eq!(
+            s.site_tail(SiteId(9), SegmentClass::TailIn, "data"),
+            Counter::default()
+        );
     }
 
     #[test]
@@ -149,6 +156,9 @@ mod tests {
         s.record(SegmentClass::Lan, Some(SiteId(0)), "nack", 1, false);
         s.record(SegmentClass::Lan, Some(SiteId(0)), "data", 1, false);
         let kinds = s.kinds_on(SegmentClass::Lan);
-        assert_eq!(kinds.iter().map(|(k, _)| *k).collect::<Vec<_>>(), vec!["data", "nack"]);
+        assert_eq!(
+            kinds.iter().map(|(k, _)| *k).collect::<Vec<_>>(),
+            vec!["data", "nack"]
+        );
     }
 }

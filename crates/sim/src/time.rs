@@ -72,7 +72,10 @@ impl SimTime {
     /// Saturating addition of a duration.
     #[inline]
     pub fn saturating_add(self, d: Duration) -> SimTime {
-        SimTime(self.0.saturating_add(d.as_nanos().min(u128::from(u64::MAX)) as u64))
+        SimTime(
+            self.0
+                .saturating_add(d.as_nanos().min(u128::from(u64::MAX)) as u64),
+        )
     }
 }
 

@@ -69,13 +69,19 @@ impl SiteParams {
     /// A nearby site: small WAN distance (a few ms RTT to peers), as in
     /// the paper's "secondary logging server a few miles away".
     pub fn nearby() -> SiteParams {
-        SiteParams { wan_delay: Duration::from_millis(1), ..SiteParams::default() }
+        SiteParams {
+            wan_delay: Duration::from_millis(1),
+            ..SiteParams::default()
+        }
     }
 
     /// A distant site: ~40 ms one-way to the core, giving the paper's
     /// "primary logging server 1,500 miles away … 80 ms RTT".
     pub fn distant() -> SiteParams {
-        SiteParams { wan_delay: Duration::from_millis(19), ..SiteParams::default() }
+        SiteParams {
+            wan_delay: Duration::from_millis(19),
+            ..SiteParams::default()
+        }
     }
 }
 
@@ -108,7 +114,11 @@ pub struct TopologyBuilder {
 impl TopologyBuilder {
     /// New empty builder.
     pub fn new() -> Self {
-        TopologyBuilder { sites: Vec::new(), hosts: Vec::new(), wan_loss: LossModel::None }
+        TopologyBuilder {
+            sites: Vec::new(),
+            hosts: Vec::new(),
+            wan_loss: LossModel::None,
+        }
     }
 
     /// Adds a site, returning its id.
@@ -123,7 +133,10 @@ impl TopologyBuilder {
     ///
     /// If `site` was not created by this builder.
     pub fn host(&mut self, site: SiteId) -> HostId {
-        assert!((site.raw() as usize) < self.sites.len(), "unknown site {site}");
+        assert!(
+            (site.raw() as usize) < self.sites.len(),
+            "unknown site {site}"
+        );
         self.hosts.push(site);
         HostId(self.hosts.len() as u64 - 1)
     }
@@ -230,17 +243,16 @@ impl Topology {
         }
     }
 
-    fn serialize_on_tail(
-        site: &mut Site,
-        outbound: bool,
-        now: SimTime,
-        bytes: usize,
-    ) -> Duration {
+    fn serialize_on_tail(site: &mut Site, outbound: bool, now: SimTime, bytes: usize) -> Duration {
         let Some(bw) = site.params.tail_bandwidth_bps else {
             return Duration::ZERO;
         };
         let tx = Duration::from_secs_f64(bytes as f64 * 8.0 / bw as f64);
-        let busy = if outbound { &mut site.tail_out_busy_until } else { &mut site.tail_in_busy_until };
+        let busy = if outbound {
+            &mut site.tail_out_busy_until
+        } else {
+            &mut site.tail_in_busy_until
+        };
         let start = (*busy).max(now);
         let finish = start + tx;
         *busy = finish;
@@ -261,7 +273,10 @@ impl Topology {
         stats: &mut NetStats,
     ) -> Option<Delivery> {
         if from == to {
-            return Some(Delivery { to, at: now + Duration::from_micros(10) });
+            return Some(Delivery {
+                to,
+                at: now + Duration::from_micros(10),
+            });
         }
         let fs = self.site_of(from);
         let ts = self.site_of(to);
@@ -479,7 +494,9 @@ mod tests {
         let (mut t, a, _, c) = two_site_topo();
         let mut rng = SmallRng::seed_from_u64(1);
         let mut stats = NetStats::default();
-        let d = t.unicast(SimTime::ZERO, a, c, "data", 100, &mut rng, &mut stats).unwrap();
+        let d = t
+            .unicast(SimTime::ZERO, a, c, "data", 100, &mut rng, &mut stats)
+            .unwrap();
         assert_eq!(d.to, c);
         assert_eq!(d.at.since(SimTime::ZERO), t.base_latency(a, c));
         assert_eq!(stats.class_kind(SegmentClass::Wan, "data").carried, 1);
@@ -504,8 +521,7 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(2);
         let mut stats = NetStats::default();
 
-        let members: Vec<HostId> =
-            local.iter().chain(remote.iter()).copied().collect();
+        let members: Vec<HostId> = local.iter().chain(remote.iter()).copied().collect();
         let deliveries = t.multicast(
             SimTime::ZERO,
             sender,
@@ -524,7 +540,12 @@ mod tests {
             assert!(!delivered.contains(m), "remote member must lose");
         }
         // Exactly one correlated drop on the tail circuit.
-        assert_eq!(stats.site_tail(SiteId(1), SegmentClass::TailIn, "data").dropped, 1);
+        assert_eq!(
+            stats
+                .site_tail(SiteId(1), SegmentClass::TailIn, "data")
+                .dropped,
+            1
+        );
     }
 
     #[test]
@@ -590,9 +611,18 @@ mod tests {
     #[test]
     fn region_scope() {
         let mut b = TopologyBuilder::new();
-        let s0 = b.site(SiteParams { region: 1, ..SiteParams::default() });
-        let s1 = b.site(SiteParams { region: 1, ..SiteParams::default() });
-        let s2 = b.site(SiteParams { region: 2, ..SiteParams::default() });
+        let s0 = b.site(SiteParams {
+            region: 1,
+            ..SiteParams::default()
+        });
+        let s1 = b.site(SiteParams {
+            region: 1,
+            ..SiteParams::default()
+        });
+        let s2 = b.site(SiteParams {
+            region: 2,
+            ..SiteParams::default()
+        });
         let sender = b.host(s0);
         let same_region = b.host(s1);
         let other_region = b.host(s2);
@@ -628,8 +658,12 @@ mod tests {
         let mut t = b.build();
         let mut rng = SmallRng::seed_from_u64(6);
         let mut stats = NetStats::default();
-        let d1 = t.unicast(SimTime::ZERO, a, c, "data", 1000, &mut rng, &mut stats).unwrap();
-        let d2 = t.unicast(SimTime::ZERO, a, c, "data", 1000, &mut rng, &mut stats).unwrap();
+        let d1 = t
+            .unicast(SimTime::ZERO, a, c, "data", 1000, &mut rng, &mut stats)
+            .unwrap();
+        let d2 = t
+            .unicast(SimTime::ZERO, a, c, "data", 1000, &mut rng, &mut stats)
+            .unwrap();
         // 1000 bytes at 1 byte/ms = 1 s serialization each.
         let gap = d2.at - d1.at;
         assert_eq!(gap, Duration::from_secs(1));
@@ -640,7 +674,9 @@ mod tests {
         let (mut t, a, _, _) = two_site_topo();
         let mut rng = SmallRng::seed_from_u64(7);
         let mut stats = NetStats::default();
-        let d = t.unicast(SimTime::ZERO, a, a, "nack", 10, &mut rng, &mut stats).unwrap();
+        let d = t
+            .unicast(SimTime::ZERO, a, a, "nack", 10, &mut rng, &mut stats)
+            .unwrap();
         assert!(d.at.since(SimTime::ZERO) < Duration::from_millis(1));
     }
 
@@ -668,9 +704,14 @@ mod tests {
         let mut arrivals = Vec::new();
         for i in 0..50u64 {
             let sent = SimTime::from_millis(i);
-            let d = t.unicast(sent, a, c, "data", 64, &mut rng, &mut stats).unwrap();
+            let d = t
+                .unicast(sent, a, c, "data", 64, &mut rng, &mut stats)
+                .unwrap();
             let extra = d.at.since(sent).saturating_sub(base);
-            assert!(extra <= Duration::from_millis(20), "jitter bound violated: {extra:?}");
+            assert!(
+                extra <= Duration::from_millis(20),
+                "jitter bound violated: {extra:?}"
+            );
             arrivals.push(d.at);
         }
         // Jitter actually varies...

@@ -17,6 +17,7 @@ use std::time::Duration;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
+use lbrm_trace::{ProtocolEvent, Tracer};
 use lbrm_wire::{encode, GroupId, HostId, Packet, TtlScope};
 
 use crate::stats::NetStats;
@@ -39,8 +40,15 @@ pub trait Actor: Any {
 }
 
 enum Ev {
-    Packet { from: HostId, to: HostId, packet: Packet },
-    Timer { host: HostId, token: u64 },
+    Packet {
+        from: HostId,
+        to: HostId,
+        packet: Packet,
+    },
+    Timer {
+        host: HostId,
+        token: u64,
+    },
 }
 
 struct Scheduled {
@@ -77,6 +85,7 @@ pub struct Ctx<'a> {
     rng: &'a mut SmallRng,
     net_rng: &'a mut SmallRng,
     stats: &'a mut NetStats,
+    tracer: &'a Tracer,
 }
 
 impl Ctx<'_> {
@@ -103,17 +112,42 @@ impl Ctx<'_> {
 
     fn push(&mut self, at: SimTime, ev: Ev) {
         *self.tiebreak += 1;
-        self.queue.push(Reverse(Scheduled { at, tiebreak: *self.tiebreak, ev }));
+        self.queue.push(Reverse(Scheduled {
+            at,
+            tiebreak: *self.tiebreak,
+            ev,
+        }));
     }
 
     /// Sends `packet` to a single host.
     pub fn send_unicast(&mut self, to: HostId, packet: Packet) {
         let bytes = encode(&packet).expect("encodable packet").len();
         let kind = packet.kind();
-        if let Some(d) =
-            self.topo.unicast(self.now, self.host, to, kind, bytes, self.net_rng, self.stats)
-        {
-            self.push(d.at, Ev::Packet { from: self.host, to: d.to, packet });
+        let delivery = self.topo.unicast(
+            self.now,
+            self.host,
+            to,
+            kind,
+            bytes,
+            self.net_rng,
+            self.stats,
+        );
+        let copies = u32::from(delivery.is_some());
+        self.tracer
+            .emit(self.now.nanos(), || ProtocolEvent::NetPacket {
+                kind,
+                multicast: false,
+                copies,
+            });
+        if let Some(d) = delivery {
+            self.push(
+                d.at,
+                Ev::Packet {
+                    from: self.host,
+                    to: d.to,
+                    packet,
+                },
+            );
         }
     }
 
@@ -128,10 +162,31 @@ impl Ctx<'_> {
             .map(|m| m.iter().copied().collect())
             .unwrap_or_default();
         let deliveries = self.topo.multicast(
-            self.now, self.host, &members, scope, kind, bytes, self.net_rng, self.stats,
+            self.now,
+            self.host,
+            &members,
+            scope,
+            kind,
+            bytes,
+            self.net_rng,
+            self.stats,
         );
+        let copies = deliveries.len().min(u32::MAX as usize) as u32;
+        self.tracer
+            .emit(self.now.nanos(), || ProtocolEvent::NetPacket {
+                kind,
+                multicast: true,
+                copies,
+            });
         for d in deliveries {
-            self.push(d.at, Ev::Packet { from: self.host, to: d.to, packet: packet.clone() });
+            self.push(
+                d.at,
+                Ev::Packet {
+                    from: self.host,
+                    to: d.to,
+                    packet: packet.clone(),
+                },
+            );
         }
     }
 
@@ -175,6 +230,7 @@ pub struct World {
     crashed: HashSet<HostId>,
     started: bool,
     seed: u64,
+    tracer: Tracer,
 }
 
 impl World {
@@ -194,7 +250,15 @@ impl World {
             crashed: HashSet::new(),
             started: false,
             seed,
+            tracer: Tracer::disabled(),
         }
+    }
+
+    /// Attaches a protocol-event tracer: every simulated transmission is
+    /// reported as a [`ProtocolEvent::NetPacket`] (wire kind, multicast
+    /// flag, copies that survived the loss model). Disabled by default.
+    pub fn set_trace(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 
     /// Installs an actor on `host`. Replaces any existing actor.
@@ -204,7 +268,11 @@ impl World {
         }
         self.rngs.entry(host).or_insert_with(|| {
             // Distinct, deterministic stream per host.
-            SmallRng::seed_from_u64(self.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(host.raw()))
+            SmallRng::seed_from_u64(
+                self.seed
+                    .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                    .wrapping_add(host.raw()),
+            )
         });
     }
 
@@ -272,7 +340,11 @@ impl World {
     ///
     /// If the host has no actor of type `T`.
     pub fn actor_mut<T: Actor>(&mut self, host: HostId) -> &mut T {
-        let a: &mut dyn Any = self.actors.get_mut(&host).expect("no actor on host").as_mut();
+        let a: &mut dyn Any = self
+            .actors
+            .get_mut(&host)
+            .expect("no actor on host")
+            .as_mut();
         a.downcast_mut::<T>().expect("actor type mismatch")
     }
 
@@ -280,7 +352,9 @@ impl World {
         if self.crashed.contains(&host) {
             return;
         }
-        let Some(mut actor) = self.actors.remove(&host) else { return };
+        let Some(mut actor) = self.actors.remove(&host) else {
+            return;
+        };
         let rng = self.rngs.get_mut(&host).expect("host rng");
         let mut ctx = Ctx {
             host,
@@ -292,6 +366,7 @@ impl World {
             rng,
             net_rng: &mut self.net_rng,
             stats: &mut self.stats,
+            tracer: &self.tracer,
         };
         f(actor.as_mut(), &mut ctx);
         self.actors.insert(host, actor);
@@ -311,7 +386,9 @@ impl World {
     /// Runs one event; returns `false` when the queue is empty.
     pub fn step(&mut self) -> bool {
         self.start_if_needed();
-        let Some(Reverse(sch)) = self.queue.pop() else { return false };
+        let Some(Reverse(sch)) = self.queue.pop() else {
+            return false;
+        };
         debug_assert!(sch.at >= self.now, "time must be monotonic");
         self.now = sch.at.max(self.now);
         match sch.ev {
@@ -442,7 +519,10 @@ mod tests {
         assert_eq!(w.actor::<Beacon>(tx).sent, 3);
         let sink = w.actor::<Sink>(rx);
         assert_eq!(sink.got.len(), 3);
-        assert_eq!(sink.got.iter().map(|(_, s)| *s).collect::<Vec<_>>(), vec![1, 2, 3]);
+        assert_eq!(
+            sink.got.iter().map(|(_, s)| *s).collect::<Vec<_>>(),
+            vec![1, 2, 3]
+        );
         // Arrivals are 1 s apart, offset by path latency.
         let lat = w.topology().base_latency(tx, rx);
         assert_eq!(sink.got[0].0, SimTime::from_secs(1) + lat);
@@ -492,7 +572,9 @@ mod tests {
     fn stats_account_multicast() {
         let (mut w, _, _) = build();
         w.run_until(SimTime::from_secs(10));
-        let wan = w.stats().class_kind(crate::stats::SegmentClass::Wan, "data");
+        let wan = w
+            .stats()
+            .class_kind(crate::stats::SegmentClass::Wan, "data");
         assert_eq!(wan.carried, 3);
     }
 

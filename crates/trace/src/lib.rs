@@ -1,0 +1,431 @@
+//! Protocol observability for LBRM (re-exported as `lbrm_core::trace`).
+//!
+//! The paper's entire evaluation (Figures 4–8, Tables 1–3) is built on
+//! *counting protocol events*: heartbeats, NACKs, retransmissions,
+//! re-multicasts, recovery latencies. This crate gives every protocol
+//! machine one uniform way to report those events:
+//!
+//! * [`ProtocolEvent`] — the event taxonomy, one variant per observable
+//!   protocol action (data/heartbeat transmission, gap detection, NACKs,
+//!   unicast/multicast repairs, statistical-ACK epochs and settlements,
+//!   failover, plus network-level copies from the simulator).
+//! * [`TraceSink`] — the pluggable consumer trait; [`NoopSink`],
+//!   [`RingSink`], [`CountingSink`] and [`JsonLinesSink`] ship here, and
+//!   [`MetricsRegistry`] is a sink that aggregates counters and
+//!   recovery-latency / `t_wait` histograms.
+//! * [`Tracer`] — the handle machines hold. A disabled tracer is a
+//!   single `Option` test on the hot path and never constructs the
+//!   event; the `protocol_micro` bench pins the claim down.
+//!
+//! Timestamps cross the API as raw nanoseconds (`at_nanos`) so the same
+//! events work under both the protocol clock (`lbrm_core::time::Time`)
+//! and the simulator clock (`lbrm_sim::time::SimTime`), which are both
+//! nanosecond counters.
+//!
+//! ```
+//! use std::sync::Arc;
+//! use lbrm_trace::{CountingSink, ProtocolEvent, Tracer};
+//! use lbrm_wire::Seq;
+//!
+//! let counts = Arc::new(CountingSink::default());
+//! let tracer = Tracer::to(counts.clone());
+//! tracer.emit(0, || ProtocolEvent::GapDetected { first: Seq(3), last: Seq(5) });
+//! assert_eq!(counts.count("gap_detected"), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+use lbrm_wire::{EpochId, HostId, Seq};
+
+mod metrics;
+mod sink;
+
+pub use metrics::{Histogram, HistogramSnapshot, MetricsRegistry};
+pub use sink::{CountingSink, JsonLinesSink, NoopSink, RingSink};
+
+/// One observable protocol action.
+///
+/// Variants carry only small `Copy` data so events are cheap to build
+/// and compare; payload bytes never enter the trace stream.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ProtocolEvent {
+    /// The source multicast an original data packet.
+    DataSent {
+        /// Sequence number.
+        seq: Seq,
+        /// Statistical-ACK epoch stamped on the packet.
+        epoch: EpochId,
+    },
+    /// The source multicast a heartbeat (§2.1.2 variable scheme or the
+    /// fixed baseline).
+    HeartbeatSent {
+        /// Highest sequence the heartbeat advertises.
+        seq: Seq,
+        /// Position in the heartbeat run since the last data packet.
+        hb_index: u32,
+    },
+    /// A receiver or logger observed a sequence gap.
+    GapDetected {
+        /// First missing sequence.
+        first: Seq,
+        /// Last missing sequence.
+        last: Seq,
+    },
+    /// A NACK packet left for `target` requesting `packets` sequences.
+    NackSent {
+        /// Host the retransmission request goes to.
+        target: HostId,
+        /// Number of sequences requested in this packet.
+        packets: u32,
+    },
+    /// A NACK packet arrived at a host able to serve it.
+    NackReceived {
+        /// Requesting host.
+        from: HostId,
+        /// Number of sequences requested.
+        packets: u32,
+    },
+    /// A logged packet was retransmitted to a requester (§2.2.1: unicast
+    /// for isolated loss, site-scoped multicast for correlated loss).
+    RetransServed {
+        /// The retransmitted sequence.
+        seq: Seq,
+        /// `true` for a site-scoped multicast repair.
+        multicast: bool,
+    },
+    /// The statistical-ACK engine re-multicast a packet after missing
+    /// ACK coverage at `t_wait` (§2.3.2).
+    Remulticast {
+        /// The re-sent sequence.
+        seq: Seq,
+        /// ACKs still missing at the deadline.
+        missing: u32,
+    },
+    /// The source multicast an Acker Selection Packet (§2.3.1).
+    AckerSelected {
+        /// Epoch being selected for.
+        epoch: EpochId,
+        /// Advertised volunteer probability.
+        p_ack: f64,
+    },
+    /// A logger volunteered as Designated Acker.
+    AckerVolunteered {
+        /// Epoch volunteered for.
+        epoch: EpochId,
+    },
+    /// A selection matured: newly sent data carries `epoch`.
+    EpochActive {
+        /// The activated epoch.
+        epoch: EpochId,
+        /// Number of Designated Ackers.
+        ackers: u32,
+    },
+    /// ACK bookkeeping for a packet closed.
+    Settled {
+        /// The settled sequence.
+        seq: Seq,
+        /// `true` if every expected ACK arrived.
+        complete: bool,
+    },
+    /// The `t_wait` EWMA absorbed a new sample (§2.3.2).
+    TWaitUpdated {
+        /// The new window, in nanoseconds.
+        t_wait_nanos: u64,
+    },
+    /// Consecutive incomplete settlements suggest congestion (§5).
+    CongestionSuspected {
+        /// Length of the incomplete streak.
+        streak: u32,
+    },
+    /// A receiver completed recovery of a lost packet.
+    Recovered {
+        /// The recovered sequence.
+        seq: Seq,
+        /// Loss-detection-to-recovery latency, in nanoseconds.
+        latency_nanos: u64,
+    },
+    /// A receiver gave up recovering a sequence.
+    RecoveryAbandoned {
+        /// The abandoned sequence.
+        seq: Seq,
+    },
+    /// A receiver fell behind the freshness horizon.
+    FreshnessLost,
+    /// A receiver caught back up to the freshness horizon.
+    FreshnessRestored,
+    /// The sender released its transmit buffer through `up_to` after log
+    /// acknowledgement (§2.2.2).
+    BufferReleased {
+        /// Highest released sequence.
+        up_to: Seq,
+    },
+    /// A logging server added a packet to its log.
+    PacketLogged {
+        /// The logged sequence.
+        seq: Seq,
+    },
+    /// The primary logging server stopped answering (§2.2.3).
+    PrimaryUnresponsive {
+        /// The unresponsive primary.
+        primary: HostId,
+    },
+    /// A replica was promoted to primary (§2.2.3).
+    FailoverPromoted {
+        /// The new primary.
+        new_primary: HostId,
+    },
+    /// The simulated network carried one send call (world-level view).
+    NetPacket {
+        /// Packet kind label (same labels as the sim's `NetStats`).
+        kind: &'static str,
+        /// `true` for multicast sends.
+        multicast: bool,
+        /// Copies actually delivered (after loss and scoping).
+        copies: u32,
+    },
+}
+
+impl ProtocolEvent {
+    /// Stable counter key for this event; distinguishes the variants the
+    /// paper's evaluation counts separately (unicast vs multicast
+    /// repairs, complete vs incomplete settlements).
+    pub fn key(&self) -> &'static str {
+        match self {
+            ProtocolEvent::DataSent { .. } => "data_sent",
+            ProtocolEvent::HeartbeatSent { .. } => "heartbeat_sent",
+            ProtocolEvent::GapDetected { .. } => "gap_detected",
+            ProtocolEvent::NackSent { .. } => "nack_sent",
+            ProtocolEvent::NackReceived { .. } => "nack_received",
+            ProtocolEvent::RetransServed {
+                multicast: false, ..
+            } => "retrans_served_unicast",
+            ProtocolEvent::RetransServed {
+                multicast: true, ..
+            } => "retrans_served_multicast",
+            ProtocolEvent::Remulticast { .. } => "remulticast",
+            ProtocolEvent::AckerSelected { .. } => "acker_selected",
+            ProtocolEvent::AckerVolunteered { .. } => "acker_volunteered",
+            ProtocolEvent::EpochActive { .. } => "epoch_active",
+            ProtocolEvent::Settled { complete: true, .. } => "settled_complete",
+            ProtocolEvent::Settled {
+                complete: false, ..
+            } => "settled_incomplete",
+            ProtocolEvent::TWaitUpdated { .. } => "t_wait_updated",
+            ProtocolEvent::CongestionSuspected { .. } => "congestion_suspected",
+            ProtocolEvent::Recovered { .. } => "recovered",
+            ProtocolEvent::RecoveryAbandoned { .. } => "recovery_abandoned",
+            ProtocolEvent::FreshnessLost => "freshness_lost",
+            ProtocolEvent::FreshnessRestored => "freshness_restored",
+            ProtocolEvent::BufferReleased { .. } => "buffer_released",
+            ProtocolEvent::PacketLogged { .. } => "packet_logged",
+            ProtocolEvent::PrimaryUnresponsive { .. } => "primary_unresponsive",
+            ProtocolEvent::FailoverPromoted { .. } => "failover_promoted",
+            ProtocolEvent::NetPacket {
+                multicast: false, ..
+            } => "net_unicast",
+            ProtocolEvent::NetPacket {
+                multicast: true, ..
+            } => "net_multicast",
+        }
+    }
+
+    /// Renders the event as one JSON object (used by [`JsonLinesSink`];
+    /// hand-rolled because the build environment has no serde).
+    pub fn to_json(&self, at_nanos: u64) -> String {
+        let mut s = String::with_capacity(96);
+        let _ = write!(s, "{{\"at_ns\":{at_nanos},\"event\":\"{}\"", self.key());
+        match self {
+            ProtocolEvent::DataSent { seq, epoch } => {
+                let _ = write!(s, ",\"seq\":{},\"epoch\":{}", seq.raw(), epoch.raw());
+            }
+            ProtocolEvent::HeartbeatSent { seq, hb_index } => {
+                let _ = write!(s, ",\"seq\":{},\"hb_index\":{hb_index}", seq.raw());
+            }
+            ProtocolEvent::GapDetected { first, last } => {
+                let _ = write!(s, ",\"first\":{},\"last\":{}", first.raw(), last.raw());
+            }
+            ProtocolEvent::NackSent { target, packets } => {
+                let _ = write!(s, ",\"target\":{},\"packets\":{packets}", target.raw());
+            }
+            ProtocolEvent::NackReceived { from, packets } => {
+                let _ = write!(s, ",\"from\":{},\"packets\":{packets}", from.raw());
+            }
+            ProtocolEvent::RetransServed { seq, .. }
+            | ProtocolEvent::RecoveryAbandoned { seq }
+            | ProtocolEvent::PacketLogged { seq } => {
+                let _ = write!(s, ",\"seq\":{}", seq.raw());
+            }
+            ProtocolEvent::Remulticast { seq, missing } => {
+                let _ = write!(s, ",\"seq\":{},\"missing\":{missing}", seq.raw());
+            }
+            ProtocolEvent::AckerSelected { epoch, p_ack } => {
+                let _ = write!(s, ",\"epoch\":{},\"p_ack\":{p_ack}", epoch.raw());
+            }
+            ProtocolEvent::AckerVolunteered { epoch } => {
+                let _ = write!(s, ",\"epoch\":{}", epoch.raw());
+            }
+            ProtocolEvent::EpochActive { epoch, ackers } => {
+                let _ = write!(s, ",\"epoch\":{},\"ackers\":{ackers}", epoch.raw());
+            }
+            ProtocolEvent::Settled { seq, .. } => {
+                let _ = write!(s, ",\"seq\":{}", seq.raw());
+            }
+            ProtocolEvent::TWaitUpdated { t_wait_nanos } => {
+                let _ = write!(s, ",\"t_wait_ns\":{t_wait_nanos}");
+            }
+            ProtocolEvent::CongestionSuspected { streak } => {
+                let _ = write!(s, ",\"streak\":{streak}");
+            }
+            ProtocolEvent::Recovered { seq, latency_nanos } => {
+                let _ = write!(s, ",\"seq\":{},\"latency_ns\":{latency_nanos}", seq.raw());
+            }
+            ProtocolEvent::FreshnessLost | ProtocolEvent::FreshnessRestored => {}
+            ProtocolEvent::BufferReleased { up_to } => {
+                let _ = write!(s, ",\"up_to\":{}", up_to.raw());
+            }
+            ProtocolEvent::PrimaryUnresponsive { primary } => {
+                let _ = write!(s, ",\"primary\":{}", primary.raw());
+            }
+            ProtocolEvent::FailoverPromoted { new_primary } => {
+                let _ = write!(s, ",\"new_primary\":{}", new_primary.raw());
+            }
+            ProtocolEvent::NetPacket { kind, copies, .. } => {
+                let _ = write!(s, ",\"kind\":\"{kind}\",\"copies\":{copies}");
+            }
+        }
+        s.push('}');
+        s
+    }
+}
+
+/// Consumes protocol events. Implementations must tolerate concurrent
+/// calls (`&self`); aggregate internally with atomics or a mutex.
+pub trait TraceSink: Send + Sync {
+    /// Records one event at `at_nanos` on the emitting clock.
+    fn record(&self, at_nanos: u64, event: &ProtocolEvent);
+}
+
+/// The handle protocol machines hold.
+///
+/// Cloning is cheap (an `Arc` bump or nothing). The default is
+/// [`disabled`](Tracer::disabled): one `Option` test per emission site
+/// and the event closure is never even invoked.
+#[derive(Clone, Default)]
+pub struct Tracer {
+    sink: Option<Arc<dyn TraceSink>>,
+}
+
+impl std::fmt::Debug for Tracer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Tracer")
+            .field("enabled", &self.is_enabled())
+            .finish()
+    }
+}
+
+impl Tracer {
+    /// A tracer that drops everything without constructing events.
+    pub const fn disabled() -> Self {
+        Tracer { sink: None }
+    }
+
+    /// A tracer feeding `sink`.
+    pub fn to(sink: Arc<dyn TraceSink>) -> Self {
+        Tracer { sink: Some(sink) }
+    }
+
+    /// `true` if events reach a sink.
+    pub fn is_enabled(&self) -> bool {
+        self.sink.is_some()
+    }
+
+    /// Emits the event built by `make` — only called when a sink is
+    /// attached, so disabled tracing never pays for event construction.
+    #[inline]
+    pub fn emit(&self, at_nanos: u64, make: impl FnOnce() -> ProtocolEvent) {
+        if let Some(sink) = &self.sink {
+            sink.record(at_nanos, &make());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_tracer_never_builds_events() {
+        let t = Tracer::disabled();
+        let mut built = false;
+        t.emit(0, || {
+            built = true;
+            ProtocolEvent::FreshnessLost
+        });
+        assert!(!built);
+        assert!(!t.is_enabled());
+    }
+
+    #[test]
+    fn keys_distinguish_repair_paths_and_settlement_outcomes() {
+        assert_eq!(
+            ProtocolEvent::RetransServed {
+                seq: Seq(1),
+                multicast: false
+            }
+            .key(),
+            "retrans_served_unicast"
+        );
+        assert_eq!(
+            ProtocolEvent::RetransServed {
+                seq: Seq(1),
+                multicast: true
+            }
+            .key(),
+            "retrans_served_multicast"
+        );
+        assert_eq!(
+            ProtocolEvent::Settled {
+                seq: Seq(1),
+                complete: true
+            }
+            .key(),
+            "settled_complete"
+        );
+        assert_eq!(
+            ProtocolEvent::Settled {
+                seq: Seq(1),
+                complete: false
+            }
+            .key(),
+            "settled_incomplete"
+        );
+    }
+
+    #[test]
+    fn json_lines_are_well_formed() {
+        let line = ProtocolEvent::Recovered {
+            seq: Seq(7),
+            latency_nanos: 42,
+        }
+        .to_json(1000);
+        assert_eq!(
+            line,
+            "{\"at_ns\":1000,\"event\":\"recovered\",\"seq\":7,\"latency_ns\":42}"
+        );
+        let line = ProtocolEvent::NetPacket {
+            kind: "data",
+            multicast: true,
+            copies: 9,
+        }
+        .to_json(5);
+        assert_eq!(
+            line,
+            "{\"at_ns\":5,\"event\":\"net_multicast\",\"kind\":\"data\",\"copies\":9}"
+        );
+    }
+}

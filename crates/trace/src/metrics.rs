@@ -1,0 +1,206 @@
+//! The metrics registry: per-event counters plus the two latency
+//! distributions the paper's evaluation revolves around.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::Mutex;
+use std::time::Duration;
+
+use crate::{ProtocolEvent, TraceSink};
+
+/// A latency distribution that retains every sample, so experiments can
+/// compute exact percentiles (runs are sim-scale: thousands of samples,
+/// not millions).
+#[derive(Debug, Default)]
+pub struct Histogram {
+    samples_nanos: Vec<u64>,
+}
+
+impl Histogram {
+    /// Adds one sample.
+    pub fn record(&mut self, nanos: u64) {
+        self.samples_nanos.push(nanos);
+    }
+
+    /// An immutable view for computation.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut sorted = self.samples_nanos.clone();
+        sorted.sort_unstable();
+        HistogramSnapshot {
+            sorted_nanos: sorted,
+        }
+    }
+}
+
+/// A sorted copy of a [`Histogram`]'s samples.
+#[derive(Debug, Clone, Default)]
+pub struct HistogramSnapshot {
+    sorted_nanos: Vec<u64>,
+}
+
+impl HistogramSnapshot {
+    /// Number of samples.
+    pub fn count(&self) -> usize {
+        self.sorted_nanos.len()
+    }
+
+    /// All samples, ascending.
+    pub fn samples(&self) -> Vec<Duration> {
+        self.sorted_nanos
+            .iter()
+            .map(|&n| Duration::from_nanos(n))
+            .collect()
+    }
+
+    /// Arithmetic mean, or zero when empty.
+    pub fn mean(&self) -> Duration {
+        if self.sorted_nanos.is_empty() {
+            return Duration::ZERO;
+        }
+        let sum: u128 = self.sorted_nanos.iter().map(|&n| u128::from(n)).sum();
+        Duration::from_nanos((sum / self.sorted_nanos.len() as u128) as u64)
+    }
+
+    /// The `p`-th percentile (`0.0..=1.0`) by nearest-rank, or zero when
+    /// empty.
+    pub fn percentile(&self, p: f64) -> Duration {
+        if self.sorted_nanos.is_empty() {
+            return Duration::ZERO;
+        }
+        let rank = ((p.clamp(0.0, 1.0) * self.sorted_nanos.len() as f64).ceil() as usize)
+            .clamp(1, self.sorted_nanos.len());
+        Duration::from_nanos(self.sorted_nanos[rank - 1])
+    }
+
+    /// Largest sample, or zero when empty.
+    pub fn max(&self) -> Duration {
+        Duration::from_nanos(self.sorted_nanos.last().copied().unwrap_or(0))
+    }
+}
+
+/// A [`TraceSink`] that aggregates: a counter per
+/// [`ProtocolEvent::key`], a histogram of recovery latencies (from
+/// [`ProtocolEvent::Recovered`]) and a histogram of `t_wait` values
+/// (from [`ProtocolEvent::TWaitUpdated`]).
+///
+/// Share one registry across the machines whose events should aggregate
+/// together (e.g. all receivers of a scenario).
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    counters: Mutex<BTreeMap<&'static str, u64>>,
+    recovery_latency: Mutex<Histogram>,
+    t_wait: Mutex<Histogram>,
+}
+
+impl MetricsRegistry {
+    /// Events counted under `key` so far.
+    pub fn counter(&self, key: &str) -> u64 {
+        *self.counters.lock().unwrap().get(key).unwrap_or(&0)
+    }
+
+    /// All nonzero counters, sorted by key.
+    pub fn counters(&self) -> BTreeMap<&'static str, u64> {
+        self.counters.lock().unwrap().clone()
+    }
+
+    /// The recovery-latency distribution accumulated so far.
+    pub fn recovery_latency(&self) -> HistogramSnapshot {
+        self.recovery_latency.lock().unwrap().snapshot()
+    }
+
+    /// The `t_wait` sample distribution accumulated so far.
+    pub fn t_wait(&self) -> HistogramSnapshot {
+        self.t_wait.lock().unwrap().snapshot()
+    }
+
+    /// Renders counters and histogram summaries as an aligned text
+    /// table (for reports and `reproduce`).
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        for (key, n) in self.counters() {
+            let _ = writeln!(s, "  {key:<28} {n:>10}");
+        }
+        for (name, h) in [
+            ("recovery_latency", self.recovery_latency()),
+            ("t_wait", self.t_wait()),
+        ] {
+            if h.count() > 0 {
+                let _ = writeln!(
+                    s,
+                    "  {name:<28} n={} mean={:.1?} p95={:.1?} max={:.1?}",
+                    h.count(),
+                    h.mean(),
+                    h.percentile(0.95),
+                    h.max()
+                );
+            }
+        }
+        s
+    }
+}
+
+impl TraceSink for MetricsRegistry {
+    fn record(&self, _at_nanos: u64, event: &ProtocolEvent) {
+        *self
+            .counters
+            .lock()
+            .unwrap()
+            .entry(event.key())
+            .or_insert(0) += 1;
+        match event {
+            ProtocolEvent::Recovered { latency_nanos, .. } => {
+                self.recovery_latency.lock().unwrap().record(*latency_nanos);
+            }
+            ProtocolEvent::TWaitUpdated { t_wait_nanos } => {
+                self.t_wait.lock().unwrap().record(*t_wait_nanos);
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lbrm_wire::Seq;
+
+    #[test]
+    fn registry_counts_and_feeds_histograms() {
+        let reg = MetricsRegistry::default();
+        for i in 1..=4u64 {
+            reg.record(
+                i,
+                &ProtocolEvent::Recovered {
+                    seq: Seq(i as u32),
+                    latency_nanos: i * 100,
+                },
+            );
+        }
+        reg.record(9, &ProtocolEvent::TWaitUpdated { t_wait_nanos: 5000 });
+        assert_eq!(reg.counter("recovered"), 4);
+        assert_eq!(reg.counter("t_wait_updated"), 1);
+        let h = reg.recovery_latency();
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.mean(), Duration::from_nanos(250));
+        assert_eq!(h.max(), Duration::from_nanos(400));
+        assert_eq!(reg.t_wait().samples(), vec![Duration::from_nanos(5000)]);
+        let table = reg.render();
+        assert!(table.contains("recovered"));
+        assert!(table.contains("recovery_latency"));
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let mut h = Histogram::default();
+        for n in 1..=100u64 {
+            h.record(n);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.percentile(0.5), Duration::from_nanos(50));
+        assert_eq!(s.percentile(0.95), Duration::from_nanos(95));
+        assert_eq!(s.percentile(1.0), Duration::from_nanos(100));
+        assert_eq!(s.percentile(0.0), Duration::from_nanos(1));
+        assert_eq!(HistogramSnapshot::default().percentile(0.5), Duration::ZERO);
+        assert_eq!(HistogramSnapshot::default().mean(), Duration::ZERO);
+    }
+}

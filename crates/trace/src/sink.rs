@@ -1,0 +1,186 @@
+//! The stock [`TraceSink`] implementations.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::io::Write;
+use std::sync::Mutex;
+
+use crate::{ProtocolEvent, TraceSink};
+
+/// Accepts every event and does nothing. Distinct from a *disabled*
+/// [`Tracer`](crate::Tracer): events are still constructed and
+/// dispatched, which is exactly what the `protocol_micro` overhead
+/// comparison measures.
+#[derive(Debug, Default)]
+pub struct NoopSink;
+
+impl TraceSink for NoopSink {
+    fn record(&self, _at_nanos: u64, _event: &ProtocolEvent) {}
+}
+
+/// Counts events per [`ProtocolEvent::key`].
+#[derive(Debug, Default)]
+pub struct CountingSink {
+    counts: Mutex<BTreeMap<&'static str, u64>>,
+}
+
+impl CountingSink {
+    /// Events recorded under `key` so far.
+    pub fn count(&self, key: &str) -> u64 {
+        *self.counts.lock().unwrap().get(key).unwrap_or(&0)
+    }
+
+    /// All nonzero counters, sorted by key.
+    pub fn snapshot(&self) -> BTreeMap<&'static str, u64> {
+        self.counts.lock().unwrap().clone()
+    }
+
+    /// Total events recorded.
+    pub fn total(&self) -> u64 {
+        self.counts.lock().unwrap().values().sum()
+    }
+}
+
+impl TraceSink for CountingSink {
+    fn record(&self, _at_nanos: u64, event: &ProtocolEvent) {
+        *self.counts.lock().unwrap().entry(event.key()).or_insert(0) += 1;
+    }
+}
+
+/// Keeps the last `capacity` events with timestamps — a flight recorder
+/// for post-mortem debugging of a run.
+#[derive(Debug)]
+pub struct RingSink {
+    capacity: usize,
+    buf: Mutex<VecDeque<(u64, ProtocolEvent)>>,
+}
+
+impl RingSink {
+    /// A ring holding at most `capacity` events (at least 1).
+    pub fn new(capacity: usize) -> Self {
+        RingSink {
+            capacity: capacity.max(1),
+            buf: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    /// The retained events, oldest first.
+    pub fn events(&self) -> Vec<(u64, ProtocolEvent)> {
+        self.buf.lock().unwrap().iter().cloned().collect()
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.buf.lock().unwrap().len()
+    }
+
+    /// `true` if nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.buf.lock().unwrap().is_empty()
+    }
+}
+
+impl TraceSink for RingSink {
+    fn record(&self, at_nanos: u64, event: &ProtocolEvent) {
+        let mut buf = self.buf.lock().unwrap();
+        if buf.len() == self.capacity {
+            buf.pop_front();
+        }
+        buf.push_back((at_nanos, event.clone()));
+    }
+}
+
+/// Streams events as JSON lines to any writer (a file, a pipe, or an
+/// in-memory buffer for tests).
+#[derive(Debug)]
+pub struct JsonLinesSink<W: Write + Send> {
+    out: Mutex<W>,
+}
+
+impl<W: Write + Send> JsonLinesSink<W> {
+    /// Wraps `writer`; one line is written per event.
+    pub fn new(writer: W) -> Self {
+        JsonLinesSink {
+            out: Mutex::new(writer),
+        }
+    }
+
+    /// Consumes the sink, returning the writer.
+    pub fn into_inner(self) -> W {
+        self.out.into_inner().unwrap()
+    }
+}
+
+impl JsonLinesSink<Vec<u8>> {
+    /// An in-memory sink, convenient for tests and reports.
+    pub fn buffered() -> Self {
+        JsonLinesSink::new(Vec::new())
+    }
+
+    /// The lines written so far.
+    pub fn contents(&self) -> String {
+        String::from_utf8_lossy(&self.out.lock().unwrap()).into_owned()
+    }
+}
+
+impl<W: Write + Send> TraceSink for JsonLinesSink<W> {
+    fn record(&self, at_nanos: u64, event: &ProtocolEvent) {
+        let mut out = self.out.lock().unwrap();
+        // A full pipe or closed file is not the protocol's problem.
+        let _ = writeln!(out, "{}", event.to_json(at_nanos));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Tracer;
+    use lbrm_wire::Seq;
+    use std::sync::Arc;
+
+    fn ev(seq: u32) -> ProtocolEvent {
+        ProtocolEvent::DataSent {
+            seq: Seq(seq),
+            epoch: lbrm_wire::EpochId(0),
+        }
+    }
+
+    #[test]
+    fn counting_sink_counts_by_key() {
+        let sink = Arc::new(CountingSink::default());
+        let t = Tracer::to(sink.clone());
+        for i in 0..3 {
+            t.emit(i, || ev(i as u32));
+        }
+        t.emit(9, || ProtocolEvent::FreshnessLost);
+        assert_eq!(sink.count("data_sent"), 3);
+        assert_eq!(sink.count("freshness_lost"), 1);
+        assert_eq!(sink.count("never_emitted"), 0);
+        assert_eq!(sink.total(), 4);
+        assert_eq!(sink.snapshot().len(), 2);
+    }
+
+    #[test]
+    fn ring_sink_keeps_only_newest() {
+        let sink = RingSink::new(2);
+        for i in 0..5u64 {
+            sink.record(i, &ev(i as u32));
+        }
+        let events = sink.events();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].0, 3);
+        assert_eq!(events[1].0, 4);
+        assert!(!sink.is_empty());
+    }
+
+    #[test]
+    fn json_lines_sink_writes_one_line_per_event() {
+        let sink = JsonLinesSink::buffered();
+        sink.record(1, &ev(10));
+        sink.record(2, &ProtocolEvent::FreshnessRestored);
+        let text = sink.contents();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("\"event\":\"data_sent\""));
+        assert!(lines[1].contains("\"event\":\"freshness_restored\""));
+    }
+}

@@ -70,7 +70,10 @@ impl std::fmt::Display for WireError {
             WireError::BadVersion(v) => write!(f, "unsupported version {v}"),
             WireError::UnknownType(t) => write!(f, "unknown packet type {t}"),
             WireError::BadLength { claimed, actual } => {
-                write!(f, "bad length: header claims {claimed}, buffer has {actual}")
+                write!(
+                    f,
+                    "bad length: header claims {claimed}, buffer has {actual}"
+                )
             }
             WireError::BadChecksum => write!(f, "checksum mismatch"),
             WireError::FieldOverflow => write!(f, "field exceeds protocol limits"),
@@ -189,14 +192,27 @@ pub fn encode(p: &Packet) -> Result<Bytes, WireError> {
     buf.put_u16(0); // checksum placeholder
 
     match p {
-        Packet::Data { group, source, seq, epoch, payload } => {
+        Packet::Data {
+            group,
+            source,
+            seq,
+            epoch,
+            payload,
+        } => {
             buf.put_u32(group.raw());
             buf.put_u64(source.raw());
             buf.put_u32(seq.raw());
             buf.put_u32(epoch.raw());
             put_payload(&mut buf, payload);
         }
-        Packet::Heartbeat { group, source, seq, epoch, hb_index, payload } => {
+        Packet::Heartbeat {
+            group,
+            source,
+            seq,
+            epoch,
+            hb_index,
+            payload,
+        } => {
             buf.put_u32(group.raw());
             buf.put_u64(source.raw());
             buf.put_u32(seq.raw());
@@ -204,7 +220,12 @@ pub fn encode(p: &Packet) -> Result<Bytes, WireError> {
             buf.put_u32(*hb_index);
             put_payload(&mut buf, payload);
         }
-        Packet::Nack { group, source, requester, ranges } => {
+        Packet::Nack {
+            group,
+            source,
+            requester,
+            ranges,
+        } => {
             if ranges.len() > MAX_NACK_RANGES {
                 return Err(WireError::FieldOverflow);
             }
@@ -213,19 +234,34 @@ pub fn encode(p: &Packet) -> Result<Bytes, WireError> {
             buf.put_u64(requester.raw());
             put_ranges(&mut buf, ranges);
         }
-        Packet::Retrans { group, source, seq, payload } => {
+        Packet::Retrans {
+            group,
+            source,
+            seq,
+            payload,
+        } => {
             buf.put_u32(group.raw());
             buf.put_u64(source.raw());
             buf.put_u32(seq.raw());
             put_payload(&mut buf, payload);
         }
-        Packet::LogAck { group, source, primary_seq, replica_seq } => {
+        Packet::LogAck {
+            group,
+            source,
+            primary_seq,
+            replica_seq,
+        } => {
             buf.put_u32(group.raw());
             buf.put_u64(source.raw());
             buf.put_u32(primary_seq.raw());
             buf.put_u32(replica_seq.raw());
         }
-        Packet::AckerSelect { group, source, epoch, p_ack } => {
+        Packet::AckerSelect {
+            group,
+            source,
+            epoch,
+            p_ack,
+        } => {
             if !p_ack.is_finite() || !(0.0..=1.0).contains(p_ack) {
                 return Err(WireError::BadProbability);
             }
@@ -234,41 +270,74 @@ pub fn encode(p: &Packet) -> Result<Bytes, WireError> {
             buf.put_u32(epoch.raw());
             buf.put_u64(p_ack.to_bits());
         }
-        Packet::AckerVolunteer { group, source, epoch, logger } => {
+        Packet::AckerVolunteer {
+            group,
+            source,
+            epoch,
+            logger,
+        } => {
             buf.put_u32(group.raw());
             buf.put_u64(source.raw());
             buf.put_u32(epoch.raw());
             buf.put_u64(logger.raw());
         }
-        Packet::PacketAck { group, source, epoch, seq, logger } => {
+        Packet::PacketAck {
+            group,
+            source,
+            epoch,
+            seq,
+            logger,
+        } => {
             buf.put_u32(group.raw());
             buf.put_u64(source.raw());
             buf.put_u32(epoch.raw());
             buf.put_u32(seq.raw());
             buf.put_u64(logger.raw());
         }
-        Packet::DiscoveryQuery { group, nonce, requester } => {
+        Packet::DiscoveryQuery {
+            group,
+            nonce,
+            requester,
+        } => {
             buf.put_u32(group.raw());
             buf.put_u64(*nonce);
             buf.put_u64(requester.raw());
         }
-        Packet::DiscoveryReply { group, nonce, logger, level } => {
+        Packet::DiscoveryReply {
+            group,
+            nonce,
+            logger,
+            level,
+        } => {
             buf.put_u32(group.raw());
             buf.put_u64(*nonce);
             buf.put_u64(logger.raw());
             buf.put_u8(*level);
         }
-        Packet::LocatePrimary { group, source, requester } => {
+        Packet::LocatePrimary {
+            group,
+            source,
+            requester,
+        } => {
             buf.put_u32(group.raw());
             buf.put_u64(source.raw());
             buf.put_u64(requester.raw());
         }
-        Packet::PrimaryIs { group, source, primary } => {
+        Packet::PrimaryIs {
+            group,
+            source,
+            primary,
+        } => {
             buf.put_u32(group.raw());
             buf.put_u64(source.raw());
             buf.put_u64(primary.raw());
         }
-        Packet::ReplUpdate { group, source, seq, payload } => {
+        Packet::ReplUpdate {
+            group,
+            source,
+            seq,
+            payload,
+        } => {
             buf.put_u32(group.raw());
             buf.put_u64(source.raw());
             buf.put_u32(seq.raw());
@@ -279,12 +348,21 @@ pub fn encode(p: &Packet) -> Result<Bytes, WireError> {
             buf.put_u64(source.raw());
             buf.put_u32(seq.raw());
         }
-        Packet::SrmSession { group, member, last_seq } => {
+        Packet::SrmSession {
+            group,
+            member,
+            last_seq,
+        } => {
             buf.put_u32(group.raw());
             buf.put_u64(member.raw());
             buf.put_u32(last_seq.raw());
         }
-        Packet::SrmNack { group, source, requester, ranges } => {
+        Packet::SrmNack {
+            group,
+            source,
+            requester,
+            ranges,
+        } => {
             if ranges.len() > MAX_NACK_RANGES {
                 return Err(WireError::FieldOverflow);
             }
@@ -293,7 +371,13 @@ pub fn encode(p: &Packet) -> Result<Bytes, WireError> {
             buf.put_u64(requester.raw());
             put_ranges(&mut buf, ranges);
         }
-        Packet::SrmRepair { group, source, seq, responder, payload } => {
+        Packet::SrmRepair {
+            group,
+            source,
+            seq,
+            responder,
+            payload,
+        } => {
             buf.put_u32(group.raw());
             buf.put_u64(source.raw());
             buf.put_u32(seq.raw());
@@ -391,7 +475,10 @@ impl<'a> Reader<'a> {
         if self.buf.is_empty() {
             Ok(())
         } else {
-            Err(WireError::BadLength { claimed: 0, actual: self.buf.len() })
+            Err(WireError::BadLength {
+                claimed: 0,
+                actual: self.buf.len(),
+            })
         }
     }
 }
@@ -418,7 +505,10 @@ pub fn decode(data: &[u8]) -> Result<Packet, WireError> {
     let typ = data[3];
     let claimed = u16::from_be_bytes([data[4], data[5]]) as usize;
     if claimed != data.len() {
-        return Err(WireError::BadLength { claimed, actual: data.len() });
+        return Err(WireError::BadLength {
+            claimed,
+            actual: data.len(),
+        });
     }
     let wire_cksum = u16::from_be_bytes([data[6], data[7]]);
     let mut zeroed = data.to_vec();
@@ -428,7 +518,9 @@ pub fn decode(data: &[u8]) -> Result<Packet, WireError> {
         return Err(WireError::BadChecksum);
     }
 
-    let mut r = Reader { buf: &data[HEADER_LEN..] };
+    let mut r = Reader {
+        buf: &data[HEADER_LEN..],
+    };
     let pkt = match typ {
         tag::DATA => Packet::Data {
             group: r.group()?,
@@ -471,7 +563,12 @@ pub fn decode(data: &[u8]) -> Result<Packet, WireError> {
             if !p_ack.is_finite() || !(0.0..=1.0).contains(&p_ack) {
                 return Err(WireError::BadProbability);
             }
-            Packet::AckerSelect { group, source, epoch, p_ack }
+            Packet::AckerSelect {
+                group,
+                source,
+                epoch,
+                p_ack,
+            }
         }
         tag::ACKER_VOLUNTEER => Packet::AckerVolunteer {
             group: r.group()?,
@@ -569,8 +666,14 @@ mod tests {
                 source: SourceId(2),
                 requester: HostId(9),
                 ranges: vec![
-                    SeqRange { first: Seq(5), last: Seq(5) },
-                    SeqRange { first: Seq(8), last: Seq(12) },
+                    SeqRange {
+                        first: Seq(5),
+                        last: Seq(5),
+                    },
+                    SeqRange {
+                        first: Seq(8),
+                        last: Seq(12),
+                    },
                 ],
             },
             Packet::Retrans {
@@ -604,23 +707,43 @@ mod tests {
                 seq: Seq(33),
                 logger: HostId(33),
             },
-            Packet::DiscoveryQuery { group: GroupId(1), nonce: 0xDEAD_BEEF, requester: HostId(3) },
+            Packet::DiscoveryQuery {
+                group: GroupId(1),
+                nonce: 0xDEAD_BEEF,
+                requester: HostId(3),
+            },
             Packet::DiscoveryReply {
                 group: GroupId(1),
                 nonce: 0xDEAD_BEEF,
                 logger: HostId(44),
                 level: 1,
             },
-            Packet::LocatePrimary { group: GroupId(1), source: SourceId(2), requester: HostId(3) },
-            Packet::PrimaryIs { group: GroupId(1), source: SourceId(2), primary: HostId(50) },
+            Packet::LocatePrimary {
+                group: GroupId(1),
+                source: SourceId(2),
+                requester: HostId(3),
+            },
+            Packet::PrimaryIs {
+                group: GroupId(1),
+                source: SourceId(2),
+                primary: HostId(50),
+            },
             Packet::ReplUpdate {
                 group: GroupId(1),
                 source: SourceId(2),
                 seq: Seq(6),
                 payload: Bytes::from_static(b"replica copy"),
             },
-            Packet::ReplAck { group: GroupId(1), source: SourceId(2), seq: Seq(6) },
-            Packet::SrmSession { group: GroupId(1), member: HostId(7), last_seq: Seq(99) },
+            Packet::ReplAck {
+                group: GroupId(1),
+                source: SourceId(2),
+                seq: Seq(6),
+            },
+            Packet::SrmSession {
+                group: GroupId(1),
+                member: HostId(7),
+                last_seq: Seq(99),
+            },
             Packet::SrmNack {
                 group: GroupId(1),
                 source: SourceId(2),

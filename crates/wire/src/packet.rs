@@ -27,7 +27,10 @@ impl SeqRange {
     /// A single-packet range.
     #[inline]
     pub fn single(seq: Seq) -> Self {
-        SeqRange { first: seq, last: seq }
+        SeqRange {
+            first: seq,
+            last: seq,
+        }
     }
 
     /// Number of sequence numbers covered.
@@ -384,7 +387,10 @@ mod tests {
 
     #[test]
     fn seq_range_basics() {
-        let r = SeqRange { first: Seq(5), last: Seq(9) };
+        let r = SeqRange {
+            first: Seq(5),
+            last: Seq(9),
+        };
         assert_eq!(r.len(), 5);
         assert!(!r.is_empty());
         assert!(r.contains(Seq(5)));
@@ -396,7 +402,10 @@ mod tests {
 
     #[test]
     fn seq_range_wraparound() {
-        let r = SeqRange { first: Seq(u32::MAX), last: Seq(1) };
+        let r = SeqRange {
+            first: Seq(u32::MAX),
+            last: Seq(1),
+        };
         assert_eq!(r.len(), 3);
         assert!(r.contains(Seq(0)));
         assert!(!r.contains(Seq(2)));

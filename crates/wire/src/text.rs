@@ -138,7 +138,11 @@ pub fn parse_message(line: &str) -> Result<TextMessage, TextError> {
             // An UPDATE is by definition the original transmission.
             return Err(TextError::Malformed);
         }
-        Ok(TextMessage::Update { seq: Seq(seq), url: url.to_owned(), retrans })
+        Ok(TextMessage::Update {
+            seq: Seq(seq),
+            url: url.to_owned(),
+            retrans,
+        })
     } else if rest.trim() == "HEARTBEAT" {
         if hb == 0 {
             return Err(TextError::Malformed);
@@ -147,7 +151,10 @@ pub fn parse_message(line: &str) -> Result<TextMessage, TextError> {
             // Heartbeats are never retransmitted.
             return Err(TextError::BadTag);
         }
-        Ok(TextMessage::Heartbeat { seq: Seq(seq), hb_index: hb })
+        Ok(TextMessage::Heartbeat {
+            seq: Seq(seq),
+            hb_index: hb,
+        })
     } else {
         Err(TextError::BadOperation)
     }
@@ -162,10 +169,14 @@ pub fn parse_message(line: &str) -> Result<TextMessage, TextError> {
 /// quad is not a valid multicast address.
 pub fn parse_multicast_tag(html: &str) -> Result<Ipv4Addr, TextError> {
     let first = html.lines().next().ok_or(TextError::BadMulticastTag)?;
-    let start = first.find("<!MULTICAST.").ok_or(TextError::BadMulticastTag)?;
+    let start = first
+        .find("<!MULTICAST.")
+        .ok_or(TextError::BadMulticastTag)?;
     let rest = &first[start + "<!MULTICAST.".len()..];
     let end = rest.find(".>").ok_or(TextError::BadMulticastTag)?;
-    let addr: Ipv4Addr = rest[..end].parse().map_err(|_| TextError::BadMulticastTag)?;
+    let addr: Ipv4Addr = rest[..end]
+        .parse()
+        .map_err(|_| TextError::BadMulticastTag)?;
     if !addr.is_multicast() {
         return Err(TextError::BadMulticastTag);
     }
@@ -197,7 +208,13 @@ mod tests {
         );
 
         let m = parse_message("TRANS: 17.12: HEARTBEAT").unwrap();
-        assert_eq!(m, TextMessage::Heartbeat { seq: Seq(17), hb_index: 12 });
+        assert_eq!(
+            m,
+            TextMessage::Heartbeat {
+                seq: Seq(17),
+                hb_index: 12
+            }
+        );
     }
 
     #[test]
@@ -209,9 +226,20 @@ mod tests {
     #[test]
     fn display_roundtrip() {
         let msgs = [
-            TextMessage::Update { seq: Seq(5), url: "http://a/b.html".into(), retrans: false },
-            TextMessage::Update { seq: Seq(5), url: "http://a/b.html".into(), retrans: true },
-            TextMessage::Heartbeat { seq: Seq(5), hb_index: 3 },
+            TextMessage::Update {
+                seq: Seq(5),
+                url: "http://a/b.html".into(),
+                retrans: false,
+            },
+            TextMessage::Update {
+                seq: Seq(5),
+                url: "http://a/b.html".into(),
+                retrans: true,
+            },
+            TextMessage::Heartbeat {
+                seq: Seq(5),
+                hb_index: 3,
+            },
         ];
         for m in msgs {
             assert_eq!(parse_message(&m.to_string()).unwrap(), m);
@@ -221,15 +249,36 @@ mod tests {
     #[test]
     fn rejects_malformed() {
         assert_eq!(parse_message("NOPE:1.0:HEARTBEAT"), Err(TextError::BadTag));
-        assert_eq!(parse_message("TRANS:xy.0:HEARTBEAT"), Err(TextError::BadSequence));
-        assert_eq!(parse_message("TRANS:1:HEARTBEAT"), Err(TextError::BadSequence));
-        assert_eq!(parse_message("TRANS:1.0:FROB:x"), Err(TextError::BadOperation));
-        assert_eq!(parse_message("TRANS:1.0:UPDATE:"), Err(TextError::Malformed));
+        assert_eq!(
+            parse_message("TRANS:xy.0:HEARTBEAT"),
+            Err(TextError::BadSequence)
+        );
+        assert_eq!(
+            parse_message("TRANS:1:HEARTBEAT"),
+            Err(TextError::BadSequence)
+        );
+        assert_eq!(
+            parse_message("TRANS:1.0:FROB:x"),
+            Err(TextError::BadOperation)
+        );
+        assert_eq!(
+            parse_message("TRANS:1.0:UPDATE:"),
+            Err(TextError::Malformed)
+        );
         // hb must be 0 for updates, nonzero for heartbeats
-        assert_eq!(parse_message("TRANS:1.2:UPDATE:http://x/"), Err(TextError::Malformed));
-        assert_eq!(parse_message("TRANS:1.0:HEARTBEAT"), Err(TextError::Malformed));
+        assert_eq!(
+            parse_message("TRANS:1.2:UPDATE:http://x/"),
+            Err(TextError::Malformed)
+        );
+        assert_eq!(
+            parse_message("TRANS:1.0:HEARTBEAT"),
+            Err(TextError::Malformed)
+        );
         // heartbeats are never retransmitted
-        assert_eq!(parse_message("RETRANS:1.2:HEARTBEAT"), Err(TextError::BadTag));
+        assert_eq!(
+            parse_message("RETRANS:1.2:HEARTBEAT"),
+            Err(TextError::BadTag)
+        );
     }
 
     #[test]
@@ -242,7 +291,10 @@ mod tests {
     #[test]
     fn multicast_tag_paper_example() {
         let html = "<!MULTICAST.234.12.29.72.>\n<h1>hello</h1>";
-        assert_eq!(parse_multicast_tag(html).unwrap(), Ipv4Addr::new(234, 12, 29, 72));
+        assert_eq!(
+            parse_multicast_tag(html).unwrap(),
+            Ipv4Addr::new(234, 12, 29, 72)
+        );
     }
 
     #[test]
@@ -251,7 +303,10 @@ mod tests {
             parse_multicast_tag("<!MULTICAST.10.0.0.1.>\n"),
             Err(TextError::BadMulticastTag)
         );
-        assert_eq!(parse_multicast_tag("<html>"), Err(TextError::BadMulticastTag));
+        assert_eq!(
+            parse_multicast_tag("<html>"),
+            Err(TextError::BadMulticastTag)
+        );
         assert_eq!(parse_multicast_tag(""), Err(TextError::BadMulticastTag));
         assert_eq!(
             parse_multicast_tag("<!MULTICAST.not.an.addr.>\n"),
@@ -262,6 +317,12 @@ mod tests {
     #[test]
     fn crlf_tolerated() {
         let m = parse_message("TRANS:3.1:HEARTBEAT\r\n").unwrap();
-        assert_eq!(m, TextMessage::Heartbeat { seq: Seq(3), hb_index: 1 });
+        assert_eq!(
+            m,
+            TextMessage::Heartbeat {
+                seq: Seq(3),
+                hb_index: 1
+            }
+        );
     }
 }

@@ -1,144 +1,177 @@
-//! Property tests for the wire layer: arbitrary packets roundtrip through
-//! the binary codec, arbitrary bytes never panic the decoder, and
-//! sequence arithmetic obeys serial-number laws.
+//! Randomized property tests for the wire layer: arbitrary packets
+//! roundtrip through the binary codec, arbitrary bytes never panic the
+//! decoder, and sequence arithmetic obeys serial-number laws.
+//!
+//! The crates.io `proptest` harness is unavailable offline, so these
+//! run as seeded randomized loops (deterministic per seed — a failure
+//! reproduces by rerunning the test).
 
 use bytes::Bytes;
 use lbrm_wire::packet::{Packet, SeqRange};
 use lbrm_wire::{decode, encode, EpochId, GroupId, HostId, Seq, SourceId};
-use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
 
-fn arb_payload() -> impl Strategy<Value = Bytes> {
-    proptest::collection::vec(any::<u8>(), 0..512).prop_map(Bytes::from)
+const CASES: usize = 512;
+
+fn rng(seed: u64) -> SmallRng {
+    SmallRng::seed_from_u64(seed)
 }
 
-fn arb_ranges() -> impl Strategy<Value = Vec<SeqRange>> {
-    proptest::collection::vec((any::<u32>(), 0u32..1000), 0..16).prop_map(|v| {
-        v.into_iter()
-            .map(|(first, span)| SeqRange { first: Seq(first), last: Seq(first).add(span) })
-            .collect()
-    })
+fn arb_payload(r: &mut SmallRng) -> Bytes {
+    let len = r.random_range(0u64..512) as usize;
+    (0..len)
+        .map(|_| r.random::<u64>() as u8)
+        .collect::<Vec<u8>>()
+        .into()
 }
 
-fn arb_packet() -> impl Strategy<Value = Packet> {
-    let ids = (any::<u32>(), any::<u64>(), any::<u32>(), any::<u32>());
-    prop_oneof![
-        (ids, arb_payload()).prop_map(|((g, s, q, e), payload)| Packet::Data {
-            group: GroupId(g),
-            source: SourceId(s),
-            seq: Seq(q),
-            epoch: EpochId(e),
-            payload,
-        }),
-        (ids, any::<u32>(), arb_payload()).prop_map(|((g, s, q, e), hb, payload)| {
-            Packet::Heartbeat {
-                group: GroupId(g),
-                source: SourceId(s),
-                seq: Seq(q),
-                epoch: EpochId(e),
-                hb_index: hb,
-                payload,
+fn arb_ranges(r: &mut SmallRng) -> Vec<SeqRange> {
+    let n = r.random_range(0u64..16) as usize;
+    (0..n)
+        .map(|_| {
+            let first = Seq(r.random::<u32>());
+            let span = r.random_range(0u64..1000) as u32;
+            SeqRange {
+                first,
+                last: first.add(span),
             }
-        }),
-        (ids, any::<u64>(), arb_ranges()).prop_map(|((g, s, _, _), r, ranges)| Packet::Nack {
-            group: GroupId(g),
-            source: SourceId(s),
-            requester: HostId(r),
-            ranges,
-        }),
-        (ids, arb_payload()).prop_map(|((g, s, q, _), payload)| Packet::Retrans {
-            group: GroupId(g),
-            source: SourceId(s),
-            seq: Seq(q),
-            payload,
-        }),
-        ids.prop_map(|(g, s, p, r)| Packet::LogAck {
-            group: GroupId(g),
-            source: SourceId(s),
-            primary_seq: Seq(p),
-            replica_seq: Seq(r),
-        }),
-        (ids, 0.0f64..=1.0).prop_map(|((g, s, _, e), p_ack)| Packet::AckerSelect {
-            group: GroupId(g),
-            source: SourceId(s),
-            epoch: EpochId(e),
-            p_ack,
-        }),
-        (ids, any::<u64>()).prop_map(|((g, s, _, e), l)| Packet::AckerVolunteer {
-            group: GroupId(g),
-            source: SourceId(s),
-            epoch: EpochId(e),
-            logger: HostId(l),
-        }),
-        (ids, any::<u64>()).prop_map(|((g, s, q, e), l)| Packet::PacketAck {
-            group: GroupId(g),
-            source: SourceId(s),
-            epoch: EpochId(e),
-            seq: Seq(q),
-            logger: HostId(l),
-        }),
-        (any::<u32>(), any::<u64>(), any::<u64>()).prop_map(|(g, n, r)| Packet::DiscoveryQuery {
-            group: GroupId(g),
-            nonce: n,
-            requester: HostId(r),
-        }),
-        (any::<u32>(), any::<u64>(), any::<u64>(), any::<u8>()).prop_map(|(g, n, l, lvl)| {
-            Packet::DiscoveryReply { group: GroupId(g), nonce: n, logger: HostId(l), level: lvl }
-        }),
-        (ids, arb_payload()).prop_map(|((g, s, q, _), payload)| Packet::ReplUpdate {
-            group: GroupId(g),
-            source: SourceId(s),
-            seq: Seq(q),
-            payload,
-        }),
-        ids.prop_map(|(g, s, q, _)| Packet::ReplAck {
-            group: GroupId(g),
-            source: SourceId(s),
-            seq: Seq(q),
-        }),
-        (any::<u32>(), any::<u64>(), any::<u32>()).prop_map(|(g, m, q)| Packet::SrmSession {
-            group: GroupId(g),
-            member: HostId(m),
-            last_seq: Seq(q),
-        }),
-        (ids, any::<u64>(), arb_ranges()).prop_map(|((g, s, _, _), r, ranges)| Packet::SrmNack {
-            group: GroupId(g),
-            source: SourceId(s),
-            requester: HostId(r),
-            ranges,
-        }),
-        (ids, any::<u64>(), arb_payload()).prop_map(|((g, s, q, _), r, payload)| {
-            Packet::SrmRepair {
-                group: GroupId(g),
-                source: SourceId(s),
-                seq: Seq(q),
-                responder: HostId(r),
-                payload,
-            }
-        }),
-    ]
+        })
+        .collect()
 }
 
-proptest! {
-    #[test]
-    fn codec_roundtrip(p in arb_packet()) {
+fn arb_packet(r: &mut SmallRng) -> Packet {
+    let g = GroupId(r.random::<u32>());
+    let s = SourceId(r.random::<u64>());
+    let q = Seq(r.random::<u32>());
+    let e = EpochId(r.random::<u32>());
+    match r.random_range(0u64..15) {
+        0 => Packet::Data {
+            group: g,
+            source: s,
+            seq: q,
+            epoch: e,
+            payload: arb_payload(r),
+        },
+        1 => Packet::Heartbeat {
+            group: g,
+            source: s,
+            seq: q,
+            epoch: e,
+            hb_index: r.random::<u32>(),
+            payload: arb_payload(r),
+        },
+        2 => Packet::Nack {
+            group: g,
+            source: s,
+            requester: HostId(r.random::<u64>()),
+            ranges: arb_ranges(r),
+        },
+        3 => Packet::Retrans {
+            group: g,
+            source: s,
+            seq: q,
+            payload: arb_payload(r),
+        },
+        4 => Packet::LogAck {
+            group: g,
+            source: s,
+            primary_seq: q,
+            replica_seq: Seq(r.random::<u32>()),
+        },
+        5 => Packet::AckerSelect {
+            group: g,
+            source: s,
+            epoch: e,
+            p_ack: r.random::<f64>(),
+        },
+        6 => Packet::AckerVolunteer {
+            group: g,
+            source: s,
+            epoch: e,
+            logger: HostId(r.random::<u64>()),
+        },
+        7 => Packet::PacketAck {
+            group: g,
+            source: s,
+            epoch: e,
+            seq: q,
+            logger: HostId(r.random::<u64>()),
+        },
+        8 => Packet::DiscoveryQuery {
+            group: g,
+            nonce: r.random::<u64>(),
+            requester: HostId(r.random::<u64>()),
+        },
+        9 => Packet::DiscoveryReply {
+            group: g,
+            nonce: r.random::<u64>(),
+            logger: HostId(r.random::<u64>()),
+            level: r.random::<u64>() as u8,
+        },
+        10 => Packet::ReplUpdate {
+            group: g,
+            source: s,
+            seq: q,
+            payload: arb_payload(r),
+        },
+        11 => Packet::ReplAck {
+            group: g,
+            source: s,
+            seq: q,
+        },
+        12 => Packet::SrmSession {
+            group: g,
+            member: HostId(r.random::<u64>()),
+            last_seq: q,
+        },
+        13 => Packet::SrmNack {
+            group: g,
+            source: s,
+            requester: HostId(r.random::<u64>()),
+            ranges: arb_ranges(r),
+        },
+        _ => Packet::SrmRepair {
+            group: g,
+            source: s,
+            seq: q,
+            responder: HostId(r.random::<u64>()),
+            payload: arb_payload(r),
+        },
+    }
+}
+
+#[test]
+fn codec_roundtrip() {
+    let mut r = rng(0xC0DEC);
+    for i in 0..CASES {
+        let p = arb_packet(&mut r);
         let enc = encode(&p).expect("encode");
         let dec = decode(&enc).expect("decode");
-        prop_assert_eq!(p, dec);
+        assert_eq!(p, dec, "case {i}");
     }
+}
 
-    #[test]
-    fn decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+#[test]
+fn decode_never_panics() {
+    let mut r = rng(0xDEC0DE);
+    for _ in 0..CASES {
+        let len = r.random_range(0u64..256) as usize;
+        let bytes: Vec<u8> = (0..len).map(|_| r.random::<u64>() as u8).collect();
         let _ = decode(&bytes);
     }
+}
 
-    #[test]
-    fn decode_rejects_random_bytes_with_valid_header_shape(
-        body in proptest::collection::vec(any::<u8>(), 0..64),
-        typ in 1u8..=17,
-    ) {
-        // Forge a header around random bytes; the checksum makes a false
-        // accept astronomically unlikely but decode must never panic and
-        // never produce a packet longer than the buffer claims.
+#[test]
+fn decode_rejects_random_bytes_with_valid_header_shape() {
+    // Forge a header around random bytes; the checksum makes a false
+    // accept astronomically unlikely but decode must never panic and
+    // never produce a packet longer than the buffer claims.
+    let mut r = rng(0xF0463);
+    for _ in 0..CASES {
+        let body_len = r.random_range(0u64..64) as usize;
+        let body: Vec<u8> = (0..body_len).map(|_| r.random::<u64>() as u8).collect();
+        let typ = r.random_range(1u64..=17) as u8;
         let mut pkt = vec![0x4C, 0x42, 1, typ];
         let len = (body.len() + 8) as u16;
         pkt.extend_from_slice(&len.to_be_bytes());
@@ -146,44 +179,61 @@ proptest! {
         pkt.extend_from_slice(&body);
         let _ = decode(&pkt);
     }
+}
 
-    #[test]
-    fn seq_total_order_locally(a in any::<u32>(), d in 1u32..(1 << 30)) {
-        let x = Seq(a);
+#[test]
+fn seq_total_order_locally() {
+    let mut r = rng(0x5E9);
+    for _ in 0..CASES {
+        let x = Seq(r.random::<u32>());
+        let d = r.random_range(1u64..(1 << 30)) as u32;
         let y = x.add(d);
-        prop_assert!(x.before(y));
-        prop_assert!(!y.before(x));
-        prop_assert!(y.after(x));
-        prop_assert_eq!(y.distance_from(x), d);
-        prop_assert_eq!(x.max(y), y);
-        prop_assert_eq!(x.min(y), x);
+        assert!(x.before(y));
+        assert!(!y.before(x));
+        assert!(y.after(x));
+        assert_eq!(y.distance_from(x), d);
+        assert_eq!(x.max(y), y);
+        assert_eq!(x.min(y), x);
     }
+}
 
-    #[test]
-    fn seq_iter_matches_distance(a in any::<u32>(), d in 0u32..200) {
-        let x = Seq(a);
+#[test]
+fn seq_iter_matches_distance() {
+    let mut r = rng(0x17E8);
+    for _ in 0..CASES {
+        let x = Seq(r.random::<u32>());
+        let d = r.random_range(0u64..200) as u32;
         let y = x.add(d);
         let v: Vec<_> = x.iter_to(y).collect();
-        prop_assert_eq!(v.len() as u32, d + 1);
-        prop_assert_eq!(v[0], x);
-        prop_assert_eq!(*v.last().unwrap(), y);
+        assert_eq!(v.len() as u32, d + 1);
+        assert_eq!(v[0], x);
+        assert_eq!(*v.last().unwrap(), y);
     }
+}
 
-    #[test]
-    fn text_roundtrip_updates(seq in any::<u32>(), retrans in any::<bool>()) {
-        use lbrm_wire::text::{parse_message, TextMessage};
+#[test]
+fn text_roundtrip_updates() {
+    use lbrm_wire::text::{parse_message, TextMessage};
+    let mut r = rng(0x7E87);
+    for _ in 0..CASES {
         let m = TextMessage::Update {
-            seq: Seq(seq),
+            seq: Seq(r.random::<u32>()),
             url: "http://example.org/doc.html".into(),
-            retrans,
+            retrans: r.random::<bool>(),
         };
-        prop_assert_eq!(parse_message(&m.to_string()).unwrap(), m);
+        assert_eq!(parse_message(&m.to_string()).unwrap(), m);
     }
+}
 
-    #[test]
-    fn text_roundtrip_heartbeats(seq in any::<u32>(), hb in 1u32..) {
-        use lbrm_wire::text::{parse_message, TextMessage};
-        let m = TextMessage::Heartbeat { seq: Seq(seq), hb_index: hb };
-        prop_assert_eq!(parse_message(&m.to_string()).unwrap(), m);
+#[test]
+fn text_roundtrip_heartbeats() {
+    use lbrm_wire::text::{parse_message, TextMessage};
+    let mut r = rng(0x48B7);
+    for _ in 0..CASES {
+        let m = TextMessage::Heartbeat {
+            seq: Seq(r.random::<u32>()),
+            hb_index: r.random_range(1u64..=u64::from(u32::MAX)) as u32,
+        };
+        assert_eq!(parse_message(&m.to_string()).unwrap(), m);
     }
 }

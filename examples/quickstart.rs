@@ -62,7 +62,9 @@ fn main() {
         world.add_actor(
             sec,
             MachineActor::new(
-                Logger::new(LoggerConfig::secondary(group, source, sec, primary, src_host)),
+                Logger::new(LoggerConfig::secondary(
+                    group, source, sec, primary, src_host,
+                )),
                 vec![group],
             ),
         );
@@ -90,8 +92,10 @@ fn main() {
     }
 
     // ---- the source: three updates, seconds apart -----------------------
-    let mut sender =
-        MachineActor::new(Sender::new(SenderConfig::new(group, source, src_host, primary)), vec![]);
+    let mut sender = MachineActor::new(
+        Sender::new(SenderConfig::new(group, source, src_host, primary)),
+        vec![],
+    );
     for (i, at) in [1u64, 5, 9].iter().enumerate() {
         let payload = Bytes::from(format!("terrain-update-{}", i + 1));
         sender.schedule(SimTime::from_secs(*at), move |s: &mut Sender, now, out| {
@@ -120,7 +124,11 @@ fn main() {
         println!("]   (* = recovered via logger)");
         for (at, n) in &a.notices {
             match n {
-                Notice::LossDetected { first, last, signal } => println!(
+                Notice::LossDetected {
+                    first,
+                    last,
+                    signal,
+                } => println!(
                     "    {at}  loss detected: #{}..#{} via {signal:?}",
                     first.raw(),
                     last.raw()
@@ -132,7 +140,10 @@ fn main() {
             }
         }
     }
-    let wan_nacks = world.stats().class_kind(lbrm::sim::SegmentClass::Wan, "nack").carried;
+    let wan_nacks = world
+        .stats()
+        .class_kind(lbrm::sim::SegmentClass::Wan, "nack")
+        .carried;
     println!(
         "\nNACKs that crossed the WAN: {wan_nacks} — site B's secondary sent one;\n\
          its three receivers all recovered locally (distributed logging at work)."

@@ -1,4 +1,4 @@
-//! Stock-quote dissemination (§4.1) over real tokio endpoints.
+//! Stock-quote dissemination (§4.1) over real threaded endpoints.
 //!
 //! A quote feed publishes prices for three symbols through an LBRM
 //! sender; broker terminals hold [`QuoteBoard`]s fed by LBRM receivers.
@@ -27,8 +27,7 @@ const LOGGER: HostId = HostId(2);
 const DESK_A: HostId = HostId(10);
 const DESK_B: HostId = HostId(11);
 
-#[tokio::main(flavor = "current_thread")]
-async fn main() {
+fn main() {
     let hub = Hub::new();
 
     let (ep, feed_handle) = Endpoint::new(
@@ -36,14 +35,14 @@ async fn main() {
         hub.attach(FEED),
         vec![],
     );
-    tokio::spawn(ep.run());
+    ep.spawn();
 
     let (ep, _logger) = Endpoint::new(
         Logger::new(LoggerConfig::primary(GROUP, SRC, LOGGER, FEED)),
         hub.attach(LOGGER),
         vec![GROUP],
     );
-    tokio::spawn(ep.run());
+    ep.spawn();
 
     let mut desks = Vec::new();
     for host in [DESK_A, DESK_B] {
@@ -52,11 +51,11 @@ async fn main() {
             hub.attach(host),
             vec![GROUP],
         );
-        tokio::spawn(ep.run());
+        ep.spawn();
         desks.push((host, handle, QuoteBoard::new()));
     }
     // Let everyone join before the first quote.
-    tokio::time::sleep(Duration::from_millis(20)).await;
+    std::thread::sleep(Duration::from_millis(20));
 
     let mut feed = QuoteFeed::new();
 
@@ -75,9 +74,9 @@ async fn main() {
         }
         for &(symbol, cents) in *quotes {
             let sym = symbol.to_owned();
-            feed_send(&feed_handle, &mut feed, sym, cents).await;
+            feed_send(&feed_handle, &mut feed, sym, cents);
         }
-        tokio::time::sleep(Duration::from_millis(60)).await;
+        std::thread::sleep(Duration::from_millis(60));
         if i == 1 {
             println!("-- desk B reconnects --");
             hub.set_partitioned(DESK_B, false);
@@ -85,18 +84,26 @@ async fn main() {
     }
 
     // Give recovery (heartbeat-driven detection + NACK) time to finish.
-    tokio::time::sleep(Duration::from_millis(800)).await;
+    std::thread::sleep(Duration::from_millis(800));
 
     for (host, handle, board) in &mut desks {
-        while let Some(ev) = handle.event_timeout(Duration::from_millis(10)).await {
+        while let Some(ev) = handle.event_timeout(Duration::from_millis(10)) {
             if let EndpointEvent::Delivery(d) = ev {
                 board.on_delivery(&d);
             }
         }
-        println!("\ndesk {host}: {} quotes applied, {} superseded", board.applied, board.superseded);
+        println!(
+            "\ndesk {host}: {} quotes applied, {} superseded",
+            board.applied, board.superseded
+        );
         for symbol in ["ACME", "GLOBX", "INITECH"] {
             if let Some(q) = board.quote(symbol) {
-                println!("  {symbol:<8} ${}.{:02}  (rev {})", q.price_cents / 100, q.price_cents % 100, q.revision);
+                println!(
+                    "  {symbol:<8} ${}.{:02}  (rev {})",
+                    q.price_cents / 100,
+                    q.price_cents % 100,
+                    q.revision
+                );
             }
         }
     }
@@ -108,7 +115,7 @@ async fn main() {
 }
 
 /// Publishes one quote through the sender endpoint.
-async fn feed_send(
+fn feed_send(
     handle: &lbrm::net::EndpointHandle<Sender>,
     feed: &mut QuoteFeed,
     symbol: String,
@@ -116,15 +123,14 @@ async fn feed_send(
 ) {
     // QuoteFeed needs the Sender to publish; run it inside the endpoint.
     let mut feed_local = std::mem::take(feed);
-    let (tx, rx) = tokio::sync::oneshot::channel();
+    let (tx, rx) = std::sync::mpsc::channel();
     handle
         .call(move |s: &mut Sender, now, out| {
             let q = feed_local.publish(s, now, &symbol, cents, out);
             let _ = tx.send((feed_local, q));
         })
-        .await
         .expect("endpoint alive");
-    let (feed_back, q) = rx.await.expect("publish ran");
+    let (feed_back, q) = rx.recv().expect("publish ran");
     *feed = feed_back;
     println!(
         "published {:<8} ${}.{:02} (rev {})",

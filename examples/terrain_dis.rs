@@ -67,14 +67,22 @@ fn main() {
         world.add_actor(
             sec,
             MachineActor::new(
-                Logger::new(LoggerConfig::secondary(group, source, sec, primary, src_host)),
+                Logger::new(LoggerConfig::secondary(
+                    group, source, sec, primary, src_host,
+                )),
                 vec![group],
             ),
         );
         world.add_actor(
             tank,
             MachineActor::new(
-                Receiver::new(ReceiverConfig::new(group, source, tank, src_host, vec![sec, primary])),
+                Receiver::new(ReceiverConfig::new(
+                    group,
+                    source,
+                    tank,
+                    src_host,
+                    vec![sec, primary],
+                )),
                 vec![group],
             ),
         );
@@ -82,8 +90,10 @@ fn main() {
 
     // The bridge: intact at t = 10 s (initial announcement), destroyed
     // at t = 60 s.
-    let mut sender =
-        MachineActor::new(Sender::new(SenderConfig::new(group, source, src_host, primary)), vec![]);
+    let mut sender = MachineActor::new(
+        Sender::new(SenderConfig::new(group, source, src_host, primary)),
+        vec![],
+    );
     sender.schedule(SimTime::from_secs(10), |s: &mut Sender, now, out| {
         let mut bridge = TerrainEntity::new(BRIDGE);
         bridge.transition(s, now, EntityState::Intact, out);

@@ -22,17 +22,18 @@ use lbrm::wire::{GroupId, SourceId};
 const GROUP: GroupId = GroupId(1);
 const SRC: SourceId = SourceId(1);
 
-#[tokio::main(flavor = "current_thread")]
-async fn main() {
+fn main() {
     let port = 49_195;
     let bind = |_: &str| UdpTransport::bind(Ipv4Addr::LOCALHOST, GroupMap::new(port));
 
-    let tx_t = match bind("sender").await {
+    let tx_t = match bind("sender") {
         Ok(t) => t,
-        Err(e) => return println!("UDP unavailable here ({e}); try `cargo run --example quickstart`"),
+        Err(e) => {
+            return println!("UDP unavailable here ({e}); try `cargo run --example quickstart`")
+        }
     };
-    let mut log_t = bind("logger").await.expect("bind logger");
-    let mut rx_t = bind("receiver").await.expect("bind receiver");
+    let mut log_t = bind("logger").expect("bind logger");
+    let mut rx_t = bind("receiver").expect("bind receiver");
     if let Err(e) = log_t.join(GROUP).and_then(|()| rx_t.join(GROUP)) {
         return println!("multicast join failed ({e}); try `cargo run --example quickstart`");
     }
@@ -44,46 +45,62 @@ async fn main() {
     println!("receiver at {}", rx_t.local_addr());
     println!("group    at 239.195.0.1:{port}\n");
 
-    let (ep, sender) =
-        Endpoint::new(Sender::new(SenderConfig::new(GROUP, SRC, src_host, log_host)), tx_t, vec![]);
-    tokio::spawn(ep.run());
+    let (ep, sender) = Endpoint::new(
+        Sender::new(SenderConfig::new(GROUP, SRC, src_host, log_host)),
+        tx_t,
+        vec![],
+    );
+    ep.spawn();
     let (ep, _logger) = Endpoint::new(
         Logger::new(LoggerConfig::primary(GROUP, SRC, log_host, src_host)),
         log_t,
         vec![],
     );
-    tokio::spawn(ep.run());
+    ep.spawn();
     let rx_host = rx_t.local_host();
     let (ep, mut receiver) = Endpoint::new(
-        Receiver::new(ReceiverConfig::new(GROUP, SRC, rx_host, src_host, vec![log_host])),
+        Receiver::new(ReceiverConfig::new(
+            GROUP,
+            SRC,
+            rx_host,
+            src_host,
+            vec![log_host],
+        )),
         rx_t,
         vec![],
     );
-    tokio::spawn(ep.run());
+    ep.spawn();
 
-    tokio::time::sleep(Duration::from_millis(100)).await;
-    for (i, text) in ["the bridge stands", "the bridge is DESTROYED", "rubble cleared"]
-        .iter()
-        .enumerate()
+    std::thread::sleep(Duration::from_millis(100));
+    for (i, text) in [
+        "the bridge stands",
+        "the bridge is DESTROYED",
+        "rubble cleared",
+    ]
+    .iter()
+    .enumerate()
     {
         let payload = Bytes::from(text.to_string());
         sender
             .call(move |s: &mut Sender, now, out| s.send(now, payload.clone(), out))
-            .await
             .expect("sender endpoint");
         println!("published #{}: {text}", i + 1);
-        tokio::time::sleep(Duration::from_millis(300)).await;
+        std::thread::sleep(Duration::from_millis(300));
     }
 
     let mut got = 0;
     while got < 3 {
-        match receiver.event_timeout(Duration::from_secs(5)).await {
+        match receiver.event_timeout(Duration::from_secs(5)) {
             Some(EndpointEvent::Delivery(d)) => {
                 got += 1;
                 println!(
                     "received  #{} ({}): {}",
                     d.seq.raw(),
-                    if d.recovered { "recovered" } else { "multicast" },
+                    if d.recovered {
+                        "recovered"
+                    } else {
+                        "multicast"
+                    },
                     String::from_utf8_lossy(&d.payload)
                 );
             }

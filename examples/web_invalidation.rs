@@ -35,7 +35,10 @@ fn main() {
     let source = SourceId(1);
 
     println!("HTML document invalidation (Appendix A)\n");
-    println!("document head: {}", multicast_tag(Ipv4Addr::new(234, 12, 29, 72)));
+    println!(
+        "document head: {}",
+        multicast_tag(Ipv4Addr::new(234, 12, 29, 72))
+    );
     println!("document url:  {URL}\n");
 
     let mut b = TopologyBuilder::new();
@@ -63,7 +66,13 @@ fn main() {
         world.add_actor(
             browser,
             MachineActor::new(
-                Receiver::new(ReceiverConfig::new(group, source, browser, server_host, vec![log_host])),
+                Receiver::new(ReceiverConfig::new(
+                    group,
+                    source,
+                    browser,
+                    server_host,
+                    vec![log_host],
+                )),
                 vec![group],
             ),
         );
@@ -79,13 +88,20 @@ fn main() {
         server.publish_update(s, now, URL, None, out);
     });
     sender.schedule(SimTime::from_secs(20), |s: &mut Sender, now, out| {
-        s.send(now, update_payload(s.next_seq(), URL, Some("<h1>members: 42</h1>")), out);
+        s.send(
+            now,
+            update_payload(s.next_seq(), URL, Some("<h1>members: 42</h1>")),
+            out,
+        );
     });
     world.add_actor(server_host, sender);
 
     world.run_until(SimTime::from_secs(40));
 
-    for (name, browser) in [("browser-1", browser1), ("browser-2 (flaky link)", browser2)] {
+    for (name, browser) in [
+        ("browser-1", browser1),
+        ("browser-2 (flaky link)", browser2),
+    ] {
         let a = world.actor::<MachineActor<Receiver>>(browser);
         let mut cache = BrowserCache::new();
         cache.store(URL, "<h1>members: 41</h1>");
@@ -93,7 +109,11 @@ fn main() {
         for (at, d) in &a.deliveries {
             let wire_line = String::from_utf8_lossy(&d.payload);
             let line = wire_line.lines().next().unwrap_or("");
-            let shown = if d.recovered { line.replacen("TRANS", "RETRANS", 1) } else { line.to_owned() };
+            let shown = if d.recovered {
+                line.replacen("TRANS", "RETRANS", 1)
+            } else {
+                line.to_owned()
+            };
             cache.on_delivery(d).expect("valid invalidation");
             let state = if cache.is_valid(URL) {
                 "cache fresh".to_owned()

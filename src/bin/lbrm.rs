@@ -105,9 +105,7 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let rt = tokio::runtime::Builder::new_current_thread().enable_all().build().unwrap();
-    let result = rt.block_on(run(opts));
-    match result {
+    match run(opts) {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("error: {e}");
@@ -116,9 +114,9 @@ fn main() -> ExitCode {
     }
 }
 
-async fn run(opts: Opts) -> std::io::Result<()> {
+fn run(opts: Opts) -> std::io::Result<()> {
     let map = GroupMap::new(opts.port);
-    let mut transport = UdpTransport::bind(opts.interface, map).await?;
+    let mut transport = UdpTransport::bind(opts.interface, map)?;
     let me = transport.local_host();
     match opts.role.as_str() {
         "logger" => {
@@ -135,59 +133,46 @@ async fn run(opts: Opts) -> std::io::Result<()> {
             // which the handoff provides implicitly via NACK replies.
             let cfg = LoggerConfig::primary(opts.group, opts.source, me, me);
             let (ep, mut handle) = Endpoint::new(Logger::new(cfg), transport, vec![]);
-            let task = tokio::spawn(ep.run());
+            ep.spawn();
             loop {
-                match handle.event().await {
+                match handle.event() {
                     Some(EndpointEvent::Notice(n)) => eprintln!("notice: {n:?}"),
                     Some(_) => {}
                     None => break,
                 }
             }
-            task.abort();
             Ok(())
         }
         "send" => {
-            let primary = opts
-                .primary
-                .ok_or_else(|| std::io::Error::other("send needs --primary (run `lbrm logger` first)"))?;
+            let primary = opts.primary.ok_or_else(|| {
+                std::io::Error::other("send needs --primary (run `lbrm logger` first)")
+            })?;
             let mut cfg = SenderConfig::new(opts.group, opts.source, me, host_of(primary));
             cfg.heartbeat.h_min = opts.h_min;
             cfg.heartbeat.h_max = opts.h_max;
             let (ep, handle) = Endpoint::new(Sender::new(cfg), transport, vec![]);
-            let task = tokio::spawn(ep.run());
-            eprintln!("publishing to {} via logger {primary}; type lines, ^D to end", opts.group);
-            // Read stdin on a plain thread so the endpoint keeps
-            // heartbeating while we wait for input.
-            let (line_tx, mut line_rx) = tokio::sync::mpsc::unbounded_channel::<String>();
-            std::thread::spawn(move || {
-                use std::io::BufRead;
-                for line in std::io::stdin().lock().lines() {
-                    match line {
-                        Ok(l) => {
-                            if line_tx.send(l).is_err() {
-                                break;
-                            }
-                        }
-                        Err(_) => break,
-                    }
-                }
-            });
-            while let Some(l) = line_rx.recv().await {
+            ep.spawn();
+            eprintln!(
+                "publishing to {} via logger {primary}; type lines, ^D to end",
+                opts.group
+            );
+            // The endpoint heartbeats on its own thread while we block
+            // on stdin here.
+            use std::io::BufRead;
+            for line in std::io::stdin().lock().lines() {
+                let Ok(l) = line else { break };
                 let payload = Bytes::from(l.clone());
-                handle
-                    .call(move |s: &mut Sender, now, out| s.send(now, payload.clone(), out))
-                    .await?;
+                handle.call(move |s: &mut Sender, now, out| s.send(now, payload.clone(), out))?;
                 eprintln!("sent: {l}");
             }
             // Keep heartbeating briefly so receivers confirm the tail.
-            tokio::time::sleep(Duration::from_secs(1)).await;
-            task.abort();
+            std::thread::sleep(Duration::from_secs(1));
             Ok(())
         }
         "recv" => {
-            let primary = opts
-                .primary
-                .ok_or_else(|| std::io::Error::other("recv needs --primary (run `lbrm logger` first)"))?;
+            let primary = opts.primary.ok_or_else(|| {
+                std::io::Error::other("recv needs --primary (run `lbrm logger` first)")
+            })?;
             transport.join(opts.group)?;
             let mut cfg = ReceiverConfig::new(
                 opts.group,
@@ -200,10 +185,14 @@ async fn run(opts: Opts) -> std::io::Result<()> {
             cfg.heartbeat.h_min = opts.h_min;
             cfg.heartbeat.h_max = opts.h_max;
             let (ep, mut handle) = Endpoint::new(Receiver::new(cfg), transport, vec![]);
-            let task = tokio::spawn(ep.run());
-            eprintln!("listening on {} (logger {})", opts.group, addr_of(host_of(primary)));
+            ep.spawn();
+            eprintln!(
+                "listening on {} (logger {})",
+                opts.group,
+                addr_of(host_of(primary))
+            );
             loop {
-                match handle.event().await {
+                match handle.event() {
                     Some(EndpointEvent::Delivery(d)) => println!(
                         "#{}{}: {}",
                         d.seq.raw(),
@@ -214,9 +203,10 @@ async fn run(opts: Opts) -> std::io::Result<()> {
                     None => break,
                 }
             }
-            task.abort();
             Ok(())
         }
-        other => Err(std::io::Error::other(format!("unknown role {other}\n\n{USAGE}"))),
+        other => Err(std::io::Error::other(format!(
+            "unknown role {other}\n\n{USAGE}"
+        ))),
     }
 }

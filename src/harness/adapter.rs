@@ -99,6 +99,12 @@ impl<M: Machine + 'static> MachineActor<M> {
         self.script.len() as u64
     }
 
+    /// Installs a protocol-event tracer on the wrapped machine (a no-op
+    /// for machines that don't emit [`lbrm_core::trace::ProtocolEvent`]s).
+    pub fn set_tracer(&mut self, tracer: lbrm_core::trace::Tracer) {
+        self.machine.set_tracer(tracer);
+    }
+
     /// The wrapped machine.
     pub fn machine(&self) -> &M {
         &self.machine
@@ -154,7 +160,8 @@ impl<M: Machine + 'static> Actor for MachineActor<M> {
 
     fn on_packet(&mut self, ctx: &mut Ctx<'_>, from: HostId, packet: Packet) {
         let mut out = Actions::new();
-        self.machine.on_packet(to_core(ctx.now()), from, packet, &mut out);
+        self.machine
+            .on_packet(to_core(ctx.now()), from, packet, &mut out);
         self.execute(ctx, out);
     }
 
@@ -208,12 +215,17 @@ mod tests {
         let rx_host = b.host(s1);
         let mut world = World::new(b.build(), 42);
 
-        let mut sender =
-            MachineActor::new(Sender::new(SenderConfig::new(GROUP, SRC, src_host, log_host)), vec![]);
+        let mut sender = MachineActor::new(
+            Sender::new(SenderConfig::new(GROUP, SRC, src_host, log_host)),
+            vec![],
+        );
         for i in 0..3u64 {
-            sender.schedule(SimTime::from_secs(1 + i), move |s: &mut Sender, now, out| {
-                s.send(now, Bytes::from(format!("update-{i}")), out);
-            });
+            sender.schedule(
+                SimTime::from_secs(1 + i),
+                move |s: &mut Sender, now, out| {
+                    s.send(now, Bytes::from(format!("update-{i}")), out);
+                },
+            );
         }
         world.add_actor(src_host, sender);
         world.add_actor(
@@ -226,7 +238,13 @@ mod tests {
         world.add_actor(
             rx_host,
             MachineActor::new(
-                Receiver::new(ReceiverConfig::new(GROUP, SRC, rx_host, src_host, vec![log_host])),
+                Receiver::new(ReceiverConfig::new(
+                    GROUP,
+                    SRC,
+                    rx_host,
+                    src_host,
+                    vec![log_host],
+                )),
                 vec![GROUP],
             ),
         );
@@ -239,7 +257,11 @@ mod tests {
         assert!(rx.deliveries.iter().all(|(_, d)| !d.recovered));
 
         let tx = world.actor::<MachineActor<Sender>>(src_host);
-        assert_eq!(tx.machine().buffered(), 0, "log acks must release the buffer");
+        assert_eq!(
+            tx.machine().buffered(),
+            0,
+            "log acks must release the buffer"
+        );
 
         let log = world.actor::<MachineActor<Logger>>(log_host);
         assert_eq!(log.machine().log_len(), 3);
@@ -265,12 +287,17 @@ mod tests {
         let rx_host = b.host(s1);
         let mut world = World::new(b.build(), 7);
 
-        let mut sender =
-            MachineActor::new(Sender::new(SenderConfig::new(GROUP, SRC, src_host, log_host)), vec![]);
+        let mut sender = MachineActor::new(
+            Sender::new(SenderConfig::new(GROUP, SRC, src_host, log_host)),
+            vec![],
+        );
         for i in 0..3u64 {
-            sender.schedule(SimTime::from_secs(1 + i), move |s: &mut Sender, now, out| {
-                s.send(now, Bytes::from(format!("update-{i}")), out);
-            });
+            sender.schedule(
+                SimTime::from_secs(1 + i),
+                move |s: &mut Sender, now, out| {
+                    s.send(now, Bytes::from(format!("update-{i}")), out);
+                },
+            );
         }
         world.add_actor(src_host, sender);
         world.add_actor(
@@ -283,7 +310,13 @@ mod tests {
         world.add_actor(
             rx_host,
             MachineActor::new(
-                Receiver::new(ReceiverConfig::new(GROUP, SRC, rx_host, src_host, vec![log_host])),
+                Receiver::new(ReceiverConfig::new(
+                    GROUP,
+                    SRC,
+                    rx_host,
+                    src_host,
+                    vec![log_host],
+                )),
                 vec![GROUP],
             ),
         );
@@ -305,6 +338,9 @@ mod tests {
                 _ => None,
             })
             .expect("recovery notice");
-        assert!(recovered < std::time::Duration::from_millis(500), "{recovered:?}");
+        assert!(
+            recovered < std::time::Duration::from_millis(500),
+            "{recovered:?}"
+        );
     }
 }

@@ -6,7 +6,14 @@
 //! server and M receivers (50 × 20 = 1,000 subscribers in the paper).
 //! [`SrmScenario`] builds the same topology populated with *wb*-style
 //! SRM members for the §6 comparison.
+//!
+//! Both scenarios attach a per-role [`MetricsRegistry`] to every machine
+//! they build (sender / primary+replicas / secondaries+regionals /
+//! receivers, plus one fed by the simulated network itself), so
+//! experiments read protocol counters and latency histograms straight
+//! from the trace layer instead of mining notices by hand.
 
+use std::sync::Arc;
 use std::time::Duration;
 
 use bytes::Bytes;
@@ -19,6 +26,7 @@ use lbrm_core::machine::Notice;
 use lbrm_core::receiver::{Receiver, ReceiverConfig, ReliabilityMode};
 use lbrm_core::sender::{HeartbeatScheme, Sender, SenderConfig};
 use lbrm_core::statack::StatAckConfig;
+use lbrm_core::trace::{MetricsRegistry, Tracer};
 use lbrm_sim::loss::LossModel;
 use lbrm_sim::time::SimTime;
 use lbrm_sim::topology::{SiteParams, TopologyBuilder};
@@ -117,6 +125,16 @@ pub struct DisScenario {
     pub regionals: Vec<HostId>,
     /// Per-site receivers.
     pub receivers: Vec<Vec<HostId>>,
+    /// Trace metrics from the sender machine.
+    pub sender_metrics: Arc<MetricsRegistry>,
+    /// Trace metrics from the primary logger and its replicas.
+    pub primary_metrics: Arc<MetricsRegistry>,
+    /// Trace metrics from site secondaries and regional loggers.
+    pub secondary_metrics: Arc<MetricsRegistry>,
+    /// Trace metrics from all receivers (recovery-latency histogram).
+    pub receiver_metrics: Arc<MetricsRegistry>,
+    /// Trace metrics from the simulated network (`net_*` counters).
+    pub net_metrics: Arc<MetricsRegistry>,
 }
 
 impl DisScenario {
@@ -154,23 +172,43 @@ impl DisScenario {
                     regional_hosts.push(b.host(site));
                 }
             }
-            let sec = if config.secondary_loggers { Some(b.host(site)) } else { None };
+            let sec = if config.secondary_loggers {
+                Some(b.host(site))
+            } else {
+                None
+            };
             let rxs = b.hosts(site, config.receivers_per_site);
             site_hosts.push((sec, rxs));
         }
         b.wan_loss(config.wan_loss.clone());
         let mut world = World::new(b.build(), config.seed);
 
+        // One metrics registry per protocol role, plus one for the
+        // network itself.
+        let sender_metrics = Arc::new(MetricsRegistry::default());
+        let primary_metrics = Arc::new(MetricsRegistry::default());
+        let secondary_metrics = Arc::new(MetricsRegistry::default());
+        let receiver_metrics = Arc::new(MetricsRegistry::default());
+        let net_metrics = Arc::new(MetricsRegistry::default());
+        world.set_trace(Tracer::to(net_metrics.clone()));
+
         // Primary logger (+ replicas).
         let mut primary_cfg = LoggerConfig::primary(Self::GROUP, Self::SOURCE, primary, src_host);
         primary_cfg.retention = config.retention;
         primary_cfg.replicas = replicas.clone();
-        world.add_actor(primary, MachineActor::new(Logger::new(primary_cfg), vec![Self::GROUP]));
+        let mut primary_logger = Logger::new(primary_cfg);
+        primary_logger.set_tracer(Tracer::to(primary_metrics.clone()));
+        world.add_actor(
+            primary,
+            MachineActor::new(primary_logger, vec![Self::GROUP]),
+        );
         for &r in &replicas {
             let mut c = LoggerConfig::replica(Self::GROUP, Self::SOURCE, r, primary, src_host);
             c.retention = config.retention;
             c.replicas = replicas.iter().copied().filter(|&x| x != r).collect();
-            world.add_actor(r, MachineActor::new(Logger::new(c), vec![]));
+            let mut lg = Logger::new(c);
+            lg.set_tracer(Tracer::to(primary_metrics.clone()));
+            world.add_actor(r, MachineActor::new(lg, vec![]));
         }
 
         // Regional loggers (three-level hierarchy, §7): parent = primary.
@@ -181,7 +219,9 @@ impl DisScenario {
             c.retention = config.retention;
             c.level = 1;
             c.site_remulticast = false;
-            world.add_actor(reg, MachineActor::new(Logger::new(c), vec![Self::GROUP]));
+            let mut lg = Logger::new(c);
+            lg.set_tracer(Tracer::to(secondary_metrics.clone()));
+            world.add_actor(reg, MachineActor::new(lg, vec![Self::GROUP]));
         }
 
         // Sites.
@@ -196,8 +236,14 @@ impl DisScenario {
                 let mut c =
                     LoggerConfig::secondary(Self::GROUP, Self::SOURCE, *sec, parent, src_host);
                 c.retention = config.retention;
-                c.level = if config.regional_fanout.is_some() { 2 } else { 1 };
-                world.add_actor(*sec, MachineActor::new(Logger::new(c), vec![Self::GROUP]));
+                c.level = if config.regional_fanout.is_some() {
+                    2
+                } else {
+                    1
+                };
+                let mut lg = Logger::new(c);
+                lg.set_tracer(Tracer::to(secondary_metrics.clone()));
+                world.add_actor(*sec, MachineActor::new(lg, vec![Self::GROUP]));
                 secondaries.push(*sec);
             }
             let mut site_rxs = Vec::new();
@@ -209,7 +255,9 @@ impl DisScenario {
                 let mut c = ReceiverConfig::new(Self::GROUP, Self::SOURCE, rx, src_host, targets);
                 c.mode = config.mode;
                 c.nack_delay = config.receiver_nack_delay;
-                world.add_actor(rx, MachineActor::new(Receiver::new(c), vec![Self::GROUP]));
+                let mut machine = Receiver::new(c);
+                machine.set_tracer(Tracer::to(receiver_metrics.clone()));
+                world.add_actor(rx, MachineActor::new(machine, vec![Self::GROUP]));
                 site_rxs.push(rx);
             }
             receivers.push(site_rxs);
@@ -223,7 +271,9 @@ impl DisScenario {
         sender_cfg.statack = config.statack.clone();
         sender_cfg.replicas = replicas.clone();
         sender_cfg.require_replica_ack = !replicas.is_empty();
-        world.add_actor(src_host, MachineActor::new(Sender::new(sender_cfg), vec![]));
+        let mut sender = Sender::new(sender_cfg);
+        sender.set_tracer(Tracer::to(sender_metrics.clone()));
+        world.add_actor(src_host, MachineActor::new(sender, vec![]));
 
         DisScenario {
             world,
@@ -236,6 +286,11 @@ impl DisScenario {
             secondaries,
             regionals: regional_hosts,
             receivers,
+            sender_metrics,
+            primary_metrics,
+            secondary_metrics,
+            receiver_metrics,
+            net_metrics,
         }
     }
 
@@ -283,7 +338,10 @@ impl DisScenario {
 
     /// Recovery latencies across all receivers.
     pub fn all_recovery_latencies(&self) -> Vec<Duration> {
-        self.all_receivers().iter().flat_map(|&rx| self.recovery_latencies(rx)).collect()
+        self.all_receivers()
+            .iter()
+            .flat_map(|&rx| self.recovery_latencies(rx))
+            .collect()
     }
 
     /// Fraction of receivers that delivered every sequence in `expect`.
@@ -346,6 +404,8 @@ pub struct SrmScenario {
     pub sites: Vec<SiteId>,
     /// Per-site members.
     pub members: Vec<Vec<HostId>>,
+    /// Trace metrics from the simulated network (`net_*` counters).
+    pub net_metrics: Arc<MetricsRegistry>,
 }
 
 impl SrmScenario {
@@ -365,11 +425,16 @@ impl SrmScenario {
         }
         b.wan_loss(config.wan_loss.clone());
         let mut world = World::new(b.build(), config.seed);
+        let net_metrics = Arc::new(MetricsRegistry::default());
+        world.set_trace(Tracer::to(net_metrics.clone()));
 
         // Source member.
         let mut src_cfg = SrmConfig::new(group, src_host, source, src_host);
         src_cfg.session_interval = config.session_interval;
-        world.add_actor(src_host, MachineActor::new(SrmMember::new(src_cfg), vec![group]));
+        world.add_actor(
+            src_host,
+            MachineActor::new(SrmMember::new(src_cfg), vec![group]),
+        );
 
         // Receiver members, with delay knowledge to the source.
         let mut members = Vec::new();
@@ -387,7 +452,14 @@ impl SrmScenario {
             members.push(site_members);
         }
 
-        SrmScenario { world, group, src_host, sites, members }
+        SrmScenario {
+            world,
+            group,
+            src_host,
+            sites,
+            members,
+            net_metrics,
+        }
     }
 
     /// Schedules a data transmission from the source member (works

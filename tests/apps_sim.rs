@@ -55,9 +55,17 @@ fn rig(n: usize, seed: u64) -> Rig {
     }
     world.add_actor(
         src_host,
-        MachineActor::new(Sender::new(SenderConfig::new(GROUP, SRC, src_host, log_host)), vec![]),
+        MachineActor::new(
+            Sender::new(SenderConfig::new(GROUP, SRC, src_host, log_host)),
+            vec![],
+        ),
     );
-    Rig { world, src_host, log_host, clients }
+    Rig {
+        world,
+        src_host,
+        log_host,
+        clients,
+    }
 }
 
 #[test]
@@ -109,7 +117,10 @@ fn filecache_invalidation_and_lease_style_timeout() {
     r.world.crash(r.src_host);
     r.world.run_until(SimTime::from_secs(10));
     replay(&r.world, &mut cache);
-    assert!(cache.is_degraded(), "heartbeat silence must degrade the cache");
+    assert!(
+        cache.is_degraded(),
+        "heartbeat silence must degrade the cache"
+    );
 
     // Source returns; freshness restores and caching resumes.
     r.world.revive(r.src_host);

@@ -33,7 +33,9 @@ fn finds_site_local_logger_at_site_scope() {
     world.add_actor(
         secondary,
         MachineActor::new(
-            Logger::new(LoggerConfig::secondary(GROUP, SRC, secondary, primary, src_host)),
+            Logger::new(LoggerConfig::secondary(
+                GROUP, SRC, secondary, primary, src_host,
+            )),
             vec![GROUP],
         ),
     );
@@ -62,10 +64,16 @@ fn widens_to_global_when_site_is_bare() {
     // No secondary at the client's site: the search must escalate past
     // Site and Region scope and find the primary globally.
     let mut b = TopologyBuilder::new();
-    let hq = b.site(SiteParams { region: 1, ..SiteParams::distant() });
+    let hq = b.site(SiteParams {
+        region: 1,
+        ..SiteParams::distant()
+    });
     let src_host = b.host(hq);
     let primary = b.host(hq);
-    let site = b.site(SiteParams { region: 2, ..SiteParams::distant() });
+    let site = b.site(SiteParams {
+        region: 2,
+        ..SiteParams::distant()
+    });
     let client_host = b.host(site);
     let mut world = World::new(b.build(), 4);
 
@@ -109,5 +117,8 @@ fn reports_failure_when_no_logger_exists() {
     let client = world.actor::<MachineActor<DiscoveryClient>>(client_host);
     assert!(client.machine().finished());
     assert!(client.machine().result().is_none());
-    assert!(client.notices.iter().any(|(_, n)| matches!(n, Notice::DiscoveryFailed)));
+    assert!(client
+        .notices
+        .iter()
+        .any(|(_, n)| matches!(n, Notice::DiscoveryFailed)));
 }

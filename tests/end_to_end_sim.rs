@@ -32,19 +32,33 @@ fn lossy_world_reaches_full_completeness() {
         sc.send_at(SimTime::from_secs(2 + 3 * i), format!("update-{i}"));
     }
     sc.world.run_until(SimTime::from_secs(120));
-    assert_eq!(sc.completeness(&expect), 1.0, "every receiver must hold every update");
+    assert_eq!(
+        sc.completeness(&expect),
+        1.0,
+        "every receiver must hold every update"
+    );
 
     // Some loss definitely happened and was repaired.
     let recovered: u64 = sc
         .all_receivers()
         .iter()
-        .map(|&rx| sc.world.actor::<MachineActor<Receiver>>(rx).machine().stats().recovered)
+        .map(|&rx| {
+            sc.world
+                .actor::<MachineActor<Receiver>>(rx)
+                .machine()
+                .stats()
+                .recovered
+        })
         .sum();
-    assert!(recovered > 0, "the lossy run should have exercised recovery");
+    assert!(
+        recovered > 0,
+        "the lossy run should have exercised recovery"
+    );
 
     // The sender's buffer drained: the primary logged everything.
-    let sender =
-        sc.world.actor::<MachineActor<lbrm_core::sender::Sender>>(sc.src_host);
+    let sender = sc
+        .world
+        .actor::<MachineActor<lbrm_core::sender::Sender>>(sc.src_host);
     assert_eq!(sender.machine().buffered(), 0);
 }
 
@@ -83,7 +97,11 @@ fn simulation_is_deterministic_in_seed() {
             .collect::<Vec<_>>()
     };
     assert_eq!(run(42), run(42), "same seed, same world");
-    assert_ne!(run(42), run(43), "different seed should differ under 20% loss");
+    assert_ne!(
+        run(42),
+        run(43),
+        "different seed should differ under 20% loss"
+    );
 }
 
 /// Receiver-reliability: a LatestOnly receiver keeps up without ever
@@ -109,17 +127,27 @@ fn reliability_modes_coexist() {
     sc.world.run_until(SimTime::from_secs(60));
     let mut abandoned_total = 0;
     for rx in sc.all_receivers() {
-        let stats = sc.world.actor::<MachineActor<Receiver>>(rx).machine().stats();
+        let stats = sc
+            .world
+            .actor::<MachineActor<Receiver>>(rx)
+            .machine()
+            .stats();
         assert_eq!(stats.recovered, 0, "LatestOnly must not recover");
         abandoned_total += stats.abandoned;
     }
-    assert!(abandoned_total > 0, "25% loss must have produced abandoned packets");
+    assert!(
+        abandoned_total > 0,
+        "25% loss must have produced abandoned packets"
+    );
     // No receiver NACK ever left a site (secondaries still maintain
     // their logs upstream, but receiver-reliability means receivers
     // choose not to pull).
     for rx in sc.all_receivers() {
         assert_eq!(
-            sc.world.actor::<MachineActor<Receiver>>(rx).machine().outstanding_recoveries(),
+            sc.world
+                .actor::<MachineActor<Receiver>>(rx)
+                .machine()
+                .outstanding_recoveries(),
             0
         );
     }

@@ -29,7 +29,10 @@ fn replica_promotion_and_recovery_through_new_primary() {
         sites: 3,
         receivers_per_site: 2,
         replicas: 2,
-        site_params: SiteParams { tail_in_loss: outage, ..SiteParams::distant() },
+        site_params: SiteParams {
+            tail_in_loss: outage,
+            ..SiteParams::distant()
+        },
         site_params_for: None::<Arc<dyn Fn(usize) -> SiteParams>>,
         seed: 13,
         ..DisScenarioConfig::default()
@@ -43,7 +46,10 @@ fn replica_promotion_and_recovery_through_new_primary() {
     sc.world.run_until(SimTime::from_secs(6));
     for &r in &sc.replicas {
         let log = sc.world.actor::<MachineActor<Logger>>(r);
-        assert!(log.machine().has(Seq(1)) && log.machine().has(Seq(2)), "replication lagging");
+        assert!(
+            log.machine().has(Seq(1)) && log.machine().has(Seq(2)),
+            "replication lagging"
+        );
     }
     sc.world.crash(sc.primary);
     sc.world.run_until(SimTime::from_secs(60));
@@ -57,7 +63,11 @@ fn replica_promotion_and_recovery_through_new_primary() {
     let new_primary = promoted.expect("a replica must be promoted");
     assert!(sc.replicas.contains(&new_primary));
     assert_eq!(sender.machine().primary(), new_primary);
-    assert_eq!(sender.machine().buffered(), 0, "new primary must ack the stream");
+    assert_eq!(
+        sender.machine().buffered(),
+        0,
+        "new primary must ack the stream"
+    );
 
     // The promoted replica acts as primary and holds the full log.
     let log = sc.world.actor::<MachineActor<Logger>>(new_primary);
@@ -72,14 +82,27 @@ fn replica_promotion_and_recovery_through_new_primary() {
     let recovered: u64 = sc
         .all_receivers()
         .iter()
-        .map(|&rx| sc.world.actor::<MachineActor<Receiver>>(rx).machine().stats().recovered)
+        .map(|&rx| {
+            sc.world
+                .actor::<MachineActor<Receiver>>(rx)
+                .machine()
+                .stats()
+                .recovered
+        })
         .sum();
-    assert!(recovered >= 6, "all six receivers should have recovered #4, got {recovered}");
+    assert!(
+        recovered >= 6,
+        "all six receivers should have recovered #4, got {recovered}"
+    );
 
     // Secondaries re-homed their parent pointer.
     for &sec in &sc.secondaries {
         let l = sc.world.actor::<MachineActor<Logger>>(sec);
-        assert_eq!(l.machine().parent(), new_primary, "secondary {sec} not re-homed");
+        assert_eq!(
+            l.machine().parent(),
+            new_primary,
+            "secondary {sec} not re-homed"
+        );
     }
 }
 

@@ -19,7 +19,10 @@ fn nacks_at_primary(levels: u8, seed: u64) -> (u64, f64) {
         receivers_per_site: 3,
         secondary_loggers: levels >= 2,
         regional_fanout: (levels >= 3).then_some(4),
-        site_params: SiteParams { tail_in_loss: outage, ..SiteParams::distant() },
+        site_params: SiteParams {
+            tail_in_loss: outage,
+            ..SiteParams::distant()
+        },
         site_params_for: None::<Arc<dyn Fn(usize) -> SiteParams>>,
         seed,
         ..DisScenarioConfig::default()
@@ -30,8 +33,11 @@ fn nacks_at_primary(levels: u8, seed: u64) -> (u64, f64) {
     sc.world.run_until(SimTime::from_secs(40));
 
     let source_site = sc.world.topology().site_of(sc.primary);
-    let nacks =
-        sc.world.stats().site_tail(source_site, SegmentClass::TailIn, "nack").carried;
+    let nacks = sc
+        .world
+        .stats()
+        .site_tail(source_site, SegmentClass::TailIn, "nack")
+        .carried;
     let completeness = sc.completeness(&[1, 2, 3]);
     (nacks, completeness)
 }

@@ -35,13 +35,18 @@ fn late_joiner_backfills_recent_history() {
     cfg.backfill = 4;
     world.add_actor(joiner, MachineActor::new(Receiver::new(cfg), vec![GROUP]));
 
-    let mut sender =
-        MachineActor::new(Sender::new(SenderConfig::new(GROUP, SRC, src_host, log_host)), vec![]);
+    let mut sender = MachineActor::new(
+        Sender::new(SenderConfig::new(GROUP, SRC, src_host, log_host)),
+        vec![],
+    );
     for i in 0..8u64 {
         let payload = bytes::Bytes::from(format!("u{i}"));
-        sender.schedule(SimTime::from_secs(1 + i), move |s: &mut Sender, now, out| {
-            s.send(now, payload.clone(), out);
-        });
+        sender.schedule(
+            SimTime::from_secs(1 + i),
+            move |s: &mut Sender, now, out| {
+                s.send(now, payload.clone(), out);
+            },
+        );
     }
     world.add_actor(src_host, sender);
 
@@ -55,8 +60,11 @@ fn late_joiner_backfills_recent_history() {
     world.run_until(SimTime::from_secs(30));
 
     let a = world.actor::<MachineActor<Receiver>>(joiner);
-    let mut seqs: Vec<(u32, bool)> =
-        a.deliveries.iter().map(|(_, d)| (d.seq.raw(), d.recovered)).collect();
+    let mut seqs: Vec<(u32, bool)> = a
+        .deliveries
+        .iter()
+        .map(|(_, d)| (d.seq.raw(), d.recovered))
+        .collect();
     seqs.sort();
     // First contact is the heartbeat announcing #6 (at t ≈ 6.75 s): the
     // joiner recovers #6 plus a backfill window of 4 predecessors, then
@@ -101,13 +109,18 @@ fn backfill_past_stream_origin_gives_up_cleanly() {
     cfg.max_recovery_attempts = 3;
     world.add_actor(joiner, MachineActor::new(Receiver::new(cfg), vec![GROUP]));
 
-    let mut sender =
-        MachineActor::new(Sender::new(SenderConfig::new(GROUP, SRC, src_host, log_host)), vec![]);
+    let mut sender = MachineActor::new(
+        Sender::new(SenderConfig::new(GROUP, SRC, src_host, log_host)),
+        vec![],
+    );
     for i in 0..2u64 {
         let payload = bytes::Bytes::from(format!("u{i}"));
-        sender.schedule(SimTime::from_secs(1 + i), move |s: &mut Sender, now, out| {
-            s.send(now, payload.clone(), out);
-        });
+        sender.schedule(
+            SimTime::from_secs(1 + i),
+            move |s: &mut Sender, now, out| {
+                s.send(now, payload.clone(), out);
+            },
+        );
     }
     world.add_actor(src_host, sender);
 
@@ -121,9 +134,20 @@ fn backfill_past_stream_origin_gives_up_cleanly() {
     let a = world.actor::<MachineActor<Receiver>>(joiner);
     let mut seqs: Vec<u32> = a.deliveries.iter().map(|(_, d)| d.seq.raw()).collect();
     seqs.sort();
-    assert_eq!(seqs, vec![1, 2], "real history recovered, phantom history not");
-    assert_eq!(a.machine().outstanding_recoveries(), 0, "no immortal recoveries");
+    assert_eq!(
+        seqs,
+        vec![1, 2],
+        "real history recovered, phantom history not"
+    );
+    assert_eq!(
+        a.machine().outstanding_recoveries(),
+        0,
+        "no immortal recoveries"
+    );
     // The backfill window clamps at sequence 0; the one phantom sequence
     // (#0, never sent) is abandoned after bounded attempts.
-    assert!(a.machine().stats().abandoned >= 1, "pre-origin sequence abandoned");
+    assert!(
+        a.machine().stats().abandoned >= 1,
+        "pre-origin sequence abandoned"
+    );
 }

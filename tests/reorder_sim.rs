@@ -31,11 +31,21 @@ fn run(nack_delay: Duration, seed: u64) -> (u64, u64, f64) {
     }
     sc.world.run_until(SimTime::from_secs(30));
 
-    let lan_nacks = sc.world.stats().class_kind(SegmentClass::Lan, "nack").carried;
+    let lan_nacks = sc
+        .world
+        .stats()
+        .class_kind(SegmentClass::Lan, "nack")
+        .carried;
     let spurious_recoveries: u64 = sc
         .all_receivers()
         .iter()
-        .map(|&rx| sc.world.actor::<MachineActor<Receiver>>(rx).machine().stats().recovered)
+        .map(|&rx| {
+            sc.world
+                .actor::<MachineActor<Receiver>>(rx)
+                .machine()
+                .stats()
+                .recovered
+        })
         .sum();
     let expect: Vec<u32> = (1..=50).collect();
     (lan_nacks, spurious_recoveries, sc.completeness(&expect))

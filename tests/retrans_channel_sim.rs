@@ -64,9 +64,17 @@ impl Machine for ChannelReceiver {
         // Retransmission-channel packets carry the retrans group id;
         // rewrite to the data group for the inner receiver.
         let packet = match packet {
-            Packet::Retrans { group, source, seq, payload } if group == RETRANS_GROUP => {
-                Packet::Retrans { group: DATA_GROUP, source, seq, payload }
-            }
+            Packet::Retrans {
+                group,
+                source,
+                seq,
+                payload,
+            } if group == RETRANS_GROUP => Packet::Retrans {
+                group: DATA_GROUP,
+                source,
+                seq,
+                payload,
+            },
             p => p,
         };
         let mut inner = Actions::new();
@@ -88,7 +96,10 @@ impl Machine for ChannelReceiver {
                     out.push(a);
                 }
                 // Suppress NACKs entirely: recovery is channel-driven.
-                Action::Unicast { packet: Packet::Nack { .. }, .. } => {}
+                Action::Unicast {
+                    packet: Packet::Nack { .. },
+                    ..
+                } => {}
                 _ => out.push(a),
             }
         }
@@ -144,27 +155,39 @@ fn loss_recovered_by_subscribing_to_retrans_channel() {
     );
     for (i, at) in [1u64, 5, 9].iter().enumerate() {
         let payload = Bytes::from(format!("u{i}"));
-        actor.schedule(SimTime::from_secs(*at), move |s: &mut ChannelSender, now, out| {
-            s.send(now, payload.clone(), out);
-        });
+        actor.schedule(
+            SimTime::from_secs(*at),
+            move |s: &mut ChannelSender, now, out| {
+                s.send(now, payload.clone(), out);
+            },
+        );
     }
     world.add_actor(src_host, actor);
 
     world.run_until(SimTime::from_secs(30));
 
     let rx = world.actor::<MachineActor<ChannelReceiver>>(rx_host);
-    let mut seqs: Vec<(u32, bool)> =
-        rx.deliveries.iter().map(|(_, d)| (d.seq.raw(), d.recovered)).collect();
+    let mut seqs: Vec<(u32, bool)> = rx
+        .deliveries
+        .iter()
+        .map(|(_, d)| (d.seq.raw(), d.recovered))
+        .collect();
     seqs.sort();
     assert_eq!(seqs, vec![(1, false), (2, true), (3, false)], "{seqs:?}");
     // Recovery came from the channel, not a NACK: zero NACKs anywhere.
     assert_eq!(
-        world.stats().class_kind(lbrm::sim::SegmentClass::Wan, "nack").carried,
+        world
+            .stats()
+            .class_kind(lbrm::sim::SegmentClass::Wan, "nack")
+            .carried,
         0,
         "channel recovery must not NACK"
     );
     // The subscriber joined and then left the channel.
-    assert!(!rx.machine().subscriber.joined(), "subscriber must leave after recovery");
+    assert!(
+        !rx.machine().subscriber.joined(),
+        "subscriber must leave after recovery"
+    );
     assert!(rx
         .notices
         .iter()

@@ -42,13 +42,19 @@ fn nsl_estimate_follows_logger_departures() {
         .notices
         .iter()
         .filter_map(|(at, n)| match n {
-            Notice::EpochStarted { nsl_estimate, ackers, .. } => {
-                Some((*at, *nsl_estimate, *ackers))
-            }
+            Notice::EpochStarted {
+                nsl_estimate,
+                ackers,
+                ..
+            } => Some((*at, *nsl_estimate, *ackers)),
             _ => None,
         })
         .collect();
-    assert!(epochs.len() >= 15, "expected many epochs, got {}", epochs.len());
+    assert!(
+        epochs.len() >= 15,
+        "expected many epochs, got {}",
+        epochs.len()
+    );
 
     // Estimate while everyone was alive: near 24.
     let before: Vec<f64> = epochs
@@ -145,14 +151,14 @@ fn congestion_notice_fires_when_group_goes_dark() {
     sc.world.run_until(SimTime::from_secs(30));
 
     let sender = sc.world.actor::<MachineActor<Sender>>(sc.src_host);
-    let congestion = sender
-        .notices
-        .iter()
-        .find_map(|(_, n)| match n {
-            Notice::CongestionSuspected { streak } => Some(*streak),
-            _ => None,
-        });
-    assert!(congestion.is_some_and(|s| s >= 2), "expected congestion signal: {congestion:?}");
+    let congestion = sender.notices.iter().find_map(|(_, n)| match n {
+        Notice::CongestionSuspected { streak } => Some(*streak),
+        _ => None,
+    });
+    assert!(
+        congestion.is_some_and(|s| s >= 2),
+        "expected congestion signal: {congestion:?}"
+    );
 }
 
 #[test]
