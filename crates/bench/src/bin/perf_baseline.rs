@@ -1,0 +1,326 @@
+//! Persisted performance baseline for the simulator's hot paths.
+//!
+//! Times three representative workloads — the DIS scenario's event-loop
+//! step rate, wire codec encode/decode, and the logger's NACK fan-in
+//! service path — and writes the results to `BENCH_sim.json` at the repo
+//! root so regressions are visible in review.
+//!
+//! ```text
+//! perf_baseline            # measure and rewrite BENCH_sim.json
+//! perf_baseline --check    # measure and FAIL if the DIS scenario step
+//!                          # rate fell more than 25% below the file
+//! ```
+//!
+//! `--check` only gates on the step rate (the end-to-end number); the
+//! codec and logger rows are informational. The threshold is loose on
+//! purpose: CI machines are noisy, and the committed file may have been
+//! produced on different hardware — the check catches order-of-magnitude
+//! mistakes (an accidental serialize on the send path, a linear scan in
+//! the log), not single-digit-percent drift.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use bytes::Bytes;
+use lbrm::harness::{DisScenario, DisScenarioConfig};
+use lbrm_bench::experiments::table3_breakdown::{loaded_logger, serve_once};
+use lbrm_bench::microbench::bench_function;
+use lbrm_core::machine::Actions;
+use lbrm_sim::loss::LossModel;
+use lbrm_sim::time::SimTime;
+use lbrm_sim::topology::SiteParams;
+use lbrm_wire::packet::SeqRange;
+use lbrm_wire::{decode, encode, EpochId, GroupId, HostId, Packet, Seq, SourceId};
+
+/// Where the committed baseline lives (repo root).
+const BASELINE_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_sim.json");
+
+/// `--check` fails when the measured step rate drops below this fraction
+/// of the committed one.
+const CHECK_FLOOR: f64 = 0.75;
+
+/// One measured workload.
+#[derive(Debug, Clone, PartialEq)]
+struct Workload {
+    name: String,
+    /// Throughput in events (or iterations) per second.
+    events_per_sec: f64,
+    /// Wall-clock spent measuring, in seconds.
+    wall_secs: f64,
+}
+
+/// Runs the DIS scenario once and returns (events processed, wall time).
+///
+/// Deterministic: fixed seed, fixed loss schedule, so the event count is
+/// identical run-to-run and only the wall time varies.
+fn dis_scenario_events() -> (u64, Duration) {
+    let mut sc = DisScenario::build(DisScenarioConfig {
+        sites: 10,
+        receivers_per_site: 5,
+        secondary_loggers: true,
+        site_params: SiteParams {
+            tail_in_loss: LossModel::rate(0.05),
+            ..SiteParams::distant()
+        },
+        site_params_for: None::<Arc<dyn Fn(usize) -> SiteParams>>,
+        seed: 7,
+        ..DisScenarioConfig::default()
+    });
+    for i in 0..20u64 {
+        sc.send_at(
+            SimTime::from_millis(1000 + i * 400),
+            Bytes::from_static(b"perf-baseline-update"),
+        );
+    }
+    let limit = SimTime::from_secs(60);
+    let start = Instant::now();
+    let mut events = 0u64;
+    while sc.world.now() <= limit && sc.world.step() {
+        events += 1;
+    }
+    (events, start.elapsed())
+}
+
+/// DIS scenario step rate: best-of-many runs (the metric `--check`
+/// gates on, so take the least noisy sample and accumulate enough wall
+/// time that one scheduler hiccup can't dominate the measurement).
+fn bench_dis_scenario() -> Workload {
+    let mut best_rate = 0.0f64;
+    let mut total_wall = Duration::ZERO;
+    let mut runs = 0u32;
+    while runs < 3 || (total_wall < Duration::from_millis(250) && runs < 100) {
+        let (events, wall) = dis_scenario_events();
+        total_wall += wall;
+        runs += 1;
+        best_rate = best_rate.max(events as f64 / wall.as_secs_f64());
+    }
+    Workload {
+        name: "dis_scenario_step".into(),
+        events_per_sec: best_rate,
+        wall_secs: total_wall.as_secs_f64(),
+    }
+}
+
+fn sample_data_packet() -> Packet {
+    Packet::Data {
+        group: GroupId(1),
+        source: SourceId(1),
+        seq: Seq(42),
+        epoch: EpochId(0),
+        payload: Bytes::from(vec![0x5Au8; 128]),
+    }
+}
+
+fn bench_codec_encode() -> Workload {
+    let p = sample_data_packet();
+    let start = Instant::now();
+    let m = bench_function("codec_encode_data_128B", |b| {
+        b.iter(|| encode(&p).expect("encodable"))
+    });
+    Workload {
+        name: "codec_encode_data_128B".into(),
+        events_per_sec: m.iters_per_sec(),
+        wall_secs: start.elapsed().as_secs_f64(),
+    }
+}
+
+fn bench_codec_decode() -> Workload {
+    let wire = encode(&sample_data_packet()).expect("encodable");
+    let start = Instant::now();
+    let m = bench_function("codec_decode_data_128B", |b| {
+        b.iter(|| decode(&wire).expect("decodable"))
+    });
+    Workload {
+        name: "codec_decode_data_128B".into(),
+        events_per_sec: m.iters_per_sec(),
+        wall_secs: start.elapsed().as_secs_f64(),
+    }
+}
+
+/// Logger NACK fan-in: decode → log lookup → retransmission encode,
+/// rotating requests through a 1,024-entry log.
+fn bench_logger_fanin() -> Workload {
+    let mut logger = loaded_logger(1024, 128);
+    let nacks: Vec<Vec<u8>> = (1..=1024u32)
+        .map(|i| {
+            encode(&Packet::Nack {
+                group: GroupId(1),
+                source: SourceId(1),
+                requester: HostId(400 + u64::from(i % 97)),
+                ranges: vec![SeqRange::single(Seq(i))],
+            })
+            .expect("encodable")
+            .to_vec()
+        })
+        .collect();
+    let mut out = Actions::new();
+    let mut i = 0usize;
+    let start = Instant::now();
+    let m = bench_function("logger_nack_fanin", |b| {
+        b.iter(|| {
+            let bytes = serve_once(&mut logger, &nacks[i % nacks.len()], &mut out);
+            i += 1;
+            bytes
+        })
+    });
+    Workload {
+        name: "logger_nack_fanin".into(),
+        events_per_sec: m.iters_per_sec(),
+        wall_secs: start.elapsed().as_secs_f64(),
+    }
+}
+
+/// Renders the workloads as the committed JSON document.
+fn to_json(workloads: &[Workload]) -> String {
+    let mut s = String::from("{\n  \"workloads\": [\n");
+    for (i, w) in workloads.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{ \"name\": \"{}\", \"events_per_sec\": {:.1}, \"wall_secs\": {:.3} }}{}\n",
+            w.name,
+            w.events_per_sec,
+            w.wall_secs,
+            if i + 1 < workloads.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+/// Parses the document [`to_json`] writes. Not a general JSON parser —
+/// just enough to read our own output back: scans for `"name"` /
+/// `"events_per_sec"` / `"wall_secs"` key-value pairs in order.
+fn from_json(doc: &str) -> Vec<Workload> {
+    fn str_after<'a>(s: &'a str, key: &str) -> Option<(&'a str, &'a str)> {
+        let at = s.find(key)? + key.len();
+        let rest = &s[at..];
+        let open = rest.find('"')? + 1;
+        let rest = &rest[open..];
+        let close = rest.find('"')?;
+        Some((&rest[..close], &rest[close..]))
+    }
+    fn num_after<'a>(s: &'a str, key: &str) -> Option<(f64, &'a str)> {
+        let at = s.find(key)? + key.len();
+        let rest = s[at..].trim_start_matches([':', ' ']);
+        let end = rest
+            .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e'))
+            .unwrap_or(rest.len());
+        Some((rest[..end].parse().ok()?, &rest[end..]))
+    }
+    let mut out = Vec::new();
+    let mut rest = doc;
+    while let Some((name, after)) = str_after(rest, "\"name\"") {
+        let Some((events_per_sec, after)) = num_after(after, "\"events_per_sec\"") else {
+            break;
+        };
+        let Some((wall_secs, after)) = num_after(after, "\"wall_secs\"") else {
+            break;
+        };
+        out.push(Workload {
+            name: name.to_string(),
+            events_per_sec,
+            wall_secs,
+        });
+        rest = after;
+    }
+    out
+}
+
+fn measure_all() -> Vec<Workload> {
+    vec![
+        bench_dis_scenario(),
+        bench_codec_encode(),
+        bench_codec_decode(),
+        bench_logger_fanin(),
+    ]
+}
+
+fn main() {
+    let check = std::env::args().any(|a| a == "--check");
+    eprintln!("perf_baseline: measuring {} workloads...", 4);
+    let measured = measure_all();
+    for w in &measured {
+        println!(
+            "{:<28} {:>14.1} events/s   ({:.2}s wall)",
+            w.name, w.events_per_sec, w.wall_secs
+        );
+    }
+
+    if check {
+        let doc = match std::fs::read_to_string(BASELINE_PATH) {
+            Ok(d) => d,
+            Err(e) => {
+                eprintln!("perf_baseline --check: cannot read {BASELINE_PATH}: {e}");
+                std::process::exit(1);
+            }
+        };
+        let committed = from_json(&doc);
+        let Some(base) = committed.iter().find(|w| w.name == "dis_scenario_step") else {
+            eprintln!("perf_baseline --check: no dis_scenario_step entry in baseline");
+            std::process::exit(1);
+        };
+        let now = measured
+            .iter()
+            .find(|w| w.name == "dis_scenario_step")
+            .expect("measured above");
+        let ratio = now.events_per_sec / base.events_per_sec;
+        println!(
+            "\ncheck: step rate {:.0} events/s vs committed {:.0} ({}% of baseline, floor {}%)",
+            now.events_per_sec,
+            base.events_per_sec,
+            (ratio * 100.0).round(),
+            (CHECK_FLOOR * 100.0) as u32,
+        );
+        if ratio < CHECK_FLOOR {
+            eprintln!("perf_baseline --check: FAIL — step rate regressed more than 25%");
+            std::process::exit(1);
+        }
+        println!("check: OK");
+    } else {
+        std::fs::write(BASELINE_PATH, to_json(&measured)).expect("write BENCH_sim.json");
+        println!("\nwrote {BASELINE_PATH}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_roundtrips() {
+        let ws = vec![
+            Workload {
+                name: "dis_scenario_step".into(),
+                events_per_sec: 12345.6,
+                wall_secs: 1.234,
+            },
+            Workload {
+                name: "codec_encode_data_128B".into(),
+                events_per_sec: 9.9e6,
+                wall_secs: 0.5,
+            },
+        ];
+        let doc = to_json(&ws);
+        let back = from_json(&doc);
+        assert_eq!(back.len(), 2);
+        assert_eq!(back[0].name, "dis_scenario_step");
+        assert!((back[0].events_per_sec - 12345.6).abs() < 0.1);
+        assert!((back[1].events_per_sec - 9.9e6).abs() < 1.0);
+        assert!((back[1].wall_secs - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn from_json_rejects_garbage_gracefully() {
+        assert!(from_json("").is_empty());
+        assert!(from_json("{\"workloads\": []}").is_empty());
+        // A truncated entry parses nothing rather than panicking.
+        assert!(from_json("{\"name\": \"x\", \"events_per_sec\": ").is_empty());
+    }
+
+    #[test]
+    fn dis_scenario_event_count_is_deterministic() {
+        let (a, _) = dis_scenario_events();
+        let (b, _) = dis_scenario_events();
+        assert_eq!(a, b);
+        assert!(a > 1_000, "scenario should generate real work, got {a}");
+    }
+}

@@ -103,8 +103,12 @@ pub fn run() -> String {
     ));
 
     // Simulation cross-check on a sample of entities over one window.
-    let sample_fixed = sampled_rate(40, 120, HeartbeatScheme::Fixed, 5);
-    let sample_var = sampled_rate(40, 120, HeartbeatScheme::Variable, 5);
+    // The two schemes are independent seeded runs — sweep in parallel.
+    let samples = crate::parallel::par_map(
+        vec![HeartbeatScheme::Fixed, HeartbeatScheme::Variable],
+        |scheme| sampled_rate(40, 120, scheme, 5),
+    );
+    let (sample_fixed, sample_var) = (samples[0], samples[1]);
     out.push_str(&format!(
         "\nSimulated sample (40 entities, 120 s window): fixed {:.3} pkt/s/entity,\n\
          variable {:.3} pkt/s/entity → scaled to 100k entities: {:.0} vs {:.0} pkt/s.\n",

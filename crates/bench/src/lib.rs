@@ -11,6 +11,7 @@
 
 pub mod experiments;
 pub mod microbench;
+pub mod parallel;
 pub mod report;
 
 pub use report::{mean, percentile, Table};

@@ -11,7 +11,7 @@ use std::time::Duration;
 
 use bytes::Bytes;
 
-use lbrm_wire::Seq;
+use lbrm_wire::{Seq, SeqRange};
 
 use crate::gaps::SeqUnwrapper;
 use crate::time::Time;
@@ -167,18 +167,36 @@ impl LogStore {
             .map(|(_, end)| SeqUnwrapper::rewrap(end - 1))
     }
 
-    /// Sequences in `[first, last]` that are *not* held (what a logger
-    /// still needs to fetch from its parent).
-    pub fn missing_in(&self, first: Seq, last: Seq) -> Vec<Seq> {
+    /// Sequences in `[first, last]` that are *not* held, as coalesced
+    /// inclusive runs (what a logger still needs to fetch from its
+    /// parent). Walks only the entries actually present in the span, so a
+    /// NACK covering a mostly-empty range costs O(held + runs), never
+    /// O(span): a request spanning millions of absent sequences returns a
+    /// single run instead of iterating (and allocating) them all.
+    pub fn missing_in(&self, first: Seq, last: Seq) -> Vec<SeqRange> {
         let lo = self.unwrapper.peek(first);
         let hi = self.unwrapper.peek(last);
         if hi < lo {
             return Vec::new();
         }
-        (lo..=hi)
-            .filter(|i| !self.entries.contains_key(i))
-            .map(SeqUnwrapper::rewrap)
-            .collect()
+        let mut out = Vec::new();
+        let mut cursor = lo;
+        for &held in self.entries.range(lo..=hi).map(|(k, _)| k) {
+            if held > cursor {
+                out.push(SeqRange {
+                    first: SeqUnwrapper::rewrap(cursor),
+                    last: SeqUnwrapper::rewrap(held - 1),
+                });
+            }
+            cursor = held + 1;
+        }
+        if cursor <= hi {
+            out.push(SeqRange {
+                first: SeqUnwrapper::rewrap(cursor),
+                last: SeqUnwrapper::rewrap(hi),
+            });
+        }
+        out
     }
 
     /// Applies the retention policy at time `now`.
@@ -191,14 +209,16 @@ impl LogStore {
                 }
             }
             Retention::Lifetime(ttl) => {
-                let keys: Vec<u64> = self
-                    .entries
-                    .iter()
-                    .take_while(|(_, e)| now.since(e.logged_at) > ttl)
-                    .map(|(&k, _)| k)
-                    .collect();
-                for k in keys {
-                    self.entries.remove(&k);
+                // Entries sit in logged order for the in-order common
+                // case, so expired ones cluster at the front: pop them
+                // directly and stop at the first unexpired entry — no
+                // temporary key Vec on every insert.
+                while let Some(e) = self.entries.first_entry() {
+                    if now.since(e.get().logged_at) > ttl {
+                        e.remove();
+                    } else {
+                        break;
+                    }
                 }
             }
         }
@@ -257,9 +277,53 @@ mod tests {
         let mut log = LogStore::new(Retention::All);
         log.insert(Time::ZERO, Seq(1), b("a"));
         log.insert(Time::ZERO, Seq(4), b("d"));
-        assert_eq!(log.missing_in(Seq(1), Seq(4)), vec![Seq(2), Seq(3)]);
-        assert_eq!(log.missing_in(Seq(4), Seq(1)), Vec::<Seq>::new());
-        assert_eq!(log.missing_in(Seq(1), Seq(1)), Vec::<Seq>::new());
+        assert_eq!(
+            log.missing_in(Seq(1), Seq(4)),
+            vec![SeqRange {
+                first: Seq(2),
+                last: Seq(3)
+            }]
+        );
+        assert_eq!(log.missing_in(Seq(4), Seq(1)), Vec::<SeqRange>::new());
+        assert_eq!(log.missing_in(Seq(1), Seq(1)), Vec::<SeqRange>::new());
+    }
+
+    #[test]
+    fn missing_in_emits_runs_not_sequences() {
+        // A NACK spanning a mostly-empty range must cost O(held + runs):
+        // the result is a handful of runs, never millions of elements.
+        let mut log = LogStore::new(Retention::All);
+        log.insert(Time::ZERO, Seq(1), b("a"));
+        log.insert(Time::ZERO, Seq(5_000_000), b("m"));
+        let missing = log.missing_in(Seq(1), Seq(10_000_000));
+        assert_eq!(
+            missing,
+            vec![
+                SeqRange {
+                    first: Seq(2),
+                    last: Seq(4_999_999)
+                },
+                SeqRange {
+                    first: Seq(5_000_001),
+                    last: Seq(10_000_000)
+                },
+            ]
+        );
+        // Edge runs: hole at the very start and very end of the span.
+        let empty = LogStore::new(Retention::All);
+        assert_eq!(
+            empty.missing_in(Seq(10), Seq(20)),
+            vec![SeqRange {
+                first: Seq(10),
+                last: Seq(20)
+            }]
+        );
+        // Fully-held span has no runs.
+        let mut full = LogStore::new(Retention::All);
+        for i in 1..=5 {
+            full.insert(Time::ZERO, Seq(i), b("x"));
+        }
+        assert_eq!(full.missing_in(Seq(1), Seq(5)), Vec::<SeqRange>::new());
     }
 
     #[test]
@@ -324,6 +388,26 @@ mod tests {
         log.insert(Time::ZERO, Seq(7), b("g"));
         log.insert(Time::ZERO, Seq(6), b("f"));
         assert_eq!(log.contiguous_high(), Some(Seq(7)));
-        assert_eq!(log.missing_in(Seq(5), Seq(7)), Vec::<Seq>::new());
+        assert_eq!(log.missing_in(Seq(5), Seq(7)), Vec::<SeqRange>::new());
+    }
+
+    #[test]
+    fn lifetime_prune_pops_expired_front_and_stops() {
+        let mut log = LogStore::new(Retention::Lifetime(Duration::from_secs(10)));
+        for i in 1..=3 {
+            log.insert(Time::from_secs(i as u64), Seq(i), b("x"));
+        }
+        // At t=13 entries logged at 1 and 2 are expired, 3 is not.
+        log.prune(Time::from_secs(13));
+        assert!(!log.has(Seq(1)));
+        assert!(!log.has(Seq(2)));
+        assert!(log.has(Seq(3)));
+        // A late out-of-order arrival (low seq, fresh timestamp) sits at
+        // the front; the front-pop stops there — same shielding the
+        // original front-scan had.
+        log.insert(Time::from_secs(20), Seq(0), b("late-low"));
+        log.prune(Time::from_secs(25));
+        assert!(log.has(Seq(0)));
+        assert!(log.has(Seq(3)), "shielded by the unexpired front entry");
     }
 }

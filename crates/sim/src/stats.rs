@@ -36,7 +36,7 @@ pub struct Counter {
 }
 
 /// Aggregated network statistics for a simulation run.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct NetStats {
     by_class: HashMap<(SegmentClass, &'static str), Counter>,
     by_site_tail: HashMap<(SiteId, SegmentClass, &'static str), Counter>,

@@ -348,17 +348,18 @@ impl Topology {
         Some(Delivery { to, at })
     }
 
-    /// Sends one multicast copy to `members` (the sender is excluded by
-    /// the caller), honoring `scope`. Loss is evaluated **per physical
-    /// copy**: once on the sender's tail-out, once per destination-site
-    /// branch (WAN + tail-in), and per member on each LAN — so tail-circuit
-    /// loss is correlated across a site, as in the paper.
+    /// Sends one multicast copy to `members` (the sender is excluded
+    /// here, so callers can stream a whole group set), honoring `scope`.
+    /// Loss is evaluated **per physical copy**: once on the sender's
+    /// tail-out, once per destination-site branch (WAN + tail-in), and per
+    /// member on each LAN — so tail-circuit loss is correlated across a
+    /// site, as in the paper.
     #[allow(clippy::too_many_arguments)]
     pub fn multicast(
         &mut self,
         now: SimTime,
         from: HostId,
-        members: &[HostId],
+        members: impl IntoIterator<Item = HostId>,
         scope: TtlScope,
         kind: &'static str,
         bytes: usize,
@@ -370,7 +371,7 @@ impl Topology {
 
         // Partition members by site, respecting scope.
         let mut by_site: HashMap<SiteId, Vec<HostId>> = HashMap::new();
-        for &m in members {
+        for m in members {
             if m != from && self.in_scope(from, m, scope) {
                 by_site.entry(self.site_of(m)).or_default().push(m);
             }
@@ -525,7 +526,7 @@ mod tests {
         let deliveries = t.multicast(
             SimTime::ZERO,
             sender,
-            &members,
+            members.iter().copied(),
             TtlScope::Global,
             "data",
             64,
@@ -566,7 +567,7 @@ mod tests {
         let deliveries = t.multicast(
             SimTime::ZERO,
             sender,
-            &members,
+            members.iter().copied(),
             TtlScope::Global,
             "data",
             64,
@@ -594,7 +595,7 @@ mod tests {
         let deliveries = t.multicast(
             SimTime::ZERO,
             sender,
-            &[local, remote],
+            [local, remote],
             TtlScope::Site,
             "retrans",
             64,
@@ -632,7 +633,7 @@ mod tests {
         let deliveries = t.multicast(
             SimTime::ZERO,
             sender,
-            &[same_region, other_region],
+            [same_region, other_region],
             TtlScope::Region,
             "discovery-query",
             32,

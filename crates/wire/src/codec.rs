@@ -106,7 +106,7 @@ mod tag {
 }
 
 /// Maximum number of ranges accepted in one NACK.
-const MAX_NACK_RANGES: usize = 1024;
+pub const MAX_NACK_RANGES: usize = 1024;
 
 /// RFC 1071 internet checksum.
 fn internet_checksum(data: &[u8]) -> u16 {
@@ -156,6 +156,45 @@ fn put_ranges(buf: &mut BytesMut, ranges: &[SeqRange]) {
     for r in ranges {
         buf.put_u32(r.first.raw());
         buf.put_u32(r.last.raw());
+    }
+}
+
+impl Packet {
+    /// Exact length in bytes that [`encode`] produces for this packet,
+    /// computed arithmetically over the wire layout — no buffer is
+    /// allocated and no checksum is run.
+    ///
+    /// This is the simulator's hot path: every simulated transmission
+    /// needs the on-wire size for bandwidth/queueing accounting but never
+    /// the bytes themselves. The invariant `p.encoded_len() ==
+    /// encode(&p)?.len()` holds for every packet [`encode`] accepts and is
+    /// pinned by a property test over all variants
+    /// (`crates/wire/tests/proptests.rs`); any change to the encoded
+    /// layout must update both sides or that test fails.
+    pub fn encoded_len(&self) -> usize {
+        // Per-field sizes mirror the `put_*` calls in `encode`:
+        // group u32, source/host u64, seq/epoch u32, payload 4+len,
+        // range list 2+8n.
+        let body = match self {
+            Packet::Data { payload, .. } => 4 + 8 + 4 + 4 + (4 + payload.len()),
+            Packet::Heartbeat { payload, .. } => 4 + 8 + 4 + 4 + 4 + (4 + payload.len()),
+            Packet::Nack { ranges, .. } => 4 + 8 + 8 + (2 + 8 * ranges.len()),
+            Packet::Retrans { payload, .. } => 4 + 8 + 4 + (4 + payload.len()),
+            Packet::LogAck { .. } => 4 + 8 + 4 + 4,
+            Packet::AckerSelect { .. } => 4 + 8 + 4 + 8,
+            Packet::AckerVolunteer { .. } => 4 + 8 + 4 + 8,
+            Packet::PacketAck { .. } => 4 + 8 + 4 + 4 + 8,
+            Packet::DiscoveryQuery { .. } => 4 + 8 + 8,
+            Packet::DiscoveryReply { .. } => 4 + 8 + 8 + 1,
+            Packet::LocatePrimary { .. } => 4 + 8 + 8,
+            Packet::PrimaryIs { .. } => 4 + 8 + 8,
+            Packet::ReplUpdate { payload, .. } => 4 + 8 + 4 + (4 + payload.len()),
+            Packet::ReplAck { .. } => 4 + 8 + 4,
+            Packet::SrmSession { .. } => 4 + 8 + 4,
+            Packet::SrmNack { ranges, .. } => 4 + 8 + 8 + (2 + 8 * ranges.len()),
+            Packet::SrmRepair { payload, .. } => 4 + 8 + 4 + 8 + (4 + payload.len()),
+        };
+        HEADER_LEN + body
     }
 }
 
@@ -766,6 +805,19 @@ mod tests {
             let enc = encode(&p).expect("encode");
             let dec = decode(&enc).expect("decode");
             assert_eq!(p, dec, "roundtrip failed for {}", p.kind());
+        }
+    }
+
+    #[test]
+    fn encoded_len_matches_encode_for_samples() {
+        for p in sample_packets() {
+            let enc = encode(&p).expect("encode");
+            assert_eq!(
+                p.encoded_len(),
+                enc.len(),
+                "length mismatch for {}",
+                p.kind()
+            );
         }
     }
 

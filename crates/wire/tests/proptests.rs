@@ -45,7 +45,7 @@ fn arb_packet(r: &mut SmallRng) -> Packet {
     let s = SourceId(r.random::<u64>());
     let q = Seq(r.random::<u32>());
     let e = EpochId(r.random::<u32>());
-    match r.random_range(0u64..15) {
+    match r.random_range(0u64..17) {
         0 => Packet::Data {
             group: g,
             source: s,
@@ -131,14 +131,193 @@ fn arb_packet(r: &mut SmallRng) -> Packet {
             requester: HostId(r.random::<u64>()),
             ranges: arb_ranges(r),
         },
-        _ => Packet::SrmRepair {
+        14 => Packet::SrmRepair {
             group: g,
             source: s,
             seq: q,
             responder: HostId(r.random::<u64>()),
             payload: arb_payload(r),
         },
+        15 => Packet::LocatePrimary {
+            group: g,
+            source: s,
+            requester: HostId(r.random::<u64>()),
+        },
+        _ => Packet::PrimaryIs {
+            group: g,
+            source: s,
+            primary: HostId(r.random::<u64>()),
+        },
     }
+}
+
+/// One deterministic instance of every variant at a chosen payload/range
+/// extreme, for the `encoded_len` edge cases the random generator rarely
+/// hits (empty and maximal sizes, wraparound sequence numbers).
+fn extreme_packets() -> Vec<Packet> {
+    let g = GroupId(u32::MAX);
+    let s = SourceId(u64::MAX);
+    // Wraparound: a range starting just below the top of seq space.
+    let wrap = SeqRange {
+        first: Seq(u32::MAX - 1),
+        last: Seq(u32::MAX - 1).add(5),
+    };
+    let max_ranges: Vec<SeqRange> = (0..lbrm_wire::codec::MAX_NACK_RANGES)
+        .map(|i| SeqRange::single(Seq(i as u32)))
+        .collect();
+    let big = Bytes::from(vec![0xA5u8; 16 * 1024]);
+    let empty = Bytes::new();
+    vec![
+        Packet::Data {
+            group: g,
+            source: s,
+            seq: Seq(u32::MAX),
+            epoch: EpochId(0),
+            payload: empty.clone(),
+        },
+        Packet::Data {
+            group: g,
+            source: s,
+            seq: Seq(0),
+            epoch: EpochId(u32::MAX),
+            payload: big.clone(),
+        },
+        Packet::Heartbeat {
+            group: g,
+            source: s,
+            seq: Seq(u32::MAX),
+            epoch: EpochId(1),
+            hb_index: u32::MAX,
+            payload: empty.clone(),
+        },
+        Packet::Nack {
+            group: g,
+            source: s,
+            requester: HostId(0),
+            ranges: vec![],
+        },
+        Packet::Nack {
+            group: g,
+            source: s,
+            requester: HostId(u64::MAX),
+            ranges: max_ranges,
+        },
+        Packet::Nack {
+            group: g,
+            source: s,
+            requester: HostId(7),
+            ranges: vec![wrap],
+        },
+        Packet::Retrans {
+            group: g,
+            source: s,
+            seq: Seq(u32::MAX),
+            payload: big.clone(),
+        },
+        Packet::LogAck {
+            group: g,
+            source: s,
+            primary_seq: Seq(u32::MAX),
+            replica_seq: Seq(0),
+        },
+        Packet::AckerSelect {
+            group: g,
+            source: s,
+            epoch: EpochId(u32::MAX),
+            p_ack: 1.0,
+        },
+        Packet::AckerVolunteer {
+            group: g,
+            source: s,
+            epoch: EpochId(0),
+            logger: HostId(u64::MAX),
+        },
+        Packet::PacketAck {
+            group: g,
+            source: s,
+            epoch: EpochId(0),
+            seq: Seq(u32::MAX),
+            logger: HostId(0),
+        },
+        Packet::DiscoveryQuery {
+            group: g,
+            nonce: u64::MAX,
+            requester: HostId(0),
+        },
+        Packet::DiscoveryReply {
+            group: g,
+            nonce: 0,
+            logger: HostId(u64::MAX),
+            level: u8::MAX,
+        },
+        Packet::LocatePrimary {
+            group: g,
+            source: s,
+            requester: HostId(u64::MAX),
+        },
+        Packet::PrimaryIs {
+            group: g,
+            source: s,
+            primary: HostId(u64::MAX),
+        },
+        Packet::ReplUpdate {
+            group: g,
+            source: s,
+            seq: Seq(0),
+            payload: big.clone(),
+        },
+        Packet::ReplAck {
+            group: g,
+            source: s,
+            seq: Seq(u32::MAX),
+        },
+        Packet::SrmSession {
+            group: g,
+            member: HostId(u64::MAX),
+            last_seq: Seq(u32::MAX),
+        },
+        Packet::SrmNack {
+            group: g,
+            source: s,
+            requester: HostId(1),
+            ranges: vec![wrap],
+        },
+        Packet::SrmRepair {
+            group: g,
+            source: s,
+            seq: Seq(u32::MAX),
+            responder: HostId(u64::MAX),
+            payload: empty,
+        },
+    ]
+}
+
+#[test]
+fn encoded_len_matches_encode() {
+    // The invariant the simulator's zero-serialization send path relies
+    // on: `encoded_len()` is exactly `encode(p).len()` for every packet.
+    let mut r = rng(0x1E4);
+    for i in 0..CASES {
+        let p = arb_packet(&mut r);
+        let enc = encode(&p).expect("encode");
+        assert_eq!(p.encoded_len(), enc.len(), "case {i}: {p:?}");
+    }
+}
+
+#[test]
+fn encoded_len_matches_encode_at_extremes() {
+    for p in extreme_packets() {
+        let enc = encode(&p).expect("encode");
+        assert_eq!(p.encoded_len(), enc.len(), "variant {}", p.kind());
+    }
+}
+
+#[test]
+fn extreme_packets_cover_every_variant() {
+    let mut kinds: Vec<&str> = extreme_packets().iter().map(|p| p.kind()).collect();
+    kinds.sort_unstable();
+    kinds.dedup();
+    assert_eq!(kinds.len(), 17, "one extreme per wire variant: {kinds:?}");
 }
 
 #[test]
