@@ -1,35 +1,34 @@
 //! Runs every experiment, regenerating all tables and figures of the
 //! paper's evaluation in one go (used to fill EXPERIMENTS.md), then
-//! closes with a protocol-trace summary from one seeded lossy run.
+//! closes with a protocol-trace summary and a recovery-forensics report
+//! from one seeded lossy run (whose full event stream is saved to
+//! `target/reproduce_trace.jsonl` for `trace_doctor` replay).
 
-use std::time::Duration;
+use std::sync::Arc;
 
-use lbrm::harness::{DisScenario, DisScenarioConfig};
+use lbrm_bench::doctor;
 use lbrm_bench::experiments as e;
-use lbrm_sim::loss::LossModel;
+use lbrm_core::trace::analyze::AnalyzeConfig;
+use lbrm_core::trace::{JsonLinesSink, TraceSink};
 use lbrm_sim::time::SimTime;
-use lbrm_sim::topology::SiteParams;
 
 type Experiment = fn() -> String;
 
-/// One seeded lossy run, reported entirely through the trace layer's
-/// per-role [`lbrm_core::trace::MetricsRegistry`] aggregates.
+/// One seeded lossy run, reported entirely through the trace layer:
+/// per-role [`lbrm_core::trace::MetricsRegistry`] aggregates, the sim's
+/// queue gauges, and the forensic analyzer's recovery report.
 fn trace_summary() -> String {
-    let mut sc = DisScenario::build(DisScenarioConfig {
-        sites: 6,
-        receivers_per_site: 5,
-        site_params: SiteParams {
-            tail_in_loss: LossModel::rate(0.05),
-            ..SiteParams::distant()
-        },
-        receiver_nack_delay: Duration::from_millis(5),
-        seed: 77,
-        ..DisScenarioConfig::default()
-    });
-    for i in 0..20u64 {
-        sc.send_at(SimTime::from_millis(1_000 + 250 * i), format!("update-{i}"));
-    }
-    sc.world.run_until(SimTime::from_secs(30));
+    let path = "target/reproduce_trace.jsonl";
+    let jsonl: Option<Arc<JsonLinesSink<std::fs::File>>> = std::fs::File::create(path)
+        .ok()
+        .map(|f| Arc::new(JsonLinesSink::new(f)));
+    let (run, sc) = doctor::run_scenario(
+        doctor::demo_config(77),
+        20,
+        SimTime::from_secs(30),
+        &AnalyzeConfig::default(),
+        jsonl.clone().map(|s| s as Arc<dyn TraceSink>),
+    );
     let mut out = String::from(
         "Protocol observability: per-role trace registries after a seeded\n\
          run (6 sites x 5 receivers, 5% tail-circuit loss, 20 packets).\n\n",
@@ -45,6 +44,18 @@ fn trace_summary() -> String {
         out.push('\n');
         out.push_str(&reg.render());
         out.push('\n');
+    }
+    out.push_str("Recovery forensics (trace_doctor over the same stream):\n\n");
+    out.push_str(&run.report.render());
+    assert!(
+        run.report.is_clean(),
+        "reproduce trace not clean: {:?}",
+        run.report.anomalies
+    );
+    // The capture is replayable: `trace_doctor target/reproduce_trace.jsonl`.
+    if let Some(sink) = jsonl {
+        sink.flush();
+        out.push_str(&format!("\nFull event stream saved to {path}\n"));
     }
     out
 }

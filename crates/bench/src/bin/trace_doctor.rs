@@ -1,0 +1,127 @@
+//! `trace_doctor` — recovery forensics over a protocol-event stream.
+//!
+//! Replays a `JsonLinesSink` capture (pass the file path) or runs the
+//! built-in seeded lossy DIS scenario, correlates the events into
+//! per-`(host, seq)` recovery timelines, and reports per-stage latency
+//! histograms, the repair-source breakdown, and any protocol-health
+//! anomalies (unrecovered gaps, NACK implosion, excess duplicate
+//! repairs, heartbeat silence, stalled settlements).
+//!
+//! ```text
+//! trace_doctor [TRACE.jsonl] [--seed N] [--json] [--write-json PATH]
+//!              [--assert-clean]
+//! ```
+//!
+//! `--assert-clean` exits nonzero when any anomaly is detected (CI
+//! gate); `--write-json` saves the machine-readable report.
+
+use std::io::Write as _;
+use std::process::ExitCode;
+
+use lbrm_bench::doctor::{analyze_jsonl, demo_run, DoctorRun};
+use lbrm_core::trace::analyze::AnalyzeConfig;
+
+struct Args {
+    file: Option<String>,
+    seed: u64,
+    json: bool,
+    write_json: Option<String>,
+    assert_clean: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        file: None,
+        seed: 77,
+        json: false,
+        write_json: None,
+        assert_clean: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--seed" => {
+                args.seed = it
+                    .next()
+                    .ok_or("--seed needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?;
+            }
+            "--json" => args.json = true,
+            "--write-json" => {
+                args.write_json = Some(it.next().ok_or("--write-json needs a path")?);
+            }
+            "--assert-clean" => args.assert_clean = true,
+            "--help" | "-h" => {
+                return Err("usage: trace_doctor [TRACE.jsonl] [--seed N] [--json] \
+                     [--write-json PATH] [--assert-clean]"
+                    .into());
+            }
+            other if !other.starts_with('-') && args.file.is_none() => {
+                args.file = Some(other.to_owned());
+            }
+            other => return Err(format!("unknown argument: {other}")),
+        }
+    }
+    Ok(args)
+}
+
+fn run(args: &Args) -> Result<DoctorRun, String> {
+    match &args.file {
+        Some(path) => {
+            let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+            Ok(analyze_jsonl(&text, &AnalyzeConfig::default()))
+        }
+        None => Ok(demo_run(args.seed)),
+    }
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let doc = match run(&args) {
+        Ok(d) => d,
+        Err(msg) => {
+            eprintln!("trace_doctor: {msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if args.json {
+        println!("{}", doc.to_json());
+    } else {
+        match &args.file {
+            Some(path) => println!(
+                "trace_doctor: {path} ({} records, {} malformed lines skipped)\n",
+                doc.records, doc.skipped
+            ),
+            None => println!(
+                "trace_doctor: built-in lossy DIS scenario, seed {} ({} records)\n",
+                args.seed, doc.records
+            ),
+        }
+        print!("{}", doc.report.render());
+    }
+    if let Some(path) = &args.write_json {
+        if let Err(e) = std::fs::File::create(path).and_then(|mut f| {
+            f.write_all(doc.to_json().as_bytes())?;
+            f.write_all(b"\n")
+        }) {
+            eprintln!("trace_doctor: {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    if args.assert_clean && !doc.report.is_clean() {
+        eprintln!(
+            "trace_doctor: --assert-clean failed: {} anomalies",
+            doc.report.anomalies.len()
+        );
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

@@ -10,9 +10,12 @@
 //! (centralized). Latencies come from the scenario's receiver-side
 //! [`lbrm_core::trace::MetricsRegistry`] histogram.
 
+use std::sync::Arc;
 use std::time::Duration;
 
 use lbrm::harness::{DisScenario, DisScenarioConfig};
+use lbrm_core::trace::analyze::{analyze, AnalyzeConfig};
+use lbrm_core::trace::CollectorSink;
 use lbrm_sim::time::SimTime;
 use lbrm_sim::topology::SiteParams;
 
@@ -20,21 +23,25 @@ use crate::report::{fmt_dur, mean, percentile, Table};
 
 /// Recovery latencies for the affected receivers under one variant.
 pub fn run_variant(distributed: bool, seed: u64) -> Vec<Duration> {
-    let mut sc = DisScenario::build(DisScenarioConfig {
-        sites: 10,
-        receivers_per_site: 10,
-        secondary_loggers: distributed,
-        // Paper's RTT picture: distant sites (~80 ms RTT to the source
-        // site), fast LANs.
-        site_params: SiteParams::distant(),
-        source_site_params: SiteParams::distant(),
-        // Keep the deliberate reorder-tolerance delay small so the
-        // comparison isolates the RTT-to-logger difference the paper
-        // measured with ping.
-        receiver_nack_delay: Duration::from_millis(5),
-        seed,
-        ..DisScenarioConfig::default()
-    });
+    let forensics = Arc::new(CollectorSink::default());
+    let mut sc = DisScenario::build_with_sink(
+        DisScenarioConfig {
+            sites: 10,
+            receivers_per_site: 10,
+            secondary_loggers: distributed,
+            // Paper's RTT picture: distant sites (~80 ms RTT to the
+            // source site), fast LANs.
+            site_params: SiteParams::distant(),
+            source_site_params: SiteParams::distant(),
+            // Keep the deliberate reorder-tolerance delay small so the
+            // comparison isolates the RTT-to-logger difference the
+            // paper measured with ping.
+            receiver_nack_delay: Duration::from_millis(5),
+            seed,
+            ..DisScenarioConfig::default()
+        },
+        Some(forensics.clone()),
+    );
     sc.send_at(SimTime::from_secs(1), "one");
     sc.send_at(SimTime::from_secs(5), "two"); // missed by the victims
     sc.send_at(SimTime::from_secs(9), "three");
@@ -65,6 +72,17 @@ pub fn run_variant(distributed: bool, seed: u64) -> Vec<Duration> {
         sc.completeness(&[1, 2, 3]),
         1.0,
         "all receivers must end complete"
+    );
+    // Self-audit: replay the full event stream through the forensic
+    // analyzer — every detected gap must close, every repair must be
+    // attributable to a known server, and no anomaly may fire.
+    let report = analyze(&forensics.take(), &AnalyzeConfig::default());
+    assert!(report.is_clean(), "forensics: {:?}", report.anomalies);
+    assert_eq!(report.unrecovered, 0, "unrecovered gaps in trace");
+    assert!(
+        !report.sources.contains_key("unknown"),
+        "unattributed repairs: {:?}",
+        report.sources
     );
     latencies
 }

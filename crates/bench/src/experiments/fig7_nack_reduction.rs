@@ -13,6 +13,8 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use lbrm::harness::{DisScenario, DisScenarioConfig};
+use lbrm_core::trace::analyze::{analyze, AnalyzeConfig};
+use lbrm_core::trace::CollectorSink;
 use lbrm_sim::loss::LossModel;
 use lbrm_sim::stats::SegmentClass;
 use lbrm_sim::time::SimTime;
@@ -48,21 +50,32 @@ pub fn run_variant(sites: usize, receivers: usize, distributed: bool, seed: u64)
         tail_in_loss: outage,
         ..SiteParams::distant()
     };
-    let mut sc = DisScenario::build(DisScenarioConfig {
-        sites,
-        receivers_per_site: receivers,
-        secondary_loggers: distributed,
-        site_params,
-        site_params_for: None::<Arc<dyn Fn(usize) -> SiteParams>>,
-        seed,
-        ..DisScenarioConfig::default()
-    });
+    let forensics = Arc::new(CollectorSink::default());
+    let mut sc = DisScenario::build_with_sink(
+        DisScenarioConfig {
+            sites,
+            receivers_per_site: receivers,
+            secondary_loggers: distributed,
+            site_params,
+            site_params_for: None::<Arc<dyn Fn(usize) -> SiteParams>>,
+            seed,
+            ..DisScenarioConfig::default()
+        },
+        Some(forensics.clone()),
+    );
     sc.send_at(SimTime::from_secs(1), "update-1");
     sc.send_at(SimTime::from_secs(5), "update-2"); // lost at every site
     sc.send_at(SimTime::from_secs(9), "update-3");
     sc.world.run_until(SimTime::from_secs(30));
 
     let stats = sc.world.stats();
+
+    // Self-audit: the analyzer must agree that every receiver's gap
+    // closed, and (distributed) that per-seq requests at the primary
+    // stayed within the one-per-site bound.
+    let report = analyze(&forensics.take(), &AnalyzeConfig::default());
+    assert!(report.is_clean(), "forensics: {:?}", report.anomalies);
+    assert_eq!(report.unrecovered, 0, "unrecovered gaps in trace");
 
     NackCounts {
         primary_nacks: sc.primary_metrics.counter("nack_received"),

@@ -9,6 +9,7 @@
 
 #![forbid(unsafe_code)]
 
+pub mod doctor;
 pub mod experiments;
 pub mod microbench;
 pub mod parallel;

@@ -234,7 +234,17 @@ impl Logger {
 
     /// Attaches a protocol-event tracer (see [`crate::trace`]).
     pub fn set_tracer(&mut self, tracer: Tracer) {
-        self.tracer = tracer;
+        self.tracer = tracer.with_host(self.config.host);
+    }
+
+    /// The role label announced in the trace stream (forensic
+    /// repair-source attribution keys off it).
+    fn role_label(&self) -> &'static str {
+        match self.role {
+            LoggerRole::Primary => "logger_primary",
+            LoggerRole::Secondary => "logger_secondary",
+            LoggerRole::Replica => "logger_replica",
+        }
     }
 
     /// Current role (changes on promotion).
@@ -308,6 +318,7 @@ impl Logger {
                     .emit(now.nanos(), || ProtocolEvent::RetransServed {
                         seq,
                         multicast: false,
+                        to: requester,
                     });
                 out.push(Action::Unicast {
                     to: requester,
@@ -326,6 +337,7 @@ impl Logger {
                 .emit(now.nanos(), || ProtocolEvent::RetransServed {
                     seq,
                     multicast: true,
+                    to: requester,
                 });
             out.push(Action::Multicast {
                 scope: TtlScope::Site,
@@ -337,6 +349,7 @@ impl Logger {
                 .emit(now.nanos(), || ProtocolEvent::RetransServed {
                     seq,
                     multicast: false,
+                    to: requester,
                 });
             out.push(Action::Unicast {
                 to: requester,
@@ -497,6 +510,11 @@ impl Logger {
             .emit(now.nanos(), || ProtocolEvent::FailoverPromoted {
                 new_primary: host,
             });
+        // Re-announce so forensic repair attribution tracks the new role.
+        self.tracer
+            .emit(now.nanos(), || ProtocolEvent::RoleAnnounced {
+                role: "logger_primary",
+            });
         out.push(Action::Notice(Notice::Promoted {
             new_primary: self.config.host,
         }));
@@ -516,7 +534,13 @@ impl Logger {
 
 impl Machine for Logger {
     fn set_tracer(&mut self, tracer: Tracer) {
-        self.tracer = tracer;
+        self.tracer = tracer.with_host(self.config.host);
+    }
+
+    fn on_start(&mut self, now: Time, _out: &mut Actions) {
+        let role = self.role_label();
+        self.tracer
+            .emit(now.nanos(), || ProtocolEvent::RoleAnnounced { role });
     }
 
     fn on_packet(&mut self, now: Time, from: HostId, packet: Packet, out: &mut Actions) {
@@ -754,6 +778,8 @@ impl Machine for Logger {
                         .iter()
                         .map(|r| r.len().min(u64::from(u32::MAX)) as u32)
                         .sum(),
+                    first: ranges.first().expect("nonempty batch").first,
+                    last: ranges.last().expect("nonempty batch").last,
                 });
                 out.push(Action::Unicast {
                     to: self.parent,
@@ -1439,5 +1465,65 @@ mod tests {
         assert_eq!(l.log_len(), 1);
         l.poll(Time::from_secs(10), &mut out);
         assert_eq!(l.log_len(), 0);
+    }
+
+    /// The log is zero-copy end to end: the `Bytes` buffer ingested from
+    /// the wire is the same allocation handed back out in retransmission
+    /// serves and in every `ReplUpdate` of the replication fan-out — no
+    /// payload is ever duplicated on the logger's hot path.
+    #[test]
+    fn payload_buffer_is_shared_across_store_serve_and_replication() {
+        fn ptr(b: &Bytes) -> *const u8 {
+            b.as_ref().as_ptr()
+        }
+        let mut cfg = LoggerConfig::primary(GROUP, SRC, PRIMARY, SRC_HOST);
+        cfg.replicas = vec![HostId(501), HostId(502)];
+        let mut l = Logger::new(cfg);
+
+        let original = Bytes::from_static(b"shared-allocation");
+        let origin = ptr(&original);
+        let mut out = Actions::new();
+        l.on_packet(
+            Time::ZERO,
+            SRC_HOST,
+            Packet::Data {
+                group: GROUP,
+                source: SRC,
+                seq: Seq(1),
+                epoch: EpochId(0),
+                payload: original,
+            },
+            &mut out,
+        );
+
+        // Replication fan-out: both ReplUpdates carry the ingested
+        // allocation, not copies.
+        let repl_ptrs: Vec<*const u8> = out
+            .iter()
+            .filter_map(|a| match a {
+                Action::Unicast {
+                    packet: Packet::ReplUpdate { payload, .. },
+                    ..
+                } => Some(ptr(payload)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(repl_ptrs.len(), 2, "one ReplUpdate per replica");
+        assert!(repl_ptrs.iter().all(|&p| p == origin));
+
+        // Serve path: the retransmission is the same allocation too.
+        out.clear();
+        l.on_packet(Time::from_millis(5), RX, nack(RX, 1), &mut out);
+        let served: Vec<*const u8> = out
+            .iter()
+            .filter_map(|a| match a {
+                Action::Unicast {
+                    packet: Packet::Retrans { payload, .. },
+                    ..
+                } => Some(ptr(payload)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(served, vec![origin]);
     }
 }

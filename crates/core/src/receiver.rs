@@ -167,7 +167,7 @@ impl Receiver {
 
     /// Attaches a protocol-event tracer (see [`crate::trace`]).
     pub fn set_tracer(&mut self, tracer: Tracer) {
-        self.tracer = tracer;
+        self.tracer = tracer.with_host(self.config.host);
     }
 
     /// The window of silence the receiver currently tolerates before
@@ -248,6 +248,14 @@ impl Receiver {
             ReliabilityMode::LatestOnly => {
                 let give_up_count = last.distance_from(first) as u64 + 1;
                 self.stats.abandoned += give_up_count;
+                if self.tracer.is_enabled() {
+                    for seq in first.iter_to(last) {
+                        if self.gaps.is_missing(seq) {
+                            self.tracer
+                                .emit(now.nanos(), || ProtocolEvent::RecoveryAbandoned { seq });
+                        }
+                    }
+                }
                 self.gaps.give_up_before(last.next());
                 return;
             }
@@ -258,6 +266,13 @@ impl Receiver {
                     let before = self.gaps.missing_count();
                     self.gaps.give_up_before(floor);
                     self.stats.abandoned += (before - self.gaps.missing_count()) as u64;
+                    if self.tracer.is_enabled() {
+                        for (_, r) in self.pending.range(..floor_idx) {
+                            let seq = r.seq;
+                            self.tracer
+                                .emit(now.nanos(), || ProtocolEvent::RecoveryAbandoned { seq });
+                        }
+                    }
                     self.pending.retain(|&idx, _| idx >= floor_idx);
                 }
             }
@@ -279,11 +294,27 @@ impl Receiver {
         }
     }
 
-    fn cancel_recovery(&mut self, now: Time, seq: Seq) -> Option<Recovery> {
+    /// Closes the recovery for `seq` (if one is open), emitting the
+    /// terminal `RepairReceived` + `Recovered` pair that anchors the
+    /// forensic timeline: `from` is the repair carrier's host and
+    /// `kind` the carrier packet kind.
+    fn cancel_recovery(
+        &mut self,
+        now: Time,
+        seq: Seq,
+        from: HostId,
+        kind: &'static str,
+    ) -> Option<Recovery> {
         let idx = self.unwrapper.peek(seq);
         let rec = self.pending.remove(&idx);
         if let Some(rec) = &rec {
             let latency = now.since(rec.detected_at);
+            self.tracer
+                .emit(now.nanos(), || ProtocolEvent::RepairReceived {
+                    seq,
+                    from,
+                    kind,
+                });
             self.tracer.emit(now.nanos(), || ProtocolEvent::Recovered {
                 seq,
                 latency_nanos: latency.as_nanos() as u64,
@@ -319,10 +350,17 @@ impl Receiver {
 
 impl Machine for Receiver {
     fn set_tracer(&mut self, tracer: Tracer) {
-        self.tracer = tracer;
+        self.tracer = tracer.with_host(self.config.host);
     }
 
-    fn on_packet(&mut self, now: Time, _from: HostId, packet: Packet, out: &mut Actions) {
+    fn on_start(&mut self, now: Time, _out: &mut Actions) {
+        self.tracer
+            .emit(now.nanos(), || ProtocolEvent::RoleAnnounced {
+                role: "receiver",
+            });
+    }
+
+    fn on_packet(&mut self, now: Time, from: HostId, packet: Packet, out: &mut Actions) {
         let (group, source) = (self.config.group, self.config.source);
         match packet {
             Packet::Data {
@@ -349,7 +387,7 @@ impl Machine for Receiver {
                     }
                     Observation::Filled => {
                         // A late original filled the gap on its own.
-                        if let Some(rec) = self.cancel_recovery(now, seq) {
+                        if let Some(rec) = self.cancel_recovery(now, seq, from, "data") {
                             out.push(Action::Notice(Notice::Recovered {
                                 seq,
                                 after: now.since(rec.detected_at),
@@ -384,7 +422,7 @@ impl Machine for Receiver {
                 if !payload.is_empty() && self.gaps.is_missing(seq) {
                     // §7 extension: the heartbeat carries the payload.
                     self.gaps.observe(seq);
-                    if let Some(rec) = self.cancel_recovery(now, seq) {
+                    if let Some(rec) = self.cancel_recovery(now, seq, from, "heartbeat") {
                         out.push(Action::Notice(Notice::Recovered {
                             seq,
                             after: now.since(rec.detected_at),
@@ -423,7 +461,7 @@ impl Machine for Receiver {
                 payload,
             } if g == group && s == source => match self.gaps.observe(seq) {
                 Observation::Filled => {
-                    if let Some(rec) = self.cancel_recovery(now, seq) {
+                    if let Some(rec) = self.cancel_recovery(now, seq, from, "retrans") {
                         out.push(Action::Notice(Notice::Recovered {
                             seq,
                             after: now.since(rec.detected_at),
@@ -445,6 +483,8 @@ impl Machine for Receiver {
                 }
                 Observation::Duplicate => {
                     self.stats.duplicates += 1;
+                    self.tracer
+                        .emit(now.nanos(), || ProtocolEvent::RepairDuplicate { seq, from });
                 }
             },
             Packet::PrimaryIs {
@@ -541,6 +581,8 @@ impl Machine for Receiver {
                     .iter()
                     .map(|r| r.len().min(u64::from(u32::MAX)) as u32)
                     .sum(),
+                first: ranges.first().expect("nonempty batch").first,
+                last: ranges.last().expect("nonempty batch").last,
             });
             out.push(Action::Unicast {
                 to: target,

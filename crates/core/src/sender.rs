@@ -229,7 +229,7 @@ impl Sender {
 
     /// Attaches a protocol-event tracer (see [`crate::trace`]).
     pub fn set_tracer(&mut self, tracer: Tracer) {
-        self.tracer = tracer;
+        self.tracer = tracer.with_host(self.config.host);
     }
 
     /// Publishes one application payload at `now`.
@@ -478,7 +478,7 @@ impl Sender {
 
 impl Machine for Sender {
     fn set_tracer(&mut self, tracer: Tracer) {
-        self.tracer = tracer;
+        self.tracer = tracer.with_host(self.config.host);
     }
 
     fn on_start(&mut self, now: Time, out: &mut Actions) {
@@ -486,6 +486,10 @@ impl Machine for Sender {
             return;
         }
         self.started = true;
+        self.tracer
+            .emit(now.nanos(), || ProtocolEvent::RoleAnnounced {
+                role: "sender",
+            });
         if let Some(cfg) = self.config.statack.clone() {
             let mut sa = StatAck::new(cfg, now);
             let mut events = Vec::new();
@@ -558,6 +562,7 @@ impl Machine for Sender {
                                 .emit(now.nanos(), || ProtocolEvent::RetransServed {
                                     seq: b.seq,
                                     multicast: false,
+                                    to: requester,
                                 });
                         }
                     }

@@ -92,6 +92,8 @@ struct Site {
     tail_out_loss: LossState,
     tail_in_busy_until: SimTime,
     tail_out_busy_until: SimTime,
+    tail_in_backlog_max: Duration,
+    tail_out_backlog_max: Duration,
 }
 
 /// Where to deliver a surviving copy, and when.
@@ -165,6 +167,8 @@ impl TopologyBuilder {
                     tail_out_loss: LossState::new(params.tail_out_loss.clone()),
                     tail_in_busy_until: SimTime::ZERO,
                     tail_out_busy_until: SimTime::ZERO,
+                    tail_in_backlog_max: Duration::ZERO,
+                    tail_out_backlog_max: Duration::ZERO,
                     params,
                 })
                 .collect(),
@@ -248,15 +252,42 @@ impl Topology {
             return Duration::ZERO;
         };
         let tx = Duration::from_secs_f64(bytes as f64 * 8.0 / bw as f64);
-        let busy = if outbound {
-            &mut site.tail_out_busy_until
+        let (busy, backlog_max) = if outbound {
+            (
+                &mut site.tail_out_busy_until,
+                &mut site.tail_out_backlog_max,
+            )
         } else {
-            &mut site.tail_in_busy_until
+            (&mut site.tail_in_busy_until, &mut site.tail_in_backlog_max)
         };
         let start = (*busy).max(now);
         let finish = start + tx;
         *busy = finish;
-        finish - now
+        let queued = finish - now;
+        if queued > *backlog_max {
+            // High-water mark for the per-link queue gauges; two
+            // compares keep the send path allocation-free.
+            *backlog_max = queued;
+        }
+        queued
+    }
+
+    /// Per-site high-water tail-circuit backlogs `(site, inbound,
+    /// outbound)` — the per-link queue gauges the sim world surfaces
+    /// through its metrics registry. Zero everywhere when tail
+    /// bandwidth is unlimited.
+    pub fn tail_backlog_maxima(&self) -> Vec<(SiteId, Duration, Duration)> {
+        self.sites
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                (
+                    SiteId(i as u32),
+                    s.tail_in_backlog_max,
+                    s.tail_out_backlog_max,
+                )
+            })
+            .collect()
     }
 
     /// Sends one unicast copy, returning the delivery if it survives all

@@ -17,7 +17,9 @@ use std::time::Duration;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
-use lbrm_trace::{ProtocolEvent, Tracer};
+use std::sync::Arc;
+
+use lbrm_trace::{MetricsRegistry, ProtocolEvent, Tracer};
 use lbrm_wire::{GroupId, HostId, Packet, TtlScope};
 
 use crate::stats::NetStats;
@@ -136,7 +138,7 @@ impl Ctx<'_> {
         );
         let copies = u32::from(delivery.is_some());
         self.tracer
-            .emit(self.now.nanos(), || ProtocolEvent::NetPacket {
+            .emit_from(self.now.nanos(), self.host, || ProtocolEvent::NetPacket {
                 kind,
                 multicast: false,
                 copies,
@@ -174,7 +176,7 @@ impl Ctx<'_> {
         );
         let copies = deliveries.len().min(u32::MAX as usize) as u32;
         self.tracer
-            .emit(self.now.nanos(), || ProtocolEvent::NetPacket {
+            .emit_from(self.now.nanos(), self.host, || ProtocolEvent::NetPacket {
                 kind,
                 multicast: true,
                 copies,
@@ -232,6 +234,8 @@ pub struct World {
     started: bool,
     seed: u64,
     tracer: Tracer,
+    queue_depth_max: usize,
+    gauge_registry: Option<Arc<MetricsRegistry>>,
 }
 
 impl World {
@@ -252,6 +256,8 @@ impl World {
             started: false,
             seed,
             tracer: Tracer::disabled(),
+            queue_depth_max: 0,
+            gauge_registry: None,
         }
     }
 
@@ -260,6 +266,51 @@ impl World {
     /// flag, copies that survived the loss model). Disabled by default.
     pub fn set_trace(&mut self, tracer: Tracer) {
         self.tracer = tracer;
+    }
+
+    /// Attaches a registry that receives simulator gauges — the
+    /// event-queue depth (current and high-water) and per-link tail
+    /// queue backlogs — whenever a `run_*` call returns (or
+    /// [`flush_gauges`](World::flush_gauges) is called directly).
+    pub fn set_gauges(&mut self, registry: Arc<MetricsRegistry>) {
+        self.gauge_registry = Some(registry);
+    }
+
+    /// Highest event-queue depth seen so far (cheap: one compare per
+    /// step keeps the hot loop registry-free).
+    pub fn queue_depth_max(&self) -> usize {
+        self.queue_depth_max
+    }
+
+    /// Current event-queue depth.
+    pub fn queue_depth(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Writes the simulator gauges into the attached registry (no-op
+    /// without one): `sim.queue_depth`, `sim.queue_depth_max`, and
+    /// `sim.link.s<N>.tail_{in,out}_backlog_max_ns` for every site
+    /// whose tail circuit ever queued.
+    pub fn flush_gauges(&mut self) {
+        let Some(reg) = &self.gauge_registry else {
+            return;
+        };
+        reg.set_gauge("sim.queue_depth", self.queue.len() as u64);
+        reg.set_gauge("sim.queue_depth_max", self.queue_depth_max as u64);
+        for (site, tail_in, tail_out) in self.topo.tail_backlog_maxima() {
+            if tail_in > Duration::ZERO {
+                reg.set_gauge(
+                    &format!("sim.link.s{}.tail_in_backlog_max_ns", site.raw()),
+                    tail_in.as_nanos() as u64,
+                );
+            }
+            if tail_out > Duration::ZERO {
+                reg.set_gauge(
+                    &format!("sim.link.s{}.tail_out_backlog_max_ns", site.raw()),
+                    tail_out.as_nanos() as u64,
+                );
+            }
+        }
     }
 
     /// Installs an actor on `host`. Replaces any existing actor.
@@ -387,6 +438,9 @@ impl World {
     /// Runs one event; returns `false` when the queue is empty.
     pub fn step(&mut self) -> bool {
         self.start_if_needed();
+        if self.queue.len() > self.queue_depth_max {
+            self.queue_depth_max = self.queue.len();
+        }
         let Some(Reverse(sch)) = self.queue.pop() else {
             return false;
         };
@@ -416,6 +470,7 @@ impl World {
             }
         }
         self.now = self.now.max(until);
+        self.flush_gauges();
     }
 
     /// Runs for `d` of virtual time.
@@ -433,6 +488,7 @@ impl World {
             }
             self.step();
         }
+        self.flush_gauges();
     }
 
     /// A fresh RNG derived from the world seed and `salt` — for scenario

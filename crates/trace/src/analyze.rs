@@ -1,0 +1,1652 @@
+//! Recovery forensics: causal per-packet timelines, per-stage latency
+//! histograms, repair-source attribution, and anomaly detection over a
+//! recorded [`ProtocolEvent`] stream.
+//!
+//! The paper's evaluation is entirely about *recovery behaviour* — how
+//! fast a loss is detected (§2.1), who repairs it (§2.2), and how many
+//! redundant copies the repair costs (§2.3). This module answers the
+//! question the flat counters cannot: *why did this particular
+//! sequence take that long to recover at that host?*
+//!
+//! The pipeline is: collect records (live via [`CollectorSink`], or
+//! replayed from a [`JsonLinesSink`](crate::JsonLinesSink) file via
+//! [`parse_json_lines`]), then [`analyze`] them into a
+//! [`RecoveryReport`]:
+//!
+//! * one [`RecoveryTimeline`] per `(host, seq)` recovery — loss
+//!   detected → NACK sent → logger serve / re-multicast → repair
+//!   received, each stage time-stamped;
+//! * per-stage latency histograms whose sum telescopes to the
+//!   end-to-end recovery latency;
+//! * a repair-source breakdown (primary / secondary / replica / sender
+//!   / statistical-ACK re-multicast / heartbeat payload / late
+//!   original);
+//! * [`Anomaly`] detections: unrecovered gaps at end-of-run, NACK
+//!   fan-in above the paper's one-request-per-site bound, duplicate
+//!   repairs beyond the statistical-ACK expectation, heartbeat silence
+//!   longer than `h_max`, and stalled statistical-ACK settlements.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt::Write as _;
+use std::sync::{Arc, Mutex};
+
+use lbrm_wire::{HostId, Seq};
+
+use crate::{Histogram, HistogramSnapshot, ProtocolEvent, TraceSink};
+
+/// One recorded event: timestamp, emitting host, event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceRecord {
+    /// Nanoseconds on the emitting clock.
+    pub at_nanos: u64,
+    /// The emitting host ([`crate::Tracer::UNTAGGED`] if never tagged).
+    pub host: HostId,
+    /// The event itself.
+    pub event: ProtocolEvent,
+}
+
+/// A [`TraceSink`] that retains every record in memory for analysis —
+/// the live-run feeder for [`analyze`].
+#[derive(Debug, Default)]
+pub struct CollectorSink {
+    records: Mutex<Vec<TraceRecord>>,
+}
+
+impl CollectorSink {
+    /// A copy of everything recorded so far, in emission order.
+    pub fn records(&self) -> Vec<TraceRecord> {
+        self.records.lock().unwrap().clone()
+    }
+
+    /// Drains the collected records.
+    pub fn take(&self) -> Vec<TraceRecord> {
+        std::mem::take(&mut self.records.lock().unwrap())
+    }
+
+    /// Number of records collected.
+    pub fn len(&self) -> usize {
+        self.records.lock().unwrap().len()
+    }
+
+    /// `true` if nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.records.lock().unwrap().is_empty()
+    }
+}
+
+impl TraceSink for CollectorSink {
+    fn record(&self, at_nanos: u64, host: HostId, event: &ProtocolEvent) {
+        self.records.lock().unwrap().push(TraceRecord {
+            at_nanos,
+            host,
+            event: event.clone(),
+        });
+    }
+}
+
+/// A [`TraceSink`] that forwards every record to several sinks — lets a
+/// scenario aggregate into its [`MetricsRegistry`](crate::MetricsRegistry)
+/// *and* collect raw records for forensics in the same run.
+pub struct FanoutSink {
+    sinks: Vec<Arc<dyn TraceSink>>,
+}
+
+impl FanoutSink {
+    /// Fans records out to each of `sinks`, in order.
+    pub fn new(sinks: Vec<Arc<dyn TraceSink>>) -> Self {
+        FanoutSink { sinks }
+    }
+}
+
+impl std::fmt::Debug for FanoutSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FanoutSink")
+            .field("sinks", &self.sinks.len())
+            .finish()
+    }
+}
+
+impl TraceSink for FanoutSink {
+    fn record(&self, at_nanos: u64, host: HostId, event: &ProtocolEvent) {
+        for s in &self.sinks {
+            s.record(at_nanos, host, event);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// JSONL replay
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq)]
+enum FieldVal {
+    Num(u64),
+    Float(f64),
+    Str(String),
+}
+
+impl FieldVal {
+    fn as_u64(&self) -> Option<u64> {
+        match self {
+            FieldVal::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    fn as_f64(&self) -> Option<f64> {
+        match self {
+            FieldVal::Num(n) => Some(*n as f64),
+            FieldVal::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            FieldVal::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// Parses the flat one-level JSON objects [`ProtocolEvent::to_json`]
+/// writes (hand-rolled; the environment has no serde). Values never
+/// contain escapes, commas, or nested structure.
+fn parse_fields(line: &str) -> Option<BTreeMap<String, FieldVal>> {
+    let body = line.trim().strip_prefix('{')?.strip_suffix('}')?;
+    let mut fields = BTreeMap::new();
+    for pair in body.split(',') {
+        let (key, value) = pair.split_once(':')?;
+        let key = key.trim().strip_prefix('"')?.strip_suffix('"')?;
+        let value = value.trim();
+        let parsed = if let Some(s) = value.strip_prefix('"') {
+            FieldVal::Str(s.strip_suffix('"')?.to_owned())
+        } else if let Ok(n) = value.parse::<u64>() {
+            FieldVal::Num(n)
+        } else {
+            FieldVal::Float(value.parse::<f64>().ok()?)
+        };
+        fields.insert(key.to_owned(), parsed);
+    }
+    Some(fields)
+}
+
+/// Interns a repair-carrier kind back to the `&'static str` the
+/// receiver emits.
+fn intern_repair_kind(s: &str) -> &'static str {
+    match s {
+        "retrans" => "retrans",
+        "data" => "data",
+        "heartbeat" => "heartbeat",
+        _ => "other",
+    }
+}
+
+/// Interns a role label back to the `&'static str` machines announce.
+pub(crate) fn intern_role(s: &str) -> &'static str {
+    match s {
+        "sender" => "sender",
+        "receiver" => "receiver",
+        "logger_primary" => "logger_primary",
+        "logger_secondary" => "logger_secondary",
+        "logger_replica" => "logger_replica",
+        _ => "other",
+    }
+}
+
+/// Interns a wire packet-kind label (the sim's `NetPacket` labels).
+fn intern_net_kind(s: &str) -> &'static str {
+    const KINDS: &[&str] = &[
+        "data",
+        "heartbeat",
+        "nack",
+        "retrans",
+        "log-ack",
+        "acker-select",
+        "acker-volunteer",
+        "packet-ack",
+        "discovery-query",
+        "discovery-reply",
+        "locate-primary",
+        "primary-is",
+        "repl-update",
+        "repl-ack",
+        "srm-session",
+        "srm-nack",
+        "srm-repair",
+    ];
+    KINDS.iter().find(|k| **k == s).copied().unwrap_or("other")
+}
+
+/// Parses one [`ProtocolEvent::to_json`] line back into a
+/// [`TraceRecord`]. Returns `None` for malformed or unknown lines.
+pub fn parse_json_line(line: &str) -> Option<TraceRecord> {
+    let f = parse_fields(line)?;
+    let at_nanos = f.get("at_ns")?.as_u64()?;
+    let host = HostId(f.get("host")?.as_u64()?);
+    let key = f.get("event")?.as_str()?;
+    let seq = |name: &str| {
+        f.get(name)
+            .and_then(FieldVal::as_u64)
+            .map(|n| Seq(n as u32))
+    };
+    let num = |name: &str| f.get(name).and_then(FieldVal::as_u64);
+    let host_of = |name: &str| f.get(name).and_then(FieldVal::as_u64).map(HostId);
+    let event = match key {
+        "data_sent" => ProtocolEvent::DataSent {
+            seq: seq("seq")?,
+            epoch: lbrm_wire::EpochId(num("epoch")? as u32),
+        },
+        "heartbeat_sent" => ProtocolEvent::HeartbeatSent {
+            seq: seq("seq")?,
+            hb_index: num("hb_index")? as u32,
+        },
+        "gap_detected" => ProtocolEvent::GapDetected {
+            first: seq("first")?,
+            last: seq("last")?,
+        },
+        "nack_sent" => ProtocolEvent::NackSent {
+            target: host_of("target")?,
+            packets: num("packets")? as u32,
+            first: seq("first")?,
+            last: seq("last")?,
+        },
+        "nack_received" => ProtocolEvent::NackReceived {
+            from: host_of("from")?,
+            packets: num("packets")? as u32,
+        },
+        "retrans_served_unicast" | "retrans_served_multicast" => ProtocolEvent::RetransServed {
+            seq: seq("seq")?,
+            multicast: key == "retrans_served_multicast",
+            to: host_of("to")?,
+        },
+        "remulticast" => ProtocolEvent::Remulticast {
+            seq: seq("seq")?,
+            missing: num("missing")? as u32,
+        },
+        "acker_selected" => ProtocolEvent::AckerSelected {
+            epoch: lbrm_wire::EpochId(num("epoch")? as u32),
+            p_ack: f.get("p_ack")?.as_f64()?,
+        },
+        "acker_volunteered" => ProtocolEvent::AckerVolunteered {
+            epoch: lbrm_wire::EpochId(num("epoch")? as u32),
+        },
+        "epoch_active" => ProtocolEvent::EpochActive {
+            epoch: lbrm_wire::EpochId(num("epoch")? as u32),
+            ackers: num("ackers")? as u32,
+        },
+        "settled_complete" | "settled_incomplete" => ProtocolEvent::Settled {
+            seq: seq("seq")?,
+            complete: key == "settled_complete",
+        },
+        "t_wait_updated" => ProtocolEvent::TWaitUpdated {
+            t_wait_nanos: num("t_wait_ns")?,
+        },
+        "congestion_suspected" => ProtocolEvent::CongestionSuspected {
+            streak: num("streak")? as u32,
+        },
+        "recovered" => ProtocolEvent::Recovered {
+            seq: seq("seq")?,
+            latency_nanos: num("latency_ns")?,
+        },
+        "recovery_abandoned" => ProtocolEvent::RecoveryAbandoned { seq: seq("seq")? },
+        "repair_received" => ProtocolEvent::RepairReceived {
+            seq: seq("seq")?,
+            from: host_of("from")?,
+            kind: intern_repair_kind(f.get("kind")?.as_str()?),
+        },
+        "repair_duplicate" => ProtocolEvent::RepairDuplicate {
+            seq: seq("seq")?,
+            from: host_of("from")?,
+        },
+        "freshness_lost" => ProtocolEvent::FreshnessLost,
+        "freshness_restored" => ProtocolEvent::FreshnessRestored,
+        "buffer_released" => ProtocolEvent::BufferReleased {
+            up_to: seq("up_to")?,
+        },
+        "packet_logged" => ProtocolEvent::PacketLogged { seq: seq("seq")? },
+        "primary_unresponsive" => ProtocolEvent::PrimaryUnresponsive {
+            primary: host_of("primary")?,
+        },
+        "failover_promoted" => ProtocolEvent::FailoverPromoted {
+            new_primary: host_of("new_primary")?,
+        },
+        "role_announced" => ProtocolEvent::RoleAnnounced {
+            role: intern_role(f.get("role")?.as_str()?),
+        },
+        "net_unicast" | "net_multicast" => ProtocolEvent::NetPacket {
+            kind: intern_net_kind(f.get("kind")?.as_str()?),
+            multicast: key == "net_multicast",
+            copies: num("copies")? as u32,
+        },
+        _ => return None,
+    };
+    Some(TraceRecord {
+        at_nanos,
+        host,
+        event,
+    })
+}
+
+/// Parses a whole JSON-lines trace, returning the records plus the
+/// number of non-blank lines that failed to parse (a truncated final
+/// line from an unflushed writer shows up here).
+pub fn parse_json_lines(text: &str) -> (Vec<TraceRecord>, usize) {
+    let mut records = Vec::new();
+    let mut skipped = 0usize;
+    for line in text.lines() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        match parse_json_line(line) {
+            Some(r) => records.push(r),
+            None => skipped += 1,
+        }
+    }
+    (records, skipped)
+}
+
+// ---------------------------------------------------------------------
+// Timelines
+// ---------------------------------------------------------------------
+
+/// Who supplied the repair that closed a recovery timeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum RepairSource {
+    /// Retransmission from the primary logging server.
+    Primary,
+    /// Retransmission from a site/regional secondary logger (§2.2.1).
+    Secondary,
+    /// Retransmission from a primary replica (§2.2.3).
+    Replica,
+    /// Retransmission straight from the sender's transmit buffer.
+    Sender,
+    /// Statistical-ACK re-multicast of the original data (§2.3.2).
+    Remulticast,
+    /// Heartbeat repeat-payload fill (§7).
+    Heartbeat,
+    /// The late original finally arrived on its own.
+    LateOriginal,
+    /// The repair carrier could not be attributed.
+    Unknown,
+}
+
+impl RepairSource {
+    /// Stable label for breakdown maps and JSON.
+    pub fn label(self) -> &'static str {
+        match self {
+            RepairSource::Primary => "primary",
+            RepairSource::Secondary => "secondary",
+            RepairSource::Replica => "replica",
+            RepairSource::Sender => "sender",
+            RepairSource::Remulticast => "remulticast",
+            RepairSource::Heartbeat => "heartbeat",
+            RepairSource::LateOriginal => "late_original",
+            RepairSource::Unknown => "unknown",
+        }
+    }
+}
+
+/// How a recovery timeline ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecoveryOutcome {
+    /// The gap was filled.
+    Recovered,
+    /// The receiver gave up (reliability mode or attempt exhaustion).
+    Abandoned,
+    /// Still open at end-of-run — an anomaly.
+    Unrecovered,
+}
+
+/// The causal story of one `(host, seq)` recovery.
+#[derive(Debug, Clone)]
+pub struct RecoveryTimeline {
+    /// The recovering receiver (or logger).
+    pub host: HostId,
+    /// The lost sequence.
+    pub seq: Seq,
+    /// When the source originally multicast it (from `DataSent`).
+    pub sent_at_nanos: Option<u64>,
+    /// When the gap was detected at `host`.
+    pub detected_at_nanos: u64,
+    /// When the first NACK for it left `host`.
+    pub first_nack_at_nanos: Option<u64>,
+    /// NACK packets sent for it from `host` (retries included).
+    pub nacks_sent: u32,
+    /// When a logger/sender served it (retrans or re-multicast).
+    pub served_at_nanos: Option<u64>,
+    /// The serving host.
+    pub served_by: Option<HostId>,
+    /// When the repair arrived at `host`.
+    pub repaired_at_nanos: Option<u64>,
+    /// Attributed repair source.
+    pub source: RepairSource,
+    /// Terminal state.
+    pub outcome: RecoveryOutcome,
+    /// End-to-end latency reported by the receiver's `Recovered` event.
+    pub recovery_latency_nanos: Option<u64>,
+}
+
+impl RecoveryTimeline {
+    /// Loss-to-detection latency (needs the original `DataSent`).
+    pub fn detection_nanos(&self) -> Option<u64> {
+        self.sent_at_nanos
+            .map(|s| self.detected_at_nanos.saturating_sub(s))
+    }
+
+    /// Detection-to-first-NACK latency (the `nack_delay` holdoff).
+    pub fn request_nanos(&self) -> Option<u64> {
+        self.first_nack_at_nanos
+            .map(|n| n.saturating_sub(self.detected_at_nanos))
+    }
+
+    /// First-NACK-to-serve latency (request propagation + log lookup).
+    pub fn serve_nanos(&self) -> Option<u64> {
+        match (self.served_at_nanos, self.first_nack_at_nanos) {
+            (Some(s), Some(n)) => Some(s.saturating_sub(n)),
+            _ => None,
+        }
+    }
+
+    /// Serve-to-repair-arrival latency (the return path).
+    pub fn return_nanos(&self) -> Option<u64> {
+        match (self.repaired_at_nanos, self.served_at_nanos) {
+            (Some(r), Some(s)) => Some(r.saturating_sub(s)),
+            _ => None,
+        }
+    }
+
+    /// `true` when the stage timestamps are monotone and telescope
+    /// exactly to the reported end-to-end recovery latency.
+    pub fn stages_telescope(&self) -> bool {
+        let (Some(nack), Some(served), Some(repaired), Some(total)) = (
+            self.first_nack_at_nanos,
+            self.served_at_nanos,
+            self.repaired_at_nanos,
+            self.recovery_latency_nanos,
+        ) else {
+            return false;
+        };
+        self.detected_at_nanos <= nack
+            && nack <= served
+            && served <= repaired
+            && repaired - self.detected_at_nanos == total
+    }
+
+    /// One-line human rendering of the causal chain.
+    pub fn render(&self) -> String {
+        let mut s = String::with_capacity(128);
+        let _ = write!(
+            s,
+            "host {} seq {}: detected@{:.3}ms",
+            self.host.raw(),
+            self.seq.raw(),
+            self.detected_at_nanos as f64 / 1e6
+        );
+        if let Some(n) = self.request_nanos() {
+            let _ = write!(s, " -({:.3}ms)-> nack", n as f64 / 1e6);
+        }
+        if let Some(n) = self.serve_nanos() {
+            let by = self.served_by.map_or(u64::MAX, HostId::raw);
+            let _ = write!(s, " -({:.3}ms)-> served by {by}", n as f64 / 1e6);
+        }
+        if let Some(n) = self.return_nanos() {
+            let _ = write!(s, " -({:.3}ms)-> repaired", n as f64 / 1e6);
+        }
+        let _ = match self.outcome {
+            RecoveryOutcome::Recovered => write!(
+                s,
+                " [{} in {:.3}ms]",
+                self.source.label(),
+                self.recovery_latency_nanos.unwrap_or(0) as f64 / 1e6
+            ),
+            RecoveryOutcome::Abandoned => write!(s, " [abandoned]"),
+            RecoveryOutcome::Unrecovered => write!(s, " [UNRECOVERED]"),
+        };
+        s
+    }
+}
+
+// ---------------------------------------------------------------------
+// Anomalies
+// ---------------------------------------------------------------------
+
+/// A protocol-health violation detected in the stream.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Anomaly {
+    /// A detected gap was never filled or abandoned by end-of-run.
+    UnrecoveredGap {
+        /// The stuck receiver.
+        host: HostId,
+        /// The still-missing sequence.
+        seq: Seq,
+        /// When its loss was detected.
+        detected_at_nanos: u64,
+    },
+    /// More NACK packets for one sequence than the paper's
+    /// one-request-per-site bound allows (§2.2.1).
+    NackImplosion {
+        /// The over-requested sequence.
+        seq: Seq,
+        /// NACK packets observed for it.
+        requests: u64,
+        /// The configured/derived bound.
+        bound: u64,
+    },
+    /// More redundant repairs of one sequence than the statistical-ACK
+    /// expectation (§2.3).
+    ExcessDuplicateRepairs {
+        /// The over-served receiver.
+        host: HostId,
+        /// The over-repaired sequence.
+        seq: Seq,
+        /// Redundant copies observed.
+        duplicates: u64,
+        /// The configured bound.
+        bound: u64,
+    },
+    /// A source went silent for longer than `h_max` (plus slack) — the
+    /// variable-heartbeat guarantee (§2.1.2) was violated.
+    HeartbeatSilence {
+        /// The silent source.
+        host: HostId,
+        /// Longest observed transmission gap.
+        gap_nanos: u64,
+        /// The configured `h_max`.
+        h_max_nanos: u64,
+    },
+    /// A data packet in an active statistical-ACK epoch never settled.
+    StalledSettlement {
+        /// The unsettled sequence.
+        seq: Seq,
+        /// When it was sent.
+        sent_at_nanos: u64,
+    },
+}
+
+impl Anomaly {
+    /// Stable kind label for JSON and counting.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Anomaly::UnrecoveredGap { .. } => "unrecovered_gap",
+            Anomaly::NackImplosion { .. } => "nack_implosion",
+            Anomaly::ExcessDuplicateRepairs { .. } => "excess_duplicate_repairs",
+            Anomaly::HeartbeatSilence { .. } => "heartbeat_silence",
+            Anomaly::StalledSettlement { .. } => "stalled_settlement",
+        }
+    }
+
+    /// Human one-liner.
+    pub fn describe(&self) -> String {
+        match self {
+            Anomaly::UnrecoveredGap {
+                host,
+                seq,
+                detected_at_nanos,
+            } => format!(
+                "unrecovered gap: host {} seq {} detected at {:.3}ms never filled",
+                host.raw(),
+                seq.raw(),
+                *detected_at_nanos as f64 / 1e6
+            ),
+            Anomaly::NackImplosion {
+                seq,
+                requests,
+                bound,
+            } => format!(
+                "NACK implosion: seq {} requested {requests} times (site bound {bound})",
+                seq.raw()
+            ),
+            Anomaly::ExcessDuplicateRepairs {
+                host,
+                seq,
+                duplicates,
+                bound,
+            } => format!(
+                "excess duplicate repairs: host {} got seq {} redundantly {duplicates} times (bound {bound})",
+                host.raw(),
+                seq.raw()
+            ),
+            Anomaly::HeartbeatSilence {
+                host,
+                gap_nanos,
+                h_max_nanos,
+            } => format!(
+                "heartbeat silence: source {} quiet for {:.1}s (h_max {:.1}s)",
+                host.raw(),
+                *gap_nanos as f64 / 1e9,
+                *h_max_nanos as f64 / 1e9
+            ),
+            Anomaly::StalledSettlement { seq, sent_at_nanos } => format!(
+                "stalled settlement: seq {} (sent at {:.3}ms) never settled",
+                seq.raw(),
+                *sent_at_nanos as f64 / 1e6
+            ),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Analysis
+// ---------------------------------------------------------------------
+
+/// Tunables for [`analyze`]. The defaults match the paper's parameters
+/// (`h_max` = 32 s) and a small-scenario statistical-ACK expectation.
+#[derive(Debug, Clone)]
+pub struct AnalyzeConfig {
+    /// `h_max` for the heartbeat-silence detector; `None` disables it.
+    /// The detector allows 1.5× slack over this.
+    pub h_max_nanos: Option<u64>,
+    /// Per-sequence bound on primary-bound NACK packets for the
+    /// implosion detector.
+    /// `None` derives `secondaries + 2` from announced roles (and
+    /// disables the detector when no secondaries exist — central
+    /// logging *is* the implosion baseline being measured).
+    pub nack_fan_in_bound: Option<u64>,
+    /// Redundant repair copies tolerated per `(receiver, sequence)`
+    /// before flagging.
+    pub duplicate_bound: u64,
+    /// Grace period before an unsettled statistical-ACK packet near
+    /// end-of-run counts as stalled.
+    pub settle_slack_nanos: u64,
+    /// Largest `GapDetected` span expanded into per-seq timelines;
+    /// wider spans are truncated (and counted in the report).
+    pub max_gap_span: u64,
+}
+
+impl Default for AnalyzeConfig {
+    fn default() -> Self {
+        AnalyzeConfig {
+            h_max_nanos: Some(32_000_000_000),
+            nack_fan_in_bound: None,
+            duplicate_bound: 3,
+            settle_slack_nanos: 10_000_000_000,
+            max_gap_span: 4096,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct OpenRecovery {
+    detected_at: u64,
+    first_nack_at: Option<u64>,
+    nacks_sent: u32,
+    served_at: Option<u64>,
+    served_by: Option<HostId>,
+    repaired_at: Option<u64>,
+    source: RepairSource,
+}
+
+/// The full forensic result of [`analyze`].
+#[derive(Debug)]
+pub struct RecoveryReport {
+    /// Every closed (and, at end-of-run, still-open) timeline, in
+    /// close order.
+    pub timelines: Vec<RecoveryTimeline>,
+    /// Timelines that ended in recovery.
+    pub recovered: usize,
+    /// Timelines the receiver abandoned.
+    pub abandoned: usize,
+    /// Timelines still open at end-of-run.
+    pub unrecovered: usize,
+    /// Loss-to-detection latency distribution.
+    pub detection: HistogramSnapshot,
+    /// Detection-to-first-NACK latency distribution.
+    pub request: HistogramSnapshot,
+    /// NACK-to-serve latency distribution.
+    pub serve: HistogramSnapshot,
+    /// Serve-to-repair latency distribution.
+    pub return_leg: HistogramSnapshot,
+    /// End-to-end recovery latency distribution (matches the
+    /// receivers' `recovery_latency` histogram).
+    pub total: HistogramSnapshot,
+    /// Recovered-timeline count per repair source label.
+    pub sources: BTreeMap<&'static str, u64>,
+    /// Redundant repair copies observed (`repair_duplicate` events).
+    pub duplicate_repairs: u64,
+    /// Highest per-sequence NACK fan-in observed at the primary
+    /// (site-local NACKs absorbed by secondaries are excluded).
+    pub max_nack_fan_in: u64,
+    /// Recovered timelines whose stage timestamps telescope exactly to
+    /// the reported end-to-end latency.
+    pub telescoping: usize,
+    /// `GapDetected` spans wider than the configured cap (their tails
+    /// were not expanded into timelines).
+    pub truncated_gap_spans: u64,
+    /// Detected protocol-health violations.
+    pub anomalies: Vec<Anomaly>,
+}
+
+impl RecoveryReport {
+    /// `true` when no anomaly was detected.
+    pub fn is_clean(&self) -> bool {
+        self.anomalies.is_empty()
+    }
+
+    fn close(
+        timelines: &mut Vec<RecoveryTimeline>,
+        host: HostId,
+        seq: Seq,
+        open: OpenRecovery,
+        sent_at: Option<u64>,
+        outcome: RecoveryOutcome,
+        latency: Option<u64>,
+    ) {
+        timelines.push(RecoveryTimeline {
+            host,
+            seq,
+            sent_at_nanos: sent_at,
+            detected_at_nanos: open.detected_at,
+            first_nack_at_nanos: open.first_nack_at,
+            nacks_sent: open.nacks_sent,
+            served_at_nanos: open.served_at,
+            served_by: open.served_by,
+            repaired_at_nanos: open.repaired_at,
+            source: open.source,
+            outcome,
+            recovery_latency_nanos: latency,
+        });
+    }
+
+    /// Renders the report as a human-readable summary (slowest
+    /// recoveries, stage histograms, source breakdown, anomalies).
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "recovery timelines: {} ({} recovered, {} abandoned, {} unrecovered)",
+            self.timelines.len(),
+            self.recovered,
+            self.abandoned,
+            self.unrecovered
+        );
+        let _ = writeln!(
+            s,
+            "stage consistency: {}/{} recovered timelines telescope exactly",
+            self.telescoping, self.recovered
+        );
+        for (name, h) in [
+            ("detection", &self.detection),
+            ("request", &self.request),
+            ("serve", &self.serve),
+            ("return", &self.return_leg),
+            ("total", &self.total),
+        ] {
+            if h.count() > 0 {
+                let _ = writeln!(
+                    s,
+                    "  stage {name:<10} n={:<5} mean={:.1?} p95={:.1?} max={:.1?}",
+                    h.count(),
+                    h.mean(),
+                    h.percentile(0.95),
+                    h.max()
+                );
+            }
+        }
+        if !self.sources.is_empty() {
+            let _ = writeln!(s, "repair sources:");
+            for (src, n) in &self.sources {
+                let _ = writeln!(s, "  {src:<14} {n:>8}");
+            }
+        }
+        let _ = writeln!(
+            s,
+            "duplicate repairs: {}; max NACK fan-in per seq: {}",
+            self.duplicate_repairs, self.max_nack_fan_in
+        );
+        if self.truncated_gap_spans > 0 {
+            let _ = writeln!(
+                s,
+                "note: {} gap spans exceeded the expansion cap and were truncated",
+                self.truncated_gap_spans
+            );
+        }
+        let mut slowest: Vec<&RecoveryTimeline> = self
+            .timelines
+            .iter()
+            .filter(|t| t.outcome == RecoveryOutcome::Recovered)
+            .collect();
+        slowest.sort_by_key(|t| std::cmp::Reverse(t.recovery_latency_nanos.unwrap_or(0)));
+        if !slowest.is_empty() {
+            let _ = writeln!(s, "slowest recoveries:");
+            for t in slowest.iter().take(5) {
+                let _ = writeln!(s, "  {}", t.render());
+            }
+        }
+        if self.anomalies.is_empty() {
+            let _ = writeln!(s, "anomalies: none");
+        } else {
+            let _ = writeln!(s, "anomalies ({}):", self.anomalies.len());
+            for a in &self.anomalies {
+                let _ = writeln!(s, "  {}", a.describe());
+            }
+        }
+        s
+    }
+
+    /// Machine-readable JSON summary (hand-rolled; no serde).
+    pub fn to_json(&self) -> String {
+        fn stage(s: &mut String, name: &str, h: &HistogramSnapshot) {
+            let _ = write!(
+                s,
+                "\"{name}\":{{\"count\":{},\"mean_ns\":{},\"p95_ns\":{},\"max_ns\":{}}}",
+                h.count(),
+                h.mean().as_nanos(),
+                h.percentile(0.95).as_nanos(),
+                h.max().as_nanos()
+            );
+        }
+        let mut s = String::with_capacity(512);
+        let _ = write!(
+            s,
+            "{{\"timelines\":{},\"recovered\":{},\"abandoned\":{},\"unrecovered\":{},\"telescoping\":{},",
+            self.timelines.len(),
+            self.recovered,
+            self.abandoned,
+            self.unrecovered,
+            self.telescoping
+        );
+        s.push_str("\"stages\":{");
+        for (i, (name, h)) in [
+            ("detection", &self.detection),
+            ("request", &self.request),
+            ("serve", &self.serve),
+            ("return", &self.return_leg),
+            ("total", &self.total),
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            if i > 0 {
+                s.push(',');
+            }
+            stage(&mut s, name, h);
+        }
+        s.push_str("},\"sources\":{");
+        for (i, (src, n)) in self.sources.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(s, "\"{src}\":{n}");
+        }
+        let _ = write!(
+            s,
+            "}},\"duplicate_repairs\":{},\"max_nack_fan_in\":{},\"truncated_gap_spans\":{},",
+            self.duplicate_repairs, self.max_nack_fan_in, self.truncated_gap_spans
+        );
+        s.push_str("\"anomalies\":[");
+        for (i, a) in self.anomalies.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(
+                s,
+                "{{\"kind\":\"{}\",\"detail\":\"{}\"}}",
+                a.kind(),
+                a.describe()
+            );
+        }
+        let _ = write!(s, "],\"clean\":{}}}", self.is_clean());
+        s
+    }
+}
+
+/// Correlates `records` into recovery timelines, computes per-stage
+/// histograms and the repair-source breakdown, and runs the anomaly
+/// detectors. Records are sorted by timestamp internally, so both live
+/// collections and concatenated replay files work.
+pub fn analyze(records: &[TraceRecord], cfg: &AnalyzeConfig) -> RecoveryReport {
+    let mut recs: Vec<&TraceRecord> = records.iter().collect();
+    recs.sort_by_key(|r| r.at_nanos);
+    let end_ns = recs.last().map_or(0, |r| r.at_nanos);
+
+    let mut roles: BTreeMap<u64, &'static str> = BTreeMap::new();
+    let mut sent_at: BTreeMap<u32, u64> = BTreeMap::new();
+    let mut sent_epoch: BTreeMap<u32, u32> = BTreeMap::new();
+    let mut remulticast_at: BTreeMap<u32, u64> = BTreeMap::new();
+    let mut settled: BTreeSet<u32> = BTreeSet::new();
+    let mut active_epochs: BTreeSet<u32> = BTreeSet::new();
+    let mut open: BTreeMap<(u64, u32), OpenRecovery> = BTreeMap::new();
+    let mut timelines: Vec<RecoveryTimeline> = Vec::new();
+    let mut requests_per_seq: BTreeMap<u32, u64> = BTreeMap::new();
+    let mut dups_per_host_seq: BTreeMap<(u64, u32), u64> = BTreeMap::new();
+    let mut last_tx: BTreeMap<u64, u64> = BTreeMap::new();
+    let mut max_silence: BTreeMap<u64, u64> = BTreeMap::new();
+    let mut truncated_gap_spans = 0u64;
+    let mut recovered = 0usize;
+    let mut abandoned = 0usize;
+
+    for r in &recs {
+        let h = r.host.raw();
+        match &r.event {
+            ProtocolEvent::RoleAnnounced { role } => {
+                roles.insert(h, role);
+            }
+            ProtocolEvent::DataSent { seq, epoch } => {
+                sent_at.entry(seq.raw()).or_insert(r.at_nanos);
+                sent_epoch.entry(seq.raw()).or_insert(epoch.raw());
+                let gap = r.at_nanos - last_tx.get(&h).copied().unwrap_or(r.at_nanos);
+                let m = max_silence.entry(h).or_insert(0);
+                *m = (*m).max(gap);
+                last_tx.insert(h, r.at_nanos);
+            }
+            ProtocolEvent::HeartbeatSent { .. } => {
+                let gap = r.at_nanos - last_tx.get(&h).copied().unwrap_or(r.at_nanos);
+                let m = max_silence.entry(h).or_insert(0);
+                *m = (*m).max(gap);
+                last_tx.insert(h, r.at_nanos);
+            }
+            ProtocolEvent::GapDetected { first, last } => {
+                let span = u64::from(last.distance_from(*first)) + 1;
+                if span > cfg.max_gap_span {
+                    truncated_gap_spans += 1;
+                }
+                for (i, seq) in first.iter_to(*last).enumerate() {
+                    if i as u64 >= cfg.max_gap_span {
+                        break;
+                    }
+                    open.entry((h, seq.raw())).or_insert(OpenRecovery {
+                        detected_at: r.at_nanos,
+                        first_nack_at: None,
+                        nacks_sent: 0,
+                        served_at: None,
+                        served_by: None,
+                        repaired_at: None,
+                        source: RepairSource::Unknown,
+                    });
+                }
+            }
+            ProtocolEvent::NackSent {
+                target,
+                first,
+                last,
+                ..
+            } => {
+                let span = u64::from(last.distance_from(*first)) + 1;
+                // The paper's implosion bound (§2.2.1, Figure 7) is on
+                // requests reaching the *primary*: local NACKs absorbed
+                // by a site secondary are the mechanism working, not
+                // implosion, so only primary-bound requests count.
+                let upstream = roles.get(&target.raw()).copied() == Some("logger_primary");
+                for (i, seq) in first.iter_to(*last).enumerate() {
+                    if i as u64 >= cfg.max_gap_span.min(span) {
+                        break;
+                    }
+                    if upstream {
+                        *requests_per_seq.entry(seq.raw()).or_insert(0) += 1;
+                    }
+                    if let Some(o) = open.get_mut(&(h, seq.raw())) {
+                        o.first_nack_at.get_or_insert(r.at_nanos);
+                        o.nacks_sent += 1;
+                    }
+                }
+            }
+            ProtocolEvent::RetransServed { seq, multicast, to } => {
+                if *multicast {
+                    for ((_, s), o) in open.iter_mut() {
+                        if *s == seq.raw() {
+                            o.served_at.get_or_insert(r.at_nanos);
+                            o.served_by.get_or_insert(r.host);
+                        }
+                    }
+                } else if let Some(o) = open.get_mut(&(to.raw(), seq.raw())) {
+                    o.served_at.get_or_insert(r.at_nanos);
+                    o.served_by.get_or_insert(r.host);
+                }
+            }
+            ProtocolEvent::Remulticast { seq, .. } => {
+                remulticast_at.entry(seq.raw()).or_insert(r.at_nanos);
+                for ((_, s), o) in open.iter_mut() {
+                    if *s == seq.raw() {
+                        o.served_at.get_or_insert(r.at_nanos);
+                        o.served_by.get_or_insert(r.host);
+                    }
+                }
+            }
+            ProtocolEvent::RepairReceived { seq, from, kind } => {
+                if let Some(o) = open.get_mut(&(h, seq.raw())) {
+                    o.repaired_at = Some(r.at_nanos);
+                    o.source = match *kind {
+                        "heartbeat" => RepairSource::Heartbeat,
+                        "retrans" => match roles.get(&from.raw()).copied() {
+                            Some("logger_primary") => RepairSource::Primary,
+                            Some("logger_secondary") => RepairSource::Secondary,
+                            Some("logger_replica") => RepairSource::Replica,
+                            Some("sender") => RepairSource::Sender,
+                            _ => RepairSource::Unknown,
+                        },
+                        "data" => {
+                            if remulticast_at
+                                .get(&seq.raw())
+                                .is_some_and(|&t| t <= r.at_nanos)
+                            {
+                                RepairSource::Remulticast
+                            } else {
+                                RepairSource::LateOriginal
+                            }
+                        }
+                        _ => RepairSource::Unknown,
+                    };
+                }
+            }
+            ProtocolEvent::RepairDuplicate { seq, .. } => {
+                *dups_per_host_seq.entry((h, seq.raw())).or_insert(0) += 1;
+            }
+            ProtocolEvent::Recovered { seq, latency_nanos } => {
+                if let Some(o) = open.remove(&(h, seq.raw())) {
+                    recovered += 1;
+                    RecoveryReport::close(
+                        &mut timelines,
+                        r.host,
+                        *seq,
+                        o,
+                        sent_at.get(&seq.raw()).copied(),
+                        RecoveryOutcome::Recovered,
+                        Some(*latency_nanos),
+                    );
+                }
+            }
+            ProtocolEvent::RecoveryAbandoned { seq } => {
+                if let Some(o) = open.remove(&(h, seq.raw())) {
+                    abandoned += 1;
+                    RecoveryReport::close(
+                        &mut timelines,
+                        r.host,
+                        *seq,
+                        o,
+                        sent_at.get(&seq.raw()).copied(),
+                        RecoveryOutcome::Abandoned,
+                        None,
+                    );
+                }
+            }
+            ProtocolEvent::Settled { seq, .. } => {
+                settled.insert(seq.raw());
+            }
+            ProtocolEvent::EpochActive { epoch, .. } => {
+                active_epochs.insert(epoch.raw());
+            }
+            _ => {}
+        }
+    }
+
+    // Trailing silence: from the last transmission to end-of-run.
+    for (&h, &t) in &last_tx {
+        let m = max_silence.entry(h).or_insert(0);
+        *m = (*m).max(end_ns.saturating_sub(t));
+    }
+
+    let mut anomalies: Vec<Anomaly> = Vec::new();
+
+    // Unrecovered gaps: whatever is still open at end-of-run.
+    let mut unrecovered = 0usize;
+    let still_open: Vec<((u64, u32), OpenRecovery)> =
+        std::mem::take(&mut open).into_iter().collect();
+    for ((h, s), o) in still_open {
+        unrecovered += 1;
+        anomalies.push(Anomaly::UnrecoveredGap {
+            host: HostId(h),
+            seq: Seq(s),
+            detected_at_nanos: o.detected_at,
+        });
+        RecoveryReport::close(
+            &mut timelines,
+            HostId(h),
+            Seq(s),
+            o,
+            sent_at.get(&s).copied(),
+            RecoveryOutcome::Unrecovered,
+            None,
+        );
+    }
+
+    // NACK implosion (§2.2.1: distributed logging bounds requests at
+    // roughly one per site).
+    let secondaries = roles.values().filter(|r| **r == "logger_secondary").count() as u64;
+    let nack_bound = cfg
+        .nack_fan_in_bound
+        .or((secondaries > 0).then_some(secondaries + 2));
+    let max_nack_fan_in = requests_per_seq.values().copied().max().unwrap_or(0);
+    if let Some(bound) = nack_bound {
+        for (&s, &n) in &requests_per_seq {
+            if n > bound {
+                anomalies.push(Anomaly::NackImplosion {
+                    seq: Seq(s),
+                    requests: n,
+                    bound,
+                });
+            }
+        }
+    }
+
+    // Duplicate repairs beyond the statistical-ACK expectation. The
+    // bound is per receiver: one redundant copy each at many receivers
+    // is the expected cost of re-multicast, while one receiver served
+    // the same repair many times over means requests are not being
+    // suppressed.
+    let mut duplicate_repairs = 0u64;
+    for (&(host, s), &n) in &dups_per_host_seq {
+        duplicate_repairs += n;
+        if n > cfg.duplicate_bound {
+            anomalies.push(Anomaly::ExcessDuplicateRepairs {
+                host: HostId(host),
+                seq: Seq(s),
+                duplicates: n,
+                bound: cfg.duplicate_bound,
+            });
+        }
+    }
+
+    // Heartbeat silence beyond h_max (with 1.5x slack for the last
+    // in-flight interval).
+    if let Some(h_max) = cfg.h_max_nanos {
+        let bound = h_max + h_max / 2;
+        for (&h, &gap) in &max_silence {
+            if gap > bound {
+                anomalies.push(Anomaly::HeartbeatSilence {
+                    host: HostId(h),
+                    gap_nanos: gap,
+                    h_max_nanos: h_max,
+                });
+            }
+        }
+    }
+
+    // Stalled settlements: data in an active epoch that never settled
+    // (ignoring sends within the trailing grace window).
+    for (&s, &e) in &sent_epoch {
+        if !active_epochs.contains(&e) || settled.contains(&s) {
+            continue;
+        }
+        let at = sent_at.get(&s).copied().unwrap_or(0);
+        if at + cfg.settle_slack_nanos < end_ns {
+            anomalies.push(Anomaly::StalledSettlement {
+                seq: Seq(s),
+                sent_at_nanos: at,
+            });
+        }
+    }
+
+    // Stage histograms over recovered timelines.
+    let mut detection = Histogram::default();
+    let mut request = Histogram::default();
+    let mut serve = Histogram::default();
+    let mut return_leg = Histogram::default();
+    let mut total = Histogram::default();
+    let mut sources: BTreeMap<&'static str, u64> = BTreeMap::new();
+    let mut telescoping = 0usize;
+    for t in &timelines {
+        if t.outcome != RecoveryOutcome::Recovered {
+            continue;
+        }
+        if let Some(n) = t.detection_nanos() {
+            detection.record(n);
+        }
+        if let Some(n) = t.request_nanos() {
+            request.record(n);
+        }
+        if let Some(n) = t.serve_nanos() {
+            serve.record(n);
+        }
+        if let Some(n) = t.return_nanos() {
+            return_leg.record(n);
+        }
+        if let Some(n) = t.recovery_latency_nanos {
+            total.record(n);
+        }
+        *sources.entry(t.source.label()).or_insert(0) += 1;
+        if t.stages_telescope() {
+            telescoping += 1;
+        }
+    }
+
+    RecoveryReport {
+        timelines,
+        recovered,
+        abandoned,
+        unrecovered,
+        detection: detection.snapshot(),
+        request: request.snapshot(),
+        serve: serve.snapshot(),
+        return_leg: return_leg.snapshot(),
+        total: total.snapshot(),
+        sources,
+        duplicate_repairs,
+        max_nack_fan_in,
+        telescoping,
+        truncated_gap_spans,
+        anomalies,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Tracer;
+    use lbrm_wire::EpochId;
+
+    const SENDER: HostId = HostId(1);
+    const PRIMARY: HostId = HostId(2);
+    const RX: HostId = HostId(40);
+
+    fn rec(at_ms: u64, host: HostId, event: ProtocolEvent) -> TraceRecord {
+        TraceRecord {
+            at_nanos: at_ms * 1_000_000,
+            host,
+            event,
+        }
+    }
+
+    fn happy_path() -> Vec<TraceRecord> {
+        vec![
+            rec(0, SENDER, ProtocolEvent::RoleAnnounced { role: "sender" }),
+            rec(
+                0,
+                PRIMARY,
+                ProtocolEvent::RoleAnnounced {
+                    role: "logger_primary",
+                },
+            ),
+            rec(0, RX, ProtocolEvent::RoleAnnounced { role: "receiver" }),
+            rec(
+                10,
+                SENDER,
+                ProtocolEvent::DataSent {
+                    seq: Seq(1),
+                    epoch: EpochId(0),
+                },
+            ),
+            rec(
+                20,
+                SENDER,
+                ProtocolEvent::DataSent {
+                    seq: Seq(2),
+                    epoch: EpochId(0),
+                },
+            ),
+            // seq 1 lost; gap detected when seq 2 arrives.
+            rec(
+                25,
+                RX,
+                ProtocolEvent::GapDetected {
+                    first: Seq(1),
+                    last: Seq(1),
+                },
+            ),
+            rec(
+                55,
+                RX,
+                ProtocolEvent::NackSent {
+                    target: PRIMARY,
+                    packets: 1,
+                    first: Seq(1),
+                    last: Seq(1),
+                },
+            ),
+            rec(
+                60,
+                PRIMARY,
+                ProtocolEvent::NackReceived {
+                    from: RX,
+                    packets: 1,
+                },
+            ),
+            rec(
+                60,
+                PRIMARY,
+                ProtocolEvent::RetransServed {
+                    seq: Seq(1),
+                    multicast: false,
+                    to: RX,
+                },
+            ),
+            rec(
+                65,
+                RX,
+                ProtocolEvent::RepairReceived {
+                    seq: Seq(1),
+                    from: PRIMARY,
+                    kind: "retrans",
+                },
+            ),
+            rec(
+                65,
+                RX,
+                ProtocolEvent::Recovered {
+                    seq: Seq(1),
+                    latency_nanos: 40 * 1_000_000,
+                },
+            ),
+        ]
+    }
+
+    #[test]
+    fn happy_path_timeline_is_exact_and_clean() {
+        let report = analyze(&happy_path(), &AnalyzeConfig::default());
+        assert!(report.is_clean(), "{:?}", report.anomalies);
+        assert_eq!(report.recovered, 1);
+        assert_eq!(report.unrecovered, 0);
+        let t = &report.timelines[0];
+        assert_eq!(t.host, RX);
+        assert_eq!(t.seq, Seq(1));
+        assert_eq!(t.sent_at_nanos, Some(10 * 1_000_000));
+        assert_eq!(t.detection_nanos(), Some(15 * 1_000_000));
+        assert_eq!(t.request_nanos(), Some(30 * 1_000_000));
+        assert_eq!(t.serve_nanos(), Some(5 * 1_000_000));
+        assert_eq!(t.return_nanos(), Some(5 * 1_000_000));
+        assert_eq!(t.source, RepairSource::Primary);
+        assert_eq!(t.served_by, Some(PRIMARY));
+        assert!(t.stages_telescope());
+        assert_eq!(report.telescoping, 1);
+        assert_eq!(report.sources.get("primary"), Some(&1));
+        assert_eq!(report.max_nack_fan_in, 1);
+        let json = report.to_json();
+        assert!(json.contains("\"clean\":true"));
+        assert!(json.contains("\"primary\":1"));
+        assert!(report.render().contains("repair sources"));
+    }
+
+    #[test]
+    fn unrecovered_gap_is_flagged() {
+        let mut records = happy_path();
+        records.truncate(records.len() - 2); // drop repair + recovered
+        let report = analyze(&records, &AnalyzeConfig::default());
+        assert_eq!(report.unrecovered, 1);
+        assert_eq!(report.anomalies.len(), 1);
+        assert_eq!(report.anomalies[0].kind(), "unrecovered_gap");
+        assert!(!report.is_clean());
+        assert!(report.to_json().contains("\"clean\":false"));
+    }
+
+    #[test]
+    fn nack_implosion_detected_above_bound() {
+        let mut records = happy_path();
+        // 40 distinct hosts each NACK seq 1: far above any site bound.
+        for i in 0..40u64 {
+            records.push(rec(
+                30 + i,
+                HostId(100 + i),
+                ProtocolEvent::NackSent {
+                    target: PRIMARY,
+                    packets: 1,
+                    first: Seq(1),
+                    last: Seq(1),
+                },
+            ));
+        }
+        let cfg = AnalyzeConfig {
+            nack_fan_in_bound: Some(5),
+            ..AnalyzeConfig::default()
+        };
+        let report = analyze(&records, &cfg);
+        assert!(report
+            .anomalies
+            .iter()
+            .any(|a| a.kind() == "nack_implosion"));
+        assert_eq!(report.max_nack_fan_in, 41);
+    }
+
+    #[test]
+    fn duplicate_repairs_and_heartbeat_silence_detected() {
+        let mut records = happy_path();
+        for _ in 0..5 {
+            records.push(rec(
+                70,
+                RX,
+                ProtocolEvent::RepairDuplicate {
+                    seq: Seq(1),
+                    from: PRIMARY,
+                },
+            ));
+        }
+        // Sender silent from t=20ms until t=200s.
+        records.push(rec(200_000, RX, ProtocolEvent::FreshnessLost));
+        let report = analyze(&records, &AnalyzeConfig::default());
+        assert_eq!(report.duplicate_repairs, 5);
+        assert!(report
+            .anomalies
+            .iter()
+            .any(|a| a.kind() == "excess_duplicate_repairs"));
+        assert!(report
+            .anomalies
+            .iter()
+            .any(|a| a.kind() == "heartbeat_silence"));
+    }
+
+    #[test]
+    fn stalled_settlement_detected_only_in_active_epochs() {
+        let mut records = happy_path();
+        records.push(rec(
+            5,
+            SENDER,
+            ProtocolEvent::EpochActive {
+                epoch: EpochId(0),
+                ackers: 2,
+            },
+        ));
+        records.push(rec(100_000, RX, ProtocolEvent::FreshnessLost));
+        let cfg = AnalyzeConfig {
+            h_max_nanos: None,
+            ..AnalyzeConfig::default()
+        };
+        let report = analyze(&records, &cfg);
+        // Both sent packets are in epoch 0 (now active) and unsettled.
+        assert_eq!(
+            report
+                .anomalies
+                .iter()
+                .filter(|a| a.kind() == "stalled_settlement")
+                .count(),
+            2
+        );
+        // Settling them clears the anomaly.
+        records.push(rec(
+            90,
+            SENDER,
+            ProtocolEvent::Settled {
+                seq: Seq(1),
+                complete: true,
+            },
+        ));
+        records.push(rec(
+            90,
+            SENDER,
+            ProtocolEvent::Settled {
+                seq: Seq(2),
+                complete: false,
+            },
+        ));
+        let report = analyze(&records, &cfg);
+        assert!(report.is_clean(), "{:?}", report.anomalies);
+    }
+
+    #[test]
+    fn remulticast_and_heartbeat_repairs_attributed() {
+        let records = vec![
+            rec(0, SENDER, ProtocolEvent::RoleAnnounced { role: "sender" }),
+            rec(
+                10,
+                SENDER,
+                ProtocolEvent::DataSent {
+                    seq: Seq(1),
+                    epoch: EpochId(0),
+                },
+            ),
+            rec(
+                25,
+                RX,
+                ProtocolEvent::GapDetected {
+                    first: Seq(1),
+                    last: Seq(2),
+                },
+            ),
+            rec(
+                40,
+                SENDER,
+                ProtocolEvent::Remulticast {
+                    seq: Seq(1),
+                    missing: 1,
+                },
+            ),
+            rec(
+                45,
+                RX,
+                ProtocolEvent::RepairReceived {
+                    seq: Seq(1),
+                    from: SENDER,
+                    kind: "data",
+                },
+            ),
+            rec(
+                45,
+                RX,
+                ProtocolEvent::Recovered {
+                    seq: Seq(1),
+                    latency_nanos: 20_000_000,
+                },
+            ),
+            rec(
+                50,
+                RX,
+                ProtocolEvent::RepairReceived {
+                    seq: Seq(2),
+                    from: SENDER,
+                    kind: "heartbeat",
+                },
+            ),
+            rec(
+                50,
+                RX,
+                ProtocolEvent::Recovered {
+                    seq: Seq(2),
+                    latency_nanos: 25_000_000,
+                },
+            ),
+        ];
+        let cfg = AnalyzeConfig {
+            h_max_nanos: None,
+            ..AnalyzeConfig::default()
+        };
+        let report = analyze(&records, &cfg);
+        assert_eq!(report.sources.get("remulticast"), Some(&1));
+        assert_eq!(report.sources.get("heartbeat"), Some(&1));
+        assert!(report.is_clean(), "{:?}", report.anomalies);
+    }
+
+    #[test]
+    fn json_lines_round_trip_through_the_parser() {
+        let samples = vec![
+            ProtocolEvent::DataSent {
+                seq: Seq(7),
+                epoch: EpochId(3),
+            },
+            ProtocolEvent::HeartbeatSent {
+                seq: Seq(7),
+                hb_index: 2,
+            },
+            ProtocolEvent::GapDetected {
+                first: Seq(1),
+                last: Seq(4),
+            },
+            ProtocolEvent::NackSent {
+                target: PRIMARY,
+                packets: 3,
+                first: Seq(1),
+                last: Seq(4),
+            },
+            ProtocolEvent::NackReceived {
+                from: RX,
+                packets: 3,
+            },
+            ProtocolEvent::RetransServed {
+                seq: Seq(2),
+                multicast: true,
+                to: RX,
+            },
+            ProtocolEvent::Remulticast {
+                seq: Seq(2),
+                missing: 4,
+            },
+            ProtocolEvent::AckerVolunteered { epoch: EpochId(1) },
+            ProtocolEvent::EpochActive {
+                epoch: EpochId(1),
+                ackers: 5,
+            },
+            ProtocolEvent::Settled {
+                seq: Seq(2),
+                complete: false,
+            },
+            ProtocolEvent::TWaitUpdated {
+                t_wait_nanos: 12345,
+            },
+            ProtocolEvent::CongestionSuspected { streak: 3 },
+            ProtocolEvent::Recovered {
+                seq: Seq(2),
+                latency_nanos: 999,
+            },
+            ProtocolEvent::RecoveryAbandoned { seq: Seq(9) },
+            ProtocolEvent::RepairReceived {
+                seq: Seq(2),
+                from: PRIMARY,
+                kind: "retrans",
+            },
+            ProtocolEvent::RepairDuplicate {
+                seq: Seq(2),
+                from: PRIMARY,
+            },
+            ProtocolEvent::FreshnessLost,
+            ProtocolEvent::FreshnessRestored,
+            ProtocolEvent::BufferReleased { up_to: Seq(5) },
+            ProtocolEvent::PacketLogged { seq: Seq(5) },
+            ProtocolEvent::PrimaryUnresponsive { primary: PRIMARY },
+            ProtocolEvent::FailoverPromoted {
+                new_primary: PRIMARY,
+            },
+            ProtocolEvent::RoleAnnounced {
+                role: "logger_secondary",
+            },
+            ProtocolEvent::NetPacket {
+                kind: "repl-update",
+                multicast: false,
+                copies: 1,
+            },
+        ];
+        for (i, ev) in samples.into_iter().enumerate() {
+            let line = ev.to_json(i as u64 * 10, HostId(i as u64));
+            let parsed =
+                parse_json_line(&line).unwrap_or_else(|| panic!("line failed to parse: {line}"));
+            assert_eq!(parsed.at_nanos, i as u64 * 10);
+            assert_eq!(parsed.host, HostId(i as u64));
+            assert_eq!(parsed.event, ev, "round-trip mismatch for {line}");
+        }
+        // Floating-point p_ack round-trips through the float arm.
+        let line = ProtocolEvent::AckerSelected {
+            epoch: EpochId(2),
+            p_ack: 0.125,
+        }
+        .to_json(5, HostId(1));
+        let parsed = parse_json_line(&line).unwrap();
+        assert!(matches!(
+            parsed.event,
+            ProtocolEvent::AckerSelected { p_ack, .. } if (p_ack - 0.125).abs() < 1e-12
+        ));
+        let (records, skipped) = parse_json_lines("\n{\"bad\n\n");
+        assert!(records.is_empty());
+        assert_eq!(skipped, 1);
+    }
+
+    #[test]
+    fn collector_and_fanout_sinks_cooperate() {
+        let collector = Arc::new(CollectorSink::default());
+        let counts = Arc::new(crate::CountingSink::default());
+        let fan = FanoutSink::new(vec![collector.clone(), counts.clone()]);
+        let t = Tracer::to(Arc::new(fan)).with_host(RX);
+        t.emit(5, || ProtocolEvent::FreshnessLost);
+        assert_eq!(collector.len(), 1);
+        assert!(!collector.is_empty());
+        assert_eq!(counts.count("freshness_lost"), 1);
+        let taken = collector.take();
+        assert_eq!(taken[0].host, RX);
+        assert!(collector.is_empty());
+    }
+}

@@ -15,7 +15,13 @@
 //!   recovery-latency / `t_wait` histograms.
 //! * [`Tracer`] — the handle machines hold. A disabled tracer is a
 //!   single `Option` test on the hot path and never constructs the
-//!   event; the `protocol_micro` bench pins the claim down.
+//!   event; the `protocol_micro` bench pins the claim down. Every
+//!   tracer carries the emitting [`HostId`] so downstream analysis can
+//!   correlate events causally across machines.
+//! * [`analyze`] — recovery forensics: correlates a recorded event
+//!   stream into per-`(host, seq)` recovery timelines, per-stage
+//!   latency histograms, a repair-source breakdown, and anomaly
+//!   detections (see [`analyze::RecoveryReport`]).
 //!
 //! Timestamps cross the API as raw nanoseconds (`at_nanos`) so the same
 //! events work under both the protocol clock (`lbrm_core::time::Time`)
@@ -41,9 +47,11 @@ use std::sync::Arc;
 
 use lbrm_wire::{EpochId, HostId, Seq};
 
+pub mod analyze;
 mod metrics;
 mod sink;
 
+pub use analyze::{CollectorSink, FanoutSink, TraceRecord};
 pub use metrics::{Histogram, HistogramSnapshot, MetricsRegistry};
 pub use sink::{CountingSink, JsonLinesSink, NoopSink, RingSink};
 
@@ -82,6 +90,10 @@ pub enum ProtocolEvent {
         target: HostId,
         /// Number of sequences requested in this packet.
         packets: u32,
+        /// Lowest sequence requested (correlation anchor).
+        first: Seq,
+        /// Highest sequence requested.
+        last: Seq,
     },
     /// A NACK packet arrived at a host able to serve it.
     NackReceived {
@@ -97,6 +109,9 @@ pub enum ProtocolEvent {
         seq: Seq,
         /// `true` for a site-scoped multicast repair.
         multicast: bool,
+        /// The requester being answered (for a multicast repair, the
+        /// requester whose NACK triggered it).
+        to: HostId,
     },
     /// The statistical-ACK engine re-multicast a packet after missing
     /// ACK coverage at `t_wait` (§2.3.2).
@@ -154,6 +169,27 @@ pub enum ProtocolEvent {
         /// The abandoned sequence.
         seq: Seq,
     },
+    /// The packet that actually filled a tracked gap arrived — the
+    /// terminal wire-level event of a recovery timeline. Emitted just
+    /// before [`ProtocolEvent::Recovered`] with the carrier identified.
+    RepairReceived {
+        /// The repaired sequence.
+        seq: Seq,
+        /// Host the repair arrived from.
+        from: HostId,
+        /// Carrier kind: `"retrans"`, `"data"` (late original or
+        /// statistical-ACK re-multicast), or `"heartbeat"` (§7
+        /// repeat-payload fill).
+        kind: &'static str,
+    },
+    /// A retransmission arrived for a sequence already held — a
+    /// redundant repair (duplicate-repair accounting, §2.3).
+    RepairDuplicate {
+        /// The already-held sequence.
+        seq: Seq,
+        /// Host the redundant copy arrived from.
+        from: HostId,
+    },
     /// A receiver fell behind the freshness horizon.
     FreshnessLost,
     /// A receiver caught back up to the freshness horizon.
@@ -178,6 +214,13 @@ pub enum ProtocolEvent {
     FailoverPromoted {
         /// The new primary.
         new_primary: HostId,
+    },
+    /// A machine announced its protocol role at startup, so a replayed
+    /// trace is self-contained for repair-source attribution.
+    RoleAnnounced {
+        /// `"sender"`, `"receiver"`, `"logger_primary"`,
+        /// `"logger_secondary"`, or `"logger_replica"`.
+        role: &'static str,
     },
     /// The simulated network carried one send call (world-level view).
     NetPacket {
@@ -219,12 +262,15 @@ impl ProtocolEvent {
             ProtocolEvent::CongestionSuspected { .. } => "congestion_suspected",
             ProtocolEvent::Recovered { .. } => "recovered",
             ProtocolEvent::RecoveryAbandoned { .. } => "recovery_abandoned",
+            ProtocolEvent::RepairReceived { .. } => "repair_received",
+            ProtocolEvent::RepairDuplicate { .. } => "repair_duplicate",
             ProtocolEvent::FreshnessLost => "freshness_lost",
             ProtocolEvent::FreshnessRestored => "freshness_restored",
             ProtocolEvent::BufferReleased { .. } => "buffer_released",
             ProtocolEvent::PacketLogged { .. } => "packet_logged",
             ProtocolEvent::PrimaryUnresponsive { .. } => "primary_unresponsive",
             ProtocolEvent::FailoverPromoted { .. } => "failover_promoted",
+            ProtocolEvent::RoleAnnounced { .. } => "role_announced",
             ProtocolEvent::NetPacket {
                 multicast: false, ..
             } => "net_unicast",
@@ -235,10 +281,16 @@ impl ProtocolEvent {
     }
 
     /// Renders the event as one JSON object (used by [`JsonLinesSink`];
-    /// hand-rolled because the build environment has no serde).
-    pub fn to_json(&self, at_nanos: u64) -> String {
+    /// hand-rolled because the build environment has no serde). `host`
+    /// is the emitting host's tracer tag.
+    pub fn to_json(&self, at_nanos: u64, host: HostId) -> String {
         let mut s = String::with_capacity(96);
-        let _ = write!(s, "{{\"at_ns\":{at_nanos},\"event\":\"{}\"", self.key());
+        let _ = write!(
+            s,
+            "{{\"at_ns\":{at_nanos},\"host\":{},\"event\":\"{}\"",
+            host.raw(),
+            self.key()
+        );
         match self {
             ProtocolEvent::DataSent { seq, epoch } => {
                 let _ = write!(s, ",\"seq\":{},\"epoch\":{}", seq.raw(), epoch.raw());
@@ -249,16 +301,42 @@ impl ProtocolEvent {
             ProtocolEvent::GapDetected { first, last } => {
                 let _ = write!(s, ",\"first\":{},\"last\":{}", first.raw(), last.raw());
             }
-            ProtocolEvent::NackSent { target, packets } => {
-                let _ = write!(s, ",\"target\":{},\"packets\":{packets}", target.raw());
+            ProtocolEvent::NackSent {
+                target,
+                packets,
+                first,
+                last,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"target\":{},\"packets\":{packets},\"first\":{},\"last\":{}",
+                    target.raw(),
+                    first.raw(),
+                    last.raw()
+                );
             }
             ProtocolEvent::NackReceived { from, packets } => {
                 let _ = write!(s, ",\"from\":{},\"packets\":{packets}", from.raw());
             }
-            ProtocolEvent::RetransServed { seq, .. }
-            | ProtocolEvent::RecoveryAbandoned { seq }
-            | ProtocolEvent::PacketLogged { seq } => {
+            ProtocolEvent::RetransServed { seq, to, .. } => {
+                let _ = write!(s, ",\"seq\":{},\"to\":{}", seq.raw(), to.raw());
+            }
+            ProtocolEvent::RecoveryAbandoned { seq } | ProtocolEvent::PacketLogged { seq } => {
                 let _ = write!(s, ",\"seq\":{}", seq.raw());
+            }
+            ProtocolEvent::RepairReceived { seq, from, kind } => {
+                let _ = write!(
+                    s,
+                    ",\"seq\":{},\"from\":{},\"kind\":\"{kind}\"",
+                    seq.raw(),
+                    from.raw()
+                );
+            }
+            ProtocolEvent::RepairDuplicate { seq, from } => {
+                let _ = write!(s, ",\"seq\":{},\"from\":{}", seq.raw(), from.raw());
+            }
+            ProtocolEvent::RoleAnnounced { role } => {
+                let _ = write!(s, ",\"role\":\"{role}\"");
             }
             ProtocolEvent::Remulticast { seq, missing } => {
                 let _ = write!(s, ",\"seq\":{},\"missing\":{missing}", seq.raw());
@@ -306,37 +384,70 @@ impl ProtocolEvent {
 /// Consumes protocol events. Implementations must tolerate concurrent
 /// calls (`&self`); aggregate internally with atomics or a mutex.
 pub trait TraceSink: Send + Sync {
-    /// Records one event at `at_nanos` on the emitting clock.
-    fn record(&self, at_nanos: u64, event: &ProtocolEvent);
+    /// Records one event at `at_nanos` on the emitting clock. `host` is
+    /// the emitting host's tracer tag ([`Tracer::UNTAGGED`] when the
+    /// tracer was never given a host).
+    fn record(&self, at_nanos: u64, host: HostId, event: &ProtocolEvent);
 }
 
 /// The handle protocol machines hold.
 ///
 /// Cloning is cheap (an `Arc` bump or nothing). The default is
 /// [`disabled`](Tracer::disabled): one `Option` test per emission site
-/// and the event closure is never even invoked.
-#[derive(Clone, Default)]
+/// and the event closure is never even invoked. A tracer carries the
+/// [`HostId`] of the machine it is attached to (see
+/// [`with_host`](Tracer::with_host)) so every record is correlatable.
+#[derive(Clone)]
 pub struct Tracer {
     sink: Option<Arc<dyn TraceSink>>,
+    host: HostId,
+}
+
+impl Default for Tracer {
+    fn default() -> Self {
+        Tracer::disabled()
+    }
 }
 
 impl std::fmt::Debug for Tracer {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Tracer")
             .field("enabled", &self.is_enabled())
+            .field("host", &self.host)
             .finish()
     }
 }
 
 impl Tracer {
+    /// The host tag of a tracer that was never assigned one.
+    pub const UNTAGGED: HostId = HostId(u64::MAX);
+
     /// A tracer that drops everything without constructing events.
     pub const fn disabled() -> Self {
-        Tracer { sink: None }
+        Tracer {
+            sink: None,
+            host: Tracer::UNTAGGED,
+        }
     }
 
-    /// A tracer feeding `sink`.
+    /// A tracer feeding `sink`, not yet tagged with a host.
     pub fn to(sink: Arc<dyn TraceSink>) -> Self {
-        Tracer { sink: Some(sink) }
+        Tracer {
+            sink: Some(sink),
+            host: Tracer::UNTAGGED,
+        }
+    }
+
+    /// The same tracer tagged as emitting from `host`. Machines call
+    /// this in `set_tracer` with their configured host id.
+    pub fn with_host(mut self, host: HostId) -> Self {
+        self.host = host;
+        self
+    }
+
+    /// The host tag records are attributed to.
+    pub fn host(&self) -> HostId {
+        self.host
     }
 
     /// `true` if events reach a sink.
@@ -349,7 +460,17 @@ impl Tracer {
     #[inline]
     pub fn emit(&self, at_nanos: u64, make: impl FnOnce() -> ProtocolEvent) {
         if let Some(sink) = &self.sink {
-            sink.record(at_nanos, &make());
+            sink.record(at_nanos, self.host, &make());
+        }
+    }
+
+    /// Like [`emit`](Tracer::emit) but attributes the record to `host`
+    /// instead of the tracer's tag — for shared tracers (the sim world)
+    /// emitting on behalf of many hosts.
+    #[inline]
+    pub fn emit_from(&self, at_nanos: u64, host: HostId, make: impl FnOnce() -> ProtocolEvent) {
+        if let Some(sink) = &self.sink {
+            sink.record(at_nanos, host, &make());
         }
     }
 }
@@ -375,7 +496,8 @@ mod tests {
         assert_eq!(
             ProtocolEvent::RetransServed {
                 seq: Seq(1),
-                multicast: false
+                multicast: false,
+                to: HostId(4),
             }
             .key(),
             "retrans_served_unicast"
@@ -383,7 +505,8 @@ mod tests {
         assert_eq!(
             ProtocolEvent::RetransServed {
                 seq: Seq(1),
-                multicast: true
+                multicast: true,
+                to: HostId(4),
             }
             .key(),
             "retrans_served_multicast"
@@ -412,20 +535,43 @@ mod tests {
             seq: Seq(7),
             latency_nanos: 42,
         }
-        .to_json(1000);
+        .to_json(1000, HostId(3));
         assert_eq!(
             line,
-            "{\"at_ns\":1000,\"event\":\"recovered\",\"seq\":7,\"latency_ns\":42}"
+            "{\"at_ns\":1000,\"host\":3,\"event\":\"recovered\",\"seq\":7,\"latency_ns\":42}"
         );
         let line = ProtocolEvent::NetPacket {
             kind: "data",
             multicast: true,
             copies: 9,
         }
-        .to_json(5);
+        .to_json(5, HostId(1));
         assert_eq!(
             line,
-            "{\"at_ns\":5,\"event\":\"net_multicast\",\"kind\":\"data\",\"copies\":9}"
+            "{\"at_ns\":5,\"host\":1,\"event\":\"net_multicast\",\"kind\":\"data\",\"copies\":9}"
         );
+        let line = ProtocolEvent::RepairReceived {
+            seq: Seq(4),
+            from: HostId(200),
+            kind: "retrans",
+        }
+        .to_json(7, HostId(400));
+        assert_eq!(
+            line,
+            "{\"at_ns\":7,\"host\":400,\"event\":\"repair_received\",\"seq\":4,\"from\":200,\"kind\":\"retrans\"}"
+        );
+    }
+
+    #[test]
+    fn tracer_tags_records_with_its_host() {
+        let sink = Arc::new(crate::CollectorSink::default());
+        let t = Tracer::to(sink.clone()).with_host(HostId(42));
+        t.emit(10, || ProtocolEvent::FreshnessLost);
+        t.emit_from(11, HostId(7), || ProtocolEvent::FreshnessRestored);
+        let recs = sink.records();
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0].host, HostId(42));
+        assert_eq!(recs[1].host, HostId(7));
+        assert_eq!(Tracer::to(sink).host(), Tracer::UNTAGGED);
     }
 }

@@ -88,6 +88,7 @@ impl HistogramSnapshot {
 #[derive(Debug, Default)]
 pub struct MetricsRegistry {
     counters: Mutex<BTreeMap<&'static str, u64>>,
+    gauges: Mutex<BTreeMap<String, u64>>,
     recovery_latency: Mutex<Histogram>,
     t_wait: Mutex<Histogram>,
 }
@@ -101,6 +102,23 @@ impl MetricsRegistry {
     /// All nonzero counters, sorted by key.
     pub fn counters(&self) -> BTreeMap<&'static str, u64> {
         self.counters.lock().unwrap().clone()
+    }
+
+    /// Sets a point-in-time gauge (e.g. the sim's event-queue depth).
+    /// Gauges are set by instruments directly, not via the event
+    /// stream.
+    pub fn set_gauge(&self, key: &str, value: u64) {
+        self.gauges.lock().unwrap().insert(key.to_owned(), value);
+    }
+
+    /// The gauge stored under `key`, or zero.
+    pub fn gauge(&self, key: &str) -> u64 {
+        *self.gauges.lock().unwrap().get(key).unwrap_or(&0)
+    }
+
+    /// All gauges, sorted by key.
+    pub fn gauges(&self) -> BTreeMap<String, u64> {
+        self.gauges.lock().unwrap().clone()
     }
 
     /// The recovery-latency distribution accumulated so far.
@@ -119,6 +137,9 @@ impl MetricsRegistry {
         let mut s = String::new();
         for (key, n) in self.counters() {
             let _ = writeln!(s, "  {key:<28} {n:>10}");
+        }
+        for (key, n) in self.gauges() {
+            let _ = writeln!(s, "  {key:<28} {n:>10} (gauge)");
         }
         for (name, h) in [
             ("recovery_latency", self.recovery_latency()),
@@ -140,7 +161,7 @@ impl MetricsRegistry {
 }
 
 impl TraceSink for MetricsRegistry {
-    fn record(&self, _at_nanos: u64, event: &ProtocolEvent) {
+    fn record(&self, _at_nanos: u64, _host: lbrm_wire::HostId, event: &ProtocolEvent) {
         *self
             .counters
             .lock()
@@ -170,13 +191,18 @@ mod tests {
         for i in 1..=4u64 {
             reg.record(
                 i,
+                lbrm_wire::HostId(1),
                 &ProtocolEvent::Recovered {
                     seq: Seq(i as u32),
                     latency_nanos: i * 100,
                 },
             );
         }
-        reg.record(9, &ProtocolEvent::TWaitUpdated { t_wait_nanos: 5000 });
+        reg.record(
+            9,
+            lbrm_wire::HostId(1),
+            &ProtocolEvent::TWaitUpdated { t_wait_nanos: 5000 },
+        );
         assert_eq!(reg.counter("recovered"), 4);
         assert_eq!(reg.counter("t_wait_updated"), 1);
         let h = reg.recovery_latency();
@@ -187,6 +213,18 @@ mod tests {
         let table = reg.render();
         assert!(table.contains("recovered"));
         assert!(table.contains("recovery_latency"));
+    }
+
+    #[test]
+    fn gauges_store_point_in_time_values() {
+        let reg = MetricsRegistry::default();
+        assert_eq!(reg.gauge("sim.queue_depth_max"), 0);
+        reg.set_gauge("sim.queue_depth_max", 17);
+        reg.set_gauge("sim.queue_depth_max", 23);
+        assert_eq!(reg.gauge("sim.queue_depth_max"), 23);
+        assert_eq!(reg.gauges().len(), 1);
+        assert!(reg.render().contains("sim.queue_depth_max"));
+        assert!(reg.render().contains("(gauge)"));
     }
 
     #[test]

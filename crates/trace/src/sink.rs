@@ -4,6 +4,8 @@ use std::collections::{BTreeMap, VecDeque};
 use std::io::Write;
 use std::sync::Mutex;
 
+use lbrm_wire::HostId;
+
 use crate::{ProtocolEvent, TraceSink};
 
 /// Accepts every event and does nothing. Distinct from a *disabled*
@@ -14,7 +16,7 @@ use crate::{ProtocolEvent, TraceSink};
 pub struct NoopSink;
 
 impl TraceSink for NoopSink {
-    fn record(&self, _at_nanos: u64, _event: &ProtocolEvent) {}
+    fn record(&self, _at_nanos: u64, _host: HostId, _event: &ProtocolEvent) {}
 }
 
 /// Counts events per [`ProtocolEvent::key`].
@@ -41,7 +43,7 @@ impl CountingSink {
 }
 
 impl TraceSink for CountingSink {
-    fn record(&self, _at_nanos: u64, event: &ProtocolEvent) {
+    fn record(&self, _at_nanos: u64, _host: HostId, event: &ProtocolEvent) {
         *self.counts.lock().unwrap().entry(event.key()).or_insert(0) += 1;
     }
 }
@@ -80,7 +82,7 @@ impl RingSink {
 }
 
 impl TraceSink for RingSink {
-    fn record(&self, at_nanos: u64, event: &ProtocolEvent) {
+    fn record(&self, at_nanos: u64, _host: HostId, event: &ProtocolEvent) {
         let mut buf = self.buf.lock().unwrap();
         if buf.len() == self.capacity {
             buf.pop_front();
@@ -108,6 +110,14 @@ impl<W: Write + Send> JsonLinesSink<W> {
     pub fn into_inner(self) -> W {
         self.out.into_inner().unwrap()
     }
+
+    /// Flushes the underlying writer. Experiment teardown must call
+    /// this (or [`into_inner`](JsonLinesSink::into_inner)) before
+    /// handing the file to `trace_doctor`, so buffered tail lines are
+    /// never truncated.
+    pub fn flush(&self) {
+        let _ = self.out.lock().unwrap().flush();
+    }
 }
 
 impl JsonLinesSink<Vec<u8>> {
@@ -123,10 +133,10 @@ impl JsonLinesSink<Vec<u8>> {
 }
 
 impl<W: Write + Send> TraceSink for JsonLinesSink<W> {
-    fn record(&self, at_nanos: u64, event: &ProtocolEvent) {
+    fn record(&self, at_nanos: u64, host: HostId, event: &ProtocolEvent) {
         let mut out = self.out.lock().unwrap();
         // A full pipe or closed file is not the protocol's problem.
-        let _ = writeln!(out, "{}", event.to_json(at_nanos));
+        let _ = writeln!(out, "{}", event.to_json(at_nanos, host));
     }
 }
 
@@ -163,7 +173,7 @@ mod tests {
     fn ring_sink_keeps_only_newest() {
         let sink = RingSink::new(2);
         for i in 0..5u64 {
-            sink.record(i, &ev(i as u32));
+            sink.record(i, HostId(1), &ev(i as u32));
         }
         let events = sink.events();
         assert_eq!(events.len(), 2);
@@ -175,12 +185,14 @@ mod tests {
     #[test]
     fn json_lines_sink_writes_one_line_per_event() {
         let sink = JsonLinesSink::buffered();
-        sink.record(1, &ev(10));
-        sink.record(2, &ProtocolEvent::FreshnessRestored);
+        sink.record(1, HostId(7), &ev(10));
+        sink.record(2, HostId(8), &ProtocolEvent::FreshnessRestored);
+        sink.flush();
         let text = sink.contents();
         let lines: Vec<&str> = text.lines().collect();
         assert_eq!(lines.len(), 2);
         assert!(lines[0].contains("\"event\":\"data_sent\""));
+        assert!(lines[0].contains("\"host\":7"));
         assert!(lines[1].contains("\"event\":\"freshness_restored\""));
     }
 }

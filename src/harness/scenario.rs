@@ -26,7 +26,7 @@ use lbrm_core::machine::Notice;
 use lbrm_core::receiver::{Receiver, ReceiverConfig, ReliabilityMode};
 use lbrm_core::sender::{HeartbeatScheme, Sender, SenderConfig};
 use lbrm_core::statack::StatAckConfig;
-use lbrm_core::trace::{MetricsRegistry, Tracer};
+use lbrm_core::trace::{FanoutSink, MetricsRegistry, TraceSink, Tracer};
 use lbrm_sim::loss::LossModel;
 use lbrm_sim::time::SimTime;
 use lbrm_sim::topology::{SiteParams, TopologyBuilder};
@@ -145,6 +145,24 @@ impl DisScenario {
 
     /// Builds the world.
     pub fn build(config: DisScenarioConfig) -> Self {
+        Self::build_with_sink(config, None)
+    }
+
+    /// Builds the world with an extra forensic sink fanned in next to
+    /// every role registry (machines *and* the simulated network), so a
+    /// [`lbrm_core::trace::CollectorSink`] or
+    /// [`lbrm_core::trace::JsonLinesSink`] sees the complete host-tagged
+    /// event stream for causal analysis.
+    pub fn build_with_sink(
+        config: DisScenarioConfig,
+        forensics: Option<Arc<dyn TraceSink>>,
+    ) -> Self {
+        let tap = |reg: Arc<MetricsRegistry>| -> Arc<dyn TraceSink> {
+            match &forensics {
+                Some(f) => Arc::new(FanoutSink::new(vec![reg as Arc<dyn TraceSink>, f.clone()])),
+                None => reg,
+            }
+        };
         let mut b = TopologyBuilder::new();
         let source_site = b.site(config.source_site_params.clone());
         let src_host = b.host(source_site);
@@ -190,14 +208,15 @@ impl DisScenario {
         let secondary_metrics = Arc::new(MetricsRegistry::default());
         let receiver_metrics = Arc::new(MetricsRegistry::default());
         let net_metrics = Arc::new(MetricsRegistry::default());
-        world.set_trace(Tracer::to(net_metrics.clone()));
+        world.set_trace(Tracer::to(tap(net_metrics.clone())));
+        world.set_gauges(net_metrics.clone());
 
         // Primary logger (+ replicas).
         let mut primary_cfg = LoggerConfig::primary(Self::GROUP, Self::SOURCE, primary, src_host);
         primary_cfg.retention = config.retention;
         primary_cfg.replicas = replicas.clone();
         let mut primary_logger = Logger::new(primary_cfg);
-        primary_logger.set_tracer(Tracer::to(primary_metrics.clone()));
+        primary_logger.set_tracer(Tracer::to(tap(primary_metrics.clone())));
         world.add_actor(
             primary,
             MachineActor::new(primary_logger, vec![Self::GROUP]),
@@ -207,7 +226,7 @@ impl DisScenario {
             c.retention = config.retention;
             c.replicas = replicas.iter().copied().filter(|&x| x != r).collect();
             let mut lg = Logger::new(c);
-            lg.set_tracer(Tracer::to(primary_metrics.clone()));
+            lg.set_tracer(Tracer::to(tap(primary_metrics.clone())));
             world.add_actor(r, MachineActor::new(lg, vec![]));
         }
 
@@ -220,7 +239,7 @@ impl DisScenario {
             c.level = 1;
             c.site_remulticast = false;
             let mut lg = Logger::new(c);
-            lg.set_tracer(Tracer::to(secondary_metrics.clone()));
+            lg.set_tracer(Tracer::to(tap(secondary_metrics.clone())));
             world.add_actor(reg, MachineActor::new(lg, vec![Self::GROUP]));
         }
 
@@ -242,7 +261,7 @@ impl DisScenario {
                     1
                 };
                 let mut lg = Logger::new(c);
-                lg.set_tracer(Tracer::to(secondary_metrics.clone()));
+                lg.set_tracer(Tracer::to(tap(secondary_metrics.clone())));
                 world.add_actor(*sec, MachineActor::new(lg, vec![Self::GROUP]));
                 secondaries.push(*sec);
             }
@@ -256,7 +275,7 @@ impl DisScenario {
                 c.mode = config.mode;
                 c.nack_delay = config.receiver_nack_delay;
                 let mut machine = Receiver::new(c);
-                machine.set_tracer(Tracer::to(receiver_metrics.clone()));
+                machine.set_tracer(Tracer::to(tap(receiver_metrics.clone())));
                 world.add_actor(rx, MachineActor::new(machine, vec![Self::GROUP]));
                 site_rxs.push(rx);
             }
@@ -272,7 +291,7 @@ impl DisScenario {
         sender_cfg.replicas = replicas.clone();
         sender_cfg.require_replica_ack = !replicas.is_empty();
         let mut sender = Sender::new(sender_cfg);
-        sender.set_tracer(Tracer::to(sender_metrics.clone()));
+        sender.set_tracer(Tracer::to(tap(sender_metrics.clone())));
         world.add_actor(src_host, MachineActor::new(sender, vec![]));
 
         DisScenario {
