@@ -1,9 +1,10 @@
 //! Persisted performance baseline for the simulator's hot paths.
 //!
-//! Times three representative workloads — the DIS scenario's event-loop
-//! step rate, wire codec encode/decode, and the logger's NACK fan-in
-//! service path — and writes the results to `BENCH_sim.json` at the repo
-//! root so regressions are visible in review.
+//! Times the simulator's representative workloads — the DIS scenario's
+//! event-loop step rate, dense timer churn on the event queue itself,
+//! wire codec encode/decode, and the logger's NACK fan-in service path —
+//! and writes the results to `BENCH_sim.json` at the repo root so
+//! regressions are visible in review.
 //!
 //! ```text
 //! perf_baseline            # measure and rewrite BENCH_sim.json
@@ -29,6 +30,7 @@ use lbrm_bench::experiments::table3_breakdown::{loaded_logger, serve_once};
 use lbrm_bench::microbench::bench_function;
 use lbrm_core::machine::Actions;
 use lbrm_sim::loss::LossModel;
+use lbrm_sim::queue::{EventQueue, QueueBackend};
 use lbrm_sim::time::SimTime;
 use lbrm_sim::topology::SiteParams;
 use lbrm_wire::packet::SeqRange;
@@ -103,6 +105,60 @@ fn bench_dis_scenario() -> Workload {
     }
     Workload {
         name: "dis_scenario_step".into(),
+        events_per_sec: best_rate,
+        wall_secs: total_wall.as_secs_f64(),
+    }
+}
+
+/// Dense timer arm/fire churn on the event queue alone: a steady
+/// population of timers where every pop re-arms with a delta drawn from
+/// the bands the DIS scenario schedules in (same-tick LAN deliveries,
+/// 5–80 ms link latencies, the 250 ms heartbeat, multi-second idle
+/// backoff). Exercises bucket pushes, cascades, and the ready list
+/// without any actor work in the way.
+fn bench_event_queue_churn() -> Workload {
+    const RESIDENT: usize = 4096;
+    const ITERS: u64 = 400_000;
+    fn splitmix(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+    fn delta(r: u64) -> Duration {
+        Duration::from_nanos(match r % 10 {
+            0..=2 => r % 1_000_000,                  // same tick
+            3..=6 => 5_000_000 + r % 75_000_000,     // link latencies
+            7..=8 => 250_000_000,                    // h_min heartbeat
+            _ => 2_000_000_000 + r % 30_000_000_000, // h_max backoff band
+        })
+    }
+    let run = || {
+        let mut q: EventQueue<u64> = EventQueue::new(QueueBackend::Wheel);
+        let mut s = 0x5EED_CAFE_u64;
+        for i in 0..RESIDENT as u64 {
+            q.push(SimTime::from_nanos(splitmix(&mut s) % 1_000_000_000), i);
+        }
+        let start = Instant::now();
+        for _ in 0..ITERS {
+            let (at, item) = q.pop().expect("queue stays resident");
+            q.push(at + delta(splitmix(&mut s)), item);
+        }
+        std::hint::black_box(q.len());
+        start.elapsed()
+    };
+    let mut best_rate = 0.0f64;
+    let mut total_wall = Duration::ZERO;
+    let mut runs = 0u32;
+    while runs < 3 || (total_wall < Duration::from_millis(250) && runs < 100) {
+        let wall = run();
+        total_wall += wall;
+        runs += 1;
+        best_rate = best_rate.max(ITERS as f64 / wall.as_secs_f64());
+    }
+    Workload {
+        name: "event_queue_churn".into(),
         events_per_sec: best_rate,
         wall_secs: total_wall.as_secs_f64(),
     }
@@ -235,6 +291,7 @@ fn from_json(doc: &str) -> Vec<Workload> {
 fn measure_all() -> Vec<Workload> {
     vec![
         bench_dis_scenario(),
+        bench_event_queue_churn(),
         bench_codec_encode(),
         bench_codec_decode(),
         bench_logger_fanin(),
@@ -243,7 +300,7 @@ fn measure_all() -> Vec<Workload> {
 
 fn main() {
     let check = std::env::args().any(|a| a == "--check");
-    eprintln!("perf_baseline: measuring {} workloads...", 4);
+    eprintln!("perf_baseline: measuring {} workloads...", 5);
     let measured = measure_all();
     for w in &measured {
         println!(
@@ -261,8 +318,9 @@ fn main() {
             }
         };
         let committed = from_json(&doc);
-        let gates: [(&str, f64); 4] = [
+        let gates: [(&str, f64); 5] = [
             ("dis_scenario_step", CHECK_FLOOR),
+            ("event_queue_churn", AUX_CHECK_FLOOR),
             ("codec_encode_data_128B", AUX_CHECK_FLOOR),
             ("codec_decode_data_128B", AUX_CHECK_FLOOR),
             ("logger_nack_fanin", AUX_CHECK_FLOOR),

@@ -1,7 +1,8 @@
-//! Runs every experiment, regenerating all tables and figures of the
-//! paper's evaluation in one go (used to fill EXPERIMENTS.md), then
-//! closes with a protocol-trace summary and a recovery-forensics report
-//! from one seeded lossy run (whose full event stream is saved to
+//! Runs every experiment — in parallel across cores, reported in a fixed
+//! order — regenerating all tables and figures of the paper's evaluation
+//! in one go (used to fill EXPERIMENTS.md), then closes with a
+//! protocol-trace summary and a recovery-forensics report from one seeded
+//! lossy run (whose full event stream is saved to
 //! `target/reproduce_trace.jsonl` for `trace_doctor` replay).
 
 use std::sync::Arc;
@@ -84,10 +85,15 @@ fn main() {
         ("§2.1.2 DIS scenario", e::exp_dis_scenario::run),
         ("Trace-layer summary", trace_summary),
     ];
-    for (name, run) in sections {
+    // Sections are independent experiments, so they run on all cores;
+    // `run_sections` hands back (name, body) in input order and nothing
+    // prints until every body is in, so stdout — and the trace capture,
+    // written by the single `trace_summary` section — stays byte-identical
+    // to a serial run.
+    for (name, body) in lbrm_bench::parallel::run_sections(sections) {
         println!("{}", "=".repeat(72));
         println!("== {name}");
         println!("{}", "=".repeat(72));
-        println!("{}", run());
+        println!("{body}");
     }
 }

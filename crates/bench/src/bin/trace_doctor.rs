@@ -18,7 +18,7 @@
 use std::io::Write as _;
 use std::process::ExitCode;
 
-use lbrm_bench::doctor::{analyze_jsonl, demo_run, DoctorRun};
+use lbrm_bench::doctor::{analyze_jsonl_reader, demo_run, DoctorRun};
 use lbrm_core::trace::analyze::AnalyzeConfig;
 
 struct Args {
@@ -69,8 +69,12 @@ fn parse_args() -> Result<Args, String> {
 fn run(args: &Args) -> Result<DoctorRun, String> {
     match &args.file {
         Some(path) => {
-            let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
-            Ok(analyze_jsonl(&text, &AnalyzeConfig::default()))
+            // Stream the capture line-by-line: replaying a million-event
+            // JSONL file should cost the parsed records, not an extra
+            // whole-file string.
+            let file = std::fs::File::open(path).map_err(|e| format!("{path}: {e}"))?;
+            analyze_jsonl_reader(std::io::BufReader::new(file), &AnalyzeConfig::default())
+                .map_err(|e| format!("{path}: {e}"))
         }
         None => Ok(demo_run(args.seed)),
     }

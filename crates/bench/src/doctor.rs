@@ -5,6 +5,7 @@
 //! [`CollectorSink`] fanned into a live [`DisScenario`] (the built-in
 //! seeded lossy run), or a `JsonLinesSink` capture replayed from disk.
 
+use std::io::BufRead;
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -37,7 +38,7 @@ impl DoctorRun {
     }
 }
 
-/// Replays a `JsonLinesSink` capture.
+/// Replays a `JsonLinesSink` capture held in memory.
 pub fn analyze_jsonl(text: &str, cfg: &AnalyzeConfig) -> DoctorRun {
     let (records, skipped) = lbrm_core::trace::analyze::parse_json_lines(text);
     DoctorRun {
@@ -45,6 +46,41 @@ pub fn analyze_jsonl(text: &str, cfg: &AnalyzeConfig) -> DoctorRun {
         records: records.len(),
         skipped,
     }
+}
+
+/// Replays a `JsonLinesSink` capture from a buffered reader, one line at
+/// a time through a reused buffer — `trace_doctor` uses this so a
+/// million-event capture costs the parsed records, never a second copy
+/// of the whole file as text. Line handling (blank lines ignored,
+/// malformed non-blank lines counted as skipped) matches
+/// [`analyze_jsonl`] exactly.
+pub fn analyze_jsonl_reader<R: BufRead>(
+    mut reader: R,
+    cfg: &AnalyzeConfig,
+) -> std::io::Result<DoctorRun> {
+    let mut records = Vec::new();
+    let mut skipped = 0usize;
+    let mut line = String::new();
+    loop {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            break;
+        }
+        let l = line.strip_suffix('\n').unwrap_or(&line);
+        let l = l.strip_suffix('\r').unwrap_or(l);
+        if l.trim().is_empty() {
+            continue;
+        }
+        match lbrm_core::trace::analyze::parse_json_line(l) {
+            Some(r) => records.push(r),
+            None => skipped += 1,
+        }
+    }
+    Ok(DoctorRun {
+        report: analyze(&records, cfg),
+        records: records.len(),
+        skipped,
+    })
 }
 
 /// The doctor's built-in workload: a small DIS scenario with 5%
@@ -113,6 +149,34 @@ pub fn demo_run(seed: u64) -> DoctorRun {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use lbrm_core::trace::JsonLinesSink;
+
+    #[test]
+    fn streaming_replay_matches_whole_string() {
+        let sink = Arc::new(JsonLinesSink::buffered());
+        let cfg = AnalyzeConfig::default();
+        let _ = run_scenario(
+            demo_config(77),
+            10,
+            SimTime::from_secs(20),
+            &cfg,
+            Some(sink.clone() as Arc<dyn TraceSink>),
+        );
+        let mut text = sink.contents();
+        assert!(!text.is_empty(), "capture should have events");
+        // Exercise the skip path too: blank lines plus a truncated final
+        // line from an "unflushed writer".
+        text.push_str("\n\n{\"truncated\": ");
+        let whole = analyze_jsonl(&text, &cfg);
+        // A tiny buffer forces many refills, proving the line reassembly.
+        let streamed =
+            analyze_jsonl_reader(std::io::BufReader::with_capacity(64, text.as_bytes()), &cfg)
+                .expect("in-memory read cannot fail");
+        assert_eq!(streamed.records, whole.records);
+        assert_eq!(streamed.skipped, whole.skipped);
+        assert_eq!(whole.skipped, 1, "exactly the truncated line");
+        assert_eq!(streamed.to_json(), whole.to_json());
+    }
 
     #[test]
     fn demo_run_is_clean_and_attributed() {

@@ -86,9 +86,48 @@ where
         .collect()
 }
 
+/// One named report section: a title and the experiment that renders its
+/// body.
+pub type Section = (&'static str, fn() -> String);
+
+/// Runs named report sections concurrently, returning them in input
+/// order.
+///
+/// This is `reproduce`'s whole-experiment fan-out: each section is an
+/// independent experiment (its own worlds, own seeds), so they can run on
+/// all cores while the rendered report — printed only after every body is
+/// collected — stays byte-identical to a serial run.
+pub fn run_sections(sections: Vec<Section>) -> Vec<(&'static str, String)> {
+    let names: Vec<&'static str> = sections.iter().map(|&(name, _)| name).collect();
+    let bodies = par_map(sections.into_iter().map(|(_, f)| f).collect(), |f| f());
+    names.into_iter().zip(bodies).collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn run_sections_keeps_names_with_bodies_in_order() {
+        fn a() -> String {
+            "alpha".into()
+        }
+        fn b() -> String {
+            "beta".into()
+        }
+        fn c() -> String {
+            "gamma".into()
+        }
+        let got = run_sections(vec![("A", a as fn() -> String), ("B", b), ("C", c)]);
+        assert_eq!(
+            got,
+            vec![
+                ("A", "alpha".to_string()),
+                ("B", "beta".to_string()),
+                ("C", "gamma".to_string())
+            ]
+        );
+    }
 
     #[test]
     fn preserves_input_order() {

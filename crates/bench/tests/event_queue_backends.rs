@@ -1,0 +1,35 @@
+//! Whole-experiment differential across event-queue backends.
+//!
+//! Experiment binaries build their worlds through [`lbrm_sim::World::new`],
+//! which resolves the backend from the `LBRM_SIM_QUEUE` environment
+//! variable — so flipping that variable re-runs an *unmodified*
+//! experiment on the heap reference backend. The rendered output (every
+//! table cell, every counter) must be byte-identical to the wheel's.
+//!
+//! This file holds exactly one test: it mutates process-global
+//! environment, so it must not share a process with concurrently running
+//! tests (each integration-test file is its own binary, and a single
+//! `#[test]` keeps the harness from interleaving env states).
+
+use lbrm_bench::experiments as e;
+use lbrm_bench::parallel::Section;
+
+#[test]
+fn experiments_render_identically_under_wheel_and_heap() {
+    let experiments: Vec<Section> = vec![
+        ("table1_backoff", e::table1_backoff::run),
+        ("exp_burst_detection", e::exp_burst_detection::run),
+        ("exp_statistical_ack", e::exp_statistical_ack::run),
+    ];
+    for (name, run) in experiments {
+        std::env::set_var("LBRM_SIM_QUEUE", "heap");
+        let heap = run();
+        std::env::set_var("LBRM_SIM_QUEUE", "wheel");
+        let wheel = run();
+        std::env::remove_var("LBRM_SIM_QUEUE");
+        let default = run();
+        assert!(!heap.is_empty(), "{name}: experiment must render output");
+        assert_eq!(wheel, heap, "{name}: wheel must replay the heap exactly");
+        assert_eq!(default, wheel, "{name}: unset env means wheel");
+    }
+}

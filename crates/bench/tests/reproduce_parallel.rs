@@ -1,0 +1,22 @@
+//! `reproduce` fans its experiment sections out with
+//! [`lbrm_bench::parallel::run_sections`]; the rendered report must stay
+//! byte-identical to a serial run — same bodies, same order.
+
+use lbrm_bench::experiments as e;
+use lbrm_bench::parallel::{run_sections, Section};
+
+#[test]
+fn parallel_sections_match_serial_bytes() {
+    let sections: Vec<Section> = vec![
+        ("Table 1", e::table1_backoff::run),
+        ("§2.1.1 burst detection bound", e::exp_burst_detection::run),
+        (
+            "§2.3 statistical acknowledgement",
+            e::exp_statistical_ack::run,
+        ),
+    ];
+    let serial: Vec<(&'static str, String)> =
+        sections.iter().map(|&(name, f)| (name, f())).collect();
+    let parallel = run_sections(sections);
+    assert_eq!(parallel, serial, "fan-out must not change report bytes");
+}

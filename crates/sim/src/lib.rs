@@ -14,6 +14,9 @@
 //! * [`world`] — the event loop: actors (protocol endpoints) exchange
 //!   [`lbrm_wire::Packet`]s over unicast and TTL-scoped multicast, set
 //!   timers, and draw from per-host deterministic RNG streams.
+//! * [`queue`] — the future-event queue behind the loop: a hierarchical
+//!   timer wheel (amortized O(1) push/pop) with a binary-heap reference
+//!   backend that pops in the identical order.
 //! * [`stats`] — per-segment-class, per-packet-kind traffic accounting
 //!   (the quantities the paper's evaluation counts).
 //!
@@ -24,12 +27,14 @@
 #![warn(missing_docs)]
 
 pub mod loss;
+pub mod queue;
 pub mod stats;
 pub mod time;
 pub mod topology;
 pub mod world;
 
 pub use loss::LossModel;
+pub use queue::{EventQueue, QueueBackend};
 pub use stats::{NetStats, SegmentClass};
 pub use time::SimTime;
 pub use topology::{SiteParams, Topology, TopologyBuilder};

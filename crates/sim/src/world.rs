@@ -10,8 +10,7 @@
 //! tests.
 
 use std::any::Any;
-use std::cmp::Reverse;
-use std::collections::{BTreeSet, BinaryHeap, HashMap, HashSet};
+use std::collections::{BTreeSet, HashMap};
 use std::time::Duration;
 
 use rand::rngs::SmallRng;
@@ -22,6 +21,7 @@ use std::sync::Arc;
 use lbrm_trace::{MetricsRegistry, ProtocolEvent, Tracer};
 use lbrm_wire::{GroupId, HostId, Packet, TtlScope};
 
+use crate::queue::{EventQueue, QueueBackend};
 use crate::stats::NetStats;
 use crate::time::SimTime;
 use crate::topology::Topology;
@@ -53,36 +53,12 @@ enum Ev {
     },
 }
 
-struct Scheduled {
-    at: SimTime,
-    tiebreak: u64,
-    ev: Ev,
-}
-
-impl PartialEq for Scheduled {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.tiebreak == other.tiebreak
-    }
-}
-impl Eq for Scheduled {}
-impl PartialOrd for Scheduled {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for Scheduled {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.at, self.tiebreak).cmp(&(other.at, other.tiebreak))
-    }
-}
-
 /// The world an actor sees while handling an event.
 pub struct Ctx<'a> {
     host: HostId,
     now: SimTime,
     topo: &'a mut Topology,
-    queue: &'a mut BinaryHeap<Reverse<Scheduled>>,
-    tiebreak: &'a mut u64,
+    queue: &'a mut EventQueue<Ev>,
     groups: &'a mut HashMap<GroupId, BTreeSet<HostId>>,
     rng: &'a mut SmallRng,
     net_rng: &'a mut SmallRng,
@@ -113,12 +89,7 @@ impl Ctx<'_> {
     }
 
     fn push(&mut self, at: SimTime, ev: Ev) {
-        *self.tiebreak += 1;
-        self.queue.push(Reverse(Scheduled {
-            at,
-            tiebreak: *self.tiebreak,
-            ev,
-        }));
+        self.queue.push(at, ev);
     }
 
     /// Sends `packet` to a single host.
@@ -219,18 +190,22 @@ impl Ctx<'_> {
 }
 
 /// The simulation: topology + actors + event queue.
+///
+/// [`HostId`]s are dense indices (the topology builder hands them out
+/// sequentially), so the per-host tables — actors, RNG streams, crash
+/// flags — are plain vectors: the per-event dispatch does array indexing
+/// instead of hash lookups.
 pub struct World {
     topo: Topology,
-    actors: HashMap<HostId, Box<dyn Actor>>,
+    actors: Vec<Option<Box<dyn Actor>>>,
     order: Vec<HostId>,
     groups: HashMap<GroupId, BTreeSet<HostId>>,
-    queue: BinaryHeap<Reverse<Scheduled>>,
+    queue: EventQueue<Ev>,
     now: SimTime,
-    tiebreak: u64,
-    rngs: HashMap<HostId, SmallRng>,
+    rngs: Vec<Option<SmallRng>>,
     net_rng: SmallRng,
     stats: NetStats,
-    crashed: HashSet<HostId>,
+    crashed: Vec<bool>,
     started: bool,
     seed: u64,
     tracer: Tracer,
@@ -239,26 +214,51 @@ pub struct World {
 }
 
 impl World {
-    /// Creates a world over `topo`, fully determined by `seed`.
+    /// Creates a world over `topo`, fully determined by `seed`, on the
+    /// default event-queue backend (see [`QueueBackend::from_env`]).
     pub fn new(topo: Topology, seed: u64) -> World {
+        World::with_backend(topo, seed, QueueBackend::from_env())
+    }
+
+    /// Creates a world on an explicit event-queue backend — the hook the
+    /// wheel-vs-heap differential tests use.
+    pub fn with_backend(topo: Topology, seed: u64, backend: QueueBackend) -> World {
+        let hosts = topo.host_count();
         World {
             topo,
-            actors: HashMap::new(),
+            actors: (0..hosts).map(|_| None).collect(),
             order: Vec::new(),
             groups: HashMap::new(),
-            queue: BinaryHeap::new(),
+            queue: EventQueue::new(backend),
             now: SimTime::ZERO,
-            tiebreak: 0,
-            rngs: HashMap::new(),
+            rngs: (0..hosts).map(|_| None).collect(),
             net_rng: SmallRng::seed_from_u64(seed ^ 0x6e65_7477_6f72_6b00),
             stats: NetStats::default(),
-            crashed: HashSet::new(),
+            crashed: vec![false; hosts],
             started: false,
             seed,
             tracer: Tracer::disabled(),
             queue_depth_max: 0,
             gauge_registry: None,
         }
+    }
+
+    /// The event-queue backend this world runs on.
+    pub fn queue_backend(&self) -> QueueBackend {
+        self.queue.backend()
+    }
+
+    /// Grows the per-host tables to cover `host` (ids normally come from
+    /// the topology builder and are pre-sized; this keeps out-of-band ids
+    /// safe).
+    fn ensure_host(&mut self, host: HostId) -> usize {
+        let idx = host.raw() as usize;
+        if idx >= self.actors.len() {
+            self.actors.resize_with(idx + 1, || None);
+            self.rngs.resize_with(idx + 1, || None);
+            self.crashed.resize(idx + 1, false);
+        }
+        idx
     }
 
     /// Attaches a protocol-event tracer: every simulated transmission is
@@ -315,17 +315,18 @@ impl World {
 
     /// Installs an actor on `host`. Replaces any existing actor.
     pub fn add_actor(&mut self, host: HostId, actor: impl Actor) {
-        if self.actors.insert(host, Box::new(actor)).is_none() {
+        let idx = self.ensure_host(host);
+        if self.actors[idx].replace(Box::new(actor)).is_none() {
             self.order.push(host);
         }
-        self.rngs.entry(host).or_insert_with(|| {
+        if self.rngs[idx].is_none() {
             // Distinct, deterministic stream per host.
-            SmallRng::seed_from_u64(
+            self.rngs[idx] = Some(SmallRng::seed_from_u64(
                 self.seed
                     .wrapping_mul(0x9E37_79B9_7F4A_7C15)
                     .wrapping_add(host.raw()),
-            )
-        });
+            ));
+        }
     }
 
     /// Joins `host` to `group` from outside the actor (setup convenience).
@@ -336,12 +337,7 @@ impl World {
     /// Arms a timer for `host` from outside the actor — used by harness
     /// code that schedules application work after the world has started.
     pub fn schedule_timer(&mut self, host: HostId, at: SimTime, token: u64) {
-        self.tiebreak += 1;
-        self.queue.push(Reverse(Scheduled {
-            at: at.max(self.now),
-            tiebreak: self.tiebreak,
-            ev: Ev::Timer { host, token },
-        }));
+        self.queue.push(at.max(self.now), Ev::Timer { host, token });
     }
 
     /// Current virtual time.
@@ -362,18 +358,23 @@ impl World {
     /// Marks a host as crashed: it receives no packets or timers and its
     /// pending timers are suppressed while down.
     pub fn crash(&mut self, host: HostId) {
-        self.crashed.insert(host);
+        let idx = self.ensure_host(host);
+        self.crashed[idx] = true;
     }
 
     /// Revives a crashed host. Packets and timers scheduled while it was
     /// down are gone; new ones are delivered normally.
     pub fn revive(&mut self, host: HostId) {
-        self.crashed.remove(&host);
+        let idx = self.ensure_host(host);
+        self.crashed[idx] = false;
     }
 
     /// `true` if the host is currently crashed.
     pub fn is_crashed(&self, host: HostId) -> bool {
-        self.crashed.contains(&host)
+        self.crashed
+            .get(host.raw() as usize)
+            .copied()
+            .unwrap_or(false)
     }
 
     /// Downcasts the actor on `host`.
@@ -382,7 +383,12 @@ impl World {
     ///
     /// If the host has no actor of type `T`.
     pub fn actor<T: Actor>(&self, host: HostId) -> &T {
-        let a: &dyn Any = self.actors.get(&host).expect("no actor on host").as_ref();
+        let a: &dyn Any = self
+            .actors
+            .get(host.raw() as usize)
+            .and_then(|slot| slot.as_ref())
+            .expect("no actor on host")
+            .as_ref();
         a.downcast_ref::<T>().expect("actor type mismatch")
     }
 
@@ -394,26 +400,29 @@ impl World {
     pub fn actor_mut<T: Actor>(&mut self, host: HostId) -> &mut T {
         let a: &mut dyn Any = self
             .actors
-            .get_mut(&host)
+            .get_mut(host.raw() as usize)
+            .and_then(|slot| slot.as_mut())
             .expect("no actor on host")
             .as_mut();
         a.downcast_mut::<T>().expect("actor type mismatch")
     }
 
     fn dispatch(&mut self, host: HostId, f: impl FnOnce(&mut dyn Actor, &mut Ctx<'_>)) {
-        if self.crashed.contains(&host) {
+        let idx = host.raw() as usize;
+        if idx >= self.actors.len() || self.crashed[idx] {
             return;
         }
-        let Some(mut actor) = self.actors.remove(&host) else {
+        // Take the actor out of its slot (a pointer move, not a hash
+        // re-insert) so it can borrow the rest of the world mutably.
+        let Some(mut actor) = self.actors[idx].take() else {
             return;
         };
-        let rng = self.rngs.get_mut(&host).expect("host rng");
+        let rng = self.rngs[idx].as_mut().expect("host rng");
         let mut ctx = Ctx {
             host,
             now: self.now,
             topo: &mut self.topo,
             queue: &mut self.queue,
-            tiebreak: &mut self.tiebreak,
             groups: &mut self.groups,
             rng,
             net_rng: &mut self.net_rng,
@@ -421,7 +430,7 @@ impl World {
             tracer: &self.tracer,
         };
         f(actor.as_mut(), &mut ctx);
-        self.actors.insert(host, actor);
+        self.actors[idx] = Some(actor);
     }
 
     fn start_if_needed(&mut self) {
@@ -435,18 +444,24 @@ impl World {
         }
     }
 
-    /// Runs one event; returns `false` when the queue is empty.
-    pub fn step(&mut self) -> bool {
-        self.start_if_needed();
+    /// Records the current queue depth into the high-water gauge.
+    #[inline]
+    fn note_queue_depth(&mut self) {
         if self.queue.len() > self.queue_depth_max {
             self.queue_depth_max = self.queue.len();
         }
-        let Some(Reverse(sch)) = self.queue.pop() else {
+    }
+
+    /// Runs one event; returns `false` when the queue is empty.
+    pub fn step(&mut self) -> bool {
+        self.start_if_needed();
+        self.note_queue_depth();
+        let Some((at, ev)) = self.queue.pop() else {
             return false;
         };
-        debug_assert!(sch.at >= self.now, "time must be monotonic");
-        self.now = sch.at.max(self.now);
-        match sch.ev {
+        debug_assert!(at >= self.now, "time must be monotonic");
+        self.now = at.max(self.now);
+        match ev {
             Ev::Packet { from, to, packet } => {
                 self.dispatch(to, |a, ctx| a.on_packet(ctx, from, packet));
             }
@@ -454,6 +469,10 @@ impl World {
                 self.dispatch(host, |a, ctx| a.on_timer(ctx, token));
             }
         }
+        // Sample again after the handler ran: a fan-out (multicast burst,
+        // retransmission storm) peaks *between* pops, and the two
+        // backends must report the same high-water mark.
+        self.note_queue_depth();
         true
     }
 
@@ -462,8 +481,8 @@ impl World {
     pub fn run_until(&mut self, until: SimTime) {
         self.start_if_needed();
         loop {
-            match self.queue.peek() {
-                Some(Reverse(s)) if s.at <= until => {
+            match self.queue.next_at() {
+                Some(at) if at <= until => {
                     self.step();
                 }
                 _ => break,
@@ -482,8 +501,8 @@ impl World {
     /// Runs until the event queue is empty or `limit` is hit.
     pub fn run_until_idle(&mut self, limit: SimTime) {
         self.start_if_needed();
-        while let Some(Reverse(s)) = self.queue.peek() {
-            if s.at > limit {
+        while let Some(at) = self.queue.next_at() {
+            if at > limit {
                 break;
             }
             self.step();
@@ -660,6 +679,32 @@ mod tests {
         assert_eq!(a, b);
         // Distinct salts give distinct streams.
         assert_ne!(a, w.derived_rng(9).random::<u64>());
+    }
+
+    #[test]
+    fn wheel_and_heap_backends_replay_identically() {
+        use crate::loss::LossModel;
+        let run = |backend: QueueBackend| {
+            let mut b = TopologyBuilder::new();
+            let s0 = b.site(SiteParams::default());
+            let s1 = b.site(SiteParams {
+                tail_in_loss: LossModel::rate(0.3),
+                ..SiteParams::default()
+            });
+            let tx = b.host(s0);
+            let rx = b.host(s1);
+            let mut w = World::with_backend(b.build(), 1234, backend);
+            assert_eq!(w.queue_backend(), backend);
+            w.add_actor(tx, Beacon { sent: 0 });
+            w.add_actor(rx, Sink::default());
+            w.run_until(SimTime::from_secs(10));
+            (
+                w.actor::<Sink>(rx).got.clone(),
+                w.stats().clone(),
+                w.queue_depth_max(),
+            )
+        };
+        assert_eq!(run(QueueBackend::Wheel), run(QueueBackend::Heap));
     }
 
     #[test]

@@ -28,6 +28,7 @@ use lbrm_core::sender::{HeartbeatScheme, Sender, SenderConfig};
 use lbrm_core::statack::StatAckConfig;
 use lbrm_core::trace::{FanoutSink, MetricsRegistry, TraceSink, Tracer};
 use lbrm_sim::loss::LossModel;
+use lbrm_sim::queue::QueueBackend;
 use lbrm_sim::time::SimTime;
 use lbrm_sim::topology::{SiteParams, TopologyBuilder};
 use lbrm_sim::world::World;
@@ -76,6 +77,10 @@ pub struct DisScenarioConfig {
     pub retention: Retention,
     /// World seed.
     pub seed: u64,
+    /// Event-queue backend for the world: `None` picks the default
+    /// (timer wheel, overridable via `LBRM_SIM_QUEUE`); `Some` pins one
+    /// — the wheel-vs-heap differential tests use this.
+    pub queue_backend: Option<QueueBackend>,
 }
 
 impl Default for DisScenarioConfig {
@@ -99,6 +104,7 @@ impl Default for DisScenarioConfig {
             wan_loss: LossModel::None,
             retention: Retention::All,
             seed: 1995,
+            queue_backend: None,
         }
     }
 }
@@ -199,7 +205,10 @@ impl DisScenario {
             site_hosts.push((sec, rxs));
         }
         b.wan_loss(config.wan_loss.clone());
-        let mut world = World::new(b.build(), config.seed);
+        let mut world = match config.queue_backend {
+            Some(backend) => World::with_backend(b.build(), config.seed, backend),
+            None => World::new(b.build(), config.seed),
+        };
 
         // One metrics registry per protocol role, plus one for the
         // network itself.
