@@ -2,8 +2,9 @@
 //!
 //! Times the simulator's representative workloads — the DIS scenario's
 //! event-loop step rate, dense timer churn on the event queue itself,
-//! wire codec encode/decode, and the logger's NACK fan-in service path —
-//! and writes the results to `BENCH_sim.json` at the repo root so
+//! wire codec encode/decode, the logger's NACK fan-in service path, and
+//! the streaming forensics correlator's event-consumption rate — and
+//! writes the results to `BENCH_sim.json` at the repo root so
 //! regressions are visible in review.
 //!
 //! ```text
@@ -233,6 +234,62 @@ fn bench_logger_fanin() -> Workload {
     }
 }
 
+/// Streaming forensics correlation rate: a seeded lossy DIS capture is
+/// collected once, then pushed through a fresh [`OnlineAnalyzer`] per
+/// run — gap/NACK/repair correlation, histogram folding, reservoir
+/// maintenance and resident-byte metering included. This is the
+/// events/s a live `reproduce` self-audit or a `trace_doctor --stream`
+/// replay sustains per core.
+///
+/// [`OnlineAnalyzer`]: lbrm_core::trace::OnlineAnalyzer
+fn bench_forensics_stream() -> Workload {
+    use lbrm_core::trace::{CollectorSink, OnlineAnalyzer, OnlineConfig, TraceSink};
+
+    let collector = Arc::new(CollectorSink::default());
+    let mut sc = DisScenario::build_with_sink(
+        lbrm_bench::doctor::demo_config(7),
+        Some(collector.clone() as Arc<dyn TraceSink>),
+    );
+    for i in 0..100u64 {
+        sc.send_at(
+            SimTime::from_millis(1_000 + 250 * i),
+            Bytes::from_static(b"forensics-bench-update"),
+        );
+    }
+    sc.world.run_until(SimTime::from_secs(45));
+    let records = collector.take();
+    assert!(records.len() > 1_000, "capture should have real volume");
+
+    // One timed run is many full correlation passes, so each sample is
+    // milliseconds of work rather than a timer-resolution coin flip.
+    const PASSES: usize = 25;
+    let run = || {
+        let start = Instant::now();
+        for _ in 0..PASSES {
+            let mut analyzer = OnlineAnalyzer::new(OnlineConfig::default());
+            for r in &records {
+                analyzer.push_record(r);
+            }
+            std::hint::black_box(analyzer.finish().recovered);
+        }
+        start.elapsed()
+    };
+    let mut best_rate = 0.0f64;
+    let mut total_wall = Duration::ZERO;
+    let mut runs = 0u32;
+    while runs < 3 || (total_wall < Duration::from_millis(250) && runs < 100) {
+        let wall = run();
+        total_wall += wall;
+        runs += 1;
+        best_rate = best_rate.max((PASSES * records.len()) as f64 / wall.as_secs_f64());
+    }
+    Workload {
+        name: "forensics_stream".into(),
+        events_per_sec: best_rate,
+        wall_secs: total_wall.as_secs_f64(),
+    }
+}
+
 /// Renders the workloads as the committed JSON document.
 fn to_json(workloads: &[Workload]) -> String {
     let mut s = String::from("{\n  \"workloads\": [\n");
@@ -288,6 +345,16 @@ fn from_json(doc: &str) -> Vec<Workload> {
     out
 }
 
+/// Every gated workload and its `--check` floor, in measurement order.
+const GATES: [(&str, f64); 6] = [
+    ("dis_scenario_step", CHECK_FLOOR),
+    ("event_queue_churn", AUX_CHECK_FLOOR),
+    ("codec_encode_data_128B", AUX_CHECK_FLOOR),
+    ("codec_decode_data_128B", AUX_CHECK_FLOOR),
+    ("logger_nack_fanin", AUX_CHECK_FLOOR),
+    ("forensics_stream", AUX_CHECK_FLOOR),
+];
+
 fn measure_all() -> Vec<Workload> {
     vec![
         bench_dis_scenario(),
@@ -295,12 +362,13 @@ fn measure_all() -> Vec<Workload> {
         bench_codec_encode(),
         bench_codec_decode(),
         bench_logger_fanin(),
+        bench_forensics_stream(),
     ]
 }
 
 fn main() {
     let check = std::env::args().any(|a| a == "--check");
-    eprintln!("perf_baseline: measuring {} workloads...", 5);
+    eprintln!("perf_baseline: measuring {} workloads...", GATES.len());
     let measured = measure_all();
     for w in &measured {
         println!(
@@ -318,16 +386,9 @@ fn main() {
             }
         };
         let committed = from_json(&doc);
-        let gates: [(&str, f64); 5] = [
-            ("dis_scenario_step", CHECK_FLOOR),
-            ("event_queue_churn", AUX_CHECK_FLOOR),
-            ("codec_encode_data_128B", AUX_CHECK_FLOOR),
-            ("codec_decode_data_128B", AUX_CHECK_FLOOR),
-            ("logger_nack_fanin", AUX_CHECK_FLOOR),
-        ];
         println!();
         let mut failed = false;
-        for (name, floor) in gates {
+        for (name, floor) in GATES {
             let Some(base) = committed.iter().find(|w| w.name == name) else {
                 eprintln!("perf_baseline --check: no {name} entry in baseline");
                 failed = true;

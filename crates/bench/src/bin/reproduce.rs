@@ -5,29 +5,31 @@
 //! lossy run (whose full event stream is saved to
 //! `target/reproduce_trace.jsonl` for `trace_doctor` replay).
 
+use std::io::BufWriter;
 use std::sync::Arc;
 
 use lbrm_bench::doctor;
 use lbrm_bench::experiments as e;
-use lbrm_core::trace::analyze::AnalyzeConfig;
-use lbrm_core::trace::{JsonLinesSink, TraceSink};
+use lbrm_core::trace::{JsonLinesSink, OnlineConfig, TraceSink};
 use lbrm_sim::time::SimTime;
 
 type Experiment = fn() -> String;
 
 /// One seeded lossy run, reported entirely through the trace layer:
 /// per-role [`lbrm_core::trace::MetricsRegistry`] aggregates, the sim's
-/// queue gauges, and the forensic analyzer's recovery report.
+/// queue gauges, and the forensic analyzer's recovery report — produced
+/// by the streaming correlator riding the live run as a sink, the same
+/// bounded-memory path `trace_doctor --stream` uses.
 fn trace_summary() -> String {
     let path = "target/reproduce_trace.jsonl";
-    let jsonl: Option<Arc<JsonLinesSink<std::fs::File>>> = std::fs::File::create(path)
+    let jsonl: Option<Arc<JsonLinesSink<BufWriter<std::fs::File>>>> = std::fs::File::create(path)
         .ok()
-        .map(|f| Arc::new(JsonLinesSink::new(f)));
-    let (run, sc) = doctor::run_scenario(
+        .map(|f| Arc::new(JsonLinesSink::new(BufWriter::new(f))));
+    let (run, sc) = doctor::run_scenario_online(
         doctor::demo_config(77),
         20,
         SimTime::from_secs(30),
-        &AnalyzeConfig::default(),
+        OnlineConfig::default(),
         jsonl.clone().map(|s| s as Arc<dyn TraceSink>),
     );
     let mut out = String::from(

@@ -9,17 +9,34 @@
 //!
 //! ```text
 //! trace_doctor [TRACE.jsonl] [--seed N] [--json] [--write-json PATH]
-//!              [--assert-clean]
+//!              [--assert-clean] [--stream | --batch]
+//!              [--max-live-timelines N] [--horizon-ms N] [--reservoir N]
+//!              [--mem-budget BYTES[K|M|G]]
+//!              [--sites N] [--receivers N] [--packets N]
+//!              [--write-trace PATH]
 //! ```
 //!
-//! `--assert-clean` exits nonzero when any anomaly is detected (CI
-//! gate); `--write-json` saves the machine-readable report.
+//! The default engine is the streaming correlator (`--stream`): one
+//! record at a time in bounded memory, with `--max-live-timelines` /
+//! `--horizon-ms` / `--reservoir` controlling eviction and sampling.
+//! `--batch` selects the materializing reference analyzer instead.
+//! `--mem-budget` exits nonzero when the analyzer's peak resident state
+//! exceeds the budget (the CI memory gate); `--assert-clean` exits
+//! nonzero on any anomaly. `--sites`/`--receivers`/`--packets` scale
+//! the built-in scenario (CI uses this to generate a ≥1M-event capture
+//! via `--write-trace`).
 
 use std::io::Write as _;
 use std::process::ExitCode;
+use std::sync::Arc;
 
-use lbrm_bench::doctor::{analyze_jsonl_reader, demo_run, DoctorRun};
+use lbrm_bench::doctor::{
+    analyze_jsonl_reader, analyze_jsonl_reader_online, demo_config, demo_run, run_scenario,
+    run_scenario_online, DoctorRun,
+};
 use lbrm_core::trace::analyze::AnalyzeConfig;
+use lbrm_core::trace::{JsonLinesSink, OnlineConfig, TraceSink};
+use lbrm_sim::time::SimTime;
 
 struct Args {
     file: Option<String>,
@@ -27,6 +44,31 @@ struct Args {
     json: bool,
     write_json: Option<String>,
     assert_clean: bool,
+    stream: bool,
+    max_live_timelines: Option<usize>,
+    horizon_ms: Option<u64>,
+    reservoir: Option<usize>,
+    mem_budget: Option<u64>,
+    sites: Option<u32>,
+    receivers: Option<u32>,
+    packets: u64,
+    write_trace: Option<String>,
+}
+
+/// Parses a byte size with an optional K/M/G (KiB/MiB/GiB) suffix.
+fn parse_bytes(s: &str) -> Result<u64, String> {
+    let (num, mult) = match s.trim_end_matches(|c: char| c.is_ascii_alphabetic()) {
+        n if n.len() == s.len() => (n, 1u64),
+        n => match s[n.len()..].to_ascii_uppercase().as_str() {
+            "K" | "KIB" | "KB" => (n, 1024),
+            "M" | "MIB" | "MB" => (n, 1024 * 1024),
+            "G" | "GIB" | "GB" => (n, 1024 * 1024 * 1024),
+            suffix => return Err(format!("unknown size suffix: {suffix}")),
+        },
+    };
+    num.parse::<u64>()
+        .map(|n| n * mult)
+        .map_err(|e| format!("{s}: {e}"))
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -36,25 +78,86 @@ fn parse_args() -> Result<Args, String> {
         json: false,
         write_json: None,
         assert_clean: false,
+        stream: true,
+        max_live_timelines: None,
+        horizon_ms: None,
+        reservoir: None,
+        mem_budget: None,
+        sites: None,
+        receivers: None,
+        packets: 20,
+        write_trace: None,
     };
     let mut it = std::env::args().skip(1);
+    let next_val = |name: &str, it: &mut dyn Iterator<Item = String>| {
+        it.next().ok_or(format!("{name} needs a value"))
+    };
     while let Some(a) = it.next() {
         match a.as_str() {
             "--seed" => {
-                args.seed = it
-                    .next()
-                    .ok_or("--seed needs a value")?
+                args.seed = next_val("--seed", &mut it)?
                     .parse()
                     .map_err(|e| format!("--seed: {e}"))?;
             }
             "--json" => args.json = true,
             "--write-json" => {
-                args.write_json = Some(it.next().ok_or("--write-json needs a path")?);
+                args.write_json = Some(next_val("--write-json", &mut it)?);
             }
             "--assert-clean" => args.assert_clean = true,
+            "--stream" => args.stream = true,
+            "--batch" => args.stream = false,
+            "--max-live-timelines" => {
+                args.max_live_timelines = Some(
+                    next_val("--max-live-timelines", &mut it)?
+                        .parse()
+                        .map_err(|e| format!("--max-live-timelines: {e}"))?,
+                );
+            }
+            "--horizon-ms" => {
+                args.horizon_ms = Some(
+                    next_val("--horizon-ms", &mut it)?
+                        .parse()
+                        .map_err(|e| format!("--horizon-ms: {e}"))?,
+                );
+            }
+            "--reservoir" => {
+                args.reservoir = Some(
+                    next_val("--reservoir", &mut it)?
+                        .parse()
+                        .map_err(|e| format!("--reservoir: {e}"))?,
+                );
+            }
+            "--mem-budget" => {
+                args.mem_budget = Some(parse_bytes(&next_val("--mem-budget", &mut it)?)?);
+            }
+            "--sites" => {
+                args.sites = Some(
+                    next_val("--sites", &mut it)?
+                        .parse()
+                        .map_err(|e| format!("--sites: {e}"))?,
+                );
+            }
+            "--receivers" => {
+                args.receivers = Some(
+                    next_val("--receivers", &mut it)?
+                        .parse()
+                        .map_err(|e| format!("--receivers: {e}"))?,
+                );
+            }
+            "--packets" => {
+                args.packets = next_val("--packets", &mut it)?
+                    .parse()
+                    .map_err(|e| format!("--packets: {e}"))?;
+            }
+            "--write-trace" => {
+                args.write_trace = Some(next_val("--write-trace", &mut it)?);
+            }
             "--help" | "-h" => {
                 return Err("usage: trace_doctor [TRACE.jsonl] [--seed N] [--json] \
-                     [--write-json PATH] [--assert-clean]"
+                     [--write-json PATH] [--assert-clean] [--stream | --batch] \
+                     [--max-live-timelines N] [--horizon-ms N] [--reservoir N] \
+                     [--mem-budget BYTES[K|M|G]] [--sites N] [--receivers N] \
+                     [--packets N] [--write-trace PATH]"
                     .into());
             }
             other if !other.starts_with('-') && args.file.is_none() => {
@@ -66,6 +169,20 @@ fn parse_args() -> Result<Args, String> {
     Ok(args)
 }
 
+fn online_config(args: &Args) -> OnlineConfig {
+    let mut cfg = OnlineConfig {
+        analyze: AnalyzeConfig::default(),
+        max_live_timelines: args.max_live_timelines,
+        horizon_nanos: args.horizon_ms.map(|ms| ms * 1_000_000),
+        ..OnlineConfig::default()
+    };
+    if let Some(r) = args.reservoir {
+        cfg.stage_reservoir = r;
+        cfg.timeline_reservoir = r;
+    }
+    cfg
+}
+
 fn run(args: &Args) -> Result<DoctorRun, String> {
     match &args.file {
         Some(path) => {
@@ -73,10 +190,53 @@ fn run(args: &Args) -> Result<DoctorRun, String> {
             // JSONL file should cost the parsed records, not an extra
             // whole-file string.
             let file = std::fs::File::open(path).map_err(|e| format!("{path}: {e}"))?;
-            analyze_jsonl_reader(std::io::BufReader::new(file), &AnalyzeConfig::default())
-                .map_err(|e| format!("{path}: {e}"))
+            let reader = std::io::BufReader::new(file);
+            if args.stream {
+                analyze_jsonl_reader_online(reader, online_config(args))
+            } else {
+                analyze_jsonl_reader(reader, &AnalyzeConfig::default())
+            }
+            .map_err(|e| format!("{path}: {e}"))
         }
-        None => Ok(demo_run(args.seed)),
+        None => {
+            let mut config = demo_config(args.seed);
+            if let Some(s) = args.sites {
+                config.sites = s as usize;
+            }
+            if let Some(r) = args.receivers {
+                config.receivers_per_site = r as usize;
+            }
+            // Sends run at 250 ms spacing from t = 1 s; leave the tail
+            // room the demo run gives its 20 packets over 30 s.
+            let until = SimTime::from_millis((1_000 + 250 * args.packets + 25_000).max(30_000));
+            let capture: Option<Arc<JsonLinesSink<std::io::BufWriter<std::fs::File>>>> =
+                match &args.write_trace {
+                    Some(path) => {
+                        let f = std::fs::File::create(path).map_err(|e| format!("{path}: {e}"))?;
+                        Some(Arc::new(JsonLinesSink::new(std::io::BufWriter::new(f))))
+                    }
+                    None => None,
+                };
+            let extra = capture.clone().map(|s| s as Arc<dyn TraceSink>);
+            let run = if args.stream {
+                run_scenario_online(config, args.packets, until, online_config(args), extra).0
+            } else if extra.is_none() && args.packets == 20 {
+                demo_run(args.seed)
+            } else {
+                run_scenario(
+                    config,
+                    args.packets,
+                    until,
+                    &AnalyzeConfig::default(),
+                    extra,
+                )
+                .0
+            };
+            if let Some(sink) = capture {
+                sink.flush();
+            }
+            Ok(run)
+        }
     }
 }
 
@@ -99,13 +259,14 @@ fn main() -> ExitCode {
     if args.json {
         println!("{}", doc.to_json());
     } else {
+        let engine = if args.stream { "streaming" } else { "batch" };
         match &args.file {
             Some(path) => println!(
-                "trace_doctor: {path} ({} records, {} malformed lines skipped)\n",
+                "trace_doctor: {path} ({} records, {} malformed lines skipped, {engine})\n",
                 doc.records, doc.skipped
             ),
             None => println!(
-                "trace_doctor: built-in lossy DIS scenario, seed {} ({} records)\n",
+                "trace_doctor: built-in lossy DIS scenario, seed {} ({} records, {engine})\n",
                 args.seed, doc.records
             ),
         }
@@ -120,12 +281,33 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     }
+    let mut failed = false;
+    if let Some(budget) = args.mem_budget {
+        let peak = doc.report.stream.peak_resident_bytes;
+        if peak > budget {
+            eprintln!(
+                "trace_doctor: --mem-budget failed: peak resident {peak} bytes > budget {budget}"
+            );
+            failed = true;
+        }
+    }
+    if let Some(cap) = args.max_live_timelines {
+        let peak = doc.report.stream.peak_live_timelines;
+        if peak > cap as u64 {
+            eprintln!("trace_doctor: live-timeline budget failed: peak {peak} > cap {cap}");
+            failed = true;
+        }
+    }
     if args.assert_clean && !doc.report.is_clean() {
         eprintln!(
             "trace_doctor: --assert-clean failed: {} anomalies",
             doc.report.anomalies.len()
         );
-        return ExitCode::FAILURE;
+        failed = true;
     }
-    ExitCode::SUCCESS
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
 }

@@ -1,9 +1,12 @@
 //! Recovery forensics: the shared driver behind the `trace_doctor`
 //! binary and the experiments' self-audit.
 //!
-//! Every path ends in [`lbrm_core::trace::analyze::analyze`]: either a
-//! [`CollectorSink`] fanned into a live [`DisScenario`] (the built-in
-//! seeded lossy run), or a `JsonLinesSink` capture replayed from disk.
+//! Two engines produce the same [`RecoveryReport`]: the streaming
+//! [`OnlineAnalyzer`] (the default — one record at a time in bounded
+//! memory, whether replaying a `JsonLinesSink` capture or plugged
+//! straight into a live [`DisScenario`] as a sink) and the batch
+//! [`lbrm_core::trace::analyze::analyze`] reference it is
+//! differentially tested against.
 
 use std::io::BufRead;
 use std::sync::Arc;
@@ -11,7 +14,9 @@ use std::time::Duration;
 
 use lbrm::harness::{DisScenario, DisScenarioConfig};
 use lbrm_core::trace::analyze::{analyze, AnalyzeConfig, RecoveryReport};
-use lbrm_core::trace::{CollectorSink, FanoutSink, TraceSink};
+use lbrm_core::trace::{
+    CollectorSink, FanoutSink, OnlineAnalyzer, OnlineAnalyzerSink, OnlineConfig, TraceSink,
+};
 use lbrm_sim::loss::LossModel;
 use lbrm_sim::time::SimTime;
 use lbrm_sim::topology::SiteParams;
@@ -83,6 +88,42 @@ pub fn analyze_jsonl_reader<R: BufRead>(
     })
 }
 
+/// Replays a `JsonLinesSink` capture from a buffered reader through the
+/// streaming [`OnlineAnalyzer`]: each parsed line is pushed and
+/// dropped, so the whole pass holds one line buffer, the open
+/// timelines, and the analyzer's bounded reservoirs — never the record
+/// vector the batch path materializes. This is `trace_doctor`'s default
+/// engine (`--stream`).
+pub fn analyze_jsonl_reader_online<R: BufRead>(
+    mut reader: R,
+    cfg: OnlineConfig,
+) -> std::io::Result<DoctorRun> {
+    let mut analyzer = OnlineAnalyzer::new(cfg);
+    let mut skipped = 0usize;
+    let mut line = String::new();
+    loop {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            break;
+        }
+        let l = line.strip_suffix('\n').unwrap_or(&line);
+        let l = l.strip_suffix('\r').unwrap_or(l);
+        if l.trim().is_empty() {
+            continue;
+        }
+        match lbrm_core::trace::analyze::parse_json_line(l) {
+            Some(r) => analyzer.push_record(&r),
+            None => skipped += 1,
+        }
+    }
+    let records = analyzer.records() as usize;
+    Ok(DoctorRun {
+        report: analyzer.finish(),
+        records,
+        skipped,
+    })
+}
+
 /// The doctor's built-in workload: a small DIS scenario with 5%
 /// tail-circuit loss — every site sees losses, every recovery path
 /// (secondary serve, parent fetch, late original) gets exercised.
@@ -133,6 +174,39 @@ pub fn run_scenario(
     (run, sc)
 }
 
+/// Like [`run_scenario`], but the scenario feeds an
+/// [`OnlineAnalyzerSink`] directly: the trace is correlated as it is
+/// emitted and no record vector ever exists. This is how `reproduce`
+/// self-audits.
+pub fn run_scenario_online(
+    config: DisScenarioConfig,
+    packets: u64,
+    until: SimTime,
+    cfg: OnlineConfig,
+    extra: Option<Arc<dyn TraceSink>>,
+) -> (DoctorRun, DisScenario) {
+    let online = Arc::new(OnlineAnalyzerSink::new(cfg));
+    let sink: Arc<dyn TraceSink> = match extra {
+        Some(e) => Arc::new(FanoutSink::new(vec![
+            online.clone() as Arc<dyn TraceSink>,
+            e,
+        ])),
+        None => online.clone(),
+    };
+    let mut sc = DisScenario::build_with_sink(config, Some(sink));
+    for i in 0..packets {
+        sc.send_at(SimTime::from_millis(1_000 + 250 * i), format!("update-{i}"));
+    }
+    sc.world.run_until(until);
+    let records = online.records() as usize;
+    let run = DoctorRun {
+        report: online.finish(),
+        records,
+        skipped: 0,
+    };
+    (run, sc)
+}
+
 /// The built-in seeded lossy run (what `trace_doctor` executes when not
 /// given a replay file).
 pub fn demo_run(seed: u64) -> DoctorRun {
@@ -144,6 +218,11 @@ pub fn demo_run(seed: u64) -> DoctorRun {
         None,
     )
     .0
+}
+
+/// The built-in seeded lossy run through the streaming engine.
+pub fn demo_run_online(seed: u64, cfg: OnlineConfig) -> DoctorRun {
+    run_scenario_online(demo_config(seed), 20, SimTime::from_secs(30), cfg, None).0
 }
 
 #[cfg(test)]
@@ -176,6 +255,53 @@ mod tests {
         assert_eq!(streamed.skipped, whole.skipped);
         assert_eq!(whole.skipped, 1, "exactly the truncated line");
         assert_eq!(streamed.to_json(), whole.to_json());
+    }
+
+    #[test]
+    fn online_replay_matches_batch_replay() {
+        let sink = Arc::new(JsonLinesSink::buffered());
+        let cfg = AnalyzeConfig::default();
+        let _ = run_scenario(
+            demo_config(78),
+            10,
+            SimTime::from_secs(20),
+            &cfg,
+            Some(sink.clone() as Arc<dyn TraceSink>),
+        );
+        let mut text = sink.contents();
+        text.push_str("\n\n{\"truncated\": ");
+        let batch = analyze_jsonl(&text, &cfg);
+        let online = analyze_jsonl_reader_online(
+            std::io::BufReader::with_capacity(64, text.as_bytes()),
+            OnlineConfig::default(),
+        )
+        .expect("in-memory read cannot fail");
+        assert_eq!(online.records, batch.records);
+        assert_eq!(online.skipped, batch.skipped);
+        assert_eq!(online.report.recovered, batch.report.recovered);
+        assert_eq!(online.report.anomalies, batch.report.anomalies);
+        assert_eq!(online.report.sources, batch.report.sources);
+        assert!(online.report.stream.streamed);
+        assert!(online.report.stream.peak_resident_bytes < batch.report.stream.peak_resident_bytes);
+    }
+
+    #[test]
+    fn live_online_sink_matches_collected_batch() {
+        let cfg = AnalyzeConfig::default();
+        let (batch, _) = run_scenario(demo_config(79), 10, SimTime::from_secs(20), &cfg, None);
+        let (online, _) = run_scenario_online(
+            demo_config(79),
+            10,
+            SimTime::from_secs(20),
+            OnlineConfig::default(),
+            None,
+        );
+        assert_eq!(online.records, batch.records);
+        assert_eq!(online.report.recovered, batch.report.recovered);
+        assert_eq!(online.report.abandoned, batch.report.abandoned);
+        assert_eq!(online.report.anomalies, batch.report.anomalies);
+        assert_eq!(online.report.telescoping, batch.report.telescoping);
+        assert_eq!(online.report.total.samples(), batch.report.total.samples());
     }
 
     #[test]

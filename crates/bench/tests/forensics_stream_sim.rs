@@ -1,0 +1,194 @@
+//! Differential property tests for the streaming forensics correlator:
+//! on randomized seeded loss patterns, the one-pass bounded-memory
+//! [`OnlineAnalyzer`](lbrm_core::trace::OnlineAnalyzer) must reproduce
+//! the batch `analyze` reference report exactly — same anomalies, same
+//! outcome counts, same repair attribution, same stage-latency samples,
+//! same rendered timelines — and its eviction knobs must actually bound
+//! peak resident state without corrupting what is reported.
+
+use std::time::Duration;
+
+use lbrm::harness::DisScenarioConfig;
+use lbrm::sim::loss::LossModel;
+use lbrm::sim::time::SimTime;
+use lbrm::sim::topology::SiteParams;
+use lbrm_bench::doctor::{run_scenario, run_scenario_online, DoctorRun};
+use lbrm_core::trace::analyze::AnalyzeConfig;
+use lbrm_core::trace::OnlineConfig;
+
+/// The same tiny deterministic generator the analyzer's reservoirs use,
+/// here driving the *scenario* parameters so every CI run replays the
+/// identical "random" loss patterns.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A randomized lossy-WAN scenario: sites/receivers/loss rates drawn
+/// from the generator, losses on both tail directions so NACKs and
+/// repairs get dropped too, not just originals.
+fn random_config(rng: &mut u64) -> DisScenarioConfig {
+    let sites = 3 + (splitmix64(rng) % 4) as usize; // 3..=6
+    let receivers = 2 + (splitmix64(rng) % 3) as usize; // 2..=4
+    let in_loss = 0.02 + (splitmix64(rng) % 9) as f64 * 0.01; // 2%..=10%
+    let out_loss = (splitmix64(rng) % 5) as f64 * 0.01; // 0%..=4%
+    DisScenarioConfig {
+        sites,
+        receivers_per_site: receivers,
+        site_params: SiteParams {
+            tail_in_loss: LossModel::rate(in_loss),
+            tail_out_loss: LossModel::rate(out_loss),
+            ..SiteParams::distant()
+        },
+        receiver_nack_delay: Duration::from_millis(5),
+        seed: splitmix64(rng),
+        ..DisScenarioConfig::default()
+    }
+}
+
+fn assert_reports_identical(online: &DoctorRun, batch: &DoctorRun, label: &str) {
+    assert_eq!(online.records, batch.records, "{label}: record count");
+    let o = &online.report;
+    let b = &batch.report;
+    let describe = |r: &lbrm_core::trace::analyze::RecoveryReport| -> Vec<String> {
+        r.anomalies.iter().map(|a| a.describe()).collect()
+    };
+    assert_eq!(describe(o), describe(b), "{label}: anomaly set");
+    assert_eq!(o.recovered, b.recovered, "{label}: recovered");
+    assert_eq!(o.abandoned, b.abandoned, "{label}: abandoned");
+    assert_eq!(o.unrecovered, b.unrecovered, "{label}: unrecovered");
+    assert_eq!(o.sources, b.sources, "{label}: repair attribution");
+    assert_eq!(o.duplicate_repairs, b.duplicate_repairs, "{label}: dups");
+    assert_eq!(o.max_nack_fan_in, b.max_nack_fan_in, "{label}: fan-in");
+    assert_eq!(o.telescoping, b.telescoping, "{label}: telescoping");
+    assert_eq!(
+        o.truncated_gap_spans, b.truncated_gap_spans,
+        "{label}: truncated spans"
+    );
+    for (name, os, bs) in [
+        ("detection", &o.detection, &b.detection),
+        ("request", &o.request, &b.request),
+        ("serve", &o.serve, &b.serve),
+        ("return", &o.return_leg, &b.return_leg),
+        ("total", &o.total, &b.total),
+    ] {
+        assert_eq!(os.samples(), bs.samples(), "{label}: {name} stage");
+    }
+    assert_eq!(o.timelines.len(), b.timelines.len(), "{label}: timelines");
+    for (ot, bt) in o.timelines.iter().zip(&b.timelines) {
+        assert_eq!(ot.render(), bt.render(), "{label}: timeline");
+    }
+}
+
+/// The core property: with default (unbounded) streaming config, batch
+/// and streaming correlation of the same seeded run are
+/// indistinguishable — across several randomized loss patterns,
+/// including runs cut off with timelines still open.
+#[test]
+fn streaming_matches_batch_on_randomized_loss_patterns() {
+    let mut rng = 0xD15_CAFE_u64;
+    let mut exercised_recovery = false;
+    for case in 0..5 {
+        let config = random_config(&mut rng);
+        let packets = 8 + splitmix64(&mut rng) % 9; // 8..=16
+
+        // Odd cases stop early enough that some recoveries are still in
+        // flight, exercising the end-of-run drain path differentially.
+        let until = if case % 2 == 1 {
+            SimTime::from_millis(1_000 + 250 * packets + 40)
+        } else {
+            SimTime::from_secs(40)
+        };
+        let label = format!(
+            "case {case} (seed {}, {} sites x {}, {} packets)",
+            config.seed, config.sites, config.receivers_per_site, packets
+        );
+        let (batch, _) = run_scenario(
+            config.clone(),
+            packets,
+            until,
+            &AnalyzeConfig::default(),
+            None,
+        );
+        let (online, _) =
+            run_scenario_online(config, packets, until, OnlineConfig::default(), None);
+        assert_reports_identical(&online, &batch, &label);
+        assert!(online.report.stream.streamed);
+        assert!(!batch.report.stream.streamed);
+        exercised_recovery |= online.report.recovered > 0;
+    }
+    assert!(
+        exercised_recovery,
+        "at least one randomized pattern must exercise recovery"
+    );
+}
+
+/// The `max_live_timelines` cap is a hard bound on peak resident state,
+/// whatever the loss pattern does.
+#[test]
+fn live_timeline_cap_bounds_peak_state() {
+    let mut rng = 0xB0B_5EED_u64;
+    let config = random_config(&mut rng);
+    let cfg = OnlineConfig {
+        max_live_timelines: Some(4),
+        ..OnlineConfig::default()
+    };
+    let (online, _) = run_scenario_online(config, 16, SimTime::from_secs(40), cfg, None);
+    let stream = &online.report.stream;
+    assert!(
+        stream.peak_live_timelines <= 4,
+        "peak {} exceeds the cap",
+        stream.peak_live_timelines
+    );
+    assert!(stream.peak_resident_bytes > 0);
+    assert!(online.records > 0);
+    // Whatever was evicted is only ever *dropped* accounting, never
+    // phantom outcomes: closed timelines still telescope.
+    assert_eq!(online.report.telescoping, online.report.recovered);
+}
+
+/// Tiny reservoirs downsample which latencies/timelines are *kept*, but
+/// the exact totals — counts, means, maxima, anomalies, attribution —
+/// must still match the batch reference.
+#[test]
+fn tiny_reservoirs_keep_exact_totals() {
+    let mut rng = 0xCA5_CADE_u64;
+    let config = random_config(&mut rng);
+    let (batch, _) = run_scenario(
+        config.clone(),
+        16,
+        SimTime::from_secs(40),
+        &AnalyzeConfig::default(),
+        None,
+    );
+    let cfg = OnlineConfig {
+        stage_reservoir: 8,
+        timeline_reservoir: 8,
+        ..OnlineConfig::default()
+    };
+    let (online, _) = run_scenario_online(config, 16, SimTime::from_secs(40), cfg, None);
+    let o = &online.report;
+    let b = &batch.report;
+    assert_eq!(o.recovered, b.recovered);
+    assert_eq!(o.anomalies, b.anomalies);
+    assert_eq!(o.sources, b.sources);
+    for (name, os, bs) in [
+        ("detection", &o.detection, &b.detection),
+        ("request", &o.request, &b.request),
+        ("serve", &o.serve, &b.serve),
+        ("return", &o.return_leg, &b.return_leg),
+        ("total", &o.total, &b.total),
+    ] {
+        assert_eq!(os.count(), bs.count(), "{name}: exact count survives");
+        assert_eq!(os.mean(), bs.mean(), "{name}: exact mean survives");
+        assert_eq!(os.max(), bs.max(), "{name}: exact max survives");
+    }
+    assert!(o.timelines.len() <= 8, "timeline reservoir bound");
+    assert!(
+        b.recovered <= 8 || o.total.is_sampled(),
+        "an overfull stage snapshot must say it is sampled"
+    );
+}

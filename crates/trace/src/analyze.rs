@@ -667,14 +667,48 @@ impl Default for AnalyzeConfig {
 }
 
 #[derive(Debug)]
-struct OpenRecovery {
-    detected_at: u64,
-    first_nack_at: Option<u64>,
-    nacks_sent: u32,
-    served_at: Option<u64>,
-    served_by: Option<HostId>,
-    repaired_at: Option<u64>,
-    source: RepairSource,
+pub(crate) struct OpenRecovery {
+    pub(crate) detected_at: u64,
+    pub(crate) first_nack_at: Option<u64>,
+    pub(crate) nacks_sent: u32,
+    pub(crate) served_at: Option<u64>,
+    pub(crate) served_by: Option<HostId>,
+    pub(crate) repaired_at: Option<u64>,
+    pub(crate) source: RepairSource,
+}
+
+/// Approximate resident bytes of one open-recovery map entry (payload +
+/// key + node overhead) — the unit both analyzers meter live state in.
+pub(crate) fn open_entry_bytes() -> u64 {
+    (std::mem::size_of::<OpenRecovery>() + 12 + 32) as u64
+}
+
+/// Resident-state accounting for an analysis pass: how much live
+/// correlation state the analyzer held at its peak, and what (if
+/// anything) it had to shed to stay within budget. For the batch
+/// [`analyze`] this records what materializing the whole capture cost;
+/// for the streaming [`OnlineAnalyzer`](crate::OnlineAnalyzer) it is
+/// the first-class metric the `trace_doctor --mem-budget` CI gate
+/// asserts on.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StreamStats {
+    /// `true` when produced by the streaming correlator.
+    pub streamed: bool,
+    /// Most `(host, seq)` timelines open at once.
+    pub peak_live_timelines: u64,
+    /// Approximate peak resident bytes of the analyzer's state (for
+    /// batch, this includes the materialized record vector).
+    pub peak_resident_bytes: u64,
+    /// Open timelines force-evicted by the live-timeline cap (streaming
+    /// only; fidelity was truncated, but no anomaly is implied).
+    pub force_evicted: u64,
+    /// Open timelines evicted by the age-out horizon (streaming only;
+    /// each also raises an unrecovered-gap anomaly).
+    pub aged_out: u64,
+    /// Records that arrived with a timestamp below their predecessor's
+    /// (the batch analyzer sorts; the streaming one correlates in
+    /// arrival order, so a nonzero count here flags caution).
+    pub out_of_order: u64,
 }
 
 /// The full forensic result of [`analyze`].
@@ -715,6 +749,8 @@ pub struct RecoveryReport {
     pub truncated_gap_spans: u64,
     /// Detected protocol-health violations.
     pub anomalies: Vec<Anomaly>,
+    /// Resident-state accounting (peak live timelines/bytes, evictions).
+    pub stream: StreamStats,
 }
 
 impl RecoveryReport {
@@ -723,7 +759,7 @@ impl RecoveryReport {
         self.anomalies.is_empty()
     }
 
-    fn close(
+    pub(crate) fn close(
         timelines: &mut Vec<RecoveryTimeline>,
         host: HostId,
         seq: Seq,
@@ -794,6 +830,38 @@ impl RecoveryReport {
             "duplicate repairs: {}; max NACK fan-in per seq: {}",
             self.duplicate_repairs, self.max_nack_fan_in
         );
+        let _ = writeln!(
+            s,
+            "resident state ({}): peak {} live timelines, ~{:.1} KiB",
+            if self.stream.streamed {
+                "streamed"
+            } else {
+                "batch"
+            },
+            self.stream.peak_live_timelines,
+            self.stream.peak_resident_bytes as f64 / 1024.0
+        );
+        if self.stream.force_evicted > 0 {
+            let _ = writeln!(
+                s,
+                "note: {} open timelines force-evicted by the live-timeline cap",
+                self.stream.force_evicted
+            );
+        }
+        if self.stream.aged_out > 0 {
+            let _ = writeln!(
+                s,
+                "note: {} open timelines aged out past the horizon",
+                self.stream.aged_out
+            );
+        }
+        if self.stream.out_of_order > 0 {
+            let _ = writeln!(
+                s,
+                "note: {} records arrived out of timestamp order",
+                self.stream.out_of_order
+            );
+        }
         if self.truncated_gap_spans > 0 {
             let _ = writeln!(
                 s,
@@ -874,6 +942,17 @@ impl RecoveryReport {
             "}},\"duplicate_repairs\":{},\"max_nack_fan_in\":{},\"truncated_gap_spans\":{},",
             self.duplicate_repairs, self.max_nack_fan_in, self.truncated_gap_spans
         );
+        let _ = write!(
+            s,
+            "\"stream\":{{\"streamed\":{},\"peak_live_timelines\":{},\"peak_resident_bytes\":{},\
+             \"force_evicted\":{},\"aged_out\":{},\"out_of_order\":{}}},",
+            self.stream.streamed,
+            self.stream.peak_live_timelines,
+            self.stream.peak_resident_bytes,
+            self.stream.force_evicted,
+            self.stream.aged_out,
+            self.stream.out_of_order
+        );
         s.push_str("\"anomalies\":[");
         for (i, a) in self.anomalies.iter().enumerate() {
             if i > 0 {
@@ -896,9 +975,14 @@ impl RecoveryReport {
 /// detectors. Records are sorted by timestamp internally, so both live
 /// collections and concatenated replay files work.
 pub fn analyze(records: &[TraceRecord], cfg: &AnalyzeConfig) -> RecoveryReport {
+    let out_of_order = records
+        .windows(2)
+        .filter(|w| w[1].at_nanos < w[0].at_nanos)
+        .count() as u64;
     let mut recs: Vec<&TraceRecord> = records.iter().collect();
     recs.sort_by_key(|r| r.at_nanos);
     let end_ns = recs.last().map_or(0, |r| r.at_nanos);
+    let mut peak_live = 0u64;
 
     let mut roles: BTreeMap<u64, &'static str> = BTreeMap::new();
     let mut sent_at: BTreeMap<u32, u64> = BTreeMap::new();
@@ -955,6 +1039,7 @@ pub fn analyze(records: &[TraceRecord], cfg: &AnalyzeConfig) -> RecoveryReport {
                         source: RepairSource::Unknown,
                     });
                 }
+                peak_live = peak_live.max(open.len() as u64);
             }
             ProtocolEvent::NackSent {
                 target,
@@ -1200,22 +1285,49 @@ pub fn analyze(records: &[TraceRecord], cfg: &AnalyzeConfig) -> RecoveryReport {
         }
     }
 
+    let (detection, request, serve, return_leg, total) = (
+        detection.snapshot(),
+        request.snapshot(),
+        serve.snapshot(),
+        return_leg.snapshot(),
+        total.snapshot(),
+    );
+
+    // What materializing the whole capture cost: the record vector and
+    // sorted-ref index dominate, then timelines and exact histograms.
+    let hist_samples =
+        (detection.count() + request.count() + serve.count() + return_leg.count() + total.count())
+            as u64;
+    let peak_resident_bytes = records.len() as u64
+        * (std::mem::size_of::<TraceRecord>() as u64 + 8)
+        + peak_live * open_entry_bytes()
+        + timelines.len() as u64 * std::mem::size_of::<RecoveryTimeline>() as u64
+        + hist_samples * 8;
+
     RecoveryReport {
         timelines,
         recovered,
         abandoned,
         unrecovered,
-        detection: detection.snapshot(),
-        request: request.snapshot(),
-        serve: serve.snapshot(),
-        return_leg: return_leg.snapshot(),
-        total: total.snapshot(),
+        detection,
+        request,
+        serve,
+        return_leg,
+        total,
         sources,
         duplicate_repairs,
         max_nack_fan_in,
         telescoping,
         truncated_gap_spans,
         anomalies,
+        stream: StreamStats {
+            streamed: false,
+            peak_live_timelines: peak_live,
+            peak_resident_bytes,
+            force_evicted: 0,
+            aged_out: 0,
+            out_of_order,
+        },
     }
 }
 

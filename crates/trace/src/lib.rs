@@ -22,6 +22,12 @@
 //!   stream into per-`(host, seq)` recovery timelines, per-stage
 //!   latency histograms, a repair-source breakdown, and anomaly
 //!   detections (see [`analyze::RecoveryReport`]).
+//! * [`OnlineAnalyzer`] — the streaming flavour of the same forensics:
+//!   one record at a time in bounded memory (evict-on-close, optional
+//!   age-out horizon and live-timeline cap, [`StreamingHistogram`]
+//!   stage folding), with its own peak resident state reported in
+//!   [`analyze::StreamStats`]. [`OnlineAnalyzerSink`] plugs it straight
+//!   into a live run.
 //!
 //! Timestamps cross the API as raw nanoseconds (`at_nanos`) so the same
 //! events work under both the protocol clock (`lbrm_core::time::Time`)
@@ -49,10 +55,14 @@ use lbrm_wire::{EpochId, HostId, Seq};
 
 pub mod analyze;
 mod metrics;
+mod online;
 mod sink;
 
 pub use analyze::{CollectorSink, FanoutSink, TraceRecord};
-pub use metrics::{Histogram, HistogramSnapshot, MetricsRegistry};
+pub use metrics::{
+    Histogram, HistogramSnapshot, MetricsRegistry, StreamingHistogram, STREAM_HIST_BUCKETS,
+};
+pub use online::{OnlineAnalyzer, OnlineAnalyzerSink, OnlineConfig};
 pub use sink::{CountingSink, JsonLinesSink, NoopSink, RingSink};
 
 /// One observable protocol action.

@@ -28,23 +28,47 @@ impl Histogram {
         sorted.sort_unstable();
         HistogramSnapshot {
             sorted_nanos: sorted,
+            totals: None,
         }
     }
 }
 
+/// Exact totals carried by a snapshot whose raw samples were
+/// reservoir-sampled down (see [`StreamingHistogram`]): the count, sum
+/// and max cover *every* recorded value, not just the retained ones.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct ExactTotals {
+    count: u64,
+    sum: u128,
+    max_nanos: u64,
+}
+
 /// A sorted copy of a [`Histogram`]'s samples.
+///
+/// Snapshots taken from a [`StreamingHistogram`] whose reservoir
+/// overflowed additionally carry exact totals: [`count`](Self::count),
+/// [`mean`](Self::mean) and [`max`](Self::max) stay exact over the full
+/// population while [`samples`](Self::samples) and
+/// [`percentile`](Self::percentile) answer from the retained reservoir.
 #[derive(Debug, Clone, Default)]
 pub struct HistogramSnapshot {
     sorted_nanos: Vec<u64>,
+    totals: Option<ExactTotals>,
 }
 
 impl HistogramSnapshot {
-    /// Number of samples.
+    /// Number of samples recorded (exact even when the retained raw
+    /// samples were reservoir-sampled down).
     pub fn count(&self) -> usize {
-        self.sorted_nanos.len()
+        match self.totals {
+            Some(t) => t.count as usize,
+            None => self.sorted_nanos.len(),
+        }
     }
 
-    /// All samples, ascending.
+    /// The retained samples, ascending. For a reservoir-sampled
+    /// snapshot this is the reservoir, not the full population (the
+    /// full population's count/mean/max stay exact).
     pub fn samples(&self) -> Vec<Duration> {
         self.sorted_nanos
             .iter()
@@ -52,8 +76,15 @@ impl HistogramSnapshot {
             .collect()
     }
 
-    /// Arithmetic mean, or zero when empty.
+    /// Arithmetic mean, or zero when empty. Exact even for
+    /// reservoir-sampled snapshots (the running sum is kept).
     pub fn mean(&self) -> Duration {
+        if let Some(t) = self.totals {
+            if t.count == 0 {
+                return Duration::ZERO;
+            }
+            return Duration::from_nanos((t.sum / u128::from(t.count)) as u64);
+        }
         if self.sorted_nanos.is_empty() {
             return Duration::ZERO;
         }
@@ -61,8 +92,9 @@ impl HistogramSnapshot {
         Duration::from_nanos((sum / self.sorted_nanos.len() as u128) as u64)
     }
 
-    /// The `p`-th percentile (`0.0..=1.0`) by nearest-rank, or zero when
-    /// empty.
+    /// The `p`-th percentile (`0.0..=1.0`) by nearest-rank over the
+    /// retained samples (an unbiased estimate when reservoir-sampled),
+    /// or zero when empty.
     pub fn percentile(&self, p: f64) -> Duration {
         if self.sorted_nanos.is_empty() {
             return Duration::ZERO;
@@ -72,9 +104,127 @@ impl HistogramSnapshot {
         Duration::from_nanos(self.sorted_nanos[rank - 1])
     }
 
-    /// Largest sample, or zero when empty.
+    /// Largest sample, or zero when empty. Exact even for
+    /// reservoir-sampled snapshots.
     pub fn max(&self) -> Duration {
-        Duration::from_nanos(self.sorted_nanos.last().copied().unwrap_or(0))
+        match self.totals {
+            Some(t) => Duration::from_nanos(t.max_nanos),
+            None => Duration::from_nanos(self.sorted_nanos.last().copied().unwrap_or(0)),
+        }
+    }
+
+    /// `true` when the raw samples were reservoir-sampled down — i.e.
+    /// [`samples`](Self::samples) holds fewer values than
+    /// [`count`](Self::count).
+    pub fn is_sampled(&self) -> bool {
+        self.totals.is_some()
+    }
+}
+
+/// Number of power-of-two latency buckets in a [`StreamingHistogram`]
+/// (bucket `i` counts samples with `ilog2(nanos) == i`; zero lands in
+/// bucket 0), covering the whole `u64` nanosecond range.
+pub const STREAM_HIST_BUCKETS: usize = 64;
+
+/// A latency distribution with O(1) memory per sample: a fixed array of
+/// power-of-two buckets (exact count/sum/max) plus a bounded reservoir
+/// of raw samples for percentile estimation. This is what the streaming
+/// forensics correlator folds stage latencies into, so a million-event
+/// capture costs kilobytes instead of a `Vec` of every sample.
+///
+/// The reservoir uses Algorithm R with a fixed-seed splitmix64 stream,
+/// so runs are deterministic: identical inputs yield identical
+/// snapshots, and while the sample count is at or below the reservoir
+/// capacity the snapshot is byte-for-byte the exact distribution (which
+/// is what the batch-vs-streaming differential tests pin).
+#[derive(Debug, Clone)]
+pub struct StreamingHistogram {
+    buckets: [u64; STREAM_HIST_BUCKETS],
+    count: u64,
+    sum: u128,
+    max_nanos: u64,
+    reservoir: Vec<u64>,
+    capacity: usize,
+    rng: u64,
+}
+
+impl StreamingHistogram {
+    /// A histogram retaining at most `capacity` raw samples (at least 1).
+    pub fn new(capacity: usize) -> Self {
+        StreamingHistogram {
+            buckets: [0; STREAM_HIST_BUCKETS],
+            count: 0,
+            sum: 0,
+            max_nanos: 0,
+            reservoir: Vec::new(),
+            capacity: capacity.max(1),
+            rng: 0x5EED_FACE_CAFE_F00D,
+        }
+    }
+
+    fn next_rand(&mut self) -> u64 {
+        // splitmix64: deterministic, seedless-environment friendly.
+        self.rng = self.rng.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.rng;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Adds one sample: O(1) time, O(1) memory.
+    pub fn record(&mut self, nanos: u64) {
+        let bucket = if nanos == 0 {
+            0
+        } else {
+            nanos.ilog2() as usize
+        };
+        self.buckets[bucket] += 1;
+        self.sum += u128::from(nanos);
+        self.max_nanos = self.max_nanos.max(nanos);
+        // Algorithm R: the i-th sample (0-based) replaces a random
+        // reservoir slot with probability capacity/(i+1).
+        if (self.count as usize) < self.capacity {
+            self.reservoir.push(nanos);
+        } else {
+            let j = self.next_rand() % (self.count + 1);
+            if (j as usize) < self.capacity {
+                self.reservoir[j as usize] = nanos;
+            }
+        }
+        self.count += 1;
+    }
+
+    /// Samples recorded so far (exact).
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// The power-of-two bucket counts (exact; bucket `i` holds samples
+    /// with `ilog2(nanos) == i`).
+    pub fn bucket_counts(&self) -> &[u64; STREAM_HIST_BUCKETS] {
+        &self.buckets
+    }
+
+    /// Approximate resident bytes of this histogram (fixed buckets +
+    /// the reservoir).
+    pub fn approx_bytes(&self) -> u64 {
+        (STREAM_HIST_BUCKETS * 8 + self.reservoir.len() * 8 + 64) as u64
+    }
+
+    /// An immutable view. While `count() <= capacity` this is exactly
+    /// the full distribution; beyond that the raw samples are the
+    /// reservoir and the snapshot carries exact count/sum/max totals.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut sorted = self.reservoir.clone();
+        sorted.sort_unstable();
+        HistogramSnapshot {
+            sorted_nanos: sorted,
+            totals: (self.count as usize > self.capacity).then_some(ExactTotals {
+                count: self.count,
+                sum: self.sum,
+                max_nanos: self.max_nanos,
+            }),
+        }
     }
 }
 
@@ -225,6 +375,50 @@ mod tests {
         assert_eq!(reg.gauges().len(), 1);
         assert!(reg.render().contains("sim.queue_depth_max"));
         assert!(reg.render().contains("(gauge)"));
+    }
+
+    #[test]
+    fn streaming_histogram_is_exact_under_capacity() {
+        let mut exact = Histogram::default();
+        let mut stream = StreamingHistogram::new(100);
+        for n in (1..=100u64).rev() {
+            exact.record(n * 7);
+            stream.record(n * 7);
+        }
+        let (e, s) = (exact.snapshot(), stream.snapshot());
+        assert!(!s.is_sampled());
+        assert_eq!(s.count(), e.count());
+        assert_eq!(s.samples(), e.samples());
+        assert_eq!(s.mean(), e.mean());
+        assert_eq!(s.percentile(0.95), e.percentile(0.95));
+        assert_eq!(s.max(), e.max());
+    }
+
+    #[test]
+    fn streaming_histogram_keeps_exact_totals_when_sampled() {
+        let mut stream = StreamingHistogram::new(16);
+        for n in 1..=10_000u64 {
+            stream.record(n);
+        }
+        let s = stream.snapshot();
+        assert!(s.is_sampled());
+        assert_eq!(s.count(), 10_000);
+        assert_eq!(s.samples().len(), 16);
+        // Mean and max come from running totals, not the reservoir.
+        assert_eq!(s.mean(), Duration::from_nanos(5000));
+        assert_eq!(s.max(), Duration::from_nanos(10_000));
+        // Percentile is a reservoir estimate but stays within range.
+        let p50 = s.percentile(0.5).as_nanos() as u64;
+        assert!((1..=10_000).contains(&p50));
+        // Buckets hold every sample.
+        assert_eq!(stream.bucket_counts().iter().sum::<u64>(), 10_000);
+        assert!(stream.approx_bytes() < 2048, "fixed-size memory");
+        // Determinism: an identical run yields an identical snapshot.
+        let mut again = StreamingHistogram::new(16);
+        for n in 1..=10_000u64 {
+            again.record(n);
+        }
+        assert_eq!(again.snapshot().samples(), s.samples());
     }
 
     #[test]

@@ -1,0 +1,962 @@
+//! Streaming recovery forensics: the [`OnlineAnalyzer`] correlates a
+//! [`ProtocolEvent`] stream *one record at a time* in bounded memory.
+//!
+//! The batch [`analyze`](crate::analyze::analyze) materializes every
+//! parsed record plus every per-`(host, seq)` timeline before it can
+//! say anything — for the million-event captures a thousands-of-sites
+//! DIS run produces, that blows up exactly where the forensics layer
+//! matters most. The streaming correlator instead:
+//!
+//! * holds only the **open** timelines, evicting each one the moment it
+//!   closes (repair received and the `Recovered`/`RecoveryAbandoned`
+//!   settlement observed) or ages out past a configurable horizon;
+//! * folds stage latencies straight into fixed-size
+//!   [`StreamingHistogram`]s (power-of-two buckets + a bounded,
+//!   deterministically seeded reservoir), never a vector of samples;
+//! * retains closed timelines in a bounded reservoir (close order is
+//!   preserved among the survivors);
+//! * meters its own resident state — live timelines and approximate
+//!   bytes — as a first-class [`StreamStats`] metric in the final
+//!   [`RecoveryReport`], which is what the `trace_doctor --mem-budget`
+//!   CI gate asserts on.
+//!
+//! **Fidelity contract.** On a time-ordered stream, with no live-cap
+//! and no horizon, the streaming report is *identical* to the batch
+//! one — same anomaly set in the same order, same counts, same
+//! repair-source breakdown, same telescoping stage latencies — up to
+//! reservoir sampling: while the number of recoveries stays at or below
+//! the reservoir capacities, even the histograms and retained timelines
+//! match sample-for-sample (counts, means and maxima stay exact
+//! beyond that). The batch analyzer stays as the differential
+//! reference; `tests/forensics_stream_sim.rs` pins the equivalence on
+//! seeded DIS and lossy-WAN captures with randomized loss patterns.
+//!
+//! Divergences are explicit, never silent:
+//!
+//! * a **horizon** closes an open timeline that outlived it as
+//!   `Unrecovered` (with the matching unrecovered-gap anomaly) —
+//!   "recovered eventually, after the horizon" is reported as a
+//!   failure, which is the right call for a live monitor;
+//! * a **live-timeline cap** force-evicts the oldest open timeline;
+//!   its fate is unknown, so it is only counted in
+//!   [`StreamStats::force_evicted`] (no anomaly, no timeline);
+//! * out-of-order records are correlated as they arrive (the batch
+//!   analyzer sorts first) and counted in
+//!   [`StreamStats::out_of_order`].
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Mutex;
+
+use lbrm_wire::{HostId, Seq};
+
+use crate::analyze::{
+    open_entry_bytes, AnalyzeConfig, Anomaly, OpenRecovery, RecoveryOutcome, RecoveryReport,
+    RecoveryTimeline, RepairSource, StreamStats, TraceRecord,
+};
+use crate::{ProtocolEvent, StreamingHistogram, TraceSink};
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Tunables for the [`OnlineAnalyzer`]. The defaults reproduce the
+/// batch analyzer exactly (no cap, no horizon) with reservoirs big
+/// enough that sim-scale runs are never sampled.
+#[derive(Debug, Clone)]
+pub struct OnlineConfig {
+    /// The correlation/anomaly tunables shared with the batch analyzer.
+    pub analyze: AnalyzeConfig,
+    /// Hard cap on concurrently open timelines; the oldest is
+    /// force-evicted (counted, not flagged) when exceeded. `None` = no
+    /// cap (the `--mem-budget` gate then measures the true peak).
+    pub max_live_timelines: Option<usize>,
+    /// Age-out horizon: an open timeline whose loss was detected more
+    /// than this many nanoseconds before the current record is closed
+    /// as unrecovered. `None` = open timelines live to end-of-stream.
+    pub horizon_nanos: Option<u64>,
+    /// Raw-sample reservoir capacity per stage histogram.
+    pub stage_reservoir: usize,
+    /// Reservoir capacity for retained closed [`RecoveryTimeline`]s.
+    pub timeline_reservoir: usize,
+}
+
+impl Default for OnlineConfig {
+    fn default() -> Self {
+        OnlineConfig {
+            analyze: AnalyzeConfig::default(),
+            max_live_timelines: None,
+            horizon_nanos: None,
+            stage_reservoir: 4096,
+            timeline_reservoir: 4096,
+        }
+    }
+}
+
+/// Bounded reservoir of closed timelines. Under capacity it is exactly
+/// the close-order vector the batch analyzer builds; over capacity,
+/// Algorithm R keeps a uniform sample and close order is restored among
+/// the survivors at the end.
+#[derive(Debug)]
+struct TimelineReservoir {
+    kept: Vec<(u64, RecoveryTimeline)>,
+    capacity: usize,
+    seen: u64,
+    rng: u64,
+}
+
+impl TimelineReservoir {
+    fn new(capacity: usize) -> Self {
+        TimelineReservoir {
+            kept: Vec::new(),
+            capacity: capacity.max(1),
+            seen: 0,
+            rng: 0x7135_11FE_D00D_5EED,
+        }
+    }
+
+    fn offer(&mut self, t: RecoveryTimeline) {
+        if (self.seen as usize) < self.capacity {
+            self.kept.push((self.seen, t));
+        } else {
+            let j = splitmix64(&mut self.rng) % (self.seen + 1);
+            if (j as usize) < self.capacity {
+                self.kept[j as usize] = (self.seen, t);
+            }
+        }
+        self.seen += 1;
+    }
+
+    fn into_vec(mut self) -> Vec<RecoveryTimeline> {
+        self.kept.sort_by_key(|(i, _)| *i);
+        self.kept.into_iter().map(|(_, t)| t).collect()
+    }
+}
+
+/// The streaming correlator: feed it records via [`push`]
+/// (or through the [`OnlineAnalyzerSink`] adapter / a JSONL reader),
+/// then [`finish`](OnlineAnalyzer::finish) it into a
+/// [`RecoveryReport`].
+///
+/// [`push`]: OnlineAnalyzer::push
+#[derive(Debug)]
+pub struct OnlineAnalyzer {
+    cfg: OnlineConfig,
+    // Correlation state (mirrors the batch analyzer's loop state).
+    roles: BTreeMap<u64, &'static str>,
+    sent_at: BTreeMap<u32, u64>,
+    sent_epoch: BTreeMap<u32, u32>,
+    remulticast_at: BTreeMap<u32, u64>,
+    settled: BTreeSet<u32>,
+    active_epochs: BTreeSet<u32>,
+    open: BTreeMap<(u64, u32), OpenRecovery>,
+    /// Age index over `open`: `(detected_at, host, seq)` — the oldest
+    /// open timeline is `first()`, so cap and horizon evictions are
+    /// O(log live), never a scan.
+    by_age: BTreeSet<(u64, u64, u32)>,
+    requests_per_seq: BTreeMap<u32, u64>,
+    dups_per_host_seq: BTreeMap<(u64, u32), u64>,
+    last_tx: BTreeMap<u64, u64>,
+    max_silence: BTreeMap<u64, u64>,
+    truncated_gap_spans: u64,
+    // Folded results (what the batch analyzer defers to the end).
+    recovered: usize,
+    abandoned: usize,
+    unrecovered: usize,
+    detection: StreamingHistogram,
+    request: StreamingHistogram,
+    serve: StreamingHistogram,
+    return_leg: StreamingHistogram,
+    total: StreamingHistogram,
+    sources: BTreeMap<&'static str, u64>,
+    telescoping: usize,
+    timelines: TimelineReservoir,
+    /// Unrecovered-gap anomalies raised by horizon evictions, in
+    /// eviction order (end-of-stream gaps follow in key order, matching
+    /// the batch analyzer's anomaly ordering when no horizon is set).
+    gap_anomalies: Vec<Anomaly>,
+    // Stream bookkeeping.
+    records: u64,
+    last_at: u64,
+    end_ns: u64,
+    out_of_order: u64,
+    peak_live: u64,
+    peak_bytes: u64,
+    force_evicted: u64,
+    aged_out: u64,
+}
+
+impl OnlineAnalyzer {
+    /// A fresh analyzer with the given tunables.
+    pub fn new(cfg: OnlineConfig) -> Self {
+        let stage = cfg.stage_reservoir;
+        let tl = cfg.timeline_reservoir;
+        OnlineAnalyzer {
+            cfg,
+            roles: BTreeMap::new(),
+            sent_at: BTreeMap::new(),
+            sent_epoch: BTreeMap::new(),
+            remulticast_at: BTreeMap::new(),
+            settled: BTreeSet::new(),
+            active_epochs: BTreeSet::new(),
+            open: BTreeMap::new(),
+            by_age: BTreeSet::new(),
+            requests_per_seq: BTreeMap::new(),
+            dups_per_host_seq: BTreeMap::new(),
+            last_tx: BTreeMap::new(),
+            max_silence: BTreeMap::new(),
+            truncated_gap_spans: 0,
+            recovered: 0,
+            abandoned: 0,
+            unrecovered: 0,
+            detection: StreamingHistogram::new(stage),
+            request: StreamingHistogram::new(stage),
+            serve: StreamingHistogram::new(stage),
+            return_leg: StreamingHistogram::new(stage),
+            total: StreamingHistogram::new(stage),
+            sources: BTreeMap::new(),
+            telescoping: 0,
+            timelines: TimelineReservoir::new(tl),
+            gap_anomalies: Vec::new(),
+            records: 0,
+            last_at: 0,
+            end_ns: 0,
+            out_of_order: 0,
+            peak_live: 0,
+            peak_bytes: 0,
+            force_evicted: 0,
+            aged_out: 0,
+        }
+    }
+
+    /// Records consumed so far.
+    pub fn records(&self) -> u64 {
+        self.records
+    }
+
+    /// Currently open (live) timelines.
+    pub fn live_timelines(&self) -> usize {
+        self.open.len()
+    }
+
+    /// Most timelines ever open at once.
+    pub fn peak_live_timelines(&self) -> u64 {
+        self.peak_live
+    }
+
+    /// Approximate bytes of resident correlation state right now: live
+    /// timelines + their age index, the per-seq/per-host aggregate
+    /// maps, the stage histograms and the retained-timeline reservoir.
+    pub fn approx_resident_bytes(&self) -> u64 {
+        const NODE: u64 = 32; // BTree node overhead per entry, roughly.
+        self.open.len() as u64 * open_entry_bytes()
+            + self.by_age.len() as u64 * (24 + NODE)
+            + (self.roles.len() + self.last_tx.len() + self.max_silence.len()) as u64 * (16 + NODE)
+            + (self.sent_at.len()
+                + self.sent_epoch.len()
+                + self.remulticast_at.len()
+                + self.requests_per_seq.len()) as u64
+                * (12 + NODE)
+            + (self.settled.len() + self.active_epochs.len()) as u64 * (4 + NODE)
+            + self.dups_per_host_seq.len() as u64 * (20 + NODE)
+            + self.detection.approx_bytes()
+            + self.request.approx_bytes()
+            + self.serve.approx_bytes()
+            + self.return_leg.approx_bytes()
+            + self.total.approx_bytes()
+            + self.timelines.kept.len() as u64
+                * (std::mem::size_of::<RecoveryTimeline>() as u64 + 8)
+            + self.gap_anomalies.len() as u64 * std::mem::size_of::<Anomaly>() as u64
+    }
+
+    /// Highest resident-byte estimate observed so far.
+    pub fn peak_resident_bytes(&self) -> u64 {
+        self.peak_bytes
+    }
+
+    fn close_timeline(
+        &mut self,
+        host: HostId,
+        seq: Seq,
+        o: OpenRecovery,
+        outcome: RecoveryOutcome,
+        latency: Option<u64>,
+    ) {
+        let t = RecoveryTimeline {
+            host,
+            seq,
+            sent_at_nanos: self.sent_at.get(&seq.raw()).copied(),
+            detected_at_nanos: o.detected_at,
+            first_nack_at_nanos: o.first_nack_at,
+            nacks_sent: o.nacks_sent,
+            served_at_nanos: o.served_at,
+            served_by: o.served_by,
+            repaired_at_nanos: o.repaired_at,
+            source: o.source,
+            outcome,
+            recovery_latency_nanos: latency,
+        };
+        if t.outcome == RecoveryOutcome::Recovered {
+            if let Some(n) = t.detection_nanos() {
+                self.detection.record(n);
+            }
+            if let Some(n) = t.request_nanos() {
+                self.request.record(n);
+            }
+            if let Some(n) = t.serve_nanos() {
+                self.serve.record(n);
+            }
+            if let Some(n) = t.return_nanos() {
+                self.return_leg.record(n);
+            }
+            if let Some(n) = t.recovery_latency_nanos {
+                self.total.record(n);
+            }
+            *self.sources.entry(t.source.label()).or_insert(0) += 1;
+            if t.stages_telescope() {
+                self.telescoping += 1;
+            }
+        }
+        self.timelines.offer(t);
+    }
+
+    /// Removes the oldest open timeline and returns it, if any.
+    fn evict_oldest(&mut self) -> Option<(HostId, Seq, OpenRecovery)> {
+        let &(at, h, s) = self.by_age.first()?;
+        self.by_age.remove(&(at, h, s));
+        let o = self
+            .open
+            .remove(&(h, s))
+            .expect("age index entry must have an open timeline");
+        Some((HostId(h), Seq(s), o))
+    }
+
+    fn open_timeline(&mut self, h: u64, seq: u32, at: u64) {
+        if let std::collections::btree_map::Entry::Vacant(e) = self.open.entry((h, seq)) {
+            e.insert(OpenRecovery {
+                detected_at: at,
+                first_nack_at: None,
+                nacks_sent: 0,
+                served_at: None,
+                served_by: None,
+                repaired_at: None,
+                source: RepairSource::Unknown,
+            });
+            self.by_age.insert((at, h, seq));
+            // Enforce the live-timeline cap immediately, so the peak
+            // the budget gate asserts on truly never exceeds it.
+            if let Some(cap) = self.cfg.max_live_timelines {
+                while self.open.len() > cap.max(1) {
+                    let _ = self.evict_oldest().expect("over cap implies non-empty");
+                    self.force_evicted += 1;
+                }
+            }
+            self.peak_live = self.peak_live.max(self.open.len() as u64);
+        }
+    }
+
+    /// Consumes one record. Records are expected in timestamp order
+    /// (what every sink and JSONL capture produces); out-of-order
+    /// records are still correlated but counted in
+    /// [`StreamStats::out_of_order`].
+    pub fn push(&mut self, at_nanos: u64, host: HostId, event: &ProtocolEvent) {
+        self.records += 1;
+        if at_nanos < self.last_at {
+            self.out_of_order += 1;
+        }
+        self.last_at = at_nanos;
+        self.end_ns = self.end_ns.max(at_nanos);
+        let cfg = self.cfg.analyze.clone();
+        let h = host.raw();
+
+        // Horizon age-out: close everything that has been open longer
+        // than the horizon before correlating the new record.
+        if let Some(horizon) = self.cfg.horizon_nanos {
+            let cutoff = at_nanos.saturating_sub(horizon);
+            while self
+                .by_age
+                .first()
+                .is_some_and(|&(detected, _, _)| detected < cutoff)
+            {
+                let (eh, es, o) = self.evict_oldest().expect("checked non-empty");
+                self.aged_out += 1;
+                self.unrecovered += 1;
+                self.gap_anomalies.push(Anomaly::UnrecoveredGap {
+                    host: eh,
+                    seq: es,
+                    detected_at_nanos: o.detected_at,
+                });
+                self.close_timeline(eh, es, o, RecoveryOutcome::Unrecovered, None);
+            }
+        }
+
+        match event {
+            ProtocolEvent::RoleAnnounced { role } => {
+                self.roles.insert(h, role);
+            }
+            ProtocolEvent::DataSent { seq, epoch } => {
+                self.sent_at.entry(seq.raw()).or_insert(at_nanos);
+                self.sent_epoch.entry(seq.raw()).or_insert(epoch.raw());
+                // saturating: unlike the batch analyzer we never sort,
+                // so an out-of-order record must not underflow.
+                let gap =
+                    at_nanos.saturating_sub(self.last_tx.get(&h).copied().unwrap_or(at_nanos));
+                let m = self.max_silence.entry(h).or_insert(0);
+                *m = (*m).max(gap);
+                self.last_tx.insert(h, at_nanos);
+            }
+            ProtocolEvent::HeartbeatSent { .. } => {
+                let gap =
+                    at_nanos.saturating_sub(self.last_tx.get(&h).copied().unwrap_or(at_nanos));
+                let m = self.max_silence.entry(h).or_insert(0);
+                *m = (*m).max(gap);
+                self.last_tx.insert(h, at_nanos);
+            }
+            ProtocolEvent::GapDetected { first, last } => {
+                let span = u64::from(last.distance_from(*first)) + 1;
+                if span > cfg.max_gap_span {
+                    self.truncated_gap_spans += 1;
+                }
+                for (i, seq) in first.iter_to(*last).enumerate() {
+                    if i as u64 >= cfg.max_gap_span {
+                        break;
+                    }
+                    self.open_timeline(h, seq.raw(), at_nanos);
+                }
+            }
+            ProtocolEvent::NackSent {
+                target,
+                first,
+                last,
+                ..
+            } => {
+                let span = u64::from(last.distance_from(*first)) + 1;
+                // Same primary-bound rule as the batch analyzer: NACKs
+                // absorbed by site secondaries are the mechanism
+                // working, not implosion.
+                let upstream = self.roles.get(&target.raw()).copied() == Some("logger_primary");
+                for (i, seq) in first.iter_to(*last).enumerate() {
+                    if i as u64 >= cfg.max_gap_span.min(span) {
+                        break;
+                    }
+                    if upstream {
+                        *self.requests_per_seq.entry(seq.raw()).or_insert(0) += 1;
+                    }
+                    if let Some(o) = self.open.get_mut(&(h, seq.raw())) {
+                        o.first_nack_at.get_or_insert(at_nanos);
+                        o.nacks_sent += 1;
+                    }
+                }
+            }
+            ProtocolEvent::RetransServed { seq, multicast, to } => {
+                if *multicast {
+                    for ((_, s), o) in self.open.iter_mut() {
+                        if *s == seq.raw() {
+                            o.served_at.get_or_insert(at_nanos);
+                            o.served_by.get_or_insert(host);
+                        }
+                    }
+                } else if let Some(o) = self.open.get_mut(&(to.raw(), seq.raw())) {
+                    o.served_at.get_or_insert(at_nanos);
+                    o.served_by.get_or_insert(host);
+                }
+            }
+            ProtocolEvent::Remulticast { seq, .. } => {
+                self.remulticast_at.entry(seq.raw()).or_insert(at_nanos);
+                for ((_, s), o) in self.open.iter_mut() {
+                    if *s == seq.raw() {
+                        o.served_at.get_or_insert(at_nanos);
+                        o.served_by.get_or_insert(host);
+                    }
+                }
+            }
+            ProtocolEvent::RepairReceived { seq, from, kind } => {
+                let source = match *kind {
+                    "heartbeat" => RepairSource::Heartbeat,
+                    "retrans" => match self.roles.get(&from.raw()).copied() {
+                        Some("logger_primary") => RepairSource::Primary,
+                        Some("logger_secondary") => RepairSource::Secondary,
+                        Some("logger_replica") => RepairSource::Replica,
+                        Some("sender") => RepairSource::Sender,
+                        _ => RepairSource::Unknown,
+                    },
+                    "data" => {
+                        if self
+                            .remulticast_at
+                            .get(&seq.raw())
+                            .is_some_and(|&t| t <= at_nanos)
+                        {
+                            RepairSource::Remulticast
+                        } else {
+                            RepairSource::LateOriginal
+                        }
+                    }
+                    _ => RepairSource::Unknown,
+                };
+                if let Some(o) = self.open.get_mut(&(h, seq.raw())) {
+                    o.repaired_at = Some(at_nanos);
+                    o.source = source;
+                }
+            }
+            ProtocolEvent::RepairDuplicate { seq, .. } => {
+                *self.dups_per_host_seq.entry((h, seq.raw())).or_insert(0) += 1;
+            }
+            ProtocolEvent::Recovered { seq, latency_nanos } => {
+                if let Some(o) = self.open.remove(&(h, seq.raw())) {
+                    self.by_age.remove(&(o.detected_at, h, seq.raw()));
+                    self.recovered += 1;
+                    self.close_timeline(
+                        host,
+                        *seq,
+                        o,
+                        RecoveryOutcome::Recovered,
+                        Some(*latency_nanos),
+                    );
+                }
+            }
+            ProtocolEvent::RecoveryAbandoned { seq } => {
+                if let Some(o) = self.open.remove(&(h, seq.raw())) {
+                    self.by_age.remove(&(o.detected_at, h, seq.raw()));
+                    self.abandoned += 1;
+                    self.close_timeline(host, *seq, o, RecoveryOutcome::Abandoned, None);
+                }
+            }
+            ProtocolEvent::Settled { seq, .. } => {
+                self.settled.insert(seq.raw());
+            }
+            ProtocolEvent::EpochActive { epoch, .. } => {
+                self.active_epochs.insert(epoch.raw());
+            }
+            _ => {}
+        }
+        self.peak_bytes = self.peak_bytes.max(self.approx_resident_bytes());
+    }
+
+    /// Consumes one parsed [`TraceRecord`].
+    pub fn push_record(&mut self, r: &TraceRecord) {
+        self.push(r.at_nanos, r.host, &r.event);
+    }
+
+    /// Closes the stream: whatever is still open becomes an unrecovered
+    /// gap, the end-of-stream anomaly detectors run over the aggregate
+    /// maps, and the folded state becomes a [`RecoveryReport`].
+    pub fn finish(mut self) -> RecoveryReport {
+        let end_ns = self.end_ns;
+        let cfg = self.cfg.analyze.clone();
+
+        // Trailing silence: from the last transmission to end-of-run.
+        for (&h, &t) in &self.last_tx {
+            let m = self.max_silence.entry(h).or_insert(0);
+            *m = (*m).max(end_ns.saturating_sub(t));
+        }
+
+        // Horizon evictions first (eviction order), then end-of-stream
+        // gaps in key order — exactly the batch order when no horizon.
+        let mut anomalies: Vec<Anomaly> = std::mem::take(&mut self.gap_anomalies);
+        let still_open: Vec<((u64, u32), OpenRecovery)> =
+            std::mem::take(&mut self.open).into_iter().collect();
+        self.by_age.clear();
+        for ((h, s), o) in still_open {
+            self.unrecovered += 1;
+            anomalies.push(Anomaly::UnrecoveredGap {
+                host: HostId(h),
+                seq: Seq(s),
+                detected_at_nanos: o.detected_at,
+            });
+            self.close_timeline(HostId(h), Seq(s), o, RecoveryOutcome::Unrecovered, None);
+        }
+
+        let secondaries = self
+            .roles
+            .values()
+            .filter(|r| **r == "logger_secondary")
+            .count() as u64;
+        let nack_bound = cfg
+            .nack_fan_in_bound
+            .or((secondaries > 0).then_some(secondaries + 2));
+        let max_nack_fan_in = self.requests_per_seq.values().copied().max().unwrap_or(0);
+        if let Some(bound) = nack_bound {
+            for (&s, &n) in &self.requests_per_seq {
+                if n > bound {
+                    anomalies.push(Anomaly::NackImplosion {
+                        seq: Seq(s),
+                        requests: n,
+                        bound,
+                    });
+                }
+            }
+        }
+
+        let mut duplicate_repairs = 0u64;
+        for (&(host, s), &n) in &self.dups_per_host_seq {
+            duplicate_repairs += n;
+            if n > cfg.duplicate_bound {
+                anomalies.push(Anomaly::ExcessDuplicateRepairs {
+                    host: HostId(host),
+                    seq: Seq(s),
+                    duplicates: n,
+                    bound: cfg.duplicate_bound,
+                });
+            }
+        }
+
+        if let Some(h_max) = cfg.h_max_nanos {
+            let bound = h_max + h_max / 2;
+            for (&h, &gap) in &self.max_silence {
+                if gap > bound {
+                    anomalies.push(Anomaly::HeartbeatSilence {
+                        host: HostId(h),
+                        gap_nanos: gap,
+                        h_max_nanos: h_max,
+                    });
+                }
+            }
+        }
+
+        for (&s, &e) in &self.sent_epoch {
+            if !self.active_epochs.contains(&e) || self.settled.contains(&s) {
+                continue;
+            }
+            let at = self.sent_at.get(&s).copied().unwrap_or(0);
+            if at + cfg.settle_slack_nanos < end_ns {
+                anomalies.push(Anomaly::StalledSettlement {
+                    seq: Seq(s),
+                    sent_at_nanos: at,
+                });
+            }
+        }
+
+        let peak_bytes = self.peak_bytes.max(self.approx_resident_bytes());
+        RecoveryReport {
+            timelines: self.timelines.into_vec(),
+            recovered: self.recovered,
+            abandoned: self.abandoned,
+            unrecovered: self.unrecovered,
+            detection: self.detection.snapshot(),
+            request: self.request.snapshot(),
+            serve: self.serve.snapshot(),
+            return_leg: self.return_leg.snapshot(),
+            total: self.total.snapshot(),
+            sources: self.sources,
+            duplicate_repairs,
+            max_nack_fan_in,
+            telescoping: self.telescoping,
+            truncated_gap_spans: self.truncated_gap_spans,
+            anomalies,
+            stream: StreamStats {
+                streamed: true,
+                peak_live_timelines: self.peak_live,
+                peak_resident_bytes: peak_bytes,
+                force_evicted: self.force_evicted,
+                aged_out: self.aged_out,
+                out_of_order: self.out_of_order,
+            },
+        }
+    }
+}
+
+/// A [`TraceSink`] wrapping an [`OnlineAnalyzer`], so a live scenario
+/// can audit itself in bounded memory — no [`CollectorSink`]
+/// materialization step. Fan it out next to a `MetricsRegistry` or a
+/// `JsonLinesSink` and call [`finish`](OnlineAnalyzerSink::finish)
+/// after the run.
+///
+/// [`CollectorSink`]: crate::CollectorSink
+#[derive(Debug)]
+pub struct OnlineAnalyzerSink {
+    inner: Mutex<OnlineAnalyzer>,
+}
+
+impl OnlineAnalyzerSink {
+    /// A sink analyzing with the given tunables.
+    pub fn new(cfg: OnlineConfig) -> Self {
+        OnlineAnalyzerSink {
+            inner: Mutex::new(OnlineAnalyzer::new(cfg)),
+        }
+    }
+
+    /// Records consumed so far.
+    pub fn records(&self) -> u64 {
+        self.inner.lock().unwrap().records()
+    }
+
+    /// Most timelines ever open at once.
+    pub fn peak_live_timelines(&self) -> u64 {
+        self.inner.lock().unwrap().peak_live_timelines()
+    }
+
+    /// Finalizes the analysis, leaving a fresh analyzer (with the same
+    /// tunables) behind — the sink may still be shared with a world
+    /// that outlives the report.
+    pub fn finish(&self) -> RecoveryReport {
+        let mut guard = self.inner.lock().unwrap();
+        let cfg = guard.cfg.clone();
+        std::mem::replace(&mut *guard, OnlineAnalyzer::new(cfg)).finish()
+    }
+}
+
+impl TraceSink for OnlineAnalyzerSink {
+    fn record(&self, at_nanos: u64, host: HostId, event: &ProtocolEvent) {
+        self.inner.lock().unwrap().push(at_nanos, host, event);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyze::analyze;
+    use lbrm_wire::EpochId;
+
+    const SENDER: HostId = HostId(1);
+    const PRIMARY: HostId = HostId(2);
+    const RX: HostId = HostId(40);
+
+    fn rec(at_ms: u64, host: HostId, event: ProtocolEvent) -> TraceRecord {
+        TraceRecord {
+            at_nanos: at_ms * 1_000_000,
+            host,
+            event,
+        }
+    }
+
+    fn lossy_stream(packets: u32) -> Vec<TraceRecord> {
+        let mut v = vec![
+            rec(0, SENDER, ProtocolEvent::RoleAnnounced { role: "sender" }),
+            rec(
+                0,
+                PRIMARY,
+                ProtocolEvent::RoleAnnounced {
+                    role: "logger_primary",
+                },
+            ),
+            rec(0, RX, ProtocolEvent::RoleAnnounced { role: "receiver" }),
+        ];
+        for i in 1..=packets {
+            let t = u64::from(i) * 100;
+            v.push(rec(
+                t,
+                SENDER,
+                ProtocolEvent::DataSent {
+                    seq: Seq(i),
+                    epoch: EpochId(0),
+                },
+            ));
+            // Every third packet is lost at RX and recovered.
+            if i % 3 == 0 {
+                v.push(rec(
+                    t + 10,
+                    RX,
+                    ProtocolEvent::GapDetected {
+                        first: Seq(i),
+                        last: Seq(i),
+                    },
+                ));
+                v.push(rec(
+                    t + 20,
+                    RX,
+                    ProtocolEvent::NackSent {
+                        target: PRIMARY,
+                        packets: 1,
+                        first: Seq(i),
+                        last: Seq(i),
+                    },
+                ));
+                v.push(rec(
+                    t + 30,
+                    PRIMARY,
+                    ProtocolEvent::RetransServed {
+                        seq: Seq(i),
+                        multicast: false,
+                        to: RX,
+                    },
+                ));
+                v.push(rec(
+                    t + 40,
+                    RX,
+                    ProtocolEvent::RepairReceived {
+                        seq: Seq(i),
+                        from: PRIMARY,
+                        kind: "retrans",
+                    },
+                ));
+                v.push(rec(
+                    t + 40,
+                    RX,
+                    ProtocolEvent::Recovered {
+                        seq: Seq(i),
+                        latency_nanos: 30 * 1_000_000,
+                    },
+                ));
+            }
+        }
+        v
+    }
+
+    fn run_online(records: &[TraceRecord], cfg: OnlineConfig) -> RecoveryReport {
+        let mut a = OnlineAnalyzer::new(cfg);
+        for r in records {
+            a.push_record(r);
+        }
+        a.finish()
+    }
+
+    #[test]
+    fn matches_batch_exactly_on_a_clean_stream() {
+        let records = lossy_stream(30);
+        let batch = analyze(&records, &AnalyzeConfig::default());
+        let online = run_online(&records, OnlineConfig::default());
+
+        assert_eq!(online.recovered, batch.recovered);
+        assert_eq!(online.abandoned, batch.abandoned);
+        assert_eq!(online.unrecovered, batch.unrecovered);
+        assert_eq!(online.telescoping, batch.telescoping);
+        assert_eq!(online.sources, batch.sources);
+        assert_eq!(online.anomalies, batch.anomalies);
+        assert_eq!(online.max_nack_fan_in, batch.max_nack_fan_in);
+        assert_eq!(online.total.samples(), batch.total.samples());
+        assert_eq!(online.detection.samples(), batch.detection.samples());
+        assert_eq!(online.request.samples(), batch.request.samples());
+        assert_eq!(online.serve.samples(), batch.serve.samples());
+        assert_eq!(online.return_leg.samples(), batch.return_leg.samples());
+        assert_eq!(online.timelines.len(), batch.timelines.len());
+        for (a, b) in online.timelines.iter().zip(&batch.timelines) {
+            assert_eq!(a.render(), b.render());
+        }
+        assert!(online.stream.streamed);
+        assert!(!batch.stream.streamed);
+        // One loss open at a time in this stream.
+        assert_eq!(online.stream.peak_live_timelines, 1);
+        assert!(online.stream.peak_resident_bytes > 0);
+    }
+
+    #[test]
+    fn eviction_keeps_live_state_bounded() {
+        // 10 packets all lost at once, never recovered: batch peaks at
+        // 10 live timelines; a cap of 3 bounds the stream at 3.
+        let mut records = vec![rec(
+            0,
+            SENDER,
+            ProtocolEvent::RoleAnnounced { role: "sender" },
+        )];
+        records.push(rec(
+            10,
+            RX,
+            ProtocolEvent::GapDetected {
+                first: Seq(1),
+                last: Seq(10),
+            },
+        ));
+        records.push(rec(500, RX, ProtocolEvent::FreshnessLost));
+        let cfg = OnlineConfig {
+            analyze: AnalyzeConfig {
+                h_max_nanos: None,
+                ..AnalyzeConfig::default()
+            },
+            max_live_timelines: Some(3),
+            ..OnlineConfig::default()
+        };
+        let report = run_online(&records, cfg);
+        assert_eq!(report.stream.peak_live_timelines, 3);
+        assert_eq!(report.stream.force_evicted, 7);
+        // The 3 survivors close as unrecovered gaps; the evicted 7 are
+        // only counted, never flagged.
+        assert_eq!(report.unrecovered, 3);
+        assert_eq!(
+            report
+                .anomalies
+                .iter()
+                .filter(|a| a.kind() == "unrecovered_gap")
+                .count(),
+            3
+        );
+    }
+
+    #[test]
+    fn horizon_ages_out_stale_timelines_as_unrecovered() {
+        let mut records = vec![rec(
+            0,
+            SENDER,
+            ProtocolEvent::RoleAnnounced { role: "sender" },
+        )];
+        records.push(rec(
+            10,
+            RX,
+            ProtocolEvent::GapDetected {
+                first: Seq(1),
+                last: Seq(1),
+            },
+        ));
+        // A later record far past the horizon triggers the age-out; the
+        // recovery that eventually arrives finds the timeline closed.
+        records.push(rec(5_000, RX, ProtocolEvent::FreshnessLost));
+        records.push(rec(
+            5_001,
+            RX,
+            ProtocolEvent::Recovered {
+                seq: Seq(1),
+                latency_nanos: 1,
+            },
+        ));
+        let cfg = OnlineConfig {
+            analyze: AnalyzeConfig {
+                h_max_nanos: None,
+                ..AnalyzeConfig::default()
+            },
+            horizon_nanos: Some(1_000 * 1_000_000),
+            ..OnlineConfig::default()
+        };
+        let report = run_online(&records, cfg);
+        assert_eq!(report.stream.aged_out, 1);
+        assert_eq!(report.unrecovered, 1);
+        assert_eq!(report.recovered, 0);
+        assert_eq!(report.anomalies[0].kind(), "unrecovered_gap");
+        assert!(!report.is_clean());
+    }
+
+    #[test]
+    fn sampled_reservoirs_keep_exact_counts() {
+        let records = lossy_stream(600); // 200 recoveries
+        let batch = analyze(&records, &AnalyzeConfig::default());
+        let cfg = OnlineConfig {
+            stage_reservoir: 16,
+            timeline_reservoir: 8,
+            ..OnlineConfig::default()
+        };
+        let online = run_online(&records, cfg);
+        assert_eq!(online.recovered, batch.recovered);
+        assert_eq!(online.total.count(), batch.total.count());
+        assert!(online.total.is_sampled());
+        assert_eq!(online.total.mean(), batch.total.mean());
+        assert_eq!(online.total.max(), batch.total.max());
+        assert_eq!(online.timelines.len(), 8);
+        assert_eq!(online.anomalies, batch.anomalies);
+        // At this scale the streaming analyzer's resident state (tiny
+        // reservoirs, bounded histograms) undercuts the batch record
+        // vector it never materializes.
+        assert!(online.stream.peak_resident_bytes < batch.stream.peak_resident_bytes);
+    }
+
+    #[test]
+    fn sink_adapter_feeds_the_analyzer_and_resets_on_finish() {
+        let sink = OnlineAnalyzerSink::new(OnlineConfig::default());
+        for r in lossy_stream(9) {
+            sink.record(r.at_nanos, r.host, &r.event);
+        }
+        assert!(sink.records() > 0);
+        let report = sink.finish();
+        assert_eq!(report.recovered, 3);
+        assert!(report.is_clean(), "{:?}", report.anomalies);
+        assert_eq!(sink.records(), 0, "finish leaves a fresh analyzer");
+    }
+
+    #[test]
+    fn out_of_order_records_are_counted() {
+        let mut records = lossy_stream(9);
+        records.swap(1, 4);
+        let online = run_online(&records, OnlineConfig::default());
+        assert!(online.stream.out_of_order > 0);
+    }
+}

@@ -91,24 +91,45 @@ impl TraceSink for RingSink {
     }
 }
 
+/// Default event interval between automatic [`JsonLinesSink`] flushes.
+pub(crate) const DEFAULT_FLUSH_EVERY: u64 = 1024;
+
 /// Streams events as JSON lines to any writer (a file, a pipe, or an
 /// in-memory buffer for tests).
+///
+/// The sink flushes the writer every
+/// [`DEFAULT_FLUSH_EVERY`](JsonLinesSink::new) events (tunable via
+/// [`with_flush_every`](JsonLinesSink::with_flush_every)), so a run that
+/// crashes mid-way still leaves an almost-complete capture on disk for
+/// `trace_doctor` — at worst the tail since the last flush is lost, and
+/// a truncated final line is skipped (and counted) by the replay
+/// parser. Teardown should still [`flush`](JsonLinesSink::flush) for
+/// the exact tail.
 #[derive(Debug)]
 pub struct JsonLinesSink<W: Write + Send> {
-    out: Mutex<W>,
+    out: Mutex<(W, u64)>,
+    flush_every: u64,
 }
 
 impl<W: Write + Send> JsonLinesSink<W> {
-    /// Wraps `writer`; one line is written per event.
+    /// Wraps `writer`; one line is written per event, with an automatic
+    /// flush every 1024 events.
     pub fn new(writer: W) -> Self {
+        Self::with_flush_every(writer, DEFAULT_FLUSH_EVERY)
+    }
+
+    /// Wraps `writer`, flushing every `flush_every` events (at least 1,
+    /// i.e. flush-per-line).
+    pub fn with_flush_every(writer: W, flush_every: u64) -> Self {
         JsonLinesSink {
-            out: Mutex::new(writer),
+            out: Mutex::new((writer, 0)),
+            flush_every: flush_every.max(1),
         }
     }
 
     /// Consumes the sink, returning the writer.
     pub fn into_inner(self) -> W {
-        self.out.into_inner().unwrap()
+        self.out.into_inner().unwrap().0
     }
 
     /// Flushes the underlying writer. Experiment teardown must call
@@ -116,7 +137,9 @@ impl<W: Write + Send> JsonLinesSink<W> {
     /// handing the file to `trace_doctor`, so buffered tail lines are
     /// never truncated.
     pub fn flush(&self) {
-        let _ = self.out.lock().unwrap().flush();
+        let mut out = self.out.lock().unwrap();
+        out.1 = 0;
+        let _ = out.0.flush();
     }
 }
 
@@ -128,7 +151,7 @@ impl JsonLinesSink<Vec<u8>> {
 
     /// The lines written so far.
     pub fn contents(&self) -> String {
-        String::from_utf8_lossy(&self.out.lock().unwrap()).into_owned()
+        String::from_utf8_lossy(&self.out.lock().unwrap().0).into_owned()
     }
 }
 
@@ -136,7 +159,12 @@ impl<W: Write + Send> TraceSink for JsonLinesSink<W> {
     fn record(&self, at_nanos: u64, host: HostId, event: &ProtocolEvent) {
         let mut out = self.out.lock().unwrap();
         // A full pipe or closed file is not the protocol's problem.
-        let _ = writeln!(out, "{}", event.to_json(at_nanos, host));
+        let _ = writeln!(out.0, "{}", event.to_json(at_nanos, host));
+        out.1 += 1;
+        if out.1 >= self.flush_every {
+            out.1 = 0;
+            let _ = out.0.flush();
+        }
     }
 }
 
@@ -180,6 +208,39 @@ mod tests {
         assert_eq!(events[0].0, 3);
         assert_eq!(events[1].0, 4);
         assert!(!sink.is_empty());
+    }
+
+    #[test]
+    fn json_lines_sink_flushes_periodically() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Arc as StdArc;
+
+        struct FlushCounter(StdArc<AtomicUsize>);
+        impl Write for FlushCounter {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                self.0.fetch_add(1, Ordering::SeqCst);
+                Ok(())
+            }
+        }
+
+        let flushes = StdArc::new(AtomicUsize::new(0));
+        let sink = JsonLinesSink::with_flush_every(FlushCounter(flushes.clone()), 3);
+        for i in 0..7u64 {
+            sink.record(i, HostId(1), &ev(i as u32));
+        }
+        // Events 3 and 6 trip the automatic flush; the tail has not.
+        assert_eq!(flushes.load(Ordering::SeqCst), 2);
+        sink.flush();
+        assert_eq!(flushes.load(Ordering::SeqCst), 3);
+        // The explicit flush resets the countdown: three more events
+        // trip exactly one more.
+        for i in 0..3u64 {
+            sink.record(i, HostId(1), &ev(i as u32));
+        }
+        assert_eq!(flushes.load(Ordering::SeqCst), 4);
     }
 
     #[test]
