@@ -111,6 +111,65 @@ fn bench_dis_scenario() -> Workload {
     }
 }
 
+/// How many shards the 1000-site workload runs with here: one per core
+/// up to 8, so the committed number reflects the parallel simulator on
+/// multi-core boxes and degrades to the serial path on one core.
+fn bench_shards() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get().min(8))
+        .unwrap_or(1)
+}
+
+/// The committed 1000-site × 30-receiver DIS workload: the scale the
+/// shard-invariance matrix pins, run through `run_until` so the sharded
+/// epoch scheduler (not the serial `step()` path) is what gets timed.
+/// The event count is seed-determined and shard-invariant; only wall
+/// time varies.
+fn dis_1000x30_events(shards: usize) -> (u64, Duration) {
+    let mut sc = DisScenario::build(DisScenarioConfig {
+        sites: 1_000,
+        receivers_per_site: 30,
+        site_params: SiteParams {
+            tail_in_loss: LossModel::rate(0.05),
+            ..SiteParams::distant()
+        },
+        shards: Some(shards),
+        seed: 1995,
+        ..DisScenarioConfig::default()
+    });
+    for i in 0..4u64 {
+        sc.send_at(
+            SimTime::from_millis(1_000 + i * 400),
+            Bytes::from_static(b"perf-baseline-1000x30"),
+        );
+    }
+    let start = Instant::now();
+    sc.world.run_until(SimTime::from_millis(3_000));
+    (sc.world.events_processed(), start.elapsed())
+}
+
+/// Best-of-runs rate for the 1000×30 workload at `shards` shards.
+fn dis_1000x30_rate(shards: usize) -> Workload {
+    let mut best_rate = 0.0f64;
+    let mut total_wall = Duration::ZERO;
+    let mut runs = 0u32;
+    while runs < 2 || (total_wall < Duration::from_millis(500) && runs < 20) {
+        let (events, wall) = dis_1000x30_events(shards);
+        total_wall += wall;
+        runs += 1;
+        best_rate = best_rate.max(events as f64 / wall.as_secs_f64());
+    }
+    Workload {
+        name: "dis_scenario_1000x30".into(),
+        events_per_sec: best_rate,
+        wall_secs: total_wall.as_secs_f64(),
+    }
+}
+
+fn bench_dis_1000x30() -> Workload {
+    dis_1000x30_rate(bench_shards())
+}
+
 /// Dense timer arm/fire churn on the event queue alone: a steady
 /// population of timers where every pop re-arms with a delta drawn from
 /// the bands the DIS scenario schedules in (same-tick LAN deliveries,
@@ -346,8 +405,9 @@ fn from_json(doc: &str) -> Vec<Workload> {
 }
 
 /// Every gated workload and its `--check` floor, in measurement order.
-const GATES: [(&str, f64); 6] = [
+const GATES: [(&str, f64); 7] = [
     ("dis_scenario_step", CHECK_FLOOR),
+    ("dis_scenario_1000x30", CHECK_FLOOR),
     ("event_queue_churn", AUX_CHECK_FLOOR),
     ("codec_encode_data_128B", AUX_CHECK_FLOOR),
     ("codec_decode_data_128B", AUX_CHECK_FLOOR),
@@ -358,12 +418,43 @@ const GATES: [(&str, f64); 6] = [
 fn measure_all() -> Vec<Workload> {
     vec![
         bench_dis_scenario(),
+        bench_dis_1000x30(),
         bench_event_queue_churn(),
         bench_codec_encode(),
         bench_codec_decode(),
         bench_logger_fanin(),
         bench_forensics_stream(),
     ]
+}
+
+/// Multi-shard speedup gate: on a machine with at least four cores the
+/// sharded 1000×30 run must beat the serial one by ≥ 1.5×. On smaller
+/// boxes (CI runners are often 1–2 cores) there is no parallelism to
+/// measure, so the gate is skipped rather than reporting noise.
+fn check_shard_speedup() -> bool {
+    const SPEEDUP_FLOOR: f64 = 1.5;
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    if cores < 4 {
+        println!("check: shard speedup            skipped ({cores} cores < 4)");
+        return true;
+    }
+    let serial = dis_1000x30_rate(1);
+    let sharded = dis_1000x30_rate(bench_shards());
+    let speedup = sharded.events_per_sec / serial.events_per_sec;
+    println!(
+        "check: shard speedup            {speedup:.2}x ({:.0} vs {:.0} events/s, floor {SPEEDUP_FLOOR}x)",
+        sharded.events_per_sec, serial.events_per_sec
+    );
+    if speedup < SPEEDUP_FLOOR {
+        eprintln!(
+            "perf_baseline --check: FAIL — {} shards only {speedup:.2}x over serial",
+            bench_shards()
+        );
+        return false;
+    }
+    true
 }
 
 fn main() {
@@ -413,6 +504,9 @@ fn main() {
                 );
                 failed = true;
             }
+        }
+        if !check_shard_speedup() {
+            failed = true;
         }
         if failed {
             std::process::exit(1);
@@ -465,5 +559,16 @@ mod tests {
         let (b, _) = dis_scenario_events();
         assert_eq!(a, b);
         assert!(a > 1_000, "scenario should generate real work, got {a}");
+    }
+
+    #[test]
+    fn dis_1000x30_event_count_is_shard_invariant() {
+        let (serial, _) = dis_1000x30_events(1);
+        let (sharded, _) = dis_1000x30_events(4);
+        assert_eq!(serial, sharded);
+        assert!(
+            serial > 100_000,
+            "1000x30 should generate real work, got {serial}"
+        );
     }
 }

@@ -31,8 +31,8 @@ use std::process::ExitCode;
 use std::sync::Arc;
 
 use lbrm_bench::doctor::{
-    analyze_jsonl_reader, analyze_jsonl_reader_online, demo_config, demo_run, run_scenario,
-    run_scenario_online, DoctorRun,
+    analyze_jsonl_reader, analyze_jsonl_reader_online, demo_config, demo_run, parse_bytes,
+    run_scenario, run_scenario_online, DoctorRun,
 };
 use lbrm_core::trace::analyze::AnalyzeConfig;
 use lbrm_core::trace::{JsonLinesSink, OnlineConfig, TraceSink};
@@ -53,22 +53,6 @@ struct Args {
     receivers: Option<u32>,
     packets: u64,
     write_trace: Option<String>,
-}
-
-/// Parses a byte size with an optional K/M/G (KiB/MiB/GiB) suffix.
-fn parse_bytes(s: &str) -> Result<u64, String> {
-    let (num, mult) = match s.trim_end_matches(|c: char| c.is_ascii_alphabetic()) {
-        n if n.len() == s.len() => (n, 1u64),
-        n => match s[n.len()..].to_ascii_uppercase().as_str() {
-            "K" | "KIB" | "KB" => (n, 1024),
-            "M" | "MIB" | "MB" => (n, 1024 * 1024),
-            "G" | "GIB" | "GB" => (n, 1024 * 1024 * 1024),
-            suffix => return Err(format!("unknown size suffix: {suffix}")),
-        },
-    };
-    num.parse::<u64>()
-        .map(|n| n * mult)
-        .map_err(|e| format!("{s}: {e}"))
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -128,7 +112,10 @@ fn parse_args() -> Result<Args, String> {
                 );
             }
             "--mem-budget" => {
-                args.mem_budget = Some(parse_bytes(&next_val("--mem-budget", &mut it)?)?);
+                args.mem_budget = Some(
+                    parse_bytes(&next_val("--mem-budget", &mut it)?)
+                        .map_err(|e| format!("--mem-budget: {e}"))?,
+                );
             }
             "--sites" => {
                 args.sites = Some(

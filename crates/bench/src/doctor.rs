@@ -225,10 +225,63 @@ pub fn demo_run_online(seed: u64, cfg: OnlineConfig) -> DoctorRun {
     run_scenario_online(demo_config(seed), 20, SimTime::from_secs(30), cfg, None).0
 }
 
+/// Parses a byte size with an optional K/M/G (KiB/MiB/GiB) suffix, as
+/// accepted by `trace_doctor --mem-budget`. Bare numbers are bytes;
+/// suffixes are case-insensitive and may be spelled `K`, `KB`, or `KiB`
+/// (all binary multiples).
+///
+/// # Errors
+///
+/// Returns a usage message for an unknown suffix or a malformed number.
+pub fn parse_bytes(s: &str) -> Result<u64, String> {
+    let (num, mult) = match s.trim_end_matches(|c: char| c.is_ascii_alphabetic()) {
+        n if n.len() == s.len() => (n, 1u64),
+        n => match s[n.len()..].to_ascii_uppercase().as_str() {
+            "K" | "KIB" | "KB" => (n, 1024),
+            "M" | "MIB" | "MB" => (n, 1024 * 1024),
+            "G" | "GIB" | "GB" => (n, 1024 * 1024 * 1024),
+            suffix => return Err(format!("unknown size suffix: {suffix}")),
+        },
+    };
+    num.parse::<u64>()
+        .map(|n| n * mult)
+        .map_err(|e| format!("{s}: {e}"))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use lbrm_core::trace::JsonLinesSink;
+
+    #[test]
+    fn parse_bytes_accepts_every_suffix_form() {
+        assert_eq!(parse_bytes("0"), Ok(0));
+        assert_eq!(parse_bytes("123"), Ok(123));
+        assert_eq!(parse_bytes("2K"), Ok(2 * 1024));
+        assert_eq!(parse_bytes("2kb"), Ok(2 * 1024));
+        assert_eq!(parse_bytes("2KiB"), Ok(2 * 1024));
+        assert_eq!(parse_bytes("3M"), Ok(3 * 1024 * 1024));
+        assert_eq!(parse_bytes("3mib"), Ok(3 * 1024 * 1024));
+        assert_eq!(parse_bytes("1G"), Ok(1024 * 1024 * 1024));
+        assert_eq!(parse_bytes("1gb"), Ok(1024 * 1024 * 1024));
+    }
+
+    #[test]
+    fn parse_bytes_rejects_malformed_sizes() {
+        assert!(parse_bytes("12T")
+            .unwrap_err()
+            .contains("unknown size suffix"));
+        assert!(parse_bytes("12XB")
+            .unwrap_err()
+            .contains("unknown size suffix"));
+        // All-alphabetic input strips to an empty number, which must not
+        // silently parse as zero.
+        assert!(parse_bytes("K").is_err());
+        assert!(parse_bytes("").is_err());
+        assert!(parse_bytes("-5").is_err());
+        assert!(parse_bytes("1.5M").is_err());
+        assert!(parse_bytes("12 M").is_err());
+    }
 
     #[test]
     fn streaming_replay_matches_whole_string() {

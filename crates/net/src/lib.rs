@@ -26,7 +26,7 @@ pub mod udp;
 pub use addr::{addr_of, host_of, GroupMap};
 pub use endpoint::{Endpoint, EndpointEvent, EndpointHandle};
 pub use hub::{Hub, HubTransport};
-pub use udp::UdpTransport;
+pub use udp::{truncation_error, RecvCounters, UdpTransport};
 
 use std::io;
 use std::time::Duration;

@@ -19,7 +19,7 @@
 use std::collections::HashMap;
 use std::io;
 use std::net::{Ipv4Addr, SocketAddr, SocketAddrV4, UdpSocket};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Duration;
@@ -32,13 +32,112 @@ use crate::Transport;
 /// How often reader threads wake to check for shutdown.
 const READ_TICK: Duration = Duration::from_millis(50);
 
+/// Receive buffers are one byte larger than the biggest valid packet, so
+/// `recv_from` filling the whole buffer is an unambiguous truncation
+/// signal — a datagram of exactly [`MAX_PACKET_SIZE`] bytes still reads
+/// with headroom and is never misflagged.
+const RECV_BUF_SIZE: usize = MAX_PACKET_SIZE + 1;
+
 type PacketTx = mpsc::Sender<(HostId, Packet)>;
 
+/// Receive-path health counters for one endpoint, shared with its reader
+/// threads. Datagrams dropped before decoding used to vanish silently;
+/// these counters make the drops observable so an operator can tell
+/// "peer sends garbage" apart from "peer sends packets bigger than the
+/// receive buffer".
+#[derive(Debug, Default)]
+pub struct RecvCounters {
+    truncated: AtomicU64,
+    decode_errors: AtomicU64,
+}
+
+impl RecvCounters {
+    /// Datagrams dropped because they overflowed the receive buffer
+    /// (larger than [`MAX_PACKET_SIZE`], so never decodable).
+    pub fn truncated(&self) -> u64 {
+        self.truncated.load(Ordering::Relaxed)
+    }
+
+    /// Well-sized datagrams that failed wire decoding.
+    pub fn decode_errors(&self) -> u64 {
+        self.decode_errors.load(Ordering::Relaxed)
+    }
+}
+
+/// The distinct error for a datagram that filled the receive buffer:
+/// the payload was cut off by the OS, so a decode failure downstream
+/// would misdiagnose the problem as peer corruption.
+pub fn truncation_error(n: usize) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::InvalidData,
+        format!(
+            "datagram truncated: {n} bytes filled the receive buffer \
+             (valid packets are at most {MAX_PACKET_SIZE} bytes)"
+        ),
+    )
+}
+
+/// Classifies and decodes one received datagram. `n == buf.len()` means
+/// the OS truncated the datagram to fit — that is reported as the
+/// distinct [`truncation_error`], not as a decode failure.
+fn decode_datagram(buf: &[u8], n: usize) -> io::Result<Packet> {
+    if n == buf.len() {
+        return Err(truncation_error(n));
+    }
+    decode(&buf[..n]).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+}
+
+/// Charges one receive failure to `counters`, keyed by whether it was a
+/// truncation (see [`decode_datagram`]).
+fn count_recv_error(counters: &RecvCounters, err: &io::Error) {
+    if err.to_string().starts_with("datagram truncated") {
+        counters.truncated.fetch_add(1, Ordering::Relaxed);
+    } else {
+        counters.decode_errors.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// One blocking receive step shared by both reader loops: reads a
+/// datagram into `buf`, classifies truncation vs decode failure (charging
+/// drops to `counters`), and returns the sender and packet on success.
+/// `Ok(None)` means "nothing deliverable this tick" (timeout, non-IPv4
+/// source, or a counted drop); `Err` is a fatal socket error.
+fn recv_step(
+    sock: &UdpSocket,
+    buf: &mut [u8],
+    counters: &RecvCounters,
+) -> io::Result<Option<(HostId, Packet)>> {
+    let (n, from) = match sock.recv_from(buf) {
+        Ok(v) => v,
+        Err(e)
+            if matches!(
+                e.kind(),
+                io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+            ) =>
+        {
+            return Ok(None);
+        }
+        Err(e) => return Err(e),
+    };
+    let SocketAddr::V4(from) = from else {
+        return Ok(None);
+    };
+    match decode_datagram(buf, n) {
+        Ok(packet) => Ok(Some((host_of(from), packet))),
+        Err(e) => {
+            count_recv_error(counters, &e);
+            Ok(None)
+        }
+    }
+}
+
 /// One subscriber of a shared group-port socket: the transport's local
-/// identity (for self-echo filtering) and its delivery channel.
+/// identity (for self-echo filtering), its delivery channel, and its
+/// receive-health counters.
 struct Subscriber {
     me: HostId,
     tx: PacketTx,
+    counters: Arc<RecvCounters>,
 }
 
 /// A shared receive socket for one group port, fanned out to every
@@ -69,6 +168,7 @@ fn port_join(
     interface: Ipv4Addr,
     me: HostId,
     tx: PacketTx,
+    counters: Arc<RecvCounters>,
 ) -> io::Result<()> {
     let mut reg = lock(registry());
     let entry = match reg.entry(port) {
@@ -98,7 +198,7 @@ fn port_join(
         entry.sock.join_multicast_v4(&group_ip, &interface)?;
     }
     *count += 1;
-    lock(&entry.subscribers).push(Subscriber { me, tx });
+    lock(&entry.subscribers).push(Subscriber { me, tx, counters });
     Ok(())
 }
 
@@ -131,9 +231,11 @@ fn port_leave(port: u16, group_ip: Ipv4Addr, interface: Ipv4Addr, me: HostId) ->
 }
 
 /// Decodes datagrams from the shared socket and fans them out to every
-/// subscriber except the one that sent them.
+/// subscriber except the one that sent them. Drops (truncation, decode
+/// failure) are charged to every subscriber that would have received the
+/// datagram, so each endpoint's stats reflect traffic *it* lost.
 fn fanout_loop(sock: &UdpSocket, subscribers: &Mutex<Vec<Subscriber>>, stop: &AtomicBool) {
-    let mut buf = vec![0u8; MAX_PACKET_SIZE];
+    let mut buf = vec![0u8; RECV_BUF_SIZE];
     while !stop.load(Ordering::Relaxed) {
         let (n, from) = match sock.recv_from(&mut buf) {
             Ok(v) => v,
@@ -149,43 +251,48 @@ fn fanout_loop(sock: &UdpSocket, subscribers: &Mutex<Vec<Subscriber>>, stop: &At
         };
         let SocketAddr::V4(from) = from else { continue };
         let from = host_of(from);
-        let Ok(packet) = decode(&buf[..n]) else {
-            continue;
-        };
-        let subs = lock(subscribers);
-        for s in subs.iter() {
-            if s.me != from {
-                let _ = s.tx.send((from, packet.clone()));
+        match decode_datagram(&buf, n) {
+            Ok(packet) => {
+                let subs = lock(subscribers);
+                for s in subs.iter() {
+                    if s.me != from {
+                        let _ = s.tx.send((from, packet.clone()));
+                    }
+                }
+            }
+            Err(e) => {
+                let subs = lock(subscribers);
+                for s in subs.iter() {
+                    if s.me != from {
+                        count_recv_error(&s.counters, &e);
+                    }
+                }
             }
         }
     }
 }
 
 /// Reads unicast datagrams addressed to one endpoint.
-fn unicast_loop(sock: &UdpSocket, tx: &PacketTx, me: HostId, stop: &AtomicBool) {
-    let mut buf = vec![0u8; MAX_PACKET_SIZE];
+fn unicast_loop(
+    sock: &UdpSocket,
+    tx: &PacketTx,
+    me: HostId,
+    counters: &RecvCounters,
+    stop: &AtomicBool,
+) {
+    let mut buf = vec![0u8; RECV_BUF_SIZE];
     while !stop.load(Ordering::Relaxed) {
-        let (n, from) = match sock.recv_from(&mut buf) {
-            Ok(v) => v,
-            Err(e)
-                if matches!(
-                    e.kind(),
-                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
-                ) =>
-            {
-                continue;
+        match recv_step(sock, &mut buf, counters) {
+            Ok(Some((from, packet))) => {
+                if from == me {
+                    continue; // multicast loopback echo of our own send
+                }
+                if tx.send((from, packet)).is_err() {
+                    return;
+                }
             }
+            Ok(None) => continue,
             Err(_) => return,
-        };
-        let SocketAddr::V4(from) = from else { continue };
-        let from = host_of(from);
-        if from == me {
-            continue; // multicast loopback echo of our own send
-        }
-        if let Ok(packet) = decode(&buf[..n]) {
-            if tx.send((from, packet)).is_err() {
-                return;
-            }
         }
     }
 }
@@ -199,6 +306,7 @@ pub struct UdpTransport {
     rx: mpsc::Receiver<(HostId, Packet)>,
     tx: PacketTx,
     members: Vec<GroupId>,
+    counters: Arc<RecvCounters>,
     stop: Arc<AtomicBool>,
 }
 
@@ -223,11 +331,13 @@ impl UdpTransport {
         let host = host_of(advertised);
         let (tx, rx) = mpsc::channel();
         let stop = Arc::new(AtomicBool::new(false));
+        let counters = Arc::new(RecvCounters::default());
         {
             let sock = Arc::clone(&unicast);
             let tx = tx.clone();
             let stop = Arc::clone(&stop);
-            std::thread::spawn(move || unicast_loop(&sock, &tx, host, &stop));
+            let counters = Arc::clone(&counters);
+            std::thread::spawn(move || unicast_loop(&sock, &tx, host, &counters, &stop));
         }
         Ok(UdpTransport {
             unicast,
@@ -237,6 +347,7 @@ impl UdpTransport {
             rx,
             tx,
             members: Vec::new(),
+            counters,
             stop,
         })
     }
@@ -244,6 +355,12 @@ impl UdpTransport {
     /// The local unicast address peers reply to.
     pub fn local_addr(&self) -> SocketAddrV4 {
         addr_of(self.host)
+    }
+
+    /// Receive-path health counters: truncated and undecodable datagrams
+    /// dropped by this endpoint's reader threads.
+    pub fn recv_counters(&self) -> &RecvCounters {
+        &self.counters
     }
 }
 
@@ -299,6 +416,7 @@ impl Transport for UdpTransport {
             self.interface,
             self.host,
             self.tx.clone(),
+            Arc::clone(&self.counters),
         )?;
         self.members.push(group);
         Ok(())
@@ -311,5 +429,115 @@ impl Transport for UdpTransport {
             port_leave(addr.port(), *addr.ip(), self.interface, self.host)?;
         }
         Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use lbrm_wire::{EpochId, Seq, SourceId};
+
+    fn data(seq: u32) -> Packet {
+        Packet::Data {
+            group: GroupId(1),
+            source: SourceId(1),
+            seq: Seq(seq),
+            epoch: EpochId(0),
+            payload: Bytes::from_static(b"x"),
+        }
+    }
+
+    #[test]
+    fn truncation_is_a_distinct_error() {
+        let buf = [0u8; 64];
+        // Buffer completely filled: truncation, not a decode failure.
+        let err = decode_datagram(&buf, buf.len()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(
+            err.to_string().starts_with("datagram truncated"),
+            "unexpected message: {err}"
+        );
+        // Same bytes with headroom: a plain decode failure, so the two
+        // failure modes stay distinguishable downstream.
+        let err = decode_datagram(&buf, 32).unwrap_err();
+        assert!(!err.to_string().starts_with("datagram truncated"));
+    }
+
+    #[test]
+    fn count_recv_error_splits_truncation_from_decode() {
+        let counters = RecvCounters::default();
+        count_recv_error(&counters, &truncation_error(100));
+        count_recv_error(
+            &counters,
+            &io::Error::new(io::ErrorKind::InvalidData, "bad magic"),
+        );
+        count_recv_error(&counters, &truncation_error(200));
+        assert_eq!(counters.truncated(), 2);
+        assert_eq!(counters.decode_errors(), 1);
+    }
+
+    /// Regression: a datagram larger than the receive buffer used to be
+    /// silently cut short and handed to the decoder; it must instead be
+    /// counted as truncated and never surface as a packet.
+    #[test]
+    fn oversized_send_is_counted_as_truncated() {
+        let rx = UdpSocket::bind((Ipv4Addr::LOCALHOST, 0)).unwrap();
+        rx.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        let dst = rx.local_addr().unwrap();
+        let tx = UdpSocket::bind((Ipv4Addr::LOCALHOST, 0)).unwrap();
+
+        let counters = RecvCounters::default();
+        let mut buf = vec![0u8; 1024];
+
+        // Oversized relative to the receive buffer: the OS truncates the
+        // datagram, recv_from reports a full buffer, and the drop lands
+        // in the truncation counter.
+        tx.send_to(&vec![0xAB; 2048], dst).unwrap();
+        let got = recv_step(&rx, &mut buf, &counters).unwrap();
+        assert!(got.is_none(), "truncated datagram must not be delivered");
+        assert_eq!(counters.truncated(), 1);
+        assert_eq!(counters.decode_errors(), 0);
+
+        // The receive path keeps working: a valid packet after the
+        // oversized one still decodes and carries the sender's address.
+        let bytes = encode(&data(7)).unwrap();
+        tx.send_to(&bytes, dst).unwrap();
+        let (from, packet) = recv_step(&rx, &mut buf, &counters)
+            .unwrap()
+            .expect("valid packet after truncated one");
+        let SocketAddr::V4(tx_addr) = tx.local_addr().unwrap() else {
+            panic!("ipv4 bind");
+        };
+        assert_eq!(from, host_of(tx_addr));
+        assert_eq!(packet, data(7));
+        assert_eq!(counters.truncated(), 1);
+    }
+
+    /// A datagram of exactly [`MAX_PACKET_SIZE`] bytes must *not* be
+    /// flagged as truncated: the receive buffer keeps one byte of
+    /// headroom precisely so the largest valid packet reads clean.
+    #[test]
+    fn max_size_datagram_is_not_misflagged() {
+        let rx = UdpSocket::bind((Ipv4Addr::LOCALHOST, 0)).unwrap();
+        rx.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        let dst = rx.local_addr().unwrap();
+        let tx = UdpSocket::bind((Ipv4Addr::LOCALHOST, 0)).unwrap();
+        // Some environments cap datagram size below the UDP maximum;
+        // skip (don't fail) when the send itself is refused.
+        if let Err(e) = tx.send_to(&vec![0xCD; MAX_PACKET_SIZE], dst) {
+            eprintln!("skipping max-size datagram test: send failed: {e}");
+            return;
+        }
+        let counters = RecvCounters::default();
+        let mut buf = vec![0u8; RECV_BUF_SIZE];
+        let got = recv_step(&rx, &mut buf, &counters).unwrap();
+        assert!(got.is_none(), "garbage payload must not decode");
+        assert_eq!(
+            counters.truncated(),
+            0,
+            "max-size datagram wrongly counted as truncated"
+        );
+        assert_eq!(counters.decode_errors(), 1);
     }
 }

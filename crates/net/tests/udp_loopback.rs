@@ -112,3 +112,50 @@ fn udp_multicast_end_to_end() {
     assert_eq!(d.seq, Seq(1));
     assert_eq!(d.payload.as_ref(), b"over real udp");
 }
+
+/// Undecodable datagrams hitting a live transport land in its receive
+/// counters instead of vanishing, and the endpoint keeps delivering
+/// valid traffic afterwards.
+#[test]
+fn garbage_datagram_is_counted_not_delivered() {
+    use std::net::UdpSocket;
+
+    let Some(mut t) = try_bind(49_433) else {
+        return;
+    };
+    let raw = UdpSocket::bind((Ipv4Addr::LOCALHOST, 0)).unwrap();
+    let dst = t.local_addr();
+    raw.send_to(&[0xFF; 64], dst).unwrap();
+
+    // The reader thread drops the garbage without delivering anything.
+    assert!(t
+        .recv_timeout(Duration::from_millis(300))
+        .unwrap()
+        .is_none());
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    while t.recv_counters().decode_errors() == 0 && std::time::Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert_eq!(t.recv_counters().decode_errors(), 1);
+    assert_eq!(t.recv_counters().truncated(), 0);
+
+    // Valid traffic still flows through the same reader loop.
+    let Some(mut peer) = try_bind(49_433) else {
+        return;
+    };
+    let me = t.local_host();
+    peer.send_unicast(
+        me,
+        &lbrm_wire::Packet::Heartbeat {
+            group: GROUP,
+            source: SRC,
+            seq: Seq(0),
+            epoch: lbrm_wire::EpochId(0),
+            hb_index: 1,
+            payload: Bytes::new(),
+        },
+    )
+    .unwrap();
+    let got = t.recv_timeout(Duration::from_secs(5)).unwrap();
+    assert!(got.is_some(), "valid packet after garbage must deliver");
+}

@@ -17,6 +17,9 @@
 //! * [`queue`] — the future-event queue behind the loop: a hierarchical
 //!   timer wheel (amortized O(1) push/pop) with a binary-heap reference
 //!   backend that pops in the identical order.
+//! * `shard` (internal) — site-sharded parallel execution with
+//!   conservative synchronization; `LBRM_SIM_SHARDS` selects the shard
+//!   count and results are byte-identical for any value.
 //! * [`stats`] — per-segment-class, per-packet-kind traffic accounting
 //!   (the quantities the paper's evaluation counts).
 //!
@@ -28,6 +31,7 @@
 
 pub mod loss;
 pub mod queue;
+pub(crate) mod shard;
 pub mod stats;
 pub mod time;
 pub mod topology;

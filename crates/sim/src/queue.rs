@@ -58,14 +58,39 @@ pub enum QueueBackend {
 }
 
 impl QueueBackend {
-    /// Backend selected by the `LBRM_SIM_QUEUE` environment variable
-    /// (`"heap"` forces the reference heap; anything else — including
-    /// unset — is the wheel). This is the hook the differential tests
-    /// use to run whole experiment binaries under both backends.
+    /// Backend selected by the `LBRM_SIM_QUEUE` environment variable.
+    /// This is the hook the differential tests use to run whole
+    /// experiment binaries under both backends, so it is strict: only
+    /// `"wheel"`, `"heap"`, the empty string, or unset are accepted. A
+    /// typo in the CI matrix must fail loudly — silently falling back to
+    /// the wheel would run the same backend twice and the differential
+    /// coverage would evaporate without anyone noticing.
+    ///
+    /// # Panics
+    ///
+    /// Panics on any other value.
     pub fn from_env() -> QueueBackend {
         match std::env::var("LBRM_SIM_QUEUE") {
-            Ok(v) if v.eq_ignore_ascii_case("heap") => QueueBackend::Heap,
-            _ => QueueBackend::Wheel,
+            Err(std::env::VarError::NotPresent) => QueueBackend::Wheel,
+            Err(e) => panic!("LBRM_SIM_QUEUE is not valid unicode: {e}"),
+            Ok(v) => match Self::parse(&v) {
+                Some(b) => b,
+                None => {
+                    panic!("LBRM_SIM_QUEUE must be \"wheel\" or \"heap\" (or unset), got {v:?}")
+                }
+            },
+        }
+    }
+
+    /// Parses a backend name: `"wheel"`, `"heap"` (case-insensitive), or
+    /// the empty string (treated as unset → the default wheel).
+    pub fn parse(v: &str) -> Option<QueueBackend> {
+        if v.is_empty() || v.eq_ignore_ascii_case("wheel") {
+            Some(QueueBackend::Wheel)
+        } else if v.eq_ignore_ascii_case("heap") {
+            Some(QueueBackend::Heap)
+        } else {
+            None
         }
     }
 }
@@ -74,7 +99,7 @@ impl QueueBackend {
 /// never participates in comparisons.
 struct Entry<T> {
     at: SimTime,
-    tiebreak: u64,
+    tiebreak: u128,
     item: T,
 }
 
@@ -96,6 +121,13 @@ impl<T> Ord for Entry<T> {
 }
 
 /// log2 of the tick size in nanoseconds: `2^22` ns ≈ 4.2 ms per tick.
+///
+/// Re-measured at the 1000-site × 30-receiver regime (per-shard queues,
+/// ~100k+ resident events): shifts 18/20 (finer) and 26 (coarser) all
+/// lose 10–25% on the `dis_scenario_1000x30` workload, 24 is within
+/// noise of 22. The scenario's dominant deltas (5–80 ms links, 250 ms
+/// heartbeat) land in level 0 at 22 with small enough buckets that the
+/// ready-list batch sort stays cheap.
 const GRANULARITY_SHIFT: u32 = 22;
 /// log2 of the slots per level.
 const LEVEL_BITS: u32 = 8;
@@ -172,11 +204,16 @@ fn next_occupied(occ: &[u64; WORDS], idx: usize) -> Option<(u64, usize)> {
 struct Wheel<T> {
     /// The open tick: events at `tick <= cur` live in `near`.
     cur: u64,
-    /// Events inside the open tick, sorted *descending* by
-    /// `(at, tiebreak)`: the minimum sits at the back, so a pop is a
-    /// plain `Vec::pop` and draining a bucket is one batch sort instead
-    /// of per-event heap sifts.
-    near: Vec<Entry<T>>,
+    /// Events inside the open tick, a min-heap on `(at, tiebreak)`.
+    ///
+    /// This was a descending-sorted `Vec` with exact-position inserts
+    /// until the 1000-site regime: a single heartbeat fan-out there
+    /// lands tens of thousands of LAN deliveries inside one 4.2 ms
+    /// tick, and O(n) `Vec::insert` per same-tick push turns that burst
+    /// into O(n²) memmoves. A binary heap keeps the burst at
+    /// O(n log n) while popping the identical `(at, tiebreak)` order
+    /// (tiebreaks are unique, so heap ordering is total).
+    near: BinaryHeap<Reverse<Entry<T>>>,
     levels: Vec<Level<T>>,
     /// Events resident in wheel slots (excludes `near`).
     resident: usize,
@@ -186,7 +223,7 @@ impl<T> Wheel<T> {
     fn new() -> Wheel<T> {
         Wheel {
             cur: 0,
-            near: Vec::new(),
+            near: BinaryHeap::new(),
             levels: (0..LEVELS).map(|_| Level::new()).collect(),
             resident: 0,
         }
@@ -195,10 +232,7 @@ impl<T> Wheel<T> {
     fn push(&mut self, e: Entry<T>) {
         let tick = e.at.nanos() >> GRANULARITY_SHIFT;
         if tick <= self.cur {
-            // Keep `near` sorted descending; tiebreaks are unique so the
-            // partition point is the exact slot.
-            let pos = self.near.partition_point(|x| *x > e);
-            self.near.insert(pos, e);
+            self.near.push(Reverse(e));
             return;
         }
         let level = level_for(tick - self.cur);
@@ -252,12 +286,10 @@ impl<T> Wheel<T> {
                 self.cur = base;
                 // `near` is empty here (advance only runs when it is), so
                 // the drained bucket *becomes* the ready list after one
-                // sort, and the old `near` buffer becomes the bucket —
-                // steady state moves buffers, never reallocates.
-                entries.sort_unstable_by(|a, b| b.cmp(a));
-                let spent = std::mem::replace(&mut self.near, entries);
-                debug_assert!(spent.is_empty());
-                self.levels[0].slots[slot] = spent;
+                // O(n) heapify; `map(Reverse)` collects in place, so
+                // steady state moves one buffer per open tick.
+                debug_assert!(self.near.is_empty());
+                self.near = BinaryHeap::from(entries.into_iter().map(Reverse).collect::<Vec<_>>());
                 return true;
             }
             // Cascade: park the clock one tick shy of the bucket's base
@@ -273,7 +305,7 @@ impl<T> Wheel<T> {
 
     fn pop(&mut self) -> Option<Entry<T>> {
         loop {
-            if let Some(e) = self.near.pop() {
+            if let Some(Reverse(e)) = self.near.pop() {
                 self.resident_check();
                 return Some(e);
             }
@@ -285,7 +317,7 @@ impl<T> Wheel<T> {
 
     fn next_at(&mut self) -> Option<SimTime> {
         loop {
-            if let Some(e) = self.near.last() {
+            if let Some(Reverse(e)) = self.near.peek() {
                 return Some(e.at);
             }
             if !self.advance() {
@@ -305,9 +337,17 @@ enum Backend<T> {
     Wheel(Wheel<T>),
 }
 
+/// Tiebreak bit marking auto-assigned (push-order) keys. Caller-provided
+/// keys from [`EventQueue::push_keyed`] must stay below this bit, so the
+/// two key spaces never collide even when mixed in one queue.
+const AUTO_KEY_BIT: u128 = 1 << 127;
+
 /// The simulator's future-event queue: events pop in strictly increasing
-/// `(deadline, push order)` — FIFO within a deadline — under either
-/// backend.
+/// `(deadline, tiebreak)` under either backend. [`EventQueue::push`]
+/// assigns tiebreaks in push order (FIFO within a deadline);
+/// [`EventQueue::push_keyed`] lets the caller supply the tiebreak, which
+/// is how the sharded [`crate::world::World`] imposes one global,
+/// placement-invariant event order across per-shard queues.
 pub struct EventQueue<T> {
     tiebreak: u64,
     len: usize,
@@ -336,14 +376,27 @@ impl<T> EventQueue<T> {
     }
 
     /// Schedules `item` at `at`, after everything already scheduled at
-    /// the same instant.
+    /// the same instant (and after any [`EventQueue::push_keyed`] event
+    /// at that instant — auto keys sort above all caller keys).
     pub fn push(&mut self, at: SimTime, item: T) {
         self.tiebreak += 1;
-        let e = Entry {
-            at,
-            tiebreak: self.tiebreak,
-            item,
-        };
+        self.push_entry(at, AUTO_KEY_BIT | u128::from(self.tiebreak), item);
+    }
+
+    /// Schedules `item` at `at` with a caller-supplied tiebreak key.
+    /// Keys must be unique per `(at, key)` pair and below the auto-key
+    /// bit (`1 << 127`); events at the same instant pop in key order
+    /// regardless of push order.
+    pub fn push_keyed(&mut self, at: SimTime, key: u128, item: T) {
+        debug_assert!(
+            key & AUTO_KEY_BIT == 0,
+            "keyed pushes must stay below bit 127"
+        );
+        self.push_entry(at, key, item);
+    }
+
+    fn push_entry(&mut self, at: SimTime, tiebreak: u128, item: T) {
+        let e = Entry { at, tiebreak, item };
         self.len += 1;
         match &mut self.backend {
             Backend::Heap(h) => h.push(Reverse(e)),
@@ -353,12 +406,17 @@ impl<T> EventQueue<T> {
 
     /// Removes and returns the earliest event.
     pub fn pop(&mut self) -> Option<(SimTime, T)> {
+        self.pop_keyed().map(|(at, _, item)| (at, item))
+    }
+
+    /// Removes and returns the earliest event with its tiebreak key.
+    pub fn pop_keyed(&mut self) -> Option<(SimTime, u128, T)> {
         let e = match &mut self.backend {
             Backend::Heap(h) => h.pop().map(|Reverse(e)| e),
             Backend::Wheel(w) => w.pop(),
         }?;
         self.len -= 1;
-        Some((e.at, e.item))
+        Some((e.at, e.tiebreak, e.item))
     }
 
     /// Deadline of the earliest event without removing it. (`&mut`
@@ -538,6 +596,83 @@ mod tests {
     fn env_selects_backend() {
         // Only asserts the parser, not the process env (tests share it).
         assert_eq!(QueueBackend::default(), QueueBackend::Wheel);
+        assert_eq!(QueueBackend::parse("wheel"), Some(QueueBackend::Wheel));
+        assert_eq!(QueueBackend::parse("WHEEL"), Some(QueueBackend::Wheel));
+        assert_eq!(QueueBackend::parse("heap"), Some(QueueBackend::Heap));
+        assert_eq!(QueueBackend::parse("Heap"), Some(QueueBackend::Heap));
+        assert_eq!(QueueBackend::parse(""), Some(QueueBackend::Wheel));
+    }
+
+    /// A typo in the backend name (`"haep"`, `"wheell"`, …) must be a
+    /// hard error, not a silent fall-back to the wheel: the CI matrix
+    /// relies on `LBRM_SIM_QUEUE=heap` actually switching backends.
+    #[test]
+    fn unrecognized_backend_is_rejected() {
+        for typo in ["haep", "wheell", "binaryheap", "0", "default"] {
+            assert_eq!(QueueBackend::parse(typo), None, "{typo:?}");
+        }
+    }
+
+    /// Keyed pushes impose `(at, key)` order regardless of push order,
+    /// identically on both backends; auto-keyed pushes at the same
+    /// instant sort after all keyed ones.
+    #[test]
+    fn keyed_pushes_pop_in_key_order_on_both_backends() {
+        for backend in [QueueBackend::Wheel, QueueBackend::Heap] {
+            let mut q: EventQueue<u32> = EventQueue::new(backend);
+            let t = SimTime::from_millis(3);
+            q.push_keyed(t, (7u128 << 64) | 1, 71);
+            q.push_keyed(t, (2u128 << 64) | 9, 29);
+            q.push(t, 999); // auto key: after every keyed event at `t`
+            q.push_keyed(t, (2u128 << 64) | 3, 23);
+            q.push_keyed(SimTime::from_millis(1), (9u128 << 64) | 9, 99);
+            let order: Vec<(u128, u32)> =
+                std::iter::from_fn(|| q.pop_keyed().map(|(_, k, i)| (k & !AUTO_KEY_BIT, i)))
+                    .collect();
+            assert_eq!(
+                order,
+                vec![
+                    ((9u128 << 64) | 9, 99),
+                    ((2u128 << 64) | 3, 23),
+                    ((2u128 << 64) | 9, 29),
+                    ((7u128 << 64) | 1, 71),
+                    (1, 999),
+                ],
+                "{backend:?}"
+            );
+        }
+    }
+
+    /// Same keyed schedule, different push interleavings, both backends:
+    /// the pop sequence (time, key, item) must be identical — this is
+    /// the property the sharded world's cross-shard merge rests on.
+    #[test]
+    fn keyed_pop_order_is_push_order_invariant() {
+        let mut s = 0xD15_EA5E_u64;
+        let mut events: Vec<(SimTime, u128, u32)> = (0..500u32)
+            .map(|i| {
+                let at = SimTime::from_nanos(splitmix(&mut s) % 3_000_000_000);
+                let ent = u128::from(splitmix(&mut s) % 64);
+                ((at), (ent << 64) | u128::from(i), i)
+            })
+            .collect();
+        let mut reference: Option<Vec<(SimTime, u128, u32)>> = None;
+        for backend in [QueueBackend::Wheel, QueueBackend::Heap] {
+            for pass in 0..2 {
+                let mut q = EventQueue::new(backend);
+                if pass == 1 {
+                    events.reverse();
+                }
+                for (at, key, item) in &events {
+                    q.push_keyed(*at, *key, *item);
+                }
+                let popped: Vec<_> = std::iter::from_fn(|| q.pop_keyed()).collect();
+                match &reference {
+                    None => reference = Some(popped),
+                    Some(r) => assert_eq!(r, &popped, "{backend:?} pass {pass}"),
+                }
+            }
+        }
     }
 
     #[test]

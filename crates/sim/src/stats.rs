@@ -97,6 +97,21 @@ impl NetStats {
             .fold(Counter::default(), add)
     }
 
+    /// Folds another accounting into this one (counter-wise sums over
+    /// the key union). Merging is commutative and associative, so the
+    /// sharded world can accumulate per-shard `NetStats` independently
+    /// and merge them in any order with one deterministic result.
+    pub fn merge(&mut self, other: &NetStats) {
+        for (k, v) in &other.by_class {
+            let c = self.by_class.entry(*k).or_default();
+            *c = add(*c, *v);
+        }
+        for (k, v) in &other.by_site_tail {
+            let c = self.by_site_tail.entry(*k).or_default();
+            *c = add(*c, *v);
+        }
+    }
+
     /// All packet kinds seen on a class, with counters (sorted by kind for
     /// deterministic reporting).
     pub fn kinds_on(&self, class: SegmentClass) -> Vec<(&'static str, Counter)> {
@@ -147,6 +162,31 @@ mod tests {
         assert_eq!(
             s.site_tail(SiteId(9), SegmentClass::TailIn, "data"),
             Counter::default()
+        );
+    }
+
+    #[test]
+    fn merge_sums_counters_and_is_order_free() {
+        let mut a = NetStats::default();
+        a.record(SegmentClass::Wan, None, "data", 100, false);
+        a.record(SegmentClass::TailIn, Some(SiteId(1)), "data", 100, true);
+        let mut b = NetStats::default();
+        b.record(SegmentClass::Wan, None, "data", 50, false);
+        b.record(SegmentClass::Wan, None, "nack", 40, true);
+
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba, "merge must be commutative");
+
+        let w = ab.class_kind(SegmentClass::Wan, "data");
+        assert_eq!((w.carried, w.bytes), (2, 150));
+        assert_eq!(ab.class_kind(SegmentClass::Wan, "nack").dropped, 1);
+        assert_eq!(
+            ab.site_tail(SiteId(1), SegmentClass::TailIn, "data")
+                .dropped,
+            1
         );
     }
 

@@ -9,8 +9,29 @@
 //! against that segment's loss model *once per physical copy* — so a drop
 //! on a site's inbound tail circuit loses the packet for the whole site,
 //! exactly the correlated-loss pattern distributed logging exploits.
+//!
+//! # Split evaluation
+//!
+//! [`Topology`] itself is immutable after [`TopologyBuilder::build`];
+//! all mutable per-site network state (loss-model chains, tail-circuit
+//! queue occupancy, the site's RNG stream) lives in one [`SiteNet`] per
+//! site. A cross-site transmission is evaluated in two halves:
+//!
+//! * **source side**, against the sender site's [`SiteNet`]: the sender
+//!   LAN crossing, the outbound tail circuit ([`Topology::egress`]), and
+//!   one WAN-branch loss draw per destination site
+//!   ([`Topology::wan_drop`]);
+//! * **destination side**, against the receiver site's [`SiteNet`] at
+//!   the moment the copy reaches that site's tail circuit: the inbound
+//!   tail crossing ([`Topology::ingress_tail`]) and the per-member LAN
+//!   crossings ([`Topology::lan_delivery`]).
+//!
+//! The halves touch disjoint [`SiteNet`]s, which is what lets the
+//! sharded [`crate::world::World`] evaluate them on different shards —
+//! and because every draw charges the *site's own* RNG stream, the
+//! realized loss/jitter pattern is invariant to how sites are grouped
+//! into shards.
 
-use std::collections::HashMap;
 use std::time::Duration;
 
 use rand::rngs::SmallRng;
@@ -85,15 +106,41 @@ impl SiteParams {
     }
 }
 
-struct Site {
-    params: SiteParams,
+/// Mutable network state of one site: loss-model chains, tail-circuit
+/// FIFO occupancy, backlog high-water marks, and the site's RNG stream.
+///
+/// Every random draw a site's traffic makes — LAN/tail loss, WAN-branch
+/// loss for copies *originating* here, jitter — charges this struct, so
+/// a shard owning the site owns all of its randomness.
+pub struct SiteNet {
     lan_loss: LossState,
     tail_in_loss: LossState,
     tail_out_loss: LossState,
+    /// Backbone loss chain for WAN branches originating at this site.
+    wan_loss: LossState,
     tail_in_busy_until: SimTime,
     tail_out_busy_until: SimTime,
-    tail_in_backlog_max: Duration,
-    tail_out_backlog_max: Duration,
+    pub(crate) tail_in_backlog_max: Duration,
+    pub(crate) tail_out_backlog_max: Duration,
+    rng: SmallRng,
+}
+
+impl SiteNet {
+    /// Fresh state for one site. `rng` must be derived purely from the
+    /// world seed and the site id so the stream is placement-invariant.
+    pub fn new(params: &SiteParams, wan_loss: &LossModel, rng: SmallRng) -> SiteNet {
+        SiteNet {
+            lan_loss: LossState::new(params.lan_loss.clone()),
+            tail_in_loss: LossState::new(params.tail_in_loss.clone()),
+            tail_out_loss: LossState::new(params.tail_out_loss.clone()),
+            wan_loss: LossState::new(wan_loss.clone()),
+            tail_in_busy_until: SimTime::ZERO,
+            tail_out_busy_until: SimTime::ZERO,
+            tail_in_backlog_max: Duration::ZERO,
+            tail_out_backlog_max: Duration::ZERO,
+            rng,
+        }
+    }
 }
 
 /// Where to deliver a surviving copy, and when.
@@ -158,31 +205,19 @@ impl TopologyBuilder {
     /// Finalizes the topology.
     pub fn build(self) -> Topology {
         Topology {
-            sites: self
-                .sites
-                .into_iter()
-                .map(|params| Site {
-                    lan_loss: LossState::new(params.lan_loss.clone()),
-                    tail_in_loss: LossState::new(params.tail_in_loss.clone()),
-                    tail_out_loss: LossState::new(params.tail_out_loss.clone()),
-                    tail_in_busy_until: SimTime::ZERO,
-                    tail_out_busy_until: SimTime::ZERO,
-                    tail_in_backlog_max: Duration::ZERO,
-                    tail_out_backlog_max: Duration::ZERO,
-                    params,
-                })
-                .collect(),
+            sites: self.sites,
             hosts: self.hosts,
-            wan_loss: LossState::new(self.wan_loss),
+            wan_loss: self.wan_loss,
         }
     }
 }
 
-/// The built network: sites, hosts, loss state, and queueing state.
+/// The built network description: sites, their parameters, and host
+/// placement. Immutable — all mutable state lives in [`SiteNet`]s.
 pub struct Topology {
-    sites: Vec<Site>,
+    sites: Vec<SiteParams>,
     hosts: Vec<SiteId>,
-    wan_loss: LossState,
+    wan_loss: LossModel,
 }
 
 impl Topology {
@@ -197,7 +232,17 @@ impl Topology {
 
     /// The region of a site.
     pub fn region_of(&self, site: SiteId) -> u32 {
-        self.sites[site.raw() as usize].params.region
+        self.sites[site.raw() as usize].region
+    }
+
+    /// Parameters of a site.
+    pub fn site_params(&self, site: SiteId) -> &SiteParams {
+        &self.sites[site.raw() as usize]
+    }
+
+    /// The backbone loss model (template for per-site WAN chains).
+    pub fn wan_loss_model(&self) -> &LossModel {
+        &self.wan_loss
     }
 
     /// Number of hosts.
@@ -218,11 +263,11 @@ impl Topology {
         if from == to {
             return Duration::from_micros(10);
         }
-        let f = &self.sites[fs.raw() as usize].params;
+        let f = &self.sites[fs.raw() as usize];
         if fs == ts {
             return f.lan_delay;
         }
-        let t = &self.sites[ts.raw() as usize].params;
+        let t = &self.sites[ts.raw() as usize];
         f.lan_delay + f.tail_delay + f.wan_delay + t.wan_delay + t.tail_delay + t.lan_delay
     }
 
@@ -237,9 +282,53 @@ impl Topology {
         }
     }
 
+    /// `true` iff `dst` is reachable from `src` under `scope` (site
+    /// scope never crosses the WAN; region scope needs matching regions).
+    pub fn site_in_scope(&self, src: SiteId, dst: SiteId, scope: TtlScope) -> bool {
+        match scope {
+            TtlScope::Site => src == dst,
+            TtlScope::Region => self.region_of(src) == self.region_of(dst),
+            TtlScope::Global => true,
+        }
+    }
+
+    /// The conservative-synchronization lookahead for a site→shard
+    /// assignment: the minimum latency any event can cross between two
+    /// *different* shards, i.e. `min over cross-shard ordered site pairs
+    /// (a, b)` of `lan_a + tail_a + wan_a + wan_b` (the floor of the
+    /// source LAN, source tail, and backbone legs — tail-circuit
+    /// serialization and the destination tail/LAN only add to it).
+    /// `None` when no pair crosses shards (≤ 1 shard in use).
+    ///
+    /// A zero lookahead (some site with zero LAN, tail, and WAN delay)
+    /// means shards cannot advance independently at all; callers must
+    /// fall back to a single shard.
+    pub fn lookahead(&self, shard_of_site: &[usize]) -> Option<Duration> {
+        let mut best: Option<Duration> = None;
+        for (a, pa) in self.sites.iter().enumerate() {
+            let src = pa.lan_delay + pa.tail_delay + pa.wan_delay;
+            for (b, pb) in self.sites.iter().enumerate() {
+                if shard_of_site[a] == shard_of_site[b] {
+                    continue;
+                }
+                let _ = b;
+                let l = src + pb.wan_delay;
+                if best.is_none_or(|cur| l < cur) {
+                    best = Some(l);
+                }
+            }
+        }
+        best
+    }
+
+    /// Sum of the two sites' backbone legs.
+    pub fn wan_latency(&self, from: SiteId, to: SiteId) -> Duration {
+        self.sites[from.raw() as usize].wan_delay + self.sites[to.raw() as usize].wan_delay
+    }
+
     /// Per-copy random extra delay at the destination site.
-    fn jitter_of(site: &Site, rng: &mut SmallRng) -> Duration {
-        let j = site.params.jitter;
+    fn jitter_of(params: &SiteParams, rng: &mut SmallRng) -> Duration {
+        let j = params.jitter;
         if j.is_zero() {
             Duration::ZERO
         } else {
@@ -247,18 +336,21 @@ impl Topology {
         }
     }
 
-    fn serialize_on_tail(site: &mut Site, outbound: bool, now: SimTime, bytes: usize) -> Duration {
-        let Some(bw) = site.params.tail_bandwidth_bps else {
+    fn serialize_on_tail(
+        params: &SiteParams,
+        net: &mut SiteNet,
+        outbound: bool,
+        now: SimTime,
+        bytes: usize,
+    ) -> Duration {
+        let Some(bw) = params.tail_bandwidth_bps else {
             return Duration::ZERO;
         };
         let tx = Duration::from_secs_f64(bytes as f64 * 8.0 / bw as f64);
         let (busy, backlog_max) = if outbound {
-            (
-                &mut site.tail_out_busy_until,
-                &mut site.tail_out_backlog_max,
-            )
+            (&mut net.tail_out_busy_until, &mut net.tail_out_backlog_max)
         } else {
-            (&mut site.tail_in_busy_until, &mut site.tail_in_backlog_max)
+            (&mut net.tail_in_busy_until, &mut net.tail_in_backlog_max)
         };
         let start = (*busy).max(now);
         let finish = start + tx;
@@ -272,228 +364,149 @@ impl Topology {
         queued
     }
 
-    /// Per-site high-water tail-circuit backlogs `(site, inbound,
-    /// outbound)` — the per-link queue gauges the sim world surfaces
-    /// through its metrics registry. Zero everywhere when tail
-    /// bandwidth is unlimited.
-    pub fn tail_backlog_maxima(&self) -> Vec<(SiteId, Duration, Duration)> {
-        self.sites
-            .iter()
-            .enumerate()
-            .map(|(i, s)| {
-                (
-                    SiteId(i as u32),
-                    s.tail_in_backlog_max,
-                    s.tail_out_backlog_max,
-                )
-            })
-            .collect()
+    /// A host's loopback delivery to itself (no network crossed).
+    pub fn self_delivery(now: SimTime, to: HostId) -> Delivery {
+        Delivery {
+            to,
+            at: now + Duration::from_micros(10),
+        }
     }
 
-    /// Sends one unicast copy, returning the delivery if it survives all
-    /// segments. Records stats per crossing.
+    /// One LAN crossing to `to` at `site`: a per-copy loss draw, the LAN
+    /// delay, and a jitter draw if carried. This is both the same-site
+    /// delivery leg and the final leg of a cross-site transmission.
+    ///
+    /// The argument list mirrors the split shard state (`net`, `stats`
+    /// are per-shard slices the caller already borrowed apart); bundling
+    /// them into a struct would just move the borrow split around.
     #[allow(clippy::too_many_arguments)]
-    pub fn unicast(
-        &mut self,
+    pub fn lan_delivery(
+        &self,
+        site: SiteId,
+        net: &mut SiteNet,
         now: SimTime,
-        from: HostId,
         to: HostId,
         kind: &'static str,
         bytes: usize,
-        rng: &mut SmallRng,
         stats: &mut NetStats,
     ) -> Option<Delivery> {
-        if from == to {
-            return Some(Delivery {
-                to,
-                at: now + Duration::from_micros(10),
-            });
+        let params = &self.sites[site.raw() as usize];
+        let dropped = net.lan_loss.drops(now, &mut net.rng);
+        stats.record(SegmentClass::Lan, Some(site), kind, bytes, dropped);
+        if dropped {
+            return None;
         }
-        let fs = self.site_of(from);
-        let ts = self.site_of(to);
-        let mut at = now;
-
-        if fs == ts {
-            let site = &mut self.sites[fs.raw() as usize];
-            at += site.params.lan_delay;
-            let dropped = site.lan_loss.drops(now, rng);
-            stats.record(SegmentClass::Lan, Some(fs), kind, bytes, dropped);
-            if dropped {
-                return None;
-            }
-            at += Self::jitter_of(site, rng);
-            return Some(Delivery { to, at });
-        }
-
-        // LAN out (sender side).
-        {
-            let site = &mut self.sites[fs.raw() as usize];
-            at += site.params.lan_delay;
-            let dropped = site.lan_loss.drops(now, rng);
-            stats.record(SegmentClass::Lan, Some(fs), kind, bytes, dropped);
-            if dropped {
-                return None;
-            }
-        }
-        // Tail out.
-        {
-            let site = &mut self.sites[fs.raw() as usize];
-            at += site.params.tail_delay + Self::serialize_on_tail(site, true, now, bytes);
-            let dropped = site.tail_out_loss.drops(now, rng);
-            stats.record(SegmentClass::TailOut, Some(fs), kind, bytes, dropped);
-            if dropped {
-                return None;
-            }
-        }
-        // WAN.
-        {
-            at += self.sites[fs.raw() as usize].params.wan_delay
-                + self.sites[ts.raw() as usize].params.wan_delay;
-            let dropped = self.wan_loss.drops(now, rng);
-            stats.record(SegmentClass::Wan, None, kind, bytes, dropped);
-            if dropped {
-                return None;
-            }
-        }
-        // Tail in.
-        {
-            let site = &mut self.sites[ts.raw() as usize];
-            at += site.params.tail_delay + Self::serialize_on_tail(site, false, now, bytes);
-            let dropped = site.tail_in_loss.drops(now, rng);
-            stats.record(SegmentClass::TailIn, Some(ts), kind, bytes, dropped);
-            if dropped {
-                return None;
-            }
-        }
-        // LAN in (receiver side).
-        {
-            let site = &mut self.sites[ts.raw() as usize];
-            at += site.params.lan_delay;
-            let dropped = site.lan_loss.drops(now, rng);
-            stats.record(SegmentClass::Lan, Some(ts), kind, bytes, dropped);
-            if dropped {
-                return None;
-            }
-            at += Self::jitter_of(site, rng);
-        }
+        let at = now + params.lan_delay + Self::jitter_of(params, &mut net.rng);
         Some(Delivery { to, at })
     }
 
-    /// Sends one multicast copy to `members` (the sender is excluded
-    /// here, so callers can stream a whole group set), honoring `scope`.
-    /// Loss is evaluated **per physical copy**: once on the sender's
-    /// tail-out, once per destination-site branch (WAN + tail-in), and per
-    /// member on each LAN — so tail-circuit loss is correlated across a
-    /// site, as in the paper.
-    #[allow(clippy::too_many_arguments)]
-    pub fn multicast(
-        &mut self,
+    /// Source half of a cross-site transmission: one copy crosses the
+    /// sender's LAN and outbound tail circuit. Returns the time the copy
+    /// reaches the backbone edge of the source site (WAN legs not yet
+    /// added), or `None` if either crossing dropped it — which loses the
+    /// packet for *every* remote destination.
+    pub fn egress(
+        &self,
+        site: SiteId,
+        net: &mut SiteNet,
         now: SimTime,
-        from: HostId,
-        members: impl IntoIterator<Item = HostId>,
-        scope: TtlScope,
         kind: &'static str,
         bytes: usize,
-        rng: &mut SmallRng,
         stats: &mut NetStats,
-    ) -> Vec<Delivery> {
-        let fs = self.site_of(from);
-        let mut out = Vec::new();
-
-        // Partition members by site, respecting scope.
-        let mut by_site: HashMap<SiteId, Vec<HostId>> = HashMap::new();
-        for m in members {
-            if m != from && self.in_scope(from, m, scope) {
-                by_site.entry(self.site_of(m)).or_default().push(m);
-            }
+    ) -> Option<SimTime> {
+        let params = &self.sites[site.raw() as usize];
+        let lan_dropped = net.lan_loss.drops(now, &mut net.rng);
+        stats.record(SegmentClass::Lan, Some(site), kind, bytes, lan_dropped);
+        if lan_dropped {
+            return None;
         }
-        if by_site.is_empty() {
-            return out;
+        let mut at = now + params.lan_delay + params.tail_delay;
+        at += Self::serialize_on_tail(params, net, true, now, bytes);
+        let tail_dropped = net.tail_out_loss.drops(now, &mut net.rng);
+        stats.record(SegmentClass::TailOut, Some(site), kind, bytes, tail_dropped);
+        if tail_dropped {
+            return None;
         }
-        // Deterministic site order.
-        let mut site_ids: Vec<SiteId> = by_site.keys().copied().collect();
-        site_ids.sort();
+        Some(at)
+    }
 
-        // Local (same-site) members: one LAN broadcast, per-member loss.
-        if let Some(local) = by_site.get(&fs) {
-            for &m in local {
-                let site = &mut self.sites[fs.raw() as usize];
-                let dropped = site.lan_loss.drops(now, rng);
-                stats.record(SegmentClass::Lan, Some(fs), kind, bytes, dropped);
-                if !dropped {
-                    let at = now + site.params.lan_delay + Self::jitter_of(site, rng);
-                    out.push(Delivery { to: m, at });
-                }
-            }
+    /// One WAN-branch loss draw on the *source* site's backbone chain
+    /// (loss "high in the distribution tree" would be modelled by
+    /// tail-out; per-branch loss models independent backbone branches).
+    /// Returns `true` if the branch dropped. The caller records the
+    /// branch stats (carried copies are counted once per send, drops per
+    /// branch, matching multicast economy).
+    pub fn wan_drop(&self, net_src: &mut SiteNet, now: SimTime) -> bool {
+        net_src.wan_loss.drops(now, &mut net_src.rng)
+    }
+
+    /// Destination half, tail leg: the copy arrives at `site`'s inbound
+    /// tail circuit at `now` and crosses it — one correlated loss draw
+    /// for the whole site, FIFO serialization measured from arrival.
+    /// Returns the time the copy enters the site LAN, or `None` on drop.
+    pub fn ingress_tail(
+        &self,
+        site: SiteId,
+        net: &mut SiteNet,
+        now: SimTime,
+        kind: &'static str,
+        bytes: usize,
+        stats: &mut NetStats,
+    ) -> Option<SimTime> {
+        let params = &self.sites[site.raw() as usize];
+        let mut at = now + params.tail_delay;
+        at += Self::serialize_on_tail(params, net, false, now, bytes);
+        let dropped = net.tail_in_loss.drops(now, &mut net.rng);
+        stats.record(SegmentClass::TailIn, Some(site), kind, bytes, dropped);
+        if dropped {
+            return None;
         }
-
-        let remote_sites: Vec<SiteId> = site_ids.iter().copied().filter(|&s| s != fs).collect();
-        if remote_sites.is_empty() {
-            return out;
-        }
-
-        // One copy crosses the sender's LAN and tail circuit; a drop here
-        // loses the packet for every remote site.
-        let (mut base_at, survived) = {
-            let site = &mut self.sites[fs.raw() as usize];
-            let mut at = now + site.params.lan_delay;
-            let lan_dropped = site.lan_loss.drops(now, rng);
-            stats.record(SegmentClass::Lan, Some(fs), kind, bytes, lan_dropped);
-            if lan_dropped {
-                (at, false)
-            } else {
-                at += site.params.tail_delay + Self::serialize_on_tail(site, true, now, bytes);
-                let tail_dropped = site.tail_out_loss.drops(now, rng);
-                stats.record(SegmentClass::TailOut, Some(fs), kind, bytes, tail_dropped);
-                (at, !tail_dropped)
-            }
-        };
-        if !survived {
-            return out;
-        }
-
-        // One copy enters the backbone.
-        stats.record(SegmentClass::Wan, None, kind, bytes, false);
-        base_at += self.sites[fs.raw() as usize].params.wan_delay;
-
-        for ts in remote_sites {
-            // Per-branch WAN loss (loss "high in the distribution tree"
-            // would be modelled by tail-out above; per-branch loss models
-            // independent backbone branches).
-            if self.wan_loss.drops(now, rng) {
-                stats.record(SegmentClass::Wan, None, kind, 0, true);
-                continue;
-            }
-            let mut at = base_at + self.sites[ts.raw() as usize].params.wan_delay;
-            // One copy crosses the destination tail circuit: correlated
-            // loss for the whole site.
-            {
-                let site = &mut self.sites[ts.raw() as usize];
-                at += site.params.tail_delay + Self::serialize_on_tail(site, false, now, bytes);
-                let dropped = site.tail_in_loss.drops(now, rng);
-                stats.record(SegmentClass::TailIn, Some(ts), kind, bytes, dropped);
-                if dropped {
-                    continue;
-                }
-            }
-            for &m in &by_site[&ts] {
-                let site = &mut self.sites[ts.raw() as usize];
-                let dropped = site.lan_loss.drops(now, rng);
-                stats.record(SegmentClass::Lan, Some(ts), kind, bytes, dropped);
-                if !dropped {
-                    let at = at + site.params.lan_delay + Self::jitter_of(site, rng);
-                    out.push(Delivery { to: m, at });
-                }
-            }
-        }
-        out
+        Some(at)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::loss::LossModel;
     use rand::SeedableRng;
+
+    fn net_for(t: &Topology, site: SiteId, seed: u64) -> SiteNet {
+        SiteNet::new(
+            t.site_params(site),
+            t.wan_loss_model(),
+            SmallRng::seed_from_u64(seed),
+        )
+    }
+
+    /// Full cross-site unicast through the split pieces, in evaluation
+    /// order: egress at the source, WAN legs, ingress at the destination,
+    /// final LAN delivery.
+    #[allow(clippy::too_many_arguments)]
+    fn unicast_split(
+        t: &Topology,
+        src_net: &mut SiteNet,
+        dst_net: &mut SiteNet,
+        now: SimTime,
+        from: HostId,
+        to: HostId,
+        kind: &'static str,
+        bytes: usize,
+        stats: &mut NetStats,
+    ) -> Option<Delivery> {
+        let fs = t.site_of(from);
+        let ts = t.site_of(to);
+        assert_ne!(fs, ts, "use lan_delivery for same-site sends");
+        let out = t.egress(fs, src_net, now, kind, bytes, stats)?;
+        let dropped = t.wan_drop(src_net, now);
+        stats.record(SegmentClass::Wan, None, kind, bytes, dropped);
+        if dropped {
+            return None;
+        }
+        let t_in = out + t.wan_latency(fs, ts);
+        let t_lan = t.ingress_tail(ts, dst_net, t_in, kind, bytes, stats)?;
+        t.lan_delivery(ts, dst_net, t_lan, to, kind, bytes, stats)
+    }
 
     fn two_site_topo() -> (Topology, HostId, HostId, HostId) {
         let mut b = TopologyBuilder::new();
@@ -522,13 +535,23 @@ mod tests {
     }
 
     #[test]
-    fn unicast_lossless_delivers_on_time() {
-        let (mut t, a, _, c) = two_site_topo();
-        let mut rng = SmallRng::seed_from_u64(1);
+    fn split_unicast_lossless_delivers_on_time() {
+        let (t, a, _, c) = two_site_topo();
+        let mut src = net_for(&t, t.site_of(a), 1);
+        let mut dst = net_for(&t, t.site_of(c), 2);
         let mut stats = NetStats::default();
-        let d = t
-            .unicast(SimTime::ZERO, a, c, "data", 100, &mut rng, &mut stats)
-            .unwrap();
+        let d = unicast_split(
+            &t,
+            &mut src,
+            &mut dst,
+            SimTime::ZERO,
+            a,
+            c,
+            "data",
+            100,
+            &mut stats,
+        )
+        .unwrap();
         assert_eq!(d.to, c);
         assert_eq!(d.at.since(SimTime::ZERO), t.base_latency(a, c));
         assert_eq!(stats.class_kind(SegmentClass::Wan, "data").carried, 1);
@@ -538,110 +561,70 @@ mod tests {
 
     #[test]
     fn tail_in_outage_drops_whole_site() {
-        // A multicast during the destination site's inbound outage must be
-        // lost by every member of that site but none of the local site.
+        // A copy arriving during the destination site's inbound outage
+        // must be lost for every member of that site in one correlated
+        // draw.
         let mut b = TopologyBuilder::new();
         let s0 = b.site(SiteParams::default());
         let s1 = b.site(SiteParams {
             tail_in_loss: LossModel::outage(SimTime::ZERO, Duration::from_secs(100)),
             ..SiteParams::default()
         });
-        let sender = b.host(s0);
-        let local = b.hosts(s0, 3);
+        let _sender = b.host(s0);
         let remote = b.hosts(s1, 5);
-        let mut t = b.build();
-        let mut rng = SmallRng::seed_from_u64(2);
+        let t = b.build();
+        let mut dst = net_for(&t, s1, 3);
         let mut stats = NetStats::default();
 
-        let members: Vec<HostId> = local.iter().chain(remote.iter()).copied().collect();
-        let deliveries = t.multicast(
-            SimTime::ZERO,
-            sender,
-            members.iter().copied(),
-            TtlScope::Global,
+        // The copy reaches the tail during the outage: one drop, no LAN
+        // deliveries possible.
+        let crossed = t.ingress_tail(
+            s1,
+            &mut dst,
+            SimTime::from_millis(40),
             "data",
             64,
-            &mut rng,
             &mut stats,
         );
-        let delivered: Vec<HostId> = deliveries.iter().map(|d| d.to).collect();
-        for m in &local {
-            assert!(delivered.contains(m), "local member must receive");
-        }
-        for m in &remote {
-            assert!(!delivered.contains(m), "remote member must lose");
-        }
-        // Exactly one correlated drop on the tail circuit.
+        assert!(crossed.is_none(), "whole site loses the copy");
         assert_eq!(
             stats
                 .site_tail(SiteId(1), SegmentClass::TailIn, "data")
                 .dropped,
             1
         );
+        // No per-member LAN records were ever drawn.
+        assert_eq!(stats.class_total(SegmentClass::Lan).carried, 0);
+        let _ = remote;
     }
 
     #[test]
-    fn multicast_counts_one_wan_copy() {
+    fn ingress_fans_out_to_members() {
         let mut b = TopologyBuilder::new();
         let s0 = b.site(SiteParams::default());
-        let sender = b.host(s0);
-        let mut members = Vec::new();
-        let mut sites = Vec::new();
-        for _ in 0..10 {
-            let s = b.site(SiteParams::default());
-            sites.push(s);
-            members.extend(b.hosts(s, 4));
+        let members = b.hosts(s0, 4);
+        let t = b.build();
+        let mut net = net_for(&t, s0, 4);
+        let mut stats = NetStats::default();
+        let t_in = SimTime::from_millis(25);
+        let t_lan = t
+            .ingress_tail(s0, &mut net, t_in, "data", 64, &mut stats)
+            .unwrap();
+        assert_eq!(t_lan, t_in + Duration::from_millis(2));
+        let deliveries: Vec<Delivery> = members
+            .iter()
+            .filter_map(|&m| t.lan_delivery(s0, &mut net, t_lan, m, "data", 64, &mut stats))
+            .collect();
+        assert_eq!(deliveries.len(), 4);
+        for d in &deliveries {
+            assert_eq!(d.at, t_lan + Duration::from_micros(500));
         }
-        let mut t = b.build();
-        let mut rng = SmallRng::seed_from_u64(3);
-        let mut stats = NetStats::default();
-        let deliveries = t.multicast(
-            SimTime::ZERO,
-            sender,
-            members.iter().copied(),
-            TtlScope::Global,
-            "data",
-            64,
-            &mut rng,
-            &mut stats,
-        );
-        assert_eq!(deliveries.len(), 40);
-        // Multicast economy: 1 tail-out copy, 1 WAN copy, 10 tail-in copies.
-        assert_eq!(stats.class_kind(SegmentClass::TailOut, "data").carried, 1);
-        assert_eq!(stats.class_kind(SegmentClass::Wan, "data").carried, 1);
-        assert_eq!(stats.class_kind(SegmentClass::TailIn, "data").carried, 10);
+        assert_eq!(stats.class_kind(SegmentClass::TailIn, "data").carried, 1);
+        assert_eq!(stats.class_kind(SegmentClass::Lan, "data").carried, 4);
     }
 
     #[test]
-    fn site_scope_confines_multicast() {
-        let mut b = TopologyBuilder::new();
-        let s0 = b.site(SiteParams::default());
-        let s1 = b.site(SiteParams::default());
-        let sender = b.host(s0);
-        let local = b.host(s0);
-        let remote = b.host(s1);
-        let mut t = b.build();
-        let mut rng = SmallRng::seed_from_u64(4);
-        let mut stats = NetStats::default();
-        let deliveries = t.multicast(
-            SimTime::ZERO,
-            sender,
-            [local, remote],
-            TtlScope::Site,
-            "retrans",
-            64,
-            &mut rng,
-            &mut stats,
-        );
-        assert_eq!(deliveries.len(), 1);
-        assert_eq!(deliveries[0].to, local);
-        // Nothing crossed the tail or WAN.
-        assert_eq!(stats.class_total(SegmentClass::TailOut).carried, 0);
-        assert_eq!(stats.class_total(SegmentClass::Wan).carried, 0);
-    }
-
-    #[test]
-    fn region_scope() {
+    fn scopes_confine_sites() {
         let mut b = TopologyBuilder::new();
         let s0 = b.site(SiteParams {
             region: 1,
@@ -658,58 +641,46 @@ mod tests {
         let sender = b.host(s0);
         let same_region = b.host(s1);
         let other_region = b.host(s2);
-        let mut t = b.build();
-        let mut rng = SmallRng::seed_from_u64(5);
-        let mut stats = NetStats::default();
-        let deliveries = t.multicast(
-            SimTime::ZERO,
-            sender,
-            [same_region, other_region],
-            TtlScope::Region,
-            "discovery-query",
-            32,
-            &mut rng,
-            &mut stats,
-        );
-        assert_eq!(deliveries.len(), 1);
-        assert_eq!(deliveries[0].to, same_region);
+        let t = b.build();
+        assert!(t.site_in_scope(s0, s0, TtlScope::Site));
+        assert!(!t.site_in_scope(s0, s1, TtlScope::Site));
+        assert!(t.site_in_scope(s0, s1, TtlScope::Region));
+        assert!(!t.site_in_scope(s0, s2, TtlScope::Region));
+        assert!(t.site_in_scope(s0, s2, TtlScope::Global));
+        assert!(t.in_scope(sender, same_region, TtlScope::Region));
+        assert!(!t.in_scope(sender, other_region, TtlScope::Region));
     }
 
     #[test]
     fn bandwidth_queueing_serializes() {
-        // Two back-to-back unicasts over a slow tail circuit: the second
+        // Two back-to-back egresses over a slow tail circuit: the second
         // must queue behind the first.
         let mut b = TopologyBuilder::new();
         let s0 = b.site(SiteParams {
             tail_bandwidth_bps: Some(8_000), // 1 byte/ms
             ..SiteParams::default()
         });
-        let s1 = b.site(SiteParams::default());
-        let a = b.host(s0);
-        let c = b.host(s1);
-        let mut t = b.build();
-        let mut rng = SmallRng::seed_from_u64(6);
+        let t = b.build();
+        let mut net = net_for(&t, s0, 6);
         let mut stats = NetStats::default();
-        let d1 = t
-            .unicast(SimTime::ZERO, a, c, "data", 1000, &mut rng, &mut stats)
+        let o1 = t
+            .egress(s0, &mut net, SimTime::ZERO, "data", 1000, &mut stats)
             .unwrap();
-        let d2 = t
-            .unicast(SimTime::ZERO, a, c, "data", 1000, &mut rng, &mut stats)
+        let o2 = t
+            .egress(s0, &mut net, SimTime::ZERO, "data", 1000, &mut stats)
             .unwrap();
         // 1000 bytes at 1 byte/ms = 1 s serialization each.
-        let gap = d2.at - d1.at;
-        assert_eq!(gap, Duration::from_secs(1));
+        assert_eq!(o2 - o1, Duration::from_secs(1));
+        assert_eq!(net.tail_out_backlog_max, Duration::from_secs(2));
     }
 
     #[test]
     fn self_send_is_cheap() {
-        let (mut t, a, _, _) = two_site_topo();
-        let mut rng = SmallRng::seed_from_u64(7);
-        let mut stats = NetStats::default();
-        let d = t
-            .unicast(SimTime::ZERO, a, a, "nack", 10, &mut rng, &mut stats)
-            .unwrap();
+        let (t, a, _, _) = two_site_topo();
+        let d = Topology::self_delivery(SimTime::ZERO, a);
+        assert_eq!(d.to, a);
         assert!(d.at.since(SimTime::ZERO) < Duration::from_millis(1));
+        let _ = t;
     }
 
     #[test]
@@ -722,24 +693,21 @@ mod tests {
     #[test]
     fn jitter_varies_and_can_reorder_deliveries() {
         let mut b = TopologyBuilder::new();
-        let s0 = b.site(SiteParams::default());
         let s1 = b.site(SiteParams {
             jitter: Duration::from_millis(20),
             ..SiteParams::default()
         });
-        let a = b.host(s0);
         let c = b.host(s1);
-        let mut t = b.build();
-        let mut rng = SmallRng::seed_from_u64(9);
+        let t = b.build();
+        let mut net = net_for(&t, s1, 9);
         let mut stats = NetStats::default();
-        let base = t.base_latency(a, c);
         let mut arrivals = Vec::new();
         for i in 0..50u64 {
-            let sent = SimTime::from_millis(i);
+            let now = SimTime::from_millis(i);
             let d = t
-                .unicast(sent, a, c, "data", 64, &mut rng, &mut stats)
+                .lan_delivery(s1, &mut net, now, c, "data", 64, &mut stats)
                 .unwrap();
-            let extra = d.at.since(sent).saturating_sub(base);
+            let extra = d.at.since(now).saturating_sub(Duration::from_micros(500));
             assert!(
                 extra <= Duration::from_millis(20),
                 "jitter bound violated: {extra:?}"
@@ -753,5 +721,42 @@ mod tests {
         // ...and with 1 ms spacing vs 20 ms jitter, reordering occurs.
         let reordered = arrivals.windows(2).any(|w| w[1] < w[0]);
         assert!(reordered, "expected at least one inversion");
+    }
+
+    #[test]
+    fn lookahead_is_min_cross_shard_latency() {
+        let mut b = TopologyBuilder::new();
+        let s0 = b.site(SiteParams::default()); // 0.5 + 2 + 20 ms out
+        let s1 = b.site(SiteParams::nearby()); // wan 1 ms
+        let s2 = b.site(SiteParams::distant()); // wan 19 ms
+        let t = b.build();
+        let _ = (s0, s1, s2);
+
+        // All sites in one shard: nothing crosses.
+        assert_eq!(t.lookahead(&[0, 0, 0]), None);
+
+        // s1 alone in shard 1: the cheapest crossing is s1 → s1? No —
+        // crossings are between different shards, so the floor is the
+        // cheapest of s1→{s0,s2} and {s0,s2}→s1:
+        //   s1 out: 0.5 + 2 + 1 = 3.5 ms, plus min(wan of s0, s2) = 19 ms.
+        //   s0/s2 out: min(22.5, 21.5) = 21.5 ms, plus wan_1 = 1 ms.
+        let l = t.lookahead(&[0, 1, 0]).unwrap();
+        assert_eq!(
+            l,
+            Duration::from_micros(500) + Duration::from_millis(2 + 19 + 1)
+        );
+
+        // One shard per site: same floor (it already crossed shards).
+        assert_eq!(t.lookahead(&[0, 1, 2]), Some(l));
+    }
+
+    #[test]
+    fn wan_branch_drop_draws_on_source_chain() {
+        let mut b = TopologyBuilder::new();
+        let s0 = b.site(SiteParams::default());
+        b.wan_loss(LossModel::rate(1.0));
+        let t = b.build();
+        let mut net = net_for(&t, s0, 11);
+        assert!(t.wan_drop(&mut net, SimTime::ZERO), "p=1 must drop");
     }
 }

@@ -1,5 +1,5 @@
 //! The simulation driver: actors, timers, multicast groups, and the
-//! deterministic event loop.
+//! deterministic — optionally sharded — event loop.
 //!
 //! An [`Actor`] is a protocol endpoint (sender, receiver, logging server,
 //! application). Actors react to packets and timers through a [`Ctx`]
@@ -8,29 +8,55 @@
 //! a [`crashed`](World::crash) host silently discards everything until
 //! [`revived`](World::revive) — used by the primary-logger failover
 //! tests.
+//!
+//! # Sharded execution
+//!
+//! The world partitions *sites* into shards (`LBRM_SIM_SHARDS`, or
+//! [`World::with_options`]); hosts follow their site. Each shard owns a
+//! private event queue plus all state its events can touch (see
+//! [`crate::shard`]). Shards advance independently inside a conservative
+//! synchronization window: with `L` = the topology
+//! [`lookahead`](Topology::lookahead) (the minimum latency of any
+//! cross-shard transmission), every epoch processes events in
+//! `[t_min, t_min + L)` — no event generated inside the window can land
+//! in another shard before it closes, so shards only exchange events at
+//! the epoch barrier.
+//!
+//! Determinism is preserved *exactly*: a fixed seed produces
+//! byte-identical traces, `NetStats`, and deliveries for any shard
+//! count, because
+//!
+//! 1. every scheduled event carries a placement-invariant total-order
+//!    key (see [`crate::shard`]),
+//! 2. every random draw charges either a per-host stream or the owning
+//!    site's stream — never a global one, and
+//! 3. cross-site transmissions are evaluated in two halves (source-site
+//!    egress, destination-site ingress) whose draws land on the
+//!    respective sites' own streams at the same virtual times
+//!    regardless of sharding.
 
 use std::any::Any;
-use std::collections::{BTreeSet, HashMap};
+use std::sync::Arc;
 use std::time::Duration;
 
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
-use std::sync::Arc;
+use lbrm_trace::{MetricsRegistry, ProtocolEvent, TraceSink, Tracer};
+use lbrm_wire::{GroupId, HostId, Packet, SiteId, TtlScope};
 
-use lbrm_trace::{MetricsRegistry, ProtocolEvent, Tracer};
-use lbrm_wire::{GroupId, HostId, Packet, TtlScope};
-
-use crate::queue::{EventQueue, QueueBackend};
-use crate::stats::NetStats;
+use crate::queue::QueueBackend;
+use crate::shard::{capture_activate, capture_take, forward_merged, Ev, IngressKind, Shard};
+use crate::stats::{NetStats, SegmentClass};
 use crate::time::SimTime;
-use crate::topology::Topology;
+use crate::topology::{Delivery, SiteNet, Topology};
 
 /// A protocol endpoint living on one simulated host.
 ///
 /// `Actor: Any` enables post-run inspection via
-/// [`World::actor`] / [`World::actor_mut`] downcasts.
-pub trait Actor: Any {
+/// [`World::actor`] / [`World::actor_mut`] downcasts; `Actor: Send`
+/// lets the sharded world process shards on worker threads.
+pub trait Actor: Any + Send {
     /// Called once when the simulation starts (in host-insertion order).
     fn on_start(&mut self, _ctx: &mut Ctx<'_>) {}
 
@@ -41,28 +67,13 @@ pub trait Actor: Any {
     fn on_timer(&mut self, _ctx: &mut Ctx<'_>, _token: u64) {}
 }
 
-enum Ev {
-    Packet {
-        from: HostId,
-        to: HostId,
-        packet: Packet,
-    },
-    Timer {
-        host: HostId,
-        token: u64,
-    },
-}
-
 /// The world an actor sees while handling an event.
 pub struct Ctx<'a> {
     host: HostId,
     now: SimTime,
-    topo: &'a mut Topology,
-    queue: &'a mut EventQueue<Ev>,
-    groups: &'a mut HashMap<GroupId, BTreeSet<HostId>>,
+    topo: &'a Topology,
+    shard: &'a mut Shard,
     rng: &'a mut SmallRng,
-    net_rng: &'a mut SmallRng,
-    stats: &'a mut NetStats,
     tracer: &'a Tracer,
 }
 
@@ -88,8 +99,8 @@ impl Ctx<'_> {
         self.topo.base_latency(self.host, to)
     }
 
-    fn push(&mut self, at: SimTime, ev: Ev) {
-        self.queue.push(at, ev);
+    fn push(&mut self, at: SimTime, dst_site: SiteId, ev: Ev) {
+        self.shard.push_from(self.host.raw(), at, dst_site, ev);
     }
 
     /// Sends `packet` to a single host.
@@ -98,29 +109,58 @@ impl Ctx<'_> {
         // computes it arithmetically so no simulated send serializes.
         let bytes = packet.encoded_len();
         let kind = packet.kind();
-        let delivery = self.topo.unicast(
-            self.now,
-            self.host,
-            to,
-            kind,
-            bytes,
-            self.net_rng,
-            self.stats,
-        );
-        let copies = u32::from(delivery.is_some());
-        self.tracer
-            .emit_from(self.now.nanos(), self.host, || ProtocolEvent::NetPacket {
-                kind,
-                multicast: false,
-                copies,
-            });
-        if let Some(d) = delivery {
+        let from = self.host;
+        let now = self.now;
+        let fs = self.topo.site_of(from);
+        let mut copies = 0u32;
+        if to == from {
+            let d = Topology::self_delivery(now, to);
+            copies = 1;
+            self.emit_net(kind, false, copies);
+            self.push(d.at, fs, Ev::Packet { from, to, packet });
+            return;
+        }
+        let ts = self.topo.site_of(to);
+        if ts == fs {
+            let delivery = {
+                let Shard { nets, stats, .. } = &mut *self.shard;
+                let net = nets[fs.raw() as usize].as_mut().expect("site net");
+                self.topo.lan_delivery(fs, net, now, to, kind, bytes, stats)
+            };
+            copies = u32::from(delivery.is_some());
+            self.emit_net(kind, false, copies);
+            if let Some(d) = delivery {
+                self.push(d.at, fs, Ev::Packet { from, to, packet });
+            }
+            return;
+        }
+        // Cross-site: source half here, destination half at ingress time
+        // on the destination site's shard.
+        let ingress_at = {
+            let Shard { nets, stats, .. } = &mut *self.shard;
+            let net = nets[fs.raw() as usize].as_mut().expect("site net");
+            match self.topo.egress(fs, net, now, kind, bytes, stats) {
+                Some(out) => {
+                    let dropped = self.topo.wan_drop(net, now);
+                    stats.record(SegmentClass::Wan, None, kind, bytes, dropped);
+                    (!dropped).then(|| out + self.topo.wan_latency(fs, ts))
+                }
+                None => None,
+            }
+        };
+        if ingress_at.is_some() {
+            copies = 1;
+        }
+        self.emit_net(kind, false, copies);
+        if let Some(t_in) = ingress_at {
             self.push(
-                d.at,
-                Ev::Packet {
-                    from: self.host,
-                    to: d.to,
+                t_in,
+                ts,
+                Ev::Ingress {
+                    from,
+                    site: ts,
                     packet,
+                    kind: IngressKind::Unicast { to },
                 },
             );
         }
@@ -128,46 +168,112 @@ impl Ctx<'_> {
 
     /// Multicasts `packet` to the members of its group (sender excluded)
     /// within `scope`.
+    ///
+    /// Local (same-site) members are resolved at send time from the
+    /// sender site's membership. One copy crosses the sender's tail
+    /// circuit and fans out into a WAN branch per in-scope remote
+    /// *site*; each branch's membership is resolved when it arrives at
+    /// that site ([`Ev::Ingress`]), so group state never needs to be
+    /// replicated across shards. The traced `copies` counts surviving
+    /// local deliveries plus surviving WAN branches.
     pub fn send_multicast(&mut self, scope: TtlScope, packet: Packet) {
         // One arithmetic length shared by every delivery of this packet;
         // members are iterated straight out of the group set without an
         // intermediate Vec.
         let bytes = packet.encoded_len();
         let kind = packet.kind();
-        let members = self.groups.get(&packet.group());
-        let deliveries = self.topo.multicast(
-            self.now,
-            self.host,
-            members.into_iter().flatten().copied(),
-            scope,
-            kind,
-            bytes,
-            self.net_rng,
-            self.stats,
-        );
-        let copies = deliveries.len().min(u32::MAX as usize) as u32;
-        self.tracer
-            .emit_from(self.now.nanos(), self.host, || ProtocolEvent::NetPacket {
-                kind,
-                multicast: true,
-                copies,
-            });
+        let group = packet.group();
+        let from = self.host;
+        let now = self.now;
+        let fs = self.topo.site_of(from);
+        let fs_idx = fs.raw() as usize;
+        let site_count = self.topo.site_count();
+
+        let mut deliveries: Vec<Delivery> = Vec::new();
+        let mut branches: Vec<(SiteId, SimTime)> = Vec::new();
+        {
+            let Shard {
+                nets,
+                stats,
+                members,
+                ..
+            } = &mut *self.shard;
+            let net = nets[fs_idx].as_mut().expect("site net");
+            // Same-site members: direct LAN fan-out (always in scope).
+            if let Some(set) = members[fs_idx].get(&group) {
+                for &m in set {
+                    if m == from {
+                        continue;
+                    }
+                    deliveries.extend(self.topo.lan_delivery(fs, net, now, m, kind, bytes, stats));
+                }
+            }
+            // Remote branches: one shared egress, then one WAN-branch
+            // draw per in-scope remote site, in site order.
+            let in_scope = |s: usize| {
+                let sid = SiteId(s as u32);
+                sid != fs && self.topo.site_in_scope(fs, sid, scope)
+            };
+            if (0..site_count).any(in_scope) {
+                if let Some(out) = self.topo.egress(fs, net, now, kind, bytes, stats) {
+                    for s in (0..site_count).filter(|&s| in_scope(s)) {
+                        let sid = SiteId(s as u32);
+                        if self.topo.wan_drop(net, now) {
+                            stats.record(SegmentClass::Wan, None, kind, bytes, true);
+                        } else {
+                            branches.push((sid, out + self.topo.wan_latency(fs, sid)));
+                        }
+                    }
+                    if !branches.is_empty() {
+                        // Multicast economy: the backbone carries one
+                        // copy per send, however many branches survive.
+                        stats.record(SegmentClass::Wan, None, kind, bytes, false);
+                    }
+                }
+            }
+        }
+
+        let copies = (deliveries.len() + branches.len()).min(u32::MAX as usize) as u32;
+        self.emit_net(kind, true, copies);
         for d in deliveries {
             self.push(
                 d.at,
+                fs,
                 Ev::Packet {
-                    from: self.host,
+                    from,
                     to: d.to,
                     packet: packet.clone(),
                 },
             );
         }
+        for (sid, t_in) in branches {
+            self.push(
+                t_in,
+                sid,
+                Ev::Ingress {
+                    from,
+                    site: sid,
+                    packet: packet.clone(),
+                    kind: IngressKind::Multicast { scope },
+                },
+            );
+        }
+    }
+
+    fn emit_net(&self, kind: &'static str, multicast: bool, copies: u32) {
+        self.tracer
+            .emit_from(self.now.nanos(), self.host, || ProtocolEvent::NetPacket {
+                kind,
+                multicast,
+                copies,
+            });
     }
 
     /// Arms a timer to fire at `at` (clamped to now).
     pub fn set_timer_at(&mut self, at: SimTime, token: u64) {
         let host = self.host;
-        self.push(at.max(self.now), Ev::Timer { host, token });
+        let site = self.topo.site_of(host);
+        self.push(at.max(self.now), site, Ev::Timer { host, token });
     }
 
     /// Arms a timer to fire after `d`.
@@ -176,20 +282,163 @@ impl Ctx<'_> {
         self.set_timer_at(at, token);
     }
 
-    /// Joins the calling host to `group`.
+    /// Joins the calling host to `group` (membership lives with the
+    /// host's site, on the host's own shard).
     pub fn join(&mut self, group: GroupId) {
-        self.groups.entry(group).or_default().insert(self.host);
+        let site = self.topo.site_of(self.host);
+        self.shard.members[site.raw() as usize]
+            .entry(group)
+            .or_default()
+            .insert(self.host);
     }
 
     /// Removes the calling host from `group`.
     pub fn leave(&mut self, group: GroupId) {
-        if let Some(m) = self.groups.get_mut(&group) {
+        let site = self.topo.site_of(self.host);
+        if let Some(m) = self.shard.members[site.raw() as usize].get_mut(&group) {
             m.remove(&self.host);
         }
     }
 }
 
-/// The simulation: topology + actors + event queue.
+/// Runs `host`'s actor with a [`Ctx`] over its shard.
+fn dispatch(
+    topo: &Topology,
+    shard: &mut Shard,
+    at: SimTime,
+    host: HostId,
+    f: impl FnOnce(&mut dyn Actor, &mut Ctx<'_>),
+) {
+    let idx = host.raw() as usize;
+    if shard.crashed[idx] {
+        return;
+    }
+    // Take the actor out of its slot (a pointer move, not a hash
+    // re-insert) so it can borrow the rest of the shard mutably.
+    let Some(mut actor) = shard.actors[idx].take() else {
+        return;
+    };
+    let mut rng = shard.rngs[idx].take().expect("host rng");
+    let tracer = shard.tracer.clone();
+    let mut ctx = Ctx {
+        host,
+        now: at,
+        topo,
+        shard,
+        rng: &mut rng,
+        tracer: &tracer,
+    };
+    f(actor.as_mut(), &mut ctx);
+    shard.actors[idx] = Some(actor);
+    shard.rngs[idx] = Some(rng);
+}
+
+/// Destination half of a cross-site transmission: the copy crosses the
+/// site's inbound tail circuit, then fans out over the LAN to the
+/// unicast target or to the site's *current* members of the group —
+/// membership is evaluated here, on the owning shard, totally ordered
+/// against the site's joins and leaves.
+fn ingress(
+    topo: &Topology,
+    shard: &mut Shard,
+    at: SimTime,
+    from: HostId,
+    site: SiteId,
+    packet: Packet,
+    kind: IngressKind,
+) {
+    let bytes = packet.encoded_len();
+    let pkind = packet.kind();
+    let si = site.raw() as usize;
+    let mut deliveries: Vec<Delivery> = Vec::new();
+    {
+        let Shard {
+            members,
+            nets,
+            stats,
+            ..
+        } = shard;
+        let net = nets[si].as_mut().expect("site net on owning shard");
+        if let Some(t_lan) = topo.ingress_tail(site, net, at, pkind, bytes, stats) {
+            match kind {
+                IngressKind::Unicast { to } => {
+                    deliveries.extend(topo.lan_delivery(site, net, t_lan, to, pkind, bytes, stats));
+                }
+                IngressKind::Multicast { .. } => {
+                    if let Some(set) = members[si].get(&packet.group()) {
+                        for &m in set {
+                            if m == from {
+                                continue;
+                            }
+                            deliveries.extend(
+                                topo.lan_delivery(site, net, t_lan, m, pkind, bytes, stats),
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+    // Pushes made while evaluating a site's ingress are keyed to the
+    // site's pseudo-entity: placement-invariant like everything else.
+    let entity = (topo.host_count() + si) as u64;
+    for d in deliveries {
+        shard.push_from(
+            entity,
+            d.at,
+            site,
+            Ev::Packet {
+                from,
+                to: d.to,
+                packet: packet.clone(),
+            },
+        );
+    }
+}
+
+/// Processes one event on its shard. With `capture` set (worker
+/// threads), trace records emitted by the handler are collected into the
+/// shard's buffer for the coordinator's deterministic merge.
+fn process(topo: &Topology, shard: &mut Shard, at: SimTime, key: u128, ev: Ev, capture: bool) {
+    shard.events += 1;
+    shard.last_at = at;
+    match ev {
+        Ev::Packet { from, to, packet } => {
+            dispatch(topo, shard, at, to, |a, ctx| a.on_packet(ctx, from, packet));
+        }
+        Ev::Timer { host, token } => {
+            dispatch(topo, shard, at, host, |a, ctx| a.on_timer(ctx, token));
+        }
+        Ev::Ingress {
+            from,
+            site,
+            packet,
+            kind,
+        } => ingress(topo, shard, at, from, site, packet, kind),
+    }
+    if capture {
+        let recs = capture_take(at, key);
+        if !recs.is_empty() {
+            shard.trace_buf.extend(recs);
+        }
+    }
+}
+
+/// Drains one shard's due events up to (exclusive) `end` — one epoch
+/// window. Runs on a worker thread; records its own wall-clock busy
+/// time for the stall gauge.
+fn run_window(topo: &Topology, shard: &mut Shard, end: SimTime) {
+    let t0 = std::time::Instant::now();
+    while shard.queue.next_at().is_some_and(|t| t < end) {
+        shard.note_depth();
+        let (at, key, ev) = shard.queue.pop_keyed().expect("next_at was Some");
+        process(topo, shard, at, key, ev, true);
+        shard.note_depth();
+    }
+    shard.busy_ns = t0.elapsed().as_nanos() as u64;
+}
+
+/// The simulation: topology + actors + sharded event queues.
 ///
 /// [`HostId`]s are dense indices (the topology builder hands them out
 /// sequentially), so the per-host tables — actors, RNG streams, crash
@@ -197,131 +446,268 @@ impl Ctx<'_> {
 /// instead of hash lookups.
 pub struct World {
     topo: Topology,
-    actors: Vec<Option<Box<dyn Actor>>>,
+    shards: Vec<Shard>,
+    shard_of_site: Arc<Vec<usize>>,
+    shard_of_host: Vec<usize>,
     order: Vec<HostId>,
-    groups: HashMap<GroupId, BTreeSet<HostId>>,
-    queue: EventQueue<Ev>,
     now: SimTime,
-    rngs: Vec<Option<SmallRng>>,
-    net_rng: SmallRng,
-    stats: NetStats,
-    crashed: Vec<bool>,
     started: bool,
     seed: u64,
+    lookahead: Duration,
     tracer: Tracer,
-    queue_depth_max: usize,
     gauge_registry: Option<Arc<MetricsRegistry>>,
+    epoch_stall_ns: u64,
 }
 
 impl World {
     /// Creates a world over `topo`, fully determined by `seed`, on the
-    /// default event-queue backend (see [`QueueBackend::from_env`]).
+    /// default event-queue backend (see [`QueueBackend::from_env`]) and
+    /// the default shard count (`LBRM_SIM_SHARDS`, see
+    /// [`World::parse_shards`]; 1 when unset).
     pub fn new(topo: Topology, seed: u64) -> World {
         World::with_backend(topo, seed, QueueBackend::from_env())
     }
 
     /// Creates a world on an explicit event-queue backend — the hook the
-    /// wheel-vs-heap differential tests use.
+    /// wheel-vs-heap differential tests use. Shard count still comes
+    /// from the environment.
     pub fn with_backend(topo: Topology, seed: u64, backend: QueueBackend) -> World {
+        let shards = Self::shards_from_env();
+        World::with_options(topo, seed, backend, shards)
+    }
+
+    /// Creates a world with everything explicit: queue backend and
+    /// requested shard count. The effective count is clamped to the
+    /// number of sites, and falls back to 1 when the topology offers no
+    /// positive cross-shard lookahead (conservative synchronization
+    /// would deadlock on zero-latency links).
+    pub fn with_options(topo: Topology, seed: u64, backend: QueueBackend, shards: usize) -> World {
+        let sites = topo.site_count();
         let hosts = topo.host_count();
+        let mut n = shards.clamp(1, sites.max(1));
+        let assign = |n: usize| -> Vec<usize> { (0..sites).map(|s| s % n).collect() };
+        let mut map = assign(n);
+        let mut lookahead = Duration::ZERO;
+        if n > 1 {
+            match topo.lookahead(&map) {
+                Some(l) if l > Duration::ZERO => lookahead = l,
+                _ => {
+                    n = 1;
+                    map = assign(1);
+                }
+            }
+        }
+        let shard_of_site = Arc::new(map);
+        let mut shard_vec: Vec<Shard> = (0..n)
+            .map(|i| Shard::new(i, shard_of_site.clone(), backend, hosts, sites))
+            .collect();
+        for s in 0..sites {
+            let sid = SiteId(s as u32);
+            let k = shard_of_site[s];
+            shard_vec[k].nets[s] = Some(SiteNet::new(
+                topo.site_params(sid),
+                topo.wan_loss_model(),
+                site_rng(seed, s as u64),
+            ));
+        }
+        let shard_of_host = (0..hosts)
+            .map(|h| shard_of_site[topo.site_of(HostId(h as u64)).raw() as usize])
+            .collect();
         World {
             topo,
-            actors: (0..hosts).map(|_| None).collect(),
+            shards: shard_vec,
+            shard_of_site,
+            shard_of_host,
             order: Vec::new(),
-            groups: HashMap::new(),
-            queue: EventQueue::new(backend),
             now: SimTime::ZERO,
-            rngs: (0..hosts).map(|_| None).collect(),
-            net_rng: SmallRng::seed_from_u64(seed ^ 0x6e65_7477_6f72_6b00),
-            stats: NetStats::default(),
-            crashed: vec![false; hosts],
             started: false,
             seed,
+            lookahead,
             tracer: Tracer::disabled(),
-            queue_depth_max: 0,
             gauge_registry: None,
+            epoch_stall_ns: 0,
+        }
+    }
+
+    /// Parses an `LBRM_SIM_SHARDS` value: a positive integer, `"sites"`
+    /// (one shard per site), or empty (= 1). `None` for anything else.
+    pub fn parse_shards(v: &str) -> Option<usize> {
+        let t = v.trim();
+        if t.is_empty() {
+            return Some(1);
+        }
+        if t.eq_ignore_ascii_case("sites") {
+            return Some(usize::MAX);
+        }
+        match t.parse::<usize>() {
+            Ok(n) if n >= 1 => Some(n),
+            _ => None,
+        }
+    }
+
+    /// Reads `LBRM_SIM_SHARDS`, panicking on anything
+    /// [`parse_shards`](World::parse_shards) rejects — mirroring the
+    /// strict [`QueueBackend::from_env`]: a typo must fail loudly, not
+    /// silently run unsharded.
+    fn shards_from_env() -> usize {
+        match std::env::var("LBRM_SIM_SHARDS") {
+            Err(std::env::VarError::NotPresent) => 1,
+            Err(e) => panic!("LBRM_SIM_SHARDS is not valid unicode: {e}"),
+            Ok(v) => World::parse_shards(&v).unwrap_or_else(|| {
+                panic!(
+                    "LBRM_SIM_SHARDS must be a positive integer or \"sites\" (or unset), got {v:?}"
+                )
+            }),
         }
     }
 
     /// The event-queue backend this world runs on.
     pub fn queue_backend(&self) -> QueueBackend {
-        self.queue.backend()
+        self.shards[0].queue.backend()
     }
 
-    /// Grows the per-host tables to cover `host` (ids normally come from
-    /// the topology builder and are pre-sized; this keeps out-of-band ids
-    /// safe).
-    fn ensure_host(&mut self, host: HostId) -> usize {
-        let idx = host.raw() as usize;
-        if idx >= self.actors.len() {
-            self.actors.resize_with(idx + 1, || None);
-            self.rngs.resize_with(idx + 1, || None);
-            self.crashed.resize(idx + 1, false);
-        }
-        idx
+    /// Number of shards actually in use (after clamping and the
+    /// zero-lookahead fallback).
+    pub fn shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The conservative-synchronization window (zero when unsharded).
+    pub fn lookahead(&self) -> Duration {
+        self.lookahead
+    }
+
+    /// Total events processed so far, across all shards.
+    pub fn events_processed(&self) -> u64 {
+        self.shards.iter().map(|s| s.events).sum()
+    }
+
+    /// Cumulative wall-clock time the epoch coordinator spent waiting on
+    /// the slowest worker (plus barrier overhead), in nanoseconds.
+    /// Always zero for unsharded runs.
+    pub fn epoch_stall_ns(&self) -> u64 {
+        self.epoch_stall_ns
     }
 
     /// Attaches a protocol-event tracer: every simulated transmission is
     /// reported as a [`ProtocolEvent::NetPacket`] (wire kind, multicast
     /// flag, copies that survived the loss model). Disabled by default.
+    /// The tracer's sink is re-wrapped via [`World::wrap_sink`] so
+    /// sharded runs keep the serial emission order.
     pub fn set_trace(&mut self, tracer: Tracer) {
-        self.tracer = tracer;
+        let wrapped = match tracer.sink() {
+            Some(s) => Tracer::to(self.wrap_sink(s)),
+            None => Tracer::disabled(),
+        };
+        self.tracer = wrapped.clone();
+        for sh in &mut self.shards {
+            sh.tracer = wrapped.clone();
+        }
+    }
+
+    /// Wraps a trace sink for use by actors running inside this world.
+    ///
+    /// Sharded worlds process events on worker threads, so a sink fed
+    /// directly from actor code would observe records in worker order.
+    /// The wrapper buffers worker-side records and the epoch coordinator
+    /// forwards them in the deterministic serial order; outside worker
+    /// threads (and for single-shard worlds, where this returns the sink
+    /// unchanged) records pass straight through. Machines whose tracers
+    /// write to shared sinks must route them through here.
+    pub fn wrap_sink(&self, inner: Arc<dyn TraceSink>) -> Arc<dyn TraceSink> {
+        if self.shards.len() == 1 {
+            inner
+        } else {
+            crate::shard::MuxedSink::wrap(inner)
+        }
     }
 
     /// Attaches a registry that receives simulator gauges — the
-    /// event-queue depth (current and high-water) and per-link tail
-    /// queue backlogs — whenever a `run_*` call returns (or
-    /// [`flush_gauges`](World::flush_gauges) is called directly).
+    /// event-queue depth (current and high-water, aggregated across
+    /// shards), per-shard depths for sharded runs, epoch stall time, and
+    /// per-link tail queue backlogs — whenever a `run_*` call returns
+    /// (or [`flush_gauges`](World::flush_gauges) is called directly).
     pub fn set_gauges(&mut self, registry: Arc<MetricsRegistry>) {
         self.gauge_registry = Some(registry);
     }
 
-    /// Highest event-queue depth seen so far (cheap: one compare per
-    /// step keeps the hot loop registry-free).
+    /// Highest event-queue depth seen on any single shard (cheap: one
+    /// compare per step keeps the hot loop registry-free). Only
+    /// comparable between runs with equal shard counts — a split queue
+    /// peaks lower than a global one.
     pub fn queue_depth_max(&self) -> usize {
-        self.queue_depth_max
+        self.shards.iter().map(|s| s.depth_max).max().unwrap_or(0)
     }
 
-    /// Current event-queue depth.
+    /// Current event-queue depth, summed across shards.
     pub fn queue_depth(&self) -> usize {
-        self.queue.len()
+        self.shards.iter().map(|s| s.queue.len()).sum()
     }
 
     /// Writes the simulator gauges into the attached registry (no-op
-    /// without one): `sim.queue_depth`, `sim.queue_depth_max`, and
-    /// `sim.link.s<N>.tail_{in,out}_backlog_max_ns` for every site
-    /// whose tail circuit ever queued.
+    /// without one): `sim.queue_depth` (sum over shards),
+    /// `sim.queue_depth_max` (max over shards' high-water marks),
+    /// `sim.shard<K>.queue_depth{,_max}` and `sim.epoch_stall_ns` for
+    /// sharded runs, and `sim.link.s<N>.tail_{in,out}_backlog_max_ns`
+    /// for every site whose tail circuit ever queued.
     pub fn flush_gauges(&mut self) {
         let Some(reg) = &self.gauge_registry else {
             return;
         };
-        reg.set_gauge("sim.queue_depth", self.queue.len() as u64);
-        reg.set_gauge("sim.queue_depth_max", self.queue_depth_max as u64);
-        for (site, tail_in, tail_out) in self.topo.tail_backlog_maxima() {
-            if tail_in > Duration::ZERO {
+        reg.set_gauge("sim.queue_depth", self.queue_depth() as u64);
+        reg.set_gauge("sim.queue_depth_max", self.queue_depth_max() as u64);
+        if self.shards.len() > 1 {
+            for sh in &self.shards {
                 reg.set_gauge(
-                    &format!("sim.link.s{}.tail_in_backlog_max_ns", site.raw()),
-                    tail_in.as_nanos() as u64,
+                    &format!("sim.shard{}.queue_depth", sh.idx),
+                    sh.queue.len() as u64,
+                );
+                reg.set_gauge(
+                    &format!("sim.shard{}.queue_depth_max", sh.idx),
+                    sh.depth_max as u64,
                 );
             }
-            if tail_out > Duration::ZERO {
-                reg.set_gauge(
-                    &format!("sim.link.s{}.tail_out_backlog_max_ns", site.raw()),
-                    tail_out.as_nanos() as u64,
-                );
+            reg.set_gauge("sim.epoch_stall_ns", self.epoch_stall_ns);
+        }
+        for sh in &self.shards {
+            for (s, net) in sh.nets.iter().enumerate() {
+                let Some(net) = net else { continue };
+                if net.tail_in_backlog_max > Duration::ZERO {
+                    reg.set_gauge(
+                        &format!("sim.link.s{s}.tail_in_backlog_max_ns"),
+                        net.tail_in_backlog_max.as_nanos() as u64,
+                    );
+                }
+                if net.tail_out_backlog_max > Duration::ZERO {
+                    reg.set_gauge(
+                        &format!("sim.link.s{s}.tail_out_backlog_max_ns"),
+                        net.tail_out_backlog_max.as_nanos() as u64,
+                    );
+                }
             }
         }
     }
 
     /// Installs an actor on `host`. Replaces any existing actor.
+    ///
+    /// # Panics
+    ///
+    /// If `host` was not created by this world's topology builder (the
+    /// sharded world routes by site, so every host needs a site).
     pub fn add_actor(&mut self, host: HostId, actor: impl Actor) {
-        let idx = self.ensure_host(host);
-        if self.actors[idx].replace(Box::new(actor)).is_none() {
+        let idx = host.raw() as usize;
+        assert!(
+            idx < self.topo.host_count(),
+            "host {host} is not in the topology"
+        );
+        let k = self.shard_of_host[idx];
+        let sh = &mut self.shards[k];
+        if sh.actors[idx].replace(Box::new(actor)).is_none() {
             self.order.push(host);
         }
-        if self.rngs[idx].is_none() {
+        if sh.rngs[idx].is_none() {
             // Distinct, deterministic stream per host.
-            self.rngs[idx] = Some(SmallRng::seed_from_u64(
+            sh.rngs[idx] = Some(SmallRng::seed_from_u64(
                 self.seed
                     .wrapping_mul(0x9E37_79B9_7F4A_7C15)
                     .wrapping_add(host.raw()),
@@ -331,13 +717,21 @@ impl World {
 
     /// Joins `host` to `group` from outside the actor (setup convenience).
     pub fn join(&mut self, host: HostId, group: GroupId) {
-        self.groups.entry(group).or_default().insert(host);
+        let site = self.topo.site_of(host);
+        let k = self.shard_of_site[site.raw() as usize];
+        self.shards[k].members[site.raw() as usize]
+            .entry(group)
+            .or_default()
+            .insert(host);
     }
 
     /// Arms a timer for `host` from outside the actor — used by harness
     /// code that schedules application work after the world has started.
     pub fn schedule_timer(&mut self, host: HostId, at: SimTime, token: u64) {
-        self.queue.push(at.max(self.now), Ev::Timer { host, token });
+        let site = self.topo.site_of(host);
+        let k = self.shard_of_host[host.raw() as usize];
+        let at = at.max(self.now);
+        self.shards[k].push_from(host.raw(), at, site, Ev::Timer { host, token });
     }
 
     /// Current virtual time.
@@ -345,9 +739,13 @@ impl World {
         self.now
     }
 
-    /// Network statistics so far.
-    pub fn stats(&self) -> &NetStats {
-        &self.stats
+    /// Network statistics so far, merged across shards.
+    pub fn stats(&self) -> NetStats {
+        let mut out = NetStats::default();
+        for sh in &self.shards {
+            out.merge(&sh.stats);
+        }
+        out
     }
 
     /// Immutable access to the topology.
@@ -358,23 +756,25 @@ impl World {
     /// Marks a host as crashed: it receives no packets or timers and its
     /// pending timers are suppressed while down.
     pub fn crash(&mut self, host: HostId) {
-        let idx = self.ensure_host(host);
-        self.crashed[idx] = true;
+        let idx = host.raw() as usize;
+        let k = self.shard_of_host[idx];
+        self.shards[k].crashed[idx] = true;
     }
 
     /// Revives a crashed host. Packets and timers scheduled while it was
     /// down are gone; new ones are delivered normally.
     pub fn revive(&mut self, host: HostId) {
-        let idx = self.ensure_host(host);
-        self.crashed[idx] = false;
+        let idx = host.raw() as usize;
+        let k = self.shard_of_host[idx];
+        self.shards[k].crashed[idx] = false;
     }
 
     /// `true` if the host is currently crashed.
     pub fn is_crashed(&self, host: HostId) -> bool {
-        self.crashed
-            .get(host.raw() as usize)
-            .copied()
-            .unwrap_or(false)
+        let idx = host.raw() as usize;
+        self.shard_of_host
+            .get(idx)
+            .is_some_and(|&k| self.shards[k].crashed[idx])
     }
 
     /// Downcasts the actor on `host`.
@@ -383,10 +783,10 @@ impl World {
     ///
     /// If the host has no actor of type `T`.
     pub fn actor<T: Actor>(&self, host: HostId) -> &T {
-        let a: &dyn Any = self
-            .actors
-            .get(host.raw() as usize)
-            .and_then(|slot| slot.as_ref())
+        let idx = host.raw() as usize;
+        let k = *self.shard_of_host.get(idx).expect("no actor on host");
+        let a: &dyn Any = self.shards[k].actors[idx]
+            .as_ref()
             .expect("no actor on host")
             .as_ref();
         a.downcast_ref::<T>().expect("actor type mismatch")
@@ -398,39 +798,13 @@ impl World {
     ///
     /// If the host has no actor of type `T`.
     pub fn actor_mut<T: Actor>(&mut self, host: HostId) -> &mut T {
-        let a: &mut dyn Any = self
-            .actors
-            .get_mut(host.raw() as usize)
-            .and_then(|slot| slot.as_mut())
+        let idx = host.raw() as usize;
+        let k = *self.shard_of_host.get(idx).expect("no actor on host");
+        let a: &mut dyn Any = self.shards[k].actors[idx]
+            .as_mut()
             .expect("no actor on host")
             .as_mut();
         a.downcast_mut::<T>().expect("actor type mismatch")
-    }
-
-    fn dispatch(&mut self, host: HostId, f: impl FnOnce(&mut dyn Actor, &mut Ctx<'_>)) {
-        let idx = host.raw() as usize;
-        if idx >= self.actors.len() || self.crashed[idx] {
-            return;
-        }
-        // Take the actor out of its slot (a pointer move, not a hash
-        // re-insert) so it can borrow the rest of the world mutably.
-        let Some(mut actor) = self.actors[idx].take() else {
-            return;
-        };
-        let rng = self.rngs[idx].as_mut().expect("host rng");
-        let mut ctx = Ctx {
-            host,
-            now: self.now,
-            topo: &mut self.topo,
-            queue: &mut self.queue,
-            groups: &mut self.groups,
-            rng,
-            net_rng: &mut self.net_rng,
-            stats: &mut self.stats,
-            tracer: &self.tracer,
-        };
-        f(actor.as_mut(), &mut ctx);
-        self.actors[idx] = Some(actor);
     }
 
     fn start_if_needed(&mut self) {
@@ -440,53 +814,167 @@ impl World {
         self.started = true;
         let hosts = self.order.clone();
         for host in hosts {
-            self.dispatch(host, |a, ctx| a.on_start(ctx));
+            let k = self.shard_of_host[host.raw() as usize];
+            let topo = &self.topo;
+            dispatch(topo, &mut self.shards[k], self.now, host, |a, ctx| {
+                a.on_start(ctx)
+            });
+            self.drain_outboxes();
         }
     }
 
-    /// Records the current queue depth into the high-water gauge.
-    #[inline]
-    fn note_queue_depth(&mut self) {
-        if self.queue.len() > self.queue_depth_max {
-            self.queue_depth_max = self.queue.len();
+    /// Routes every shard's pending cross-shard mail into the
+    /// destination queues. Cheap when nothing is pending.
+    fn drain_outboxes(&mut self) {
+        let mut mails = Vec::new();
+        for sh in &mut self.shards {
+            if !sh.outbox.is_empty() {
+                mails.append(&mut sh.outbox);
+            }
+        }
+        for m in mails {
+            self.shards[m.shard].queue.push_keyed(m.at, m.key, m.ev);
         }
     }
 
-    /// Runs one event; returns `false` when the queue is empty.
+    /// Runs one event; returns `false` when every queue is empty.
+    ///
+    /// Sharded worlds step serially here — the globally least `(at,
+    /// key)` event is popped wherever it lives — so step-driven loops
+    /// observe the exact single-shard order; `run_until` is where the
+    /// epoch parallelism happens.
     pub fn step(&mut self) -> bool {
         self.start_if_needed();
-        self.note_queue_depth();
-        let Some((at, ev)) = self.queue.pop() else {
+        if self.shards.len() == 1 {
+            let topo = &self.topo;
+            let shard = &mut self.shards[0];
+            shard.note_depth();
+            let Some((at, key, ev)) = shard.queue.pop_keyed() else {
+                return false;
+            };
+            debug_assert!(at >= self.now, "time must be monotonic");
+            self.now = at.max(self.now);
+            process(topo, shard, at, key, ev, false);
+            // Sample again after the handler ran: a fan-out (multicast
+            // burst, retransmission storm) peaks *between* pops, and the
+            // two backends must report the same high-water mark.
+            shard.note_depth();
+            return true;
+        }
+        // Global-min pop: take the tied-for-earliest head from each
+        // shard, keep the least key, put the rest back.
+        let min_at = self
+            .shards
+            .iter_mut()
+            .filter_map(|s| s.queue.next_at())
+            .min();
+        let Some(min_at) = min_at else {
             return false;
         };
-        debug_assert!(at >= self.now, "time must be monotonic");
-        self.now = at.max(self.now);
-        match ev {
-            Ev::Packet { from, to, packet } => {
-                self.dispatch(to, |a, ctx| a.on_packet(ctx, from, packet));
-            }
-            Ev::Timer { host, token } => {
-                self.dispatch(host, |a, ctx| a.on_timer(ctx, token));
+        let mut popped = Vec::new();
+        for (i, sh) in self.shards.iter_mut().enumerate() {
+            if sh.queue.next_at() == Some(min_at) {
+                let (at, key, ev) = sh.queue.pop_keyed().expect("head was due");
+                popped.push((i, at, key, ev));
             }
         }
-        // Sample again after the handler ran: a fan-out (multicast burst,
-        // retransmission storm) peaks *between* pops, and the two
-        // backends must report the same high-water mark.
-        self.note_queue_depth();
+        popped.sort_by_key(|p| p.2);
+        let mut it = popped.into_iter();
+        let (wi, at, key, ev) = it.next().expect("at least one shard was due");
+        for (i, at2, key2, ev2) in it {
+            self.shards[i].queue.push_keyed(at2, key2, ev2);
+        }
+        debug_assert!(at >= self.now, "time must be monotonic");
+        self.now = at.max(self.now);
+        let topo = &self.topo;
+        let shard = &mut self.shards[wi];
+        shard.note_depth();
+        process(topo, shard, at, key, ev, false);
+        shard.note_depth();
+        self.drain_outboxes();
         true
     }
 
-    /// Runs until virtual time reaches `until` or the queue drains.
+    /// Conservative-window engine for sharded worlds: per epoch, find
+    /// the earliest pending event `t_min`, open the window
+    /// `[t_min, min(t_min + lookahead, until + 1ns))`, let every shard
+    /// drain its due events on worker threads, then exchange cross-shard
+    /// mail and forward buffered trace records in the deterministic
+    /// merge order.
+    fn run_epochs(&mut self, until: SimTime) {
+        let la_nanos = self.lookahead.as_nanos() as u64;
+        debug_assert!(la_nanos > 0, "sharded world requires positive lookahead");
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(self.shards.len());
+        let chunk = self.shards.len().div_ceil(workers);
+        loop {
+            let t_min = self
+                .shards
+                .iter_mut()
+                .filter_map(|s| s.queue.next_at())
+                .min();
+            let Some(t_min) = t_min else { break };
+            if t_min > until {
+                break;
+            }
+            let end = SimTime::from_nanos(
+                t_min
+                    .nanos()
+                    .saturating_add(la_nanos)
+                    .min(until.nanos().saturating_add(1)),
+            );
+            let wall = std::time::Instant::now();
+            let topo = &self.topo;
+            let shards = &mut self.shards;
+            std::thread::scope(|scope| {
+                for sh_chunk in shards.chunks_mut(chunk) {
+                    scope.spawn(move || {
+                        capture_activate();
+                        for sh in sh_chunk {
+                            run_window(topo, sh, end);
+                        }
+                    });
+                }
+            });
+            let busy_max = self
+                .shards
+                .chunks(chunk)
+                .map(|c| c.iter().map(|s| s.busy_ns).sum::<u64>())
+                .max()
+                .unwrap_or(0);
+            self.epoch_stall_ns += (wall.elapsed().as_nanos() as u64).saturating_sub(busy_max);
+            if let Some(last) = self.shards.iter().map(|s| s.last_at).max() {
+                self.now = self.now.max(last);
+            }
+            self.drain_outboxes();
+            if self.shards.iter().any(|sh| !sh.trace_buf.is_empty()) {
+                let streams = self
+                    .shards
+                    .iter_mut()
+                    .map(|sh| std::mem::take(&mut sh.trace_buf))
+                    .collect();
+                forward_merged(streams);
+            }
+        }
+    }
+
+    /// Runs until virtual time reaches `until` or the queues drain.
     /// Events at exactly `until` are processed.
     pub fn run_until(&mut self, until: SimTime) {
         self.start_if_needed();
-        loop {
-            match self.queue.next_at() {
-                Some(at) if at <= until => {
-                    self.step();
+        if self.shards.len() == 1 {
+            loop {
+                match self.shards[0].queue.next_at() {
+                    Some(at) if at <= until => {
+                        self.step();
+                    }
+                    _ => break,
                 }
-                _ => break,
             }
+        } else {
+            self.run_epochs(until);
         }
         self.now = self.now.max(until);
         self.flush_gauges();
@@ -498,14 +986,20 @@ impl World {
         self.run_until(until);
     }
 
-    /// Runs until the event queue is empty or `limit` is hit.
+    /// Runs until the event queues are empty or `limit` is hit (the
+    /// clock is left at the last processed event, not advanced to
+    /// `limit`).
     pub fn run_until_idle(&mut self, limit: SimTime) {
         self.start_if_needed();
-        while let Some(at) = self.queue.next_at() {
-            if at > limit {
-                break;
+        if self.shards.len() == 1 {
+            while let Some(at) = self.shards[0].queue.next_at() {
+                if at > limit {
+                    break;
+                }
+                self.step();
             }
-            self.step();
+        } else {
+            self.run_epochs(limit);
         }
         self.flush_gauges();
     }
@@ -525,6 +1019,17 @@ impl World {
         z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
         SmallRng::seed_from_u64(z ^ (z >> 31))
     }
+}
+
+/// Per-site RNG stream, a pure function of `(seed, site)` — the draws a
+/// site's traffic makes are independent of every other site's and of
+/// the site→shard assignment.
+fn site_rng(seed: u64, site: u64) -> SmallRng {
+    let mut z =
+        (seed ^ 0x7369_7465_6e65_7473).wrapping_add(site.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    SmallRng::seed_from_u64(z ^ (z >> 31))
 }
 
 #[cfg(test)]
@@ -661,7 +1166,7 @@ mod tests {
                 let _ = w.derived_rng(salt).random::<u64>();
             }
             w.run_until(SimTime::from_secs(10));
-            (w.actor::<Sink>(rx).got.clone(), w.stats().clone())
+            (w.actor::<Sink>(rx).got.clone(), w.stats())
         };
         assert_eq!(run(0), run(5));
     }
@@ -700,11 +1205,136 @@ mod tests {
             w.run_until(SimTime::from_secs(10));
             (
                 w.actor::<Sink>(rx).got.clone(),
-                w.stats().clone(),
+                w.stats(),
                 w.queue_depth_max(),
             )
         };
         assert_eq!(run(QueueBackend::Wheel), run(QueueBackend::Heap));
+    }
+
+    /// The tentpole guarantee: a fixed seed produces identical
+    /// deliveries, stats, and event counts for *any* shard count, on
+    /// either queue backend — here on a lossy, jittery 4-site topology
+    /// exercising cross-shard multicast, unicast-free fan-out, and
+    /// membership churn through the Ingress path.
+    #[test]
+    fn shard_counts_replay_identically() {
+        use crate::loss::LossModel;
+        let run = |backend: QueueBackend, shards: usize| {
+            let mut b = TopologyBuilder::new();
+            let s0 = b.site(SiteParams::default());
+            let s1 = b.site(SiteParams {
+                tail_in_loss: LossModel::rate(0.25),
+                jitter: Duration::from_millis(3),
+                ..SiteParams::default()
+            });
+            let s2 = b.site(SiteParams {
+                lan_loss: LossModel::rate(0.1),
+                ..SiteParams::nearby()
+            });
+            let s3 = b.site(SiteParams::distant());
+            b.wan_loss(LossModel::rate(0.05));
+            let tx = b.host(s0);
+            let rxs: Vec<HostId> = [s0, s1, s1, s2, s3].iter().map(|&s| b.host(s)).collect();
+            let mut w = World::with_options(b.build(), 4242, backend, shards);
+            assert_eq!(w.shards(), shards.min(4));
+            w.add_actor(tx, Beacon { sent: 0 });
+            for &rx in &rxs {
+                w.add_actor(rx, Sink::default());
+            }
+            w.run_until(SimTime::from_secs(10));
+            let got: Vec<Vec<(SimTime, u32)>> = rxs
+                .iter()
+                .map(|&rx| w.actor::<Sink>(rx).got.clone())
+                .collect();
+            (got, w.stats(), w.events_processed())
+        };
+        let base = run(QueueBackend::Wheel, 1);
+        for shards in [2usize, 4] {
+            assert_eq!(base, run(QueueBackend::Wheel, shards), "wheel x{shards}");
+            assert_eq!(base, run(QueueBackend::Heap, shards), "heap x{shards}");
+        }
+    }
+
+    /// Satellite: gauges must aggregate across shards — depth as the sum
+    /// of per-shard queue lengths, high-water as the max of per-shard
+    /// maxima — with per-shard gauges and the stall clock alongside.
+    #[test]
+    fn gauges_aggregate_across_shards() {
+        let mut b = TopologyBuilder::new();
+        let sites: Vec<SiteId> = (0..4).map(|_| b.site(SiteParams::default())).collect();
+        let tx = b.host(sites[0]);
+        let rxs: Vec<HostId> = sites[1..].iter().map(|&s| b.host(s)).collect();
+        let mut w = World::with_options(b.build(), 7, QueueBackend::Wheel, 2);
+        assert_eq!(w.shards(), 2);
+        let reg = Arc::new(MetricsRegistry::default());
+        w.set_gauges(reg.clone());
+        w.add_actor(tx, Beacon { sent: 0 });
+        for &rx in &rxs {
+            w.add_actor(rx, Sink::default());
+        }
+        // Stop mid-run so queues still hold future events (the next
+        // beacon timer at least).
+        w.run_until(SimTime::from_millis(1500));
+        let depth = reg.gauge("sim.queue_depth");
+        assert!(depth > 0, "pending events expected mid-run");
+        assert_eq!(depth, w.queue_depth() as u64);
+        assert_eq!(
+            depth,
+            reg.gauge("sim.shard0.queue_depth") + reg.gauge("sim.shard1.queue_depth"),
+            "sum over shards"
+        );
+        let max = reg.gauge("sim.queue_depth_max");
+        assert_eq!(max, w.queue_depth_max() as u64);
+        assert_eq!(
+            max,
+            reg.gauge("sim.shard0.queue_depth_max")
+                .max(reg.gauge("sim.shard1.queue_depth_max")),
+            "max of per-shard maxima"
+        );
+        assert!(
+            reg.gauges().contains_key("sim.epoch_stall_ns"),
+            "stall gauge published for sharded runs"
+        );
+    }
+
+    #[test]
+    fn shards_env_forms_parse_strictly() {
+        assert_eq!(World::parse_shards(""), Some(1));
+        assert_eq!(World::parse_shards("1"), Some(1));
+        assert_eq!(World::parse_shards(" 8 "), Some(8));
+        assert_eq!(World::parse_shards("sites"), Some(usize::MAX));
+        assert_eq!(World::parse_shards("SITES"), Some(usize::MAX));
+        assert_eq!(World::parse_shards("0"), None);
+        assert_eq!(World::parse_shards("-2"), None);
+        assert_eq!(World::parse_shards("many"), None);
+    }
+
+    #[test]
+    fn shard_count_clamps_and_falls_back() {
+        // More shards than sites clamps to the site count.
+        let mut b = TopologyBuilder::new();
+        let s0 = b.site(SiteParams::default());
+        let s1 = b.site(SiteParams::default());
+        let _ = (b.host(s0), b.host(s1));
+        let w = World::with_options(b.build(), 1, QueueBackend::Wheel, 64);
+        assert_eq!(w.shards(), 2);
+        assert!(w.lookahead() > Duration::ZERO);
+
+        // A zero-latency topology offers no lookahead: forced serial.
+        let mut b = TopologyBuilder::new();
+        let z = SiteParams {
+            lan_delay: Duration::ZERO,
+            tail_delay: Duration::ZERO,
+            wan_delay: Duration::ZERO,
+            ..SiteParams::default()
+        };
+        let s0 = b.site(z.clone());
+        let s1 = b.site(z);
+        let _ = (b.host(s0), b.host(s1));
+        let w = World::with_options(b.build(), 1, QueueBackend::Wheel, 2);
+        assert_eq!(w.shards(), 1);
+        assert_eq!(w.lookahead(), Duration::ZERO);
     }
 
     #[test]

@@ -460,6 +460,13 @@ impl Tracer {
         self.host
     }
 
+    /// The sink this tracer feeds, if any — lets a harness re-route an
+    /// already-built tracer through a wrapper sink (e.g. the sim world's
+    /// deterministic trace multiplexer).
+    pub fn sink(&self) -> Option<Arc<dyn TraceSink>> {
+        self.sink.clone()
+    }
+
     /// `true` if events reach a sink.
     pub fn is_enabled(&self) -> bool {
         self.sink.is_some()

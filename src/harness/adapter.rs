@@ -20,8 +20,9 @@ use lbrm_sim::time::SimTime;
 use lbrm_sim::world::{Actor, Ctx};
 use lbrm_wire::{GroupId, HostId, Packet};
 
-/// A scheduled application call against the wrapped machine.
-type AppCall<M> = Box<dyn FnMut(&mut M, Time, &mut Actions)>;
+/// A scheduled application call against the wrapped machine. `Send`
+/// because the sharded simulator may run the actor on a worker thread.
+type AppCall<M> = Box<dyn FnMut(&mut M, Time, &mut Actions) + Send>;
 
 /// Converts simulator time to protocol time (both are nanoseconds from
 /// the run origin).
@@ -37,11 +38,11 @@ pub fn to_sim(t: Time) -> SimTime {
 /// Schedules an application call against the machine on `host` at `at`,
 /// whether or not the world has started (double arming is harmless: the
 /// call slot is consumed exactly once).
-pub fn call_at<M: Machine + 'static>(
+pub fn call_at<M: Machine + Send + 'static>(
     world: &mut lbrm_sim::world::World,
     host: HostId,
     at: SimTime,
-    call: impl FnMut(&mut M, Time, &mut Actions) + 'static,
+    call: impl FnMut(&mut M, Time, &mut Actions) + Send + 'static,
 ) {
     let token = world.actor_mut::<MachineActor<M>>(host).schedule(at, call);
     world.schedule_timer(host, at, token);
@@ -93,7 +94,7 @@ impl<M: Machine + 'static> MachineActor<M> {
     pub fn schedule(
         &mut self,
         at: SimTime,
-        call: impl FnMut(&mut M, Time, &mut Actions) + 'static,
+        call: impl FnMut(&mut M, Time, &mut Actions) + Send + 'static,
     ) -> u64 {
         self.script.push((at, Some(Box::new(call))));
         self.script.len() as u64
@@ -145,7 +146,7 @@ impl<M: Machine + 'static> MachineActor<M> {
     }
 }
 
-impl<M: Machine + 'static> Actor for MachineActor<M> {
+impl<M: Machine + Send + 'static> Actor for MachineActor<M> {
     fn on_start(&mut self, ctx: &mut Ctx<'_>) {
         for g in self.joins.clone() {
             ctx.join(g);

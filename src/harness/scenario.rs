@@ -81,6 +81,10 @@ pub struct DisScenarioConfig {
     /// (timer wheel, overridable via `LBRM_SIM_QUEUE`); `Some` pins one
     /// — the wheel-vs-heap differential tests use this.
     pub queue_backend: Option<QueueBackend>,
+    /// Simulator shard count: `None` picks the default (1, overridable
+    /// via `LBRM_SIM_SHARDS`); `Some` pins one — results are
+    /// byte-identical either way, only wall-clock changes.
+    pub shards: Option<usize>,
 }
 
 impl Default for DisScenarioConfig {
@@ -105,6 +109,7 @@ impl Default for DisScenarioConfig {
             retention: Retention::All,
             seed: 1995,
             queue_backend: None,
+            shards: None,
         }
     }
 }
@@ -205,11 +210,11 @@ impl DisScenario {
             site_hosts.push((sec, rxs));
         }
         b.wan_loss(config.wan_loss.clone());
-        let mut world = match config.queue_backend {
-            Some(backend) => World::with_backend(b.build(), config.seed, backend),
-            None => World::new(b.build(), config.seed),
+        let backend = config.queue_backend.unwrap_or_else(QueueBackend::from_env);
+        let mut world = match config.shards {
+            Some(n) => World::with_options(b.build(), config.seed, backend, n),
+            None => World::with_backend(b.build(), config.seed, backend),
         };
-
         // One metrics registry per protocol role, plus one for the
         // network itself.
         let sender_metrics = Arc::new(MetricsRegistry::default());
@@ -220,12 +225,21 @@ impl DisScenario {
         world.set_trace(Tracer::to(tap(net_metrics.clone())));
         world.set_gauges(net_metrics.clone());
 
+        // Machine tracers write to shared sinks from whichever worker
+        // thread runs their shard; route them through the world's trace
+        // multiplexer so the observed record order stays serial.
+        // (`set_trace` above wraps its own sink internally.)
+        let sender_sink = world.wrap_sink(tap(sender_metrics.clone()));
+        let primary_sink = world.wrap_sink(tap(primary_metrics.clone()));
+        let secondary_sink = world.wrap_sink(tap(secondary_metrics.clone()));
+        let receiver_sink = world.wrap_sink(tap(receiver_metrics.clone()));
+
         // Primary logger (+ replicas).
         let mut primary_cfg = LoggerConfig::primary(Self::GROUP, Self::SOURCE, primary, src_host);
         primary_cfg.retention = config.retention;
         primary_cfg.replicas = replicas.clone();
         let mut primary_logger = Logger::new(primary_cfg);
-        primary_logger.set_tracer(Tracer::to(tap(primary_metrics.clone())));
+        primary_logger.set_tracer(Tracer::to(primary_sink.clone()));
         world.add_actor(
             primary,
             MachineActor::new(primary_logger, vec![Self::GROUP]),
@@ -235,7 +249,7 @@ impl DisScenario {
             c.retention = config.retention;
             c.replicas = replicas.iter().copied().filter(|&x| x != r).collect();
             let mut lg = Logger::new(c);
-            lg.set_tracer(Tracer::to(tap(primary_metrics.clone())));
+            lg.set_tracer(Tracer::to(primary_sink.clone()));
             world.add_actor(r, MachineActor::new(lg, vec![]));
         }
 
@@ -248,7 +262,7 @@ impl DisScenario {
             c.level = 1;
             c.site_remulticast = false;
             let mut lg = Logger::new(c);
-            lg.set_tracer(Tracer::to(tap(secondary_metrics.clone())));
+            lg.set_tracer(Tracer::to(secondary_sink.clone()));
             world.add_actor(reg, MachineActor::new(lg, vec![Self::GROUP]));
         }
 
@@ -270,7 +284,7 @@ impl DisScenario {
                     1
                 };
                 let mut lg = Logger::new(c);
-                lg.set_tracer(Tracer::to(tap(secondary_metrics.clone())));
+                lg.set_tracer(Tracer::to(secondary_sink.clone()));
                 world.add_actor(*sec, MachineActor::new(lg, vec![Self::GROUP]));
                 secondaries.push(*sec);
             }
@@ -284,7 +298,7 @@ impl DisScenario {
                 c.mode = config.mode;
                 c.nack_delay = config.receiver_nack_delay;
                 let mut machine = Receiver::new(c);
-                machine.set_tracer(Tracer::to(tap(receiver_metrics.clone())));
+                machine.set_tracer(Tracer::to(receiver_sink.clone()));
                 world.add_actor(rx, MachineActor::new(machine, vec![Self::GROUP]));
                 site_rxs.push(rx);
             }
@@ -300,7 +314,7 @@ impl DisScenario {
         sender_cfg.replicas = replicas.clone();
         sender_cfg.require_replica_ack = !replicas.is_empty();
         let mut sender = Sender::new(sender_cfg);
-        sender.set_tracer(Tracer::to(tap(sender_metrics.clone())));
+        sender.set_tracer(Tracer::to(sender_sink.clone()));
         world.add_actor(src_host, MachineActor::new(sender, vec![]));
 
         DisScenario {

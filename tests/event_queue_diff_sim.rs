@@ -1,11 +1,15 @@
-//! Wheel-vs-heap differential: the timer-wheel event queue must replay
-//! the binary-heap reference backend *byte for byte*. Two seeded lossy
-//! scenarios (the standard DIS run and a harsher lossy-WAN variant) are
-//! executed under both backends; everything observable — wire-level
-//! `NetStats`, per-receiver delivery transcripts, the serialized JSONL
-//! trace stream, metrics registries, and the queue-depth gauge — must be
-//! identical. This is what lets the wheel be the default backend while
-//! the heap stays as the executable specification of event order.
+//! Backend × shard-count differential: the timer-wheel event queue must
+//! replay the binary-heap reference backend *byte for byte*, and the
+//! sharded parallel world must replay the serial one just as exactly.
+//! Seeded lossy scenarios are executed under every
+//! `{wheel, heap} × {1, 2, 8 shards}` leg; everything observable —
+//! wire-level `NetStats`, per-receiver delivery transcripts, the
+//! serialized JSONL trace stream, and metrics registries — must be
+//! identical across all legs. (The queue-depth high-water mark is only
+//! comparable between runs with equal shard counts: a split queue peaks
+//! lower than a global one.) This is what lets the wheel be the default
+//! backend and `LBRM_SIM_SHARDS` be a pure wall-clock knob: neither may
+//! change a single byte of any result.
 
 use std::sync::Arc;
 
@@ -29,20 +33,27 @@ struct RunFingerprint {
     counters: Vec<std::collections::BTreeMap<&'static str, u64>>,
 }
 
-fn fingerprint(config: DisScenarioConfig, backend: QueueBackend) -> RunFingerprint {
+fn fingerprint(
+    config: DisScenarioConfig,
+    backend: QueueBackend,
+    shards: usize,
+    horizon: SimTime,
+    sends: u64,
+) -> RunFingerprint {
     let collector = Arc::new(CollectorSink::default());
     let mut sc = DisScenario::build_with_sink(
         DisScenarioConfig {
             queue_backend: Some(backend),
+            shards: Some(shards),
             ..config
         },
         Some(collector.clone() as Arc<dyn TraceSink>),
     );
     assert_eq!(sc.world.queue_backend(), backend);
-    for i in 0..SENDS {
+    for i in 0..sends {
         sc.send_at(SimTime::from_millis(1_000 + 400 * i), format!("update-{i}"));
     }
-    sc.world.run_until(SimTime::from_secs(60));
+    sc.world.run_until(horizon);
 
     // Serialize the trace exactly as a JsonLinesSink capture would land
     // on disk: identical protocol behavior must give identical bytes.
@@ -57,7 +68,7 @@ fn fingerprint(config: DisScenarioConfig, backend: QueueBackend) -> RunFingerpri
         .into_iter()
         .map(|rx| (rx.raw(), sc.delivered(rx)))
         .collect();
-    let expect: Vec<u32> = (1..=SENDS as u32).collect();
+    let expect: Vec<u32> = (1..=sends as u32).collect();
     RunFingerprint {
         trace_jsonl,
         stats: sc.world.stats().clone(),
@@ -74,36 +85,64 @@ fn fingerprint(config: DisScenarioConfig, backend: QueueBackend) -> RunFingerpri
     }
 }
 
-fn assert_identical(config: DisScenarioConfig, label: &str) {
-    let wheel = fingerprint(config.clone(), QueueBackend::Wheel);
-    let heap = fingerprint(config, QueueBackend::Heap);
+fn assert_equal(a: &RunFingerprint, b: &RunFingerprint, label: &str, compare_depth: bool) {
     assert_eq!(
-        wheel.trace_jsonl, heap.trace_jsonl,
+        a.trace_jsonl, b.trace_jsonl,
         "{label}: JSONL trace bytes must match"
     );
-    assert_eq!(wheel.stats, heap.stats, "{label}: NetStats must match");
+    assert_eq!(a.stats, b.stats, "{label}: NetStats must match");
     assert_eq!(
-        wheel.deliveries, heap.deliveries,
+        a.deliveries, b.deliveries,
         "{label}: per-receiver deliveries must match"
     );
-    assert_eq!(wheel.completeness, heap.completeness, "{label}");
+    assert_eq!(a.completeness, b.completeness, "{label}");
+    if compare_depth {
+        assert_eq!(
+            a.queue_depth_max, b.queue_depth_max,
+            "{label}: depth gauge must match"
+        );
+    }
     assert_eq!(
-        wheel.queue_depth_max, heap.queue_depth_max,
-        "{label}: depth gauge must match"
-    );
-    assert_eq!(
-        wheel.counters, heap.counters,
+        a.counters, b.counters,
         "{label}: metrics registries must match"
     );
+}
+
+/// Runs `config` under the full `{wheel, heap} × {1, 2, 8}` matrix and
+/// asserts every leg is byte-identical to the serial wheel run.
+fn assert_matrix_invariant(config: DisScenarioConfig, label: &str) {
+    let horizon = SimTime::from_secs(60);
+    let base = fingerprint(config.clone(), QueueBackend::Wheel, 1, horizon, SENDS);
     assert!(
-        !wheel.trace_jsonl.is_empty(),
+        !base.trace_jsonl.is_empty(),
         "{label}: differential must compare real traffic"
+    );
+    for backend in [QueueBackend::Wheel, QueueBackend::Heap] {
+        for shards in [1usize, 2, 8] {
+            if (backend, shards) == (QueueBackend::Wheel, 1) {
+                continue;
+            }
+            let leg = fingerprint(config.clone(), backend, shards, horizon, SENDS);
+            assert_equal(
+                &base,
+                &leg,
+                &format!("{label} [{backend:?} x{shards}]"),
+                shards == 1,
+            );
+        }
+    }
+    // The depth gauge is still backend-invariant at equal shard counts.
+    let w2 = fingerprint(config.clone(), QueueBackend::Wheel, 2, horizon, SENDS);
+    let h2 = fingerprint(config, QueueBackend::Heap, 2, horizon, SENDS);
+    assert_eq!(
+        w2.queue_depth_max, h2.queue_depth_max,
+        "{label}: depth gauge must be backend-invariant at x2"
     );
 }
 
 #[test]
-fn dis_scenario_is_backend_invariant() {
-    assert_identical(
+fn dis_scenario_is_backend_and_shard_invariant() {
+    assert_matrix_invariant(
         DisScenarioConfig {
             sites: 6,
             receivers_per_site: 4,
@@ -120,11 +159,11 @@ fn dis_scenario_is_backend_invariant() {
 }
 
 #[test]
-fn lossy_wan_is_backend_invariant() {
+fn lossy_wan_is_backend_and_shard_invariant() {
     // Backbone loss on top of tail loss: recovery traffic cascades
     // through secondaries and the primary, exercising timer re-arms,
     // retransmission fan-out, and deep queue churn.
-    assert_identical(
+    assert_matrix_invariant(
         DisScenarioConfig {
             sites: 8,
             receivers_per_site: 5,
@@ -139,4 +178,29 @@ fn lossy_wan_is_backend_invariant() {
         },
         "lossy WAN",
     );
+}
+
+/// A short-horizon slice of the committed 1000-site × 30-receiver
+/// benchmark workload: the determinism guarantee must hold at the scale
+/// the bench actually runs, not just on toy topologies.
+#[test]
+fn dis_1000x30_short_horizon_is_shard_invariant() {
+    let config = DisScenarioConfig {
+        sites: 1_000,
+        receivers_per_site: 30,
+        site_params: SiteParams {
+            tail_in_loss: LossModel::rate(0.05),
+            ..SiteParams::distant()
+        },
+        seed: 1995,
+        ..DisScenarioConfig::default()
+    };
+    let horizon = SimTime::from_millis(1_600);
+    let sends = 2;
+    let base = fingerprint(config.clone(), QueueBackend::Wheel, 1, horizon, sends);
+    assert!(!base.trace_jsonl.is_empty());
+    for shards in [2usize, 8] {
+        let leg = fingerprint(config.clone(), QueueBackend::Wheel, shards, horizon, sends);
+        assert_equal(&base, &leg, &format!("1000x30 [wheel x{shards}]"), false);
+    }
 }
