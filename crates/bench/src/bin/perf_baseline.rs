@@ -293,6 +293,46 @@ fn bench_logger_fanin() -> Workload {
     }
 }
 
+/// Raw log-store serving rate: batched `collect_span` over a loaded
+/// store — the kernel under the logger's NACK fan-in, measured without
+/// codec or state-machine overhead. A 64-seq window rotates through an
+/// 8,192-entry log with a 1-in-8 presence hole so both the present
+/// word-scan and the missing-run coalescing run every pass; each served
+/// sequence counts as one event.
+fn bench_logstore_serve() -> Workload {
+    use lbrm_core::logstore::{LogStore, Retention};
+    use lbrm_core::time::Time;
+
+    const LOG: u32 = 8_192;
+    const WINDOW: u64 = 64;
+    let mut store = LogStore::new(Retention::All);
+    let payload = Bytes::from(vec![0x5Au8; 128]);
+    for i in 1..=LOG {
+        if i % 8 != 0 {
+            store.insert(Time::ZERO, Seq(i), payload.clone());
+        }
+    }
+    let mut present = Vec::new();
+    let mut missing = Vec::new();
+    let mut first = 1u32;
+    let start = Instant::now();
+    let m = bench_function("logstore_serve", |b| {
+        b.iter(|| {
+            present.clear();
+            missing.clear();
+            store.collect_span(Seq(first), WINDOW, &mut present, &mut missing);
+            first = first % (LOG - WINDOW as u32) + 1;
+            std::hint::black_box(present.len() + missing.len())
+        })
+    });
+    Workload {
+        name: "logstore_serve".into(),
+        // One iteration scans WINDOW sequences.
+        events_per_sec: m.iters_per_sec() * WINDOW as f64,
+        wall_secs: start.elapsed().as_secs_f64(),
+    }
+}
+
 /// Streaming forensics correlation rate: a seeded lossy DIS capture is
 /// collected once, then pushed through a fresh [`OnlineAnalyzer`] per
 /// run — gap/NACK/repair correlation, histogram folding, reservoir
@@ -405,13 +445,14 @@ fn from_json(doc: &str) -> Vec<Workload> {
 }
 
 /// Every gated workload and its `--check` floor, in measurement order.
-const GATES: [(&str, f64); 7] = [
+const GATES: [(&str, f64); 8] = [
     ("dis_scenario_step", CHECK_FLOOR),
     ("dis_scenario_1000x30", CHECK_FLOOR),
     ("event_queue_churn", AUX_CHECK_FLOOR),
     ("codec_encode_data_128B", AUX_CHECK_FLOOR),
     ("codec_decode_data_128B", AUX_CHECK_FLOOR),
     ("logger_nack_fanin", AUX_CHECK_FLOOR),
+    ("logstore_serve", AUX_CHECK_FLOOR),
     ("forensics_stream", AUX_CHECK_FLOOR),
 ];
 
@@ -423,6 +464,7 @@ fn measure_all() -> Vec<Workload> {
         bench_codec_encode(),
         bench_codec_decode(),
         bench_logger_fanin(),
+        bench_logstore_serve(),
         bench_forensics_stream(),
     ]
 }

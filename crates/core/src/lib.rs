@@ -42,6 +42,7 @@ pub mod machine;
 pub mod receiver;
 pub mod retrans_channel;
 pub mod sender;
+pub mod slab;
 pub mod statack;
 pub mod time;
 

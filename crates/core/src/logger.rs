@@ -30,7 +30,7 @@ use lbrm_wire::packet::SeqRange;
 use lbrm_wire::{EpochId, GroupId, HostId, Packet, Seq, SourceId, TtlScope};
 
 use crate::gaps::{GapTracker, SeqUnwrapper};
-use crate::logstore::{LogStore, Retention};
+use crate::logstore::{LogStore, Retention, StoreBackend};
 use crate::machine::{Action, Actions, Machine, Notice};
 use crate::time::{earliest, Time};
 use crate::trace::{ProtocolEvent, Tracer};
@@ -101,6 +101,10 @@ pub struct LoggerConfig {
     pub answer_discovery: bool,
     /// Determinism seed for the volunteer coin.
     pub seed: u64,
+    /// Log-store backend; `None` defers to the `LBRM_LOG_STORE`
+    /// environment variable (the differential tests pass both variants
+    /// explicitly).
+    pub store_backend: Option<StoreBackend>,
 }
 
 impl LoggerConfig {
@@ -128,6 +132,7 @@ impl LoggerConfig {
             volunteer: false,
             answer_discovery: true,
             seed: host.raw(),
+            store_backend: None,
         }
     }
 
@@ -207,6 +212,10 @@ pub struct Logger {
     last_logack: Option<(u64, u64)>,
     /// Periodic retention sweep.
     next_prune_at: Time,
+    /// Reusable scratch for batched NACK serving (held payloads).
+    serve_scratch: Vec<(Seq, Bytes)>,
+    /// Reusable scratch for batched NACK serving (missing runs).
+    missing_scratch: Vec<SeqRange>,
     tracer: Tracer,
 }
 
@@ -216,7 +225,10 @@ impl Logger {
         Logger {
             role: config.role,
             parent: config.parent,
-            store: LogStore::new(config.retention),
+            store: match config.store_backend {
+                Some(backend) => LogStore::with_backend(config.retention, backend),
+                None => LogStore::new(config.retention),
+            },
             gaps: GapTracker::new(),
             unwrapper: SeqUnwrapper::new(),
             rng: SmallRng::seed_from_u64(config.seed),
@@ -227,6 +239,8 @@ impl Logger {
             repl_next_at: None,
             last_logack: None,
             next_prune_at: Time::ZERO + Duration::from_secs(1),
+            serve_scratch: Vec::new(),
+            missing_scratch: Vec::new(),
             tracer: Tracer::disabled(),
             config,
         }
@@ -288,10 +302,32 @@ impl Logger {
     /// evidence the requester did not receive it (a remote child logger,
     /// or a local member that lost the repair too) and is answered by
     /// unicast — the shortcut degrades safely instead of starving anyone.
-    fn serve(&mut self, now: Time, seq: Seq, requester: HostId, out: &mut Actions) {
-        let Some(payload) = self.store.get(seq) else {
+    fn serve(&mut self, now: Time, seq: Seq, payload: Bytes, requester: HostId, out: &mut Actions) {
+        // Fast path: a logger that can never site-remulticast — primary,
+        // replica, or the shortcut disabled — answers by unicast without
+        // any repair-window bookkeeping. The window only exists to make
+        // (and remember) the multicast decision.
+        if self.role != LoggerRole::Secondary
+            || !self.config.site_remulticast
+            || self.config.remulticast_threshold == usize::MAX
+        {
+            self.tracer
+                .emit(now.nanos(), || ProtocolEvent::RetransServed {
+                    seq,
+                    multicast: false,
+                    to: requester,
+                });
+            out.push(Action::Unicast {
+                to: requester,
+                packet: Packet::Retrans {
+                    group: self.config.group,
+                    source: self.config.source,
+                    seq,
+                    payload,
+                },
+            });
             return;
-        };
+        }
         let idx = self.unwrapper.peek(seq);
         let window = self.repairs.entry(idx).or_insert(RepairWindow {
             requesters: BTreeSet::new(),
@@ -400,8 +436,13 @@ impl Logger {
         self.gaps.observe(seq);
         let idx = self.unwrapper.peek(seq);
         if let Some(pending) = self.pending.remove(&idx) {
-            for r in pending.requesters {
-                self.serve(now, seq, r, out);
+            // Serve from the store (not the ingest argument): on a
+            // duplicate insert the store kept the *original* buffer, and
+            // every serve must share it.
+            if let Some(payload) = self.store.get(seq) {
+                for r in pending.requesters {
+                    self.serve(now, seq, payload.clone(), r, out);
+                }
             }
         }
         if fresh {
@@ -613,13 +654,29 @@ impl Machine for Logger {
                             .sum(),
                     });
                 for range in ranges {
-                    for seq in range.iter().take(512) {
-                        if self.store.has(seq) {
-                            self.serve(now, seq, requester, out);
-                        } else {
+                    // Mirror `SeqRange::iter()` semantics: an inverted
+                    // range yields nothing, and at most 512 sequences of
+                    // one range are honored (implosion guard).
+                    if range.last.before(range.first) {
+                        continue;
+                    }
+                    let count = (u64::from(range.last.distance_from(range.first)) + 1).min(512);
+                    // One span scan partitions the range into held
+                    // payloads and missing runs — no per-seq store calls.
+                    let mut present = std::mem::take(&mut self.serve_scratch);
+                    let mut missing = std::mem::take(&mut self.missing_scratch);
+                    self.store
+                        .collect_span(range.first, count, &mut present, &mut missing);
+                    for (seq, payload) in present.drain(..) {
+                        self.serve(now, seq, payload, requester, out);
+                    }
+                    for run in missing.drain(..) {
+                        for seq in run.iter() {
                             self.want(now, seq, Some(requester));
                         }
                     }
+                    self.serve_scratch = present;
+                    self.missing_scratch = missing;
                 }
             }
             Packet::ReplUpdate {

@@ -21,6 +21,7 @@ use lbrm_wire::{EpochId, GroupId, HostId, Packet, Seq, SourceId, TtlScope};
 use crate::gaps::SeqUnwrapper;
 use crate::heartbeat::{FixedHeartbeat, HeartbeatConfig, VariableHeartbeat};
 use crate::machine::{Action, Actions, Machine, Notice};
+use crate::slab::SeqSlab;
 use crate::statack::{StatAck, StatAckConfig, StatAckOutput};
 use crate::time::{earliest, Time};
 use crate::trace::{ProtocolEvent, Tracer};
@@ -158,7 +159,7 @@ pub struct Sender {
     /// only once the log acknowledgement covers it *and* statistical-ack
     /// bookkeeping has settled (a re-multicast decision may need the
     /// payload after the primary already logged it).
-    buffer: BTreeMap<u64, Buffered>,
+    buffer: SeqSlab<Buffered>,
     /// Unwrapped index below which the log (per policy) holds everything.
     released_below: u64,
     /// Indexes still awaiting a statistical-ack verdict.
@@ -187,7 +188,7 @@ impl Sender {
             next_seq: Seq::FIRST,
             last_seq: None,
             last_payload: Bytes::new(),
-            buffer: BTreeMap::new(),
+            buffer: SeqSlab::new(),
             released_below: 0,
             unsettled: std::collections::BTreeSet::new(),
             current_primary: config.primary,
@@ -300,7 +301,7 @@ impl Sender {
         let unsettled = &self.unsettled;
         let before = self.buffer.len();
         self.buffer
-            .retain(|&idx, _| idx >= end || unsettled.contains(&idx));
+            .retain(|idx, _| idx >= end || unsettled.contains(&idx));
         if self.buffer.len() != before {
             if let Some(seq) = released_seq {
                 out.push(Action::Notice(Notice::BufferReleased { up_to: seq }));
@@ -309,8 +310,9 @@ impl Sender {
             }
         }
         // Handoff only chases log acknowledgement; statack holds (below
-        // the release floor) don't keep it alive.
-        if !self.buffer.keys().any(|&idx| idx >= end) {
+        // the release floor) don't keep it alive. Indexes ascend, so the
+        // highest one decides whether anything is still unreleased.
+        if self.buffer.last().is_none_or(|(idx, _)| idx < end) {
             self.next_handoff_at = None;
             self.handoff_attempts = 0;
         }
@@ -349,7 +351,7 @@ impl Sender {
                 }
                 StatAckOutput::Remulticast { seq, missing } => {
                     let idx = self.unwrapper.peek(seq);
-                    if let Some(b) = self.buffer.get(&idx) {
+                    if let Some(b) = self.buffer.get(idx) {
                         let packet = self.data_packet(b);
                         out.push(Action::Multicast {
                             scope: TtlScope::Global,
@@ -459,7 +461,7 @@ impl Sender {
             packet: promote,
         });
         // Bring it current from our buffer: everything beyond its log end.
-        for (&idx, b) in &self.buffer {
+        for (idx, b) in self.buffer.iter() {
             if idx > best_end || best_end == u64::MAX {
                 out.push(Action::Unicast {
                     to: best,
@@ -548,7 +550,7 @@ impl Machine for Sender {
                 for range in ranges {
                     for seq in range.iter().take(256) {
                         let idx = self.unwrapper.peek(seq);
-                        if let Some(b) = self.buffer.get(&idx) {
+                        if let Some(b) = self.buffer.get(idx) {
                             out.push(Action::Unicast {
                                 to: requester,
                                 packet: Packet::Retrans {
@@ -653,9 +655,8 @@ impl Machine for Sender {
                 if now >= at {
                     let unlogged: Vec<u64> = self
                         .buffer
-                        .keys()
-                        .copied()
-                        .filter(|&idx| idx >= self.released_below)
+                        .range(self.released_below, u64::MAX)
+                        .map(|(idx, _)| idx)
                         .take(64)
                         .collect();
                     if unlogged.is_empty() {
@@ -667,7 +668,7 @@ impl Machine for Sender {
                             self.begin_failover(now, out);
                         } else {
                             for idx in unlogged {
-                                let b = &self.buffer[&idx];
+                                let b = self.buffer.get(idx).expect("unlogged index is live");
                                 out.push(Action::Unicast {
                                     to: self.current_primary,
                                     packet: self.data_packet(b),

@@ -1,0 +1,237 @@
+//! Slab-vs-btree LogStore differential property tests.
+//!
+//! The segmented slab backend must be observably identical to the
+//! original `BTreeMap` reference for every operation the protocol
+//! performs. These seeded randomized loops (the offline stand-in for
+//! proptest, same pattern as `proptests.rs`) drive both backends through
+//! identical operation streams — inserts in and out of order, duplicate
+//! inserts, retention pruning, span queries — and compare every
+//! observable after every step. Dedicated edge tests cover sequence
+//! wraparound and segment/word boundaries, where the slab's bit
+//! arithmetic earns its keep.
+
+use std::time::Duration;
+
+use bytes::Bytes;
+use lbrm_core::logstore::{LogStore, Retention, StoreBackend};
+use lbrm_core::time::Time;
+use lbrm_wire::packet::SeqRange;
+use lbrm_wire::Seq;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn payload(seq: u32) -> Bytes {
+    Bytes::from(seq.to_be_bytes().to_vec())
+}
+
+/// Asserts every observable of the two stores agrees; `span` bounds the
+/// sequence window the run used so query probes stay in scope.
+fn assert_equivalent(slab: &LogStore, btree: &LogStore, base: u32, span: u32, r: &mut SmallRng) {
+    assert_eq!(slab.len(), btree.len());
+    assert_eq!(slab.is_empty(), btree.is_empty());
+    assert_eq!(slab.contiguous_high(), btree.contiguous_high());
+    assert_eq!(slab.oldest(), btree.oldest());
+    assert_eq!(slab.newest(), btree.newest());
+    // Random point probes.
+    for _ in 0..8 {
+        let seq = Seq(base.wrapping_add(r.random_range(0u64..u64::from(span)) as u32));
+        assert_eq!(slab.has(seq), btree.has(seq), "has({seq:?})");
+        assert_eq!(slab.get(seq), btree.get(seq), "get({seq:?})");
+    }
+    // Random span probes (missing_in + collect_span).
+    for _ in 0..4 {
+        let a = r.random_range(0u64..u64::from(span)) as u32;
+        let b = r.random_range(0u64..u64::from(span)) as u32;
+        let first = Seq(base.wrapping_add(a.min(b)));
+        let last = Seq(base.wrapping_add(a.max(b)));
+        assert_eq!(
+            slab.missing_in(first, last),
+            btree.missing_in(first, last),
+            "missing_in({first:?}, {last:?})"
+        );
+        let count = u64::from(a.max(b) - a.min(b)) + 1;
+        let (mut sp, mut sm) = (Vec::new(), Vec::new());
+        let (mut bp, mut bm) = (Vec::new(), Vec::new());
+        slab.collect_span(first, count, &mut sp, &mut sm);
+        btree.collect_span(first, count, &mut bp, &mut bm);
+        assert_eq!(sp, bp, "collect_span present ({first:?}, {count})");
+        assert_eq!(sm, bm, "collect_span missing ({first:?}, {count})");
+    }
+}
+
+/// Full in-order iteration equality (O(n) — compared at run end).
+fn assert_iter_equal(slab: &LogStore, btree: &LogStore) {
+    let si: Vec<(Seq, &Bytes)> = slab.iter().collect();
+    let bi: Vec<(Seq, &Bytes)> = btree.iter().collect();
+    assert_eq!(si, bi);
+}
+
+/// One random run: identical op stream into both backends, observables
+/// compared after every operation.
+fn differential_run(seed: u64, base: u32, span: u32, retention: Retention) {
+    let mut r = SmallRng::seed_from_u64(seed);
+    let mut slab = LogStore::with_backend(retention, StoreBackend::Slab);
+    let mut btree = LogStore::with_backend(retention, StoreBackend::Btree);
+    let mut now = Time::ZERO;
+    let ops = r.random_range(40u64..160) as usize;
+    for _ in 0..ops {
+        match r.random_range(0u64..10) {
+            // Mostly inserts (including duplicates — same payload rule).
+            0..=6 => {
+                let seq = Seq(base.wrapping_add(r.random_range(0u64..u64::from(span)) as u32));
+                let fresh_s = slab.insert(now, seq, payload(seq.raw()));
+                let fresh_b = btree.insert(now, seq, payload(seq.raw()));
+                assert_eq!(fresh_s, fresh_b, "insert({seq:?}) freshness");
+            }
+            // A short in-order burst (the common case).
+            7 => {
+                let start = r.random_range(0u64..u64::from(span)) as u32;
+                for i in 0..r.random_range(1u64..20) as u32 {
+                    let seq = Seq(base.wrapping_add(start).wrapping_add(i));
+                    slab.insert(now, seq, payload(seq.raw()));
+                    btree.insert(now, seq, payload(seq.raw()));
+                }
+            }
+            // Time advances (drives Lifetime retention).
+            8 => {
+                now += Duration::from_millis(r.random_range(1u64..5_000));
+            }
+            // Explicit prune sweep at the current time.
+            _ => {
+                slab.prune(now);
+                btree.prune(now);
+            }
+        }
+        assert_equivalent(&slab, &btree, base, span, &mut r);
+    }
+    assert_iter_equal(&slab, &btree);
+}
+
+#[test]
+fn randomized_differential_all_retention() {
+    for seed in 0..24 {
+        differential_run(0xD1FF + seed, 1_000, 40_000, Retention::All);
+    }
+}
+
+#[test]
+fn randomized_differential_count_retention() {
+    for seed in 0..24 {
+        // Caps below, at, and above one 4096-slot segment.
+        let cap = [64, 1_000, 4_096, 9_000][seed as usize % 4];
+        differential_run(0xC0DE + seed, 1_000, 40_000, Retention::Count(cap));
+    }
+}
+
+#[test]
+fn randomized_differential_lifetime_retention() {
+    for seed in 0..24 {
+        differential_run(
+            0x11FE + seed,
+            1_000,
+            40_000,
+            Retention::Lifetime(Duration::from_secs(10)),
+        );
+    }
+}
+
+#[test]
+fn randomized_differential_across_seq_wraparound() {
+    // Sequence windows straddling u32::MAX: the unwrapper maps them onto
+    // one monotone line and both backends must agree bit-for-bit.
+    for seed in 0..24 {
+        differential_run(0x3A9 + seed, u32::MAX - 20_000, 40_000, Retention::All);
+        differential_run(
+            0x7B1 + seed,
+            u32::MAX - 20_000,
+            40_000,
+            Retention::Count(2_000),
+        );
+    }
+}
+
+#[test]
+fn wraparound_span_queries_cross_the_seam() {
+    for backend in [StoreBackend::Slab, StoreBackend::Btree] {
+        let mut store = LogStore::with_backend(Retention::All, backend);
+        store.insert(Time::ZERO, Seq(u32::MAX - 1), payload(1));
+        store.insert(Time::ZERO, Seq(1), payload(2));
+        assert_eq!(
+            store.missing_in(Seq(u32::MAX - 1), Seq(1)),
+            vec![SeqRange {
+                first: Seq(u32::MAX),
+                last: Seq(0)
+            }],
+            "{backend:?}"
+        );
+        store.insert(Time::ZERO, Seq(u32::MAX), payload(3));
+        store.insert(Time::ZERO, Seq(0), payload(4));
+        assert_eq!(store.contiguous_high(), Some(Seq(1)), "{backend:?}");
+        let seqs: Vec<Seq> = store.iter().map(|(s, _)| s).collect();
+        assert_eq!(
+            seqs,
+            vec![Seq(u32::MAX - 1), Seq(u32::MAX), Seq(0), Seq(1)],
+            "{backend:?}"
+        );
+    }
+}
+
+#[test]
+fn segment_and_word_boundary_edges() {
+    // Presence straddling the 4096-entry segment boundary and 64-bit
+    // word boundaries, probed on both backends.
+    let edges = [63u32, 64, 127, 4_095, 4_096, 8_191, 8_192];
+    for backend in [StoreBackend::Slab, StoreBackend::Btree] {
+        let mut store = LogStore::with_backend(Retention::All, backend);
+        for &e in &edges {
+            store.insert(Time::ZERO, Seq(e), payload(e));
+        }
+        for &e in &edges {
+            assert!(store.has(Seq(e)), "{backend:?} has({e})");
+            if !edges.contains(&(e + 1)) {
+                assert!(!store.has(Seq(e + 1)), "{backend:?} !has({})", e + 1);
+            }
+            assert_eq!(store.get(Seq(e)), Some(payload(e)), "{backend:?}");
+        }
+        // The missing runs between edges coalesce exactly.
+        assert_eq!(
+            store.missing_in(Seq(63), Seq(8_192)),
+            vec![
+                SeqRange {
+                    first: Seq(65),
+                    last: Seq(126)
+                },
+                SeqRange {
+                    first: Seq(128),
+                    last: Seq(4_094)
+                },
+                SeqRange {
+                    first: Seq(4_097),
+                    last: Seq(8_190)
+                },
+            ],
+            "{backend:?}"
+        );
+    }
+}
+
+#[test]
+fn count_prune_at_exact_segment_multiples() {
+    // Retention exactly at segment-size multiples exercises the slab's
+    // whole-segment drop path with an empty head trim.
+    for cap in [4_096usize, 8_192] {
+        let mut slab = LogStore::with_backend(Retention::Count(cap), StoreBackend::Slab);
+        let mut btree = LogStore::with_backend(Retention::Count(cap), StoreBackend::Btree);
+        for i in 0..20_000u32 {
+            slab.insert(Time::ZERO, Seq(i), payload(i));
+            btree.insert(Time::ZERO, Seq(i), payload(i));
+        }
+        assert_eq!(slab.len(), cap);
+        assert_eq!(slab.len(), btree.len());
+        assert_eq!(slab.oldest(), btree.oldest());
+        assert_eq!(slab.newest(), btree.newest());
+        let si: Vec<Seq> = slab.iter().map(|(s, _)| s).collect();
+        let bi: Vec<Seq> = btree.iter().map(|(s, _)| s).collect();
+        assert_eq!(si, bi);
+    }
+}

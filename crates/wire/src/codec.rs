@@ -110,6 +110,14 @@ pub const MAX_NACK_RANGES: usize = 1024;
 
 /// RFC 1071 internet checksum.
 fn internet_checksum(data: &[u8]) -> u16 {
+    checksum_fold(checksum_accumulate(data))
+}
+
+/// Sums `data` as big-endian u16 words (odd tail zero-padded) without
+/// folding, so multiple slices can contribute to one checksum. A `u32`
+/// accumulator cannot overflow: 65,507 bytes of 0xFFFF words sum to
+/// under 2^31.
+fn checksum_accumulate(data: &[u8]) -> u32 {
     let mut sum: u32 = 0;
     let mut chunks = data.chunks_exact(2);
     for c in &mut chunks {
@@ -118,10 +126,24 @@ fn internet_checksum(data: &[u8]) -> u16 {
     if let [last] = chunks.remainder() {
         sum += u32::from(u16::from_be_bytes([*last, 0]));
     }
+    sum
+}
+
+/// Folds carries and complements per RFC 1071.
+fn checksum_fold(mut sum: u32) -> u16 {
     while sum >> 16 != 0 {
         sum = (sum & 0xFFFF) + (sum >> 16);
     }
     !(sum as u16)
+}
+
+/// The packet checksum with the checksum field itself treated as zero,
+/// computed over the two slices around it — no copy of the packet. Both
+/// `data[..6]` and `data[8..]` start at even offsets, so word alignment
+/// is preserved across the splice and the word sums add directly.
+fn checksum_with_zeroed_field(data: &[u8]) -> u16 {
+    debug_assert!(data.len() >= HEADER_LEN);
+    checksum_fold(checksum_accumulate(&data[..6]) + checksum_accumulate(&data[8..]))
 }
 
 fn packet_tag(p: &Packet) -> u8 {
@@ -222,7 +244,16 @@ impl Packet {
 /// length-prefix range; [`WireError::BadProbability`] for a non-finite or
 /// out-of-range `p_ack`.
 pub fn encode(p: &Packet) -> Result<Bytes, WireError> {
-    let mut buf = BytesMut::with_capacity(64);
+    // `encoded_len()` is exact (property-tested equal to the bytes
+    // produced), so one allocation serves the whole encode — and absurd
+    // inputs are rejected before any buffer is sized to them. List
+    // overflows below MAX_PACKET_SIZE still reach their specific
+    // FieldOverflow checks in the match arms.
+    let len = p.encoded_len();
+    if len > MAX_PACKET_SIZE {
+        return Err(WireError::TooLarge(len));
+    }
+    let mut buf = BytesMut::with_capacity(len);
     // Header; length and checksum are patched afterwards.
     buf.put_u16(MAGIC);
     buf.put_u8(VERSION);
@@ -425,10 +456,7 @@ pub fn encode(p: &Packet) -> Result<Bytes, WireError> {
         }
     }
 
-    let len = buf.len();
-    if len > MAX_PACKET_SIZE {
-        return Err(WireError::TooLarge(len));
-    }
+    debug_assert_eq!(buf.len(), len, "encoded_len must match the bytes written");
     buf[4..6].copy_from_slice(&(len as u16).to_be_bytes());
     let cksum = internet_checksum(&buf);
     buf[6..8].copy_from_slice(&cksum.to_be_bytes());
@@ -550,10 +578,7 @@ pub fn decode(data: &[u8]) -> Result<Packet, WireError> {
         });
     }
     let wire_cksum = u16::from_be_bytes([data[6], data[7]]);
-    let mut zeroed = data.to_vec();
-    zeroed[6] = 0;
-    zeroed[7] = 0;
-    if internet_checksum(&zeroed) != wire_cksum {
+    if checksum_with_zeroed_field(data) != wire_cksum {
         return Err(WireError::BadChecksum);
     }
 
@@ -926,6 +951,26 @@ mod tests {
         // Odd length pads with zero.
         assert_eq!(internet_checksum(&[0xFF]), !0xFF00u16);
         assert_eq!(internet_checksum(&[]), 0xFFFF);
+    }
+
+    #[test]
+    fn split_checksum_equals_zeroed_copy() {
+        // The copy-free decode verification must agree with the naive
+        // zero-the-field-and-copy formulation on even and odd lengths.
+        for extra in 0..5usize {
+            let data: Vec<u8> = (0..HEADER_LEN + 13 + extra)
+                .map(|i| (i * 37) as u8)
+                .collect();
+            let mut zeroed = data.clone();
+            zeroed[6] = 0;
+            zeroed[7] = 0;
+            assert_eq!(
+                checksum_with_zeroed_field(&data),
+                internet_checksum(&zeroed),
+                "length {}",
+                data.len()
+            );
+        }
     }
 
     #[test]

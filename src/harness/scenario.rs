@@ -21,7 +21,7 @@ use bytes::Bytes;
 use lbrm_core::baseline::srm::{SrmConfig, SrmMember};
 use lbrm_core::heartbeat::HeartbeatConfig;
 use lbrm_core::logger::{Logger, LoggerConfig};
-use lbrm_core::logstore::Retention;
+use lbrm_core::logstore::{Retention, StoreBackend};
 use lbrm_core::machine::Notice;
 use lbrm_core::receiver::{Receiver, ReceiverConfig, ReliabilityMode};
 use lbrm_core::sender::{HeartbeatScheme, Sender, SenderConfig};
@@ -85,6 +85,10 @@ pub struct DisScenarioConfig {
     /// via `LBRM_SIM_SHARDS`); `Some` pins one — results are
     /// byte-identical either way, only wall-clock changes.
     pub shards: Option<usize>,
+    /// Log-store backend for every logger: `None` picks the default
+    /// (segmented slab, overridable via `LBRM_LOG_STORE`); `Some` pins
+    /// one — the slab-vs-btree differential tests use this.
+    pub log_store: Option<StoreBackend>,
 }
 
 impl Default for DisScenarioConfig {
@@ -110,6 +114,7 @@ impl Default for DisScenarioConfig {
             seed: 1995,
             queue_backend: None,
             shards: None,
+            log_store: None,
         }
     }
 }
@@ -238,6 +243,7 @@ impl DisScenario {
         let mut primary_cfg = LoggerConfig::primary(Self::GROUP, Self::SOURCE, primary, src_host);
         primary_cfg.retention = config.retention;
         primary_cfg.replicas = replicas.clone();
+        primary_cfg.store_backend = config.log_store;
         let mut primary_logger = Logger::new(primary_cfg);
         primary_logger.set_tracer(Tracer::to(primary_sink.clone()));
         world.add_actor(
@@ -248,6 +254,7 @@ impl DisScenario {
             let mut c = LoggerConfig::replica(Self::GROUP, Self::SOURCE, r, primary, src_host);
             c.retention = config.retention;
             c.replicas = replicas.iter().copied().filter(|&x| x != r).collect();
+            c.store_backend = config.log_store;
             let mut lg = Logger::new(c);
             lg.set_tracer(Tracer::to(primary_sink.clone()));
             world.add_actor(r, MachineActor::new(lg, vec![]));
@@ -261,6 +268,7 @@ impl DisScenario {
             c.retention = config.retention;
             c.level = 1;
             c.site_remulticast = false;
+            c.store_backend = config.log_store;
             let mut lg = Logger::new(c);
             lg.set_tracer(Tracer::to(secondary_sink.clone()));
             world.add_actor(reg, MachineActor::new(lg, vec![Self::GROUP]));
@@ -278,6 +286,7 @@ impl DisScenario {
                 let mut c =
                     LoggerConfig::secondary(Self::GROUP, Self::SOURCE, *sec, parent, src_host);
                 c.retention = config.retention;
+                c.store_backend = config.log_store;
                 c.level = if config.regional_fanout.is_some() {
                     2
                 } else {

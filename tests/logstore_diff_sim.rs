@@ -1,0 +1,157 @@
+//! Store-backend differential: the segmented-slab `LogStore` must
+//! replay the `BTreeMap` reference backend *byte for byte* at scenario
+//! scale. The seeded DIS and lossy-WAN scenarios (the same ones the
+//! event-queue differential pins) are executed under
+//! `LBRM_LOG_STORE ∈ {slab, btree}` legs; everything observable —
+//! wire-level `NetStats`, per-receiver delivery transcripts, the
+//! serialized JSONL trace stream, and metrics registries — must be
+//! identical across backends. This is what lets the slab be the default
+//! hot tier of every logger's packet log: it may only change how fast a
+//! NACK is answered, never which bytes answer it.
+
+use std::sync::Arc;
+
+use lbrm::harness::{DisScenario, DisScenarioConfig};
+use lbrm::sim::loss::LossModel;
+use lbrm::sim::time::SimTime;
+use lbrm::sim::topology::SiteParams;
+use lbrm_core::logstore::StoreBackend;
+use lbrm_core::trace::{CollectorSink, TraceSink};
+
+const SENDS: u64 = 20;
+
+/// Everything a run exposes, flattened to comparable (and mostly
+/// byte-level) form.
+struct RunFingerprint {
+    trace_jsonl: String,
+    stats: lbrm::sim::stats::NetStats,
+    deliveries: Vec<(u64, Vec<u32>)>,
+    completeness: f64,
+    counters: Vec<std::collections::BTreeMap<&'static str, u64>>,
+}
+
+fn fingerprint(config: DisScenarioConfig, backend: StoreBackend) -> RunFingerprint {
+    let collector = Arc::new(CollectorSink::default());
+    let mut sc = DisScenario::build_with_sink(
+        DisScenarioConfig {
+            log_store: Some(backend),
+            ..config
+        },
+        Some(collector.clone() as Arc<dyn TraceSink>),
+    );
+    for i in 0..SENDS {
+        sc.send_at(SimTime::from_millis(1_000 + 400 * i), format!("update-{i}"));
+    }
+    sc.world.run_until(SimTime::from_secs(60));
+
+    let trace_jsonl = collector
+        .take()
+        .iter()
+        .map(|r| r.event.to_json(r.at_nanos, r.host) + "\n")
+        .collect::<String>();
+
+    let deliveries = sc
+        .all_receivers()
+        .into_iter()
+        .map(|rx| (rx.raw(), sc.delivered(rx)))
+        .collect();
+    let expect: Vec<u32> = (1..=SENDS as u32).collect();
+    RunFingerprint {
+        trace_jsonl,
+        stats: sc.world.stats().clone(),
+        deliveries,
+        completeness: sc.completeness(&expect),
+        counters: vec![
+            sc.sender_metrics.counters(),
+            sc.primary_metrics.counters(),
+            sc.secondary_metrics.counters(),
+            sc.receiver_metrics.counters(),
+            sc.net_metrics.counters(),
+        ],
+    }
+}
+
+fn assert_backend_invariant(config: DisScenarioConfig, label: &str) {
+    let slab = fingerprint(config.clone(), StoreBackend::Slab);
+    assert!(
+        !slab.trace_jsonl.is_empty(),
+        "{label}: differential must compare real traffic"
+    );
+    let btree = fingerprint(config, StoreBackend::Btree);
+    assert_eq!(
+        slab.trace_jsonl, btree.trace_jsonl,
+        "{label}: JSONL trace bytes must match across store backends"
+    );
+    assert_eq!(slab.stats, btree.stats, "{label}: NetStats must match");
+    assert_eq!(
+        slab.deliveries, btree.deliveries,
+        "{label}: per-receiver deliveries must match"
+    );
+    assert_eq!(slab.completeness, btree.completeness, "{label}");
+    assert_eq!(
+        slab.counters, btree.counters,
+        "{label}: metrics registries must match"
+    );
+}
+
+#[test]
+fn dis_scenario_is_store_backend_invariant() {
+    assert_backend_invariant(
+        DisScenarioConfig {
+            sites: 6,
+            receivers_per_site: 4,
+            site_params: SiteParams {
+                tail_in_loss: LossModel::rate(0.08),
+                ..SiteParams::distant()
+            },
+            receiver_nack_delay: std::time::Duration::from_millis(5),
+            seed: 4242,
+            ..DisScenarioConfig::default()
+        },
+        "DIS",
+    );
+}
+
+#[test]
+fn lossy_wan_is_store_backend_invariant() {
+    // Backbone loss on top of tail loss: recovery cascades through
+    // secondaries and the primary, so repair serving — the path the slab
+    // rebuilt — carries real traffic in both directions.
+    assert_backend_invariant(
+        DisScenarioConfig {
+            sites: 8,
+            receivers_per_site: 5,
+            secondary_loggers: true,
+            site_params: SiteParams {
+                tail_in_loss: LossModel::rate(0.12),
+                tail_out_loss: LossModel::rate(0.04),
+                ..SiteParams::distant()
+            },
+            seed: 90210,
+            ..DisScenarioConfig::default()
+        },
+        "lossy WAN",
+    );
+}
+
+#[test]
+fn count_retention_is_store_backend_invariant() {
+    // Bounded retention makes pruning continuous, so the slab's
+    // whole-segment drops and head trims run against the btree's
+    // pop_first loop under live protocol traffic.
+    assert_backend_invariant(
+        DisScenarioConfig {
+            sites: 6,
+            receivers_per_site: 4,
+            retention: lbrm_core::logstore::Retention::Count(8),
+            site_params: SiteParams {
+                tail_in_loss: LossModel::rate(0.10),
+                ..SiteParams::distant()
+            },
+            receiver_nack_delay: std::time::Duration::from_millis(5),
+            seed: 777,
+            ..DisScenarioConfig::default()
+        },
+        "count retention",
+    );
+}
