@@ -14,7 +14,20 @@
 //!              [--mem-budget BYTES[K|M|G]]
 //!              [--sites N] [--receivers N] [--packets N]
 //!              [--write-trace PATH]
+//!              [--live [--admin-addr HOST:PORT] [--loss RATE]
+//!               [--spacing-ms N] [--settle-ms N] [--linger-ms N]
+//!               [--hub] [--port N]]
+//!              [--follow TRACE.jsonl [--quiet-ms N]]
 //! ```
+//!
+//! `--live` runs real endpoint threads (UDP multicast on loopback when
+//! available, the in-process hub otherwise, or always with `--hub`)
+//! with the doctor sidecar attached, induced receiver-side data loss
+//! (`--loss`), and — with `--admin-addr` — the hand-rolled HTTP admin
+//! surface (`/stats`, `/timelines/live`, `/anomalies/tail?n=`,
+//! `/deltas/last`, `/mem`, `/healthz`) answering while traffic flows.
+//! `--follow` tails a *growing* capture through the same incremental
+//! path, stopping once the file has been quiet for `--quiet-ms`.
 //!
 //! The default engine is the streaming correlator (`--stream`): one
 //! record at a time in bounded memory, with `--max-live-timelines` /
@@ -29,13 +42,15 @@
 use std::io::Write as _;
 use std::process::ExitCode;
 use std::sync::Arc;
+use std::time::Duration;
 
 use lbrm_bench::doctor::{
-    analyze_jsonl_reader, analyze_jsonl_reader_online, demo_config, demo_run, parse_bytes,
-    run_scenario, run_scenario_online, DoctorRun,
+    analyze_jsonl_reader, analyze_jsonl_reader_online, demo_config, demo_run, follow_jsonl,
+    parse_bytes, run_scenario, run_scenario_online, DoctorRun,
 };
+use lbrm_bench::live::{run_live, LiveOptions};
 use lbrm_core::trace::analyze::AnalyzeConfig;
-use lbrm_core::trace::{JsonLinesSink, OnlineConfig, TraceSink};
+use lbrm_core::trace::{JsonLinesSink, OnlineConfig, ReportBasis, TraceSink};
 use lbrm_sim::time::SimTime;
 
 struct Args {
@@ -53,6 +68,16 @@ struct Args {
     receivers: Option<u32>,
     packets: u64,
     write_trace: Option<String>,
+    live: bool,
+    admin_addr: Option<String>,
+    follow: bool,
+    quiet_ms: u64,
+    loss: f64,
+    spacing_ms: u64,
+    settle_ms: u64,
+    linger_ms: u64,
+    hub: bool,
+    port: u16,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -71,6 +96,16 @@ fn parse_args() -> Result<Args, String> {
         receivers: None,
         packets: 20,
         write_trace: None,
+        live: false,
+        admin_addr: None,
+        follow: false,
+        quiet_ms: 2_000,
+        loss: 0.15,
+        spacing_ms: 25,
+        settle_ms: 5_000,
+        linger_ms: 0,
+        hub: false,
+        port: 49_501,
     };
     let mut it = std::env::args().skip(1);
     let next_val = |name: &str, it: &mut dyn Iterator<Item = String>| {
@@ -139,12 +174,51 @@ fn parse_args() -> Result<Args, String> {
             "--write-trace" => {
                 args.write_trace = Some(next_val("--write-trace", &mut it)?);
             }
+            "--live" => args.live = true,
+            "--admin-addr" => {
+                args.admin_addr = Some(next_val("--admin-addr", &mut it)?);
+            }
+            "--follow" => args.follow = true,
+            "--quiet-ms" => {
+                args.quiet_ms = next_val("--quiet-ms", &mut it)?
+                    .parse()
+                    .map_err(|e| format!("--quiet-ms: {e}"))?;
+            }
+            "--loss" => {
+                args.loss = next_val("--loss", &mut it)?
+                    .parse()
+                    .map_err(|e| format!("--loss: {e}"))?;
+            }
+            "--spacing-ms" => {
+                args.spacing_ms = next_val("--spacing-ms", &mut it)?
+                    .parse()
+                    .map_err(|e| format!("--spacing-ms: {e}"))?;
+            }
+            "--settle-ms" => {
+                args.settle_ms = next_val("--settle-ms", &mut it)?
+                    .parse()
+                    .map_err(|e| format!("--settle-ms: {e}"))?;
+            }
+            "--linger-ms" => {
+                args.linger_ms = next_val("--linger-ms", &mut it)?
+                    .parse()
+                    .map_err(|e| format!("--linger-ms: {e}"))?;
+            }
+            "--hub" => args.hub = true,
+            "--port" => {
+                args.port = next_val("--port", &mut it)?
+                    .parse()
+                    .map_err(|e| format!("--port: {e}"))?;
+            }
             "--help" | "-h" => {
                 return Err("usage: trace_doctor [TRACE.jsonl] [--seed N] [--json] \
                      [--write-json PATH] [--assert-clean] [--stream | --batch] \
                      [--max-live-timelines N] [--horizon-ms N] [--reservoir N] \
                      [--mem-budget BYTES[K|M|G]] [--sites N] [--receivers N] \
-                     [--packets N] [--write-trace PATH]"
+                     [--packets N] [--write-trace PATH] \
+                     [--live [--admin-addr HOST:PORT] [--loss RATE] [--spacing-ms N] \
+                     [--settle-ms N] [--linger-ms N] [--hub] [--port N]] \
+                     [--follow TRACE.jsonl [--quiet-ms N]]"
                     .into());
             }
             other if !other.starts_with('-') && args.file.is_none() => {
@@ -152,6 +226,15 @@ fn parse_args() -> Result<Args, String> {
             }
             other => return Err(format!("unknown argument: {other}")),
         }
+    }
+    if args.admin_addr.is_some() && !args.live {
+        return Err("--admin-addr requires --live".into());
+    }
+    if args.follow && args.live {
+        return Err("--follow and --live are mutually exclusive".into());
+    }
+    if args.follow && args.file.is_none() {
+        return Err("--follow needs a capture path to tail".into());
     }
     Ok(args)
 }
@@ -227,6 +310,94 @@ fn run(args: &Args) -> Result<DoctorRun, String> {
     }
 }
 
+/// Tails a growing capture (`--follow`), stopping once the file has
+/// been quiet for `--quiet-ms`.
+fn run_follow(args: &Args) -> Result<DoctorRun, String> {
+    let path = args.file.as_deref().expect("checked in parse_args");
+    let file = std::fs::File::open(path).map_err(|e| format!("{path}: {e}"))?;
+    let quiet = Duration::from_millis(args.quiet_ms.max(1));
+    follow_jsonl(
+        std::io::BufReader::new(file),
+        online_config(args),
+        Duration::from_millis(25),
+        |p| p.quiet_for >= quiet,
+    )
+    .map_err(|e| format!("{path}: {e}"))
+}
+
+/// Runs the real-endpoint scenario (`--live`) with the doctor sidecar
+/// attached and, optionally, the HTTP admin surface bound. Returns the
+/// run plus whether a hard live-mode invariant failed (delta-fold
+/// fidelity broken, or — under `--assert-clean` — events dropped at the
+/// sidecar sink).
+fn run_live_cmd(args: &Args) -> Result<(DoctorRun, bool), String> {
+    let capture: Option<Arc<JsonLinesSink<std::io::BufWriter<std::fs::File>>>> =
+        match &args.write_trace {
+            Some(path) => {
+                let f = std::fs::File::create(path).map_err(|e| format!("{path}: {e}"))?;
+                Some(Arc::new(JsonLinesSink::new(std::io::BufWriter::new(f))))
+            }
+            None => None,
+        };
+    let opts = LiveOptions {
+        receivers: args.receivers.map(|r| r as usize).unwrap_or(3),
+        packets: args.packets,
+        loss: args.loss,
+        seed: args.seed,
+        spacing: Duration::from_millis(args.spacing_ms),
+        settle: Duration::from_millis(args.settle_ms),
+        port: args.port,
+        use_hub: args.hub,
+        admin_addr: args.admin_addr.clone(),
+        capture: capture.clone().map(|s| s as Arc<dyn TraceSink>),
+        doctor: lbrm_core::trace::DoctorConfig::default(),
+    };
+    let linger = Duration::from_millis(args.linger_ms);
+    let outcome = run_live(opts, |air| {
+        if let Some(addr) = air.admin_addr {
+            println!("trace_doctor: admin surface listening on http://{addr}/");
+        }
+        if !linger.is_zero() {
+            std::thread::sleep(linger);
+        }
+    })
+    .map_err(|e| format!("--live: {e}"))?;
+    if let Some(sink) = capture {
+        sink.flush();
+    }
+
+    // The live fidelity contract: the fold of every emitted delta must
+    // telescope to exactly the final report.
+    let fold_ok = outcome.finish.fold.basis == ReportBasis::of_report(&outcome.finish.report);
+    let dropped = outcome.finish.dropped_events;
+    eprintln!(
+        "trace_doctor: live over {} — {} delivered ({} recovered), {} induced drops, \
+         {} sink drops, {} ticks, fold==batch: {fold_ok}",
+        outcome.transport,
+        outcome.delivered,
+        outcome.recovered,
+        outcome.induced_drops,
+        dropped,
+        outcome.finish.records,
+    );
+    if !fold_ok {
+        eprintln!("trace_doctor: delta-fold fidelity violated in live mode");
+    }
+    let failed = !fold_ok || (args.assert_clean && dropped > 0);
+    if args.assert_clean && dropped > 0 {
+        eprintln!("trace_doctor: --assert-clean failed: {dropped} events dropped at the sink");
+    }
+    let records = outcome.finish.records as usize;
+    Ok((
+        DoctorRun {
+            report: outcome.finish.report,
+            records,
+            skipped: 0,
+        },
+        failed,
+    ))
+}
+
 fn main() -> ExitCode {
     let args = match parse_args() {
         Ok(a) => a,
@@ -235,11 +406,33 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let doc = match run(&args) {
-        Ok(d) => d,
-        Err(msg) => {
-            eprintln!("trace_doctor: {msg}");
-            return ExitCode::FAILURE;
+    let mut live_failed = false;
+    let doc = if args.live {
+        match run_live_cmd(&args) {
+            Ok((d, failed)) => {
+                live_failed = failed;
+                d
+            }
+            Err(msg) => {
+                eprintln!("trace_doctor: {msg}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else if args.follow {
+        match run_follow(&args) {
+            Ok(d) => d,
+            Err(msg) => {
+                eprintln!("trace_doctor: {msg}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        match run(&args) {
+            Ok(d) => d,
+            Err(msg) => {
+                eprintln!("trace_doctor: {msg}");
+                return ExitCode::FAILURE;
+            }
         }
     };
 
@@ -247,15 +440,29 @@ fn main() -> ExitCode {
         println!("{}", doc.to_json());
     } else {
         let engine = if args.stream { "streaming" } else { "batch" };
-        match &args.file {
-            Some(path) => println!(
-                "trace_doctor: {path} ({} records, {} malformed lines skipped, {engine})\n",
-                doc.records, doc.skipped
-            ),
-            None => println!(
-                "trace_doctor: built-in lossy DIS scenario, seed {} ({} records, {engine})\n",
+        if args.live {
+            println!(
+                "trace_doctor: live endpoint scenario, seed {} ({} records, incremental)\n",
                 args.seed, doc.records
-            ),
+            );
+        } else if args.follow {
+            println!(
+                "trace_doctor: followed {} ({} records, {} malformed lines skipped, incremental)\n",
+                args.file.as_deref().unwrap_or("?"),
+                doc.records,
+                doc.skipped
+            );
+        } else {
+            match &args.file {
+                Some(path) => println!(
+                    "trace_doctor: {path} ({} records, {} malformed lines skipped, {engine})\n",
+                    doc.records, doc.skipped
+                ),
+                None => println!(
+                    "trace_doctor: built-in lossy DIS scenario, seed {} ({} records, {engine})\n",
+                    args.seed, doc.records
+                ),
+            }
         }
         print!("{}", doc.report.render());
     }
@@ -268,7 +475,7 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     }
-    let mut failed = false;
+    let mut failed = live_failed;
     if let Some(budget) = args.mem_budget {
         let peak = doc.report.stream.peak_resident_bytes;
         if peak > budget {

@@ -124,6 +124,102 @@ pub fn analyze_jsonl_reader_online<R: BufRead>(
     })
 }
 
+/// What [`follow_jsonl_into`] hands the stop predicate between polls.
+#[derive(Debug, Clone, Copy)]
+pub struct FollowProgress {
+    /// Complete records parsed and fed so far.
+    pub records: u64,
+    /// Malformed complete lines skipped so far.
+    pub skipped: usize,
+    /// Time since the file last yielded a complete line.
+    pub quiet_for: Duration,
+}
+
+/// Tails a growing `JsonLinesSink` capture, feeding each complete line
+/// into `sink` as it appears (the same incremental path a live sidecar
+/// consumes). A final line without a trailing newline is treated as
+/// in-flight: it is buffered across polls and only parsed — or counted
+/// as skipped — once the follow stops, so a writer caught mid-`write`
+/// never corrupts the stream. Polls every `poll` at EOF until `stop`
+/// returns true; returns `(records, skipped)`.
+///
+/// # Errors
+///
+/// Propagates reader I/O errors.
+pub fn follow_jsonl_into<R: BufRead>(
+    mut reader: R,
+    sink: &dyn TraceSink,
+    poll: Duration,
+    mut stop: impl FnMut(&FollowProgress) -> bool,
+) -> std::io::Result<(u64, usize)> {
+    let mut progress = FollowProgress {
+        records: 0,
+        skipped: 0,
+        quiet_for: Duration::ZERO,
+    };
+    // Partial tail carried across polls; read_line appends to it, so a
+    // line split across two writes reassembles for free.
+    let mut pending = String::new();
+    let feed = |l: &str, progress: &mut FollowProgress| {
+        if l.trim().is_empty() {
+            return;
+        }
+        match lbrm_core::trace::analyze::parse_json_line(l) {
+            Some(r) => {
+                sink.record(r.at_nanos, r.host, &r.event);
+                progress.records += 1;
+            }
+            None => progress.skipped += 1,
+        }
+    };
+    loop {
+        let n = reader.read_line(&mut pending)?;
+        if n == 0 {
+            if stop(&progress) {
+                break;
+            }
+            std::thread::sleep(poll);
+            progress.quiet_for += poll;
+            continue;
+        }
+        if !pending.ends_with('\n') {
+            // Hit EOF mid-line; keep accumulating on the next poll.
+            continue;
+        }
+        let l = pending.trim_end_matches(['\n', '\r']).to_string();
+        pending.clear();
+        feed(&l, &mut progress);
+        progress.quiet_for = Duration::ZERO;
+    }
+    // Whatever is left at stop time is either a complete line the
+    // writer never terminated (parse it) or torn mid-write (skip it).
+    let tail = std::mem::take(&mut pending);
+    feed(&tail, &mut progress);
+    Ok((progress.records, progress.skipped))
+}
+
+/// Tails a growing capture through the streaming [`OnlineAnalyzer`] —
+/// `trace_doctor --follow`. See [`follow_jsonl_into`] for line
+/// semantics.
+///
+/// # Errors
+///
+/// Propagates reader I/O errors.
+pub fn follow_jsonl<R: BufRead>(
+    reader: R,
+    cfg: OnlineConfig,
+    poll: Duration,
+    stop: impl FnMut(&FollowProgress) -> bool,
+) -> std::io::Result<DoctorRun> {
+    let online = OnlineAnalyzerSink::new(cfg);
+    let (records, skipped) = follow_jsonl_into(reader, &online, poll, stop)?;
+    Ok(DoctorRun {
+        report: online.finish(),
+        records: records as usize,
+        skipped,
+    })
+}
+
 /// The doctor's built-in workload: a small DIS scenario with 5%
 /// tail-circuit loss — every site sees losses, every recovery path
 /// (secondary serve, parent fetch, late original) gets exercised.
@@ -355,6 +451,77 @@ mod tests {
         assert_eq!(online.report.anomalies, batch.report.anomalies);
         assert_eq!(online.report.telescoping, batch.report.telescoping);
         assert_eq!(online.report.total.samples(), batch.report.total.samples());
+    }
+
+    /// Satellite: `--follow` semantics. A writer thread appends the
+    /// capture in mid-line chunks while the follower reads; the final
+    /// line is left truncated (no newline, torn JSON). The follow must
+    /// reassemble every split line, count exactly the torn tail as
+    /// skipped, and report what a one-shot replay of the complete lines
+    /// reports.
+    #[test]
+    fn follow_tails_a_growing_capture_with_a_torn_final_line() {
+        use std::io::Write as _;
+
+        let sink = Arc::new(JsonLinesSink::buffered());
+        let cfg = AnalyzeConfig::default();
+        let _ = run_scenario(
+            demo_config(80),
+            10,
+            SimTime::from_secs(20),
+            &cfg,
+            Some(sink.clone() as Arc<dyn TraceSink>),
+        );
+        let text = sink.contents();
+        let complete_lines = text.lines().count();
+        assert!(complete_lines > 10, "capture should have events");
+
+        let path = std::env::temp_dir().join(format!(
+            "lbrm_follow_{}_{:x}.jsonl",
+            std::process::id(),
+            complete_lines
+        ));
+        std::fs::write(&path, "").unwrap();
+
+        // Append in chunks that deliberately tear lines: flush after an
+        // arbitrary byte count, not at line boundaries, then finish with
+        // a torn half-record and no newline.
+        let writer_path = path.clone();
+        let writer_text = text.clone();
+        let writer = std::thread::spawn(move || {
+            let mut f = std::fs::OpenOptions::new()
+                .append(true)
+                .open(&writer_path)
+                .unwrap();
+            for chunk in writer_text.as_bytes().chunks(97) {
+                f.write_all(chunk).unwrap();
+                f.flush().unwrap();
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            f.write_all(b"{\"at_nanos\":12,\"truncat").unwrap();
+            f.flush().unwrap();
+        });
+
+        let reader = std::io::BufReader::new(std::fs::File::open(&path).unwrap());
+        let followed = follow_jsonl(
+            reader,
+            OnlineConfig::default(),
+            Duration::from_millis(2),
+            // Stop only once the writer is done and the file has gone
+            // quiet — before that, EOF just means "not written yet".
+            |p| p.quiet_for >= Duration::from_millis(50),
+        )
+        .expect("follow cannot fail on a local file");
+        writer.join().unwrap();
+        let _ = std::fs::remove_file(&path);
+
+        let batch = analyze_jsonl(&text, &cfg);
+        assert_eq!(followed.records, batch.records);
+        assert_eq!(followed.records, complete_lines);
+        assert_eq!(followed.skipped, 1, "exactly the torn final line");
+        assert_eq!(followed.report.recovered, batch.report.recovered);
+        assert_eq!(followed.report.anomalies, batch.report.anomalies);
+        assert_eq!(followed.report.sources, batch.report.sources);
     }
 
     #[test]

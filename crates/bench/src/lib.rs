@@ -11,6 +11,7 @@
 
 pub mod doctor;
 pub mod experiments;
+pub mod live;
 pub mod microbench;
 pub mod parallel;
 pub mod report;

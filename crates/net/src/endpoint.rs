@@ -73,6 +73,7 @@ pub struct Endpoint<M: Machine, T: Transport> {
     groups: Vec<GroupId>,
     cmd_rx: mpsc::Receiver<Command<M>>,
     event_tx: mpsc::SyncSender<EndpointEvent>,
+    origin: Option<Instant>,
 }
 
 impl<M: Machine + Send + 'static, T: Transport> Endpoint<M, T> {
@@ -87,9 +88,26 @@ impl<M: Machine + Send + 'static, T: Transport> Endpoint<M, T> {
                 groups,
                 cmd_rx,
                 event_tx,
+                origin: None,
             },
             EndpointHandle { cmd_tx, events },
         )
+    }
+
+    /// Attaches a protocol-event tracer to the machine (see
+    /// `lbrm_core::trace`). Call before [`spawn`](Self::spawn) — e.g.
+    /// with a live doctor sidecar's non-blocking sink.
+    pub fn set_tracer(&mut self, tracer: lbrm_core::Tracer) {
+        self.machine.set_tracer(tracer);
+    }
+
+    /// Pins the endpoint's time origin. Endpoints of one process that
+    /// share an origin emit trace timestamps on a common clock, which
+    /// is what lets a live doctor correlate recoveries *across*
+    /// endpoint threads; without this each endpoint starts its clock
+    /// when its thread happens to run.
+    pub fn set_origin(&mut self, origin: Instant) {
+        self.origin = Some(origin);
     }
 
     /// Runs the endpoint on a new thread; join the handle for the exit
@@ -105,7 +123,7 @@ impl<M: Machine + Send + 'static, T: Transport> Endpoint<M, T> {
     ///
     /// Propagates transport I/O errors.
     pub fn run(mut self) -> io::Result<()> {
-        let origin = Instant::now();
+        let origin = self.origin.unwrap_or_else(Instant::now);
         let now_fn = |origin: Instant| {
             Time::from_nanos(Instant::now().duration_since(origin).as_nanos() as u64)
         };

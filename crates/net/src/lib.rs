@@ -19,13 +19,17 @@
 #![warn(missing_docs)]
 
 pub mod addr;
+pub mod doctor;
 pub mod endpoint;
 pub mod hub;
+pub mod lossy;
 pub mod udp;
 
 pub use addr::{addr_of, host_of, GroupMap};
+pub use doctor::{publish_recv_gauges, recv_gauge_probe};
 pub use endpoint::{Endpoint, EndpointEvent, EndpointHandle};
 pub use hub::{Hub, HubTransport};
+pub use lossy::LossyTransport;
 pub use udp::{truncation_error, RecvCounters, UdpTransport};
 
 use std::io;

@@ -1,0 +1,181 @@
+//! A deterministic lossy wrapper around any [`Transport`].
+//!
+//! Live-doctor scenarios need real packet loss over real sockets to
+//! exercise NACK recovery, but OS loopback never drops. This wrapper
+//! discards a seeded fraction of *received* [`Packet::Data`] packets —
+//! only fresh multicast data, never heartbeats, NACKs, or `Retrans`
+//! repairs — so every induced loss is recoverable through the logger
+//! and the run stays reproducible for a given seed.
+
+use std::io;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use lbrm_wire::{GroupId, HostId, Packet, TtlScope};
+
+use crate::Transport;
+
+/// Drops received data packets at a fixed seeded rate.
+#[derive(Debug)]
+pub struct LossyTransport<T: Transport> {
+    inner: T,
+    /// Loss rate as a fraction of 2^53, compared against the top 53
+    /// bits of a splitmix64 draw — exact for every representable rate.
+    rate_p53: u64,
+    state: u64,
+    /// Shared so a harness can watch induced loss after the transport
+    /// has moved into its endpoint thread.
+    dropped: Arc<AtomicU64>,
+}
+
+impl<T: Transport> LossyTransport<T> {
+    /// Wraps `inner`, dropping received data packets with probability
+    /// `rate` (clamped to `[0, 1]`), deterministically from `seed`.
+    pub fn new(inner: T, rate: f64, seed: u64) -> Self {
+        let rate_p53 = (rate.clamp(0.0, 1.0) * (1u64 << 53) as f64) as u64;
+        LossyTransport {
+            inner,
+            rate_p53,
+            state: seed,
+            dropped: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// Data packets discarded so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// A handle on the drop counter that outlives the transport's move
+    /// into an endpoint thread.
+    pub fn shared_dropped(&self) -> Arc<AtomicU64> {
+        Arc::clone(&self.dropped)
+    }
+
+    /// The wrapped transport.
+    pub fn inner(&self) -> &T {
+        &self.inner
+    }
+
+    fn roll_drop(&mut self) -> bool {
+        // splitmix64: statistically solid, dependency-free, and stable
+        // across platforms — the same seed replays the same loss trace.
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        (z >> 11) < self.rate_p53
+    }
+}
+
+impl<T: Transport> Transport for LossyTransport<T> {
+    fn local_host(&self) -> HostId {
+        self.inner.local_host()
+    }
+
+    fn send_unicast(&mut self, to: HostId, packet: &Packet) -> io::Result<()> {
+        self.inner.send_unicast(to, packet)
+    }
+
+    fn send_multicast(&mut self, scope: TtlScope, packet: &Packet) -> io::Result<()> {
+        self.inner.send_multicast(scope, packet)
+    }
+
+    fn recv_timeout(&mut self, timeout: Duration) -> io::Result<Option<(HostId, Packet)>> {
+        // Honor the caller's deadline across discarded packets: a
+        // dropped datagram must not silently extend the wait.
+        let deadline = Instant::now() + timeout;
+        loop {
+            let left = deadline.saturating_duration_since(Instant::now());
+            let Some((from, packet)) = self.inner.recv_timeout(left)? else {
+                return Ok(None);
+            };
+            if matches!(packet, Packet::Data { .. }) && self.roll_drop() {
+                self.dropped.fetch_add(1, Ordering::Relaxed);
+                if Instant::now() >= deadline {
+                    return Ok(None);
+                }
+                continue;
+            }
+            return Ok(Some((from, packet)));
+        }
+    }
+
+    fn join(&mut self, group: GroupId) -> io::Result<()> {
+        self.inner.join(group)
+    }
+
+    fn leave(&mut self, group: GroupId) -> io::Result<()> {
+        self.inner.leave(group)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hub::Hub;
+    use bytes::Bytes;
+    use lbrm_wire::{EpochId, Seq, SourceId};
+
+    fn data(seq: u32) -> Packet {
+        Packet::Data {
+            group: GroupId(1),
+            source: SourceId(1),
+            seq: Seq(seq),
+            epoch: EpochId(0),
+            payload: Bytes::from_static(b"x"),
+        }
+    }
+
+    fn nack(seq: u32) -> Packet {
+        Packet::Nack {
+            group: GroupId(1),
+            source: SourceId(1),
+            requester: HostId(9),
+            ranges: vec![lbrm_wire::SeqRange::single(Seq(seq))],
+        }
+    }
+
+    /// rate=1 drops every data packet (and counts them); control
+    /// packets always pass.
+    #[test]
+    fn drops_data_but_never_control_packets() {
+        let hub = Hub::new();
+        let mut tx = hub.attach(HostId(1));
+        let mut rx = LossyTransport::new(hub.attach(HostId(2)), 1.0, 7);
+
+        tx.send_unicast(HostId(2), &data(1)).unwrap();
+        tx.send_unicast(HostId(2), &nack(1)).unwrap();
+        // The data packet is swallowed; the NACK behind it arrives
+        // within the same wait.
+        let got = rx.recv_timeout(Duration::from_secs(2)).unwrap();
+        assert!(matches!(got, Some((_, Packet::Nack { .. }))), "{got:?}");
+        assert_eq!(rx.dropped(), 1);
+    }
+
+    /// rate=0 is transparent.
+    #[test]
+    fn zero_rate_passes_everything() {
+        let hub = Hub::new();
+        let mut tx = hub.attach(HostId(1));
+        let mut rx = LossyTransport::new(hub.attach(HostId(2)), 0.0, 7);
+        tx.send_unicast(HostId(2), &data(5)).unwrap();
+        let got = rx.recv_timeout(Duration::from_secs(2)).unwrap();
+        assert!(matches!(got, Some((_, Packet::Data { .. }))), "{got:?}");
+        assert_eq!(rx.dropped(), 0);
+    }
+
+    /// The same seed replays the same drop decisions.
+    #[test]
+    fn same_seed_same_decisions() {
+        let decisions = |seed: u64| {
+            let hub = Hub::new();
+            let mut t = LossyTransport::new(hub.attach(HostId(2)), 0.5, seed);
+            (0..64).map(|_| t.roll_drop()).collect::<Vec<_>>()
+        };
+        assert_eq!(decisions(42), decisions(42));
+        assert_ne!(decisions(42), decisions(43));
+    }
+}

@@ -102,7 +102,7 @@ fn count_recv_error(counters: &RecvCounters, err: &io::Error) {
 /// drops to `counters`), and returns the sender and packet on success.
 /// `Ok(None)` means "nothing deliverable this tick" (timeout, non-IPv4
 /// source, or a counted drop); `Err` is a fatal socket error.
-fn recv_step(
+pub(crate) fn recv_step(
     sock: &UdpSocket,
     buf: &mut [u8],
     counters: &RecvCounters,
@@ -361,6 +361,13 @@ impl UdpTransport {
     /// dropped by this endpoint's reader threads.
     pub fn recv_counters(&self) -> &RecvCounters {
         &self.counters
+    }
+
+    /// A shared handle to the same counters, for probes that outlive a
+    /// borrow of the transport (the doctor sidecar reads them from its
+    /// own thread each tick).
+    pub fn shared_recv_counters(&self) -> Arc<RecvCounters> {
+        Arc::clone(&self.counters)
     }
 }
 

@@ -114,6 +114,47 @@ impl TraceSink for FanoutSink {
     }
 }
 
+/// A [`FanoutSink`] variant that serializes each *whole-record* fanout
+/// under one lock. With plain [`FanoutSink`], two endpoint threads
+/// recording concurrently can interleave between the inner sinks, so a
+/// JSONL capture and a live doctor fed from the same fanout may observe
+/// *different* record orders. The serial variant guarantees every inner
+/// sink sees the identical interleaving — which is what makes a capture
+/// written next to a live [`DoctorSidecar`](crate::doctor::DoctorSidecar)
+/// replayable as the exact stream the sidecar analyzed.
+pub struct SerialFanoutSink {
+    sinks: Vec<Arc<dyn TraceSink>>,
+    gate: Mutex<()>,
+}
+
+impl SerialFanoutSink {
+    /// Fans records out to each of `sinks`, in order, one record at a
+    /// time across all calling threads.
+    pub fn new(sinks: Vec<Arc<dyn TraceSink>>) -> Self {
+        SerialFanoutSink {
+            sinks,
+            gate: Mutex::new(()),
+        }
+    }
+}
+
+impl std::fmt::Debug for SerialFanoutSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SerialFanoutSink")
+            .field("sinks", &self.sinks.len())
+            .finish()
+    }
+}
+
+impl TraceSink for SerialFanoutSink {
+    fn record(&self, at_nanos: u64, host: HostId, event: &ProtocolEvent) {
+        let _gate = self.gate.lock().unwrap();
+        for s in &self.sinks {
+            s.record(at_nanos, host, event);
+        }
+    }
+}
+
 // ---------------------------------------------------------------------
 // JSONL replay
 // ---------------------------------------------------------------------
@@ -666,7 +707,7 @@ impl Default for AnalyzeConfig {
     }
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub(crate) struct OpenRecovery {
     pub(crate) detected_at: u64,
     pub(crate) first_nack_at: Option<u64>,

@@ -54,15 +54,20 @@ use std::sync::Arc;
 use lbrm_wire::{EpochId, HostId, Seq};
 
 pub mod analyze;
+pub mod doctor;
 mod metrics;
 mod online;
 mod sink;
 
-pub use analyze::{CollectorSink, FanoutSink, TraceRecord};
+pub use analyze::{CollectorSink, FanoutSink, SerialFanoutSink, TraceRecord};
+pub use doctor::{
+    fold_deltas, AdminServer, DeltaFold, DeltaTracker, DoctorConfig, DoctorSidecar, DoctorSink,
+    ReportBasis, ReportDelta,
+};
 pub use metrics::{
     Histogram, HistogramSnapshot, MetricsRegistry, StreamingHistogram, STREAM_HIST_BUCKETS,
 };
-pub use online::{OnlineAnalyzer, OnlineAnalyzerSink, OnlineConfig};
+pub use online::{LiveGap, OnlineAnalyzer, OnlineAnalyzerSink, OnlineConfig};
 pub use sink::{CountingSink, JsonLinesSink, NoopSink, RingSink};
 
 /// One observable protocol action.

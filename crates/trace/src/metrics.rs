@@ -205,6 +205,11 @@ impl StreamingHistogram {
         &self.buckets
     }
 
+    /// Largest sample recorded so far in nanoseconds (exact).
+    pub fn max_nanos(&self) -> u64 {
+        self.max_nanos
+    }
+
     /// Approximate resident bytes of this histogram (fixed buckets +
     /// the reservoir).
     pub fn approx_bytes(&self) -> u64 {

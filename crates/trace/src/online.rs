@@ -100,7 +100,7 @@ impl Default for OnlineConfig {
 /// the close-order vector the batch analyzer builds; over capacity,
 /// Algorithm R keeps a uniform sample and close order is restored among
 /// the survivors at the end.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct TimelineReservoir {
     kept: Vec<(u64, RecoveryTimeline)>,
     capacity: usize,
@@ -142,7 +142,11 @@ impl TimelineReservoir {
 /// [`RecoveryReport`].
 ///
 /// [`push`]: OnlineAnalyzer::push
-#[derive(Debug)]
+///
+/// The analyzer is `Clone` so a live monitor can take a *provisional*
+/// snapshot mid-stream (`analyzer.clone().finish()`) without disturbing
+/// the ongoing correlation — see [`crate::doctor`].
+#[derive(Debug, Clone)]
 pub struct OnlineAnalyzer {
     cfg: OnlineConfig,
     // Correlation state (mirrors the batch analyzer's loop state).
@@ -275,6 +279,73 @@ impl OnlineAnalyzer {
     /// Highest resident-byte estimate observed so far.
     pub fn peak_resident_bytes(&self) -> u64 {
         self.peak_bytes
+    }
+
+    /// Newest stream timestamp observed so far (nanoseconds).
+    pub fn end_nanos(&self) -> u64 {
+        self.end_ns
+    }
+
+    /// The tunables this analyzer was built with.
+    pub fn config(&self) -> &OnlineConfig {
+        &self.cfg
+    }
+
+    /// The *committed* monotone slice of the folded state — everything
+    /// [`finish`](Self::finish) can only ever add to, never rewrite.
+    /// This is what [`crate::doctor::ReportDelta`]s diff between ticks:
+    /// still-open timelines and end-of-stream detectors contribute
+    /// nothing here, so the sequence of basis values over a stream is
+    /// coordinate-wise monotone and delta folding telescopes exactly.
+    pub fn basis(&self) -> crate::doctor::ReportBasis {
+        crate::doctor::ReportBasis {
+            recovered: self.recovered as u64,
+            abandoned: self.abandoned as u64,
+            unrecovered: self.unrecovered as u64,
+            telescoping: self.telescoping as u64,
+            duplicate_repairs: self.dups_per_host_seq.values().sum(),
+            max_nack_fan_in: self.requests_per_seq.values().copied().max().unwrap_or(0),
+            truncated_gap_spans: self.truncated_gap_spans,
+            stage_counts: [
+                self.detection.count(),
+                self.request.count(),
+                self.serve.count(),
+                self.return_leg.count(),
+                self.total.count(),
+            ],
+            stage_max_nanos: [
+                self.detection.max_nanos(),
+                self.request.max_nanos(),
+                self.serve.max_nanos(),
+                self.return_leg.max_nanos(),
+                self.total.max_nanos(),
+            ],
+            sources: self.sources.clone(),
+            anomalies: self.gap_anomalies.clone(),
+            force_evicted: self.force_evicted,
+            aged_out: self.aged_out,
+            out_of_order: self.out_of_order,
+        }
+    }
+
+    /// The `limit` oldest still-open recoveries, oldest first — the
+    /// bounded listing behind the admin surface's `/timelines/live`.
+    pub fn live_oldest(&self, limit: usize) -> Vec<LiveGap> {
+        self.by_age
+            .iter()
+            .take(limit)
+            .map(|&(at, h, s)| {
+                let o = &self.open[&(h, s)];
+                LiveGap {
+                    host: HostId(h),
+                    seq: Seq(s),
+                    detected_at_nanos: at,
+                    nacks_sent: o.nacks_sent,
+                    served: o.served_at.is_some(),
+                    repaired: o.repaired_at.is_some(),
+                }
+            })
+            .collect()
     }
 
     fn close_timeline(
@@ -656,6 +727,24 @@ impl OnlineAnalyzer {
             },
         }
     }
+}
+
+/// One still-open recovery, as listed by the admin surface's
+/// `/timelines/live` route (see [`crate::doctor`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LiveGap {
+    /// The receiver still missing the packet.
+    pub host: HostId,
+    /// The missing sequence.
+    pub seq: Seq,
+    /// When the loss was detected.
+    pub detected_at_nanos: u64,
+    /// NACK packets sent for it so far.
+    pub nacks_sent: u32,
+    /// A logger has already served a retransmission.
+    pub served: bool,
+    /// The repair arrived but the recovery is not yet settled.
+    pub repaired: bool,
 }
 
 /// A [`TraceSink`] wrapping an [`OnlineAnalyzer`], so a live scenario

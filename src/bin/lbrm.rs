@@ -13,13 +13,19 @@
 
 use std::net::{Ipv4Addr, SocketAddrV4};
 use std::process::ExitCode;
+use std::sync::Arc;
 use std::time::Duration;
 
 use bytes::Bytes;
 use lbrm::core::logger::{Logger, LoggerConfig};
 use lbrm::core::receiver::{Receiver, ReceiverConfig};
 use lbrm::core::sender::{Sender, SenderConfig};
-use lbrm::net::{addr_of, host_of, Endpoint, EndpointEvent, GroupMap, Transport, UdpTransport};
+use lbrm::core::trace::{
+    AdminServer, DoctorConfig, DoctorSidecar, MetricsRegistry, SerialFanoutSink, TraceSink, Tracer,
+};
+use lbrm::net::{
+    addr_of, host_of, recv_gauge_probe, Endpoint, EndpointEvent, GroupMap, Transport, UdpTransport,
+};
 use lbrm::wire::{GroupId, SourceId};
 
 const USAGE: &str = "\
@@ -42,6 +48,10 @@ OPTIONS:
     --maxit-ms <MS>        receiver freshness bound (default 250)
     --h-min-ms <MS>        heartbeat h_min (default 250)
     --h-max-s <S>          heartbeat h_max (default 32)
+    --admin-addr <IP:PORT> attach the live doctor sidecar and serve its
+                           HTTP admin surface here (/stats, /healthz,
+                           /timelines/live, /anomalies/tail, /deltas/last,
+                           /mem); any role
 ";
 
 struct Opts {
@@ -54,6 +64,7 @@ struct Opts {
     maxit: Duration,
     h_min: Duration,
     h_max: Duration,
+    admin_addr: Option<String>,
 }
 
 fn parse_opts() -> Result<Opts, String> {
@@ -69,6 +80,7 @@ fn parse_opts() -> Result<Opts, String> {
         maxit: Duration::from_millis(250),
         h_min: Duration::from_millis(250),
         h_max: Duration::from_secs(32),
+        admin_addr: None,
     };
     while let Some(flag) = args.next() {
         let mut value = || args.next().ok_or_else(|| format!("{flag} needs a value"));
@@ -87,6 +99,7 @@ fn parse_opts() -> Result<Opts, String> {
             "--h-max-s" => {
                 opts.h_max = Duration::from_secs(value()?.parse().map_err(|e| format!("{e}"))?)
             }
+            "--admin-addr" => opts.admin_addr = Some(value()?),
             "-h" | "--help" => return Err(String::new()),
             other => return Err(format!("unknown flag {other}")),
         }
@@ -114,10 +127,46 @@ fn main() -> ExitCode {
     }
 }
 
+/// The live doctor riding along with one role: sidecar, HTTP admin
+/// surface, and the tracer the endpoint's machine should emit into.
+/// Keep it alive for the process lifetime — dropping it stops both the
+/// worker and the admin thread.
+struct DoctorAttachment {
+    _sidecar: DoctorSidecar,
+    _admin: AdminServer,
+    tracer: Tracer,
+}
+
+fn attach_doctor(addr: &str, transport: &UdpTransport) -> std::io::Result<DoctorAttachment> {
+    let sidecar = DoctorSidecar::spawn(DoctorConfig::default());
+    let registry = Arc::new(MetricsRegistry::default());
+    sidecar.register_registry("udp", Arc::clone(&registry));
+    sidecar.register_probe(recv_gauge_probe(
+        transport.local_host(),
+        transport.shared_recv_counters(),
+        Arc::clone(&registry),
+    ));
+    let tracer = Tracer::to(Arc::new(SerialFanoutSink::new(vec![
+        sidecar.sink() as Arc<dyn TraceSink>,
+        registry as Arc<dyn TraceSink>,
+    ])));
+    let admin = AdminServer::bind(addr, sidecar.handle())?;
+    eprintln!("doctor admin surface at http://{}/", admin.local_addr());
+    Ok(DoctorAttachment {
+        _sidecar: sidecar,
+        _admin: admin,
+        tracer,
+    })
+}
+
 fn run(opts: Opts) -> std::io::Result<()> {
     let map = GroupMap::new(opts.port);
     let mut transport = UdpTransport::bind(opts.interface, map)?;
     let me = transport.local_host();
+    let doctor = match &opts.admin_addr {
+        Some(addr) => Some(attach_doctor(addr, &transport)?),
+        None => None,
+    };
     match opts.role.as_str() {
         "logger" => {
             transport.join(opts.group)?;
@@ -132,7 +181,10 @@ fn run(opts: Opts) -> std::io::Result<()> {
             // primary only needs the source address for fetch-back,
             // which the handoff provides implicitly via NACK replies.
             let cfg = LoggerConfig::primary(opts.group, opts.source, me, me);
-            let (ep, mut handle) = Endpoint::new(Logger::new(cfg), transport, vec![]);
+            let (mut ep, mut handle) = Endpoint::new(Logger::new(cfg), transport, vec![]);
+            if let Some(d) = &doctor {
+                ep.set_tracer(d.tracer.clone());
+            }
             ep.spawn();
             loop {
                 match handle.event() {
@@ -150,7 +202,10 @@ fn run(opts: Opts) -> std::io::Result<()> {
             let mut cfg = SenderConfig::new(opts.group, opts.source, me, host_of(primary));
             cfg.heartbeat.h_min = opts.h_min;
             cfg.heartbeat.h_max = opts.h_max;
-            let (ep, handle) = Endpoint::new(Sender::new(cfg), transport, vec![]);
+            let (mut ep, handle) = Endpoint::new(Sender::new(cfg), transport, vec![]);
+            if let Some(d) = &doctor {
+                ep.set_tracer(d.tracer.clone());
+            }
             ep.spawn();
             eprintln!(
                 "publishing to {} via logger {primary}; type lines, ^D to end",
@@ -184,7 +239,10 @@ fn run(opts: Opts) -> std::io::Result<()> {
             cfg.maxit = opts.maxit;
             cfg.heartbeat.h_min = opts.h_min;
             cfg.heartbeat.h_max = opts.h_max;
-            let (ep, mut handle) = Endpoint::new(Receiver::new(cfg), transport, vec![]);
+            let (mut ep, mut handle) = Endpoint::new(Receiver::new(cfg), transport, vec![]);
+            if let Some(d) = &doctor {
+                ep.set_tracer(d.tracer.clone());
+            }
             ep.spawn();
             eprintln!(
                 "listening on {} (logger {})",
