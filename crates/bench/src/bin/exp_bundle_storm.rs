@@ -1,0 +1,4 @@
+//! Regenerates one evaluation result; see `lbrm_bench::experiments`.
+fn main() {
+    print!("{}", lbrm_bench::experiments::exp_bundle_storm::run());
+}

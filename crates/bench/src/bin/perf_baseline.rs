@@ -29,13 +29,16 @@ use bytes::Bytes;
 use lbrm::harness::{DisScenario, DisScenarioConfig};
 use lbrm_bench::experiments::table3_breakdown::{loaded_logger, serve_once};
 use lbrm_bench::microbench::bench_function;
-use lbrm_core::machine::Actions;
+use lbrm_core::machine::{Actions, Machine};
 use lbrm_sim::loss::LossModel;
 use lbrm_sim::queue::{EventQueue, QueueBackend};
 use lbrm_sim::time::SimTime;
 use lbrm_sim::topology::SiteParams;
 use lbrm_wire::packet::SeqRange;
-use lbrm_wire::{decode, encode, EpochId, GroupId, HostId, Packet, Seq, SourceId};
+use lbrm_wire::{
+    decode_bytes, encode, encode_bundle, BundleBuilder, EpochId, GroupId, HostId, Packet, Seq,
+    SourceId, DEFAULT_BUNDLE_MTU,
+};
 
 /// Where the committed baseline lives (repo root).
 const BASELINE_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_sim.json");
@@ -248,14 +251,139 @@ fn bench_codec_encode() -> Workload {
 }
 
 fn bench_codec_decode() -> Workload {
+    // The receive path as the transports actually run it: the datagram
+    // arrives as `Bytes` and `decode_bytes` carves the payload out of it
+    // zero-copy. Handing each iteration its own `Bytes` is setup, not
+    // decoding, so it is batched out of the measurement.
     let wire = encode(&sample_data_packet()).expect("encodable");
     let start = Instant::now();
     let m = bench_function("codec_decode_data_128B", |b| {
-        b.iter(|| decode(&wire).expect("decodable"))
+        b.iter_batched_ref(
+            || Some(wire.clone()),
+            |data| decode_bytes(data.take().expect("fresh state")).expect("decodable"),
+        )
     });
     Workload {
         name: "codec_decode_data_128B".into(),
         events_per_sec: m.iters_per_sec(),
+        wall_secs: start.elapsed().as_secs_f64(),
+    }
+}
+
+/// How many 128-byte data packets the bundle workloads frame per pass,
+/// chosen so the whole run fits one MTU-sized frame (checked by the
+/// decode workload's single-frame assertion).
+const BUNDLE_RUN: usize = 8;
+
+fn bundle_run_packets() -> Vec<Packet> {
+    (1..=BUNDLE_RUN as u32)
+        .map(|i| Packet::Data {
+            group: GroupId(1),
+            source: SourceId(1),
+            seq: Seq(i),
+            epoch: EpochId(0),
+            payload: Bytes::from(vec![0x5Au8; 128]),
+        })
+        .collect()
+}
+
+/// Steady-state bundling rate: a [`BundleBuilder`] framing a run of
+/// data packets into MTU-bounded frames, reusing its scratch buffers —
+/// the sender/logger emit path with bundling on. Each framed packet
+/// counts as one event.
+fn bench_bundle_encode() -> Workload {
+    let packets = bundle_run_packets();
+    let mut builder = BundleBuilder::with_default_mtu();
+    let start = Instant::now();
+    let m = bench_function("bundle_encode", |b| {
+        b.iter(|| {
+            let mut sealed = 0usize;
+            for p in &packets {
+                if let Some(frame) = builder.push(p).expect("bundleable") {
+                    sealed += frame.len();
+                }
+            }
+            if let Some(frame) = builder.flush() {
+                sealed += frame.len();
+            }
+            sealed
+        })
+    });
+    Workload {
+        name: "bundle_encode".into(),
+        events_per_sec: m.iters_per_sec() * BUNDLE_RUN as f64,
+        wall_secs: start.elapsed().as_secs_f64(),
+    }
+}
+
+/// Bundle receive rate: one checksum pass over the frame, then each
+/// entry decoded with its payload sliced zero-copy out of the shared
+/// datagram allocation. Each unbundled packet counts as one event.
+fn bench_bundle_decode() -> Workload {
+    let frames = encode_bundle(&bundle_run_packets(), DEFAULT_BUNDLE_MTU).expect("bundleable");
+    assert_eq!(frames.len(), 1, "run should fit one frame");
+    let frame = frames.into_iter().next().expect("one frame");
+    let start = Instant::now();
+    let m = bench_function("bundle_decode_zero_copy", |b| {
+        b.iter(|| lbrm_wire::decode_bundle(&frame).expect("decodable"))
+    });
+    Workload {
+        name: "bundle_decode_zero_copy".into(),
+        events_per_sec: m.iters_per_sec() * BUNDLE_RUN as f64,
+        wall_secs: start.elapsed().as_secs_f64(),
+    }
+}
+
+/// Bundled repair serving: one wide NACK is decoded, the logger's
+/// collect-span answers it with a contiguous run of retransmissions,
+/// and the run is framed into MTU-full bundles instead of per-packet
+/// datagrams — the NACK-storm fast path end to end. Each served
+/// retransmission counts as one event.
+fn bench_repair_serve_bundled() -> Workload {
+    const SPAN: u32 = 16;
+    let mut logger = loaded_logger(1024, 128);
+    let nacks: Vec<Vec<u8>> = (0..64u32)
+        .map(|i| {
+            let first = i * SPAN + 1;
+            encode(&Packet::Nack {
+                group: GroupId(1),
+                source: SourceId(1),
+                requester: HostId(400 + u64::from(i % 97)),
+                ranges: vec![SeqRange {
+                    first: Seq(first),
+                    last: Seq(first + SPAN - 1),
+                }],
+            })
+            .expect("encodable")
+            .to_vec()
+        })
+        .collect();
+    let mut builder = BundleBuilder::with_default_mtu();
+    let mut out = Actions::new();
+    let mut i = 0usize;
+    let start = Instant::now();
+    let m = bench_function("repair_serve_bundled", |b| {
+        b.iter(|| {
+            let nack = decode_bytes(Bytes::from(nacks[i % nacks.len()].clone())).expect("nack");
+            i += 1;
+            logger.on_packet(lbrm_core::time::Time::ZERO, HostId(400), nack, &mut out);
+            let mut bytes = 0usize;
+            for a in out.drain(..) {
+                if let lbrm_core::machine::Action::Unicast { packet, .. } = a {
+                    if let Some(frame) = builder.push(&packet).expect("bundleable") {
+                        bytes += frame.len();
+                    }
+                }
+            }
+            if let Some(frame) = builder.flush() {
+                bytes += frame.len();
+            }
+            bytes
+        })
+    });
+    Workload {
+        name: "repair_serve_bundled".into(),
+        events_per_sec: m.iters_per_sec() * SPAN as f64,
         wall_secs: start.elapsed().as_secs_f64(),
     }
 }
@@ -445,13 +573,16 @@ fn from_json(doc: &str) -> Vec<Workload> {
 }
 
 /// Every gated workload and its `--check` floor, in measurement order.
-const GATES: [(&str, f64); 8] = [
+const GATES: [(&str, f64); 11] = [
     ("dis_scenario_step", CHECK_FLOOR),
     ("dis_scenario_1000x30", CHECK_FLOOR),
     ("event_queue_churn", AUX_CHECK_FLOOR),
     ("codec_encode_data_128B", AUX_CHECK_FLOOR),
     ("codec_decode_data_128B", AUX_CHECK_FLOOR),
+    ("bundle_encode", AUX_CHECK_FLOOR),
+    ("bundle_decode_zero_copy", AUX_CHECK_FLOOR),
     ("logger_nack_fanin", AUX_CHECK_FLOOR),
+    ("repair_serve_bundled", AUX_CHECK_FLOOR),
     ("logstore_serve", AUX_CHECK_FLOOR),
     ("forensics_stream", AUX_CHECK_FLOOR),
 ];
@@ -463,7 +594,10 @@ fn measure_all() -> Vec<Workload> {
         bench_event_queue_churn(),
         bench_codec_encode(),
         bench_codec_decode(),
+        bench_bundle_encode(),
+        bench_bundle_decode(),
         bench_logger_fanin(),
+        bench_repair_serve_bundled(),
         bench_logstore_serve(),
         bench_forensics_stream(),
     ]

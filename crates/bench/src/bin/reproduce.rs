@@ -85,6 +85,7 @@ fn main() {
         ("§7 hierarchy ablation", e::exp_hierarchy::run),
         ("§2.2.1 re-multicast ablation", e::exp_remulticast::run),
         ("§2.1.2 DIS scenario", e::exp_dis_scenario::run),
+        ("PDU bundling NACK storm", e::exp_bundle_storm::run),
         ("Trace-layer summary", trace_summary),
     ];
     // Sections are independent experiments, so they run on all cores;

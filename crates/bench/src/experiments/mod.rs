@@ -2,6 +2,7 @@
 //! exposes `run() -> String`, printing the same rows/series the paper
 //! reports.
 
+pub mod exp_bundle_storm;
 pub mod exp_burst_detection;
 pub mod exp_dis_scenario;
 pub mod exp_group_churn;

@@ -17,8 +17,8 @@ use std::time::{Duration, Instant};
 
 use bytes::Bytes;
 use lbrm::net::{
-    recv_gauge_probe, Endpoint, EndpointEvent, GroupMap, Hub, LossyTransport, Transport,
-    UdpTransport,
+    recv_gauge_probe, send_gauge_probe, Endpoint, EndpointEvent, GroupMap, Hub, LossyTransport,
+    Transport, UdpTransport,
 };
 use lbrm_core::logger::{Logger, LoggerConfig};
 use lbrm_core::receiver::{Receiver, ReceiverConfig};
@@ -27,7 +27,7 @@ use lbrm_core::trace::doctor::{DoctorFinish, DoctorHandle};
 use lbrm_core::trace::{
     AdminServer, DoctorConfig, DoctorSidecar, MetricsRegistry, SerialFanoutSink, TraceSink, Tracer,
 };
-use lbrm_wire::{GroupId, HostId, SourceId};
+use lbrm_wire::{BundleMode, GroupId, HostId, SourceId};
 
 const GROUP: GroupId = GroupId(9);
 const SRC: SourceId = SourceId(1);
@@ -56,6 +56,10 @@ pub struct LiveOptions {
     pub capture: Option<Arc<dyn TraceSink>>,
     /// Sidecar tuning.
     pub doctor: DoctorConfig,
+    /// Pin the UDP transports' bundling mode (`None` inherits
+    /// `LBRM_BUNDLE` from the environment) — env-independent, so tests
+    /// can run a bundled leg without mutating process globals.
+    pub bundle: Option<BundleMode>,
 }
 
 impl Default for LiveOptions {
@@ -72,6 +76,7 @@ impl Default for LiveOptions {
             admin_addr: None,
             capture: None,
             doctor: DoctorConfig::default(),
+            bundle: None,
         }
     }
 }
@@ -205,8 +210,10 @@ fn rx_seed(seed: u64, i: usize) -> u64 {
 }
 
 /// Binds all UDP transports, probing that multicast join actually works
-/// here; registers each endpoint's receive counters as sidecar gauge
-/// probes. `None` means "this environment can't do it — use the hub".
+/// here; registers each endpoint's receive *and* send counters as
+/// sidecar gauge probes, so `/stats` exposes the live
+/// datagrams-vs-packets ratio (the bundling savings) per endpoint.
+/// `None` means "this environment can't do it — use the hub".
 fn bind_udp(
     opts: &LiveOptions,
     sidecar: &DoctorSidecar,
@@ -217,7 +224,16 @@ fn bind_udp(
     UdpTransport,
     Vec<LossyTransport<UdpTransport>>,
 )> {
-    let bind = || UdpTransport::bind(Ipv4Addr::LOCALHOST, GroupMap::new(opts.port)).ok();
+    let bind = || {
+        UdpTransport::bind(Ipv4Addr::LOCALHOST, GroupMap::new(opts.port))
+            .ok()
+            .map(|mut t| {
+                if let Some(mode) = opts.bundle {
+                    t.set_bundle_mode(mode);
+                }
+                t
+            })
+    };
     let probe = |t: &mut UdpTransport| t.join(GROUP).is_ok();
 
     let sender_t = bind()?;
@@ -229,6 +245,11 @@ fn bind_udp(
         sidecar.register_probe(recv_gauge_probe(
             t.local_host(),
             t.shared_recv_counters(),
+            Arc::clone(registry),
+        ));
+        sidecar.register_probe(send_gauge_probe(
+            t.local_host(),
+            t.shared_send_counters(),
             Arc::clone(registry),
         ));
     };

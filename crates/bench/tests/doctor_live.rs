@@ -17,6 +17,7 @@ use std::time::Duration;
 use lbrm_bench::live::{run_live, LiveOptions};
 use lbrm_core::trace::analyze::{analyze, parse_json_lines, AnalyzeConfig};
 use lbrm_core::trace::{DoctorConfig, JsonLinesSink, ReportBasis, TraceSink};
+use lbrm_wire::BundleMode;
 
 fn http_get(addr: SocketAddr, path: &str) -> (u16, String) {
     let mut stream = std::net::TcpStream::connect(addr).expect("connect admin");
@@ -108,4 +109,77 @@ fn live_admin_routes_answer_in_flight_and_fold_matches_batch() {
         assert_eq!(code, 200);
         assert!(body.contains("\"finished\":true"), "{body}");
     }
+}
+
+/// Lossy live run with bundling pinned on: the send-side counters are
+/// published as gauges the sidecar polls every tick, `/stats` exposes
+/// them mid-flight, and the datagram/packet ledger is coherent
+/// (bundling can only coalesce, never multiply datagrams). The gauge
+/// assertions need real `UdpTransport`s, so they are skipped — loudly —
+/// when the environment forces the in-process hub.
+#[test]
+fn live_bundled_run_publishes_send_gauges() {
+    let opts = LiveOptions {
+        receivers: 2,
+        packets: 15,
+        loss: 0.2,
+        seed: 23,
+        spacing: Duration::from_millis(10),
+        settle: Duration::from_secs(8),
+        port: 49_613,
+        admin_addr: Some("127.0.0.1:0".into()),
+        bundle: Some(BundleMode::On),
+        doctor: DoctorConfig {
+            tick: Duration::from_millis(25),
+            ..DoctorConfig::default()
+        },
+        ..LiveOptions::default()
+    };
+
+    let outcome = run_live(opts, |air| {
+        let addr = air.admin_addr.expect("admin server bound");
+        let (code, body) = http_get(addr, "/stats");
+        assert_eq!(code, 200, "{body}");
+        // Mid-flight scrape refreshes the probes, so the per-endpoint
+        // send gauges are already visible while traffic flows (the CI
+        // live-doctor job polls exactly this).
+        if body.contains(".send.packets") {
+            assert!(body.contains(".send.datagrams"), "{body}");
+            assert!(body.contains(".send.bytes"), "{body}");
+        }
+    })
+    .expect("live run");
+
+    assert!(
+        outcome.delivered > 0,
+        "no deliveries over {}",
+        outcome.transport
+    );
+    if outcome.transport != "udp" {
+        eprintln!("live bundled run: hub fallback, send gauges not exercised");
+        return;
+    }
+
+    // Every endpoint published its send ledger; datagrams never exceed
+    // packets with bundling on, and at least one endpoint actually sent.
+    let gauges = outcome.registry.gauges();
+    let senders: Vec<_> = gauges
+        .iter()
+        .filter(|(k, _)| k.ends_with(".send.packets"))
+        .collect();
+    assert_eq!(senders.len(), 4, "sender, logger, 2 receivers: {gauges:?}");
+    let mut total_packets = 0;
+    for (k, packets) in senders {
+        let base = k.trim_end_matches("packets");
+        let datagrams = gauges[&format!("{base}datagrams")];
+        assert!(
+            datagrams <= *packets,
+            "{k}: bundling can only coalesce ({datagrams} datagrams > {packets} packets)"
+        );
+        if *packets > 0 {
+            assert!(gauges[&format!("{base}bytes")] > 0, "{k}");
+        }
+        total_packets += *packets;
+    }
+    assert!(total_packets > 0, "no endpoint sent anything: {gauges:?}");
 }

@@ -639,6 +639,15 @@ impl Machine for Logger {
                     }
                 }
             }
+            // Bundling contract: every repair this arm emits for one
+            // NACK goes to one `requester`, and `collect_span` hands
+            // back each range's held payloads in sequence order — so
+            // the actions land in `out` as one contiguous run of
+            // unicast retransmissions to the same destination. The
+            // endpoint's outbound batcher relies on exactly this
+            // adjacency to coalesce a served span into MTU-full bundled
+            // datagrams without reordering anything (pinned by
+            // `nack_span_repairs_are_one_contiguous_unicast_run`).
             Packet::Nack {
                 group: g,
                 source: s,
@@ -1000,6 +1009,43 @@ mod tests {
             [Action::Unicast { to, packet: Packet::Retrans { seq, .. } }]
                 if *to == RX && *seq == Seq(2)
         ));
+    }
+
+    #[test]
+    fn nack_span_repairs_are_one_contiguous_unicast_run() {
+        // The bundling contract documented on the NACK arm: one span
+        // NACK is answered by an uninterrupted run of unicast
+        // retransmissions to the requester, in sequence order — the
+        // adjacency the endpoint's outbound batcher turns into bundled
+        // datagrams.
+        let mut l = primary();
+        let mut out = Actions::new();
+        for seq in 1..=16u32 {
+            l.on_packet(Time::ZERO, SRC_HOST, data(seq, "payload"), &mut out);
+        }
+        out.clear();
+        let span = Packet::Nack {
+            group: GROUP,
+            source: SRC,
+            requester: RX,
+            ranges: vec![SeqRange {
+                first: Seq(3),
+                last: Seq(14),
+            }],
+        };
+        l.on_packet(Time::from_millis(5), RX, span, &mut out);
+        let served: Vec<Seq> = out
+            .iter()
+            .map(|a| match a {
+                Action::Unicast {
+                    to,
+                    packet: Packet::Retrans { seq, .. },
+                } if *to == RX => *seq,
+                other => panic!("non-repair action interleaved: {other:?}"),
+            })
+            .collect();
+        let expect: Vec<Seq> = (3..=14).map(Seq).collect();
+        assert_eq!(served, expect, "contiguous, ordered, same-requester");
     }
 
     #[test]

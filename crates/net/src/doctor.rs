@@ -13,7 +13,7 @@ use lbrm_core::trace::MetricsRegistry;
 use lbrm_wire::HostId;
 
 use crate::addr::addr_of;
-use crate::udp::RecvCounters;
+use crate::udp::{RecvCounters, SendCounters};
 
 /// Publishes one endpoint's receive counters as gauges named
 /// `net.<addr>.recv.truncated` and `net.<addr>.recv.decode_errors`,
@@ -43,6 +43,32 @@ pub fn recv_gauge_probe(
     move || publish_recv_gauges(host, &counters, &registry)
 }
 
+/// Publishes one endpoint's send counters as gauges named
+/// `net.<addr>.send.datagrams`, `.send.packets`, `.send.bytes` and
+/// `.send.errors` — the outbound mirror of [`publish_recv_gauges`].
+/// With bundling on, the datagrams/packets ratio on `/stats` shows the
+/// framing savings live.
+pub fn publish_send_gauges(host: HostId, counters: &SendCounters, registry: &MetricsRegistry) {
+    let addr = addr_of(host);
+    registry.set_gauge(&format!("net.{addr}.send.datagrams"), counters.datagrams());
+    registry.set_gauge(&format!("net.{addr}.send.packets"), counters.packets());
+    registry.set_gauge(&format!("net.{addr}.send.bytes"), counters.bytes());
+    registry.set_gauge(&format!("net.{addr}.send.errors"), counters.errors());
+}
+
+/// Builds a probe closure re-publishing the endpoint's send counters on
+/// every tick / `/stats` scrape; the outbound twin of
+/// [`recv_gauge_probe`]. Capture the counters with
+/// [`UdpTransport::shared_send_counters`](crate::UdpTransport::shared_send_counters)
+/// before handing the transport to its endpoint thread.
+pub fn send_gauge_probe(
+    host: HostId,
+    counters: Arc<SendCounters>,
+    registry: Arc<MetricsRegistry>,
+) -> impl Fn() + Send + 'static {
+    move || publish_send_gauges(host, &counters, &registry)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -64,8 +90,9 @@ mod tests {
 
         let counters = RecvCounters::default();
         let mut buf = vec![0u8; 1024];
+        let mut out = Vec::new();
         tx.send_to(&vec![0xAB; 2048], dst).unwrap();
-        let got = recv_step(&rx, &mut buf, &counters).unwrap();
+        let got = recv_step(&rx, &mut buf, &mut out, &counters).unwrap();
         assert!(got.is_none(), "truncated datagram must not be delivered");
 
         let SocketAddr::V4(rx_addr) = dst else {
@@ -94,8 +121,9 @@ mod tests {
 
         let counters = RecvCounters::default();
         let mut buf = vec![0u8; 1024];
+        let mut out = Vec::new();
         tx.send_to(&[0xFF; 16], dst).unwrap();
-        let got = recv_step(&rx, &mut buf, &counters).unwrap();
+        let got = recv_step(&rx, &mut buf, &mut out, &counters).unwrap();
         assert!(got.is_none(), "garbage must not decode");
 
         let SocketAddr::V4(rx_addr) = dst else {
@@ -123,5 +151,45 @@ mod tests {
         assert!(registry
             .gauges()
             .contains_key(&format!("net.{addr}.recv.decode_errors")));
+    }
+
+    /// Real sends through a transport surface in the published send
+    /// gauges, including the datagrams/packets split bundling creates.
+    #[test]
+    fn send_gauges_reflect_transport_sends() {
+        use crate::addr::GroupMap;
+        use crate::udp::UdpTransport;
+        use crate::Transport;
+        use bytes::Bytes;
+        use lbrm_wire::{BundleMode, EpochId, GroupId, Packet, Seq, SourceId};
+
+        let mut t = UdpTransport::bind(Ipv4Addr::LOCALHOST, GroupMap::default()).unwrap();
+        t.set_bundle_mode(BundleMode::On);
+        let host = t.local_host();
+        let counters = t.shared_send_counters();
+        let registry = Arc::new(MetricsRegistry::default());
+        let probe = send_gauge_probe(host, counters, Arc::clone(&registry));
+
+        let peer = UdpSocket::bind((Ipv4Addr::LOCALHOST, 0)).unwrap();
+        let SocketAddr::V4(peer_addr) = peer.local_addr().unwrap() else {
+            panic!("ipv4 bind");
+        };
+        let packets: Vec<Packet> = (1..=6)
+            .map(|seq| Packet::Data {
+                group: GroupId(1),
+                source: SourceId(1),
+                seq: Seq(seq),
+                epoch: EpochId(0),
+                payload: Bytes::from_static(b"gauge"),
+            })
+            .collect();
+        t.send_unicast_bundle(host_of(peer_addr), &packets).unwrap();
+
+        probe();
+        let addr = addr_of(host);
+        assert_eq!(registry.gauge(&format!("net.{addr}.send.datagrams")), 1);
+        assert_eq!(registry.gauge(&format!("net.{addr}.send.packets")), 6);
+        assert!(registry.gauge(&format!("net.{addr}.send.bytes")) > 0);
+        assert_eq!(registry.gauge(&format!("net.{addr}.send.errors")), 0);
     }
 }

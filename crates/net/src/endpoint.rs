@@ -14,7 +14,9 @@ use std::time::{Duration, Instant};
 
 use lbrm_core::machine::{Action, Actions, Delivery, Machine, Notice};
 use lbrm_core::time::Time;
-use lbrm_wire::GroupId;
+use lbrm_wire::{
+    bundled_entry_len, GroupId, Packet, TtlScope, BUNDLE_HEADER_LEN, DEFAULT_BUNDLE_MTU,
+};
 
 use crate::Transport;
 
@@ -74,6 +76,15 @@ pub struct Endpoint<M: Machine, T: Transport> {
     cmd_rx: mpsc::Receiver<Command<M>>,
     event_tx: mpsc::SyncSender<EndpointEvent>,
     origin: Option<Instant>,
+    /// When set, multicast data packets are held up to this long so
+    /// high-rate ticks coalesce into bundled datagrams.
+    flush_delay: Option<Duration>,
+    /// Held multicast data (uniform scope) awaiting a bundle flush.
+    held: Vec<(TtlScope, Packet)>,
+    held_bytes: usize,
+    held_since: Option<Instant>,
+    /// Reusable scratch for coalesced action runs.
+    batch: Vec<Packet>,
 }
 
 impl<M: Machine + Send + 'static, T: Transport> Endpoint<M, T> {
@@ -89,6 +100,11 @@ impl<M: Machine + Send + 'static, T: Transport> Endpoint<M, T> {
                 cmd_rx,
                 event_tx,
                 origin: None,
+                flush_delay: None,
+                held: Vec::new(),
+                held_bytes: 0,
+                held_since: None,
+                batch: Vec::new(),
             },
             EndpointHandle { cmd_tx, events },
         )
@@ -108,6 +124,16 @@ impl<M: Machine + Send + 'static, T: Transport> Endpoint<M, T> {
     /// when its thread happens to run.
     pub fn set_origin(&mut self, origin: Instant) {
         self.origin = Some(origin);
+    }
+
+    /// Enables send coalescing for high-rate tick streams: outgoing
+    /// multicast data packets are held up to `delay` (and at most one
+    /// MTU's worth) so consecutive ticks share bundled datagrams. Any
+    /// other outgoing traffic flushes the held run first, so the wire
+    /// order receivers observe is unchanged — the only cost is up to
+    /// `delay` of added latency on held data. Off by default.
+    pub fn set_flush_delay(&mut self, delay: Duration) {
+        self.flush_delay = Some(delay);
     }
 
     /// Runs the endpoint on a new thread; join the handle for the exit
@@ -146,7 +172,11 @@ impl<M: Machine + Send + 'static, T: Transport> Endpoint<M, T> {
                         self.execute(&mut out)?;
                     }
                     Err(mpsc::TryRecvError::Empty) => break,
-                    Err(mpsc::TryRecvError::Disconnected) => return Ok(()),
+                    Err(mpsc::TryRecvError::Disconnected) => {
+                        // Shutdown: held data must still reach the wire.
+                        self.flush_held()?;
+                        return Ok(());
+                    }
                 }
             }
 
@@ -161,6 +191,12 @@ impl<M: Machine + Send + 'static, T: Transport> Endpoint<M, T> {
                 }
                 None => MAX_WAIT,
             };
+            // A pending coalesced run bounds the wait too: held data
+            // must flush within its delay even on an idle endpoint.
+            let wait = match self.flush_deadline() {
+                Some(d) => wait.min(d.saturating_duration_since(Instant::now())),
+                None => wait,
+            };
             if wait > Duration::ZERO {
                 if let Some((from, packet)) = self.transport.recv_timeout(wait)? {
                     self.machine
@@ -170,17 +206,113 @@ impl<M: Machine + Send + 'static, T: Transport> Endpoint<M, T> {
             }
             self.machine.poll(now_fn(origin), &mut out);
             self.execute(&mut out)?;
+            if let Some(d) = self.flush_deadline() {
+                if Instant::now() >= d {
+                    self.flush_held()?;
+                }
+            }
         }
     }
 
+    /// When the coalesced run must hit the wire at the latest.
+    fn flush_deadline(&self) -> Option<Instant> {
+        match (self.held_since, self.flush_delay) {
+            (Some(since), Some(delay)) => Some(since + delay),
+            _ => None,
+        }
+    }
+
+    /// Sends the held multicast data run (a single bundled send when
+    /// the transport supports it) and clears the hold state.
+    fn flush_held(&mut self) -> io::Result<()> {
+        self.held_since = None;
+        self.held_bytes = 0;
+        if self.held.is_empty() {
+            return Ok(());
+        }
+        // All held packets share one scope: a scope change flushes
+        // before holding the next packet.
+        let scope = self.held[0].0;
+        self.batch.clear();
+        self.batch.extend(self.held.drain(..).map(|(_, p)| p));
+        if self.batch.len() == 1 {
+            self.transport.send_multicast(scope, &self.batch[0])
+        } else {
+            self.transport.send_multicast_bundle(scope, &self.batch)
+        }
+    }
+
+    /// Holds one multicast data packet for delayed, coalesced sending;
+    /// flushes eagerly once the run fills a bundle MTU.
+    fn hold(&mut self, scope: TtlScope, packet: Packet) -> io::Result<()> {
+        if self
+            .held
+            .first()
+            .is_some_and(|(held_scope, _)| *held_scope != scope)
+        {
+            self.flush_held()?;
+        }
+        if self.held.is_empty() {
+            self.held_since = Some(Instant::now());
+        }
+        self.held_bytes += bundled_entry_len(&packet);
+        self.held.push((scope, packet));
+        if self.held_bytes + BUNDLE_HEADER_LEN >= DEFAULT_BUNDLE_MTU {
+            self.flush_held()?;
+        }
+        Ok(())
+    }
+
+    /// Executes a machine's emitted actions, coalescing consecutive
+    /// sends to one destination into bundle-capable runs. The machine's
+    /// emission order is preserved exactly: a run only extends while
+    /// the next action targets the same destination, and held data is
+    /// flushed before any other send, join, or leave.
     fn execute(&mut self, out: &mut Actions) -> io::Result<()> {
-        for action in out.drain(..) {
+        let mut iter = out.drain(..).peekable();
+        while let Some(action) = iter.next() {
             match action {
                 Action::Unicast { to, packet } => {
-                    self.transport.send_unicast(to, &packet)?;
+                    self.flush_held()?;
+                    self.batch.clear();
+                    self.batch.push(packet);
+                    while let Some(Action::Unicast { to: next, .. }) = iter.peek() {
+                        if *next != to {
+                            break;
+                        }
+                        let Some(Action::Unicast { packet, .. }) = iter.next() else {
+                            unreachable!("peeked a unicast action");
+                        };
+                        self.batch.push(packet);
+                    }
+                    if self.batch.len() == 1 {
+                        self.transport.send_unicast(to, &self.batch[0])?;
+                    } else {
+                        self.transport.send_unicast_bundle(to, &self.batch)?;
+                    }
                 }
                 Action::Multicast { scope, packet } => {
-                    self.transport.send_multicast(scope, &packet)?;
+                    if self.flush_delay.is_some() && matches!(packet, Packet::Data { .. }) {
+                        self.hold(scope, packet)?;
+                        continue;
+                    }
+                    self.flush_held()?;
+                    self.batch.clear();
+                    self.batch.push(packet);
+                    while let Some(Action::Multicast { scope: next, .. }) = iter.peek() {
+                        if *next != scope {
+                            break;
+                        }
+                        let Some(Action::Multicast { packet, .. }) = iter.next() else {
+                            unreachable!("peeked a multicast action");
+                        };
+                        self.batch.push(packet);
+                    }
+                    if self.batch.len() == 1 {
+                        self.transport.send_multicast(scope, &self.batch[0])?;
+                    } else {
+                        self.transport.send_multicast_bundle(scope, &self.batch)?;
+                    }
                 }
                 Action::Deliver(d) => {
                     // A slow or absent consumer must not wedge the
@@ -190,8 +322,14 @@ impl<M: Machine + Send + 'static, T: Transport> Endpoint<M, T> {
                 Action::Notice(n) => {
                     let _ = self.event_tx.try_send(EndpointEvent::Notice(n));
                 }
-                Action::Join(g) => self.transport.join(g)?,
-                Action::Leave(g) => self.transport.leave(g)?,
+                Action::Join(g) => {
+                    self.flush_held()?;
+                    self.transport.join(g)?;
+                }
+                Action::Leave(g) => {
+                    self.flush_held()?;
+                    self.transport.leave(g)?;
+                }
             }
         }
         Ok(())
@@ -222,13 +360,20 @@ mod tests {
     }
 
     fn spawn_net() -> Net {
+        spawn_net_with(None)
+    }
+
+    fn spawn_net_with(flush_delay: Option<Duration>) -> Net {
         let hub = Hub::new();
 
-        let (ep, sender) = Endpoint::new(
+        let (mut ep, sender) = Endpoint::new(
             Sender::new(SenderConfig::new(GROUP, SRC, SRC_HOST, LOG_HOST)),
             hub.attach(SRC_HOST),
             vec![],
         );
+        if let Some(delay) = flush_delay {
+            ep.set_flush_delay(delay);
+        }
         ep.spawn();
 
         let (ep, logger) = Endpoint::new(
@@ -290,6 +435,22 @@ mod tests {
         assert_eq!(d.seq, Seq(1));
         assert_eq!(d.payload.as_ref(), b"hello multicast");
         assert!(!d.recovered);
+    }
+
+    /// With a flush delay, rapid sends are held and coalesced — but
+    /// every payload still arrives, in order, exactly once.
+    #[test]
+    fn flush_delay_coalesces_rapid_sends_losslessly() {
+        let mut net = spawn_net_with(Some(Duration::from_millis(2)));
+        let payloads = ["b1", "b2", "b3", "b4", "b5"];
+        for p in payloads {
+            publish(&net, p);
+        }
+        for (i, want) in payloads.iter().enumerate() {
+            let d = next_delivery(&mut net).expect("delivery");
+            assert_eq!(d.seq, Seq(i as u32 + 1));
+            assert_eq!(d.payload.as_ref(), want.as_bytes());
+        }
     }
 
     #[test]

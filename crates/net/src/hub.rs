@@ -101,6 +101,22 @@ impl Hub {
             self.deliver(from, m, packet);
         }
     }
+
+    /// Delivers a run of packets to one host under a single lock
+    /// acquisition — the hub's analogue of a bundled datagram. Packet
+    /// order is preserved, so receivers cannot tell batched delivery
+    /// from per-packet delivery.
+    fn deliver_batch(&self, from: HostId, to: HostId, packets: &[Packet]) {
+        let st = self.lock();
+        if st.partitioned.contains(&to) {
+            return;
+        }
+        if let Some(tx) = st.endpoints.get(&to) {
+            for packet in packets {
+                let _ = tx.send((from, packet.clone()));
+            }
+        }
+    }
 }
 
 /// One endpoint's connection to a [`Hub`].
@@ -133,6 +149,11 @@ impl Transport for HubTransport {
     fn send_multicast(&mut self, _scope: TtlScope, packet: &Packet) -> io::Result<()> {
         // The hub is one site; every scope reaches everyone.
         self.hub.multicast(self.host, packet);
+        Ok(())
+    }
+
+    fn send_unicast_bundle(&mut self, to: HostId, packets: &[Packet]) -> io::Result<()> {
+        self.hub.deliver_batch(self.host, to, packets);
         Ok(())
     }
 
@@ -211,6 +232,20 @@ mod tests {
         a.send_unicast(HostId(1), &data(8)).unwrap();
         let (_, p) = a.recv_timeout(WAIT).unwrap().unwrap();
         assert_eq!(p, data(8));
+    }
+
+    #[test]
+    fn bundled_unicast_preserves_order() {
+        let hub = Hub::new();
+        let mut a = hub.attach(HostId(1));
+        let mut b = hub.attach(HostId(2));
+        let run: Vec<Packet> = (1..=4).map(data).collect();
+        a.send_unicast_bundle(HostId(2), &run).unwrap();
+        for want in &run {
+            let (from, p) = b.recv_timeout(WAIT).unwrap().unwrap();
+            assert_eq!(from, HostId(1));
+            assert_eq!(&p, want);
+        }
     }
 
     #[test]

@@ -23,14 +23,16 @@ pub mod doctor;
 pub mod endpoint;
 pub mod hub;
 pub mod lossy;
+pub mod pool;
 pub mod udp;
 
 pub use addr::{addr_of, host_of, GroupMap};
-pub use doctor::{publish_recv_gauges, recv_gauge_probe};
+pub use doctor::{publish_recv_gauges, publish_send_gauges, recv_gauge_probe, send_gauge_probe};
 pub use endpoint::{Endpoint, EndpointEvent, EndpointHandle};
 pub use hub::{Hub, HubTransport};
 pub use lossy::LossyTransport;
-pub use udp::{truncation_error, RecvCounters, UdpTransport};
+pub use pool::{BufferPool, PooledBuf};
+pub use udp::{truncation_error, RecvCounters, SendCounters, UdpTransport};
 
 use std::io;
 use std::time::Duration;
@@ -52,6 +54,39 @@ pub trait Transport: Send + 'static {
 
     /// Multicasts one packet to its group at the given scope.
     fn send_multicast(&mut self, scope: TtlScope, packet: &Packet) -> io::Result<()>;
+
+    /// Sends a run of packets to one host, bundling them into shared
+    /// datagrams where the transport supports it (see
+    /// [`lbrm_wire::BundleBuilder`]). The default sends one datagram
+    /// per packet; either way the receiver observes the same packets in
+    /// the same order, so protocol semantics never depend on bundling.
+    fn send_unicast_bundle(&mut self, to: HostId, packets: &[Packet]) -> io::Result<()> {
+        for p in packets {
+            self.send_unicast(to, p)?;
+        }
+        Ok(())
+    }
+
+    /// Multicasts a run of packets at one scope, bundling where
+    /// supported. Packets may span groups; bundling transports flush at
+    /// every group boundary so each frame goes to a single destination.
+    /// The default sends one datagram per packet.
+    fn send_multicast_bundle(&mut self, scope: TtlScope, packets: &[Packet]) -> io::Result<()> {
+        for p in packets {
+            self.send_multicast(scope, p)?;
+        }
+        Ok(())
+    }
+
+    /// Sends one packet to many hosts. Transports with an encoded-bytes
+    /// fast path encode once and transmit N times; the default encodes
+    /// per destination via [`send_unicast`](Transport::send_unicast).
+    fn send_unicast_fanout(&mut self, dests: &[HostId], packet: &Packet) -> io::Result<()> {
+        for &to in dests {
+            self.send_unicast(to, packet)?;
+        }
+        Ok(())
+    }
 
     /// Waits up to `timeout` for the next packet addressed to this
     /// endpoint; `Ok(None)` on timeout.

@@ -83,6 +83,22 @@ impl<T: Transport> Transport for LossyTransport<T> {
         self.inner.send_multicast(scope, packet)
     }
 
+    // Loss is injected on *receive*, so bundle and fanout sends forward
+    // straight to the inner transport — without these overrides the
+    // trait defaults would silently bypass the inner transport's
+    // bundling fast path.
+    fn send_unicast_bundle(&mut self, to: HostId, packets: &[Packet]) -> io::Result<()> {
+        self.inner.send_unicast_bundle(to, packets)
+    }
+
+    fn send_multicast_bundle(&mut self, scope: TtlScope, packets: &[Packet]) -> io::Result<()> {
+        self.inner.send_multicast_bundle(scope, packets)
+    }
+
+    fn send_unicast_fanout(&mut self, dests: &[HostId], packet: &Packet) -> io::Result<()> {
+        self.inner.send_unicast_fanout(dests, packet)
+    }
+
     fn recv_timeout(&mut self, timeout: Duration) -> io::Result<Option<(HostId, Packet)>> {
         // Honor the caller's deadline across discarded packets: a
         // dropped datagram must not silently extend the wait.

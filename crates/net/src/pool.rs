@@ -1,0 +1,137 @@
+//! A small recycling pool for receive buffers.
+//!
+//! Reader threads need a full-size datagram buffer (just over 64 KiB)
+//! for every socket they serve. Allocating one per loop iteration would
+//! churn the allocator at packet rate; allocating one per thread for
+//! the thread's whole life wastes nothing but leaves short-lived reader
+//! threads (group joins that come and go) re-paying the zeroing cost.
+//! The pool splits the difference: buffers are handed out as RAII
+//! guards and recycled on drop, capped so an ephemeral burst of reader
+//! threads cannot pin unbounded memory.
+
+use std::ops::{Deref, DerefMut};
+use std::sync::Mutex;
+
+/// A fixed-size-buffer recycling pool. `const`-constructible so it can
+/// back a `static` shared by all reader threads in the process.
+#[derive(Debug)]
+pub struct BufferPool {
+    free: Mutex<Vec<Vec<u8>>>,
+    buf_size: usize,
+    max_pooled: usize,
+}
+
+impl BufferPool {
+    /// A pool of `buf_size`-byte buffers retaining at most `max_pooled`
+    /// idle buffers.
+    pub const fn new(buf_size: usize, max_pooled: usize) -> Self {
+        BufferPool {
+            free: Mutex::new(Vec::new()),
+            buf_size,
+            max_pooled,
+        }
+    }
+
+    /// Takes a buffer from the pool (or allocates a fresh one when the
+    /// pool is empty). The buffer returns to the pool when the guard
+    /// drops. Contents are *not* cleared between uses; callers must
+    /// only read the bytes a receive actually filled.
+    pub fn take(&self) -> PooledBuf<'_> {
+        let buf = lock(&self.free)
+            .pop()
+            .unwrap_or_else(|| vec![0u8; self.buf_size]);
+        debug_assert_eq!(buf.len(), self.buf_size);
+        PooledBuf { buf, pool: self }
+    }
+
+    /// Idle buffers currently held by the pool.
+    pub fn pooled(&self) -> usize {
+        lock(&self.free).len()
+    }
+
+    fn put(&self, buf: Vec<u8>) {
+        let mut free = lock(&self.free);
+        if free.len() < self.max_pooled {
+            free.push(buf);
+        }
+    }
+}
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// RAII guard for a pooled buffer; derefs to `[u8]` and recycles the
+/// buffer on drop.
+#[derive(Debug)]
+pub struct PooledBuf<'a> {
+    buf: Vec<u8>,
+    pool: &'a BufferPool,
+}
+
+impl Deref for PooledBuf<'_> {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.buf
+    }
+}
+
+impl DerefMut for PooledBuf<'_> {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.buf
+    }
+}
+
+impl Drop for PooledBuf<'_> {
+    fn drop(&mut self) {
+        self.pool.put(std::mem::take(&mut self.buf));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buffers_are_recycled_on_drop() {
+        let pool = BufferPool::new(64, 4);
+        assert_eq!(pool.pooled(), 0);
+        let ptr = {
+            let buf = pool.take();
+            assert_eq!(buf.len(), 64);
+            buf.as_ptr() as usize
+        };
+        assert_eq!(pool.pooled(), 1, "dropped buffer must return to pool");
+        let again = pool.take();
+        assert_eq!(pool.pooled(), 0);
+        assert_eq!(
+            again.as_ptr() as usize,
+            ptr,
+            "same allocation must be reused, not reallocated"
+        );
+    }
+
+    #[test]
+    fn pool_is_capped_at_max_pooled() {
+        let pool = BufferPool::new(16, 2);
+        let a = pool.take();
+        let b = pool.take();
+        let c = pool.take();
+        drop(a);
+        drop(b);
+        drop(c);
+        assert_eq!(pool.pooled(), 2, "pool must not retain beyond its cap");
+    }
+
+    #[test]
+    fn concurrent_takes_get_distinct_buffers() {
+        let pool = BufferPool::new(32, 8);
+        let a = pool.take();
+        let b = pool.take();
+        assert_ne!(a.as_ptr(), b.as_ptr());
+        // Writes through one guard do not alias the other.
+        drop(a);
+        drop(b);
+        assert_eq!(pool.pooled(), 2);
+    }
+}

@@ -24,9 +24,14 @@ use std::sync::mpsc;
 use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Duration;
 
-use lbrm_wire::{decode, encode, GroupId, HostId, Packet, TtlScope, MAX_PACKET_SIZE};
+use bytes::{Bytes, BytesMut};
+use lbrm_wire::{
+    decode_bundle, decode_bytes, encode_into, is_bundle, BundleBuilder, BundleMode, GroupId,
+    HostId, Packet, TtlScope, MAX_PACKET_SIZE,
+};
 
 use crate::addr::{addr_of, host_of, GroupMap};
+use crate::pool::BufferPool;
 use crate::Transport;
 
 /// How often reader threads wake to check for shutdown.
@@ -37,6 +42,11 @@ const READ_TICK: Duration = Duration::from_millis(50);
 /// signal — a datagram of exactly [`MAX_PACKET_SIZE`] bytes still reads
 /// with headroom and is never misflagged.
 const RECV_BUF_SIZE: usize = MAX_PACKET_SIZE + 1;
+
+/// Process-wide recycling pool for reader-thread receive buffers; the
+/// cap bounds idle memory at a handful of max-size datagram buffers no
+/// matter how many short-lived reader threads come and go.
+static RECV_POOL: BufferPool = BufferPool::new(RECV_BUF_SIZE, 8);
 
 type PacketTx = mpsc::Sender<(HostId, Packet)>;
 
@@ -64,6 +74,77 @@ impl RecvCounters {
     }
 }
 
+/// Send-path counters for one endpoint, the outbound mirror of
+/// [`RecvCounters`]. With bundling on, `datagrams` and `packets`
+/// diverge — their ratio is the live measure of how much framing
+/// overhead bundling is saving.
+#[derive(Debug, Default)]
+pub struct SendCounters {
+    datagrams: AtomicU64,
+    packets: AtomicU64,
+    bytes: AtomicU64,
+    errors: AtomicU64,
+}
+
+impl SendCounters {
+    /// Datagrams handed to the socket.
+    pub fn datagrams(&self) -> u64 {
+        self.datagrams.load(Ordering::Relaxed)
+    }
+
+    /// Protocol packets sent (each bundle datagram carries several).
+    pub fn packets(&self) -> u64 {
+        self.packets.load(Ordering::Relaxed)
+    }
+
+    /// Wire bytes sent, including bundle framing.
+    pub fn bytes(&self) -> u64 {
+        self.bytes.load(Ordering::Relaxed)
+    }
+
+    /// Sends that failed — encoding errors (e.g. an oversized packet)
+    /// and socket errors.
+    pub fn errors(&self) -> u64 {
+        self.errors.load(Ordering::Relaxed)
+    }
+
+    fn count_frame(&self, packets: u64, bytes: usize) {
+        self.datagrams.fetch_add(1, Ordering::Relaxed);
+        self.packets.fetch_add(packets, Ordering::Relaxed);
+        self.bytes.fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+
+    fn count_error(&self) {
+        self.errors.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Transmits one already-encoded frame (a single packet or a sealed
+/// bundle) and charges it to the send counters; the per-frame packet
+/// count is read from the bundle header when present.
+fn send_frame(
+    sock: &UdpSocket,
+    counters: &SendCounters,
+    frame: &[u8],
+    dst: SocketAddr,
+) -> io::Result<()> {
+    let packets = if is_bundle(frame) {
+        u64::from(frame[3])
+    } else {
+        1
+    };
+    match sock.send_to(frame, dst) {
+        Ok(_) => {
+            counters.count_frame(packets, frame.len());
+            Ok(())
+        }
+        Err(e) => {
+            counters.count_error();
+            Err(e)
+        }
+    }
+}
+
 /// The distinct error for a datagram that filled the receive buffer:
 /// the payload was cut off by the OS, so a decode failure downstream
 /// would misdiagnose the problem as peer corruption.
@@ -77,14 +158,28 @@ pub fn truncation_error(n: usize) -> io::Error {
     )
 }
 
-/// Classifies and decodes one received datagram. `n == buf.len()` means
-/// the OS truncated the datagram to fit — that is reported as the
+/// Classifies and decodes one received datagram, appending its packets
+/// to `out` — one for a plain frame, several in order for a bundle
+/// (`out` is untouched on error, so a corrupt bundle never delivers a
+/// partial prefix). The datagram is copied into a [`Bytes`] once;
+/// payload decoding slices that allocation zero-copy. `n == buf.len()`
+/// means the OS truncated the datagram to fit — that is reported as the
 /// distinct [`truncation_error`], not as a decode failure.
-fn decode_datagram(buf: &[u8], n: usize) -> io::Result<Packet> {
+fn decode_datagram(buf: &[u8], n: usize, out: &mut Vec<Packet>) -> io::Result<()> {
     if n == buf.len() {
         return Err(truncation_error(n));
     }
-    decode(&buf[..n]).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+    let data = Bytes::copy_from_slice(&buf[..n]);
+    if is_bundle(&data) {
+        let packets = decode_bundle(&data)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        out.extend(packets);
+    } else {
+        let packet = decode_bytes(data)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        out.push(packet);
+    }
+    Ok(())
 }
 
 /// Charges one receive failure to `counters`, keyed by whether it was a
@@ -98,15 +193,17 @@ fn count_recv_error(counters: &RecvCounters, err: &io::Error) {
 }
 
 /// One blocking receive step shared by both reader loops: reads a
-/// datagram into `buf`, classifies truncation vs decode failure (charging
-/// drops to `counters`), and returns the sender and packet on success.
+/// datagram into `buf`, classifies truncation vs decode failure
+/// (charging drops to `counters`), and on success appends the decoded
+/// packets to `out` (several for a bundle) and returns the sender.
 /// `Ok(None)` means "nothing deliverable this tick" (timeout, non-IPv4
 /// source, or a counted drop); `Err` is a fatal socket error.
 pub(crate) fn recv_step(
     sock: &UdpSocket,
     buf: &mut [u8],
+    out: &mut Vec<Packet>,
     counters: &RecvCounters,
-) -> io::Result<Option<(HostId, Packet)>> {
+) -> io::Result<Option<HostId>> {
     let (n, from) = match sock.recv_from(buf) {
         Ok(v) => v,
         Err(e)
@@ -122,8 +219,8 @@ pub(crate) fn recv_step(
     let SocketAddr::V4(from) = from else {
         return Ok(None);
     };
-    match decode_datagram(buf, n) {
-        Ok(packet) => Ok(Some((host_of(from), packet))),
+    match decode_datagram(buf, n, out) {
+        Ok(()) => Ok(Some(host_of(from))),
         Err(e) => {
             count_recv_error(counters, &e);
             Ok(None)
@@ -235,7 +332,8 @@ fn port_leave(port: u16, group_ip: Ipv4Addr, interface: Ipv4Addr, me: HostId) ->
 /// failure) are charged to every subscriber that would have received the
 /// datagram, so each endpoint's stats reflect traffic *it* lost.
 fn fanout_loop(sock: &UdpSocket, subscribers: &Mutex<Vec<Subscriber>>, stop: &AtomicBool) {
-    let mut buf = vec![0u8; RECV_BUF_SIZE];
+    let mut buf = RECV_POOL.take();
+    let mut packets: Vec<Packet> = Vec::new();
     while !stop.load(Ordering::Relaxed) {
         let (n, from) = match sock.recv_from(&mut buf) {
             Ok(v) => v,
@@ -251,12 +349,15 @@ fn fanout_loop(sock: &UdpSocket, subscribers: &Mutex<Vec<Subscriber>>, stop: &At
         };
         let SocketAddr::V4(from) = from else { continue };
         let from = host_of(from);
-        match decode_datagram(&buf, n) {
-            Ok(packet) => {
+        packets.clear();
+        match decode_datagram(&buf, n, &mut packets) {
+            Ok(()) => {
                 let subs = lock(subscribers);
                 for s in subs.iter() {
                     if s.me != from {
-                        let _ = s.tx.send((from, packet.clone()));
+                        for packet in &packets {
+                            let _ = s.tx.send((from, packet.clone()));
+                        }
                     }
                 }
             }
@@ -280,15 +381,19 @@ fn unicast_loop(
     counters: &RecvCounters,
     stop: &AtomicBool,
 ) {
-    let mut buf = vec![0u8; RECV_BUF_SIZE];
+    let mut buf = RECV_POOL.take();
+    let mut packets: Vec<Packet> = Vec::new();
     while !stop.load(Ordering::Relaxed) {
-        match recv_step(sock, &mut buf, counters) {
-            Ok(Some((from, packet))) => {
+        match recv_step(sock, &mut buf, &mut packets, counters) {
+            Ok(Some(from)) => {
                 if from == me {
+                    packets.clear();
                     continue; // multicast loopback echo of our own send
                 }
-                if tx.send((from, packet)).is_err() {
-                    return;
+                for packet in packets.drain(..) {
+                    if tx.send((from, packet)).is_err() {
+                        return;
+                    }
                 }
             }
             Ok(None) => continue,
@@ -307,6 +412,12 @@ pub struct UdpTransport {
     tx: PacketTx,
     members: Vec<GroupId>,
     counters: Arc<RecvCounters>,
+    send: Arc<SendCounters>,
+    /// Reusable encode scratch: steady-state sends reuse this buffer's
+    /// capacity instead of allocating per packet.
+    scratch: BytesMut,
+    bundler: BundleBuilder,
+    bundle: BundleMode,
     stop: Arc<AtomicBool>,
 }
 
@@ -348,6 +459,10 @@ impl UdpTransport {
             tx,
             members: Vec::new(),
             counters,
+            send: Arc::new(SendCounters::default()),
+            scratch: BytesMut::with_capacity(2048),
+            bundler: BundleBuilder::with_default_mtu(),
+            bundle: BundleMode::from_env(),
             stop,
         })
     }
@@ -369,6 +484,30 @@ impl UdpTransport {
     pub fn shared_recv_counters(&self) -> Arc<RecvCounters> {
         Arc::clone(&self.counters)
     }
+
+    /// Send-path counters: datagrams, packets, bytes and errors on this
+    /// endpoint's outbound sends.
+    pub fn send_counters(&self) -> &SendCounters {
+        &self.send
+    }
+
+    /// A shared handle to the send counters (see
+    /// [`shared_recv_counters`](Self::shared_recv_counters)).
+    pub fn shared_send_counters(&self) -> Arc<SendCounters> {
+        Arc::clone(&self.send)
+    }
+
+    /// Whether bundle sends coalesce packets (set from `LBRM_BUNDLE` at
+    /// bind).
+    pub fn bundle_mode(&self) -> BundleMode {
+        self.bundle
+    }
+
+    /// Overrides the `LBRM_BUNDLE`-derived bundling mode, e.g. for
+    /// tests that must not depend on ambient environment.
+    pub fn set_bundle_mode(&mut self, mode: BundleMode) {
+        self.bundle = mode;
+    }
 }
 
 impl Drop for UdpTransport {
@@ -387,17 +526,129 @@ impl Transport for UdpTransport {
     }
 
     fn send_unicast(&mut self, to: HostId, packet: &Packet) -> io::Result<()> {
-        let bytes = encode(packet).map_err(io::Error::other)?;
-        self.unicast.send_to(&bytes, SocketAddr::V4(addr_of(to)))?;
-        Ok(())
+        self.scratch.clear();
+        if let Err(e) = encode_into(packet, &mut self.scratch) {
+            self.send.count_error();
+            return Err(io::Error::other(e));
+        }
+        send_frame(
+            &self.unicast,
+            &self.send,
+            &self.scratch,
+            SocketAddr::V4(addr_of(to)),
+        )
     }
 
     fn send_multicast(&mut self, scope: TtlScope, packet: &Packet) -> io::Result<()> {
-        let bytes = encode(packet).map_err(io::Error::other)?;
+        self.scratch.clear();
+        if let Err(e) = encode_into(packet, &mut self.scratch) {
+            self.send.count_error();
+            return Err(io::Error::other(e));
+        }
         let dst = self.groups.addr(packet.group());
         self.unicast.set_multicast_ttl_v4(u32::from(scope.ttl()))?;
         self.unicast.set_multicast_loop_v4(true)?;
-        self.unicast.send_to(&bytes, SocketAddr::V4(dst))?;
+        send_frame(
+            &self.unicast,
+            &self.send,
+            &self.scratch,
+            SocketAddr::V4(dst),
+        )
+    }
+
+    fn send_unicast_bundle(&mut self, to: HostId, packets: &[Packet]) -> io::Result<()> {
+        if !self.bundle.is_on() || packets.len() < 2 {
+            for p in packets {
+                self.send_unicast(to, p)?;
+            }
+            return Ok(());
+        }
+        let dst = SocketAddr::V4(addr_of(to));
+        let bundler = &mut self.bundler;
+        let unicast = &self.unicast;
+        let send = &self.send;
+        for p in packets {
+            match bundler.push(p) {
+                Ok(Some(frame)) => send_frame(unicast, send, frame, dst)?,
+                Ok(None) => {}
+                Err(e) => {
+                    // The failing packet never entered the frame; flush
+                    // the valid prefix so it still reaches `to`, then
+                    // surface the error.
+                    send.count_error();
+                    if let Some(frame) = bundler.flush() {
+                        send_frame(unicast, send, frame, dst)?;
+                    }
+                    return Err(io::Error::other(e));
+                }
+            }
+        }
+        if let Some(frame) = bundler.flush() {
+            send_frame(unicast, send, frame, dst)?;
+        }
+        Ok(())
+    }
+
+    fn send_multicast_bundle(&mut self, scope: TtlScope, packets: &[Packet]) -> io::Result<()> {
+        if !self.bundle.is_on() || packets.len() < 2 {
+            for p in packets {
+                self.send_multicast(scope, p)?;
+            }
+            return Ok(());
+        }
+        self.unicast.set_multicast_ttl_v4(u32::from(scope.ttl()))?;
+        self.unicast.set_multicast_loop_v4(true)?;
+        let bundler = &mut self.bundler;
+        let unicast = &self.unicast;
+        let send = &self.send;
+        let groups = &self.groups;
+        // A frame goes to exactly one destination, so flush at every
+        // group boundary within the run.
+        let mut cur: Option<SocketAddr> = None;
+        for p in packets {
+            let dst = SocketAddr::V4(groups.addr(p.group()));
+            if cur != Some(dst) {
+                if let Some(prev) = cur {
+                    if let Some(frame) = bundler.flush() {
+                        send_frame(unicast, send, frame, prev)?;
+                    }
+                }
+                cur = Some(dst);
+            }
+            match bundler.push(p) {
+                Ok(Some(frame)) => send_frame(unicast, send, frame, dst)?,
+                Ok(None) => {}
+                Err(e) => {
+                    send.count_error();
+                    if let Some(frame) = bundler.flush() {
+                        send_frame(unicast, send, frame, dst)?;
+                    }
+                    return Err(io::Error::other(e));
+                }
+            }
+        }
+        if let Some(dst) = cur {
+            if let Some(frame) = bundler.flush() {
+                send_frame(unicast, send, frame, dst)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn send_unicast_fanout(&mut self, dests: &[HostId], packet: &Packet) -> io::Result<()> {
+        self.scratch.clear();
+        if let Err(e) = encode_into(packet, &mut self.scratch) {
+            self.send.count_error();
+            return Err(io::Error::other(e));
+        }
+        for &to in dests {
+            send_frame(
+                &self.unicast,
+                &self.send,
+                &self.scratch,
+                SocketAddr::V4(addr_of(to)),
+            )?;
+        }
         Ok(())
     }
 
@@ -443,7 +694,7 @@ impl Transport for UdpTransport {
 mod tests {
     use super::*;
     use bytes::Bytes;
-    use lbrm_wire::{EpochId, Seq, SourceId};
+    use lbrm_wire::{encode, encode_bundle, EpochId, Seq, SourceId, DEFAULT_BUNDLE_MTU};
 
     fn data(seq: u32) -> Packet {
         Packet::Data {
@@ -458,8 +709,9 @@ mod tests {
     #[test]
     fn truncation_is_a_distinct_error() {
         let buf = [0u8; 64];
+        let mut out = Vec::new();
         // Buffer completely filled: truncation, not a decode failure.
-        let err = decode_datagram(&buf, buf.len()).unwrap_err();
+        let err = decode_datagram(&buf, buf.len(), &mut out).unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::InvalidData);
         assert!(
             err.to_string().starts_with("datagram truncated"),
@@ -467,8 +719,9 @@ mod tests {
         );
         // Same bytes with headroom: a plain decode failure, so the two
         // failure modes stay distinguishable downstream.
-        let err = decode_datagram(&buf, 32).unwrap_err();
+        let err = decode_datagram(&buf, 32, &mut out).unwrap_err();
         assert!(!err.to_string().starts_with("datagram truncated"));
+        assert!(out.is_empty(), "errors must not deliver packets");
     }
 
     #[test]
@@ -496,13 +749,15 @@ mod tests {
 
         let counters = RecvCounters::default();
         let mut buf = vec![0u8; 1024];
+        let mut out = Vec::new();
 
         // Oversized relative to the receive buffer: the OS truncates the
         // datagram, recv_from reports a full buffer, and the drop lands
         // in the truncation counter.
         tx.send_to(&vec![0xAB; 2048], dst).unwrap();
-        let got = recv_step(&rx, &mut buf, &counters).unwrap();
+        let got = recv_step(&rx, &mut buf, &mut out, &counters).unwrap();
         assert!(got.is_none(), "truncated datagram must not be delivered");
+        assert!(out.is_empty());
         assert_eq!(counters.truncated(), 1);
         assert_eq!(counters.decode_errors(), 0);
 
@@ -510,14 +765,14 @@ mod tests {
         // oversized one still decodes and carries the sender's address.
         let bytes = encode(&data(7)).unwrap();
         tx.send_to(&bytes, dst).unwrap();
-        let (from, packet) = recv_step(&rx, &mut buf, &counters)
+        let from = recv_step(&rx, &mut buf, &mut out, &counters)
             .unwrap()
             .expect("valid packet after truncated one");
         let SocketAddr::V4(tx_addr) = tx.local_addr().unwrap() else {
             panic!("ipv4 bind");
         };
         assert_eq!(from, host_of(tx_addr));
-        assert_eq!(packet, data(7));
+        assert_eq!(out, vec![data(7)]);
         assert_eq!(counters.truncated(), 1);
     }
 
@@ -538,7 +793,8 @@ mod tests {
         }
         let counters = RecvCounters::default();
         let mut buf = vec![0u8; RECV_BUF_SIZE];
-        let got = recv_step(&rx, &mut buf, &counters).unwrap();
+        let mut out = Vec::new();
+        let got = recv_step(&rx, &mut buf, &mut out, &counters).unwrap();
         assert!(got.is_none(), "garbage payload must not decode");
         assert_eq!(
             counters.truncated(),
@@ -546,5 +802,118 @@ mod tests {
             "max-size datagram wrongly counted as truncated"
         );
         assert_eq!(counters.decode_errors(), 1);
+    }
+
+    /// A bundle datagram unbundles into its packets in order, through
+    /// the same receive step that handles plain frames.
+    #[test]
+    fn bundle_datagram_unbundles_in_order() {
+        let rx = UdpSocket::bind((Ipv4Addr::LOCALHOST, 0)).unwrap();
+        rx.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        let dst = rx.local_addr().unwrap();
+        let tx = UdpSocket::bind((Ipv4Addr::LOCALHOST, 0)).unwrap();
+
+        let packets: Vec<Packet> = (1..=5).map(data).collect();
+        let frames = encode_bundle(&packets, DEFAULT_BUNDLE_MTU).unwrap();
+        assert_eq!(frames.len(), 1, "five tiny packets fit one frame");
+        tx.send_to(&frames[0], dst).unwrap();
+
+        let counters = RecvCounters::default();
+        let mut buf = vec![0u8; RECV_BUF_SIZE];
+        let mut out = Vec::new();
+        let from = recv_step(&rx, &mut buf, &mut out, &counters)
+            .unwrap()
+            .expect("bundle must decode");
+        let SocketAddr::V4(tx_addr) = tx.local_addr().unwrap() else {
+            panic!("ipv4 bind");
+        };
+        assert_eq!(from, host_of(tx_addr));
+        assert_eq!(out, packets, "unbundling must preserve packet order");
+        assert_eq!(counters.decode_errors(), 0);
+    }
+
+    /// A corrupt bundle is one counted decode error and delivers no
+    /// partial prefix of its packets.
+    #[test]
+    fn corrupt_bundle_delivers_nothing() {
+        let packets: Vec<Packet> = (1..=3).map(data).collect();
+        let mut frame = encode_bundle(&packets, DEFAULT_BUNDLE_MTU).unwrap()[0].to_vec();
+        let last = frame.len() - 1;
+        frame[last] ^= 0xFF;
+        let mut buf = vec![0u8; RECV_BUF_SIZE];
+        buf[..frame.len()].copy_from_slice(&frame);
+        let mut out = Vec::new();
+        let err = decode_datagram(&buf, frame.len(), &mut out).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(out.is_empty(), "corrupt bundle must not deliver a prefix");
+    }
+
+    /// Send counters: one datagram per plain send, and with bundling on
+    /// a run of packets collapses into fewer datagrams than packets.
+    #[test]
+    fn send_counters_track_datagrams_and_packets() {
+        let mut t = UdpTransport::bind(Ipv4Addr::LOCALHOST, GroupMap::default()).unwrap();
+        t.set_bundle_mode(BundleMode::Off);
+        let peer = UdpSocket::bind((Ipv4Addr::LOCALHOST, 0)).unwrap();
+        let SocketAddr::V4(peer_addr) = peer.local_addr().unwrap() else {
+            panic!("ipv4 bind");
+        };
+        let to = host_of(peer_addr);
+
+        t.send_unicast(to, &data(1)).unwrap();
+        t.send_unicast(to, &data(2)).unwrap();
+        assert_eq!(t.send_counters().datagrams(), 2);
+        assert_eq!(t.send_counters().packets(), 2);
+        let wire = encode(&data(1)).unwrap().len() + encode(&data(2)).unwrap().len();
+        assert_eq!(t.send_counters().bytes(), wire as u64);
+        assert_eq!(t.send_counters().errors(), 0);
+
+        // Bundling on: ten packets in one run become one datagram.
+        t.set_bundle_mode(BundleMode::On);
+        let run: Vec<Packet> = (10..20).map(data).collect();
+        t.send_unicast_bundle(to, &run).unwrap();
+        assert_eq!(t.send_counters().datagrams(), 3);
+        assert_eq!(t.send_counters().packets(), 12);
+
+        // Fanout: encode once, one datagram per destination.
+        t.send_unicast_fanout(&[to, to, to], &data(30)).unwrap();
+        assert_eq!(t.send_counters().datagrams(), 6);
+        assert_eq!(t.send_counters().packets(), 15);
+    }
+
+    /// A packet too large for any datagram is rejected at encode time
+    /// and lands in the send error counter — on both the plain path and
+    /// the bundle path (where it must not corrupt the pending frame).
+    #[test]
+    fn oversized_packet_is_counted_as_send_error() {
+        let mut t = UdpTransport::bind(Ipv4Addr::LOCALHOST, GroupMap::default()).unwrap();
+        let peer = UdpSocket::bind((Ipv4Addr::LOCALHOST, 0)).unwrap();
+        let SocketAddr::V4(peer_addr) = peer.local_addr().unwrap() else {
+            panic!("ipv4 bind");
+        };
+        let to = host_of(peer_addr);
+
+        let oversized = Packet::Data {
+            group: GroupId(1),
+            source: SourceId(1),
+            seq: Seq(1),
+            epoch: EpochId(0),
+            payload: Bytes::from(vec![0u8; MAX_PACKET_SIZE]),
+        };
+        assert!(t.send_unicast(to, &oversized).is_err());
+        assert_eq!(t.send_counters().errors(), 1);
+        assert_eq!(t.send_counters().datagrams(), 0);
+
+        // Bundle path: the valid prefix is flushed, the oversized
+        // packet is rejected, and later sends still work.
+        t.set_bundle_mode(BundleMode::On);
+        let run = vec![data(1), data(2), oversized];
+        assert!(t.send_unicast_bundle(to, &run).is_err());
+        assert_eq!(t.send_counters().errors(), 2);
+        assert_eq!(t.send_counters().datagrams(), 1, "valid prefix flushed");
+        assert_eq!(t.send_counters().packets(), 2);
+        t.send_unicast_bundle(to, &[data(3), data(4)]).unwrap();
+        assert_eq!(t.send_counters().datagrams(), 2);
+        assert_eq!(t.send_counters().packets(), 4);
     }
 }

@@ -21,7 +21,9 @@
 //!   conservative synchronization; `LBRM_SIM_SHARDS` selects the shard
 //!   count and results are byte-identical for any value.
 //! * [`stats`] — per-segment-class, per-packet-kind traffic accounting
-//!   (the quantities the paper's evaluation counts).
+//!   (the quantities the paper's evaluation counts), plus the
+//!   [`stats::BundleStats`] ledger modeling PDU-bundling framing
+//!   (`LBRM_BUNDLE`) without perturbing the event stream.
 //!
 //! Everything is deterministic given the world seed: the same scenario
 //! replays identically, which the test-suite asserts.
@@ -39,7 +41,7 @@ pub mod world;
 
 pub use loss::LossModel;
 pub use queue::{EventQueue, QueueBackend};
-pub use stats::{NetStats, SegmentClass};
+pub use stats::{BundleStats, KindBundle, NetStats, SegmentClass};
 pub use time::SimTime;
 pub use topology::{SiteParams, Topology, TopologyBuilder};
 pub use world::{Actor, Ctx, World};

@@ -46,7 +46,7 @@ use lbrm_trace::{ProtocolEvent, TraceSink, Tracer};
 use lbrm_wire::{GroupId, HostId, Packet, SiteId, TtlScope};
 
 use crate::queue::EventQueue;
-use crate::stats::NetStats;
+use crate::stats::{BundleMeter, NetStats};
 use crate::time::SimTime;
 use crate::topology::SiteNet;
 use crate::world::Actor;
@@ -116,6 +116,11 @@ pub(crate) struct Shard {
     pub seqs: Vec<u64>,
     /// This shard's traffic accounting (merged across shards on demand).
     pub stats: NetStats,
+    /// Per-host bundle-framing meters, by host index. A host's sends are
+    /// processed in deterministic order on its owning shard, so each
+    /// meter's fold is placement-invariant and the cross-shard merge is
+    /// plain summation.
+    pub meters: Vec<BundleMeter>,
     /// World-level tracer (NetPacket records), pre-wrapped by the mux.
     pub tracer: Tracer,
     /// High-water mark of this shard's queue depth.
@@ -152,6 +157,7 @@ impl Shard {
             members: (0..site_count).map(|_| BTreeMap::new()).collect(),
             seqs: vec![0; host_count + site_count],
             stats: NetStats::default(),
+            meters: (0..host_count).map(|_| BundleMeter::default()).collect(),
             tracer: Tracer::disabled(),
             depth_max: 0,
             events: 0,

@@ -6,10 +6,22 @@
 //! traversals per segment class and per packet kind (`"data"`,
 //! `"heartbeat"`, `"nack"`, ...), plus per-site tail-circuit detail for
 //! the Figure-7 NACK-reduction experiment.
+//!
+//! [`BundleStats`] is the datagram-level companion: it models DIS-style
+//! PDU bundling (`lbrm_wire::bundle`) arithmetically, so experiments can
+//! report datagrams-saved deterministically without serializing a byte.
+//! Bundle accounting is deliberately separate from [`NetStats`]: the
+//! protocol-visible traffic model is identical across `LBRM_BUNDLE`
+//! legs (pinned by a differential test), and only this ledger differs.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
+use lbrm_wire::bundle::{
+    BundleMode, BUNDLE_HEADER_LEN, DEFAULT_BUNDLE_MTU, ENTRY_PREFIX_LEN, MAX_BUNDLE_PACKETS,
+};
 use lbrm_wire::SiteId;
+
+use crate::time::SimTime;
 
 /// The four classes of network segment in the Figure-1 topology.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -134,6 +146,155 @@ fn add(a: Counter, b: Counter) -> Counter {
     }
 }
 
+/// Per-packet-kind bundle accounting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct KindBundle {
+    /// Protocol packets of this kind sent.
+    pub packets: u64,
+    /// Datagram frames *opened* by a packet of this kind. A mixed-kind
+    /// frame is charged to the kind that opened it, so per-kind frames
+    /// sum exactly to [`BundleStats::frames`].
+    pub frames: u64,
+}
+
+/// Datagram-level accounting under the simulator's bundle-framing model.
+///
+/// Both ledgers are always maintained — `packets`/`bytes_unbundled`
+/// count one datagram per packet, `frames`/`bytes_bundled` count
+/// MTU-bounded coalesced frames — and [`mode`](Self::mode) selects
+/// which one [`datagrams`](Self::datagrams) and
+/// [`wire_bytes`](Self::wire_bytes) report. One run therefore yields
+/// both legs' datagram counts, while differential tests can still pin
+/// that the mode changes *nothing else*.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BundleStats {
+    /// The mode the reporting accessors answer for (the world's
+    /// `LBRM_BUNDLE` setting at collection time).
+    pub mode: BundleMode,
+    /// Protocol packets sent (= datagrams with bundling off).
+    pub packets: u64,
+    /// Datagrams with bundling on: consecutive same-instant sends to
+    /// one destination share MTU-bounded frames.
+    pub frames: u64,
+    /// Wire bytes with one datagram per packet.
+    pub bytes_unbundled: u64,
+    /// Wire bytes under bundle framing (single-packet frames carry no
+    /// framing overhead — they go out as bare packets).
+    pub bytes_bundled: u64,
+    /// Per-kind breakdown (deterministically ordered).
+    pub per_kind: BTreeMap<&'static str, KindBundle>,
+}
+
+impl BundleStats {
+    /// Datagrams sent under the recorded [`mode`](Self::mode).
+    pub fn datagrams(&self) -> u64 {
+        if self.mode.is_on() {
+            self.frames
+        } else {
+            self.packets
+        }
+    }
+
+    /// Wire bytes sent under the recorded [`mode`](Self::mode).
+    pub fn wire_bytes(&self) -> u64 {
+        if self.mode.is_on() {
+            self.bytes_bundled
+        } else {
+            self.bytes_unbundled
+        }
+    }
+
+    /// Per-kind counters (zero for kinds never sent).
+    pub fn kind(&self, kind: &str) -> KindBundle {
+        self.per_kind.get(kind).copied().unwrap_or_default()
+    }
+
+    /// Folds another accounting into this one (`mode` is left alone —
+    /// it is a reporting selector, not a counter). Commutative and
+    /// associative like [`NetStats::merge`].
+    pub fn merge(&mut self, other: &BundleStats) {
+        self.packets += other.packets;
+        self.frames += other.frames;
+        self.bytes_unbundled += other.bytes_unbundled;
+        self.bytes_bundled += other.bytes_bundled;
+        for (k, v) in &other.per_kind {
+            let c = self.per_kind.entry(k).or_default();
+            c.packets += v.packets;
+            c.frames += v.frames;
+        }
+    }
+}
+
+/// Where a metered send was headed. Unicast sends key on the target
+/// host; multicast sends key on (group, TTL) — one IP-multicast datagram
+/// regardless of receiver count.
+pub(crate) type DestKey = (u8, u64, u64);
+
+/// One host's deterministic bundle-framing fold.
+///
+/// Mirrors `lbrm_wire::BundleBuilder`'s flush rule arithmetically: a
+/// send joins the open frame iff it happens at the same virtual instant,
+/// to the same destination, the frame holds fewer than
+/// [`MAX_BUNDLE_PACKETS`], and the entry still fits the MTU. Because a
+/// host's sends are processed in a placement-invariant order, the fold —
+/// and thus every reported count — is identical for any shard count.
+#[derive(Debug, Default)]
+pub(crate) struct BundleMeter {
+    stats: BundleStats,
+    open: Option<OpenFrame>,
+}
+
+#[derive(Debug)]
+struct OpenFrame {
+    at: SimTime,
+    dest: DestKey,
+    count: usize,
+    /// Modeled frame size: header + Σ(prefix + packet).
+    frame_bytes: usize,
+}
+
+impl BundleMeter {
+    /// Accounts one packet send of `len` encoded bytes.
+    pub fn record(&mut self, at: SimTime, dest: DestKey, kind: &'static str, len: usize) {
+        self.stats.packets += 1;
+        self.stats.bytes_unbundled += len as u64;
+        self.stats.per_kind.entry(kind).or_default().packets += 1;
+        if let Some(open) = &mut self.open {
+            if open.at == at
+                && open.dest == dest
+                && open.count < MAX_BUNDLE_PACKETS
+                && open.frame_bytes + ENTRY_PREFIX_LEN + len <= DEFAULT_BUNDLE_MTU
+            {
+                if open.count == 1 {
+                    // The frame just became a real bundle: charge the
+                    // header and the first entry's prefix retroactively
+                    // (a frame that stays single goes out bare).
+                    self.stats.bytes_bundled += (BUNDLE_HEADER_LEN + ENTRY_PREFIX_LEN) as u64;
+                }
+                self.stats.bytes_bundled += (ENTRY_PREFIX_LEN + len) as u64;
+                open.count += 1;
+                open.frame_bytes += ENTRY_PREFIX_LEN + len;
+                return;
+            }
+        }
+        self.open = Some(OpenFrame {
+            at,
+            dest,
+            count: 1,
+            frame_bytes: BUNDLE_HEADER_LEN + ENTRY_PREFIX_LEN + len,
+        });
+        self.stats.frames += 1;
+        self.stats.bytes_bundled += len as u64;
+        self.stats.per_kind.entry(kind).or_default().frames += 1;
+    }
+
+    /// The accumulated accounting (`mode` is the default — the world
+    /// stamps its own mode when merging).
+    pub fn stats(&self) -> &BundleStats {
+        &self.stats
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -188,6 +349,86 @@ mod tests {
                 .dropped,
             1
         );
+    }
+
+    #[test]
+    fn bundle_meter_coalesces_same_instant_same_dest() {
+        let mut m = BundleMeter::default();
+        let t0 = SimTime::ZERO;
+        let dest = (0u8, 7u64, 0u64);
+        m.record(t0, dest, "retrans", 100);
+        m.record(t0, dest, "retrans", 100);
+        m.record(t0, dest, "retrans", 100);
+        let s = m.stats();
+        assert_eq!(s.packets, 3);
+        assert_eq!(s.frames, 1, "same instant + dest must share a frame");
+        assert_eq!(s.bytes_unbundled, 300);
+        // 8-byte header + three (2-byte prefix + 100-byte packet) entries.
+        assert_eq!(s.bytes_bundled, 8 + 3 * 102);
+        assert_eq!(s.kind("retrans").frames, 1);
+        assert_eq!(s.kind("retrans").packets, 3);
+
+        // A later instant opens a new frame even to the same dest.
+        let t1 = t0 + std::time::Duration::from_millis(1);
+        m.record(t1, dest, "retrans", 100);
+        assert_eq!(m.stats().frames, 2);
+        // A different dest at that instant opens another.
+        m.record(t1, (0, 8, 0), "retrans", 100);
+        assert_eq!(m.stats().frames, 3);
+    }
+
+    #[test]
+    fn single_packet_frames_are_billed_bare() {
+        let mut m = BundleMeter::default();
+        m.record(SimTime::ZERO, (0, 1, 0), "data", 64);
+        assert_eq!(m.stats().bytes_bundled, 64, "no framing for a lone packet");
+        assert_eq!(m.stats().bytes_unbundled, 64);
+    }
+
+    #[test]
+    fn bundle_meter_respects_mtu_and_count_cap() {
+        // Two 700-byte packets: 8 + 702 + 702 > 1400, so the second
+        // opens a new frame.
+        let mut m = BundleMeter::default();
+        let dest = (1u8, 1u64, 15u64);
+        m.record(SimTime::ZERO, dest, "data", 700);
+        m.record(SimTime::ZERO, dest, "data", 700);
+        assert_eq!(m.stats().frames, 2);
+
+        // 300 one-byte packets fit the MTU but overflow the u8 count.
+        let mut m = BundleMeter::default();
+        for _ in 0..300 {
+            m.record(SimTime::ZERO, dest, "nack", 1);
+        }
+        assert_eq!(m.stats().packets, 300);
+        assert_eq!(m.stats().frames, 2, "count cap at 255 splits the frame");
+    }
+
+    #[test]
+    fn bundle_stats_mode_selects_ledger_and_merge_is_order_free() {
+        let mut m = BundleMeter::default();
+        let dest = (0u8, 2u64, 0u64);
+        for _ in 0..10 {
+            m.record(SimTime::ZERO, dest, "retrans", 50);
+        }
+        let mut off = m.stats().clone();
+        off.mode = BundleMode::Off;
+        assert_eq!(off.datagrams(), 10);
+        assert_eq!(off.wire_bytes(), 500);
+        let mut on = off.clone();
+        on.mode = BundleMode::On;
+        assert_eq!(on.datagrams(), 1);
+        assert_eq!(on.wire_bytes(), 8 + 10 * 52);
+
+        let mut a = BundleStats::default();
+        a.merge(&off);
+        a.merge(&on);
+        let mut b = BundleStats::default();
+        b.merge(&on);
+        b.merge(&off);
+        assert_eq!(a, b, "merge must be commutative");
+        assert_eq!(a.packets, 20);
+        assert_eq!(a.kind("retrans").packets, 20);
     }
 
     #[test]

@@ -43,11 +43,11 @@ use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
 use lbrm_trace::{MetricsRegistry, ProtocolEvent, TraceSink, Tracer};
-use lbrm_wire::{GroupId, HostId, Packet, SiteId, TtlScope};
+use lbrm_wire::{BundleMode, GroupId, HostId, Packet, SiteId, TtlScope};
 
 use crate::queue::QueueBackend;
 use crate::shard::{capture_activate, capture_take, forward_merged, Ev, IngressKind, Shard};
-use crate::stats::{NetStats, SegmentClass};
+use crate::stats::{BundleStats, NetStats, SegmentClass};
 use crate::time::SimTime;
 use crate::topology::{Delivery, SiteNet, Topology};
 
@@ -111,6 +111,9 @@ impl Ctx<'_> {
         let kind = packet.kind();
         let from = self.host;
         let now = self.now;
+        // Bundle accounting: model what the wire's `BundleBuilder` would
+        // do with this host's outbound stream, without serializing.
+        self.shard.meters[from.raw() as usize].record(now, (0, to.raw(), 0), kind, bytes);
         let fs = self.topo.site_of(from);
         let mut copies = 0u32;
         if to == from {
@@ -185,6 +188,12 @@ impl Ctx<'_> {
         let group = packet.group();
         let from = self.host;
         let now = self.now;
+        self.shard.meters[from.raw() as usize].record(
+            now,
+            (1, u64::from(group.raw()), u64::from(scope.ttl())),
+            kind,
+            bytes,
+        );
         let fs = self.topo.site_of(from);
         let fs_idx = fs.raw() as usize;
         let site_count = self.topo.site_count();
@@ -457,6 +466,10 @@ pub struct World {
     tracer: Tracer,
     gauge_registry: Option<Arc<MetricsRegistry>>,
     epoch_stall_ns: u64,
+    /// Which ledger [`World::bundle_stats`] reports `datagrams()` from.
+    /// Both ledgers are always metered, so the event stream, traces, and
+    /// `NetStats` are byte-identical across modes.
+    bundle: BundleMode,
 }
 
 impl World {
@@ -526,6 +539,7 @@ impl World {
             tracer: Tracer::disabled(),
             gauge_registry: None,
             epoch_stall_ns: 0,
+            bundle: BundleMode::from_env(),
         }
     }
 
@@ -744,6 +758,36 @@ impl World {
         let mut out = NetStats::default();
         for sh in &self.shards {
             out.merge(&sh.stats);
+        }
+        out
+    }
+
+    /// The bundle mode [`World::bundle_stats`] reports under (from
+    /// `LBRM_BUNDLE` by default).
+    pub fn bundle_mode(&self) -> BundleMode {
+        self.bundle
+    }
+
+    /// Overrides the reported bundle mode — the env-independent hook the
+    /// differential tests use. Only the reporting ledger changes; the
+    /// simulation itself is identical in both modes.
+    pub fn set_bundle_mode(&mut self, mode: BundleMode) {
+        self.bundle = mode;
+    }
+
+    /// Bundle-framing statistics so far, merged across every host's
+    /// meter: what the wire's `BundleBuilder` would have put on the wire
+    /// for this run, in both the bundled and unbundled ledgers.
+    /// `datagrams()`/`wire_bytes()` report per [`World::bundle_mode`].
+    pub fn bundle_stats(&self) -> BundleStats {
+        let mut out = BundleStats {
+            mode: self.bundle,
+            ..BundleStats::default()
+        };
+        for sh in &self.shards {
+            for m in &sh.meters {
+                out.merge(m.stats());
+            }
         }
         out
     }

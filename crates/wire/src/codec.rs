@@ -109,21 +109,37 @@ mod tag {
 pub const MAX_NACK_RANGES: usize = 1024;
 
 /// RFC 1071 internet checksum.
-fn internet_checksum(data: &[u8]) -> u16 {
+pub(crate) fn internet_checksum(data: &[u8]) -> u16 {
     checksum_fold(checksum_accumulate(data))
 }
 
 /// Sums `data` as big-endian u16 words (odd tail zero-padded) without
-/// folding, so multiple slices can contribute to one checksum. A `u32`
-/// accumulator cannot overflow: 65,507 bytes of 0xFFFF words sum to
-/// under 2^31.
+/// final folding, so multiple slices can contribute to one checksum.
+///
+/// The hot loop adds whole big-endian u64 words with end-around carry:
+/// `2^16 ≡ 1 (mod 2^16 − 1)`, so `2^64 ≡ 1` as well, meaning a u64 is
+/// congruent to the sum of its four u16 fields and carries wrapped back
+/// in preserve the residue. One add-with-carry per 8 bytes replaces
+/// four extract-and-add steps. The partial is folded to 32 bits on
+/// return (the u16 fold happens in [`checksum_fold`]).
 fn checksum_accumulate(data: &[u8]) -> u32 {
-    let mut sum: u32 = 0;
-    let mut chunks = data.chunks_exact(2);
+    let mut sum: u64 = 0;
+    let mut chunks = data.chunks_exact(8);
     for c in &mut chunks {
+        let w = u64::from_be_bytes(c.try_into().expect("8-byte chunk"));
+        let (s, carry) = sum.overflowing_add(w);
+        sum = s + u64::from(carry);
+    }
+    // Fold 64 → 32 early so the tail and the caller's u32 arithmetic
+    // cannot overflow; the residue mod 2^16 − 1 is unchanged.
+    let mut folded = (sum >> 32) + (sum & 0xFFFF_FFFF);
+    folded = (folded >> 32) + (folded & 0xFFFF_FFFF);
+    let mut sum = ((folded >> 16) + (folded & 0xFFFF)) as u32;
+    let mut rest = chunks.remainder().chunks_exact(2);
+    for c in &mut rest {
         sum += u32::from(u16::from_be_bytes([c[0], c[1]]));
     }
-    if let [last] = chunks.remainder() {
+    if let [last] = rest.remainder() {
         sum += u32::from(u16::from_be_bytes([*last, 0]));
     }
     sum
@@ -141,7 +157,7 @@ fn checksum_fold(mut sum: u32) -> u16 {
 /// computed over the two slices around it — no copy of the packet. Both
 /// `data[..6]` and `data[8..]` start at even offsets, so word alignment
 /// is preserved across the splice and the word sums add directly.
-fn checksum_with_zeroed_field(data: &[u8]) -> u16 {
+pub(crate) fn checksum_with_zeroed_field(data: &[u8]) -> u16 {
     debug_assert!(data.len() >= HEADER_LEN);
     checksum_fold(checksum_accumulate(&data[..6]) + checksum_accumulate(&data[8..]))
 }
@@ -245,21 +261,70 @@ impl Packet {
 /// out-of-range `p_ack`.
 pub fn encode(p: &Packet) -> Result<Bytes, WireError> {
     // `encoded_len()` is exact (property-tested equal to the bytes
-    // produced), so one allocation serves the whole encode — and absurd
-    // inputs are rejected before any buffer is sized to them. List
-    // overflows below MAX_PACKET_SIZE still reach their specific
-    // FieldOverflow checks in the match arms.
+    // produced), so one allocation serves the whole encode.
+    let mut buf = BytesMut::with_capacity(p.encoded_len());
+    encode_into(p, &mut buf)?;
+    Ok(buf.freeze())
+}
+
+/// Appends the full encoding of `p` — checksum included — to `buf`
+/// without allocating a fresh buffer. This is the steady-state send
+/// path: a transport clears and reuses one scratch `BytesMut` across
+/// sends instead of paying one allocation per packet ([`encode`] is now
+/// a thin wrapper over this).
+///
+/// # Errors
+///
+/// Same conditions as [`encode`]. On error nothing useful is in `buf`;
+/// callers reusing a scratch buffer should `clear()` before retrying.
+pub fn encode_into(p: &Packet, buf: &mut BytesMut) -> Result<(), WireError> {
+    let base = write_packet_zero_checksum(p, buf)?;
+    let cksum = internet_checksum(&buf[base..]);
+    buf[base + 6..base + 8].copy_from_slice(&cksum.to_be_bytes());
+    Ok(())
+}
+
+/// Rejects packets the encoder cannot represent, without writing
+/// anything: oversized range lists, out-of-range probabilities, and
+/// encodings over [`MAX_PACKET_SIZE`]. Bundle building validates before
+/// appending so a bad packet never leaves a half-written entry behind.
+pub(crate) fn validate(p: &Packet) -> Result<(), WireError> {
     let len = p.encoded_len();
     if len > MAX_PACKET_SIZE {
         return Err(WireError::TooLarge(len));
     }
-    let mut buf = BytesMut::with_capacity(len);
-    // Header; length and checksum are patched afterwards.
+    match p {
+        Packet::Nack { ranges, .. } | Packet::SrmNack { ranges, .. }
+            if ranges.len() > MAX_NACK_RANGES =>
+        {
+            Err(WireError::FieldOverflow)
+        }
+        Packet::AckerSelect { p_ack, .. } if !p_ack.is_finite() || !(0.0..=1.0).contains(p_ack) => {
+            Err(WireError::BadProbability)
+        }
+        _ => Ok(()),
+    }
+}
+
+/// Appends the encoding of `p` with the length field patched and the
+/// checksum field left zero, returning the offset where the packet
+/// starts. Shared by [`encode_into`] (which then patches the checksum)
+/// and the bundle builder (whose single frame checksum covers every
+/// entry, so inner checksums stay zero).
+pub(crate) fn write_packet_zero_checksum(
+    p: &Packet,
+    buf: &mut BytesMut,
+) -> Result<usize, WireError> {
+    validate(p)?;
+    let len = p.encoded_len();
+    let base = buf.len();
+    buf.reserve(len);
+    // Header; length is patched afterwards, checksum stays zero.
     buf.put_u16(MAGIC);
     buf.put_u8(VERSION);
     buf.put_u8(packet_tag(p));
     buf.put_u16(0); // length placeholder
-    buf.put_u16(0); // checksum placeholder
+    buf.put_u16(0); // checksum (zero until the caller patches it)
 
     match p {
         Packet::Data {
@@ -273,7 +338,7 @@ pub fn encode(p: &Packet) -> Result<Bytes, WireError> {
             buf.put_u64(source.raw());
             buf.put_u32(seq.raw());
             buf.put_u32(epoch.raw());
-            put_payload(&mut buf, payload);
+            put_payload(buf, payload);
         }
         Packet::Heartbeat {
             group,
@@ -288,7 +353,7 @@ pub fn encode(p: &Packet) -> Result<Bytes, WireError> {
             buf.put_u32(seq.raw());
             buf.put_u32(epoch.raw());
             buf.put_u32(*hb_index);
-            put_payload(&mut buf, payload);
+            put_payload(buf, payload);
         }
         Packet::Nack {
             group,
@@ -302,7 +367,7 @@ pub fn encode(p: &Packet) -> Result<Bytes, WireError> {
             buf.put_u32(group.raw());
             buf.put_u64(source.raw());
             buf.put_u64(requester.raw());
-            put_ranges(&mut buf, ranges);
+            put_ranges(buf, ranges);
         }
         Packet::Retrans {
             group,
@@ -313,7 +378,7 @@ pub fn encode(p: &Packet) -> Result<Bytes, WireError> {
             buf.put_u32(group.raw());
             buf.put_u64(source.raw());
             buf.put_u32(seq.raw());
-            put_payload(&mut buf, payload);
+            put_payload(buf, payload);
         }
         Packet::LogAck {
             group,
@@ -411,7 +476,7 @@ pub fn encode(p: &Packet) -> Result<Bytes, WireError> {
             buf.put_u32(group.raw());
             buf.put_u64(source.raw());
             buf.put_u32(seq.raw());
-            put_payload(&mut buf, payload);
+            put_payload(buf, payload);
         }
         Packet::ReplAck { group, source, seq } => {
             buf.put_u32(group.raw());
@@ -439,7 +504,7 @@ pub fn encode(p: &Packet) -> Result<Bytes, WireError> {
             buf.put_u32(group.raw());
             buf.put_u64(source.raw());
             buf.put_u64(requester.raw());
-            put_ranges(&mut buf, ranges);
+            put_ranges(buf, ranges);
         }
         Packet::SrmRepair {
             group,
@@ -452,56 +517,76 @@ pub fn encode(p: &Packet) -> Result<Bytes, WireError> {
             buf.put_u64(source.raw());
             buf.put_u32(seq.raw());
             buf.put_u64(responder.raw());
-            put_payload(&mut buf, payload);
+            put_payload(buf, payload);
         }
     }
 
-    debug_assert_eq!(buf.len(), len, "encoded_len must match the bytes written");
-    buf[4..6].copy_from_slice(&(len as u16).to_be_bytes());
-    let cksum = internet_checksum(&buf);
-    buf[6..8].copy_from_slice(&cksum.to_be_bytes());
-    Ok(buf.freeze())
+    debug_assert_eq!(
+        buf.len() - base,
+        len,
+        "encoded_len must match the bytes written"
+    );
+    buf[base + 4..base + 6].copy_from_slice(&(len as u16).to_be_bytes());
+    Ok(base)
 }
 
+/// A cursor over one encoded packet. Scalar fields read by value; a
+/// trailing payload is validated here ([`Reader::tail_payload_start`])
+/// and carved zero-copy out of the packet's own [`Bytes`] by the caller
+/// — the decoded packet shares the datagram's allocation instead of
+/// copying every payload.
 struct Reader<'a> {
     buf: &'a [u8],
+    pos: usize,
 }
 
 impl<'a> Reader<'a> {
     fn need(&self, n: usize) -> Result<(), WireError> {
-        if self.buf.remaining() < n {
+        if self.buf.len() - self.pos < n {
             Err(WireError::Truncated)
         } else {
             Ok(())
         }
     }
 
+    fn take<const N: usize>(&mut self) -> Result<[u8; N], WireError> {
+        self.need(N)?;
+        let mut out = [0u8; N];
+        out.copy_from_slice(&self.buf[self.pos..self.pos + N]);
+        self.pos += N;
+        Ok(out)
+    }
+
     fn u8(&mut self) -> Result<u8, WireError> {
-        self.need(1)?;
-        Ok(self.buf.get_u8())
+        Ok(u8::from_be_bytes(self.take::<1>()?))
     }
 
     fn u16(&mut self) -> Result<u16, WireError> {
-        self.need(2)?;
-        Ok(self.buf.get_u16())
+        Ok(u16::from_be_bytes(self.take::<2>()?))
     }
 
     fn u32(&mut self) -> Result<u32, WireError> {
-        self.need(4)?;
-        Ok(self.buf.get_u32())
+        Ok(u32::from_be_bytes(self.take::<4>()?))
     }
 
     fn u64(&mut self) -> Result<u64, WireError> {
-        self.need(8)?;
-        Ok(self.buf.get_u64())
+        Ok(u64::from_be_bytes(self.take::<8>()?))
     }
 
-    fn payload(&mut self) -> Result<Bytes, WireError> {
+    /// Validates the length-prefixed payload that ends the packet and
+    /// returns its start offset. Every payload-bearing variant stores
+    /// the payload as its *last* field, so the caller can hand the
+    /// packet's own `Bytes` to the payload by advancing it in place —
+    /// no new reference count, no slice bookkeeping.
+    fn tail_payload_start(&mut self) -> Result<usize, WireError> {
         let len = self.u32()? as usize;
-        self.need(len)?;
-        let payload = Bytes::copy_from_slice(&self.buf[..len]);
-        self.buf.advance(len);
-        Ok(payload)
+        if self.buf.len() - self.pos != len {
+            return Err(WireError::BadLength {
+                claimed: len,
+                actual: self.buf.len() - self.pos,
+            });
+        }
+        Ok(self.pos)
     }
 
     fn ranges(&mut self) -> Result<Vec<SeqRange>, WireError> {
@@ -539,12 +624,12 @@ impl<'a> Reader<'a> {
     }
 
     fn finish(self) -> Result<(), WireError> {
-        if self.buf.is_empty() {
+        if self.pos == self.buf.len() {
             Ok(())
         } else {
             Err(WireError::BadLength {
                 claimed: 0,
-                actual: self.buf.len(),
+                actual: self.buf.len() - self.pos,
             })
         }
     }
@@ -553,11 +638,38 @@ impl<'a> Reader<'a> {
 /// Decodes one packet from `data`, which must contain exactly one encoded
 /// packet.
 ///
+/// Compatibility wrapper over [`decode_bytes`]: the slice is copied into
+/// a fresh [`Bytes`] once, then decoded with payloads sliced out of that
+/// copy. Receive paths that already hold the datagram as [`Bytes`]
+/// should call [`decode_bytes`] directly and skip the copy; the two are
+/// equivalence-property-tested over every packet variant.
+///
 /// # Errors
 ///
 /// Any [`WireError`] on malformed input; corrupted packets fail the
 /// checksum and are reported as [`WireError::BadChecksum`].
 pub fn decode(data: &[u8]) -> Result<Packet, WireError> {
+    decode_bytes(Bytes::copy_from_slice(data))
+}
+
+/// Decodes one packet from `data` zero-copy: payload fields are
+/// [`Bytes::slice`]s sharing `data`'s allocation, so decoding a data or
+/// repair packet never copies its payload. This is the receive hot
+/// path — one datagram buffer in, packets whose payloads alias it out.
+///
+/// # Errors
+///
+/// Same conditions as [`decode`].
+pub fn decode_bytes(data: Bytes) -> Result<Packet, WireError> {
+    decode_packet(data, true)
+}
+
+/// The decode core. `verify_checksum` is true for standalone packets;
+/// bundle entries carry a zero checksum field (the frame checksum covers
+/// them), so the bundle decoder passes false and this instead insists the
+/// field really is zero — a nonzero inner checksum means the entry was
+/// not produced by the bundle builder.
+pub(crate) fn decode_packet(data: Bytes, verify_checksum: bool) -> Result<Packet, WireError> {
     if data.len() < HEADER_LEN {
         return Err(WireError::Truncated);
     }
@@ -578,41 +690,75 @@ pub fn decode(data: &[u8]) -> Result<Packet, WireError> {
         });
     }
     let wire_cksum = u16::from_be_bytes([data[6], data[7]]);
-    if checksum_with_zeroed_field(data) != wire_cksum {
+    if verify_checksum {
+        if checksum_with_zeroed_field(&data) != wire_cksum {
+            return Err(WireError::BadChecksum);
+        }
+    } else if wire_cksum != 0 {
         return Err(WireError::BadChecksum);
     }
 
     let mut r = Reader {
-        buf: &data[HEADER_LEN..],
+        buf: &data[..],
+        pos: HEADER_LEN,
+    };
+    // Takes ownership of the packet's buffer as the tail payload: after
+    // `tail_payload_start` has verified the payload runs exactly to the
+    // end, advancing the buffer in place yields the payload without a
+    // reference-count round trip.
+    let tail = |start: usize, mut data: Bytes| -> Bytes {
+        data.advance(start);
+        data
     };
     let pkt = match typ {
-        tag::DATA => Packet::Data {
-            group: r.group()?,
-            source: r.source()?,
-            seq: r.seq()?,
-            epoch: r.epoch()?,
-            payload: r.payload()?,
-        },
-        tag::HEARTBEAT => Packet::Heartbeat {
-            group: r.group()?,
-            source: r.source()?,
-            seq: r.seq()?,
-            epoch: r.epoch()?,
-            hb_index: r.u32()?,
-            payload: r.payload()?,
-        },
+        tag::DATA => {
+            let group = r.group()?;
+            let source = r.source()?;
+            let seq = r.seq()?;
+            let epoch = r.epoch()?;
+            let start = r.tail_payload_start()?;
+            return Ok(Packet::Data {
+                group,
+                source,
+                seq,
+                epoch,
+                payload: tail(start, data),
+            });
+        }
+        tag::HEARTBEAT => {
+            let group = r.group()?;
+            let source = r.source()?;
+            let seq = r.seq()?;
+            let epoch = r.epoch()?;
+            let hb_index = r.u32()?;
+            let start = r.tail_payload_start()?;
+            return Ok(Packet::Heartbeat {
+                group,
+                source,
+                seq,
+                epoch,
+                hb_index,
+                payload: tail(start, data),
+            });
+        }
         tag::NACK => Packet::Nack {
             group: r.group()?,
             source: r.source()?,
             requester: r.host()?,
             ranges: r.ranges()?,
         },
-        tag::RETRANS => Packet::Retrans {
-            group: r.group()?,
-            source: r.source()?,
-            seq: r.seq()?,
-            payload: r.payload()?,
-        },
+        tag::RETRANS => {
+            let group = r.group()?;
+            let source = r.source()?;
+            let seq = r.seq()?;
+            let start = r.tail_payload_start()?;
+            return Ok(Packet::Retrans {
+                group,
+                source,
+                seq,
+                payload: tail(start, data),
+            });
+        }
         tag::LOG_ACK => Packet::LogAck {
             group: r.group()?,
             source: r.source()?,
@@ -668,12 +814,18 @@ pub fn decode(data: &[u8]) -> Result<Packet, WireError> {
             source: r.source()?,
             primary: r.host()?,
         },
-        tag::REPL_UPDATE => Packet::ReplUpdate {
-            group: r.group()?,
-            source: r.source()?,
-            seq: r.seq()?,
-            payload: r.payload()?,
-        },
+        tag::REPL_UPDATE => {
+            let group = r.group()?;
+            let source = r.source()?;
+            let seq = r.seq()?;
+            let start = r.tail_payload_start()?;
+            return Ok(Packet::ReplUpdate {
+                group,
+                source,
+                seq,
+                payload: tail(start, data),
+            });
+        }
         tag::REPL_ACK => Packet::ReplAck {
             group: r.group()?,
             source: r.source()?,
@@ -690,13 +842,20 @@ pub fn decode(data: &[u8]) -> Result<Packet, WireError> {
             requester: r.host()?,
             ranges: r.ranges()?,
         },
-        tag::SRM_REPAIR => Packet::SrmRepair {
-            group: r.group()?,
-            source: r.source()?,
-            seq: r.seq()?,
-            responder: r.host()?,
-            payload: r.payload()?,
-        },
+        tag::SRM_REPAIR => {
+            let group = r.group()?;
+            let source = r.source()?;
+            let seq = r.seq()?;
+            let responder = r.host()?;
+            let start = r.tail_payload_start()?;
+            return Ok(Packet::SrmRepair {
+                group,
+                source,
+                seq,
+                responder,
+                payload: tail(start, data),
+            });
+        }
         other => return Err(WireError::UnknownType(other)),
     };
     r.finish()?;

@@ -13,6 +13,8 @@
 //!   repair messages used by the SRM-style (*wb*) baseline.
 //! * [`codec`] — a compact, versioned binary encoding with an internet
 //!   checksum, built on [`bytes`].
+//! * [`bundle`] — DIS-style PDU bundling: MTU-bounded frames carrying
+//!   many packets per datagram under a single checksum pass.
 //! * [`text`] — the human-readable HTML document invalidation protocol of
 //!   Appendix A (`TRANS` / `HEARTBEAT` / `RETRANS` lines and the
 //!   `<!MULTICAST...>` association tag).
@@ -26,13 +28,18 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod bundle;
 pub mod codec;
 pub mod ids;
 pub mod packet;
 pub mod seq;
 pub mod text;
 
-pub use codec::{decode, encode, WireError, MAX_PACKET_SIZE};
+pub use bundle::{
+    bundled_entry_len, decode_bundle, encode_bundle, is_bundle, BundleBuilder, BundleMode,
+    BUNDLE_HEADER_LEN, DEFAULT_BUNDLE_MTU,
+};
+pub use codec::{decode, decode_bytes, encode, encode_into, WireError, MAX_PACKET_SIZE};
 pub use ids::{EpochId, GroupId, HostId, SiteId, SourceId};
 pub use packet::{Packet, SeqRange, TtlScope};
 pub use seq::Seq;

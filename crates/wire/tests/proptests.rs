@@ -320,6 +320,85 @@ fn extreme_packets_cover_every_variant() {
     assert_eq!(kinds.len(), 17, "one extreme per wire variant: {kinds:?}");
 }
 
+/// The payload field of a packet, for the zero-copy aliasing check.
+fn payload_of(p: &Packet) -> Option<&Bytes> {
+    match p {
+        Packet::Data { payload, .. }
+        | Packet::Heartbeat { payload, .. }
+        | Packet::Retrans { payload, .. }
+        | Packet::ReplUpdate { payload, .. }
+        | Packet::SrmRepair { payload, .. } => Some(payload),
+        _ => None,
+    }
+}
+
+#[test]
+fn decode_bytes_matches_decode_over_all_variants() {
+    // `decode` is the compatibility wrapper over `decode_bytes`; this
+    // pins the equivalence over random packets of every variant, plus
+    // the zero-copy contract: a payload decoded by `decode_bytes` must
+    // alias the source buffer's allocation, not a copy of it.
+    let mut r = rng(0xB17E5);
+    let mut aliased = 0usize;
+    for i in 0..CASES {
+        let p = arb_packet(&mut r);
+        let enc = encode(&p).expect("encode");
+        let legacy = decode(&enc).expect("decode");
+        let zero = lbrm_wire::decode_bytes(enc.clone()).expect("decode_bytes");
+        assert_eq!(legacy, zero, "case {i}: decode and decode_bytes disagree");
+        assert_eq!(zero, p, "case {i}");
+        if let Some(payload) = payload_of(&zero) {
+            if !payload.is_empty() {
+                let src = enc.as_ptr() as usize..enc.as_ptr() as usize + enc.len();
+                assert!(
+                    src.contains(&(payload.as_ptr() as usize)),
+                    "case {i}: payload was copied out of the source buffer"
+                );
+                aliased += 1;
+            }
+        }
+    }
+    assert!(aliased > 50, "generator must exercise real payloads");
+}
+
+#[test]
+fn extreme_packets_decode_bytes_equivalence() {
+    for p in extreme_packets() {
+        let enc = encode(&p).expect("encode");
+        assert_eq!(
+            decode(&enc).expect("decode"),
+            lbrm_wire::decode_bytes(enc.clone()).expect("decode_bytes"),
+            "variant {}",
+            p.kind()
+        );
+    }
+}
+
+#[test]
+fn bundle_roundtrip_over_all_variants() {
+    // Random mixes of every packet variant through the bundler: frames
+    // respect the MTU (except single-packet jumbos) and unbundle back
+    // to the exact input sequence.
+    let mut r = rng(0xB0D7E);
+    for case in 0..64 {
+        let n = r.random_range(1u64..24) as usize;
+        let packets: Vec<Packet> = (0..n).map(|_| arb_packet(&mut r)).collect();
+        let frames = lbrm_wire::bundle::encode_bundle(&packets, 1400).expect("bundle");
+        let got: Vec<Packet> = frames
+            .iter()
+            .flat_map(|f| lbrm_wire::decode_bundle(f).expect("decode_bundle"))
+            .collect();
+        assert_eq!(got, packets, "case {case}");
+        for f in &frames {
+            let inner = lbrm_wire::decode_bundle(f).unwrap();
+            assert!(
+                f.len() <= 1400 || inner.len() == 1,
+                "case {case}: oversized multi-packet frame"
+            );
+        }
+    }
+}
+
 #[test]
 fn codec_roundtrip() {
     let mut r = rng(0xC0DEC);

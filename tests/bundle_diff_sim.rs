@@ -1,0 +1,181 @@
+//! Bundle-mode differential: `LBRM_BUNDLE` may only change how packets
+//! are *framed* into datagrams, never which packets exist. The
+//! simulator guarantees this by construction — both framing ledgers are
+//! always metered and the mode only selects which one
+//! `BundleStats::datagrams()` reports — and this test pins that
+//! guarantee at scenario scale: the seeded DIS and lossy-WAN scenarios
+//! (the same ones the event-queue and log-store differentials use) must
+//! produce byte-identical JSONL traces, `NetStats`, per-receiver
+//! delivery transcripts, and metrics registries under
+//! `LBRM_BUNDLE ∈ {on, off}` legs, while the bundle ledger itself shows
+//! real coalescing (fewer frames than packets, mode-dependent datagram
+//! counts).
+
+use std::sync::Arc;
+
+use lbrm::harness::{DisScenario, DisScenarioConfig};
+use lbrm::sim::loss::LossModel;
+use lbrm::sim::stats::BundleStats;
+use lbrm::sim::time::SimTime;
+use lbrm::sim::topology::SiteParams;
+use lbrm_core::trace::{CollectorSink, TraceSink};
+use lbrm_wire::BundleMode;
+
+const SENDS: u64 = 20;
+
+/// Everything a run exposes, flattened to comparable (and mostly
+/// byte-level) form.
+struct RunFingerprint {
+    trace_jsonl: String,
+    stats: lbrm::sim::stats::NetStats,
+    deliveries: Vec<(u64, Vec<u32>)>,
+    completeness: f64,
+    counters: Vec<std::collections::BTreeMap<&'static str, u64>>,
+    bundle: BundleStats,
+}
+
+fn fingerprint(config: DisScenarioConfig, mode: BundleMode) -> RunFingerprint {
+    let collector = Arc::new(CollectorSink::default());
+    let mut sc =
+        DisScenario::build_with_sink(config, Some(collector.clone() as Arc<dyn TraceSink>));
+    // Env-independent leg selection, mirroring the log-store
+    // differential's explicit backend: the mode must be a pure view
+    // switch over one identical run.
+    sc.world.set_bundle_mode(mode);
+    // DIS-style ticks: a burst of entity updates per frame boundary.
+    // Same-instant sends are what PDU bundling coalesces, on the data
+    // path directly and on the repair path whenever one NACK's span is
+    // answered in a run.
+    for i in 0..SENDS {
+        sc.send_at(
+            SimTime::from_millis(1_000 + 400 * (i / 4)),
+            format!("update-{i}"),
+        );
+    }
+    sc.world.run_until(SimTime::from_secs(60));
+
+    let trace_jsonl = collector
+        .take()
+        .iter()
+        .map(|r| r.event.to_json(r.at_nanos, r.host) + "\n")
+        .collect::<String>();
+
+    let deliveries = sc
+        .all_receivers()
+        .into_iter()
+        .map(|rx| (rx.raw(), sc.delivered(rx)))
+        .collect();
+    let expect: Vec<u32> = (1..=SENDS as u32).collect();
+    RunFingerprint {
+        trace_jsonl,
+        stats: sc.world.stats().clone(),
+        deliveries,
+        completeness: sc.completeness(&expect),
+        counters: vec![
+            sc.sender_metrics.counters(),
+            sc.primary_metrics.counters(),
+            sc.secondary_metrics.counters(),
+            sc.receiver_metrics.counters(),
+            sc.net_metrics.counters(),
+        ],
+        bundle: sc.world.bundle_stats(),
+    }
+}
+
+fn assert_bundle_invariant(config: DisScenarioConfig, label: &str) {
+    let off = fingerprint(config.clone(), BundleMode::Off);
+    assert!(
+        !off.trace_jsonl.is_empty(),
+        "{label}: differential must compare real traffic"
+    );
+    let on = fingerprint(config, BundleMode::On);
+
+    // The run itself is identical: bundling is pure framing.
+    assert_eq!(
+        off.trace_jsonl, on.trace_jsonl,
+        "{label}: JSONL trace bytes must match across bundle modes"
+    );
+    assert_eq!(off.stats, on.stats, "{label}: NetStats must match");
+    assert_eq!(
+        off.deliveries, on.deliveries,
+        "{label}: per-receiver deliveries must match"
+    );
+    assert_eq!(off.completeness, on.completeness, "{label}");
+    assert_eq!(
+        off.counters, on.counters,
+        "{label}: metrics registries must match"
+    );
+
+    // The framing ledger is the only thing the mode changes, and it
+    // reflects real coalescing on these scenarios.
+    assert_eq!(off.bundle.mode, BundleMode::Off, "{label}");
+    assert_eq!(on.bundle.mode, BundleMode::On, "{label}");
+    assert_eq!(
+        off.bundle.packets, on.bundle.packets,
+        "{label}: both legs meter the same packet stream"
+    );
+    assert_eq!(off.bundle.frames, on.bundle.frames, "{label}");
+    assert_eq!(off.bundle.per_kind, on.bundle.per_kind, "{label}");
+    assert_eq!(
+        off.bundle.datagrams(),
+        off.bundle.packets,
+        "{label}: off-leg datagrams = one per packet"
+    );
+    assert_eq!(
+        on.bundle.datagrams(),
+        on.bundle.frames,
+        "{label}: on-leg datagrams = one per frame"
+    );
+    assert!(
+        on.bundle.frames < on.bundle.packets,
+        "{label}: bundling must coalesce something \
+         (frames {} vs packets {})",
+        on.bundle.frames,
+        on.bundle.packets
+    );
+    assert!(
+        on.bundle.wire_bytes()
+            <= off.bundle.wire_bytes() + 8 * on.bundle.frames + 2 * on.bundle.packets,
+        "{label}: bundled bytes = unbundled + bounded framing overhead"
+    );
+}
+
+#[test]
+fn dis_scenario_is_bundle_mode_invariant() {
+    assert_bundle_invariant(
+        DisScenarioConfig {
+            sites: 6,
+            receivers_per_site: 4,
+            site_params: SiteParams {
+                tail_in_loss: LossModel::rate(0.08),
+                ..SiteParams::distant()
+            },
+            receiver_nack_delay: std::time::Duration::from_millis(5),
+            seed: 4242,
+            ..DisScenarioConfig::default()
+        },
+        "DIS",
+    );
+}
+
+#[test]
+fn lossy_wan_is_bundle_mode_invariant() {
+    // Backbone loss on top of tail loss: recovery cascades through
+    // secondaries and the primary, so the meter sees dense same-instant
+    // repair runs — the traffic bundling exists for.
+    assert_bundle_invariant(
+        DisScenarioConfig {
+            sites: 8,
+            receivers_per_site: 5,
+            secondary_loggers: true,
+            site_params: SiteParams {
+                tail_in_loss: LossModel::rate(0.12),
+                tail_out_loss: LossModel::rate(0.04),
+                ..SiteParams::distant()
+            },
+            seed: 90210,
+            ..DisScenarioConfig::default()
+        },
+        "lossy WAN",
+    );
+}
