@@ -461,6 +461,86 @@ fn bench_logstore_serve() -> Workload {
     }
 }
 
+/// Election-storm rate: the sender's consensus hot path under repeated
+/// leader loss. One sender with four log replicas and a permanently
+/// un-acked buffer cycles through full failover rounds — handoff
+/// retries time out, `ElectPrepare` fans out, every reachable replica
+/// answers `ElectPromise`, the term commits and the buffer re-aims at
+/// the winner — which then also never acks, starting the next round.
+/// Each committed election (prepare fan-out, promise fan-in, winner
+/// selection, term bookkeeping, buffer refill) counts as one event.
+/// Time is virtual, so this measures pure state-machine cost.
+fn bench_election_storm() -> Workload {
+    use lbrm_core::machine::Action;
+    use lbrm_core::sender::{Sender, SenderConfig};
+    use lbrm_core::time::Time;
+
+    const REPLICAS: u64 = 4;
+    const ROUNDS: u64 = 2_000;
+    let run = || {
+        let replicas: Vec<HostId> = (0..REPLICAS).map(|i| HostId(300 + i)).collect();
+        let mut cfg = SenderConfig::new(GroupId(1), SourceId(1), HostId(1), HostId(2));
+        cfg.replicas = replicas;
+        let mut s = Sender::new(cfg);
+        let mut out = Actions::new();
+        s.on_start(Time::ZERO, &mut out);
+        s.send(Time::ZERO, Bytes::from_static(b"election-storm"), &mut out);
+        out.clear();
+        let start = Instant::now();
+        let mut elected = 0u64;
+        while elected < ROUNDS {
+            let now = s.next_deadline().expect("sender keeps timers armed");
+            s.poll(now, &mut out);
+            let prepares: Vec<(HostId, u32)> = out
+                .iter()
+                .filter_map(|a| match a {
+                    Action::Unicast {
+                        to,
+                        packet: Packet::ElectPrepare { term, .. },
+                    } => Some((*to, *term)),
+                    _ => None,
+                })
+                .collect();
+            out.clear();
+            if prepares.is_empty() {
+                continue;
+            }
+            for &(voter, term) in &prepares {
+                s.on_packet(
+                    now,
+                    voter,
+                    Packet::ElectPromise {
+                        group: GroupId(1),
+                        source: SourceId(1),
+                        term,
+                        voter,
+                        log_end: Seq(voter.raw() as u32),
+                    },
+                    &mut out,
+                );
+            }
+            out.clear();
+            elected += 1;
+        }
+        std::hint::black_box(s.term());
+        start.elapsed()
+    };
+    let mut best_rate = 0.0f64;
+    let mut total_wall = Duration::ZERO;
+    let mut runs = 0u32;
+    while runs < 3 || (total_wall < Duration::from_millis(250) && runs < 100) {
+        let wall = run();
+        total_wall += wall;
+        runs += 1;
+        best_rate = best_rate.max(ROUNDS as f64 / wall.as_secs_f64());
+    }
+    Workload {
+        name: "election_storm".into(),
+        events_per_sec: best_rate,
+        wall_secs: total_wall.as_secs_f64(),
+    }
+}
+
 /// Streaming forensics correlation rate: a seeded lossy DIS capture is
 /// collected once, then pushed through a fresh [`OnlineAnalyzer`] per
 /// run — gap/NACK/repair correlation, histogram folding, reservoir
@@ -573,7 +653,7 @@ fn from_json(doc: &str) -> Vec<Workload> {
 }
 
 /// Every gated workload and its `--check` floor, in measurement order.
-const GATES: [(&str, f64); 11] = [
+const GATES: [(&str, f64); 12] = [
     ("dis_scenario_step", CHECK_FLOOR),
     ("dis_scenario_1000x30", CHECK_FLOOR),
     ("event_queue_churn", AUX_CHECK_FLOOR),
@@ -584,6 +664,7 @@ const GATES: [(&str, f64); 11] = [
     ("logger_nack_fanin", AUX_CHECK_FLOOR),
     ("repair_serve_bundled", AUX_CHECK_FLOOR),
     ("logstore_serve", AUX_CHECK_FLOOR),
+    ("election_storm", AUX_CHECK_FLOOR),
     ("forensics_stream", AUX_CHECK_FLOOR),
 ];
 
@@ -599,6 +680,7 @@ fn measure_all() -> Vec<Workload> {
         bench_logger_fanin(),
         bench_repair_serve_bundled(),
         bench_logstore_serve(),
+        bench_election_storm(),
         bench_forensics_stream(),
     ]
 }

@@ -1,0 +1,306 @@
+//! The chaos scenario matrix: consensus-hardened primary failover
+//! under injected faults, audited by the recovery forensics.
+//!
+//! Each shape builds a small DIS world with three primary-log replicas
+//! (election quorum 2) and lossy receiver tails, drives a fixed data
+//! schedule, injects one failure pattern mid-stream — crash, partition,
+//! double failure, restart-with-empty-log, or repeated crash/re-elect
+//! churn — and then verifies the two properties the election layer must
+//! preserve:
+//!
+//! 1. **Full delivery**: every receiver ends with the complete stream.
+//! 2. **Clean forensics**: the collected trace passes the doctor's
+//!    anomaly sweep — no unrecovered gaps, no stalled settlements, and
+//!    in particular no split-brain double-serve (a repair accepted from
+//!    a logger whose term authority had already been superseded).
+//!
+//! The matrix (`run_matrix`) crosses every shape with multiple seeds
+//! and both event-queue backends; the `chaos` binary gates CI on it.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use lbrm::harness::{DisScenario, DisScenarioConfig, MachineActor};
+use lbrm_core::logger::{Logger, LoggerConfig};
+use lbrm_core::machine::Notice;
+use lbrm_core::sender::Sender;
+use lbrm_core::trace::analyze::{analyze, AnalyzeConfig, CollectorSink, RecoveryReport};
+use lbrm_core::trace::{TraceSink, Tracer};
+use lbrm_sim::loss::LossModel;
+use lbrm_sim::queue::QueueBackend;
+use lbrm_sim::time::SimTime;
+use lbrm_sim::topology::SiteParams;
+
+/// Every failure shape in the matrix, in run order.
+pub const SHAPES: [&str; 5] = [
+    "primary-crash",
+    "partition-stale-primary",
+    "primary-replica-crash",
+    "replica-rejoin",
+    "crash-churn",
+];
+
+/// Data packets each scenario sends (250 ms spacing from t = 1 s).
+pub const PACKETS: u64 = 20;
+
+/// Virtual end time: failures land mid-stream, the tail leaves room for
+/// the last election, retargeted NACK retries, and settlement.
+const UNTIL: SimTime = SimTime::from_secs(45);
+
+/// The chaos world: receivers recover straight from the primary (no
+/// site secondaries), so the primary's serving authority — the thing
+/// the election fences — is on the critical recovery path. Three
+/// replicas give an election quorum of 2, surviving any single failure.
+pub fn chaos_config(seed: u64, backend: QueueBackend) -> DisScenarioConfig {
+    DisScenarioConfig {
+        sites: 3,
+        receivers_per_site: 3,
+        secondary_loggers: false,
+        replicas: 3,
+        site_params: SiteParams {
+            tail_in_loss: LossModel::rate(0.05),
+            ..SiteParams::distant()
+        },
+        receiver_nack_delay: Duration::from_millis(5),
+        seed,
+        queue_backend: Some(backend),
+        ..DisScenarioConfig::default()
+    }
+}
+
+/// Outcome of one (shape, seed, backend) cell.
+pub struct ChaosOutcome {
+    /// The failure shape.
+    pub shape: &'static str,
+    /// World seed.
+    pub seed: u64,
+    /// Event-queue backend the world ran on.
+    pub backend: QueueBackend,
+    /// Fraction of receivers that delivered the complete stream.
+    pub completeness: f64,
+    /// Elections the sender committed (terms elected).
+    pub elections: usize,
+    /// Stale-term packets rejected by fencing, from the forensics.
+    pub fenced_rejects: u64,
+    /// The doctor's forensic report over the collected trace.
+    pub report: RecoveryReport,
+    /// Trace records analyzed.
+    pub records: usize,
+}
+
+impl ChaosOutcome {
+    /// The CI gate: full delivery and a clean forensic verdict.
+    pub fn passed(&self) -> bool {
+        self.completeness == 1.0 && self.report.is_clean()
+    }
+
+    /// One line for the matrix summary.
+    pub fn render(&self) -> String {
+        format!(
+            "{:<26} seed {:<4} {:<5} {} (completeness {:.2}, {} elections, {} fenced, {} anomalies)",
+            self.shape,
+            self.seed,
+            match self.backend {
+                QueueBackend::Wheel => "wheel",
+                QueueBackend::Heap => "heap",
+            },
+            if self.passed() { "PASS" } else { "FAIL" },
+            self.completeness,
+            self.elections,
+            self.fenced_rejects,
+            self.report.anomalies.len(),
+        )
+    }
+
+    /// JSON object for the per-scenario report artifact.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"shape\":\"{}\",\"seed\":{},\"backend\":\"{}\",\"passed\":{},\
+             \"completeness\":{},\"elections\":{},\"fenced_rejects\":{},\
+             \"records\":{},\"report\":{}}}",
+            self.shape,
+            self.seed,
+            match self.backend {
+                QueueBackend::Wheel => "wheel",
+                QueueBackend::Heap => "heap",
+            },
+            self.passed(),
+            self.completeness,
+            self.elections,
+            self.fenced_rejects,
+            self.records,
+            self.report.to_json(),
+        )
+    }
+}
+
+/// Restarts a crashed replica as a fresh process: same host, empty log,
+/// parented at the *current* primary (a restarted process reads current
+/// cluster config). It catches up through replication pushes and
+/// gap-fetches from its parent.
+fn restart_replica(sc: &mut DisScenario, host: lbrm_wire::HostId, sink: Arc<dyn TraceSink>) {
+    let current = sc
+        .world
+        .actor::<MachineActor<Sender>>(sc.src_host)
+        .machine()
+        .primary();
+    let mut cfg = LoggerConfig::replica(sc.group, sc.source, host, current, sc.src_host);
+    cfg.replicas = sc.replicas.iter().copied().filter(|&x| x != host).collect();
+    let mut lg = Logger::new(cfg);
+    lg.set_tracer(Tracer::to(sc.world.wrap_sink(sink)));
+    sc.world.restart(host, MachineActor::new(lg, vec![]));
+}
+
+/// Runs one cell of the matrix.
+///
+/// # Panics
+///
+/// On an unknown shape name.
+pub fn run_shape(shape: &'static str, seed: u64, backend: QueueBackend) -> ChaosOutcome {
+    let collector = Arc::new(CollectorSink::default());
+    let mut sc = DisScenario::build_with_sink(
+        chaos_config(seed, backend),
+        Some(collector.clone() as Arc<dyn TraceSink>),
+    );
+    for i in 0..PACKETS {
+        sc.send_at(SimTime::from_millis(1_000 + 250 * i), format!("update-{i}"));
+    }
+    match shape {
+        // The primary dies while NACKs are in flight to it; the sender
+        // must elect a replica and receivers must finish recovery there.
+        "primary-crash" => {
+            sc.world.run_until(SimTime::from_millis(2_100));
+            sc.world.crash(sc.primary);
+        }
+        // Only the old primary is cut off — sender, replicas, and every
+        // receiver stay on the majority side, elect a new term, and
+        // fence the stale primary. After the heal the deposed primary
+        // must converge (step down), not double-serve.
+        "partition-stale-primary" => {
+            sc.world.run_until(SimTime::from_millis(2_100));
+            sc.world.partition(&[sc.primary]);
+            sc.world.run_until(SimTime::from_secs(8));
+            sc.world.heal();
+        }
+        // Primary and one replica fail together: the two survivors
+        // still form a quorum (2 of 3) at the election timeout.
+        "primary-replica-crash" => {
+            sc.world.run_until(SimTime::from_millis(2_100));
+            sc.world.crash(sc.primary);
+            sc.world.crash(sc.replicas[0]);
+        }
+        // A replica dies, the primary dies, a new term is elected among
+        // the survivors — then the lost replica comes back as a fresh
+        // process with an empty log and must catch up under the new
+        // leadership.
+        "replica-rejoin" => {
+            sc.world.run_until(SimTime::from_millis(1_500));
+            sc.world.crash(sc.replicas[0]);
+            sc.world.run_until(SimTime::from_millis(2_100));
+            sc.world.crash(sc.primary);
+            sc.world.run_until(SimTime::from_secs(10));
+            let rejoined = sc.replicas[0];
+            restart_replica(&mut sc, rejoined, collector.clone());
+        }
+        // Repeated crash/re-elect churn: the first elected leader dies
+        // too — while data is still flowing, so the sender's un-acked
+        // buffer re-triggers detection — forcing a second, higher term.
+        "crash-churn" => {
+            sc.world.run_until(SimTime::from_millis(2_100));
+            sc.world.crash(sc.primary);
+            // Advance in fixed steps (identical event processing to one
+            // big run) until the first election commits, then kill the
+            // new leader mid-stream.
+            let mut t = 2_500u64;
+            let first = loop {
+                sc.world.run_until(SimTime::from_millis(t));
+                let p = sc
+                    .world
+                    .actor::<MachineActor<Sender>>(sc.src_host)
+                    .machine()
+                    .primary();
+                if p != sc.primary || t >= 8_000 {
+                    break p;
+                }
+                t += 250;
+            };
+            if first != sc.primary {
+                sc.world.crash(first);
+            }
+        }
+        other => panic!("unknown chaos shape: {other}"),
+    }
+    sc.world.run_until(UNTIL);
+
+    let records = collector.take();
+    let report = analyze(&records, &AnalyzeConfig::default());
+    let expect: Vec<u32> = (1..=PACKETS as u32).collect();
+    let sender = sc.world.actor::<MachineActor<Sender>>(sc.src_host);
+    let elections = sender
+        .notices
+        .iter()
+        .filter(|(_, n)| matches!(n, Notice::TermElected { .. }))
+        .count();
+    ChaosOutcome {
+        shape,
+        seed,
+        backend,
+        completeness: sc.completeness(&expect),
+        elections,
+        fenced_rejects: report.fenced_rejects,
+        records: records.len(),
+        report,
+    }
+}
+
+/// Runs the full matrix: every shape crossed with `seeds` × `backends`.
+pub fn run_matrix(seeds: &[u64], backends: &[QueueBackend]) -> Vec<ChaosOutcome> {
+    let mut out = Vec::new();
+    for &shape in &SHAPES {
+        for &seed in seeds {
+            for &backend in backends {
+                out.push(run_shape(shape, seed, backend));
+            }
+        }
+    }
+    out
+}
+
+/// Wraps the matrix outcomes as one JSON report document.
+pub fn matrix_to_json(outcomes: &[ChaosOutcome]) -> String {
+    let cells: Vec<String> = outcomes.iter().map(|o| o.to_json()).collect();
+    format!(
+        "{{\"passed\":{},\"cells\":[{}]}}",
+        outcomes.iter().all(|o| o.passed()),
+        cells.join(",")
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// One representative cell per tier-1 run: the full matrix is CI's
+    /// chaos job; here we pin the hardest shape (partition + heal with a
+    /// stale primary) end to end on the default backend.
+    #[test]
+    fn partition_stale_primary_cell_is_clean() {
+        let o = run_shape("partition-stale-primary", 1, QueueBackend::Wheel);
+        assert!(
+            o.passed(),
+            "completeness {:.2}, anomalies {:?}",
+            o.completeness,
+            o.report.anomalies
+        );
+        assert!(o.elections >= 1, "an election must have committed");
+    }
+
+    #[test]
+    fn matrix_json_shape() {
+        let o = run_shape("primary-crash", 2, QueueBackend::Heap);
+        let json = matrix_to_json(std::slice::from_ref(&o));
+        assert!(json.starts_with("{\"passed\":"));
+        assert!(json.contains("\"shape\":\"primary-crash\""));
+        assert!(json.contains("\"backend\":\"heap\""));
+    }
+}

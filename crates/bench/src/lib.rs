@@ -9,6 +9,7 @@
 
 #![forbid(unsafe_code)]
 
+pub mod chaos;
 pub mod doctor;
 pub mod experiments;
 pub mod live;

@@ -210,6 +210,16 @@ pub struct Logger {
     repl_next_at: Option<Time>,
     /// Last LogAck values sent, to avoid repeats.
     last_logack: Option<(u64, u64)>,
+    /// Highest election term promised to a proposer (a voter never
+    /// promises the same term twice).
+    promised_term: u32,
+    /// The log-authority term this logger last observed.
+    term: u32,
+    /// Leader of [`term`](Self::term), as last announced.
+    known_leader: HostId,
+    /// Hosts deposed by a later term, mapped to the term under which
+    /// they last held authority; their log traffic is fenced.
+    deposed: BTreeMap<HostId, u32>,
     /// Periodic retention sweep.
     next_prune_at: Time,
     /// Reusable scratch for batched NACK serving (held payloads).
@@ -238,6 +248,14 @@ impl Logger {
             repl_acked: BTreeMap::new(),
             repl_next_at: None,
             last_logack: None,
+            promised_term: 0,
+            term: 0,
+            known_leader: if config.role == LoggerRole::Primary {
+                config.host
+            } else {
+                config.parent
+            },
+            deposed: BTreeMap::new(),
             next_prune_at: Time::ZERO + Duration::from_secs(1),
             serve_scratch: Vec::new(),
             missing_scratch: Vec::new(),
@@ -269,6 +287,11 @@ impl Logger {
     /// The parent currently used for recovery.
     pub fn parent(&self) -> HostId {
         self.parent
+    }
+
+    /// The log-authority term this logger last observed.
+    pub fn term(&self) -> u32 {
+        self.term
     }
 
     /// Number of packets currently held in the log.
@@ -303,6 +326,13 @@ impl Logger {
     /// or a local member that lost the repair too) and is answered by
     /// unicast — the shortcut degrades safely instead of starving anyone.
     fn serve(&mut self, now: Time, seq: Seq, payload: Bytes, requester: HostId, out: &mut Actions) {
+        if self.role == LoggerRole::Primary {
+            // Record which term this authoritative serve happened
+            // under — the forensic split-brain detector keys off it.
+            let term = self.term;
+            self.tracer
+                .emit(now.nanos(), || ProtocolEvent::AuthorityServe { seq, term });
+        }
         // Fast path: a logger that can never site-remulticast — primary,
         // replica, or the shortcut disabled — answers by unicast without
         // any repair-window bookkeeping. The window only exists to make
@@ -546,6 +576,7 @@ impl Logger {
         self.role = LoggerRole::Primary;
         self.level_is_primary();
         self.parent = self.config.source_host;
+        self.known_leader = self.config.host;
         let host = self.config.host;
         self.tracer
             .emit(now.nanos(), || ProtocolEvent::FailoverPromoted {
@@ -586,6 +617,21 @@ impl Machine for Logger {
 
     fn on_packet(&mut self, now: Time, from: HostId, packet: Packet, out: &mut Actions) {
         let (group, source) = (self.config.group, self.config.source);
+        // Fencing: a host deposed by a later term has no log authority;
+        // its serves, replication pushes and primary claims are dropped.
+        if let Some(&stale) = self.deposed.get(&from) {
+            if matches!(
+                packet,
+                Packet::Retrans { .. } | Packet::ReplUpdate { .. } | Packet::PrimaryIs { .. }
+            ) {
+                self.tracer
+                    .emit(now.nanos(), || ProtocolEvent::StaleTermFenced {
+                        from,
+                        term: stale,
+                    });
+                return;
+            }
+        }
         match packet {
             Packet::Data {
                 group: g,
@@ -794,6 +840,65 @@ impl Machine for Logger {
                     // Refresh the cached primary pointer; retry pending
                     // fetches there immediately.
                     self.parent = primary;
+                    for p in self.pending.values_mut() {
+                        p.attempts = 0;
+                        p.next_fetch_at = now;
+                    }
+                }
+            }
+            Packet::ElectPrepare {
+                group: g,
+                source: s,
+                term,
+                ..
+            } if g == group && s == source && self.role == LoggerRole::Replica
+                // Prepare/promise (§2.2.3 hardened): vote at most once
+                // per term, reporting the contiguous log end so the
+                // proposer can pick the most up-to-date replica.
+                && term > self.promised_term =>
+            {
+                self.promised_term = term;
+                let high = self.store.contiguous_high().unwrap_or(Seq::ZERO);
+                out.push(Action::Unicast {
+                    to: from,
+                    packet: Packet::ElectPromise {
+                        group,
+                        source,
+                        term,
+                        voter: self.config.host,
+                        log_end: high,
+                    },
+                });
+            }
+            Packet::TermAnnounce {
+                group: g,
+                source: s,
+                term,
+                leader,
+            } if g == group && s == source && term > self.term => {
+                let old = self.known_leader;
+                if old != leader {
+                    self.deposed.insert(old, self.term);
+                }
+                self.deposed.remove(&leader);
+                self.term = term;
+                self.promised_term = self.promised_term.max(term);
+                self.known_leader = leader;
+                if leader == self.config.host {
+                    self.promote(now, out);
+                } else {
+                    if self.role == LoggerRole::Primary {
+                        // Deposed: step down to a replica of the
+                        // new leader.
+                        self.role = LoggerRole::Replica;
+                        self.repl_next_at = None;
+                        self.tracer
+                            .emit(now.nanos(), || ProtocolEvent::RoleAnnounced {
+                                role: "logger_replica",
+                            });
+                    }
+                    // Retarget recovery at the new leader.
+                    self.parent = leader;
                     for p in self.pending.values_mut() {
                         p.attempts = 0;
                         p.next_fetch_at = now;

@@ -104,6 +104,14 @@ pub enum Notice {
         /// The newly promoted primary.
         new_primary: HostId,
     },
+    /// A failover election reached quorum: `leader` now holds
+    /// authority for `term`, and packets from older terms are fenced.
+    TermElected {
+        /// The elected term.
+        term: u32,
+        /// The leader elected for the term.
+        leader: HostId,
+    },
     /// Discovery located a logging server.
     LoggerDiscovered {
         /// The logger host.

@@ -145,6 +145,14 @@ pub struct Receiver {
     /// from heartbeat indices.
     expected_interval: Duration,
     fresh: bool,
+    /// The log-authority term last announced to the group.
+    term: u32,
+    /// Leader of [`term`](Self::term); initially the presumed primary
+    /// (the last recovery target).
+    known_leader: Option<HostId>,
+    /// Hosts deposed by a later term, mapped to the term under which
+    /// they last held authority; their repairs are fenced.
+    deposed: BTreeMap<HostId, u32>,
     stats: ReceiverStats,
     tracer: Tracer,
 }
@@ -152,6 +160,7 @@ pub struct Receiver {
 impl Receiver {
     /// Creates a receiver.
     pub fn new(config: ReceiverConfig) -> Self {
+        let known_leader = config.recovery_targets.last().copied();
         Receiver {
             expected_interval: config.heartbeat.h_min,
             config,
@@ -160,9 +169,17 @@ impl Receiver {
             pending: BTreeMap::new(),
             last_source_packet_at: None,
             fresh: false,
+            term: 0,
+            known_leader,
+            deposed: BTreeMap::new(),
             stats: ReceiverStats::default(),
             tracer: Tracer::disabled(),
         }
+    }
+
+    /// The log-authority term this receiver last observed.
+    pub fn term(&self) -> u32 {
+        self.term
     }
 
     /// Attaches a protocol-event tracer (see [`crate::trace`]).
@@ -362,6 +379,19 @@ impl Machine for Receiver {
 
     fn on_packet(&mut self, now: Time, from: HostId, packet: Packet, out: &mut Actions) {
         let (group, source) = (self.config.group, self.config.source);
+        // Fencing: repairs and primary claims from a host deposed by a
+        // later term carry no log authority and are dropped whole — no
+        // delivery, no gap bookkeeping.
+        if let Some(&stale) = self.deposed.get(&from) {
+            if matches!(packet, Packet::Retrans { .. } | Packet::PrimaryIs { .. }) {
+                self.tracer
+                    .emit(now.nanos(), || ProtocolEvent::StaleTermFenced {
+                        from,
+                        term: stale,
+                    });
+                return;
+            }
+        }
         match packet {
             Packet::Data {
                 group: g,
@@ -498,6 +528,34 @@ impl Machine for Receiver {
                     *last = primary;
                 } else {
                     self.config.recovery_targets.push(primary);
+                }
+                for r in self.pending.values_mut() {
+                    if r.target_idx + 1 >= self.config.recovery_targets.len() {
+                        r.attempts = 0;
+                        r.next_nack_at = now;
+                    }
+                }
+            }
+            Packet::TermAnnounce {
+                group: g,
+                source: s,
+                term,
+                leader,
+            } if g == group && s == source && term > self.term => {
+                if let Some(old) = self.known_leader {
+                    if old != leader {
+                        self.deposed.insert(old, self.term);
+                    }
+                }
+                self.deposed.remove(&leader);
+                self.term = term;
+                self.known_leader = Some(leader);
+                // The new leader replaces the last-resort recovery
+                // target (same cached-pointer rule as PrimaryIs).
+                if let Some(last) = self.config.recovery_targets.last_mut() {
+                    *last = leader;
+                } else {
+                    self.config.recovery_targets.push(leader);
                 }
                 for r in self.pending.values_mut() {
                     if r.target_idx + 1 >= self.config.recovery_targets.len() {

@@ -137,10 +137,12 @@ struct Buffered {
 
 enum PrimaryHealth {
     Healthy,
-    /// Collecting replica log-state reports since `since`.
+    /// Running a prepare/promise election for `term` since `since`,
+    /// collecting replica promises (voter → unwrapped log end).
     Probing {
         since: Time,
-        reports: BTreeMap<HostId, u64>,
+        term: u32,
+        promises: BTreeMap<HostId, u64>,
     },
 }
 
@@ -166,6 +168,15 @@ pub struct Sender {
     unsettled: std::collections::BTreeSet<u64>,
     current_primary: HostId,
     health: PrimaryHealth,
+    /// The log-authority term the group currently operates under. Term 0
+    /// is the configured primary; every quorum election increments it.
+    term: u32,
+    /// Highest term this sender has ever proposed (proposals stay
+    /// monotone across failed elections).
+    last_proposed: u32,
+    /// Hosts deposed by a later election, mapped to the term under which
+    /// they last held authority. Their `LogAck`s are fenced.
+    deposed: BTreeMap<HostId, u32>,
     next_handoff_at: Option<Time>,
     handoff_attempts: u32,
     started: bool,
@@ -193,6 +204,9 @@ impl Sender {
             unsettled: std::collections::BTreeSet::new(),
             current_primary: config.primary,
             health: PrimaryHealth::Healthy,
+            term: 0,
+            last_proposed: 0,
+            deposed: BTreeMap::new(),
             next_handoff_at: None,
             handoff_attempts: 0,
             started: false,
@@ -219,6 +233,11 @@ impl Sender {
     /// The logging server currently believed primary.
     pub fn primary(&self) -> HostId {
         self.current_primary
+    }
+
+    /// The log-authority term the group currently operates under.
+    pub fn term(&self) -> u32 {
+        self.term
     }
 
     /// Current epoch stamped on outgoing data.
@@ -409,44 +428,87 @@ impl Sender {
             self.handoff_attempts = 0;
             return;
         }
+        // Propose the next term (monotone across failed elections) and
+        // solicit promises from every live replica.
+        let term = self.last_proposed.max(self.term) + 1;
+        self.last_proposed = term;
         self.health = PrimaryHealth::Probing {
             since: now,
-            reports: BTreeMap::new(),
+            term,
+            promises: BTreeMap::new(),
         };
         for &r in &self.config.replicas {
             if r != self.current_primary {
                 out.push(Action::Unicast {
                     to: r,
-                    packet: Packet::LocatePrimary {
+                    packet: Packet::ElectPrepare {
                         group: self.config.group,
                         source: self.config.source,
-                        requester: self.config.host,
+                        term,
+                        candidate: self.config.host,
                     },
                 });
             }
         }
     }
 
+    /// Promises needed for an election to commit: a majority of the
+    /// configured replica set.
+    fn quorum(&self) -> usize {
+        self.config.replicas.len() / 2 + 1
+    }
+
     fn finish_failover(&mut self, now: Time, out: &mut Actions) {
-        let PrimaryHealth::Probing { reports, .. } = &self.health else {
+        let PrimaryHealth::Probing { term, promises, .. } = &self.health else {
             return;
         };
-        // Promote the most up-to-date replica (§2.2.3).
-        let Some((&best, &best_end)) = reports
-            .iter()
-            .max_by_key(|(host, end)| (**end, std::cmp::Reverse(host.raw())))
-        else {
-            // No replica answered; go back to retrying the old primary.
+        let term = *term;
+        // The election commits only on a majority of promises; promote
+        // the most up-to-date promiser (§2.2.3).
+        let winner = (promises.len() >= self.quorum())
+            .then(|| {
+                promises
+                    .iter()
+                    .max_by_key(|(host, end)| (**end, std::cmp::Reverse(host.raw())))
+                    .map(|(&h, &e)| (h, e))
+            })
+            .flatten();
+        let Some((best, best_end)) = winner else {
+            // No quorum; go back to retrying the old primary.
             self.health = PrimaryHealth::Healthy;
             self.handoff_attempts = 0;
             self.next_handoff_at = Some(now + self.config.handoff_retry);
             return;
         };
+        let old = self.current_primary;
+        if old != best {
+            // The deposed primary's authority ends at the old term;
+            // anything it still sends under it is fenced.
+            self.deposed.insert(old, self.term);
+        }
+        self.deposed.remove(&best);
+        self.term = term;
         self.current_primary = best;
         self.health = PrimaryHealth::Healthy;
         self.handoff_attempts = 0;
-        // Tell the replica it is now primary, and the group where to find
-        // it (receivers treat the primary address as a cached value).
+        // Announce the new term to the whole group (receivers fence the
+        // deposed primary off it) and tell the winner directly.
+        let announce = Packet::TermAnnounce {
+            group: self.config.group,
+            source: self.config.source,
+            term,
+            leader: best,
+        };
+        out.push(Action::Unicast {
+            to: best,
+            packet: announce.clone(),
+        });
+        out.push(Action::Multicast {
+            scope: TtlScope::Global,
+            packet: announce,
+        });
+        // Keep the legacy primary pointer current too (receivers treat
+        // the primary address as a cached value).
         let promote = Packet::PrimaryIs {
             group: self.config.group,
             source: self.config.source,
@@ -471,9 +533,15 @@ impl Sender {
         }
         self.next_handoff_at = Some(now + self.config.handoff_retry);
         out.push(Action::Notice(Notice::Promoted { new_primary: best }));
+        out.push(Action::Notice(Notice::TermElected { term, leader: best }));
         self.tracer
             .emit(now.nanos(), || ProtocolEvent::FailoverPromoted {
                 new_primary: best,
+            });
+        self.tracer
+            .emit(now.nanos(), || ProtocolEvent::TermElected {
+                term,
+                leader: best,
             });
     }
 }
@@ -509,7 +577,25 @@ impl Machine for Sender {
                 primary_seq,
                 replica_seq,
             } if group == self.config.group && source == self.config.source => {
-                if from == self.current_primary {
+                if let Some(&stale) = self.deposed.get(&from) {
+                    // A deposed primary still acking: fenced, never
+                    // releases buffer. Tell it directly which term it
+                    // missed so a healed partition converges fast.
+                    self.tracer
+                        .emit(now.nanos(), || ProtocolEvent::StaleTermFenced {
+                            from,
+                            term: stale,
+                        });
+                    out.push(Action::Unicast {
+                        to: from,
+                        packet: Packet::TermAnnounce {
+                            group: self.config.group,
+                            source: self.config.source,
+                            term: self.term,
+                            leader: self.current_primary,
+                        },
+                    });
+                } else if from == self.current_primary {
                     self.handoff_attempts = 0;
                     let release = if self.config.require_replica_ack {
                         replica_seq
@@ -520,14 +606,50 @@ impl Machine for Sender {
                     if !self.buffer.is_empty() && self.next_handoff_at.is_none() {
                         self.next_handoff_at = Some(now + self.config.handoff_retry);
                     }
-                } else if let PrimaryHealth::Probing { reports, .. } = &mut self.health {
-                    // A replica reporting its log state during failover.
-                    let end = self.unwrapper.peek(primary_seq);
-                    reports.insert(from, end);
-                    if reports.len() >= self.config.replicas.len() {
-                        self.finish_failover(now, out);
+                }
+            }
+            Packet::ElectPromise {
+                group,
+                source,
+                term,
+                voter,
+                log_end,
+            } if group == self.config.group && source == self.config.source => {
+                if let PrimaryHealth::Probing {
+                    term: proposed,
+                    promises,
+                    ..
+                } = &mut self.health
+                {
+                    if term == *proposed {
+                        let end = self.unwrapper.peek(log_end);
+                        promises.insert(voter, end);
+                        if promises.len() >= self.config.replicas.len() {
+                            // Everyone answered; no point waiting out
+                            // the election window.
+                            self.finish_failover(now, out);
+                        }
                     }
                 }
+            }
+            Packet::TermAnnounce {
+                group,
+                source,
+                term,
+                leader,
+            } if group == self.config.group && source == self.config.source
+                // Normally our own echo; adopt only a genuinely newer
+                // term (e.g. announced by a recovering co-sender).
+                && term > self.term =>
+            {
+                let old = self.current_primary;
+                if old != leader {
+                    self.deposed.insert(old, self.term);
+                }
+                self.deposed.remove(&leader);
+                self.term = term;
+                self.current_primary = leader;
+                self.health = PrimaryHealth::Healthy;
             }
             Packet::Nack {
                 group,
@@ -639,6 +761,21 @@ impl Machine for Sender {
                         seq,
                         hb_index,
                     });
+                if self.term > 0 {
+                    // Re-announce the current term at heartbeat cadence
+                    // so hosts that missed the election (a healed
+                    // partition, a restarted replica) fence the old
+                    // primary and retarget without extra machinery.
+                    out.push(Action::Multicast {
+                        scope: TtlScope::Global,
+                        packet: Packet::TermAnnounce {
+                            group: self.config.group,
+                            source: self.config.source,
+                            term: self.term,
+                            leader: self.current_primary,
+                        },
+                    });
+                }
             } else {
                 break;
             }
@@ -915,29 +1052,45 @@ mod tests {
         assert!(notices(&out)
             .iter()
             .any(|n| matches!(n, Notice::PrimaryUnresponsive { primary } if *primary == PRIMARY)));
-        // Both replicas report their log state (reusing LogAck): B is
-        // more up to date.
-        let report_a = Packet::LogAck {
+        // The election solicits promises for term 1 from both replicas.
+        let prepares: Vec<HostId> = out
+            .iter()
+            .filter_map(|a| match a {
+                Action::Unicast {
+                    to,
+                    packet: Packet::ElectPrepare { term: 1, .. },
+                } => Some(*to),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(prepares, vec![replica_a, replica_b]);
+        // Both replicas promise: B is more up to date.
+        let promise = |voter: HostId, end: u32| Packet::ElectPromise {
             group: GROUP,
             source: SRC,
-            primary_seq: Seq(1),
-            replica_seq: Seq(1),
-        };
-        let report_b = Packet::LogAck {
-            group: GROUP,
-            source: SRC,
-            primary_seq: Seq(2),
-            replica_seq: Seq(2),
+            term: 1,
+            voter,
+            log_end: Seq(end),
         };
         out.clear();
-        s.on_packet(now, replica_a, report_a, &mut out);
-        s.on_packet(now, replica_b, report_b, &mut out);
+        s.on_packet(now, replica_a, promise(replica_a, 1), &mut out);
+        s.on_packet(now, replica_b, promise(replica_b, 2), &mut out);
         assert_eq!(s.primary(), replica_b);
+        assert_eq!(s.term(), 1);
         assert!(notices(&out)
             .iter()
             .any(|n| matches!(n, Notice::Promoted { new_primary } if *new_primary == replica_b)));
-        // The new primary is told, the group is told, and the missing
-        // packet (#3) is brought current from the buffer.
+        assert!(notices(&out)
+            .iter()
+            .any(|n| matches!(n, Notice::TermElected { term: 1, leader } if *leader == replica_b)));
+        // The new term is announced, the new primary is told, the group
+        // is told, and the missing packet (#3) is brought current from
+        // the buffer.
+        let announced = out.iter().any(|a| {
+            matches!(a, Action::Multicast { packet: Packet::TermAnnounce { term: 1, leader, .. }, .. }
+                if *leader == replica_b)
+        });
+        assert!(announced, "expected term announce: {out:?}");
         let promoted_unicast = out.iter().any(|a| {
             matches!(a, Action::Unicast { to, packet: Packet::PrimaryIs { primary, .. } }
                 if *to == replica_b && *primary == replica_b)
@@ -948,6 +1101,13 @@ mod tests {
                 if *to == replica_b && *seq == Seq(3))
         });
         assert!(refill, "expected buffer refill of #3: {out:?}");
+        // The deposed primary's acks are fenced: its LogAck must not
+        // release the buffer.
+        out.clear();
+        let buffered = s.buffered();
+        s.on_packet(now, PRIMARY, log_ack(3), &mut out);
+        assert_eq!(s.buffered(), buffered, "fenced ack released buffer");
+        assert!(notices(&out).is_empty());
     }
 
     #[test]

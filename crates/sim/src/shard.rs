@@ -105,6 +105,14 @@ pub(crate) struct Shard {
     pub rngs: Vec<Option<SmallRng>>,
     /// Crash flags, by host index.
     pub crashed: Vec<bool>,
+    /// Partition ids, by host index — replicated *identically* on every
+    /// shard. A packet delivery whose endpoints hold different ids is
+    /// dropped (link-level fault injection). Because the vector is
+    /// replicated and the drop test is a pure function of it, the
+    /// decision is the same wherever the delivery event is processed, so
+    /// sharded runs stay deterministic. Mutated only between `run_*`
+    /// calls (at epoch barriers).
+    pub partition: Vec<u32>,
     /// Per-site network state, by site index (only owned sites).
     pub nets: Vec<Option<SiteNet>>,
     /// Per-site group membership, by site index. Only ever mutated by
@@ -153,6 +161,7 @@ impl Shard {
             actors: (0..host_count).map(|_| None).collect(),
             rngs: (0..host_count).map(|_| None).collect(),
             crashed: vec![false; host_count],
+            partition: vec![0; host_count],
             nets: (0..site_count).map(|_| None).collect(),
             members: (0..site_count).map(|_| BTreeMap::new()).collect(),
             seqs: vec![0; host_count + site_count],

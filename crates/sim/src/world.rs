@@ -6,8 +6,11 @@
 //! that can send unicast/multicast, arm timers, join groups, and draw
 //! deterministic randomness. The world also supports failure injection:
 //! a [`crashed`](World::crash) host silently discards everything until
-//! [`revived`](World::revive) — used by the primary-logger failover
-//! tests.
+//! [`revived`](World::revive) (state intact) or
+//! [`restarted`](World::restart) (fresh actor, same host), and
+//! [`World::partition`]/[`World::heal`] cut and restore links between
+//! host groups — used by the primary-logger failover tests and the
+//! chaos suite.
 //!
 //! # Sharded execution
 //!
@@ -413,7 +416,13 @@ fn process(topo: &Topology, shard: &mut Shard, at: SimTime, key: u128, ev: Ev, c
     shard.last_at = at;
     match ev {
         Ev::Packet { from, to, packet } => {
-            dispatch(topo, shard, at, to, |a, ctx| a.on_packet(ctx, from, packet));
+            // Link-level fault injection: a delivery whose endpoints sit
+            // in different partitions is dropped. The partition vector is
+            // replicated identically on every shard, so the decision is
+            // placement-invariant (see [`World::partition`]).
+            if shard.partition[from.raw() as usize] == shard.partition[to.raw() as usize] {
+                dispatch(topo, shard, at, to, |a, ctx| a.on_packet(ctx, from, packet));
+            }
         }
         Ev::Timer { host, token } => {
             dispatch(topo, shard, at, host, |a, ctx| a.on_timer(ctx, token));
@@ -813,6 +822,88 @@ impl World {
         self.shards[k].crashed[idx] = false;
     }
 
+    /// Splits the network: the listed hosts move into a fresh partition.
+    /// Packets between a host inside the set and one outside it are
+    /// dropped at delivery time; traffic *within* either side flows
+    /// normally. Repeated calls carve out further mutually-isolated
+    /// groups. Packets already in flight across the cut when the call is
+    /// made are dropped on arrival.
+    ///
+    /// Deterministic under sharding: the partition ids are replicated
+    /// identically on every shard and the drop test is a pure function
+    /// of them, so the verdict does not depend on which shard processes
+    /// the delivery. Call only between `run_*` calls (the sharded engine
+    /// mutates shard state on worker threads mid-run).
+    ///
+    /// # Panics
+    ///
+    /// If any host is not in the topology.
+    pub fn partition(&mut self, hosts: &[HostId]) {
+        for &h in hosts {
+            assert!(
+                (h.raw() as usize) < self.topo.host_count(),
+                "host {h} is not in the topology"
+            );
+        }
+        let part = self.shards[0].partition.iter().copied().max().unwrap_or(0) + 1;
+        for sh in &mut self.shards {
+            for &h in hosts {
+                sh.partition[h.raw() as usize] = part;
+            }
+        }
+    }
+
+    /// Heals every partition: all hosts rejoin one connected network.
+    /// Packets sent after the heal flow normally; packets dropped while
+    /// the cut was up stay lost.
+    pub fn heal(&mut self) {
+        for sh in &mut self.shards {
+            sh.partition.iter_mut().for_each(|p| *p = 0);
+        }
+    }
+
+    /// Restarts `host` with a *fresh* actor (process restart semantics):
+    /// the old actor — and all its in-memory state — is discarded, the
+    /// crash flag is cleared, and if the world has already started the
+    /// new actor's [`Actor::on_start`] runs immediately at the current
+    /// virtual time. Contrast [`World::revive`], which brings the old
+    /// actor back with its pre-crash state intact.
+    ///
+    /// The host keeps its per-host RNG stream (the stream belongs to the
+    /// host slot, not the process incarnation), so replay determinism is
+    /// unaffected.
+    ///
+    /// # Panics
+    ///
+    /// If `host` is not in the topology.
+    pub fn restart(&mut self, host: HostId, actor: impl Actor) {
+        let idx = host.raw() as usize;
+        assert!(
+            idx < self.topo.host_count(),
+            "host {host} is not in the topology"
+        );
+        let k = self.shard_of_host[idx];
+        let sh = &mut self.shards[k];
+        sh.crashed[idx] = false;
+        if sh.actors[idx].replace(Box::new(actor)).is_none() {
+            self.order.push(host);
+        }
+        if sh.rngs[idx].is_none() {
+            sh.rngs[idx] = Some(SmallRng::seed_from_u64(
+                self.seed
+                    .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                    .wrapping_add(host.raw()),
+            ));
+        }
+        if self.started {
+            let topo = &self.topo;
+            dispatch(topo, &mut self.shards[k], self.now, host, |a, ctx| {
+                a.on_start(ctx)
+            });
+            self.drain_outboxes();
+        }
+    }
+
     /// `true` if the host is currently crashed.
     pub fn is_crashed(&self, host: HostId) -> bool {
         let idx = host.raw() as usize;
@@ -1184,6 +1275,104 @@ mod tests {
         w.run_until(SimTime::from_secs(10)); // third delivered
         let got: Vec<u32> = w.actor::<Sink>(rx).got.iter().map(|(_, s)| *s).collect();
         assert_eq!(got, vec![1, 3]);
+    }
+
+    #[test]
+    fn restart_discards_state_where_revive_keeps_it() {
+        // Revive: the sink keeps what it saw before the crash.
+        let (mut w, _tx, rx) = build();
+        w.run_until(SimTime::from_millis(1500)); // first beacon delivered
+        w.crash(rx);
+        w.run_until(SimTime::from_millis(2500)); // second suppressed
+        w.revive(rx);
+        w.run_until(SimTime::from_secs(10));
+        let got: Vec<u32> = w.actor::<Sink>(rx).got.iter().map(|(_, s)| *s).collect();
+        assert_eq!(got, vec![1, 3], "revive resumes with pre-crash state");
+
+        // Restart: same schedule, but the host comes back as a fresh
+        // process — the pre-crash delivery is gone from its memory.
+        let (mut w, _tx, rx) = build();
+        w.run_until(SimTime::from_millis(1500));
+        w.crash(rx);
+        w.run_until(SimTime::from_millis(2500));
+        w.restart(rx, Sink::default());
+        assert!(!w.is_crashed(rx));
+        w.run_until(SimTime::from_secs(10));
+        let got: Vec<u32> = w.actor::<Sink>(rx).got.iter().map(|(_, s)| *s).collect();
+        assert_eq!(got, vec![3], "restart comes back empty-handed");
+    }
+
+    #[test]
+    fn partition_blocks_cross_group_delivery_until_heal() {
+        let (mut w, _tx, rx) = build();
+        w.partition(&[rx]);
+        w.run_until(SimTime::from_millis(1500)); // first beacon dropped at the cut
+        assert!(w.actor::<Sink>(rx).got.is_empty());
+        w.heal();
+        w.run_until(SimTime::from_secs(10)); // later beacons flow again
+        let got: Vec<u32> = w.actor::<Sink>(rx).got.iter().map(|(_, s)| *s).collect();
+        assert_eq!(got, vec![2, 3]);
+    }
+
+    #[test]
+    fn partition_groups_keep_internal_traffic() {
+        // Sender and one receiver are cut away together: traffic inside
+        // the cut-away group still flows; the host left behind hears
+        // nothing.
+        let mut b = TopologyBuilder::new();
+        let s0 = b.site(SiteParams::default());
+        let tx = b.host(s0);
+        let near = b.host(s0);
+        let far = b.host(s0);
+        let mut w = World::new(b.build(), 11);
+        w.add_actor(tx, Beacon { sent: 0 });
+        w.add_actor(near, Sink::default());
+        w.add_actor(far, Sink::default());
+        w.partition(&[tx, near]);
+        w.run_until(SimTime::from_secs(10));
+        assert_eq!(w.actor::<Sink>(near).got.len(), 3);
+        assert!(w.actor::<Sink>(far).got.is_empty());
+    }
+
+    /// Partition decisions are placement-invariant: a mid-run cut and
+    /// heal replays identically for any shard count, on either backend.
+    #[test]
+    fn partition_replays_identically_across_shards() {
+        use crate::loss::LossModel;
+        let run = |backend: QueueBackend, shards: usize| {
+            let mut b = TopologyBuilder::new();
+            let s0 = b.site(SiteParams::default());
+            let s1 = b.site(SiteParams {
+                tail_in_loss: LossModel::rate(0.25),
+                jitter: Duration::from_millis(3),
+                ..SiteParams::default()
+            });
+            let s2 = b.site(SiteParams::nearby());
+            let s3 = b.site(SiteParams::distant());
+            b.wan_loss(LossModel::rate(0.05));
+            let tx = b.host(s0);
+            let rxs: Vec<HostId> = [s0, s1, s2, s3].iter().map(|&s| b.host(s)).collect();
+            let mut w = World::with_options(b.build(), 777, backend, shards);
+            w.add_actor(tx, Beacon { sent: 0 });
+            for &rx in &rxs {
+                w.add_actor(rx, Sink::default());
+            }
+            w.run_until(SimTime::from_millis(1500));
+            w.partition(&[rxs[1], rxs[2]]);
+            w.run_until(SimTime::from_millis(2500));
+            w.heal();
+            w.run_until(SimTime::from_secs(10));
+            let got: Vec<Vec<(SimTime, u32)>> = rxs
+                .iter()
+                .map(|&rx| w.actor::<Sink>(rx).got.clone())
+                .collect();
+            (got, w.stats(), w.events_processed())
+        };
+        let base = run(QueueBackend::Wheel, 1);
+        for shards in [2usize, 4] {
+            assert_eq!(base, run(QueueBackend::Wheel, shards), "wheel x{shards}");
+            assert_eq!(base, run(QueueBackend::Heap, shards), "heap x{shards}");
+        }
     }
 
     #[test]

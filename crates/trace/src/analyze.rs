@@ -255,6 +255,9 @@ fn intern_net_kind(s: &str) -> &'static str {
         "srm-session",
         "srm-nack",
         "srm-repair",
+        "elect-prepare",
+        "elect-promise",
+        "term-announce",
     ];
     KINDS.iter().find(|k| **k == s).copied().unwrap_or("other")
 }
@@ -351,6 +354,18 @@ pub fn parse_json_line(line: &str) -> Option<TraceRecord> {
         },
         "failover_promoted" => ProtocolEvent::FailoverPromoted {
             new_primary: host_of("new_primary")?,
+        },
+        "term_elected" => ProtocolEvent::TermElected {
+            term: num("term")? as u32,
+            leader: host_of("leader")?,
+        },
+        "stale_term_fenced" => ProtocolEvent::StaleTermFenced {
+            from: host_of("from")?,
+            term: num("term")? as u32,
+        },
+        "authority_serve" => ProtocolEvent::AuthorityServe {
+            seq: seq("seq")?,
+            term: num("term")? as u32,
         },
         "role_announced" => ProtocolEvent::RoleAnnounced {
             role: intern_role(f.get("role")?.as_str()?),
@@ -603,6 +618,29 @@ pub enum Anomaly {
         /// When it was sent.
         sent_at_nanos: u64,
     },
+    /// Two different leaders were announced for the same election term —
+    /// the election safety invariant was violated outright.
+    TermConflict {
+        /// The contested term.
+        term: u32,
+        /// First announced leader.
+        a: HostId,
+        /// Conflicting announced leader.
+        b: HostId,
+    },
+    /// A repair served by a deposed primary under a stale term was
+    /// *accepted* by a receiver — fencing failed and two authorities
+    /// effectively served the group (split-brain double-serve).
+    SplitBrainServe {
+        /// The doubly-served sequence.
+        seq: Seq,
+        /// The stale authority that served it.
+        by: HostId,
+        /// The stale term it served under.
+        term: u32,
+        /// The newest elected term at that point in the stream.
+        current: u32,
+    },
 }
 
 impl Anomaly {
@@ -614,6 +652,8 @@ impl Anomaly {
             Anomaly::ExcessDuplicateRepairs { .. } => "excess_duplicate_repairs",
             Anomaly::HeartbeatSilence { .. } => "heartbeat_silence",
             Anomaly::StalledSettlement { .. } => "stalled_settlement",
+            Anomaly::TermConflict { .. } => "term_conflict",
+            Anomaly::SplitBrainServe { .. } => "split_brain_serve",
         }
     }
 
@@ -662,6 +702,21 @@ impl Anomaly {
                 "stalled settlement: seq {} (sent at {:.3}ms) never settled",
                 seq.raw(),
                 *sent_at_nanos as f64 / 1e6
+            ),
+            Anomaly::TermConflict { term, a, b } => format!(
+                "term conflict: term {term} announced with two leaders ({} and {})",
+                a.raw(),
+                b.raw()
+            ),
+            Anomaly::SplitBrainServe {
+                seq,
+                by,
+                term,
+                current,
+            } => format!(
+                "split-brain serve: host {} served seq {} under stale term {term} (current {current}) and the repair was accepted",
+                by.raw(),
+                seq.raw()
             ),
         }
     }
@@ -788,6 +843,9 @@ pub struct RecoveryReport {
     /// `GapDetected` spans wider than the configured cap (their tails
     /// were not expanded into timelines).
     pub truncated_gap_spans: u64,
+    /// Packets from fenced (deposed) primaries that machines rejected —
+    /// informational: each one is the fencing mechanism *working*.
+    pub fenced_rejects: u64,
     /// Detected protocol-health violations.
     pub anomalies: Vec<Anomaly>,
     /// Resident-state accounting (peak live timelines/bytes, evictions).
@@ -871,6 +929,13 @@ impl RecoveryReport {
             "duplicate repairs: {}; max NACK fan-in per seq: {}",
             self.duplicate_repairs, self.max_nack_fan_in
         );
+        if self.fenced_rejects > 0 {
+            let _ = writeln!(
+                s,
+                "fenced rejects: {} stale-primary packets dropped",
+                self.fenced_rejects
+            );
+        }
         let _ = writeln!(
             s,
             "resident state ({}): peak {} live timelines, ~{:.1} KiB",
@@ -980,8 +1045,8 @@ impl RecoveryReport {
         }
         let _ = write!(
             s,
-            "}},\"duplicate_repairs\":{},\"max_nack_fan_in\":{},\"truncated_gap_spans\":{},",
-            self.duplicate_repairs, self.max_nack_fan_in, self.truncated_gap_spans
+            "}},\"duplicate_repairs\":{},\"max_nack_fan_in\":{},\"truncated_gap_spans\":{},\"fenced_rejects\":{},",
+            self.duplicate_repairs, self.max_nack_fan_in, self.truncated_gap_spans, self.fenced_rejects
         );
         let _ = write!(
             s,
@@ -1040,6 +1105,14 @@ pub fn analyze(records: &[TraceRecord], cfg: &AnalyzeConfig) -> RecoveryReport {
     let mut truncated_gap_spans = 0u64;
     let mut recovered = 0usize;
     let mut abandoned = 0usize;
+    // Election forensics: leaders per term, the newest elected term, and
+    // (host, seq) serves made under a term older than the newest. A
+    // repair from such a serve that a receiver *accepts* is split-brain.
+    let mut term_leaders: BTreeMap<u32, HostId> = BTreeMap::new();
+    let mut max_term = 0u32;
+    let mut stale_serves: BTreeMap<(u64, u32), u32> = BTreeMap::new();
+    let mut split_brain: Vec<Anomaly> = Vec::new();
+    let mut fenced_rejects = 0u64;
 
     for r in &recs {
         let h = r.host.raw();
@@ -1130,6 +1203,16 @@ pub fn analyze(records: &[TraceRecord], cfg: &AnalyzeConfig) -> RecoveryReport {
                 }
             }
             ProtocolEvent::RepairReceived { seq, from, kind } => {
+                if *kind == "retrans" {
+                    if let Some(&stale) = stale_serves.get(&(from.raw(), seq.raw())) {
+                        split_brain.push(Anomaly::SplitBrainServe {
+                            seq: *seq,
+                            by: *from,
+                            term: stale,
+                            current: max_term,
+                        });
+                    }
+                }
                 if let Some(o) = open.get_mut(&(h, seq.raw())) {
                     o.repaired_at = Some(r.at_nanos);
                     o.source = match *kind {
@@ -1191,6 +1274,28 @@ pub fn analyze(records: &[TraceRecord], cfg: &AnalyzeConfig) -> RecoveryReport {
             }
             ProtocolEvent::EpochActive { epoch, .. } => {
                 active_epochs.insert(epoch.raw());
+            }
+            ProtocolEvent::TermElected { term, leader } => {
+                match term_leaders.get(term) {
+                    Some(&prev) if prev != *leader => {
+                        split_brain.push(Anomaly::TermConflict {
+                            term: *term,
+                            a: prev,
+                            b: *leader,
+                        });
+                    }
+                    Some(_) => {}
+                    None => {
+                        term_leaders.insert(*term, *leader);
+                    }
+                }
+                max_term = max_term.max(*term);
+            }
+            ProtocolEvent::AuthorityServe { seq, term } if *term < max_term => {
+                stale_serves.insert((h, seq.raw()), *term);
+            }
+            ProtocolEvent::StaleTermFenced { .. } => {
+                fenced_rejects += 1;
             }
             _ => {}
         }
@@ -1293,6 +1398,11 @@ pub fn analyze(records: &[TraceRecord], cfg: &AnalyzeConfig) -> RecoveryReport {
         }
     }
 
+    // Split-brain detections (term conflicts and accepted stale serves),
+    // in stream order, after every other detector — the streaming
+    // analyzer appends them at the same position for parity.
+    anomalies.append(&mut split_brain);
+
     // Stage histograms over recovered timelines.
     let mut detection = Histogram::default();
     let mut request = Histogram::default();
@@ -1360,6 +1470,7 @@ pub fn analyze(records: &[TraceRecord], cfg: &AnalyzeConfig) -> RecoveryReport {
         max_nack_fan_in,
         telescoping,
         truncated_gap_spans,
+        fenced_rejects,
         anomalies,
         stream: StreamStats {
             streamed: false,
@@ -1614,6 +1725,70 @@ mod tests {
     }
 
     #[test]
+    fn split_brain_serve_detected_and_fenced_rejects_counted() {
+        let mut records = happy_path();
+        // Term 2 elects a new leader; the old primary keeps serving
+        // under its stale belief. A *rejected* stale serve is clean.
+        let new_leader = HostId(3);
+        records.push(rec(
+            70,
+            SENDER,
+            ProtocolEvent::TermElected {
+                term: 2,
+                leader: new_leader,
+            },
+        ));
+        records.push(rec(
+            80,
+            PRIMARY,
+            ProtocolEvent::AuthorityServe {
+                seq: Seq(9),
+                term: 1,
+            },
+        ));
+        records.push(rec(
+            85,
+            RX,
+            ProtocolEvent::StaleTermFenced {
+                from: PRIMARY,
+                term: 2,
+            },
+        ));
+        let report = analyze(&records, &AnalyzeConfig::default());
+        assert_eq!(report.fenced_rejects, 1);
+        assert!(report.is_clean(), "{:?}", report.anomalies);
+        assert!(report.to_json().contains("\"fenced_rejects\":1"));
+
+        // A receiver accepting the stale serve is split-brain.
+        records.push(rec(
+            90,
+            HostId(41),
+            ProtocolEvent::RepairReceived {
+                seq: Seq(9),
+                from: PRIMARY,
+                kind: "retrans",
+            },
+        ));
+        let report = analyze(&records, &AnalyzeConfig::default());
+        assert!(report
+            .anomalies
+            .iter()
+            .any(|a| a.kind() == "split_brain_serve"));
+
+        // Two leaders announced for one term is flagged outright.
+        records.push(rec(
+            95,
+            SENDER,
+            ProtocolEvent::TermElected {
+                term: 2,
+                leader: PRIMARY,
+            },
+        ));
+        let report = analyze(&records, &AnalyzeConfig::default());
+        assert!(report.anomalies.iter().any(|a| a.kind() == "term_conflict"));
+    }
+
+    #[test]
     fn remulticast_and_heartbeat_repairs_attributed() {
         let records = vec![
             rec(0, SENDER, ProtocolEvent::RoleAnnounced { role: "sender" }),
@@ -1754,6 +1929,18 @@ mod tests {
             ProtocolEvent::PrimaryUnresponsive { primary: PRIMARY },
             ProtocolEvent::FailoverPromoted {
                 new_primary: PRIMARY,
+            },
+            ProtocolEvent::TermElected {
+                term: 2,
+                leader: PRIMARY,
+            },
+            ProtocolEvent::StaleTermFenced {
+                from: PRIMARY,
+                term: 2,
+            },
+            ProtocolEvent::AuthorityServe {
+                seq: Seq(5),
+                term: 1,
             },
             ProtocolEvent::RoleAnnounced {
                 role: "logger_secondary",

@@ -230,6 +230,34 @@ pub enum ProtocolEvent {
         /// The new primary.
         new_primary: HostId,
     },
+    /// A quorum elected `leader` as primary for `term` (§2.2.3
+    /// hardening). Emitted by the election proposer when the decision is
+    /// announced.
+    TermElected {
+        /// The elected term.
+        term: u32,
+        /// Primary logger for the term.
+        leader: HostId,
+    },
+    /// A packet from a fenced (deposed) primary was rejected. `term` is
+    /// the rejecting machine's current term.
+    StaleTermFenced {
+        /// The deposed host whose packet was dropped.
+        from: HostId,
+        /// The rejecting machine's current term.
+        term: u32,
+    },
+    /// A logger served a repair while believing itself primary, tagged
+    /// with the term it believes current — the forensics layer
+    /// cross-checks these against [`ProtocolEvent::TermElected`] to
+    /// detect a stale primary whose repairs were *accepted* (split-brain
+    /// double-serve).
+    AuthorityServe {
+        /// The served sequence.
+        seq: Seq,
+        /// Term the serving logger believes current.
+        term: u32,
+    },
     /// A machine announced its protocol role at startup, so a replayed
     /// trace is self-contained for repair-source attribution.
     RoleAnnounced {
@@ -285,6 +313,9 @@ impl ProtocolEvent {
             ProtocolEvent::PacketLogged { .. } => "packet_logged",
             ProtocolEvent::PrimaryUnresponsive { .. } => "primary_unresponsive",
             ProtocolEvent::FailoverPromoted { .. } => "failover_promoted",
+            ProtocolEvent::TermElected { .. } => "term_elected",
+            ProtocolEvent::StaleTermFenced { .. } => "stale_term_fenced",
+            ProtocolEvent::AuthorityServe { .. } => "authority_serve",
             ProtocolEvent::RoleAnnounced { .. } => "role_announced",
             ProtocolEvent::NetPacket {
                 multicast: false, ..
@@ -386,6 +417,15 @@ impl ProtocolEvent {
             }
             ProtocolEvent::FailoverPromoted { new_primary } => {
                 let _ = write!(s, ",\"new_primary\":{}", new_primary.raw());
+            }
+            ProtocolEvent::TermElected { term, leader } => {
+                let _ = write!(s, ",\"term\":{term},\"leader\":{}", leader.raw());
+            }
+            ProtocolEvent::StaleTermFenced { from, term } => {
+                let _ = write!(s, ",\"from\":{},\"term\":{term}", from.raw());
+            }
+            ProtocolEvent::AuthorityServe { seq, term } => {
+                let _ = write!(s, ",\"seq\":{},\"term\":{term}", seq.raw());
             }
             ProtocolEvent::NetPacket { kind, copies, .. } => {
                 let _ = write!(s, ",\"kind\":\"{kind}\",\"copies\":{copies}");

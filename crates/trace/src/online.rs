@@ -166,6 +166,16 @@ pub struct OnlineAnalyzer {
     last_tx: BTreeMap<u64, u64>,
     max_silence: BTreeMap<u64, u64>,
     truncated_gap_spans: u64,
+    // Split-brain detector state (mirrors the batch analyzer).
+    term_leaders: BTreeMap<u32, HostId>,
+    max_term: u32,
+    stale_serves: BTreeMap<(u64, u32), u32>,
+    /// Term conflicts and accepted stale serves, in stream order. Kept
+    /// out of [`basis`](Self::basis) (like every end-of-stream
+    /// detector) and appended after stalled settlements in
+    /// [`finish`](Self::finish), matching the batch anomaly order.
+    split_brain: Vec<Anomaly>,
+    fenced_rejects: u64,
     // Folded results (what the batch analyzer defers to the end).
     recovered: usize,
     abandoned: usize,
@@ -213,6 +223,11 @@ impl OnlineAnalyzer {
             last_tx: BTreeMap::new(),
             max_silence: BTreeMap::new(),
             truncated_gap_spans: 0,
+            term_leaders: BTreeMap::new(),
+            max_term: 0,
+            stale_serves: BTreeMap::new(),
+            split_brain: Vec::new(),
+            fenced_rejects: 0,
             recovered: 0,
             abandoned: 0,
             unrecovered: 0,
@@ -545,6 +560,16 @@ impl OnlineAnalyzer {
                 }
             }
             ProtocolEvent::RepairReceived { seq, from, kind } => {
+                if *kind == "retrans" {
+                    if let Some(&stale) = self.stale_serves.get(&(from.raw(), seq.raw())) {
+                        self.split_brain.push(Anomaly::SplitBrainServe {
+                            seq: *seq,
+                            by: *from,
+                            term: stale,
+                            current: self.max_term,
+                        });
+                    }
+                }
                 let source = match *kind {
                     "heartbeat" => RepairSource::Heartbeat,
                     "retrans" => match self.roles.get(&from.raw()).copied() {
@@ -600,6 +625,28 @@ impl OnlineAnalyzer {
             }
             ProtocolEvent::EpochActive { epoch, .. } => {
                 self.active_epochs.insert(epoch.raw());
+            }
+            ProtocolEvent::TermElected { term, leader } => {
+                match self.term_leaders.get(term) {
+                    Some(&prev) if prev != *leader => {
+                        self.split_brain.push(Anomaly::TermConflict {
+                            term: *term,
+                            a: prev,
+                            b: *leader,
+                        });
+                    }
+                    Some(_) => {}
+                    None => {
+                        self.term_leaders.insert(*term, *leader);
+                    }
+                }
+                self.max_term = self.max_term.max(*term);
+            }
+            ProtocolEvent::AuthorityServe { seq, term } if *term < self.max_term => {
+                self.stale_serves.insert((h, seq.raw()), *term);
+            }
+            ProtocolEvent::StaleTermFenced { .. } => {
+                self.fenced_rejects += 1;
             }
             _ => {}
         }
@@ -700,6 +747,10 @@ impl OnlineAnalyzer {
             }
         }
 
+        // Split-brain detections after every other detector — same
+        // position as the batch analyzer, so the parity tests hold.
+        anomalies.append(&mut self.split_brain);
+
         let peak_bytes = self.peak_bytes.max(self.approx_resident_bytes());
         RecoveryReport {
             timelines: self.timelines.into_vec(),
@@ -716,6 +767,7 @@ impl OnlineAnalyzer {
             max_nack_fan_in,
             telescoping: self.telescoping,
             truncated_gap_spans: self.truncated_gap_spans,
+            fenced_rejects: self.fenced_rejects,
             anomalies,
             stream: StreamStats {
                 streamed: true,
@@ -1039,6 +1091,70 @@ mod tests {
         assert_eq!(report.recovered, 3);
         assert!(report.is_clean(), "{:?}", report.anomalies);
         assert_eq!(sink.records(), 0, "finish leaves a fresh analyzer");
+    }
+
+    #[test]
+    fn split_brain_detector_matches_batch() {
+        // A stale primary serves seq 3 after term 2 elects a new
+        // leader; RX accepts one repair from it (split-brain) while a
+        // second serve is fenced (rejected, counted only).
+        let new_leader = HostId(3);
+        let mut records = lossy_stream(9);
+        records.push(rec(
+            1000,
+            SENDER,
+            ProtocolEvent::TermElected {
+                term: 2,
+                leader: new_leader,
+            },
+        ));
+        records.push(rec(
+            1010,
+            PRIMARY,
+            ProtocolEvent::AuthorityServe {
+                seq: Seq(3),
+                term: 1,
+            },
+        ));
+        records.push(rec(
+            1020,
+            RX,
+            ProtocolEvent::RepairReceived {
+                seq: Seq(3),
+                from: PRIMARY,
+                kind: "retrans",
+            },
+        ));
+        records.push(rec(
+            1030,
+            RX,
+            ProtocolEvent::StaleTermFenced {
+                from: PRIMARY,
+                term: 1,
+            },
+        ));
+        // A second leader announced for term 2: a term conflict.
+        records.push(rec(
+            1040,
+            SENDER,
+            ProtocolEvent::TermElected {
+                term: 2,
+                leader: PRIMARY,
+            },
+        ));
+        let batch = analyze(&records, &AnalyzeConfig::default());
+        let online = run_online(&records, OnlineConfig::default());
+        assert_eq!(online.anomalies, batch.anomalies);
+        assert_eq!(online.fenced_rejects, batch.fenced_rejects);
+        assert_eq!(online.fenced_rejects, 1);
+        let kinds: Vec<&str> = online.anomalies.iter().map(|a| a.kind()).collect();
+        assert!(kinds.contains(&"split_brain_serve"), "{kinds:?}");
+        assert!(kinds.contains(&"term_conflict"), "{kinds:?}");
+        // Split-brain anomalies come after every other detector's, in
+        // stream order (the serve at t=1020 precedes the conflicting
+        // announce at t=1040).
+        let n = kinds.len();
+        assert_eq!(&kinds[n - 2..], ["split_brain_serve", "term_conflict"]);
     }
 
     #[test]

@@ -103,6 +103,9 @@ mod tag {
     pub const SRM_SESSION: u8 = 15;
     pub const SRM_NACK: u8 = 16;
     pub const SRM_REPAIR: u8 = 17;
+    pub const ELECT_PREPARE: u8 = 18;
+    pub const ELECT_PROMISE: u8 = 19;
+    pub const TERM_ANNOUNCE: u8 = 20;
 }
 
 /// Maximum number of ranges accepted in one NACK.
@@ -181,6 +184,9 @@ fn packet_tag(p: &Packet) -> u8 {
         Packet::SrmSession { .. } => tag::SRM_SESSION,
         Packet::SrmNack { .. } => tag::SRM_NACK,
         Packet::SrmRepair { .. } => tag::SRM_REPAIR,
+        Packet::ElectPrepare { .. } => tag::ELECT_PREPARE,
+        Packet::ElectPromise { .. } => tag::ELECT_PROMISE,
+        Packet::TermAnnounce { .. } => tag::TERM_ANNOUNCE,
     }
 }
 
@@ -231,6 +237,9 @@ impl Packet {
             Packet::SrmSession { .. } => 4 + 8 + 4,
             Packet::SrmNack { ranges, .. } => 4 + 8 + 8 + (2 + 8 * ranges.len()),
             Packet::SrmRepair { payload, .. } => 4 + 8 + 4 + 8 + (4 + payload.len()),
+            Packet::ElectPrepare { .. } => 4 + 8 + 4 + 8,
+            Packet::ElectPromise { .. } => 4 + 8 + 4 + 8 + 4,
+            Packet::TermAnnounce { .. } => 4 + 8 + 4 + 8,
         };
         HEADER_LEN + body
     }
@@ -518,6 +527,41 @@ pub(crate) fn write_packet_zero_checksum(
             buf.put_u32(seq.raw());
             buf.put_u64(responder.raw());
             put_payload(buf, payload);
+        }
+        Packet::ElectPrepare {
+            group,
+            source,
+            term,
+            candidate,
+        } => {
+            buf.put_u32(group.raw());
+            buf.put_u64(source.raw());
+            buf.put_u32(*term);
+            buf.put_u64(candidate.raw());
+        }
+        Packet::ElectPromise {
+            group,
+            source,
+            term,
+            voter,
+            log_end,
+        } => {
+            buf.put_u32(group.raw());
+            buf.put_u64(source.raw());
+            buf.put_u32(*term);
+            buf.put_u64(voter.raw());
+            buf.put_u32(log_end.raw());
+        }
+        Packet::TermAnnounce {
+            group,
+            source,
+            term,
+            leader,
+        } => {
+            buf.put_u32(group.raw());
+            buf.put_u64(source.raw());
+            buf.put_u32(*term);
+            buf.put_u64(leader.raw());
         }
     }
 
@@ -856,6 +900,25 @@ pub(crate) fn decode_packet(data: Bytes, verify_checksum: bool) -> Result<Packet
                 payload: tail(start, data),
             });
         }
+        tag::ELECT_PREPARE => Packet::ElectPrepare {
+            group: r.group()?,
+            source: r.source()?,
+            term: r.u32()?,
+            candidate: r.host()?,
+        },
+        tag::ELECT_PROMISE => Packet::ElectPromise {
+            group: r.group()?,
+            source: r.source()?,
+            term: r.u32()?,
+            voter: r.host()?,
+            log_end: r.seq()?,
+        },
+        tag::TERM_ANNOUNCE => Packet::TermAnnounce {
+            group: r.group()?,
+            source: r.source()?,
+            term: r.u32()?,
+            leader: r.host()?,
+        },
         other => return Err(WireError::UnknownType(other)),
     };
     r.finish()?;
@@ -979,6 +1042,25 @@ mod tests {
                 seq: Seq(42),
                 responder: HostId(8),
                 payload: Bytes::from_static(b"repair"),
+            },
+            Packet::ElectPrepare {
+                group: GroupId(1),
+                source: SourceId(2),
+                term: 3,
+                candidate: HostId(0),
+            },
+            Packet::ElectPromise {
+                group: GroupId(1),
+                source: SourceId(2),
+                term: 3,
+                voter: HostId(51),
+                log_end: Seq(12),
+            },
+            Packet::TermAnnounce {
+                group: GroupId(1),
+                source: SourceId(2),
+                term: 3,
+                leader: HostId(51),
             },
         ]
     }

@@ -263,6 +263,53 @@ pub enum Packet {
         primary: HostId,
     },
 
+    /// Election phase 1 (§2.2.3 hardening): the source, acting as the
+    /// single election proposer, asks a replica to promise a new term.
+    /// Terms increase monotonically; a replica promises at most one
+    /// candidate per term.
+    ElectPrepare {
+        /// Group.
+        group: GroupId,
+        /// Source running the election.
+        source: SourceId,
+        /// Proposed term (strictly greater than any term the source has
+        /// started before).
+        term: u32,
+        /// The host proposing (replies go here).
+        candidate: HostId,
+    },
+
+    /// Election phase 1 reply: the replica promises to ignore any term
+    /// older than `term` and reports how much of the log it holds so the
+    /// proposer can pick the most up-to-date replica.
+    ElectPromise {
+        /// Group.
+        group: GroupId,
+        /// Source being elected for.
+        source: SourceId,
+        /// Term being promised.
+        term: u32,
+        /// The promising replica.
+        voter: HostId,
+        /// One past the highest contiguously held sequence at the voter.
+        log_end: Seq,
+    },
+
+    /// Election phase 2, multicast globally: `leader` is the primary
+    /// logger for `term`. Every machine that sees this fences the
+    /// previous primary — its repairs and LogAcks are rejected until it
+    /// rejoins under the new term.
+    TermAnnounce {
+        /// Group.
+        group: GroupId,
+        /// Source announcing.
+        source: SourceId,
+        /// The new term.
+        term: u32,
+        /// Primary logger for `term`.
+        leader: HostId,
+    },
+
     /// Replication stream: primary logger → replica (§2.2.3). Reliable via
     /// [`Packet::ReplAck`] cumulative acks and retransmission.
     ReplUpdate {
@@ -343,6 +390,9 @@ impl Packet {
             | Packet::DiscoveryReply { group, .. }
             | Packet::LocatePrimary { group, .. }
             | Packet::PrimaryIs { group, .. }
+            | Packet::ElectPrepare { group, .. }
+            | Packet::ElectPromise { group, .. }
+            | Packet::TermAnnounce { group, .. }
             | Packet::ReplUpdate { group, .. }
             | Packet::ReplAck { group, .. }
             | Packet::SrmSession { group, .. }
@@ -366,6 +416,9 @@ impl Packet {
             Packet::DiscoveryReply { .. } => "discovery-reply",
             Packet::LocatePrimary { .. } => "locate-primary",
             Packet::PrimaryIs { .. } => "primary-is",
+            Packet::ElectPrepare { .. } => "elect-prepare",
+            Packet::ElectPromise { .. } => "elect-promise",
+            Packet::TermAnnounce { .. } => "term-announce",
             Packet::ReplUpdate { .. } => "repl-update",
             Packet::ReplAck { .. } => "repl-ack",
             Packet::SrmSession { .. } => "srm-session",

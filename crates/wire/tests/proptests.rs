@@ -45,7 +45,7 @@ fn arb_packet(r: &mut SmallRng) -> Packet {
     let s = SourceId(r.random::<u64>());
     let q = Seq(r.random::<u32>());
     let e = EpochId(r.random::<u32>());
-    match r.random_range(0u64..17) {
+    match r.random_range(0u64..20) {
         0 => Packet::Data {
             group: g,
             source: s,
@@ -143,10 +143,29 @@ fn arb_packet(r: &mut SmallRng) -> Packet {
             source: s,
             requester: HostId(r.random::<u64>()),
         },
-        _ => Packet::PrimaryIs {
+        16 => Packet::PrimaryIs {
             group: g,
             source: s,
             primary: HostId(r.random::<u64>()),
+        },
+        17 => Packet::ElectPrepare {
+            group: g,
+            source: s,
+            term: r.random::<u32>(),
+            candidate: HostId(r.random::<u64>()),
+        },
+        18 => Packet::ElectPromise {
+            group: g,
+            source: s,
+            term: r.random::<u32>(),
+            voter: HostId(r.random::<u64>()),
+            log_end: q,
+        },
+        _ => Packet::TermAnnounce {
+            group: g,
+            source: s,
+            term: r.random::<u32>(),
+            leader: HostId(r.random::<u64>()),
         },
     }
 }
@@ -289,6 +308,25 @@ fn extreme_packets() -> Vec<Packet> {
             responder: HostId(u64::MAX),
             payload: empty,
         },
+        Packet::ElectPrepare {
+            group: g,
+            source: s,
+            term: u32::MAX,
+            candidate: HostId(u64::MAX),
+        },
+        Packet::ElectPromise {
+            group: g,
+            source: s,
+            term: u32::MAX,
+            voter: HostId(u64::MAX),
+            log_end: Seq(u32::MAX),
+        },
+        Packet::TermAnnounce {
+            group: g,
+            source: s,
+            term: 0,
+            leader: HostId(0),
+        },
     ]
 }
 
@@ -317,7 +355,7 @@ fn extreme_packets_cover_every_variant() {
     let mut kinds: Vec<&str> = extreme_packets().iter().map(|p| p.kind()).collect();
     kinds.sort_unstable();
     kinds.dedup();
-    assert_eq!(kinds.len(), 17, "one extreme per wire variant: {kinds:?}");
+    assert_eq!(kinds.len(), 20, "one extreme per wire variant: {kinds:?}");
 }
 
 /// The payload field of a packet, for the zero-copy aliasing check.
@@ -429,7 +467,7 @@ fn decode_rejects_random_bytes_with_valid_header_shape() {
     for _ in 0..CASES {
         let body_len = r.random_range(0u64..64) as usize;
         let body: Vec<u8> = (0..body_len).map(|_| r.random::<u64>() as u8).collect();
-        let typ = r.random_range(1u64..=17) as u8;
+        let typ = r.random_range(1u64..=20) as u8;
         let mut pkt = vec![0x4C, 0x42, 1, typ];
         let len = (body.len() + 8) as u16;
         pkt.extend_from_slice(&len.to_be_bytes());
